@@ -1,0 +1,187 @@
+//! Ablation study of the reproduction's modeling choices (DESIGN.md §6).
+//!
+//! Not a paper figure: this bench quantifies how much each simulator
+//! design decision matters, so readers can judge the robustness of the
+//! reproduced shapes. Knobs:
+//!
+//! - `populate_flash_on_read` — §3.2's "newly referenced blocks are first
+//!   placed in flash, then into RAM" vs a flash cache that only absorbs
+//!   writebacks.
+//! - `inclusive_promotion` — whether RAM hits refresh the flash LRU
+//!   position (maintains the naive/lookaside subset property).
+//! - `charge_flash_read_on_writeback` — whether flushing a dirty block
+//!   out of flash pays a flash read first.
+//! - `duplex_network` — full-duplex segments vs the paper's one packet at
+//!   a time.
+//! - `syncer_window` — how many writebacks the periodic syncer keeps in
+//!   flight (1 = fully synchronous flush loop).
+
+use fcache_bench::{
+    f, f2, header, scale_from_env, shape_check, SimConfig, Table, Workbench, WorkloadSpec,
+};
+use fcache_cache::EvictionPolicy;
+
+fn main() {
+    let scale = scale_from_env(1024);
+    header(
+        "Ablations",
+        scale,
+        "sensitivity of the baseline to modeling choices",
+    );
+
+    let wb = Workbench::new(scale, 42);
+    let trace = wb.make_trace(&WorkloadSpec::baseline_80g());
+
+    let base = SimConfig::baseline();
+    let variants: Vec<(&str, SimConfig)> = vec![
+        ("baseline", base.clone()),
+        (
+            "no populate-on-read",
+            SimConfig {
+                populate_flash_on_read: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no inclusive promotion",
+            SimConfig {
+                inclusive_promotion: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "free flash-read on writeback",
+            SimConfig {
+                charge_flash_read_on_writeback: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "full-duplex network",
+            SimConfig {
+                duplex_network: true,
+                ..base.clone()
+            },
+        ),
+        (
+            "syncer window = 1",
+            SimConfig {
+                syncer_window: 1,
+                ..base.clone()
+            },
+        ),
+        (
+            "syncer window = 256",
+            SimConfig {
+                syncer_window: 256,
+                ..base.clone()
+            },
+        ),
+        (
+            "FIFO replacement",
+            SimConfig {
+                replacement: EvictionPolicy::Fifo,
+                ..base.clone()
+            },
+        ),
+        (
+            "CLOCK replacement",
+            SimConfig {
+                replacement: EvictionPolicy::Clock,
+                ..base.clone()
+            },
+        ),
+    ];
+
+    let mut t = Table::new(
+        "Ablations — 80 GB working set, naive baseline",
+        &[
+            "variant",
+            "read_us",
+            "write_us",
+            "flash_hit_pct",
+            "net_packets",
+        ],
+    );
+    let mut results = Vec::new();
+    for (name, cfg) in &variants {
+        let r = wb.run_with_trace(cfg, &trace).expect("run");
+        t.row(vec![
+            name.to_string(),
+            f(r.read_latency_us()),
+            f2(r.write_latency_us()),
+            f(100.0 * r.flash_hit_rate_of_all_reads()),
+            r.net.packets.to_string(),
+        ]);
+        results.push((name.to_string(), r));
+        eprint!(".");
+    }
+    eprintln!();
+    t.emit("ablations");
+
+    let get = |name: &str| {
+        results
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, r)| r)
+            .unwrap()
+    };
+    let baseline = get("baseline");
+
+    shape_check(
+        "populate-on-read is load-bearing for reads",
+        get("no populate-on-read").read_latency_us() > 1.15 * baseline.read_latency_us(),
+        format!(
+            "without populate: {:.0} µs vs baseline {:.0} µs",
+            get("no populate-on-read").read_latency_us(),
+            baseline.read_latency_us()
+        ),
+    );
+    shape_check(
+        "inclusive promotion is a second-order effect",
+        (get("no inclusive promotion").read_latency_us() - baseline.read_latency_us()).abs()
+            < 0.2 * baseline.read_latency_us(),
+        format!(
+            "without promotion: {:.0} µs vs baseline {:.0} µs",
+            get("no inclusive promotion").read_latency_us(),
+            baseline.read_latency_us()
+        ),
+    );
+    shape_check(
+        "duplex changes little at 30% writes",
+        (get("full-duplex network").read_latency_us() - baseline.read_latency_us()).abs()
+            < 0.2 * baseline.read_latency_us(),
+        format!(
+            "duplex: {:.0} µs vs baseline {:.0} µs",
+            get("full-duplex network").read_latency_us(),
+            baseline.read_latency_us()
+        ),
+    );
+    shape_check(
+        "a synchronous (window=1) syncer still keeps writes cheap at 30% writes",
+        get("syncer window = 1").write_latency_us() < 10.0,
+        format!(
+            "window=1 write latency {:.2} µs",
+            get("syncer window = 1").write_latency_us()
+        ),
+    );
+    shape_check(
+        "replacement policy is second-order (paper's §1 scoping holds)",
+        {
+            let spread = [
+                get("FIFO replacement").read_latency_us(),
+                get("CLOCK replacement").read_latency_us(),
+                baseline.read_latency_us(),
+            ];
+            let max = spread.iter().cloned().fold(0.0, f64::max);
+            let min = spread.iter().cloned().fold(f64::INFINITY, f64::min);
+            max < 1.25 * min
+        },
+        format!(
+            "LRU {:.0} / CLOCK {:.0} / FIFO {:.0} µs reads",
+            baseline.read_latency_us(),
+            get("CLOCK replacement").read_latency_us(),
+            get("FIFO replacement").read_latency_us()
+        ),
+    );
+}

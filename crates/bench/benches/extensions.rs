@@ -1,0 +1,114 @@
+//! Extension experiments beyond the paper's figures.
+//!
+//! Two sweeps the paper motivates but does not plot:
+//!
+//! 1. **Host scaling** — "one or more compute servers" (§3): how do
+//!    latency and invalidation pressure evolve from 1 to 8 hosts, with
+//!    private vs shared working sets? (The paper's consistency experiments
+//!    stop at 2 hosts.)
+//! 2. **Fine syncer-period sweep** — the paper samples p ∈ {1, 5, 15, 30};
+//!    this sweep fills in the curve and shows where the periodic policy
+//!    starts to misbehave, complementing §3.6's "we did not try other more
+//!    elaborate policies".
+
+use fcache_bench::{
+    f, f2, header, scale_from_env, shape_check, ByteSize, SimConfig, Table, Workbench,
+    WorkloadSpec, WritebackPolicy,
+};
+
+fn main() {
+    let scale = scale_from_env(1024);
+    header(
+        "Extensions",
+        scale,
+        "host scaling and fine syncer-period sweep",
+    );
+
+    let wb = Workbench::new(scale, 42);
+
+    // --- Host scaling ---------------------------------------------------
+    let mut t = Table::new(
+        "Extension A — host scaling (60 GB per working set, 30% writes)",
+        &["hosts", "sharing", "read_us", "write_us", "inval_pct"],
+    );
+    let mut shared_inval = Vec::new();
+    for hosts in [1u16, 2, 4, 8] {
+        for shared in [false, true] {
+            if hosts == 1 && shared {
+                continue;
+            }
+            let spec = WorkloadSpec {
+                working_set: ByteSize::gib(60),
+                hosts,
+                ws_count: if shared { 1 } else { hosts as usize },
+                seed: 6000 + u64::from(hosts) * 2 + u64::from(shared),
+                ..WorkloadSpec::default()
+            };
+            let r = wb.run(&SimConfig::baseline(), &spec).expect("run");
+            t.row(vec![
+                hosts.to_string(),
+                if shared {
+                    "shared".into()
+                } else {
+                    "private".to_string()
+                },
+                f(r.read_latency_us()),
+                f2(r.write_latency_us()),
+                f(r.invalidation_pct()),
+            ]);
+            if shared {
+                shared_inval.push(r.invalidation_pct());
+            }
+            eprint!(".");
+        }
+    }
+    eprintln!();
+    t.note("private working sets keep reads fast; residual invalidations come");
+    t.note("from the popular files all hosts touch. sharing one set drives both");
+    t.note("latency and invalidation pressure up with host count.");
+    t.emit("ext_host_scaling");
+
+    shape_check(
+        "invalidation pressure grows with shared host count",
+        shared_inval.windows(2).all(|w| w[1] >= w[0] * 0.9) // monotone-ish
+            && shared_inval.last().unwrap() > shared_inval.first().unwrap(),
+        format!("shared-WS invalidation % by host count: {shared_inval:.0?}"),
+    );
+
+    // --- Fine syncer-period sweep ----------------------------------------
+    let trace = wb.make_trace(&WorkloadSpec::baseline_80g());
+    let mut t2 = Table::new(
+        "Extension B — RAM syncer period sweep (naive, flash policy a)",
+        &["period_s", "read_us", "write_us"],
+    );
+    let mut writes = Vec::new();
+    for secs in [1u32, 2, 3, 5, 8, 10, 15, 20, 30, 45, 60] {
+        let cfg = SimConfig {
+            ram_policy: WritebackPolicy::Periodic(secs),
+            ..SimConfig::baseline()
+        };
+        let r = wb.run_with_trace(&cfg, &trace).expect("run");
+        t2.row(vec![
+            secs.to_string(),
+            f(r.read_latency_us()),
+            f2(r.write_latency_us()),
+        ]);
+        writes.push((secs, r.write_latency_us()));
+        eprint!(".");
+    }
+    eprintln!();
+    t2.note("longer periods let dirty data pile up; eventually evictions of");
+    t2.note("dirty blocks put writeback stalls on application paths.");
+    t2.emit("ext_period_sweep");
+
+    let early = writes
+        .iter()
+        .filter(|(s, _)| *s <= 5)
+        .map(|(_, w)| *w)
+        .fold(0.0, f64::max);
+    shape_check(
+        "short periods keep writes at RAM speed",
+        early < 1.0,
+        format!("max write latency for p1..p5: {early:.2} µs"),
+    );
+}

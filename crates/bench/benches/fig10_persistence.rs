@@ -1,0 +1,91 @@
+//! Figure 10: the effect of flash-cache persistence.
+//!
+//! §7.8: persistence is modeled as a second flash write per block (data +
+//! metadata); the benefit is measured by *skipping the warmup phase* —
+//! "equivalent to having a non-persistent flash cache and crashing at the
+//! beginning of the simulator run".
+//!
+//! Shape to reproduce: the doubled flash write latency is invisible to the
+//! application; the not-warmed (post-crash) runs are substantially slower
+//! than the warmed ones; the no-flash line is shown for comparison.
+
+use fcache_bench::{
+    f, header, scale_from_env, shape_check, ByteSize, SimConfig, Table, Workbench, WorkloadSpec,
+    WS_SWEEP_GIB,
+};
+use fcache_device::FlashModel;
+
+fn main() {
+    let scale = scale_from_env(1024);
+    header(
+        "Figure 10",
+        scale,
+        "persistence: warmed vs not-warmed vs no flash",
+    );
+
+    let wb = Workbench::new(scale, 42);
+    let persistent = SimConfig {
+        flash_model: FlashModel::default().with_persistence(true),
+        ..SimConfig::baseline()
+    };
+    let no_flash = SimConfig {
+        flash_size: ByteSize::ZERO,
+        ..SimConfig::baseline()
+    };
+
+    let mut t = Table::new(
+        "Figure 10 — read latency (µs/block)",
+        &[
+            "ws_gib",
+            "noflash_warmed",
+            "flash64_not_warmed",
+            "flash64_warmed",
+            "warmed_write_us",
+        ],
+    );
+    let mut cold_gap = Vec::new();
+    let mut write_cost = Vec::new();
+    for ws in WS_SWEEP_GIB {
+        let warmed_spec = WorkloadSpec {
+            working_set: ByteSize::gib(ws),
+            seed: ws,
+            ..WorkloadSpec::default()
+        };
+        let cold_spec = WorkloadSpec {
+            skip_warmup: true,
+            ..warmed_spec.clone()
+        };
+
+        let nf = wb.run(&no_flash, &warmed_spec).expect("run");
+        let cold = wb.run(&persistent, &cold_spec).expect("run");
+        let warm = wb.run(&persistent, &warmed_spec).expect("run");
+        t.row(vec![
+            ws.to_string(),
+            f(nf.read_latency_us()),
+            f(cold.read_latency_us()),
+            f(warm.read_latency_us()),
+            f(warm.write_latency_us()),
+        ]);
+        if ws >= 20 && ws <= 160 {
+            cold_gap.push(cold.read_latency_us() / warm.read_latency_us());
+        }
+        write_cost.push(warm.write_latency_us());
+        eprint!(".");
+    }
+    eprintln!();
+    t.note("not-warmed = crash at start of run with a non-persistent cache.");
+    t.emit("fig10_persistence");
+
+    let mean_gap = cold_gap.iter().sum::<f64>() / cold_gap.len() as f64;
+    shape_check(
+        "not-warmed substantially slower than warmed",
+        mean_gap > 1.15,
+        format!("mean cold/warm read ratio {mean_gap:.2} (20-160 GiB region)"),
+    );
+    let wmax = write_cost.iter().cloned().fold(0.0f64, f64::max);
+    shape_check(
+        "doubled (persistent) flash write latency invisible to the app",
+        wmax < 1.0,
+        format!("max write latency with persistence {wmax:.2} µs"),
+    );
+}

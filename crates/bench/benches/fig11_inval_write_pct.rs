@@ -1,0 +1,111 @@
+//! Figure 11: cache-consistency invalidations and read latency as a
+//! function of the write percentage (two hosts sharing one working set —
+//! the worst case).
+//!
+//! Shape to reproduce (§7.9): with a 64 GB flash the fraction of block
+//! writes requiring invalidation is far higher than with RAM-only caches
+//! (the shared working set stays resident at both hosts), and read latency
+//! grows with the write percentage because invalidated blocks must be
+//! re-fetched from the filer.
+
+use fcache_bench::{
+    f, header, scale_from_env, shape_check, ByteSize, SimConfig, Table, Workbench, WorkloadSpec,
+};
+
+fn main() {
+    let scale = scale_from_env(1024);
+    header(
+        "Figure 11",
+        scale,
+        "invalidations and read latency vs write percentage (2 hosts)",
+    );
+
+    let wb = Workbench::new(scale, 42);
+    let pcts = [10u32, 20, 30, 40, 50, 60, 70, 80, 90];
+
+    let mut t = Table::new(
+        "Figure 11 — invalidations (% of block writes) and read latency (µs)",
+        &[
+            "write_pct",
+            "inval_noflash60",
+            "inval_flash60",
+            "inval_noflash80",
+            "inval_flash80",
+            "read_flash60",
+            "read_flash80",
+        ],
+    );
+    let mut flash_inval = Vec::new();
+    let mut noflash_inval = Vec::new();
+    let mut flash_reads = Vec::new();
+    for pct in pcts {
+        let mut row = vec![pct.to_string()];
+        let mut reads = Vec::new();
+        for ws in [60u64, 80] {
+            let spec = WorkloadSpec {
+                working_set: ByteSize::gib(ws),
+                write_fraction: f64::from(pct) / 100.0,
+                hosts: 2,
+                ws_count: 1,
+                seed: ws * 1000 + u64::from(pct),
+                ..WorkloadSpec::default()
+            };
+            let trace = wb.make_trace(&spec);
+            let nf = wb
+                .run_with_trace(
+                    &SimConfig {
+                        flash_size: ByteSize::ZERO,
+                        ..SimConfig::baseline()
+                    },
+                    &trace,
+                )
+                .expect("run");
+            let fl = wb
+                .run_with_trace(&SimConfig::baseline(), &trace)
+                .expect("run");
+            row.push(f(nf.invalidation_pct()));
+            row.push(f(fl.invalidation_pct()));
+            reads.push(fl.read_latency_us());
+            if ws == 60 {
+                flash_inval.push(fl.invalidation_pct());
+                noflash_inval.push(nf.invalidation_pct());
+                flash_reads.push(fl.read_latency_us());
+            }
+        }
+        // Reorder: inval columns first, then the two read columns.
+        let r = vec![
+            row[0].clone(),
+            row[1].clone(),
+            row[2].clone(),
+            row[3].clone(),
+            row[4].clone(),
+            f(reads[0]),
+            f(reads[1]),
+        ];
+        t.row(r);
+        eprint!(".");
+    }
+    eprintln!();
+    t.note("worst case: both hosts share the entire working set (§7.9).");
+    t.emit("fig11_inval_write_pct");
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    shape_check(
+        "flash invalidation rate far above RAM-only",
+        mean(&flash_inval) > 1.5 * mean(&noflash_inval),
+        format!(
+            "mean {:.0}% vs {:.0}%",
+            mean(&flash_inval),
+            mean(&noflash_inval)
+        ),
+    );
+    shape_check(
+        "read latency grows with write percentage",
+        flash_reads.last().unwrap() > flash_reads.first().unwrap(),
+        format!(
+            "60 GB flash reads {:.0} µs @10% → {:.0} µs @90%",
+            flash_reads[0],
+            flash_reads.last().unwrap()
+        ),
+    );
+}

@@ -1,0 +1,96 @@
+//! Figure 12: cache-consistency invalidations and read latency as a
+//! function of the working-set size (two hosts sharing one working set,
+//! 30 % writes).
+//!
+//! Shape to reproduce (§7.9): "for workloads that fit in flash, the
+//! percentage of writes requiring invalidation is high … The invalidation
+//! rate drops off for out-of-cache workloads, but neither as quickly nor
+//! as significantly as with the smaller RAM cache."
+
+use fcache_bench::{
+    f, header, scale_from_env, shape_check, ByteSize, SimConfig, Table, Workbench, WorkloadSpec,
+    WS_SWEEP_GIB,
+};
+
+fn main() {
+    let scale = scale_from_env(1024);
+    header(
+        "Figure 12",
+        scale,
+        "invalidations and read latency vs working-set size (2 hosts)",
+    );
+
+    let wb = Workbench::new(scale, 42);
+    let mut t = Table::new(
+        "Figure 12 — invalidations (% of block writes) and read latency (µs)",
+        &[
+            "ws_gib",
+            "inval_noflash",
+            "inval_flash64",
+            "read_noflash",
+            "read_flash64",
+        ],
+    );
+    let mut fit_inval = Vec::new();
+    let mut out_inval = Vec::new();
+    let mut noflash_inval_all = Vec::new();
+    for ws in WS_SWEEP_GIB {
+        let spec = WorkloadSpec {
+            working_set: ByteSize::gib(ws),
+            hosts: 2,
+            ws_count: 1,
+            seed: ws,
+            ..WorkloadSpec::default()
+        };
+        let trace = wb.make_trace(&spec);
+        let nf = wb
+            .run_with_trace(
+                &SimConfig {
+                    flash_size: ByteSize::ZERO,
+                    ..SimConfig::baseline()
+                },
+                &trace,
+            )
+            .expect("run");
+        let fl = wb
+            .run_with_trace(&SimConfig::baseline(), &trace)
+            .expect("run");
+        t.row(vec![
+            ws.to_string(),
+            f(nf.invalidation_pct()),
+            f(fl.invalidation_pct()),
+            f(nf.read_latency_us()),
+            f(fl.read_latency_us()),
+        ]);
+        if ws <= 60 {
+            fit_inval.push(fl.invalidation_pct());
+        } else if ws >= 160 {
+            out_inval.push(fl.invalidation_pct());
+        }
+        noflash_inval_all.push(nf.invalidation_pct());
+        eprint!(".");
+    }
+    eprintln!();
+    t.note("worst case: both hosts share the entire working set (§7.9).");
+    t.emit("fig12_inval_ws");
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    shape_check(
+        "in-flash workloads: high invalidation rate",
+        mean(&fit_inval) > 40.0,
+        format!(
+            "mean invalidation for WS ≤ 60 GiB: {:.0}%",
+            mean(&fit_inval)
+        ),
+    );
+    shape_check(
+        "invalidations drop for out-of-cache workloads but stay elevated",
+        mean(&out_inval) < mean(&fit_inval) && mean(&out_inval) > mean(&noflash_inval_all),
+        format!(
+            "out-of-cache {:.0}% < in-cache {:.0}%, still above no-flash {:.0}%",
+            mean(&out_inval),
+            mean(&fit_inval),
+            mean(&noflash_inval_all)
+        ),
+    );
+}

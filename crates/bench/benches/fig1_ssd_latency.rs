@@ -1,0 +1,132 @@
+//! Figure 1: SSD access latency as a function of time.
+//!
+//! §6.2: the authors logged the simulator's flash I/Os for the 60 GB
+//! working-set workload on a 58 GB device, replayed the log against real
+//! consumer SSDs, and plotted per-10,000-I/O average read and write
+//! latencies. The reproduction runs the same workload with flash I/O
+//! logging and replays the log through the behavioral [`SsdModel`].
+//!
+//! Shape to reproduce: the read band sits *above* the write band; writes
+//! keep a stable mean from beginning to end; reads degrade as the device
+//! fills; and cache-shaped reads beat purely random reads.
+
+use fcache_bench::{
+    f, header, scale_from_env, shape_check, ByteSize, SimConfig, Table, Workbench, WorkloadSpec,
+};
+use fcache_device::{IoDirection, IoLogEntry, SsdConfig, SsdModel};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let scale = scale_from_env(256);
+    header(
+        "Figure 1",
+        scale,
+        "SSD read/write latency vs cumulative I/Os (10k-I/O windows)",
+    );
+
+    // 60 GB working set against a 58 GB flash cache, logging flash I/Os.
+    let wb = Workbench::new(scale, 42);
+    let cfg = SimConfig {
+        flash_size: ByteSize::gib(58),
+        log_flash_io: true,
+        ..SimConfig::baseline()
+    };
+    let report = wb
+        .run(&cfg, &WorkloadSpec::baseline_60g())
+        .expect("simulation");
+    let log = report.flash_iolog.expect("flash log enabled");
+    println!("# captured {} flash I/Os from the simulator run", log.len());
+
+    // Replay through the behavioral SSD model (58 GB device, scaled).
+    let device_blocks = ((58u64 << 30) / 4096 / scale).max(1024);
+    let mut ssd = SsdModel::new(SsdConfig::sized(device_blocks, 7));
+    let window = 10_000usize.min((log.len() / 20).max(100));
+    let stats = ssd.replay_windows(&log, window);
+
+    let mut t = Table::new(
+        "Figure 1 — latency per window (µs)",
+        &["ios_done", "read_avg_us", "write_avg_us"],
+    );
+    for w in &stats {
+        t.row(vec![
+            w.start_io.to_string(),
+            f(w.read_avg_us),
+            f(w.write_avg_us),
+        ]);
+    }
+    t.note(format!(
+        "window = {window} I/Os; device = {device_blocks} blocks"
+    ));
+    t.emit("fig1_ssd_latency");
+
+    // Shape checks.
+    let reads: Vec<f64> = stats
+        .iter()
+        .filter(|w| w.reads > 0)
+        .map(|w| w.read_avg_us)
+        .collect();
+    let writes: Vec<f64> = stats
+        .iter()
+        .filter(|w| w.writes > 0)
+        .map(|w| w.write_avg_us)
+        .collect();
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    shape_check(
+        "read band above write band",
+        mean(&reads) > 1.5 * mean(&writes),
+        format!(
+            "mean read {:.1} µs vs mean write {:.1} µs",
+            mean(&reads),
+            mean(&writes)
+        ),
+    );
+    if writes.len() >= 4 {
+        let first = mean(&writes[..writes.len() / 4]);
+        let last = mean(&writes[writes.len() * 3 / 4..]);
+        shape_check(
+            "write mean stable over device life",
+            (last - first).abs() / first < 0.10,
+            format!("first-quarter {first:.1} µs vs last-quarter {last:.1} µs"),
+        );
+    }
+    if reads.len() >= 4 {
+        let first = mean(&reads[..reads.len() / 4]);
+        let last = mean(&reads[reads.len() * 3 / 4..]);
+        shape_check(
+            "read latency drifts up as device fills",
+            last > first,
+            format!("first-quarter {first:.1} µs vs last-quarter {last:.1} µs"),
+        );
+    }
+
+    // §6.2 finding 3: cache-shaped replay beats purely random I/Os "with a
+    // read/write mix similar to that found in the simulator logs".
+    let write_frac =
+        log.iter().filter(|e| e.dir == IoDirection::Write).count() as f64 / log.len().max(1) as f64;
+    let mut rng = SmallRng::seed_from_u64(99);
+    let random: Vec<IoLogEntry> = (0..log.len().min(500_000))
+        .map(|_| IoLogEntry {
+            dir: if rng.gen_bool(write_frac) {
+                IoDirection::Write
+            } else {
+                IoDirection::Read
+            },
+            lba: rng.gen_range(0..device_blocks),
+        })
+        .collect();
+    let mut ssd_rand = SsdModel::new(SsdConfig::sized(device_blocks, 7));
+    let rand_stats = ssd_rand.replay_windows(&random, window);
+    let rand_read = mean(
+        &rand_stats
+            .iter()
+            .filter(|w| w.reads > 0)
+            .map(|w| w.read_avg_us)
+            .collect::<Vec<_>>(),
+    );
+    shape_check(
+        "cache-shaped reads beat random reads",
+        mean(&reads) < rand_read,
+        format!("shaped {:.1} µs vs random {rand_read:.1} µs", mean(&reads)),
+    );
+}

@@ -1,0 +1,115 @@
+//! Figure 4: read latency as a function of working-set size for flash
+//! cache sizes {none, 32 GB, 64 GB, 128 GB} (8 GB RAM).
+//!
+//! Shape to reproduce (§7.2): "even when the working set far exceeds the
+//! flash size, the flash improves performance significantly"; read latency
+//! improves dramatically while the working set fits in the flash, with the
+//! knee at the flash size; the RAM hit rate is small in all configurations
+//! while the flash hit rate grows with the flash ("from 0 … to 47% in the
+//! 128 GB configuration"); writes sit at the RAM write latency everywhere.
+
+use fcache_bench::{
+    f, header, scale_from_env, shape_check, ByteSize, SimConfig, Table, Workbench, WorkloadSpec,
+    WS_SWEEP_GIB,
+};
+
+fn main() {
+    let scale = scale_from_env(1024);
+    header(
+        "Figure 4",
+        scale,
+        "read latency vs working-set size across flash sizes",
+    );
+
+    let wb = Workbench::new(scale, 42);
+    let flash_sizes = [0u64, 32, 64, 128];
+
+    let mut t = Table::new(
+        "Figure 4 — read latency (µs/block)",
+        &["ws_gib", "no_flash", "32G", "64G", "128G"],
+    );
+    let mut hits = Table::new(
+        "§7.2 — hit rates (%)",
+        &[
+            "ws_gib",
+            "ram_hit",
+            "flash_hit_32G",
+            "flash_hit_64G",
+            "flash_hit_128G",
+        ],
+    );
+    let mut latencies = vec![Vec::new(); flash_sizes.len()];
+    let mut write_lat_max: f64 = 0.0;
+    for ws in WS_SWEEP_GIB {
+        let spec = WorkloadSpec {
+            working_set: ByteSize::gib(ws),
+            seed: ws,
+            ..WorkloadSpec::default()
+        };
+        let trace = wb.make_trace(&spec);
+        let mut row = vec![ws.to_string()];
+        let mut hrow = vec![ws.to_string()];
+        let mut ram_hit = 0.0;
+        for (i, fs) in flash_sizes.iter().enumerate() {
+            let cfg = SimConfig {
+                flash_size: ByteSize::gib(*fs),
+                ..SimConfig::baseline()
+            };
+            let r = wb.run_with_trace(&cfg, &trace).expect("run");
+            row.push(f(r.read_latency_us()));
+            latencies[i].push(r.read_latency_us());
+            write_lat_max = write_lat_max.max(r.write_latency_us());
+            if *fs == 0 {
+                ram_hit = 100.0 * r.ram_hit_rate();
+            } else {
+                hrow.push(f(100.0 * r.flash_hit_rate_of_all_reads()));
+            }
+        }
+        hrow.insert(1, f(ram_hit));
+        t.row(row);
+        hits.row(hrow);
+        eprint!(".");
+    }
+    eprintln!();
+    t.note("paper: no-flash plateaus near 900 µs; flash curves knee at the flash size.");
+    t.emit("fig4_read_latency");
+    hits.note("paper: RAM hit rate small (3.4%); flash hit up to 47% at 128 GB.");
+    hits.emit("fig4_hit_rates");
+
+    // Shape checks.
+    let last = WS_SWEEP_GIB.len() - 1;
+    shape_check(
+        "no-flash plateau near 900 µs",
+        (latencies[0][last] - 900.0).abs() < 150.0,
+        format!(
+            "no-flash at {} GiB = {:.0} µs",
+            WS_SWEEP_GIB[last], latencies[0][last]
+        ),
+    );
+    // Larger flash is monotonically better (or equal) at large WS.
+    let at_320 = WS_SWEEP_GIB.iter().position(|w| *w == 320).unwrap();
+    shape_check(
+        "bigger flash reads faster at 320 GiB",
+        latencies[1][at_320] < latencies[0][at_320]
+            && latencies[2][at_320] < latencies[1][at_320]
+            && latencies[3][at_320] < latencies[2][at_320],
+        format!(
+            "none/32/64/128 = {:.0}/{:.0}/{:.0}/{:.0} µs",
+            latencies[0][at_320], latencies[1][at_320], latencies[2][at_320], latencies[3][at_320]
+        ),
+    );
+    // Flash helps even when the WS far exceeds it.
+    shape_check(
+        "flash helps at 640 GiB >> 64 GiB flash",
+        latencies[2][last] < 0.9 * latencies[0][last],
+        format!(
+            "64G {:.0} µs vs none {:.0} µs",
+            latencies[2][last], latencies[0][last]
+        ),
+    );
+    shape_check(
+        "writes at RAM speed throughout",
+        write_lat_max < 1.0,
+        format!("max write latency {write_lat_max:.2} µs"),
+    );
+}

@@ -1,0 +1,89 @@
+//! Figure 5: the effect of the filer's prefetch (fast-read) rate.
+//!
+//! §7.3: a large client cache may reduce the filer's ability to prefetch.
+//! The paper bounds the effect by running an 80 % rate (pessimal) and a
+//! 95 % rate (optimistic) with and without a 64 GB flash.
+//!
+//! Shape to reproduce: latency is dominated by filer misses, so the two
+//! rates bracket a wide band; in the pessimal world the flash is only
+//! beneficial for workloads that fit in flash but not in RAM (the "pocket"
+//! between the no-flash/95 % and flash/80 % curves).
+
+use fcache_bench::{
+    f, header, scale_from_env, shape_check, ByteSize, SimConfig, Table, Workbench, WorkloadSpec,
+    WS_SWEEP_GIB,
+};
+
+fn main() {
+    let scale = scale_from_env(1024);
+    header(
+        "Figure 5",
+        scale,
+        "read latency for 80% vs 95% filer prefetch rates",
+    );
+
+    let wb = Workbench::new(scale, 42);
+    let mut t = Table::new(
+        "Figure 5 — read latency (µs/block)",
+        &[
+            "ws_gib",
+            "noflash_80",
+            "noflash_95",
+            "flash64_80",
+            "flash64_95",
+        ],
+    );
+    let mut series = vec![Vec::new(); 4];
+    for ws in WS_SWEEP_GIB {
+        let spec = WorkloadSpec {
+            working_set: ByteSize::gib(ws),
+            seed: ws,
+            ..WorkloadSpec::default()
+        };
+        let trace = wb.make_trace(&spec);
+        let mut row = vec![ws.to_string()];
+        for (i, (flash, rate)) in [(0u64, 0.80), (0, 0.95), (64, 0.80), (64, 0.95)]
+            .iter()
+            .enumerate()
+        {
+            let mut cfg = SimConfig {
+                flash_size: ByteSize::gib(*flash),
+                ..SimConfig::baseline()
+            };
+            cfg.filer.fast_read_rate = *rate;
+            let r = wb.run_with_trace(&cfg, &trace).expect("run");
+            row.push(f(r.read_latency_us()));
+            series[i].push(r.read_latency_us());
+        }
+        t.row(row);
+        eprint!(".");
+    }
+    eprintln!();
+    t.note("paper: filer prefetching dominates; compare lines of similar shape.");
+    t.emit("fig5_prefetch");
+
+    let last = WS_SWEEP_GIB.len() - 1;
+    shape_check(
+        "95% rate far better than 80% (no flash, large WS)",
+        series[1][last] < 0.6 * series[0][last],
+        format!("{:.0} µs vs {:.0} µs", series[1][last], series[0][last]),
+    );
+    // The pessimal pocket: at a WS that fits flash (60 GiB), flash/80%
+    // still beats no-flash/80%; at very large WS the advantage shrinks.
+    let at_60 = WS_SWEEP_GIB.iter().position(|w| *w == 60).unwrap();
+    shape_check(
+        "flash wins inside the pocket (60 GiB, 80% rate)",
+        series[2][at_60] < 0.7 * series[0][at_60],
+        format!("{:.0} µs vs {:.0} µs", series[2][at_60], series[0][at_60]),
+    );
+    // Pessimal-world crossover: no-flash at 95% can beat 64G flash at 80%
+    // once the WS falls well out of flash.
+    shape_check(
+        "pessimal crossover exists at large WS",
+        series[1][last] < series[2][last],
+        format!(
+            "noflash/95 {:.0} µs vs flash/80 {:.0} µs",
+            series[1][last], series[2][last]
+        ),
+    );
+}

@@ -1,0 +1,107 @@
+//! Figure 9: application read latency for a range of flash read times
+//! (write time proportional), all three architectures, 60 GB and 80 GB
+//! working sets.
+//!
+//! Shape to reproduce (§7.7): "application latency scales linearly with
+//! the flash latency"; when the working set fits in flash the architecture
+//! makes little difference, and when it falls out the unified
+//! architecture's larger effective size wins. The leftmost point (0 µs)
+//! "represents the potential performance of phase-change memory".
+
+use fcache_bench::{
+    f, header, scale_from_env, shape_check, Architecture, ByteSize, SimConfig, Table, Workbench,
+    WorkloadSpec,
+};
+use fcache_des::SimTime;
+use fcache_device::FlashModel;
+
+fn main() {
+    let scale = scale_from_env(1024);
+    header(
+        "Figure 9",
+        scale,
+        "read latency vs flash read time (writes proportional)",
+    );
+
+    let wb = Workbench::new(scale, 42);
+    let times_us = [0u64, 11, 22, 44, 66, 88, 100];
+
+    let mut t = Table::new(
+        "Figure 9 — read latency (µs/block)",
+        &[
+            "flash_read_us",
+            "lookaside80",
+            "naive80",
+            "unified80",
+            "lookaside60",
+            "naive60",
+            "unified60",
+        ],
+    );
+    // series[arch][ws_index][time_index]
+    let mut series = vec![[Vec::new(), Vec::new()]; 3];
+    let traces: Vec<_> = [80u64, 60]
+        .iter()
+        .map(|ws| {
+            let spec = WorkloadSpec {
+                working_set: ByteSize::gib(*ws),
+                seed: *ws,
+                ..WorkloadSpec::default()
+            };
+            wb.make_trace(&spec)
+        })
+        .collect();
+    for us in times_us {
+        let mut row = vec![us.to_string()];
+        for (wi, trace) in traces.iter().enumerate() {
+            for (ai, arch) in [
+                Architecture::Lookaside,
+                Architecture::Naive,
+                Architecture::Unified,
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                let cfg = SimConfig {
+                    arch,
+                    flash_model: FlashModel::with_read_time_proportional(SimTime::from_micros(us)),
+                    ..SimConfig::baseline()
+                };
+                let r = wb.run_with_trace(&cfg, trace).expect("run");
+                row.push(f(r.read_latency_us()));
+                series[ai][wi].push(r.read_latency_us());
+            }
+        }
+        t.row(row);
+        eprint!(".");
+    }
+    eprintln!();
+    t.note("leftmost row (0 µs) models phase-change memory.");
+    t.emit("fig9_flash_timing");
+
+    // Linearity: naive/80GB — midpoint of 0 and 88 within 15% of the 44 point.
+    let naive80 = &series[1][0];
+    let i0 = 0;
+    let i44 = times_us.iter().position(|t| *t == 44).unwrap();
+    let i88 = times_us.iter().position(|t| *t == 88).unwrap();
+    let mid = (naive80[i0] + naive80[i88]) / 2.0;
+    shape_check(
+        "latency scales linearly with flash read time",
+        (naive80[i44] - mid).abs() / mid < 0.15,
+        format!(
+            "naive/80G at 0/44/88 µs = {:.0}/{:.0}/{:.0} µs (midpoint {mid:.0})",
+            naive80[i0], naive80[i44], naive80[i88]
+        ),
+    );
+    // Unified advantage at 80 GB (falls out of flash), smaller at 60 GB.
+    let at88 = |ai: usize, wi: usize| series[ai][wi][i88];
+    shape_check(
+        "unified wins when the WS falls out of flash",
+        at88(2, 0) < at88(1, 0),
+        format!(
+            "80G at 88 µs: unified {:.0} vs naive {:.0}",
+            at88(2, 0),
+            at88(1, 0)
+        ),
+    );
+}

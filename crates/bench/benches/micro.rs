@@ -1,0 +1,180 @@
+//! Criterion microbenchmarks for the core data structures and the
+//! simulation engine itself (not paper figures — these measure the
+//! reproduction's own performance).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use fcache::{run_trace, SimConfig};
+use fcache_cache::{BlockCache, UnifiedCache};
+use fcache_des::{Resource, Sim, SimTime};
+use fcache_device::{SsdConfig, SsdModel};
+use fcache_fsmodel::{FsModel, FsModelConfig};
+use fcache_trace::{generate, TraceGenConfig};
+use fcache_types::{BlockAddr, ByteSize, FileId};
+
+fn bench_lru_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("block_cache");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("insert_evict_cycle", |b| {
+        let mut cache = BlockCache::new(4096);
+        let mut n = 0u32;
+        b.iter(|| {
+            cache.insert(BlockAddr::new(FileId(0), n), n % 3 == 0);
+            n = n.wrapping_add(1);
+        });
+    });
+    g.bench_function("hit_lookup", |b| {
+        let mut cache = BlockCache::new(4096);
+        for i in 0..4096 {
+            cache.insert(BlockAddr::new(FileId(0), i), false);
+        }
+        let mut n = 0u32;
+        b.iter(|| {
+            let hit = cache.lookup(BlockAddr::new(FileId(0), n % 4096));
+            n = n.wrapping_add(1);
+            hit
+        });
+    });
+    g.bench_function("unified_insert", |b| {
+        let mut cache = UnifiedCache::new(512, 4096);
+        let mut n = 0u32;
+        b.iter(|| {
+            cache.insert(BlockAddr::new(FileId(0), n), false);
+            n = n.wrapping_add(1);
+        });
+    });
+    g.finish();
+}
+
+fn bench_des(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des");
+    g.bench_function("spawn_sleep_chain_1000", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let s = sim.clone();
+            sim.spawn(async move {
+                for i in 0..1000u64 {
+                    s.sleep(SimTime::from_nanos(i % 97 + 1)).await;
+                }
+            });
+            sim.run().unwrap();
+            sim.shutdown();
+        });
+    });
+    g.bench_function("resource_contention_100x10", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let r = Resource::new(4);
+            for _ in 0..100 {
+                let s = sim.clone();
+                let r = r.clone();
+                sim.spawn(async move {
+                    for _ in 0..10 {
+                        let _g = r.acquire().await;
+                        s.sleep(SimTime::from_nanos(50)).await;
+                    }
+                });
+            }
+            sim.run().unwrap();
+            sim.shutdown();
+        });
+    });
+    g.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generators");
+    g.sample_size(10);
+    g.bench_function("fsmodel_256m", |b| {
+        b.iter(|| {
+            FsModel::generate(FsModelConfig {
+                total_bytes: ByteSize::mib(256),
+                seed: 1,
+                ..FsModelConfig::default()
+            })
+        });
+    });
+    let model = FsModel::generate(FsModelConfig {
+        total_bytes: ByteSize::mib(256),
+        seed: 1,
+        ..FsModelConfig::default()
+    });
+    g.bench_function("trace_16m_ws", |b| {
+        b.iter(|| {
+            generate(
+                &model,
+                TraceGenConfig {
+                    working_set: ByteSize::mib(16),
+                    seed: 2,
+                    ..TraceGenConfig::default()
+                },
+            )
+        });
+    });
+    g.finish();
+}
+
+fn bench_ssd_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ssd_model");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("read", |b| {
+        let mut ssd = SsdModel::new(SsdConfig::small(1 << 20, 3));
+        let mut lba = 0u64;
+        b.iter(|| {
+            let t = ssd.read(lba);
+            lba = lba.wrapping_add(977);
+            t
+        });
+    });
+    g.bench_function("write", |b| {
+        let mut ssd = SsdModel::new(SsdConfig::small(1 << 20, 3));
+        let mut lba = 0u64;
+        b.iter(|| {
+            let t = ssd.write(lba);
+            lba = lba.wrapping_add(977);
+            t
+        });
+    });
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    let model = FsModel::generate(FsModelConfig {
+        total_bytes: ByteSize::mib(128),
+        seed: 1,
+        ..FsModelConfig::default()
+    });
+    let trace = generate(
+        &model,
+        TraceGenConfig {
+            working_set: ByteSize::mib(8),
+            seed: 2,
+            ..TraceGenConfig::default()
+        },
+    );
+    let cfg = SimConfig {
+        ram_size: ByteSize::mib(1),
+        flash_size: ByteSize::mib(8),
+        ..SimConfig::baseline()
+    };
+    g.throughput(Throughput::Elements(trace.stats().blocks));
+    g.bench_function("baseline_sim_8m_ws", |b| {
+        b.iter_batched(
+            || trace.clone(),
+            |t| run_trace(&cfg, &t).unwrap(),
+            BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lru_cache,
+    bench_des,
+    bench_generators,
+    bench_ssd_model,
+    bench_end_to_end
+);
+criterion_main!(benches);

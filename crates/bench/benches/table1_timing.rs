@@ -1,0 +1,69 @@
+//! Table 1: timing model parameters.
+//!
+//! The paper's Table 1 lists the per-block and per-packet latencies every
+//! experiment uses. This bench prints the reproduction's values and checks
+//! them against the published numbers (with the paper's "ms" column
+//! corrected to µs — see DESIGN.md §3).
+
+use fcache_bench::{header, shape_check, SimConfig, Table};
+
+fn main() {
+    header("Table 1", 1, "timing model parameters");
+    let cfg = SimConfig::baseline();
+    print!("{}", cfg.timing_table());
+
+    let mut t = Table::new(
+        "Table 1 — paper vs reproduction",
+        &["parameter", "paper", "ours"],
+    );
+    let rows: [(&str, &str, String); 9] = [
+        ("RAM read", "400 ns", format!("{}", cfg.ram_model.read)),
+        ("RAM write", "400 ns", format!("{}", cfg.ram_model.write)),
+        (
+            "Flash read",
+            "88 us",
+            format!("{}", cfg.flash_model.read_latency()),
+        ),
+        (
+            "Flash write",
+            "21 us",
+            format!("{}", cfg.flash_model.write_latency()),
+        ),
+        (
+            "Net base/packet",
+            "8.2 us",
+            format!("{}", cfg.net.base_latency),
+        ),
+        ("Net per bit", "1 ns", format!("{}", cfg.net.per_bit)),
+        (
+            "Filer fast read",
+            "92 us",
+            format!("{}", cfg.filer.fast_read),
+        ),
+        (
+            "Filer slow read",
+            "7952 us",
+            format!("{}", cfg.filer.slow_read),
+        ),
+        ("Filer write", "92 us", format!("{}", cfg.filer.write)),
+    ];
+    for (name, paper, ours) in rows {
+        t.row(vec![name.into(), paper.into(), ours]);
+    }
+    t.row(vec![
+        "Fast read rate".into(),
+        "90%".into(),
+        format!("{:.0}%", cfg.filer.fast_read_rate * 100.0),
+    ]);
+    t.emit("table1");
+
+    shape_check(
+        "table1",
+        cfg.ram_model.read.as_nanos() == 400
+            && cfg.flash_model.read_latency().as_nanos() == 88_000
+            && cfg.flash_model.write_latency().as_nanos() == 21_000
+            && cfg.net.base_latency.as_nanos() == 8_200
+            && cfg.filer.slow_read.as_nanos() == 7_952_000,
+        "all defaults equal the published Table 1 values".into(),
+    );
+}

@@ -1,0 +1,775 @@
+//! Single-tier block cache with dirty tracking.
+//!
+//! Used for the RAM cache everywhere and for the flash cache in the *naive*
+//! and *lookaside* architectures. The cache is a timing-free data
+//! structure; the simulator charges device/network time around each
+//! transition and performs the actual writeback I/O for dirty evictions.
+//!
+//! The paper fixes the replacement policy: "we put aside other relevant
+//! but secondary considerations, such as cache replacement policy (we use
+//! LRU)" (§1). [`EvictionPolicy::Lru`] is therefore the default; FIFO and
+//! CLOCK (second chance) are provided for the replacement-policy ablation.
+
+use std::collections::{HashMap, HashSet};
+
+use fcache_types::BlockAddr;
+
+use crate::lru::{LruList, NodeId};
+use crate::stats::CacheStats;
+
+/// Replacement policy of a [`BlockCache`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum EvictionPolicy {
+    /// Least recently used — the paper's policy and the default.
+    #[default]
+    Lru,
+    /// Insertion order; hits do not affect eviction order.
+    Fifo,
+    /// CLOCK / second chance: hits set a reference bit; eviction rotates
+    /// past referenced entries, clearing their bits.
+    Clock,
+}
+
+/// Per-block cache entry.
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    addr: BlockAddr,
+    dirty: bool,
+    /// CLOCK reference bit (unused by LRU/FIFO).
+    referenced: bool,
+}
+
+/// What `insert` had to evict, if anything.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Eviction {
+    /// The block that was evicted.
+    pub addr: BlockAddr,
+    /// True if the block was dirty: the caller must write it to the next
+    /// level before the data is lost ("synchronous evictions once the
+    /// cache fills", §7.1).
+    pub dirty: bool,
+}
+
+/// Result of [`BlockCache::insert`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InsertOutcome {
+    /// The block was already cached; it was promoted (and possibly
+    /// re-dirtied).
+    AlreadyPresent,
+    /// Inserted into a free slot.
+    Inserted,
+    /// Inserted; the returned victim was evicted to make room.
+    InsertedEvicting(Eviction),
+    /// The cache has zero capacity; nothing was stored.
+    ZeroCapacity,
+}
+
+/// A fixed-capacity LRU cache of 4 KB blocks with dirty tracking.
+///
+/// # Examples
+///
+/// ```
+/// use fcache_cache::{BlockCache, InsertOutcome};
+/// use fcache_types::{BlockAddr, FileId};
+///
+/// let mut c = BlockCache::new(2);
+/// let a = BlockAddr::new(FileId(1), 0);
+/// let b = BlockAddr::new(FileId(1), 1);
+/// let d = BlockAddr::new(FileId(1), 2);
+/// assert_eq!(c.insert(a, false), InsertOutcome::Inserted);
+/// assert_eq!(c.insert(b, false), InsertOutcome::Inserted);
+/// assert!(c.lookup(a)); // promotes `a`
+/// match c.insert(d, false) {
+///     InsertOutcome::InsertedEvicting(ev) => assert_eq!(ev.addr, b),
+///     other => panic!("unexpected {other:?}"),
+/// }
+/// ```
+pub struct BlockCache {
+    capacity: usize,
+    policy: EvictionPolicy,
+    map: HashMap<u64, NodeId>,
+    lru: LruList<Entry>,
+    dirty: HashSet<u64>,
+    stats: CacheStats,
+}
+
+impl BlockCache {
+    /// Creates a cache holding at most `capacity_blocks` blocks.
+    ///
+    /// A capacity of zero models "no cache at this tier": every lookup
+    /// misses and inserts are dropped.
+    pub fn new(capacity_blocks: usize) -> Self {
+        Self::with_policy(capacity_blocks, EvictionPolicy::Lru)
+    }
+
+    /// Creates a cache with an explicit replacement policy (ablation use;
+    /// the paper's caches are LRU).
+    pub fn with_policy(capacity_blocks: usize, policy: EvictionPolicy) -> Self {
+        Self {
+            capacity: capacity_blocks,
+            policy,
+            map: HashMap::with_capacity(capacity_blocks.min(1 << 22)),
+            lru: LruList::with_capacity(capacity_blocks.min(1 << 22)),
+            dirty: HashSet::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Replacement policy in force.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
+    }
+
+    /// Applies the policy's on-reference behavior to a resident node.
+    fn reference(&mut self, id: NodeId) {
+        match self.policy {
+            EvictionPolicy::Lru => self.lru.touch(id),
+            EvictionPolicy::Fifo => {}
+            EvictionPolicy::Clock => {
+                self.lru
+                    .get_mut(id)
+                    .expect("mapped node must live")
+                    .referenced = true;
+            }
+        }
+    }
+
+    /// Selects and unlinks the eviction victim per the policy.
+    fn pop_victim(&mut self) -> Entry {
+        match self.policy {
+            EvictionPolicy::Lru | EvictionPolicy::Fifo => {
+                self.lru.pop_back().expect("full cache has a victim")
+            }
+            EvictionPolicy::Clock => {
+                // Second chance: rotate referenced entries to the front,
+                // clearing their bit; evict the first unreferenced one.
+                // Terminates: each rotation clears one bit.
+                loop {
+                    let id = self.lru.back().expect("full cache has a victim");
+                    let referenced = {
+                        let e = self.lru.get_mut(id).expect("live tail");
+                        let r = e.referenced;
+                        e.referenced = false;
+                        r
+                    };
+                    if referenced {
+                        self.lru.touch(id);
+                    } else {
+                        return self.lru.remove(id).expect("live tail");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Maximum block count.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current block count.
+    pub fn len(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// True if no blocks are cached.
+    pub fn is_empty(&self) -> bool {
+        self.lru.is_empty()
+    }
+
+    /// True when every slot is occupied.
+    pub fn is_full(&self) -> bool {
+        self.len() >= self.capacity
+    }
+
+    /// Number of dirty blocks.
+    pub fn dirty_len(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Statistics counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets the statistics counters (cache contents are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Looks a block up, promoting it to MRU on a hit.
+    pub fn lookup(&mut self, addr: BlockAddr) -> bool {
+        match self.map.get(&addr.to_u64()) {
+            Some(&id) => {
+                self.reference(id);
+                self.stats.hits += 1;
+                true
+            }
+            None => {
+                self.stats.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// True if the block is cached; no promotion, no statistics.
+    pub fn contains(&self, addr: BlockAddr) -> bool {
+        self.map.contains_key(&addr.to_u64())
+    }
+
+    /// Promotes a block *without* counting a hit or miss (the promotion
+    /// itself follows the replacement policy's reference behavior).
+    ///
+    /// Used for inclusive-cache maintenance: a RAM hit promotes the flash
+    /// copy so the flash LRU order stays a superset of RAM recency and the
+    /// naive/lookaside subset property holds. Returns false if absent.
+    pub fn promote(&mut self, addr: BlockAddr) -> bool {
+        match self.map.get(&addr.to_u64()) {
+            Some(&id) => {
+                self.reference(id);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// True if the block is cached and dirty.
+    pub fn is_dirty(&self, addr: BlockAddr) -> bool {
+        self.dirty.contains(&addr.to_u64())
+    }
+
+    /// Inserts (or overwrites) a block, promoting it to MRU.
+    ///
+    /// If the block is present it stays present; `dirty = true` marks it
+    /// dirty (a clean insert never cleans an existing dirty block — data
+    /// freshness wins). If the cache is full the LRU block is evicted and
+    /// returned so the caller can write it back if dirty.
+    pub fn insert(&mut self, addr: BlockAddr, dirty: bool) -> InsertOutcome {
+        let key = addr.to_u64();
+        if let Some(&id) = self.map.get(&key) {
+            self.reference(id);
+            if dirty {
+                self.stats.overwrites += 1;
+                if self.dirty.insert(key) {
+                    self.lru.get_mut(id).expect("mapped node must live").dirty = true;
+                }
+            }
+            return InsertOutcome::AlreadyPresent;
+        }
+        if self.capacity == 0 {
+            return InsertOutcome::ZeroCapacity;
+        }
+
+        let evicted = if self.lru.len() >= self.capacity {
+            let victim = self.pop_victim();
+            let vkey = victim.addr.to_u64();
+            self.map.remove(&vkey);
+            let was_dirty = self.dirty.remove(&vkey);
+            debug_assert_eq!(was_dirty, victim.dirty);
+            if victim.dirty {
+                self.stats.dirty_evictions += 1;
+            } else {
+                self.stats.clean_evictions += 1;
+            }
+            Some(Eviction {
+                addr: victim.addr,
+                dirty: victim.dirty,
+            })
+        } else {
+            None
+        };
+
+        let id = self.lru.push_front(Entry {
+            addr,
+            dirty,
+            referenced: false,
+        });
+        self.map.insert(key, id);
+        if dirty {
+            self.dirty.insert(key);
+        }
+        self.stats.insertions += 1;
+        match evicted {
+            Some(ev) => InsertOutcome::InsertedEvicting(ev),
+            None => InsertOutcome::Inserted,
+        }
+    }
+
+    /// Marks a cached block dirty (no promotion). Returns false if absent.
+    pub fn mark_dirty(&mut self, addr: BlockAddr) -> bool {
+        let key = addr.to_u64();
+        match self.map.get(&key) {
+            Some(&id) => {
+                self.lru.get_mut(id).expect("mapped node must live").dirty = true;
+                self.dirty.insert(key);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Marks a cached block clean (after a completed writeback).
+    /// Returns false if the block is absent.
+    pub fn mark_clean(&mut self, addr: BlockAddr) -> bool {
+        let key = addr.to_u64();
+        match self.map.get(&key) {
+            Some(&id) => {
+                self.lru.get_mut(id).expect("mapped node must live").dirty = false;
+                self.dirty.remove(&key);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes a block (cache-consistency invalidation or subset
+    /// maintenance). Returns whether it was present and whether dirty.
+    pub fn remove(&mut self, addr: BlockAddr) -> Option<Eviction> {
+        let key = addr.to_u64();
+        let id = self.map.remove(&key)?;
+        let entry = self.lru.remove(id).expect("mapped node must live");
+        let dirty = self.dirty.remove(&key);
+        debug_assert_eq!(dirty, entry.dirty);
+        self.stats.invalidations += 1;
+        Some(Eviction {
+            addr: entry.addr,
+            dirty: entry.dirty,
+        })
+    }
+
+    /// Address and dirtiness of the current LRU block, if any.
+    pub fn peek_lru(&self) -> Option<Eviction> {
+        let id = self.lru.back()?;
+        let e = self.lru.get(id).expect("live tail");
+        Some(Eviction {
+            addr: e.addr,
+            dirty: e.dirty,
+        })
+    }
+
+    /// Snapshot of all dirty block addresses, sorted by address.
+    ///
+    /// The syncer uses this to flush: it iterates the snapshot, writing each
+    /// block to the next level and marking it clean on completion. The sort
+    /// keeps simulation runs deterministic (hash-set iteration order is
+    /// randomized per instance).
+    pub fn dirty_blocks(&self) -> Vec<BlockAddr> {
+        let mut v: Vec<BlockAddr> = self.dirty.iter().map(|&k| BlockAddr::from_u64(k)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Iterates cached blocks from MRU to LRU (test/diagnostic use).
+    pub fn iter_mru(&self) -> impl Iterator<Item = (BlockAddr, bool)> + '_ {
+        self.lru.iter().map(|e| (e.addr, e.dirty))
+    }
+
+    /// Verifies internal invariants; test support.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map, LRU list, and dirty set disagree.
+    pub fn check_invariants(&self) {
+        assert_eq!(self.map.len(), self.lru.len(), "map/lru size mismatch");
+        assert!(self.lru.len() <= self.capacity.max(0), "over capacity");
+        let mut dirty_seen = 0;
+        for (addr, dirty) in self.iter_mru() {
+            let id = self.map.get(&addr.to_u64()).expect("lru block not in map");
+            assert_eq!(
+                self.lru.get(*id).map(|e| e.addr),
+                Some(addr),
+                "map points at wrong node"
+            );
+            assert_eq!(
+                self.dirty.contains(&addr.to_u64()),
+                dirty,
+                "dirty set mismatch"
+            );
+            dirty_seen += usize::from(dirty);
+        }
+        assert_eq!(dirty_seen, self.dirty.len(), "dirty count mismatch");
+    }
+}
+
+impl std::fmt::Debug for BlockCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockCache")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("dirty", &self.dirty_len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcache_types::FileId;
+
+    fn addr(n: u32) -> BlockAddr {
+        BlockAddr::new(FileId(0), n)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = BlockCache::new(4);
+        assert!(!c.lookup(addr(1)));
+        c.insert(addr(1), false);
+        assert!(c.lookup(addr(1)));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn eviction_order_is_lru() {
+        let mut c = BlockCache::new(3);
+        c.insert(addr(1), false);
+        c.insert(addr(2), false);
+        c.insert(addr(3), false);
+        assert!(c.lookup(addr(1))); // 1 promoted; LRU is 2
+        match c.insert(addr(4), false) {
+            InsertOutcome::InsertedEvicting(ev) => {
+                assert_eq!(ev.addr, addr(2));
+                assert!(!ev.dirty);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        c.check_invariants();
+    }
+
+    #[test]
+    fn dirty_eviction_reports_dirty() {
+        let mut c = BlockCache::new(1);
+        c.insert(addr(1), true);
+        match c.insert(addr(2), false) {
+            InsertOutcome::InsertedEvicting(ev) => {
+                assert_eq!(ev.addr, addr(1));
+                assert!(ev.dirty);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(c.stats().dirty_evictions, 1);
+        assert_eq!(c.dirty_len(), 0);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn overwrite_marks_dirty_and_promotes() {
+        let mut c = BlockCache::new(2);
+        c.insert(addr(1), false);
+        c.insert(addr(2), false);
+        assert_eq!(c.insert(addr(1), true), InsertOutcome::AlreadyPresent);
+        assert!(c.is_dirty(addr(1)));
+        // 1 is MRU now, so inserting 3 evicts 2.
+        match c.insert(addr(3), false) {
+            InsertOutcome::InsertedEvicting(ev) => assert_eq!(ev.addr, addr(2)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(c.stats().overwrites, 1);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn clean_insert_does_not_clean_dirty_block() {
+        let mut c = BlockCache::new(2);
+        c.insert(addr(1), true);
+        assert_eq!(c.insert(addr(1), false), InsertOutcome::AlreadyPresent);
+        assert!(c.is_dirty(addr(1)), "refetch must not lose dirtiness");
+    }
+
+    #[test]
+    fn mark_clean_and_dirty_roundtrip() {
+        let mut c = BlockCache::new(2);
+        c.insert(addr(1), true);
+        assert_eq!(c.dirty_len(), 1);
+        assert!(c.mark_clean(addr(1)));
+        assert_eq!(c.dirty_len(), 0);
+        assert!(c.mark_dirty(addr(1)));
+        assert!(c.is_dirty(addr(1)));
+        assert!(!c.mark_dirty(addr(9)));
+        assert!(!c.mark_clean(addr(9)));
+        c.check_invariants();
+    }
+
+    #[test]
+    fn remove_invalidates() {
+        let mut c = BlockCache::new(2);
+        c.insert(addr(1), true);
+        let ev = c.remove(addr(1)).unwrap();
+        assert!(ev.dirty);
+        assert!(!c.contains(addr(1)));
+        assert_eq!(c.remove(addr(1)), None);
+        assert_eq!(c.stats().invalidations, 1);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn zero_capacity_cache_stores_nothing() {
+        let mut c = BlockCache::new(0);
+        assert_eq!(c.insert(addr(1), false), InsertOutcome::ZeroCapacity);
+        assert!(!c.lookup(addr(1)));
+        assert_eq!(c.len(), 0);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn promote_reorders_without_stats() {
+        let mut c = BlockCache::new(2);
+        c.insert(addr(1), false);
+        c.insert(addr(2), false);
+        let before = *c.stats();
+        assert!(c.promote(addr(1)));
+        assert!(!c.promote(addr(9)));
+        assert_eq!(
+            *c.stats(),
+            before,
+            "promote must not touch hit/miss counters"
+        );
+        // 1 is MRU, so 2 is the eviction victim.
+        assert_eq!(c.peek_lru().unwrap().addr, addr(2));
+        c.check_invariants();
+    }
+
+    #[test]
+    fn dirty_blocks_snapshot() {
+        let mut c = BlockCache::new(8);
+        for i in 0..6 {
+            c.insert(addr(i), i % 2 == 0);
+        }
+        let mut dirty = c.dirty_blocks();
+        dirty.sort();
+        assert_eq!(dirty, vec![addr(0), addr(2), addr(4)]);
+    }
+
+    #[test]
+    fn peek_lru_matches_next_eviction() {
+        let mut c = BlockCache::new(2);
+        c.insert(addr(1), true);
+        c.insert(addr(2), false);
+        let peek = c.peek_lru().unwrap();
+        match c.insert(addr(3), false) {
+            InsertOutcome::InsertedEvicting(ev) => assert_eq!(ev, peek),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn len_tracks_inserts_up_to_capacity() {
+        let mut c = BlockCache::new(3);
+        for i in 0..10 {
+            c.insert(addr(i), false);
+            assert!(c.len() <= 3);
+        }
+        assert!(c.is_full());
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.stats().insertions, 10);
+        assert_eq!(c.stats().evictions(), 7);
+        c.check_invariants();
+    }
+
+    mod replacement_policies {
+        use super::*;
+
+        #[test]
+        fn fifo_ignores_hits() {
+            let mut c = BlockCache::with_policy(2, EvictionPolicy::Fifo);
+            c.insert(addr(1), false);
+            c.insert(addr(2), false);
+            assert!(c.lookup(addr(1))); // does not protect 1 under FIFO
+            match c.insert(addr(3), false) {
+                InsertOutcome::InsertedEvicting(ev) => assert_eq!(ev.addr, addr(1)),
+                other => panic!("unexpected {other:?}"),
+            }
+            c.check_invariants();
+        }
+
+        #[test]
+        fn clock_gives_second_chance() {
+            let mut c = BlockCache::with_policy(2, EvictionPolicy::Clock);
+            c.insert(addr(1), false);
+            c.insert(addr(2), false);
+            assert!(c.lookup(addr(1))); // sets 1's reference bit
+                                        // Victim scan: 1 is referenced → spared (bit cleared, rotated);
+                                        // 2 is unreferenced → evicted.
+            match c.insert(addr(3), false) {
+                InsertOutcome::InsertedEvicting(ev) => assert_eq!(ev.addr, addr(2)),
+                other => panic!("unexpected {other:?}"),
+            }
+            assert!(c.contains(addr(1)));
+            c.check_invariants();
+        }
+
+        #[test]
+        fn clock_evicts_oldest_when_all_referenced() {
+            let mut c = BlockCache::with_policy(3, EvictionPolicy::Clock);
+            for i in 1..=3 {
+                c.insert(addr(i), false);
+                assert!(c.lookup(addr(i)));
+            }
+            // All referenced: one full rotation clears every bit, then the
+            // oldest (1) is the first unreferenced victim.
+            match c.insert(addr(4), false) {
+                InsertOutcome::InsertedEvicting(ev) => assert_eq!(ev.addr, addr(1)),
+                other => panic!("unexpected {other:?}"),
+            }
+            c.check_invariants();
+        }
+
+        #[test]
+        fn lru_beats_fifo_on_skewed_access() {
+            // A hot block re-referenced between streams survives under LRU
+            // and CLOCK but not under FIFO: hit counts order LRU ≥ CLOCK > FIFO.
+            let run = |policy| {
+                let mut c = BlockCache::with_policy(8, policy);
+                let mut hits = 0u64;
+                for round in 0..200u32 {
+                    if c.lookup(addr(0)) {
+                        hits += 1;
+                    }
+                    c.insert(addr(0), false);
+                    for i in 0..4 {
+                        let a = addr(1 + (round * 4 + i) % 40);
+                        c.lookup(a);
+                        c.insert(a, false);
+                    }
+                }
+                c.check_invariants();
+                hits
+            };
+            let lru = run(EvictionPolicy::Lru);
+            let clock = run(EvictionPolicy::Clock);
+            let fifo = run(EvictionPolicy::Fifo);
+            assert!(lru >= clock, "lru {lru} vs clock {clock}");
+            assert!(clock > fifo, "clock {clock} vs fifo {fifo}");
+        }
+
+        #[test]
+        fn policies_share_dirty_semantics() {
+            for policy in [
+                EvictionPolicy::Lru,
+                EvictionPolicy::Fifo,
+                EvictionPolicy::Clock,
+            ] {
+                let mut c = BlockCache::with_policy(1, policy);
+                c.insert(addr(1), true);
+                match c.insert(addr(2), false) {
+                    InsertOutcome::InsertedEvicting(ev) => {
+                        assert!(ev.dirty, "{policy:?} must report dirty victim");
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+                c.check_invariants();
+            }
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+        use std::collections::VecDeque;
+
+        #[derive(Debug, Clone)]
+        enum Op {
+            Lookup(u32),
+            Insert(u32, bool),
+            MarkClean(u32),
+            Remove(u32),
+        }
+
+        fn op_strategy() -> impl Strategy<Value = Op> {
+            let key = 0u32..24;
+            prop_oneof![
+                key.clone().prop_map(Op::Lookup),
+                (key.clone(), any::<bool>()).prop_map(|(k, d)| Op::Insert(k, d)),
+                key.clone().prop_map(Op::MarkClean),
+                key.prop_map(Op::Remove),
+            ]
+        }
+
+        /// Reference model: VecDeque of (key, dirty), front = MRU.
+        struct Model {
+            cap: usize,
+            q: VecDeque<(u32, bool)>,
+        }
+
+        impl Model {
+            fn lookup(&mut self, k: u32) -> bool {
+                if let Some(p) = self.q.iter().position(|&(x, _)| x == k) {
+                    let e = self.q.remove(p).unwrap();
+                    self.q.push_front(e);
+                    true
+                } else {
+                    false
+                }
+            }
+
+            fn insert(&mut self, k: u32, d: bool) -> Option<(u32, bool)> {
+                if let Some(p) = self.q.iter().position(|&(x, _)| x == k) {
+                    let mut e = self.q.remove(p).unwrap();
+                    e.1 |= d;
+                    self.q.push_front(e);
+                    return None;
+                }
+                let evicted = if self.q.len() >= self.cap {
+                    self.q.pop_back()
+                } else {
+                    None
+                };
+                self.q.push_front((k, d));
+                evicted
+            }
+        }
+
+        proptest! {
+            #[test]
+            fn matches_reference_model(
+                cap in 1usize..8,
+                ops in proptest::collection::vec(op_strategy(), 0..300),
+            ) {
+                let mut sut = BlockCache::new(cap);
+                let mut model = Model { cap, q: VecDeque::new() };
+                for op in ops {
+                    match op {
+                        Op::Lookup(k) => {
+                            prop_assert_eq!(sut.lookup(addr(k)), model.lookup(k));
+                        }
+                        Op::Insert(k, d) => {
+                            let expect = model.insert(k, d);
+                            match (sut.insert(addr(k), d), expect) {
+                                (InsertOutcome::InsertedEvicting(ev), Some((mk, md))) => {
+                                    prop_assert_eq!(ev.addr, addr(mk));
+                                    prop_assert_eq!(ev.dirty, md);
+                                }
+                                (InsertOutcome::Inserted, None) => {}
+                                (InsertOutcome::AlreadyPresent, None) => {}
+                                (got, want) => {
+                                    return Err(TestCaseError::fail(
+                                        format!("insert mismatch: sut={got:?} model={want:?}")));
+                                }
+                            }
+                        }
+                        Op::MarkClean(k) => {
+                            let in_model = model.q.iter_mut().find(|(x, _)| *x == k);
+                            let expect = in_model.map(|e| { e.1 = false; true }).unwrap_or(false);
+                            prop_assert_eq!(sut.mark_clean(addr(k)), expect);
+                        }
+                        Op::Remove(k) => {
+                            let expect = model.q.iter().position(|&(x, _)| x == k)
+                                .map(|p| model.q.remove(p).unwrap());
+                            let got = sut.remove(addr(k));
+                            prop_assert_eq!(got.map(|e| (e.addr, e.dirty)),
+                                            expect.map(|(k, d)| (addr(k), d)));
+                        }
+                    }
+                    sut.check_invariants();
+                    prop_assert_eq!(sut.len(), model.q.len());
+                    prop_assert_eq!(
+                        sut.iter_mru().collect::<Vec<_>>(),
+                        model.q.iter().map(|&(k, d)| (addr(k), d)).collect::<Vec<_>>()
+                    );
+                }
+            }
+        }
+    }
+}

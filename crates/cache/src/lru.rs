@@ -1,0 +1,445 @@
+//! Slab-backed doubly-linked LRU list.
+//!
+//! All operations are O(1). Node handles ([`NodeId`]) stay valid until the
+//! node is removed; the slab recycles slots through a free list.
+
+use core::fmt;
+
+/// Sentinel meaning "no node".
+const NIL: u32 = u32::MAX;
+
+/// Handle to a node in an [`LruList`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+struct Node<T> {
+    prev: u32,
+    next: u32,
+    /// `None` for free slots.
+    value: Option<T>,
+}
+
+/// A doubly-linked list ordered most-recently-used first.
+///
+/// # Examples
+///
+/// ```
+/// use fcache_cache::LruList;
+///
+/// let mut l = LruList::new();
+/// let a = l.push_front("a");
+/// let _b = l.push_front("b");
+/// l.touch(a); // "a" becomes MRU
+/// assert_eq!(l.pop_back(), Some("b"));
+/// assert_eq!(l.pop_back(), Some("a"));
+/// assert_eq!(l.pop_back(), None);
+/// ```
+pub struct LruList<T> {
+    nodes: Vec<Node<T>>,
+    free: Vec<u32>,
+    head: u32,
+    tail: u32,
+    len: usize,
+}
+
+impl<T> Default for LruList<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> LruList<T> {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        Self {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// Creates an empty list with room for `cap` nodes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            nodes: Vec::with_capacity(cap),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no live nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn alloc(&mut self, value: T) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            let n = &mut self.nodes[idx as usize];
+            debug_assert!(n.value.is_none(), "free-list slot still occupied");
+            n.value = Some(value);
+            idx
+        } else {
+            self.nodes.push(Node {
+                prev: NIL,
+                next: NIL,
+                value: Some(value),
+            });
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    fn link_front(&mut self, idx: u32) {
+        self.nodes[idx as usize].prev = NIL;
+        self.nodes[idx as usize].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head as usize].prev = idx;
+        } else {
+            self.tail = idx;
+        }
+        self.head = idx;
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let n = &self.nodes[idx as usize];
+            (n.prev, n.next)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    /// Inserts a value at the MRU end; returns its handle.
+    pub fn push_front(&mut self, value: T) -> NodeId {
+        let idx = self.alloc(value);
+        self.link_front(idx);
+        self.len += 1;
+        NodeId(idx)
+    }
+
+    /// Inserts a value at the LRU end; returns its handle.
+    ///
+    /// Used to seed a cache with frames that should be consumed first.
+    pub fn push_back(&mut self, value: T) -> NodeId {
+        let idx = self.alloc(value);
+        // Link at tail.
+        self.nodes[idx as usize].next = NIL;
+        self.nodes[idx as usize].prev = self.tail;
+        if self.tail != NIL {
+            self.nodes[self.tail as usize].next = idx;
+        } else {
+            self.head = idx;
+        }
+        self.tail = idx;
+        self.len += 1;
+        NodeId(idx)
+    }
+
+    /// Moves a node to the MRU end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a live node.
+    pub fn touch(&mut self, id: NodeId) {
+        assert!(self.nodes[id.index()].value.is_some(), "touch of dead node");
+        if self.head == id.0 {
+            return;
+        }
+        self.unlink(id.0);
+        self.link_front(id.0);
+    }
+
+    /// Removes and returns the LRU value.
+    pub fn pop_back(&mut self) -> Option<T> {
+        if self.tail == NIL {
+            return None;
+        }
+        let idx = self.tail;
+        self.remove(NodeId(idx))
+    }
+
+    /// Handle of the LRU node, if any.
+    pub fn back(&self) -> Option<NodeId> {
+        if self.tail == NIL {
+            None
+        } else {
+            Some(NodeId(self.tail))
+        }
+    }
+
+    /// Handle of the MRU node, if any.
+    pub fn front(&self) -> Option<NodeId> {
+        if self.head == NIL {
+            None
+        } else {
+            Some(NodeId(self.head))
+        }
+    }
+
+    /// Removes a node, returning its value.
+    ///
+    /// Returns `None` if the node was already removed.
+    pub fn remove(&mut self, id: NodeId) -> Option<T> {
+        let value = self.nodes.get_mut(id.index())?.value.take()?;
+        self.unlink(id.0);
+        self.free.push(id.0);
+        self.len -= 1;
+        Some(value)
+    }
+
+    /// Borrows a node's value.
+    pub fn get(&self, id: NodeId) -> Option<&T> {
+        self.nodes.get(id.index())?.value.as_ref()
+    }
+
+    /// Mutably borrows a node's value.
+    pub fn get_mut(&mut self, id: NodeId) -> Option<&mut T> {
+        self.nodes.get_mut(id.index())?.value.as_mut()
+    }
+
+    /// Iterates values from MRU to LRU.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter {
+            list: self,
+            cur: self.head,
+        }
+    }
+
+    /// Removes every node.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.len = 0;
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for LruList<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+/// Iterator over an [`LruList`], MRU to LRU.
+pub struct Iter<'a, T> {
+    list: &'a LruList<T>,
+    cur: u32,
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        if self.cur == NIL {
+            return None;
+        }
+        let n = &self.list.nodes[self.cur as usize];
+        self.cur = n.next;
+        n.value.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_touch_pop_order() {
+        let mut l = LruList::new();
+        let a = l.push_front(1);
+        let _b = l.push_front(2);
+        let _c = l.push_front(3);
+        l.touch(a);
+        assert_eq!(l.iter().copied().collect::<Vec<_>>(), vec![1, 3, 2]);
+        assert_eq!(l.pop_back(), Some(2));
+        assert_eq!(l.pop_back(), Some(3));
+        assert_eq!(l.pop_back(), Some(1));
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn push_back_seeds_lru_end() {
+        let mut l = LruList::new();
+        l.push_front("mru");
+        l.push_back("lru");
+        assert_eq!(l.pop_back(), Some("lru"));
+        assert_eq!(l.pop_back(), Some("mru"));
+    }
+
+    #[test]
+    fn remove_middle() {
+        let mut l = LruList::new();
+        let _a = l.push_front(1);
+        let b = l.push_front(2);
+        let _c = l.push_front(3);
+        assert_eq!(l.remove(b), Some(2));
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.iter().copied().collect::<Vec<_>>(), vec![3, 1]);
+        // Double remove is a no-op.
+        assert_eq!(l.remove(b), None);
+    }
+
+    #[test]
+    fn slot_reuse_after_remove() {
+        let mut l = LruList::new();
+        let a = l.push_front(1);
+        l.remove(a);
+        let b = l.push_front(2);
+        // Slot is recycled.
+        assert_eq!(a.0, b.0);
+        assert_eq!(l.get(b), Some(&2));
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn touch_head_is_noop() {
+        let mut l = LruList::new();
+        let _a = l.push_front(1);
+        let b = l.push_front(2);
+        l.touch(b);
+        assert_eq!(l.iter().copied().collect::<Vec<_>>(), vec![2, 1]);
+    }
+
+    #[test]
+    fn touch_tail_moves_to_front() {
+        let mut l = LruList::new();
+        let a = l.push_front(1);
+        let _b = l.push_front(2);
+        l.touch(a);
+        assert_eq!(l.front().unwrap(), a);
+        assert_eq!(l.get(l.back().unwrap()), Some(&2));
+    }
+
+    #[test]
+    fn get_mut_updates_value() {
+        let mut l = LruList::new();
+        let a = l.push_front(10);
+        *l.get_mut(a).unwrap() += 5;
+        assert_eq!(l.get(a), Some(&15));
+    }
+
+    #[test]
+    fn single_element_edge_cases() {
+        let mut l = LruList::new();
+        assert_eq!(l.pop_back(), Option::<i32>::None);
+        assert!(l.front().is_none() && l.back().is_none());
+        let a = l.push_front(9);
+        assert_eq!(l.front(), Some(a));
+        assert_eq!(l.back(), Some(a));
+        l.touch(a);
+        assert_eq!(l.pop_back(), Some(9));
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut l = LruList::new();
+        l.push_front(1);
+        l.push_front(2);
+        l.clear();
+        assert!(l.is_empty());
+        assert_eq!(l.pop_back(), Option::<i32>::None);
+        l.push_front(3);
+        assert_eq!(l.len(), 1);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+        use std::collections::VecDeque;
+
+        /// Reference model: VecDeque front = MRU.
+        #[derive(Debug, Clone)]
+        enum Op {
+            Push,
+            TouchNth(usize),
+            RemoveNth(usize),
+            PopBack,
+        }
+
+        fn op_strategy() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                Just(Op::Push),
+                (0usize..64).prop_map(Op::TouchNth),
+                (0usize..64).prop_map(Op::RemoveNth),
+                Just(Op::PopBack),
+            ]
+        }
+
+        proptest! {
+            #[test]
+            fn matches_reference_model(ops in proptest::collection::vec(op_strategy(), 0..200)) {
+                let mut sut = LruList::new();
+                let mut ids: Vec<(u32, NodeId)> = Vec::new(); // value -> live node handle
+                let mut model: VecDeque<u32> = VecDeque::new();
+                // Values are made unique so model order maps 1:1 onto nodes.
+                let mut next_val = 0u32;
+
+                for op in ops {
+                    match op {
+                        Op::Push => {
+                            let v = next_val;
+                            next_val += 1;
+                            let id = sut.push_front(v);
+                            ids.push((v, id));
+                            model.push_front(v);
+                        }
+                        Op::TouchNth(n) => {
+                            if !model.is_empty() {
+                                let n = n % model.len();
+                                let v = model.remove(n).unwrap();
+                                model.push_front(v);
+                                // Find a matching live id for value v.
+                                let (_, id) = *ids.iter().find(|(val, id)| *val == v && sut.get(*id) == Some(&v)).unwrap();
+                                sut.touch(id);
+                            }
+                        }
+                        Op::RemoveNth(n) => {
+                            if !model.is_empty() {
+                                let n = n % model.len();
+                                let v = model.remove(n).unwrap();
+                                let pos = ids.iter().position(|(val, id)| *val == v && sut.get(*id) == Some(&v)).unwrap();
+                                let (_, id) = ids.remove(pos);
+                                prop_assert_eq!(sut.remove(id), Some(v));
+                            }
+                        }
+                        Op::PopBack => {
+                            let expect = model.pop_back();
+                            let got = sut.pop_back();
+                            prop_assert_eq!(got, expect);
+                            if let Some(v) = expect {
+                                let pos = ids.iter().position(|(val, id)| *val == v && sut.get(*id).is_none()).or_else(|| ids.iter().position(|(val, _)| *val == v));
+                                if let Some(p) = pos { ids.remove(p); }
+                            }
+                        }
+                    }
+                    prop_assert_eq!(sut.len(), model.len());
+                    prop_assert_eq!(sut.iter().copied().collect::<Vec<_>>(), model.iter().copied().collect::<Vec<_>>());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Per-cache counters.
+
+use core::ops::AddAssign;
+
+/// Counters maintained by a cache data structure.
+///
+/// All counts are in blocks (the caches operate on single 4 KB blocks).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the block.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Blocks inserted.
+    pub insertions: u64,
+    /// Blocks evicted to make room (clean).
+    pub clean_evictions: u64,
+    /// Blocks evicted to make room while dirty (caller had to write back).
+    pub dirty_evictions: u64,
+    /// Blocks removed by explicit invalidation.
+    pub invalidations: u64,
+    /// Writes absorbed by an already-cached block (overwrite in place).
+    pub overwrites: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in [0, 1]; zero when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let n = self.lookups();
+        if n == 0 {
+            0.0
+        } else {
+            self.hits as f64 / n as f64
+        }
+    }
+
+    /// Total evictions (clean + dirty).
+    pub fn evictions(&self) -> u64 {
+        self.clean_evictions + self.dirty_evictions
+    }
+
+    /// Resets every counter to zero (used at the end of trace warmup).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+impl AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.hits += rhs.hits;
+        self.misses += rhs.misses;
+        self.insertions += rhs.insertions;
+        self.clean_evictions += rhs.clean_evictions;
+        self.dirty_evictions += rhs.dirty_evictions;
+        self.invalidations += rhs.invalidations;
+        self.overwrites += rhs.overwrites;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.hit_rate(), 0.75);
+        assert_eq!(s.lookups(), 4);
+    }
+
+    #[test]
+    fn add_assign_sums_fields() {
+        let mut a = CacheStats {
+            hits: 1,
+            dirty_evictions: 2,
+            ..Default::default()
+        };
+        let b = CacheStats {
+            hits: 4,
+            clean_evictions: 1,
+            ..Default::default()
+        };
+        a += b;
+        assert_eq!(a.hits, 5);
+        assert_eq!(a.evictions(), 3);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut s = CacheStats {
+            hits: 9,
+            ..Default::default()
+        };
+        s.reset();
+        assert_eq!(s, CacheStats::default());
+    }
+}

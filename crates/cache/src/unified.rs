@@ -1,0 +1,585 @@
+//! The *unified* architecture's cache: one LRU chain over RAM and flash
+//! frames.
+//!
+//! From §3.3 of the paper: "RAM and flash are managed together using a
+//! single LRU chain. Data blocks are placed into the least recently used
+//! buffer, whether RAM or flash, and are never migrated. No attempt is made
+//! to prefer RAM to flash. Here the RAM cache is not a subset of the flash."
+//!
+//! The chain is a chain of *frames*. A frame physically lives in one
+//! medium forever; what changes is which block occupies it and where it sits
+//! in the recency order. The effective capacity is the *sum* of the two
+//! tiers (72 GB for the baseline 8 GB RAM + 64 GB flash), which is the
+//! source of the unified architecture's read-latency advantage (§7.1).
+
+use std::collections::{HashMap, HashSet};
+
+use fcache_types::BlockAddr;
+
+use crate::lru::{LruList, NodeId};
+use crate::stats::CacheStats;
+
+/// Which physical medium a frame lives in.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Medium {
+    /// DRAM frame.
+    Ram,
+    /// Flash frame.
+    Flash,
+}
+
+/// A frame in the unified chain.
+#[derive(Clone, Copy, Debug)]
+struct Frame {
+    medium: Medium,
+    /// Block currently held (None = free frame).
+    block: Option<BlockAddr>,
+    dirty: bool,
+}
+
+/// Block evicted by a unified insert.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct UnifiedEviction {
+    /// The displaced block.
+    pub addr: BlockAddr,
+    /// Medium it lived in (its writeback, if dirty, reads from this medium).
+    pub medium: Medium,
+    /// True if the caller must write the block back.
+    pub dirty: bool,
+}
+
+/// Result of [`UnifiedCache::insert`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct UnifiedInsert {
+    /// Medium of the frame the new block landed in (the write/fill pays
+    /// this medium's latency).
+    pub medium: Medium,
+    /// Block displaced from that frame, if it held one.
+    pub evicted: Option<UnifiedEviction>,
+    /// True if the block was already cached (promoted in place; `medium` is
+    /// the frame it already occupied).
+    pub already_present: bool,
+}
+
+/// One LRU chain over RAM + flash frames.
+///
+/// # Examples
+///
+/// ```
+/// use fcache_cache::{Medium, UnifiedCache};
+/// use fcache_types::{BlockAddr, FileId};
+///
+/// // 1 RAM frame + 3 flash frames = capacity 4.
+/// let mut c = UnifiedCache::new(1, 3);
+/// assert_eq!(c.capacity(), 4);
+/// let ins = c.insert(BlockAddr::new(FileId(0), 0), false);
+/// assert!(ins.evicted.is_none());
+/// ```
+pub struct UnifiedCache {
+    map: HashMap<u64, NodeId>,
+    lru: LruList<Frame>,
+    dirty: HashSet<u64>,
+    ram_frames: usize,
+    flash_frames: usize,
+    stats: CacheStats,
+}
+
+impl UnifiedCache {
+    /// Creates a unified cache with the given frame counts.
+    ///
+    /// Free frames are seeded at the LRU end, interleaved proportionally
+    /// (roughly one RAM frame per `flash/ram` flash frames) so that fills
+    /// draw from both media in the steady-state ratio rather than consuming
+    /// one medium wholesale first. "No attempt is made to prefer RAM to
+    /// flash" (§3.3).
+    pub fn new(ram_frames: usize, flash_frames: usize) -> Self {
+        let total = ram_frames + flash_frames;
+        let mut lru = LruList::with_capacity(total.min(1 << 22));
+        // Interleave: walk both tallies with an error accumulator
+        // (Bresenham-style) for a deterministic proportional mix.
+        let mut ram_left = ram_frames;
+        let mut flash_left = flash_frames;
+        let mut acc: i64 = 0;
+        for _ in 0..total {
+            let medium = if ram_left == 0 {
+                Medium::Flash
+            } else if flash_left == 0 {
+                Medium::Ram
+            } else {
+                acc += ram_frames as i64;
+                if acc >= total as i64 {
+                    acc -= total as i64;
+                    Medium::Ram
+                } else {
+                    Medium::Flash
+                }
+            };
+            match medium {
+                Medium::Ram => ram_left -= 1,
+                Medium::Flash => flash_left -= 1,
+            }
+            lru.push_back(Frame {
+                medium,
+                block: None,
+                dirty: false,
+            });
+        }
+        Self {
+            map: HashMap::with_capacity(total.min(1 << 22)),
+            lru,
+            dirty: HashSet::new(),
+            ram_frames,
+            flash_frames,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Total frame count (RAM + flash) — the effective capacity in blocks.
+    pub fn capacity(&self) -> usize {
+        self.ram_frames + self.flash_frames
+    }
+
+    /// RAM frame count.
+    pub fn ram_frames(&self) -> usize {
+        self.ram_frames
+    }
+
+    /// Flash frame count.
+    pub fn flash_frames(&self) -> usize {
+        self.flash_frames
+    }
+
+    /// Number of blocks currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no blocks are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of dirty blocks.
+    pub fn dirty_len(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Statistics counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets the statistics counters.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Looks a block up; on a hit promotes its frame and returns the medium
+    /// (the read pays that medium's latency).
+    pub fn lookup(&mut self, addr: BlockAddr) -> Option<Medium> {
+        match self.map.get(&addr.to_u64()) {
+            Some(&id) => {
+                self.lru.touch(id);
+                self.stats.hits += 1;
+                Some(self.lru.get(id).expect("mapped frame lives").medium)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// True if the block is cached; no promotion, no statistics.
+    pub fn contains(&self, addr: BlockAddr) -> bool {
+        self.map.contains_key(&addr.to_u64())
+    }
+
+    /// Medium of a cached block without promoting it.
+    pub fn medium_of(&self, addr: BlockAddr) -> Option<Medium> {
+        self.map
+            .get(&addr.to_u64())
+            .map(|&id| self.lru.get(id).expect("mapped frame lives").medium)
+    }
+
+    /// True if the block is cached and dirty.
+    pub fn is_dirty(&self, addr: BlockAddr) -> bool {
+        self.dirty.contains(&addr.to_u64())
+    }
+
+    /// Inserts (or overwrites) a block.
+    ///
+    /// A new block takes the least-recently-used *frame*, whatever medium
+    /// it is, displacing that frame's previous occupant. An existing block
+    /// is promoted in place (blocks never migrate between media).
+    pub fn insert(&mut self, addr: BlockAddr, dirty: bool) -> UnifiedInsert {
+        let key = addr.to_u64();
+        if let Some(&id) = self.map.get(&key) {
+            self.lru.touch(id);
+            let medium = {
+                let f = self.lru.get_mut(id).expect("mapped frame lives");
+                if dirty {
+                    f.dirty = true;
+                }
+                f.medium
+            };
+            if dirty {
+                self.stats.overwrites += 1;
+                self.dirty.insert(key);
+            }
+            return UnifiedInsert {
+                medium,
+                evicted: None,
+                already_present: true,
+            };
+        }
+
+        let victim_id = self
+            .lru
+            .back()
+            .expect("unified cache has at least one frame");
+        let (medium, evicted) = {
+            let f = self.lru.get_mut(victim_id).expect("tail frame lives");
+            let medium = f.medium;
+            let evicted = f.block.take().map(|old| UnifiedEviction {
+                addr: old,
+                medium,
+                dirty: f.dirty,
+            });
+            f.block = Some(addr);
+            f.dirty = dirty;
+            (medium, evicted)
+        };
+        if let Some(ev) = &evicted {
+            let old_key = ev.addr.to_u64();
+            self.map.remove(&old_key);
+            let was_dirty = self.dirty.remove(&old_key);
+            debug_assert_eq!(was_dirty, ev.dirty);
+            if ev.dirty {
+                self.stats.dirty_evictions += 1;
+            } else {
+                self.stats.clean_evictions += 1;
+            }
+        }
+        self.lru.touch(victim_id);
+        self.map.insert(key, victim_id);
+        if dirty {
+            self.dirty.insert(key);
+        }
+        self.stats.insertions += 1;
+        UnifiedInsert {
+            medium,
+            evicted,
+            already_present: false,
+        }
+    }
+
+    /// Marks a cached block clean (after its writeback completes).
+    pub fn mark_clean(&mut self, addr: BlockAddr) -> bool {
+        let key = addr.to_u64();
+        match self.map.get(&key) {
+            Some(&id) => {
+                self.lru.get_mut(id).expect("mapped frame lives").dirty = false;
+                self.dirty.remove(&key);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes a block (consistency invalidation). The frame stays in the
+    /// chain as a free frame at its current recency position.
+    pub fn remove(&mut self, addr: BlockAddr) -> Option<UnifiedEviction> {
+        let key = addr.to_u64();
+        let id = self.map.remove(&key)?;
+        let f = self.lru.get_mut(id).expect("mapped frame lives");
+        let medium = f.medium;
+        let dirty = f.dirty;
+        f.block = None;
+        f.dirty = false;
+        self.dirty.remove(&key);
+        self.stats.invalidations += 1;
+        Some(UnifiedEviction {
+            addr,
+            medium,
+            dirty,
+        })
+    }
+
+    /// Snapshot of dirty blocks and the medium each lives in, sorted by
+    /// address (deterministic flush order; hash-set iteration order is
+    /// randomized per instance).
+    pub fn dirty_blocks(&self) -> Vec<(BlockAddr, Medium)> {
+        let mut v: Vec<(BlockAddr, Medium)> = self
+            .dirty
+            .iter()
+            .map(|&k| {
+                let addr = BlockAddr::from_u64(k);
+                let medium = self.medium_of(addr).expect("dirty block must be mapped");
+                (addr, medium)
+            })
+            .collect();
+        v.sort_unstable_by_key(|(a, _)| *a);
+        v
+    }
+
+    /// Verifies internal invariants; test support.
+    ///
+    /// # Panics
+    ///
+    /// Panics if frame accounting or the dirty set is inconsistent.
+    pub fn check_invariants(&self) {
+        assert_eq!(
+            self.lru.len(),
+            self.capacity(),
+            "frame count must never change"
+        );
+        let mut ram = 0;
+        let mut flash = 0;
+        let mut occupied = 0;
+        let mut dirty = 0;
+        for f in self.lru.iter() {
+            match f.medium {
+                Medium::Ram => ram += 1,
+                Medium::Flash => flash += 1,
+            }
+            if let Some(b) = f.block {
+                occupied += 1;
+                assert!(
+                    self.map.contains_key(&b.to_u64()),
+                    "occupied frame not mapped"
+                );
+                assert_eq!(
+                    self.dirty.contains(&b.to_u64()),
+                    f.dirty,
+                    "dirty set mismatch"
+                );
+                dirty += usize::from(f.dirty);
+            } else {
+                assert!(!f.dirty, "free frame cannot be dirty");
+            }
+        }
+        assert_eq!(ram, self.ram_frames, "RAM frames leaked");
+        assert_eq!(flash, self.flash_frames, "flash frames leaked");
+        assert_eq!(occupied, self.map.len(), "map size mismatch");
+        assert_eq!(dirty, self.dirty.len(), "dirty count mismatch");
+    }
+}
+
+impl std::fmt::Debug for UnifiedCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UnifiedCache")
+            .field("ram_frames", &self.ram_frames)
+            .field("flash_frames", &self.flash_frames)
+            .field("len", &self.len())
+            .field("dirty", &self.dirty_len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcache_types::FileId;
+
+    fn addr(n: u32) -> BlockAddr {
+        BlockAddr::new(FileId(0), n)
+    }
+
+    #[test]
+    fn capacity_is_sum_of_tiers() {
+        let c = UnifiedCache::new(2, 16);
+        assert_eq!(c.capacity(), 18);
+        assert_eq!(c.ram_frames(), 2);
+        assert_eq!(c.flash_frames(), 16);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn fills_both_media_proportionally() {
+        let mut c = UnifiedCache::new(2, 16);
+        let mut ram = 0;
+        for i in 0..9 {
+            let ins = c.insert(addr(i), false);
+            assert!(!ins.already_present);
+            assert!(ins.evicted.is_none());
+            if ins.medium == Medium::Ram {
+                ram += 1;
+            }
+        }
+        // Half the cache filled: roughly half the RAM frames used, i.e. the
+        // interleave mixed RAM in rather than front- or back-loading it.
+        assert_eq!(ram, 1, "expected ~1 of 2 RAM frames after 9 of 18 fills");
+        c.check_invariants();
+    }
+
+    #[test]
+    fn blocks_never_migrate() {
+        let mut c = UnifiedCache::new(1, 3);
+        c.insert(addr(0), false);
+        let m0 = c.medium_of(addr(0)).unwrap();
+        for i in 1..4 {
+            c.insert(addr(i), false);
+        }
+        // Promote block 0 many times; medium must not change.
+        for _ in 0..10 {
+            assert_eq!(c.lookup(addr(0)), Some(m0));
+        }
+        c.check_invariants();
+    }
+
+    #[test]
+    fn full_cache_evicts_lru_frame_occupant() {
+        let mut c = UnifiedCache::new(1, 2);
+        c.insert(addr(0), false);
+        c.insert(addr(1), false);
+        c.insert(addr(2), true);
+        // All frames full; LRU block is 0.
+        let ins = c.insert(addr(3), false);
+        let ev = ins.evicted.expect("must evict");
+        assert_eq!(ev.addr, addr(0));
+        assert!(!ev.dirty);
+        // New block landed in the frame block 0 occupied.
+        assert_eq!(ins.medium, ev.medium);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn dirty_eviction_reports_medium_and_dirty() {
+        let mut c = UnifiedCache::new(0, 1);
+        c.insert(addr(0), true);
+        let ins = c.insert(addr(1), false);
+        let ev = ins.evicted.unwrap();
+        assert_eq!(ev.addr, addr(0));
+        assert_eq!(ev.medium, Medium::Flash);
+        assert!(ev.dirty);
+        assert_eq!(c.stats().dirty_evictions, 1);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn overwrite_in_place_keeps_medium() {
+        let mut c = UnifiedCache::new(1, 1);
+        let first = c.insert(addr(0), false);
+        let again = c.insert(addr(0), true);
+        assert!(again.already_present);
+        assert_eq!(again.medium, first.medium);
+        assert!(c.is_dirty(addr(0)));
+        assert_eq!(c.len(), 1);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn remove_frees_frame_without_losing_it() {
+        let mut c = UnifiedCache::new(1, 1);
+        c.insert(addr(0), true);
+        c.insert(addr(1), false);
+        let ev = c.remove(addr(0)).unwrap();
+        assert!(ev.dirty);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.capacity(), 2);
+        // The freed frame is reused by the next insert without eviction.
+        let ins = c.insert(addr(2), false);
+        assert!(ins.evicted.is_none() || ins.evicted.unwrap().addr != addr(0));
+        c.check_invariants();
+    }
+
+    #[test]
+    fn mark_clean_clears_dirty() {
+        let mut c = UnifiedCache::new(1, 1);
+        c.insert(addr(0), true);
+        assert_eq!(c.dirty_len(), 1);
+        assert!(c.mark_clean(addr(0)));
+        assert_eq!(c.dirty_len(), 0);
+        assert!(!c.mark_clean(addr(5)));
+        c.check_invariants();
+    }
+
+    #[test]
+    fn steady_state_insert_medium_ratio_tracks_frame_ratio() {
+        // 1:8 RAM:flash — like the paper's 8 GB RAM + 64 GB flash. In steady
+        // state (cache full, uniform random access) roughly 8/9 of new
+        // inserts should land in flash (source of the 8/9 × flash-write
+        // latency result in §7.1).
+        let mut c = UnifiedCache::new(64, 512);
+        let mut n = 0u32;
+        // Fill.
+        for _ in 0..c.capacity() {
+            c.insert(addr(n), false);
+            n += 1;
+        }
+        let mut flash_hits = 0;
+        let total = 2000;
+        for _ in 0..total {
+            let ins = c.insert(addr(n), false);
+            n += 1;
+            assert!(ins.evicted.is_some());
+            if ins.medium == Medium::Flash {
+                flash_hits += 1;
+            }
+        }
+        let frac = flash_hits as f64 / total as f64;
+        assert!(
+            (frac - 8.0 / 9.0).abs() < 0.05,
+            "flash placement fraction {frac} should be near 8/9"
+        );
+        c.check_invariants();
+    }
+
+    #[test]
+    fn dirty_blocks_reports_media() {
+        let mut c = UnifiedCache::new(1, 1);
+        c.insert(addr(0), true);
+        c.insert(addr(1), true);
+        let mut media: Vec<_> = c.dirty_blocks().into_iter().map(|(_, m)| m).collect();
+        media.sort_by_key(|m| *m == Medium::Flash);
+        assert_eq!(media, vec![Medium::Ram, Medium::Flash]);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn invariants_hold_under_random_ops(
+                ram in 0usize..4,
+                flash in 1usize..12,
+                ops in proptest::collection::vec((0u32..32, any::<bool>(), 0u8..4), 0..300),
+            ) {
+                let mut c = UnifiedCache::new(ram, flash);
+                for (k, d, sel) in ops {
+                    match sel {
+                        0 => { c.lookup(addr(k)); }
+                        1 => { c.insert(addr(k), d); }
+                        2 => { c.remove(addr(k)); }
+                        _ => { c.mark_clean(addr(k)); }
+                    }
+                    c.check_invariants();
+                    prop_assert!(c.len() <= c.capacity());
+                }
+            }
+
+            #[test]
+            fn media_never_change_for_resident_blocks(
+                ops in proptest::collection::vec((0u32..16, any::<bool>()), 1..200),
+            ) {
+                let mut c = UnifiedCache::new(2, 6);
+                let mut known: std::collections::HashMap<u32, Medium> = Default::default();
+                for (k, d) in ops {
+                    let before = c.medium_of(addr(k));
+                    let ins = c.insert(addr(k), d);
+                    if let Some(ev) = ins.evicted {
+                        known.remove(&ev.addr.block);
+                    }
+                    if let Some(m) = before {
+                        prop_assert!(ins.already_present);
+                        prop_assert_eq!(ins.medium, m);
+                    }
+                    known.insert(k, ins.medium);
+                    prop_assert_eq!(c.medium_of(addr(k)), Some(ins.medium));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! Subcommand implementations.
+
+use std::error::Error;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use fcache::{Architecture, SimConfig, Workbench, WorkloadSpec, WritebackPolicy};
+use fcache_types::{ByteSize, Trace};
+
+use crate::args::{ArgError, Flags};
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+const USAGE: &str = "\
+fcsim — client-side flash-cache simulator (USENIX ATC '13 reproduction)
+
+USAGE:
+  fcsim run [flags]          run one configuration against a generated workload
+  fcsim table1               print the Table 1 timing parameters
+  fcsim gen-trace [flags]    generate a trace file (--out required)
+  fcsim trace-stats --in F   summarize a trace file
+  fcsim trace-dump --in F    print trace records as text (--limit N, default 20)
+  fcsim replay [flags]       run a configuration against a trace file (--in)
+  fcsim help                 this text
+
+COMMON FLAGS (run / replay):
+  --arch naive|lookaside|unified   cache architecture        [naive]
+  --ram SIZE                       RAM cache size            [8G]
+  --flash SIZE                     flash cache size          [64G]
+  --ram-policy s|a|pN|n            RAM writeback policy      [p1]
+  --flash-policy s|a|pN|n          flash writeback policy    [a]
+  --prefetch RATE                  filer fast-read rate      [0.9]
+  --persistent                     persistent (recoverable) flash metadata
+  --duplex                         full-duplex network segments
+  --scale N                        divide all byte sizes by N [64]
+  --seed N                         RNG seed                  [42]
+
+WORKLOAD FLAGS (run / gen-trace):
+  --ws SIZE                        working-set size (paper scale) [80G]
+  --write-pct P                    write percentage          [30]
+  --hosts N                        number of hosts           [1]
+  --ws-count N                     distinct working sets     [1]
+  --skip-warmup                    drop the warmup half (crash-at-start)
+
+Sizes accept 4096, 256K, 8G, 1.5G forms. At --scale N every byte size
+(model, working set, caches) is divided by N; latencies are unchanged, so
+curve shapes match paper scale (DESIGN.md §4).";
+
+/// Dispatches a command line.
+pub fn dispatch(argv: &[String]) -> CmdResult {
+    match argv.first().map(|s| s.as_str()) {
+        None | Some("help") | Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some("run") => cmd_run(&argv[1..]),
+        Some("table1") => cmd_table1(),
+        Some("gen-trace") => cmd_gen_trace(&argv[1..]),
+        Some("trace-stats") => cmd_trace_stats(&argv[1..]),
+        Some("trace-dump") => cmd_trace_dump(&argv[1..]),
+        Some("replay") => cmd_replay(&argv[1..]),
+        Some(other) => Err(Box::new(ArgError(format!(
+            "unknown command {other:?}; try `fcsim help`"
+        )))),
+    }
+}
+
+const CFG_FLAGS: &[&str] = &[
+    "arch",
+    "ram",
+    "flash",
+    "ram-policy",
+    "flash-policy",
+    "prefetch",
+    "scale",
+    "seed",
+    "ws",
+    "write-pct",
+    "hosts",
+    "ws-count",
+    "in",
+    "out",
+    "limit",
+];
+const CFG_BOOLS: &[&str] = &["persistent", "duplex", "skip-warmup"];
+
+fn config_from(flags: &Flags) -> Result<SimConfig, ArgError> {
+    let mut cfg = SimConfig::baseline();
+    cfg.arch = flags.get_parsed("arch", Architecture::Naive)?;
+    cfg.ram_size = flags.get_parsed("ram", ByteSize::gib(8))?;
+    cfg.flash_size = flags.get_parsed("flash", ByteSize::gib(64))?;
+    cfg.ram_policy = flags.get_parsed("ram-policy", WritebackPolicy::Periodic(1))?;
+    cfg.flash_policy = flags.get_parsed("flash-policy", WritebackPolicy::AsyncWriteThrough)?;
+    let prefetch: f64 = flags.get_parsed("prefetch", 0.9)?;
+    if !(0.0..=1.0).contains(&prefetch) {
+        return Err(ArgError("--prefetch must be in [0,1]".into()));
+    }
+    cfg.filer.fast_read_rate = prefetch;
+    cfg.flash_model.persistent = flags.has("persistent");
+    cfg.duplex_network = flags.has("duplex");
+    cfg.seed = flags.get_parsed("seed", 42u64)?;
+    Ok(cfg)
+}
+
+fn spec_from(flags: &Flags) -> Result<WorkloadSpec, ArgError> {
+    let write_pct: u32 = flags.get_parsed("write-pct", 30u32)?;
+    if write_pct > 100 {
+        return Err(ArgError("--write-pct must be 0..=100".into()));
+    }
+    Ok(WorkloadSpec {
+        working_set: flags.get_parsed("ws", ByteSize::gib(80))?,
+        write_fraction: f64::from(write_pct) / 100.0,
+        hosts: flags.get_parsed("hosts", 1u16)?,
+        ws_count: flags.get_parsed("ws-count", 1usize)?,
+        skip_warmup: flags.has("skip-warmup"),
+        seed: flags.get_parsed("seed", 42u64)?,
+    })
+}
+
+fn cmd_run(args: &[String]) -> CmdResult {
+    let flags = Flags::parse(args, CFG_FLAGS, CFG_BOOLS)?;
+    let scale: u64 = flags.get_parsed("scale", 64u64)?;
+    let cfg = config_from(&flags)?;
+    let spec = spec_from(&flags)?;
+    let wb = Workbench::new(scale, cfg.seed);
+    eprintln!(
+        "model: {} files / {} bytes at 1/{scale} scale; ws {} (scaled {})",
+        wb.model().file_count(),
+        wb.model().total_bytes(),
+        spec.working_set,
+        spec.working_set.scaled_down(scale),
+    );
+    let report = wb.run(&cfg, &spec)?;
+    print!("{report}");
+    println!(
+        "read latency       {:.1} us/block",
+        report.read_latency_us()
+    );
+    println!(
+        "write latency      {:.2} us/block",
+        report.write_latency_us()
+    );
+    Ok(())
+}
+
+fn cmd_table1() -> CmdResult {
+    print!("{}", SimConfig::baseline().timing_table());
+    Ok(())
+}
+
+fn cmd_gen_trace(args: &[String]) -> CmdResult {
+    let flags = Flags::parse(args, CFG_FLAGS, CFG_BOOLS)?;
+    let out = flags
+        .get("out")
+        .ok_or_else(|| ArgError("--out FILE is required".into()))?;
+    let scale: u64 = flags.get_parsed("scale", 64u64)?;
+    let spec = spec_from(&flags)?;
+    let wb = Workbench::new(scale, flags.get_parsed("seed", 42u64)?);
+    let trace = wb.make_trace(&spec);
+    let mut w = BufWriter::new(File::create(out)?);
+    trace.encode(&mut w)?;
+    let s = trace.stats();
+    eprintln!("wrote {} ops / {} blocks to {out}", s.ops, s.blocks);
+    Ok(())
+}
+
+fn load_trace(flags: &Flags) -> Result<Trace, Box<dyn Error>> {
+    let path = flags
+        .get("in")
+        .ok_or_else(|| ArgError("--in FILE is required".into()))?;
+    let mut r = BufReader::new(File::open(path)?);
+    Ok(Trace::decode(&mut r)?)
+}
+
+fn cmd_trace_stats(args: &[String]) -> CmdResult {
+    let flags = Flags::parse(args, CFG_FLAGS, CFG_BOOLS)?;
+    let trace = load_trace(&flags)?;
+    let s = trace.stats();
+    println!("ops                {}", s.ops);
+    println!("blocks             {}", s.blocks);
+    println!("bytes              {}", s.bytes);
+    println!("write fraction     {:.1}%", 100.0 * s.write_fraction());
+    println!(
+        "warmup fraction    {:.1}% (by bytes)",
+        100.0 * s.warmup_fraction()
+    );
+    println!("hosts              {}", s.max_host + 1);
+    println!("threads/host       {}", s.max_thread + 1);
+    Ok(())
+}
+
+fn cmd_trace_dump(args: &[String]) -> CmdResult {
+    let flags = Flags::parse(args, CFG_FLAGS, CFG_BOOLS)?;
+    let trace = load_trace(&flags)?;
+    let limit: usize = flags.get_parsed("limit", 20usize)?;
+    println!(
+        "# {} ops; hosts={} threads/host={} ws={} write%={} seed={}",
+        trace.len(),
+        trace.meta.hosts,
+        trace.meta.threads_per_host,
+        trace.meta.working_set_bytes,
+        trace.meta.write_pct,
+        trace.meta.seed
+    );
+    for op in trace.ops.iter().take(limit) {
+        println!("{op}");
+    }
+    if trace.len() > limit {
+        println!("... ({} more)", trace.len() - limit);
+    }
+    Ok(())
+}
+
+fn cmd_replay(args: &[String]) -> CmdResult {
+    let flags = Flags::parse(args, CFG_FLAGS, CFG_BOOLS)?;
+    let scale: u64 = flags.get_parsed("scale", 64u64)?;
+    let cfg = config_from(&flags)?.scaled_down(scale);
+    let trace = load_trace(&flags)?;
+    let report = fcache::run_trace(&cfg, &trace)?;
+    print!("{report}");
+    println!(
+        "read latency       {:.1} us/block",
+        report.read_latency_us()
+    );
+    println!(
+        "write latency      {:.2} us/block",
+        report.write_latency_us()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_table1_succeed() {
+        assert!(dispatch(&argv(&["help"])).is_ok());
+        assert!(dispatch(&argv(&["table1"])).is_ok());
+        assert!(dispatch(&argv(&[])).is_ok());
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        assert!(dispatch(&argv(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn config_parsing_applies_flags() {
+        let flags = Flags::parse(
+            &argv(&[
+                "--arch",
+                "unified",
+                "--ram",
+                "1G",
+                "--flash",
+                "16G",
+                "--ram-policy",
+                "s",
+                "--flash-policy",
+                "p5",
+                "--prefetch",
+                "0.8",
+                "--persistent",
+            ]),
+            CFG_FLAGS,
+            CFG_BOOLS,
+        )
+        .unwrap();
+        let cfg = config_from(&flags).unwrap();
+        assert_eq!(cfg.arch, Architecture::Unified);
+        assert_eq!(cfg.ram_size, ByteSize::gib(1));
+        assert_eq!(cfg.flash_size, ByteSize::gib(16));
+        assert_eq!(cfg.ram_policy, WritebackPolicy::WriteThrough);
+        assert_eq!(cfg.flash_policy, WritebackPolicy::Periodic(5));
+        assert!((cfg.filer.fast_read_rate - 0.8).abs() < 1e-9);
+        assert!(cfg.flash_model.persistent);
+    }
+
+    #[test]
+    fn spec_parsing_validates_ranges() {
+        let ok = Flags::parse(
+            &argv(&["--ws", "60G", "--write-pct", "50"]),
+            CFG_FLAGS,
+            CFG_BOOLS,
+        )
+        .unwrap();
+        let spec = spec_from(&ok).unwrap();
+        assert_eq!(spec.working_set, ByteSize::gib(60));
+        assert!((spec.write_fraction - 0.5).abs() < 1e-9);
+
+        let bad = Flags::parse(&argv(&["--write-pct", "120"]), CFG_FLAGS, CFG_BOOLS).unwrap();
+        assert!(spec_from(&bad).is_err());
+    }
+
+    #[test]
+    fn end_to_end_tiny_run() {
+        // A very small scale keeps this test fast.
+        dispatch(&argv(&[
+            "run", "--scale", "16384", "--ws", "16G", "--seed", "7",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn trace_file_roundtrip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("fcsim_test_trace.bin");
+        let path_s = path.to_str().unwrap();
+        dispatch(&argv(&[
+            "gen-trace",
+            "--out",
+            path_s,
+            "--scale",
+            "16384",
+            "--ws",
+            "16G",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        dispatch(&argv(&["trace-stats", "--in", path_s])).unwrap();
+        dispatch(&argv(&["trace-dump", "--in", path_s, "--limit", "5"])).unwrap();
+        dispatch(&argv(&["replay", "--in", path_s, "--scale", "16384"])).unwrap();
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,92 @@
+//! Cache architectures (§3.3).
+
+use core::fmt;
+use std::str::FromStr;
+
+/// How the RAM and flash caches are organized.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Architecture {
+    /// "The flash cache is treated as an independent cache layer beneath
+    /// the RAM cache; the RAM cache is always a subset of the flash cache,
+    /// requiring no integrated management."
+    Naive,
+    /// "Based on Mercury, writes go directly from RAM to the file server
+    /// instead of being routed through the flash. The flash is updated
+    /// after the file server and never contains dirty data."
+    Lookaside,
+    /// "RAM and flash are managed together using a single LRU chain. Data
+    /// blocks are placed into the least recently used buffer, whether RAM
+    /// or flash, and are never migrated."
+    Unified,
+}
+
+impl Architecture {
+    /// All three architectures, in the paper's presentation order.
+    pub const ALL: [Architecture; 3] = [
+        Architecture::Naive,
+        Architecture::Lookaside,
+        Architecture::Unified,
+    ];
+
+    /// Lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Architecture::Naive => "naive",
+            Architecture::Lookaside => "lookaside",
+            Architecture::Unified => "unified",
+        }
+    }
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Error parsing an architecture name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseArchError(pub String);
+
+impl fmt::Display for ParseArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown architecture {:?} (expected naive, lookaside, or unified)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseArchError {}
+
+impl FromStr for Architecture {
+    type Err = ParseArchError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "naive" => Ok(Architecture::Naive),
+            "lookaside" => Ok(Architecture::Lookaside),
+            "unified" => Ok(Architecture::Unified),
+            _ => Err(ParseArchError(s.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_parse_roundtrip() {
+        for a in Architecture::ALL {
+            assert_eq!(a.name().parse::<Architecture>().unwrap(), a);
+            assert_eq!(a.to_string(), a.name());
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        assert!("mercury".parse::<Architecture>().is_err());
+    }
+}

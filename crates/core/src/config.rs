@@ -1,0 +1,245 @@
+//! Simulation configuration.
+
+use fcache_cache::EvictionPolicy;
+use fcache_device::{FlashModel, RamModel};
+use fcache_filer::FilerConfig;
+use fcache_net::NetConfig;
+use fcache_types::ByteSize;
+
+use crate::arch::Architecture;
+use crate::policy::WritebackPolicy;
+
+/// Complete configuration of one simulation run.
+///
+/// Defaults are the paper's baseline (§4, §7.1): the naive architecture
+/// with 8 GB of RAM and 64 GB of flash, a one-second periodic RAM writeback
+/// ("as this most closely matches real system behavior") and asynchronous
+/// write-through for the flash ("the best overall choice").
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Cache architecture (§3.3).
+    pub arch: Architecture,
+    /// RAM cache capacity ("the RAM size actually reflects the amount of
+    /// RAM available for file system caching", §3.4). May be zero (§7.5).
+    pub ram_size: ByteSize,
+    /// Flash cache capacity. May be zero ("no flash").
+    pub flash_size: ByteSize,
+    /// RAM-tier writeback policy (§3.6).
+    pub ram_policy: WritebackPolicy,
+    /// Flash-tier writeback policy (§3.5). Ignored by the lookaside
+    /// architecture, whose flash never holds dirty data.
+    pub flash_policy: WritebackPolicy,
+    /// RAM timing model.
+    pub ram_model: RamModel,
+    /// Flash timing model (includes the persistence flag, §7.8).
+    pub flash_model: FlashModel,
+    /// Network timing model.
+    pub net: NetConfig,
+    /// Filer timing model.
+    pub filer: FilerConfig,
+    /// Whether read misses populate the flash tier on their way to RAM
+    /// ("Newly referenced blocks are first placed in flash, then into
+    /// RAM", §3.2). Ablation knob; the paper's design has it on.
+    pub populate_flash_on_read: bool,
+    /// Whether a RAM hit also promotes the block in the flash LRU chain,
+    /// maintaining the naive/lookaside subset property (inclusive-cache
+    /// behavior). Ablation knob; on by default.
+    pub inclusive_promotion: bool,
+    /// Whether flushing a dirty block *out of flash* charges a flash read
+    /// (the data must come off the device before it can be sent). Flushes
+    /// that still have the data in RAM never pay this. Ablation knob.
+    pub charge_flash_read_on_writeback: bool,
+    /// Full-duplex network segments (ablation; the paper's model is
+    /// half-duplex: "each segment can carry one packet at a time").
+    pub duplex_network: bool,
+    /// Record every flash block I/O for Figure 1 replay (costs memory).
+    pub log_flash_io: bool,
+    /// Replacement policy for the RAM and flash tiers ("we use LRU", §1;
+    /// FIFO and CLOCK are replacement-policy ablations). The unified
+    /// architecture is defined by its single LRU chain and ignores this.
+    pub replacement: EvictionPolicy,
+    /// Keep the simulated clock running until at least this time, even if
+    /// the trace finishes earlier. Lets periodic syncers drain after a
+    /// short trace; `None` (default) ends the run with the last operation.
+    pub min_runtime: Option<fcache_des::SimTime>,
+    /// How many writebacks a periodic syncer keeps in flight at once. The
+    /// syncer is one thread, but it issues asynchronous I/O; a window of 1
+    /// degenerates to fully synchronous flushing, which cannot sustain the
+    /// paper's write bandwidths (the wire, not the flush loop, should be
+    /// the writeback bottleneck).
+    pub syncer_window: usize,
+    /// Divisor applied to time-based policy periods (the `pN` syncer
+    /// intervals). Scaled-down experiments compress simulated run time by
+    /// the byte scale factor; dividing the syncer period by the same
+    /// factor preserves the dirty-data dynamics (dirty fraction per tick =
+    /// write bandwidth × period / cache size is scale-invariant).
+    /// [`SimConfig::scaled_down`] sets this automatically.
+    pub time_scale: u64,
+    /// Base RNG seed; filer draws and any stochastic components derive
+    /// from it deterministically.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            arch: Architecture::Naive,
+            ram_size: ByteSize::gib(8),
+            flash_size: ByteSize::gib(64),
+            ram_policy: WritebackPolicy::Periodic(1),
+            flash_policy: WritebackPolicy::AsyncWriteThrough,
+            ram_model: RamModel::default(),
+            flash_model: FlashModel::default(),
+            net: NetConfig::default(),
+            filer: FilerConfig::default(),
+            populate_flash_on_read: true,
+            inclusive_promotion: true,
+            charge_flash_read_on_writeback: true,
+            duplex_network: false,
+            log_flash_io: false,
+            replacement: EvictionPolicy::Lru,
+            min_runtime: None,
+            syncer_window: 64,
+            time_scale: 1,
+            seed: 0xcafe_f00d,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The paper's baseline configuration.
+    pub fn baseline() -> Self {
+        Self::default()
+    }
+
+    /// Divides every byte quantity — and the time-based syncer periods —
+    /// by `factor`, leaving latencies and ratios unchanged (see DESIGN.md
+    /// §4 on linear scaling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    pub fn scaled_down(mut self, factor: u64) -> Self {
+        assert!(factor > 0, "scale factor must be nonzero");
+        self.ram_size = self.ram_size.scaled_down(factor);
+        self.flash_size = self.flash_size.scaled_down(factor);
+        self.time_scale = self.time_scale.saturating_mul(factor);
+        self
+    }
+
+    /// Effective period of a policy under this configuration's time scale.
+    pub fn scaled_period(
+        &self,
+        policy: crate::policy::WritebackPolicy,
+    ) -> Option<fcache_des::SimTime> {
+        policy
+            .period()
+            .map(|p| fcache_des::SimTime::from_nanos((p.as_nanos() / self.time_scale).max(1)))
+    }
+
+    /// RAM capacity in 4 KB blocks.
+    pub fn ram_blocks(&self) -> usize {
+        self.ram_size.blocks() as usize
+    }
+
+    /// Flash capacity in 4 KB blocks.
+    pub fn flash_blocks(&self) -> usize {
+        self.flash_size.blocks() as usize
+    }
+
+    /// Renders the Table 1 timing parameters of this configuration.
+    pub fn timing_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Parameter                 Value\n");
+        out.push_str(&format!(
+            "RAM read                  {} / 4K block\n",
+            self.ram_model.read
+        ));
+        out.push_str(&format!(
+            "RAM write                 {} / 4K block\n",
+            self.ram_model.write
+        ));
+        out.push_str(&format!(
+            "Flash read                {} / 4K block\n",
+            self.flash_model.read_latency()
+        ));
+        out.push_str(&format!(
+            "Flash write               {} / 4K block\n",
+            self.flash_model.write_latency()
+        ));
+        out.push_str(&format!(
+            "Network base latency      {} / packet\n",
+            self.net.base_latency
+        ));
+        out.push_str(&format!(
+            "Network data latency      {} / bit\n",
+            self.net.per_bit
+        ));
+        out.push_str(&format!(
+            "File server fast read     {} / 4K block\n",
+            self.filer.fast_read
+        ));
+        out.push_str(&format!(
+            "File server slow read     {} / 4K block\n",
+            self.filer.slow_read
+        ));
+        out.push_str(&format!(
+            "File server write         {} / 4K block\n",
+            self.filer.write
+        ));
+        out.push_str(&format!(
+            "File server fast read rate {:.0}%\n",
+            self.filer.fast_read_rate * 100.0
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcache_des::SimTime;
+
+    #[test]
+    fn baseline_matches_paper() {
+        let c = SimConfig::baseline();
+        assert_eq!(c.arch, Architecture::Naive);
+        assert_eq!(c.ram_size, ByteSize::gib(8));
+        assert_eq!(c.flash_size, ByteSize::gib(64));
+        assert_eq!(c.ram_policy, WritebackPolicy::Periodic(1));
+        assert_eq!(c.flash_policy, WritebackPolicy::AsyncWriteThrough);
+        assert_eq!(c.ram_model.read, SimTime::from_nanos(400));
+        assert_eq!(c.flash_model.read, SimTime::from_micros(88));
+    }
+
+    #[test]
+    fn scaling_divides_sizes_only() {
+        let c = SimConfig::baseline().scaled_down(64);
+        assert_eq!(c.ram_size, ByteSize::mib(128));
+        assert_eq!(c.flash_size, ByteSize::gib(1));
+        // Latencies unchanged.
+        assert_eq!(c.flash_model.read, SimTime::from_micros(88));
+    }
+
+    #[test]
+    fn block_counts() {
+        let c = SimConfig::baseline().scaled_down(64);
+        assert_eq!(c.ram_blocks(), (128 << 20) / 4096);
+        assert_eq!(c.flash_blocks(), (1 << 30) / 4096);
+    }
+
+    #[test]
+    fn timing_table_mentions_all_parameters() {
+        let t = SimConfig::baseline().timing_table();
+        for needle in [
+            "RAM read",
+            "Flash write",
+            "Network base",
+            "fast read rate",
+            "88.000us",
+            "21.000us",
+        ] {
+            assert!(t.contains(needle), "missing {needle} in:\n{t}");
+        }
+    }
+}

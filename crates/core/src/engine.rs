@@ -1,0 +1,539 @@
+//! The simulation engine: per-architecture read/write paths, writeback
+//! machinery, and syncer daemons.
+//!
+//! Every path here follows the paper's §3 design descriptions; quotes in
+//! comments mark the load-bearing sentences.
+
+use std::rc::Rc;
+
+use fcache_cache::{InsertOutcome, Medium};
+use fcache_des::SimTime;
+use fcache_net::Direction;
+use fcache_types::{BlockAddr, OpKind, TraceOp, BLOCK_SIZE};
+
+use crate::arch::Architecture;
+use crate::host::HostCtx;
+use crate::policy::WritebackPolicy;
+
+/// Where the data being flushed currently lives, which decides what the
+/// flush costs before the network leg.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum FlushSource {
+    /// Data is in RAM or "in hand" (write-through with the payload still in
+    /// the requester's context): only the wire + filer cost applies.
+    InHand,
+    /// Data must first be read off the flash device.
+    Flash,
+}
+
+/// Executes one trace operation, returning its application latency.
+pub(crate) async fn execute_op(h: &Rc<HostCtx>, op: &TraceOp) -> SimTime {
+    if !op.warmup {
+        h.maybe_end_warmup();
+    }
+    let t0 = h.sim.now();
+    match (op.kind, h.cfg.arch) {
+        (OpKind::Read, Architecture::Unified) => read_unified(h, op).await,
+        (OpKind::Read, _) => read_layered(h, op).await,
+        (OpKind::Write, Architecture::Unified) => write_unified(h, op).await,
+        (OpKind::Write, _) => write_layered(h, op).await,
+    }
+    let latency = h.sim.now() - t0;
+    if !op.warmup {
+        h.metrics.record_op(op.kind, latency, op.nblocks);
+    }
+    latency
+}
+
+// ---------------------------------------------------------------------------
+// Read paths
+// ---------------------------------------------------------------------------
+
+/// Naive / lookaside read: RAM, then flash, then the filer; fetched blocks
+/// are "first placed in flash, then into RAM" (§3.2).
+async fn read_layered(h: &Rc<HostCtx>, op: &TraceOp) {
+    // RAM stage: hits pay the RAM read latency; misses fall through.
+    let mut ram_misses: Vec<BlockAddr> = Vec::new();
+    let mut wait = SimTime::ZERO;
+    if h.has_ram() {
+        let mut ram = h.ram.borrow_mut();
+        for b in op.blocks() {
+            if ram.lookup(b) {
+                wait += h.cfg.ram_model.read;
+                if h.cfg.inclusive_promotion && h.has_flash() {
+                    // Keep the flash LRU order a superset of RAM recency so
+                    // the subset property holds without management (§3.3).
+                    h.flash.borrow_mut().promote(b);
+                }
+            } else {
+                ram_misses.push(b);
+            }
+        }
+    } else {
+        ram_misses.extend(op.blocks());
+    }
+    if wait > SimTime::ZERO {
+        h.sim.sleep(wait).await;
+    }
+    if ram_misses.is_empty() {
+        return;
+    }
+
+    // Flash stage.
+    let mut flash_hits: Vec<BlockAddr> = Vec::new();
+    let mut filer_misses: Vec<BlockAddr> = Vec::new();
+    if h.has_flash() {
+        let mut flash = h.flash.borrow_mut();
+        for b in &ram_misses {
+            if flash.lookup(*b) {
+                flash_hits.push(*b);
+            } else {
+                filer_misses.push(*b);
+            }
+        }
+    } else {
+        filer_misses = ram_misses;
+    }
+    if !flash_hits.is_empty() {
+        for b in &flash_hits {
+            h.iolog.log_read(h.flash_lba(*b));
+        }
+        h.sim
+            .sleep(
+                h.cfg
+                    .flash_model
+                    .read_latency()
+                    .times(flash_hits.len() as u64),
+            )
+            .await;
+    }
+
+    // Filer stage: "each I/O request uses one packet in each direction"
+    // (§5) — one request covers every block this op still misses.
+    if !filer_misses.is_empty() {
+        let n = filer_misses.len() as u32;
+        h.segment.transfer(Direction::ToServer, 0).await;
+        h.filer.read(n).await;
+        h.segment
+            .transfer(Direction::FromServer, u64::from(n) * BLOCK_SIZE)
+            .await;
+        if h.has_flash() && h.cfg.populate_flash_on_read {
+            for b in &filer_misses {
+                flash_insert(h, *b, false).await;
+            }
+        }
+    }
+
+    // Fill RAM with everything that missed it.
+    if h.has_ram() {
+        for b in flash_hits.into_iter().chain(filer_misses) {
+            ram_insert(h, b, false).await;
+        }
+    }
+}
+
+/// Unified read: one lookup against the single LRU chain; hits pay the
+/// latency of whichever medium the frame lives in.
+async fn read_unified(h: &Rc<HostCtx>, op: &TraceOp) {
+    let unified = h
+        .unified
+        .as_ref()
+        .expect("unified arch has a unified cache");
+    let mut wait = SimTime::ZERO;
+    let mut misses: Vec<BlockAddr> = Vec::new();
+    {
+        let mut u = unified.borrow_mut();
+        for b in op.blocks() {
+            match u.lookup(b) {
+                Some(Medium::Ram) => wait += h.cfg.ram_model.read,
+                Some(Medium::Flash) => {
+                    wait += h.cfg.flash_model.read_latency();
+                    h.iolog.log_read(h.flash_lba(b));
+                }
+                None => misses.push(b),
+            }
+        }
+    }
+    if wait > SimTime::ZERO {
+        h.sim.sleep(wait).await;
+    }
+    if misses.is_empty() {
+        return;
+    }
+    let n = misses.len() as u32;
+    h.segment.transfer(Direction::ToServer, 0).await;
+    h.filer.read(n).await;
+    h.segment
+        .transfer(Direction::FromServer, u64::from(n) * BLOCK_SIZE)
+        .await;
+    for b in misses {
+        unified_insert(h, b, false).await;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Write paths
+// ---------------------------------------------------------------------------
+
+/// Naive / lookaside write: into RAM, then onward per the tier policies.
+async fn write_layered(h: &Rc<HostCtx>, op: &TraceOp) {
+    for b in op.blocks() {
+        let invalidated = h.invalidate_peers(b);
+        if !op.warmup {
+            h.metrics.record_block_write(invalidated);
+        }
+        if h.has_ram() {
+            ram_insert(h, b, true).await;
+            match h.cfg.ram_policy {
+                WritebackPolicy::WriteThrough => flush_ram_block(h, b).await,
+                WritebackPolicy::AsyncWriteThrough => spawn_ram_flush(h, b),
+                WritebackPolicy::Periodic(_) | WritebackPolicy::None => {}
+            }
+        } else if h.has_flash() && h.cfg.arch == Architecture::Naive {
+            // No RAM tier: writes land directly in flash (§7.5's zero-RAM
+            // configuration) and the flash policy governs.
+            flash_insert(h, b, true).await;
+        } else {
+            // No cache at all (or lookaside without RAM): synchronous
+            // write to the filer; lookaside additionally updates flash.
+            flush_to_filer(h, b, FlushSource::InHand).await;
+            if h.has_flash() && h.cfg.arch == Architecture::Lookaside {
+                flash_insert(h, b, false).await;
+            }
+        }
+    }
+}
+
+/// Unified write: overwrite in place on a hit, else claim the LRU frame;
+/// either way the block's frame medium sets the cost and its tier policy
+/// governs the writeback.
+async fn write_unified(h: &Rc<HostCtx>, op: &TraceOp) {
+    for b in op.blocks() {
+        let invalidated = h.invalidate_peers(b);
+        if !op.warmup {
+            h.metrics.record_block_write(invalidated);
+        }
+        unified_insert(h, b, true).await;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tier insert helpers (pay device time, handle dirty evictions)
+// ---------------------------------------------------------------------------
+
+/// Inserts a block into RAM, paying the RAM write latency. A dirty LRU
+/// victim is written back synchronously first — this stall is the source of
+/// the `none`-policy convoys ("synchronous evictions once the cache fills",
+/// §7.1).
+async fn ram_insert(h: &Rc<HostCtx>, addr: BlockAddr, dirty: bool) {
+    h.sim.sleep(h.cfg.ram_model.write).await;
+    let outcome = h.ram.borrow_mut().insert(addr, dirty);
+    if let InsertOutcome::InsertedEvicting(ev) = outcome {
+        if ev.dirty {
+            evicted_ram_writeback(h, ev.addr).await;
+        }
+    }
+}
+
+/// Writes an evicted dirty RAM block down a level: to flash in the naive
+/// architecture, directly to the filer in lookaside (updating flash after).
+async fn evicted_ram_writeback(h: &Rc<HostCtx>, addr: BlockAddr) {
+    match h.cfg.arch {
+        Architecture::Naive if h.has_flash() => {
+            flash_insert(h, addr, true).await;
+        }
+        _ => {
+            // Lookaside, or naive with no flash tier: straight to the filer.
+            flush_to_filer(h, addr, FlushSource::InHand).await;
+            if h.has_flash() && h.cfg.arch == Architecture::Lookaside {
+                flash_insert(h, addr, false).await;
+            }
+        }
+    }
+}
+
+/// Inserts a block into flash, paying the flash write latency. Evicting a
+/// dirty flash victim forces a synchronous writeback to the filer. If the
+/// inserted block is dirty, the flash writeback policy reacts.
+async fn flash_insert(h: &Rc<HostCtx>, addr: BlockAddr, dirty: bool) {
+    h.sim.sleep(h.cfg.flash_model.write_latency()).await;
+    h.iolog.log_write(h.flash_lba(addr));
+    let outcome = h.flash.borrow_mut().insert(addr, dirty);
+    if let InsertOutcome::InsertedEvicting(ev) = outcome {
+        if ev.dirty {
+            flush_to_filer(h, ev.addr, FlushSource::Flash).await;
+        }
+    }
+    if dirty {
+        on_flash_dirtied(h, addr).await;
+    }
+}
+
+/// Applies the flash writeback policy to a block that just became dirty in
+/// flash.
+async fn on_flash_dirtied(h: &Rc<HostCtx>, addr: BlockAddr) {
+    match h.cfg.flash_policy {
+        WritebackPolicy::WriteThrough => {
+            // Blocking write-through; the payload is still in hand.
+            h.flash.borrow_mut().mark_clean(addr);
+            flush_to_filer(h, addr, FlushSource::InHand).await;
+        }
+        WritebackPolicy::AsyncWriteThrough => spawn_flash_flush(h, addr),
+        WritebackPolicy::Periodic(_) | WritebackPolicy::None => {}
+    }
+}
+
+/// Inserts into the unified cache: pays the landing medium's write cost,
+/// flushes a dirty victim, and applies the landing tier's policy when the
+/// block is dirty.
+async fn unified_insert(h: &Rc<HostCtx>, addr: BlockAddr, dirty: bool) {
+    let ins = h
+        .unified
+        .as_ref()
+        .expect("unified cache")
+        .borrow_mut()
+        .insert(addr, dirty);
+    let write_cost = match ins.medium {
+        Medium::Ram => h.cfg.ram_model.write,
+        Medium::Flash => h.cfg.flash_model.write_latency(),
+    };
+    h.sim.sleep(write_cost).await;
+    if ins.medium == Medium::Flash {
+        h.iolog.log_write(h.flash_lba(addr));
+    }
+    if let Some(ev) = ins.evicted {
+        if ev.dirty {
+            let src = match ev.medium {
+                Medium::Ram => FlushSource::InHand,
+                Medium::Flash => FlushSource::Flash,
+            };
+            flush_to_filer(h, ev.addr, src).await;
+        }
+    }
+    if dirty {
+        let policy = match ins.medium {
+            Medium::Ram => h.cfg.ram_policy,
+            Medium::Flash => h.cfg.flash_policy,
+        };
+        match policy {
+            WritebackPolicy::WriteThrough => {
+                h.unified
+                    .as_ref()
+                    .expect("unified cache")
+                    .borrow_mut()
+                    .mark_clean(addr);
+                flush_to_filer(h, addr, FlushSource::InHand).await;
+            }
+            WritebackPolicy::AsyncWriteThrough => spawn_unified_flush(h, addr, ins.medium),
+            WritebackPolicy::Periodic(_) | WritebackPolicy::None => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flush machinery
+// ---------------------------------------------------------------------------
+
+/// Sends one dirty block to the filer: data packet out, buffered filer
+/// write, acknowledgement back. Flushing from flash first pays a flash read
+/// (the data must come off the device) when configured.
+async fn flush_to_filer(h: &Rc<HostCtx>, addr: BlockAddr, src: FlushSource) {
+    if src == FlushSource::Flash && h.cfg.charge_flash_read_on_writeback {
+        h.iolog.log_read(h.flash_lba(addr));
+        h.sim.sleep(h.cfg.flash_model.read_latency()).await;
+    }
+    h.segment.transfer(Direction::ToServer, BLOCK_SIZE).await;
+    h.filer.write(1).await;
+    h.segment.transfer(Direction::FromServer, 0).await;
+}
+
+/// Flushes one dirty RAM block down a level (the RAM tier's writeback
+/// unit): naive writes it to flash; lookaside writes it to the filer and
+/// then updates the (never-dirty) flash copy.
+pub(crate) async fn flush_ram_block(h: &Rc<HostCtx>, addr: BlockAddr) {
+    if !h.ram.borrow_mut().mark_clean(addr) {
+        return; // evicted or invalidated since queued
+    }
+    match h.cfg.arch {
+        Architecture::Naive if h.has_flash() => {
+            flash_insert(h, addr, true).await;
+        }
+        _ => {
+            flush_to_filer(h, addr, FlushSource::InHand).await;
+            if h.has_flash() && h.cfg.arch == Architecture::Lookaside {
+                // "The flash is updated after the file server and never
+                // contains dirty data." (§3.3)
+                flash_insert(h, addr, false).await;
+            }
+        }
+    }
+}
+
+/// Flushes one dirty flash block to the filer.
+pub(crate) async fn flush_flash_block(h: &Rc<HostCtx>, addr: BlockAddr) {
+    if !h.flash.borrow_mut().mark_clean(addr) {
+        return;
+    }
+    flush_to_filer(h, addr, FlushSource::Flash).await;
+}
+
+/// Flushes one dirty unified frame to the filer.
+pub(crate) async fn flush_unified_block(h: &Rc<HostCtx>, addr: BlockAddr) {
+    let unified = h.unified.as_ref().expect("unified cache");
+    let medium = {
+        let mut u = unified.borrow_mut();
+        if !u.is_dirty(addr) {
+            return;
+        }
+        let m = u.medium_of(addr).expect("dirty block is mapped");
+        u.mark_clean(addr);
+        m
+    };
+    let src = match medium {
+        Medium::Ram => FlushSource::InHand,
+        Medium::Flash => FlushSource::Flash,
+    };
+    flush_to_filer(h, addr, src).await;
+}
+
+/// Spawns a detached asynchronous write-through flush for a RAM block.
+/// Duplicate spawns for a block already being flushed are suppressed; the
+/// flush loop re-checks dirtiness so a re-dirty during flight is not lost.
+fn spawn_ram_flush(h: &Rc<HostCtx>, addr: BlockAddr) {
+    if !h.ram_flush_pending.borrow_mut().insert(addr.to_u64()) {
+        return;
+    }
+    let h = Rc::clone(h);
+    let sim = h.sim.clone();
+    sim.spawn(async move {
+        while h.ram.borrow().is_dirty(addr) {
+            flush_ram_block(&h, addr).await;
+        }
+        h.ram_flush_pending.borrow_mut().remove(&addr.to_u64());
+    });
+}
+
+/// Spawns a detached asynchronous write-through flush for a flash block.
+fn spawn_flash_flush(h: &Rc<HostCtx>, addr: BlockAddr) {
+    if !h.flash_flush_pending.borrow_mut().insert(addr.to_u64()) {
+        return;
+    }
+    let h = Rc::clone(h);
+    let sim = h.sim.clone();
+    sim.spawn(async move {
+        while h.flash.borrow().is_dirty(addr) {
+            flush_flash_block(&h, addr).await;
+        }
+        h.flash_flush_pending.borrow_mut().remove(&addr.to_u64());
+    });
+}
+
+/// Spawns a detached asynchronous write-through flush for a unified frame.
+fn spawn_unified_flush(h: &Rc<HostCtx>, addr: BlockAddr, medium: Medium) {
+    let pending = match medium {
+        Medium::Ram => &h.ram_flush_pending,
+        Medium::Flash => &h.flash_flush_pending,
+    };
+    if !pending.borrow_mut().insert(addr.to_u64()) {
+        return;
+    }
+    let h = Rc::clone(h);
+    let sim = h.sim.clone();
+    sim.spawn(async move {
+        loop {
+            let dirty = h
+                .unified
+                .as_ref()
+                .expect("unified cache")
+                .borrow()
+                .is_dirty(addr);
+            if !dirty {
+                break;
+            }
+            flush_unified_block(&h, addr).await;
+        }
+        let pending = match medium {
+            Medium::Ram => &h.ram_flush_pending,
+            Medium::Flash => &h.flash_flush_pending,
+        };
+        pending.borrow_mut().remove(&addr.to_u64());
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Syncer daemons (periodic policies)
+// ---------------------------------------------------------------------------
+
+/// Which tier a syncer batch flushes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum FlushTier {
+    Ram,
+    Flash,
+    Unified,
+}
+
+/// Flushes a batch of dirty blocks keeping up to `syncer_window` I/Os in
+/// flight. The syncer is one thread issuing asynchronous I/O: the wire —
+/// not the flush loop — is the writeback bottleneck, which is what lets
+/// "any reasonable writeback policy maintain an ample supply of clean
+/// blocks" (§7.1).
+async fn flush_batch(h: &Rc<HostCtx>, blocks: Vec<BlockAddr>, tier: FlushTier) {
+    let window = h.cfg.syncer_window.max(1);
+    for chunk in blocks.chunks(window) {
+        let handles: Vec<_> = chunk
+            .iter()
+            .map(|b| {
+                let h2 = Rc::clone(h);
+                let b = *b;
+                h.sim.spawn(async move {
+                    match tier {
+                        FlushTier::Ram => flush_ram_block(&h2, b).await,
+                        FlushTier::Flash => flush_flash_block(&h2, b).await,
+                        FlushTier::Unified => flush_unified_block(&h2, b).await,
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.await;
+        }
+    }
+}
+
+/// Periodic RAM-tier syncer: every `period`, flush every block that is
+/// dirty in RAM ("dirty data remains in the cache until a syncer thread
+/// flushes the data back", §3.5).
+pub(crate) async fn ram_syncer(h: Rc<HostCtx>, period: SimTime) {
+    loop {
+        h.sim.sleep(period).await;
+        let dirty = h.ram.borrow().dirty_blocks();
+        flush_batch(&h, dirty, FlushTier::Ram).await;
+    }
+}
+
+/// Periodic flash-tier syncer (naive architecture).
+pub(crate) async fn flash_syncer(h: Rc<HostCtx>, period: SimTime) {
+    loop {
+        h.sim.sleep(period).await;
+        let dirty = h.flash.borrow().dirty_blocks();
+        flush_batch(&h, dirty, FlushTier::Flash).await;
+    }
+}
+
+/// Periodic unified-tier syncer for one medium.
+pub(crate) async fn unified_syncer(h: Rc<HostCtx>, medium: Medium, period: SimTime) {
+    loop {
+        h.sim.sleep(period).await;
+        let dirty: Vec<BlockAddr> = h
+            .unified
+            .as_ref()
+            .expect("unified cache")
+            .borrow()
+            .dirty_blocks()
+            .into_iter()
+            .filter(|(_, m)| *m == medium)
+            .map(|(a, _)| a)
+            .collect();
+        flush_batch(&h, dirty, FlushTier::Unified).await;
+    }
+}

@@ -1,0 +1,198 @@
+//! Scaled experiment workbench.
+//!
+//! Paper-scale experiments (60–640 GB working sets against a 1.4 TB file
+//! server with up to 128 GB of flash) are too large to sweep on a laptop,
+//! so every benchmark runs at a **linear scale factor**: all byte
+//! quantities — file-server model, working set, RAM, flash — are divided by
+//! the factor while latencies, the 4 KB block size, and all ratios stay
+//! unchanged. Cache hit rates depend only on the size *ratios* and
+//! latencies are per-block constants, so curve shapes are preserved
+//! (DESIGN.md §4). Factor 1 reproduces paper scale exactly.
+//!
+//! [`Workbench`] packages a scaled file-server model with helpers that
+//! accept paper-scale quantities and scale them internally, so experiment
+//! code reads exactly like the paper ("60 GB working set, 8 GB RAM, 64 GB
+//! flash").
+
+use fcache_fsmodel::{FsModel, FsModelConfig};
+use fcache_trace::{generate, TraceGenConfig};
+use fcache_types::{ByteSize, Trace};
+
+use crate::config::SimConfig;
+use crate::report::SimReport;
+use crate::sim::{run_trace, SimError};
+
+/// Workload description in paper-scale units.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Working-set size at paper scale (e.g. `ByteSize::gib(80)`).
+    pub working_set: ByteSize,
+    /// Fraction of operations that are writes (baseline 0.3).
+    pub write_fraction: f64,
+    /// Number of hosts (baseline 1; consistency experiments use 2).
+    pub hosts: u16,
+    /// Number of distinct working sets (consistency worst case: 1 shared).
+    pub ws_count: usize,
+    /// Drop the warmup half of the trace instead of flagging it — "this is
+    /// equivalent to having a non-persistent flash cache and crashing at
+    /// the start of the simulator run" (§7.8, Figure 10's *not warmed*).
+    pub skip_warmup: bool,
+    /// Trace generation seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        Self {
+            working_set: ByteSize::gib(60),
+            write_fraction: 0.3,
+            hosts: 1,
+            ws_count: 1,
+            skip_warmup: false,
+            seed: 0x0b5e_55ed,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// The 60 GB baseline workload of §4.
+    pub fn baseline_60g() -> Self {
+        Self::default()
+    }
+
+    /// The 80 GB baseline workload of §4.
+    pub fn baseline_80g() -> Self {
+        Self {
+            working_set: ByteSize::gib(80),
+            ..Self::default()
+        }
+    }
+}
+
+/// A scaled file-server model plus scaling-aware run helpers.
+pub struct Workbench {
+    scale: u64,
+    model: FsModel,
+}
+
+impl Workbench {
+    /// Builds the paper's 1.4 TB Impressions-style model at `1/scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is zero.
+    pub fn new(scale: u64, seed: u64) -> Self {
+        assert!(scale > 0, "scale factor must be nonzero");
+        let model = FsModel::generate(FsModelConfig::paper_scaled(scale, seed));
+        Self { scale, model }
+    }
+
+    /// The scale factor in force.
+    pub fn scale(&self) -> u64 {
+        self.scale
+    }
+
+    /// The scaled file-server model.
+    pub fn model(&self) -> &FsModel {
+        &self.model
+    }
+
+    /// Generates a trace for a paper-scale workload spec.
+    pub fn make_trace(&self, spec: &WorkloadSpec) -> Trace {
+        let cfg = TraceGenConfig {
+            hosts: spec.hosts,
+            working_set: spec.working_set.scaled_down(self.scale),
+            ws_count: spec.ws_count,
+            write_fraction: spec.write_fraction,
+            seed: spec.seed,
+            ..TraceGenConfig::default()
+        };
+        let mut trace = generate(&self.model, cfg);
+        if spec.skip_warmup {
+            trace.ops.retain(|op| !op.warmup);
+        }
+        trace
+    }
+
+    /// Runs a paper-scale configuration against a workload: cache sizes in
+    /// `cfg` are given at paper scale and scaled down here.
+    pub fn run(&self, cfg: &SimConfig, spec: &WorkloadSpec) -> Result<SimReport, SimError> {
+        let scaled = cfg.clone().scaled_down(self.scale);
+        let trace = self.make_trace(spec);
+        run_trace(&scaled, &trace)
+    }
+
+    /// Runs a paper-scale configuration against a pre-generated trace
+    /// (for sweeps that reuse one workload across many configurations).
+    pub fn run_with_trace(&self, cfg: &SimConfig, trace: &Trace) -> Result<SimReport, SimError> {
+        let scaled = cfg.clone().scaled_down(self.scale);
+        run_trace(&scaled, trace)
+    }
+}
+
+impl std::fmt::Debug for Workbench {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workbench")
+            .field("scale", &self.scale)
+            .field("model_bytes", &self.model.total_bytes())
+            .field("files", &self.model.file_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workbench_scales_model() {
+        let wb = Workbench::new(4096, 1);
+        // 1400 GiB / 4096 = 350 MiB.
+        let target = (1400u64 << 30) / 4096;
+        assert!(wb.model().total_bytes() >= target);
+        assert_eq!(wb.scale(), 4096);
+    }
+
+    #[test]
+    fn make_trace_scales_working_set() {
+        let wb = Workbench::new(4096, 1);
+        let spec = WorkloadSpec {
+            working_set: ByteSize::gib(64),
+            ..WorkloadSpec::default()
+        };
+        let t = wb.make_trace(&spec);
+        // Scaled WS = 16 MiB; volume = 4 × WS = 64 MiB = 16384 blocks.
+        let blocks = t.stats().blocks;
+        assert!(blocks >= 16384, "blocks {blocks}");
+        assert!(blocks < 16384 + 2048, "blocks {blocks}");
+    }
+
+    #[test]
+    fn skip_warmup_drops_prefix() {
+        let wb = Workbench::new(4096, 1);
+        let spec = WorkloadSpec {
+            working_set: ByteSize::gib(64),
+            skip_warmup: true,
+            ..WorkloadSpec::default()
+        };
+        let t = wb.make_trace(&spec);
+        assert!(t.ops.iter().all(|o| !o.warmup));
+        let full = wb.make_trace(&WorkloadSpec {
+            skip_warmup: false,
+            ..spec
+        });
+        assert!(t.len() < full.len());
+    }
+
+    #[test]
+    fn baseline_specs() {
+        assert_eq!(WorkloadSpec::baseline_60g().working_set, ByteSize::gib(60));
+        assert_eq!(WorkloadSpec::baseline_80g().working_set, ByteSize::gib(80));
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor must be nonzero")]
+    fn zero_scale_panics() {
+        let _ = Workbench::new(0, 1);
+    }
+}

@@ -1,0 +1,235 @@
+//! Log-scale latency histogram.
+//!
+//! The paper reports averages, but a production cache simulator should
+//! expose tails too: operations that miss all the way to a slow filer read
+//! are two orders of magnitude slower than hits, and the mean hides them.
+//! Buckets are powers of two in nanoseconds (64 buckets cover the full
+//! `u64` range), so recording is O(1) with no allocation and percentile
+//! queries resolve to within a factor of two.
+
+use std::cell::Cell;
+
+use fcache_des::SimTime;
+
+/// Number of power-of-two buckets (covers all of `u64` nanoseconds).
+const BUCKETS: usize = 64;
+
+/// Append-only histogram with power-of-two nanosecond buckets.
+pub struct LatencyHistogram {
+    buckets: [Cell<u64>; BUCKETS],
+    count: Cell<u64>,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| Cell::new(0)),
+            count: Cell::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&self, t: SimTime) {
+        let ns = t.as_nanos();
+        let idx = if ns == 0 {
+            0
+        } else {
+            63 - ns.leading_zeros() as usize
+        };
+        self.buckets[idx].set(self.buckets[idx].get() + 1);
+        self.count.set(self.count.get() + 1);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.get()
+    }
+
+    /// Immutable snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (i, b) in self.buckets.iter().enumerate() {
+            buckets[i] = b.get();
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.get(),
+        }
+    }
+
+    /// Clears all buckets (warmup reset).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.set(0);
+        }
+        self.count.set(0);
+    }
+}
+
+/// Frozen view of a [`LatencyHistogram`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: [u64; BUCKETS],
+    count: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            count: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Approximate percentile (`p` in 0–100): the upper bound of the
+    /// bucket containing the p-th sample. Returns `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0..=100`.
+    pub fn percentile(&self, p: f64) -> Option<SimTime> {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                let upper = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return Some(SimTime::from_nanos(upper));
+            }
+        }
+        None
+    }
+
+    /// Convenience: p50/p95/p99 in microseconds (0.0 when empty).
+    pub fn p50_p95_p99_us(&self) -> (f64, f64, f64) {
+        let v = |p| self.percentile(p).map(|t| t.as_micros_f64()).unwrap_or(0.0);
+        (v(50.0), v(95.0), v(99.0))
+    }
+
+    /// Iterates non-empty buckets as `(bucket_upper_bound, count)`.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (SimTime, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| {
+                let upper = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                (SimTime::from_nanos(upper), *c)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_log_buckets() {
+        let h = LatencyHistogram::new();
+        h.record(SimTime::from_nanos(0)); // bucket 0
+        h.record(SimTime::from_nanos(1)); // bucket 0
+        h.record(SimTime::from_nanos(2)); // bucket 1
+        h.record(SimTime::from_nanos(1023)); // bucket 9
+        h.record(SimTime::from_nanos(1024)); // bucket 10
+        let s = h.snapshot();
+        assert_eq!(s.count(), 5);
+        let buckets: Vec<_> = s.nonzero_buckets().collect();
+        assert_eq!(buckets.len(), 4);
+        assert_eq!(buckets[0].1, 2);
+    }
+
+    #[test]
+    fn percentile_monotone_and_bounded() {
+        let h = LatencyHistogram::new();
+        for us in [1u64, 10, 100, 1000] {
+            for _ in 0..25 {
+                h.record(SimTime::from_micros(us));
+            }
+        }
+        let s = h.snapshot();
+        let p50 = s.percentile(50.0).unwrap();
+        let p99 = s.percentile(99.0).unwrap();
+        assert!(p50 <= p99);
+        // p99 lands in the 1000 µs bucket: upper bound < 2048 µs.
+        assert!(p99.as_micros_f64() >= 1000.0 && p99.as_micros_f64() < 2100.0);
+        // p50 covers the 10 µs sample: bucket upper < 20 µs... (log2 buckets)
+        assert!(p50.as_micros_f64() < 20.0, "p50 {p50}");
+    }
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        let s = LatencyHistogram::new().snapshot();
+        assert_eq!(s.percentile(50.0), None);
+        assert_eq!(s.p50_p95_p99_us(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let h = LatencyHistogram::new();
+        h.record(SimTime::from_micros(5));
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn invalid_percentile_panics() {
+        let h = LatencyHistogram::new();
+        h.record(SimTime::from_micros(1));
+        let _ = h.snapshot().percentile(150.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn percentile_bounds_contain_samples(ns in proptest::collection::vec(0u64..u64::MAX / 2, 1..200)) {
+                let h = LatencyHistogram::new();
+                for &x in &ns {
+                    h.record(SimTime::from_nanos(x));
+                }
+                let s = h.snapshot();
+                // p100 upper bound must be >= the maximum sample.
+                let max = *ns.iter().max().unwrap();
+                let p100 = s.percentile(100.0).unwrap();
+                prop_assert!(p100.as_nanos() >= max);
+                // Percentiles are monotone.
+                let mut prev = SimTime::ZERO;
+                for p in [10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+                    let v = s.percentile(p).unwrap();
+                    prop_assert!(v >= prev);
+                    prev = v;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Per-host simulation state.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashSet;
+use std::rc::{Rc, Weak};
+
+use fcache_cache::{BlockCache, UnifiedCache};
+use fcache_des::Sim;
+use fcache_device::IoLog;
+use fcache_filer::Filer;
+use fcache_net::Segment;
+use fcache_types::{BlockAddr, HostId};
+
+use crate::config::SimConfig;
+use crate::metrics::Metrics;
+
+/// Everything one compute server ("host") owns in the simulation.
+///
+/// Caches live in `RefCell`s; engine code never holds a borrow across an
+/// await point.
+pub(crate) struct HostCtx {
+    /// Host identity.
+    pub id: HostId,
+    /// Simulation handle.
+    pub sim: Sim,
+    /// Shared configuration.
+    pub cfg: Rc<SimConfig>,
+    /// RAM tier (naive/lookaside; capacity may be zero).
+    pub ram: RefCell<BlockCache>,
+    /// Flash tier (naive/lookaside; capacity may be zero).
+    pub flash: RefCell<BlockCache>,
+    /// Unified cache (only for [`crate::Architecture::Unified`]).
+    pub unified: Option<RefCell<UnifiedCache>>,
+    /// This host's private segment to the filer.
+    pub segment: Segment,
+    /// The shared file server.
+    pub filer: Filer,
+    /// Shared metrics sink.
+    pub metrics: Metrics,
+    /// Flash I/O log (for Figure 1 replay; usually disabled).
+    pub iolog: IoLog,
+    /// Blocks with an asynchronous RAM-tier flush in flight (dedupe).
+    pub ram_flush_pending: RefCell<HashSet<u64>>,
+    /// Blocks with an asynchronous flash-tier flush in flight (dedupe).
+    pub flash_flush_pending: RefCell<HashSet<u64>>,
+    /// Other hosts, for instant cache-consistency invalidation.
+    pub peers: RefCell<Vec<Weak<HostCtx>>>,
+    /// Set once the first measured (non-warmup) operation issues; flipping
+    /// it resets all statistics.
+    pub warmup_over: Rc<Cell<bool>>,
+}
+
+impl HostCtx {
+    /// True if this host has a RAM cache tier.
+    pub fn has_ram(&self) -> bool {
+        self.cfg.ram_blocks() > 0
+    }
+
+    /// True if this host has a flash cache tier.
+    pub fn has_flash(&self) -> bool {
+        self.cfg.flash_blocks() > 0
+    }
+
+    /// Maps a file block address onto the flash device's LBA space for the
+    /// I/O log (the simulator does not model flash layout; a stable hash
+    /// preserves the locality structure the SSD model cares about).
+    pub fn flash_lba(&self, addr: BlockAddr) -> u64 {
+        let cap = self.cfg.flash_blocks().max(1) as u64;
+        (addr.to_u64().wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 16) % cap
+    }
+
+    /// Invalidates copies of `addr` held by *other* hosts (instant, global
+    /// knowledge, §3.8); returns how many hosts held a copy.
+    pub fn invalidate_peers(&self, addr: BlockAddr) -> u64 {
+        let mut count = 0u64;
+        for peer in self.peers.borrow().iter().filter_map(Weak::upgrade) {
+            let mut held = false;
+            if peer.ram.borrow_mut().remove(addr).is_some() {
+                held = true;
+            }
+            if peer.flash.borrow_mut().remove(addr).is_some() {
+                held = true;
+            }
+            if let Some(u) = &peer.unified {
+                if u.borrow_mut().remove(addr).is_some() {
+                    held = true;
+                }
+            }
+            if held {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Flips the warmup flag on the first measured op, resetting every
+    /// statistics counter so that "statistics are not collected" for the
+    /// warmup half of the trace (§4).
+    pub fn maybe_end_warmup(&self) {
+        if self.warmup_over.get() {
+            return;
+        }
+        self.warmup_over.set(true);
+        self.reset_stats();
+        for peer in self.peers.borrow().iter().filter_map(Weak::upgrade) {
+            peer.reset_stats();
+        }
+        self.filer.reset_stats();
+        self.metrics.reset();
+    }
+
+    fn reset_stats(&self) {
+        self.ram.borrow_mut().reset_stats();
+        self.flash.borrow_mut().reset_stats();
+        if let Some(u) = &self.unified {
+            u.borrow_mut().reset_stats();
+        }
+        self.segment.reset_stats();
+    }
+}
+
+impl std::fmt::Debug for HostCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HostCtx")
+            .field("id", &self.id)
+            .field("ram", &self.ram.borrow())
+            .field("flash", &self.flash.borrow())
+            .finish()
+    }
+}

@@ -1,0 +1,65 @@
+//! Client-side flash-cache simulator — reproduction of *Flash Caching on
+//! the Storage Client* (Holland, Angelino, Wald, Seltzer; USENIX ATC 2013).
+//!
+//! The paper studies flash as a cache on the **client** side of a networked
+//! storage environment: compute servers ("hosts") with a RAM buffer cache
+//! and a flash cache, talking to a shared file server ("filer") over
+//! private network segments. This crate is the trace-driven simulator at
+//! the center of that study:
+//!
+//! - three cache architectures ([`Architecture`]): *naive*, *lookaside*
+//!   (Mercury-style), and *unified*;
+//! - seven writeback policies per tier ([`WritebackPolicy`]), giving the
+//!   49-combination policy surface of Figure 2;
+//! - the paper's timing models for RAM, flash, network, and filer
+//!   ([`SimConfig`], Table 1);
+//! - instant global-knowledge cache-consistency invalidation (§3.8) and
+//!   persistence modeling (§7.8).
+//!
+//! # Quick start
+//!
+//! ```
+//! use fcache::{run_trace, SimConfig};
+//! use fcache_fsmodel::{FsModel, FsModelConfig};
+//! use fcache_trace::{generate, TraceGenConfig};
+//! use fcache_types::ByteSize;
+//!
+//! // A laptop-scale version of the paper's baseline experiment.
+//! let model = FsModel::generate(FsModelConfig {
+//!     total_bytes: ByteSize::mib(64),
+//!     seed: 1,
+//!     ..FsModelConfig::default()
+//! });
+//! let trace = generate(&model, TraceGenConfig {
+//!     working_set: ByteSize::mib(4),
+//!     seed: 2,
+//!     ..TraceGenConfig::default()
+//! });
+//! let cfg = SimConfig {
+//!     ram_size: ByteSize::mib(1),
+//!     flash_size: ByteSize::mib(8),
+//!     ..SimConfig::baseline()
+//! };
+//! let report = run_trace(&cfg, &trace).unwrap();
+//! println!("read latency: {:.1} µs/block", report.read_latency_us());
+//! ```
+
+pub mod arch;
+pub mod config;
+pub mod engine;
+pub mod experiment;
+pub mod histogram;
+pub mod host;
+pub mod metrics;
+pub mod policy;
+pub mod report;
+pub mod sim;
+
+pub use arch::Architecture;
+pub use config::SimConfig;
+pub use experiment::{Workbench, WorkloadSpec};
+pub use histogram::{HistogramSnapshot, LatencyHistogram};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use policy::WritebackPolicy;
+pub use report::SimReport;
+pub use sim::{run_trace, SimError};

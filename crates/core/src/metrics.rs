@@ -1,0 +1,246 @@
+//! Application-level metrics.
+//!
+//! "In evaluating possible configurations, we use the latency experienced
+//! by the application as the governing metric." (§7). Latencies are
+//! accumulated per block (operations span several blocks; every figure in
+//! the paper reports per-block application latency — e.g. the no-flash read
+//! plateau of ≈0.9 ms equals exactly one expected filer block read).
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use fcache_des::SimTime;
+use fcache_types::OpKind;
+
+use crate::histogram::{HistogramSnapshot, LatencyHistogram};
+
+/// Shared metrics sink; clones share the underlying counters.
+#[derive(Clone, Default)]
+pub struct Metrics {
+    inner: Rc<MetricsInner>,
+}
+
+#[derive(Default)]
+struct MetricsInner {
+    read_ops: Cell<u64>,
+    write_ops: Cell<u64>,
+    read_blocks: Cell<u64>,
+    write_blocks: Cell<u64>,
+    read_latency: Cell<u64>,  // ns, summed per op
+    write_latency: Cell<u64>, // ns
+    // Consistency probe (§3.8): application-level block writes, and how
+    // many triggered an invalidation at some other host.
+    tracked_writes: Cell<u64>,
+    writes_invalidating: Cell<u64>,
+    invalidated_blocks: Cell<u64>,
+    // Per-operation latency distributions.
+    read_hist: LatencyHistogram,
+    write_hist: LatencyHistogram,
+}
+
+impl Metrics {
+    /// Creates a fresh sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed application operation.
+    pub fn record_op(&self, kind: OpKind, latency: SimTime, blocks: u32) {
+        let i = &self.inner;
+        match kind {
+            OpKind::Read => {
+                i.read_ops.set(i.read_ops.get() + 1);
+                i.read_blocks.set(i.read_blocks.get() + u64::from(blocks));
+                i.read_latency
+                    .set(i.read_latency.get() + latency.as_nanos());
+                i.read_hist.record(latency);
+            }
+            OpKind::Write => {
+                i.write_ops.set(i.write_ops.get() + 1);
+                i.write_blocks.set(i.write_blocks.get() + u64::from(blocks));
+                i.write_latency
+                    .set(i.write_latency.get() + latency.as_nanos());
+                i.write_hist.record(latency);
+            }
+        }
+    }
+
+    /// Records the consistency outcome of one application block write.
+    pub fn record_block_write(&self, invalidated_elsewhere: u64) {
+        let i = &self.inner;
+        i.tracked_writes.set(i.tracked_writes.get() + 1);
+        if invalidated_elsewhere > 0 {
+            i.writes_invalidating.set(i.writes_invalidating.get() + 1);
+            i.invalidated_blocks
+                .set(i.invalidated_blocks.get() + invalidated_elsewhere);
+        }
+    }
+
+    /// Snapshot of the counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let i = &self.inner;
+        MetricsSnapshot {
+            read_ops: i.read_ops.get(),
+            write_ops: i.write_ops.get(),
+            read_blocks: i.read_blocks.get(),
+            write_blocks: i.write_blocks.get(),
+            read_latency: SimTime::from_nanos(i.read_latency.get()),
+            write_latency: SimTime::from_nanos(i.write_latency.get()),
+            tracked_writes: i.tracked_writes.get(),
+            writes_invalidating: i.writes_invalidating.get(),
+            invalidated_blocks: i.invalidated_blocks.get(),
+            read_hist: i.read_hist.snapshot(),
+            write_hist: i.write_hist.snapshot(),
+        }
+    }
+
+    /// Zeroes every counter (called when warmup ends).
+    pub fn reset(&self) {
+        let i = &self.inner;
+        i.read_ops.set(0);
+        i.write_ops.set(0);
+        i.read_blocks.set(0);
+        i.write_blocks.set(0);
+        i.read_latency.set(0);
+        i.write_latency.set(0);
+        i.tracked_writes.set(0);
+        i.writes_invalidating.set(0);
+        i.invalidated_blocks.set(0);
+        i.read_hist.reset();
+        i.write_hist.reset();
+    }
+}
+
+/// Immutable view of the metric counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Completed read operations.
+    pub read_ops: u64,
+    /// Completed write operations.
+    pub write_ops: u64,
+    /// Blocks read.
+    pub read_blocks: u64,
+    /// Blocks written.
+    pub write_blocks: u64,
+    /// Sum of read operation latencies.
+    pub read_latency: SimTime,
+    /// Sum of write operation latencies.
+    pub write_latency: SimTime,
+    /// Application block writes tracked by the consistency probe.
+    pub tracked_writes: u64,
+    /// Tracked writes that invalidated a copy at another host.
+    pub writes_invalidating: u64,
+    /// Total remote copies invalidated.
+    pub invalidated_blocks: u64,
+    /// Per-operation read latency distribution.
+    pub read_hist: HistogramSnapshot,
+    /// Per-operation write latency distribution.
+    pub write_hist: HistogramSnapshot,
+}
+
+impl MetricsSnapshot {
+    /// Mean per-block read latency in microseconds.
+    pub fn read_latency_us(&self) -> f64 {
+        if self.read_blocks == 0 {
+            0.0
+        } else {
+            self.read_latency.as_nanos() as f64 / self.read_blocks as f64 / 1000.0
+        }
+    }
+
+    /// Mean per-block write latency in microseconds.
+    pub fn write_latency_us(&self) -> f64 {
+        if self.write_blocks == 0 {
+            0.0
+        } else {
+            self.write_latency.as_nanos() as f64 / self.write_blocks as f64 / 1000.0
+        }
+    }
+
+    /// Mean per-operation read latency in microseconds.
+    pub fn read_latency_per_op_us(&self) -> f64 {
+        if self.read_ops == 0 {
+            0.0
+        } else {
+            self.read_latency.as_nanos() as f64 / self.read_ops as f64 / 1000.0
+        }
+    }
+
+    /// Percentage of application block writes requiring an invalidation
+    /// (the y-axis of Figures 11 and 12).
+    pub fn invalidation_pct(&self) -> f64 {
+        if self.tracked_writes == 0 {
+            0.0
+        } else {
+            100.0 * self.writes_invalidating as f64 / self.tracked_writes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_averages_per_block() {
+        let m = Metrics::new();
+        m.record_op(OpKind::Read, SimTime::from_micros(100), 4);
+        m.record_op(OpKind::Read, SimTime::from_micros(50), 1);
+        let s = m.snapshot();
+        assert_eq!(s.read_ops, 2);
+        assert_eq!(s.read_blocks, 5);
+        assert_eq!(s.read_latency_us(), 30.0); // 150 µs / 5 blocks
+        assert_eq!(s.read_latency_per_op_us(), 75.0);
+        assert_eq!(s.write_ops, 0);
+        assert_eq!(s.write_latency_us(), 0.0);
+    }
+
+    #[test]
+    fn write_counters_separate() {
+        let m = Metrics::new();
+        m.record_op(OpKind::Write, SimTime::from_micros(10), 2);
+        let s = m.snapshot();
+        assert_eq!(s.write_ops, 1);
+        assert_eq!(s.write_blocks, 2);
+        assert_eq!(s.write_latency_us(), 5.0);
+        assert_eq!(s.read_ops, 0);
+    }
+
+    #[test]
+    fn invalidation_percentage() {
+        let m = Metrics::new();
+        m.record_block_write(0);
+        m.record_block_write(2);
+        m.record_block_write(1);
+        m.record_block_write(0);
+        let s = m.snapshot();
+        assert_eq!(s.tracked_writes, 4);
+        assert_eq!(s.writes_invalidating, 2);
+        assert_eq!(s.invalidated_blocks, 3);
+        assert_eq!(s.invalidation_pct(), 50.0);
+    }
+
+    #[test]
+    fn reset_zeroes_all() {
+        let m = Metrics::new();
+        m.record_op(OpKind::Read, SimTime::from_micros(1), 1);
+        m.record_block_write(1);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = Metrics::new();
+        let b = a.clone();
+        b.record_op(OpKind::Read, SimTime::from_micros(1), 1);
+        assert_eq!(a.snapshot().read_ops, 1);
+    }
+
+    #[test]
+    fn empty_snapshot_is_nan_free() {
+        let s = Metrics::new().snapshot();
+        assert_eq!(s.read_latency_us(), 0.0);
+        assert_eq!(s.invalidation_pct(), 0.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Writeback policies.
+//!
+//! §3.5 of the paper, applied independently to the RAM and flash tiers
+//! (§3.6), giving 7 × 7 = 49 combinations per architecture:
+//!
+//! - **write-through** (`s`) — "data is immediately written to the server,
+//!   blocking the requester until completion."
+//! - **asynchronous write-through** (`a`) — "data is immediately written to
+//!   the server without blocking the requester."
+//! - **periodic** (`p1`, `p5`, `p15`, `p30`) — "dirty data remains in the
+//!   cache until a syncer thread flushes the data back to the server."
+//! - **none** (`n`) — "dirty data remains in the cache until evicted for
+//!   capacity reasons."
+
+use core::fmt;
+use std::str::FromStr;
+
+use fcache_des::SimTime;
+
+/// When dirty blocks move from a cache tier to the next level down.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum WritebackPolicy {
+    /// Synchronous write-through (`s`).
+    WriteThrough,
+    /// Asynchronous write-through (`a`).
+    AsyncWriteThrough,
+    /// Periodic syncer with the given period in seconds (`pN`).
+    Periodic(u32),
+    /// No writeback except capacity eviction (`n`).
+    None,
+}
+
+impl WritebackPolicy {
+    /// The paper's seven policies in presentation order
+    /// (`s a p1 p5 p15 p30 n`, the axes of Figure 2).
+    pub const ALL: [WritebackPolicy; 7] = [
+        WritebackPolicy::WriteThrough,
+        WritebackPolicy::AsyncWriteThrough,
+        WritebackPolicy::Periodic(1),
+        WritebackPolicy::Periodic(5),
+        WritebackPolicy::Periodic(15),
+        WritebackPolicy::Periodic(30),
+        WritebackPolicy::None,
+    ];
+
+    /// Short label as used in the paper's figures.
+    pub fn label(&self) -> String {
+        match self {
+            WritebackPolicy::WriteThrough => "s".into(),
+            WritebackPolicy::AsyncWriteThrough => "a".into(),
+            WritebackPolicy::Periodic(s) => format!("p{s}"),
+            WritebackPolicy::None => "n".into(),
+        }
+    }
+
+    /// Syncer period, if this is a periodic policy.
+    pub fn period(&self) -> Option<SimTime> {
+        match self {
+            WritebackPolicy::Periodic(s) => Some(SimTime::from_secs(u64::from(*s))),
+            _ => None,
+        }
+    }
+
+    /// True if a write into the tier must block until the flush completes.
+    pub fn is_synchronous(&self) -> bool {
+        matches!(self, WritebackPolicy::WriteThrough)
+    }
+}
+
+impl fmt::Display for WritebackPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Error parsing a policy label.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsePolicyError(pub String);
+
+impl fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown writeback policy {:?} (expected s, a, pN, or n)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParsePolicyError {}
+
+impl FromStr for WritebackPolicy {
+    type Err = ParsePolicyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "s" => Ok(WritebackPolicy::WriteThrough),
+            "a" => Ok(WritebackPolicy::AsyncWriteThrough),
+            "n" => Ok(WritebackPolicy::None),
+            _ => {
+                if let Some(num) = s.strip_prefix('p') {
+                    if let Ok(v) = num.parse::<u32>() {
+                        if v > 0 {
+                            return Ok(WritebackPolicy::Periodic(v));
+                        }
+                    }
+                }
+                Err(ParsePolicyError(s.to_string()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_axes() {
+        let labels: Vec<String> = WritebackPolicy::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels, vec!["s", "a", "p1", "p5", "p15", "p30", "n"]);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for p in WritebackPolicy::ALL {
+            assert_eq!(p.label().parse::<WritebackPolicy>().unwrap(), p);
+        }
+        assert_eq!(
+            "p120".parse::<WritebackPolicy>().unwrap(),
+            WritebackPolicy::Periodic(120)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "x", "p", "p0", "ps", "S"] {
+            assert!(bad.parse::<WritebackPolicy>().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn period_only_for_periodic() {
+        assert_eq!(
+            WritebackPolicy::Periodic(5).period(),
+            Some(SimTime::from_secs(5))
+        );
+        assert_eq!(WritebackPolicy::WriteThrough.period(), None);
+        assert_eq!(WritebackPolicy::None.period(), None);
+    }
+
+    #[test]
+    fn only_s_is_synchronous() {
+        assert!(WritebackPolicy::WriteThrough.is_synchronous());
+        assert!(!WritebackPolicy::AsyncWriteThrough.is_synchronous());
+        assert!(!WritebackPolicy::Periodic(1).is_synchronous());
+        assert!(!WritebackPolicy::None.is_synchronous());
+    }
+
+    #[test]
+    fn forty_nine_combinations() {
+        let mut n = 0;
+        for _ram in WritebackPolicy::ALL {
+            for _flash in WritebackPolicy::ALL {
+                n += 1;
+            }
+        }
+        assert_eq!(n, 49);
+    }
+}

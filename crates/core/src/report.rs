@@ -1,0 +1,174 @@
+//! Aggregated results of one simulation run.
+
+use core::fmt;
+
+use fcache_cache::CacheStats;
+use fcache_des::SimTime;
+use fcache_device::IoLogEntry;
+use fcache_filer::FilerStats;
+use fcache_net::SegmentStats;
+
+use crate::metrics::MetricsSnapshot;
+
+/// Everything measured by one simulation run (post-warmup unless noted).
+#[derive(Clone, Debug, Default)]
+pub struct SimReport {
+    /// Application-level latency metrics.
+    pub metrics: MetricsSnapshot,
+    /// RAM tier counters, summed over hosts (naive/lookaside).
+    pub ram: CacheStats,
+    /// Flash tier counters, summed over hosts (naive/lookaside).
+    pub flash: CacheStats,
+    /// Unified cache counters, summed over hosts (unified architecture).
+    pub unified: CacheStats,
+    /// Filer service counters.
+    pub filer: FilerStats,
+    /// Network counters, summed over host segments.
+    pub net: SegmentStats,
+    /// Simulated time at completion (includes warmup).
+    pub end_time: SimTime,
+    /// Executor polls performed (a proxy for simulation work).
+    pub events: u64,
+    /// Flash I/O log (present only when `log_flash_io` was set; covers the
+    /// whole run including warmup, since device fill behavior is the point).
+    pub flash_iolog: Option<Vec<IoLogEntry>>,
+}
+
+impl SimReport {
+    /// Mean per-block application read latency (µs) — the paper's primary
+    /// metric.
+    pub fn read_latency_us(&self) -> f64 {
+        self.metrics.read_latency_us()
+    }
+
+    /// Mean per-block application write latency (µs).
+    pub fn write_latency_us(&self) -> f64 {
+        self.metrics.write_latency_us()
+    }
+
+    /// RAM cache hit rate over measured lookups.
+    pub fn ram_hit_rate(&self) -> f64 {
+        self.ram.hit_rate()
+    }
+
+    /// Flash hit rate over lookups that reached the flash tier.
+    pub fn flash_hit_rate(&self) -> f64 {
+        self.flash.hit_rate()
+    }
+
+    /// Flash hits as a fraction of *all* block reads (the §7.2 accounting:
+    /// "the flash hit rate varies from 0 … to 47%").
+    pub fn flash_hit_rate_of_all_reads(&self) -> f64 {
+        let all = self.ram.lookups().max(self.flash.lookups());
+        if all == 0 {
+            0.0
+        } else {
+            self.flash.hits as f64 / all as f64
+        }
+    }
+
+    /// Percentage of block writes that invalidated a copy at another host.
+    pub fn invalidation_pct(&self) -> f64 {
+        self.metrics.invalidation_pct()
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "simulated time     {}", self.end_time)?;
+        writeln!(
+            f,
+            "reads              {} ops / {} blocks, {:.1} us/block",
+            self.metrics.read_ops,
+            self.metrics.read_blocks,
+            self.read_latency_us()
+        )?;
+        writeln!(
+            f,
+            "writes             {} ops / {} blocks, {:.1} us/block",
+            self.metrics.write_ops,
+            self.metrics.write_blocks,
+            self.write_latency_us()
+        )?;
+        let (rp50, rp95, rp99) = self.metrics.read_hist.p50_p95_p99_us();
+        let (wp50, wp95, wp99) = self.metrics.write_hist.p50_p95_p99_us();
+        if self.metrics.read_ops > 0 {
+            writeln!(
+                f,
+                "read p50/p95/p99   {rp50:.0} / {rp95:.0} / {rp99:.0} us (per op, bucketed)"
+            )?;
+        }
+        if self.metrics.write_ops > 0 {
+            writeln!(
+                f,
+                "write p50/p95/p99  {wp50:.0} / {wp95:.0} / {wp99:.0} us (per op, bucketed)"
+            )?;
+        }
+        writeln!(
+            f,
+            "ram                {:.1}% hit ({} / {})",
+            100.0 * self.ram_hit_rate(),
+            self.ram.hits,
+            self.ram.lookups()
+        )?;
+        writeln!(
+            f,
+            "flash              {:.1}% hit ({} / {})",
+            100.0 * self.flash_hit_rate(),
+            self.flash.hits,
+            self.flash.lookups()
+        )?;
+        if self.unified.lookups() > 0 {
+            writeln!(
+                f,
+                "unified            {:.1}% hit ({} / {})",
+                100.0 * self.unified.hit_rate(),
+                self.unified.hits,
+                self.unified.lookups()
+            )?;
+        }
+        writeln!(
+            f,
+            "filer              {} fast / {} slow reads, {} writes",
+            self.filer.fast_reads, self.filer.slow_reads, self.filer.writes
+        )?;
+        writeln!(
+            f,
+            "network            {} packets, {} payload bytes",
+            self.net.packets, self.net.payload_bytes
+        )?;
+        if self.metrics.tracked_writes > 0 {
+            writeln!(
+                f,
+                "invalidations      {:.1}% of {} block writes",
+                self.invalidation_pct(),
+                self.metrics.tracked_writes
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_is_nan_free() {
+        let r = SimReport::default();
+        assert_eq!(r.read_latency_us(), 0.0);
+        assert_eq!(r.write_latency_us(), 0.0);
+        assert_eq!(r.ram_hit_rate(), 0.0);
+        assert_eq!(r.flash_hit_rate_of_all_reads(), 0.0);
+        assert_eq!(r.invalidation_pct(), 0.0);
+    }
+
+    #[test]
+    fn display_includes_key_lines() {
+        let r = SimReport::default();
+        let s = r.to_string();
+        for needle in ["reads", "writes", "ram", "flash", "filer", "network"] {
+            assert!(s.contains(needle), "missing {needle}");
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Whole-simulator property tests: arbitrary (small) traces and
+//! configurations must run to completion — no deadlocks, no panics — and
+//! conserve basic accounting invariants.
+
+use fcache::{run_trace, Architecture, SimConfig, WritebackPolicy};
+use fcache_cache::EvictionPolicy;
+use fcache_types::{ByteSize, FileId, HostId, OpKind, ThreadId, Trace, TraceMeta, TraceOp};
+use proptest::prelude::*;
+
+fn op_strategy(hosts: u16, threads: u16) -> impl Strategy<Value = TraceOp> {
+    (
+        0..hosts,
+        0..threads,
+        any::<bool>(),
+        0u32..16,
+        0u32..64,
+        1u32..8,
+        any::<bool>(),
+    )
+        .prop_map(|(h, t, w, file, start, n, warm)| TraceOp {
+            host: HostId(h),
+            thread: ThreadId(t),
+            kind: if w { OpKind::Write } else { OpKind::Read },
+            file: FileId(file),
+            start_block: start,
+            nblocks: n,
+            warmup: warm,
+        })
+}
+
+fn arch_strategy() -> impl Strategy<Value = Architecture> {
+    prop_oneof![
+        Just(Architecture::Naive),
+        Just(Architecture::Lookaside),
+        Just(Architecture::Unified),
+    ]
+}
+
+fn policy_strategy() -> impl Strategy<Value = WritebackPolicy> {
+    prop_oneof![
+        Just(WritebackPolicy::WriteThrough),
+        Just(WritebackPolicy::AsyncWriteThrough),
+        (1u32..5).prop_map(WritebackPolicy::Periodic),
+        Just(WritebackPolicy::None),
+    ]
+}
+
+fn replacement_strategy() -> impl Strategy<Value = EvictionPolicy> {
+    prop_oneof![
+        Just(EvictionPolicy::Lru),
+        Just(EvictionPolicy::Fifo),
+        Just(EvictionPolicy::Clock),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_config_any_trace_completes_and_conserves_ops(
+        arch in arch_strategy(),
+        ram_policy in policy_strategy(),
+        flash_policy in policy_strategy(),
+        replacement in replacement_strategy(),
+        ram_blocks in 0usize..8,
+        flash_blocks in 0usize..32,
+        duplex in any::<bool>(),
+        populate in any::<bool>(),
+        inclusive in any::<bool>(),
+        charge in any::<bool>(),
+        hosts in 1u16..3,
+        ops in proptest::collection::vec(op_strategy(3, 3), 1..60),
+    ) {
+        // Unified with zero total frames cannot exist; give it one block.
+        let flash_blocks = if arch == Architecture::Unified && ram_blocks + flash_blocks == 0 {
+            1
+        } else {
+            flash_blocks
+        };
+        let cfg = SimConfig {
+            arch,
+            ram_size: ByteSize::bytes_exact(4096 * ram_blocks as u64),
+            flash_size: ByteSize::bytes_exact(4096 * flash_blocks as u64),
+            ram_policy,
+            flash_policy,
+            replacement,
+            duplex_network: duplex,
+            populate_flash_on_read: populate,
+            inclusive_promotion: inclusive,
+            charge_flash_read_on_writeback: charge,
+            ..SimConfig::baseline()
+        };
+        // Clamp host ids into range and count measured ops.
+        let ops: Vec<TraceOp> = ops
+            .into_iter()
+            .map(|mut o| {
+                o.host = HostId(o.host.0 % hosts);
+                o
+            })
+            .collect();
+        let measured_reads =
+            ops.iter().filter(|o| !o.warmup && o.kind == OpKind::Read).count() as u64;
+        let measured_writes =
+            ops.iter().filter(|o| !o.warmup && o.kind == OpKind::Write).count() as u64;
+        let any_measured = ops.iter().any(|o| !o.warmup);
+        let trace = Trace {
+            meta: TraceMeta { hosts, threads_per_host: 3, ..TraceMeta::default() },
+            ops,
+        };
+
+        let report = run_trace(&cfg, &trace);
+        let report = report.expect("simulation must complete without deadlock");
+
+        // Conservation: when the warmup boundary races between threads the
+        // reset can only *drop* early measured ops, never invent them.
+        prop_assert!(report.metrics.read_ops <= measured_reads);
+        prop_assert!(report.metrics.write_ops <= measured_writes);
+        if any_measured {
+            prop_assert!(
+                report.metrics.read_ops + report.metrics.write_ops > 0
+                    || measured_reads + measured_writes == 0
+            );
+        }
+        // Latency sums are consistent with op counts.
+        if report.metrics.read_ops == 0 {
+            prop_assert_eq!(report.metrics.read_latency.as_nanos(), 0);
+        }
+        if report.metrics.write_ops == 0 {
+            prop_assert_eq!(report.metrics.write_latency.as_nanos(), 0);
+        }
+        // Caches never exceed capacity (indirectly: no negative counters,
+        // hit rates bounded).
+        prop_assert!(report.ram_hit_rate() <= 1.0);
+        prop_assert!(report.flash_hit_rate() <= 1.0);
+        prop_assert!(report.invalidation_pct() <= 100.0);
+        // Determinism: a second run agrees exactly.
+        let again = run_trace(&cfg, &trace).expect("second run");
+        prop_assert_eq!(report.metrics, again.metrics);
+        prop_assert_eq!(report.end_time, again.end_time);
+    }
+}

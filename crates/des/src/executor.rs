@@ -1,0 +1,785 @@
+//! The deterministic task executor and simulated clock.
+//!
+//! Tasks are ordinary Rust `Future`s polled by a single-threaded run loop.
+//! The loop alternates two steps: drain the FIFO ready queue, then advance
+//! the clock to the earliest pending timer and wake the sleepers registered
+//! there. The simulation finishes when every non-daemon task has completed;
+//! daemon tasks (e.g. periodic writeback syncers, which loop forever) do not
+//! keep the simulation alive.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+use crate::sync::{oneshot, OneshotReceiver};
+use crate::time::SimTime;
+
+/// Identifier of a spawned task: slot index in the low 32 bits, generation
+/// in the high 32 bits (so a stale waker cannot poll a recycled slot).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct TaskId(u64);
+
+impl TaskId {
+    fn new(slot: u32, generation: u32) -> Self {
+        Self(((generation as u64) << 32) | slot as u64)
+    }
+
+    fn slot(self) -> usize {
+        (self.0 & 0xffff_ffff) as usize
+    }
+
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
+type BoxedFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+/// State of one task slot.
+enum Slot {
+    /// No task; holds the next generation to assign.
+    Free { next_generation: u32 },
+    /// A parked task waiting to be polled.
+    Parked {
+        generation: u32,
+        future: BoxedFuture,
+        waker: Waker,
+        daemon: bool,
+    },
+    /// The task is currently being polled (future temporarily moved out).
+    Running { generation: u32, daemon: bool },
+}
+
+/// FIFO ready queue shared with wakers.
+///
+/// The executor is single-threaded, but `std::task::Waker` requires
+/// `Send + Sync`, so the queue sits behind a (never-contended) mutex.
+struct ReadyQueue {
+    queue: Mutex<VecDeque<TaskId>>,
+}
+
+impl ReadyQueue {
+    fn push(&self, id: TaskId) {
+        self.queue
+            .lock()
+            .expect("ready queue poisoned")
+            .push_back(id);
+    }
+
+    fn pop(&self) -> Option<TaskId> {
+        self.queue.lock().expect("ready queue poisoned").pop_front()
+    }
+}
+
+struct TaskWaker {
+    id: TaskId,
+    ready: Arc<ReadyQueue>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.push(self.id);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready.push(self.id);
+    }
+}
+
+/// A timer registration: wake `waker` once the clock reaches `deadline`.
+struct TimerEntry {
+    deadline: SimTime,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+
+impl Eq for TimerEntry {}
+
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+struct SimInner {
+    now: Cell<SimTime>,
+    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+    ready: Arc<ReadyQueue>,
+    slots: RefCell<Vec<Slot>>,
+    free_slots: RefCell<Vec<u32>>,
+    live_tasks: Cell<usize>,
+    timer_seq: Cell<u64>,
+    events_processed: Cell<u64>,
+}
+
+/// Handle to a simulation: clock, spawner, and run loop.
+///
+/// `Sim` is a cheap `Rc` clone; tasks capture clones to sleep and spawn.
+/// Call [`Sim::run`] after spawning the initial tasks.
+#[derive(Clone)]
+pub struct Sim {
+    inner: Rc<SimInner>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// Creates a fresh simulation with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Self {
+            inner: Rc::new(SimInner {
+                now: Cell::new(SimTime::ZERO),
+                timers: RefCell::new(BinaryHeap::new()),
+                ready: Arc::new(ReadyQueue {
+                    queue: Mutex::new(VecDeque::new()),
+                }),
+                slots: RefCell::new(Vec::new()),
+                free_slots: RefCell::new(Vec::new()),
+                live_tasks: Cell::new(0),
+                timer_seq: Cell::new(0),
+                events_processed: Cell::new(0),
+            }),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.inner.now.get()
+    }
+
+    /// Total task polls performed so far (a cheap event-count metric).
+    pub fn events_processed(&self) -> u64 {
+        self.inner.events_processed.get()
+    }
+
+    /// Number of live (incomplete) non-daemon tasks.
+    pub fn live_tasks(&self) -> usize {
+        self.inner.live_tasks.get()
+    }
+
+    /// Spawns a task; the simulation runs until all non-daemon tasks finish.
+    ///
+    /// Returns a [`JoinHandle`] that can be awaited inside the simulation or
+    /// queried with [`JoinHandle::try_result`] after [`Sim::run`] returns.
+    pub fn spawn<F>(&self, future: F) -> JoinHandle<F::Output>
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        self.spawn_inner(future, false)
+    }
+
+    /// Spawns a daemon task: it runs like any other task but does not keep
+    /// the simulation alive (used for periodic syncer threads that loop
+    /// forever).
+    pub fn spawn_daemon<F>(&self, future: F) -> JoinHandle<F::Output>
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        self.spawn_inner(future, true)
+    }
+
+    fn spawn_inner<F>(&self, future: F, daemon: bool) -> JoinHandle<F::Output>
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        let (tx, rx) = oneshot();
+        let wrapped: BoxedFuture = Box::pin(async move {
+            let out = future.await;
+            // The receiver may have been dropped; that's fine.
+            let _ = tx.send(out);
+        });
+
+        let mut slots = self.inner.slots.borrow_mut();
+        let (slot_idx, generation) = match self.inner.free_slots.borrow_mut().pop() {
+            Some(idx) => {
+                let generation = match slots[idx as usize] {
+                    Slot::Free { next_generation } => next_generation,
+                    _ => unreachable!("free list points at a non-free slot"),
+                };
+                (idx, generation)
+            }
+            None => {
+                slots.push(Slot::Free { next_generation: 0 });
+                ((slots.len() - 1) as u32, 0)
+            }
+        };
+        let id = TaskId::new(slot_idx, generation);
+        let waker = Waker::from(Arc::new(TaskWaker {
+            id,
+            ready: Arc::clone(&self.inner.ready),
+        }));
+        slots[slot_idx as usize] = Slot::Parked {
+            generation,
+            future: wrapped,
+            waker,
+            daemon,
+        };
+        drop(slots);
+
+        if !daemon {
+            self.inner.live_tasks.set(self.inner.live_tasks.get() + 1);
+        }
+        self.inner.ready.push(id);
+        JoinHandle { rx }
+    }
+
+    /// Returns a future that completes once the clock has advanced by `d`.
+    pub fn sleep(&self, d: SimTime) -> Sleep {
+        Sleep {
+            sim: self.clone(),
+            deadline: self.now().checked_add(d).expect("simulated clock overflow"),
+            registered: false,
+        }
+    }
+
+    /// Returns a future that completes when the clock reaches `deadline`
+    /// (immediately if it already has).
+    pub fn sleep_until(&self, deadline: SimTime) -> Sleep {
+        Sleep {
+            sim: self.clone(),
+            deadline,
+            registered: false,
+        }
+    }
+
+    /// Registers `waker` to fire at `deadline`.
+    pub(crate) fn register_timer(&self, deadline: SimTime, waker: Waker) {
+        let seq = self.inner.timer_seq.get();
+        self.inner.timer_seq.set(seq + 1);
+        self.inner.timers.borrow_mut().push(Reverse(TimerEntry {
+            deadline,
+            seq,
+            waker,
+        }));
+    }
+
+    /// Polls one task by id; ignores stale or already-running ids.
+    fn poll_task(&self, id: TaskId) {
+        let (mut future, waker, daemon) = {
+            let mut slots = self.inner.slots.borrow_mut();
+            let slot = match slots.get_mut(id.slot()) {
+                Some(s) => s,
+                None => return,
+            };
+            match std::mem::replace(slot, Slot::Free { next_generation: 0 }) {
+                Slot::Parked {
+                    generation,
+                    future,
+                    waker,
+                    daemon,
+                } if generation == id.generation() => {
+                    *slot = Slot::Running { generation, daemon };
+                    (future, waker, daemon)
+                }
+                other => {
+                    // Stale wake (recycled slot or duplicate wake while
+                    // running): restore and ignore.
+                    *slot = other;
+                    return;
+                }
+            }
+        };
+
+        self.inner
+            .events_processed
+            .set(self.inner.events_processed.get() + 1);
+        let mut cx = Context::from_waker(&waker);
+        let done = future.as_mut().poll(&mut cx).is_ready();
+
+        let mut slots = self.inner.slots.borrow_mut();
+        let slot = &mut slots[id.slot()];
+        debug_assert!(
+            matches!(*slot, Slot::Running { generation, daemon: d } if generation == id.generation() && d == daemon),
+            "slot changed while task was running"
+        );
+        if done {
+            *slot = Slot::Free {
+                next_generation: id.generation().wrapping_add(1),
+            };
+            self.inner.free_slots.borrow_mut().push(id.slot() as u32);
+            if !daemon {
+                self.inner.live_tasks.set(self.inner.live_tasks.get() - 1);
+            }
+        } else {
+            *slot = Slot::Parked {
+                generation: id.generation(),
+                future,
+                waker,
+                daemon,
+            };
+        }
+    }
+
+    /// Runs the simulation until every non-daemon task completes.
+    ///
+    /// Returns a [`RunReport`] on success. Fails with [`RunError::Deadlock`]
+    /// if live tasks remain but no timer or ready task can make progress
+    /// (e.g. a cycle of resource waits).
+    pub fn run(&self) -> Result<RunReport, RunError> {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Runs until non-daemon tasks complete or the clock would pass `limit`.
+    ///
+    /// If the time limit stops the run, live tasks stay parked and a later
+    /// `run_until` call with a larger limit resumes them.
+    pub fn run_until(&self, limit: SimTime) -> Result<RunReport, RunError> {
+        loop {
+            // Drain everything runnable at the current instant.
+            while let Some(id) = self.inner.ready.pop() {
+                self.poll_task(id);
+            }
+
+            if self.inner.live_tasks.get() == 0 {
+                return Ok(self.report(false));
+            }
+
+            // Advance the clock to the earliest timer.
+            let next_deadline = match self.inner.timers.borrow().peek() {
+                Some(Reverse(e)) => e.deadline,
+                None => {
+                    return Err(RunError::Deadlock {
+                        live_tasks: self.inner.live_tasks.get(),
+                    })
+                }
+            };
+            if next_deadline > limit {
+                return Ok(self.report(true));
+            }
+            self.inner.now.set(next_deadline);
+
+            // Fire every timer at this deadline, in registration order.
+            loop {
+                let mut timers = self.inner.timers.borrow_mut();
+                match timers.peek() {
+                    Some(Reverse(e)) if e.deadline == next_deadline => {
+                        let Reverse(e) = timers.pop().expect("peeked entry vanished");
+                        drop(timers);
+                        e.waker.wake();
+                    }
+                    _ => break,
+                }
+            }
+        }
+    }
+
+    fn report(&self, hit_limit: bool) -> RunReport {
+        RunReport {
+            end_time: self.now(),
+            events: self.inner.events_processed.get(),
+            live_tasks: self.inner.live_tasks.get(),
+            hit_time_limit: hit_limit,
+        }
+    }
+
+    /// Drops all remaining tasks (daemons and blocked tasks) and timers.
+    ///
+    /// Call after [`Sim::run`] to break `Rc` reference cycles between the
+    /// executor and task futures that captured `Sim` clones.
+    pub fn shutdown(&self) {
+        self.inner.timers.borrow_mut().clear();
+        let mut slots = self.inner.slots.borrow_mut();
+        for slot in slots.iter_mut() {
+            if let Slot::Parked { .. } = slot {
+                *slot = Slot::Free { next_generation: 0 };
+            }
+        }
+        slots.clear();
+        self.inner.free_slots.borrow_mut().clear();
+        self.inner.live_tasks.set(0);
+    }
+}
+
+impl fmt::Debug for Sim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now())
+            .field("live_tasks", &self.inner.live_tasks.get())
+            .finish()
+    }
+}
+
+/// Outcome of [`Sim::run`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunReport {
+    /// Clock value when the run stopped.
+    pub end_time: SimTime,
+    /// Total task polls performed.
+    pub events: u64,
+    /// Non-daemon tasks still alive (nonzero only when a time limit stopped
+    /// the run).
+    pub live_tasks: usize,
+    /// True if the run stopped at the `run_until` limit.
+    pub hit_time_limit: bool,
+}
+
+/// Failure mode of [`Sim::run`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// Live tasks remain but nothing can wake them.
+    Deadlock {
+        /// How many non-daemon tasks are stuck.
+        live_tasks: usize,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Deadlock { live_tasks } => {
+                write!(
+                    f,
+                    "simulation deadlock: {live_tasks} task(s) blocked with no pending events"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Future returned by [`Sim::sleep`] / [`Sim::sleep_until`].
+pub struct Sleep {
+    sim: Sim,
+    deadline: SimTime,
+    registered: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.sim.now() >= self.deadline {
+            return Poll::Ready(());
+        }
+        if !self.registered {
+            self.registered = true;
+            let deadline = self.deadline;
+            self.sim.register_timer(deadline, cx.waker().clone());
+        }
+        Poll::Pending
+    }
+}
+
+/// Handle for retrieving a spawned task's output.
+///
+/// Await it inside the simulation, or call [`JoinHandle::try_result`] after
+/// the run loop returns.
+pub struct JoinHandle<T> {
+    rx: OneshotReceiver<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Returns the task output if the task has completed, else `None`.
+    pub fn try_result(self) -> Option<T> {
+        self.rx.try_recv()
+    }
+
+    /// True once the task has completed.
+    pub fn is_finished(&self) -> bool {
+        self.rx.is_ready()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        match Pin::new(&mut self.rx).poll(cx) {
+            Poll::Ready(Ok(v)) => Poll::Ready(v),
+            Poll::Ready(Err(_)) => panic!("joined task dropped without completing"),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+/// Cooperatively yields once, letting every already-ready task run first.
+///
+/// # Examples
+///
+/// ```
+/// use fcache_des::{executor::yield_now, Sim};
+///
+/// let sim = Sim::new();
+/// sim.spawn(async {
+///     yield_now().await;
+/// });
+/// sim.run().unwrap();
+/// ```
+pub fn yield_now() -> YieldNow {
+    YieldNow { yielded: false }
+}
+
+/// Future returned by [`yield_now`].
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn clock_starts_at_zero_and_advances_via_sleep() {
+        let sim = Sim::new();
+        assert_eq!(sim.now(), SimTime::ZERO);
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            s.sleep(SimTime::from_nanos(400)).await;
+            s.now()
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(h.try_result().unwrap(), SimTime::from_nanos(400));
+        assert_eq!(report.end_time, SimTime::from_nanos(400));
+        assert!(!report.hit_time_limit);
+    }
+
+    #[test]
+    fn zero_sleep_completes_immediately() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            s.sleep(SimTime::ZERO).await;
+            s.now()
+        });
+        sim.run().unwrap();
+        assert_eq!(h.try_result().unwrap(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn parallel_sleeps_overlap_not_serialize() {
+        let sim = Sim::new();
+        for _ in 0..10 {
+            let s = sim.clone();
+            sim.spawn(async move {
+                s.sleep(SimTime::from_micros(7)).await;
+            });
+        }
+        let report = sim.run().unwrap();
+        // Ten concurrent 7 µs sleeps finish at t = 7 µs, not 70 µs.
+        assert_eq!(report.end_time, SimTime::from_micros(7));
+    }
+
+    #[test]
+    fn timers_fire_in_deadline_then_registration_order() {
+        let sim = Sim::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for (i, us) in [(0u32, 5u64), (1, 3), (2, 5), (3, 1)] {
+            let s = sim.clone();
+            let order = Rc::clone(&order);
+            sim.spawn(async move {
+                s.sleep(SimTime::from_micros(us)).await;
+                order.borrow_mut().push(i);
+            });
+        }
+        sim.run().unwrap();
+        // Deadlines 1, 3, then the two 5 µs sleepers in spawn order.
+        assert_eq!(*order.borrow(), vec![3, 1, 0, 2]);
+    }
+
+    #[test]
+    fn spawned_tasks_can_spawn_more_tasks() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            let inner = s.spawn(async { 21 });
+            inner.await * 2
+        });
+        sim.run().unwrap();
+        assert_eq!(h.try_result().unwrap(), 42);
+    }
+
+    #[test]
+    fn daemon_does_not_keep_sim_alive() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.spawn_daemon(async move {
+            loop {
+                s.sleep(SimTime::from_secs(1)).await;
+            }
+        });
+        let s2 = sim.clone();
+        sim.spawn(async move {
+            s2.sleep(SimTime::from_millis(1500)).await;
+        });
+        let report = sim.run().unwrap();
+        // The daemon woke at t=1s but could not extend the run past the last
+        // real task at t=1.5s.
+        assert_eq!(report.end_time, SimTime::from_millis(1500));
+        sim.shutdown();
+    }
+
+    #[test]
+    fn daemon_work_interleaves_with_tasks() {
+        let sim = Sim::new();
+        let ticks = Rc::new(Cell::new(0u32));
+        let s = sim.clone();
+        let t = Rc::clone(&ticks);
+        sim.spawn_daemon(async move {
+            loop {
+                s.sleep(SimTime::from_secs(1)).await;
+                t.set(t.get() + 1);
+            }
+        });
+        let s2 = sim.clone();
+        sim.spawn(async move {
+            s2.sleep(SimTime::from_millis(3500)).await;
+        });
+        sim.run().unwrap();
+        assert_eq!(ticks.get(), 3);
+        sim.shutdown();
+    }
+
+    #[test]
+    fn run_until_stops_and_resumes() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            s.sleep(SimTime::from_secs(10)).await;
+            "done"
+        });
+        let r1 = sim.run_until(SimTime::from_secs(3)).unwrap();
+        assert!(r1.hit_time_limit);
+        assert_eq!(r1.live_tasks, 1);
+        assert!(!h.is_finished());
+        let r2 = sim.run().unwrap();
+        assert_eq!(r2.end_time, SimTime::from_secs(10));
+        assert_eq!(h.try_result().unwrap(), "done");
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let sim = Sim::new();
+        sim.spawn(async {
+            std::future::pending::<()>().await;
+        });
+        assert_eq!(sim.run(), Err(RunError::Deadlock { live_tasks: 1 }));
+        sim.shutdown();
+    }
+
+    #[test]
+    fn empty_sim_finishes_immediately() {
+        let sim = Sim::new();
+        let report = sim.run().unwrap();
+        assert_eq!(report.end_time, SimTime::ZERO);
+        assert_eq!(report.events, 0);
+    }
+
+    #[test]
+    fn yield_now_round_robins_ready_tasks() {
+        let sim = Sim::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..3 {
+            let order = Rc::clone(&order);
+            sim.spawn(async move {
+                order.borrow_mut().push((i, 0));
+                yield_now().await;
+                order.borrow_mut().push((i, 1));
+            });
+        }
+        sim.run().unwrap();
+        let got = order.borrow().clone();
+        assert_eq!(got, vec![(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn many_tasks_slot_reuse() {
+        let sim = Sim::new();
+        // Spawn waves of short tasks so slots recycle across generations.
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            let mut total = 0u64;
+            for wave in 0..50u64 {
+                let mut handles = Vec::new();
+                for i in 0..20u64 {
+                    let s2 = s.clone();
+                    handles.push(s.spawn(async move {
+                        s2.sleep(SimTime::from_nanos(i + 1)).await;
+                        wave + i
+                    }));
+                }
+                for h in handles {
+                    total += h.await;
+                }
+            }
+            total
+        });
+        sim.run().unwrap();
+        let expect: u64 = (0..50u64)
+            .map(|w| (0..20u64).map(|i| w + i).sum::<u64>())
+            .sum();
+        assert_eq!(h.try_result().unwrap(), expect);
+    }
+
+    #[test]
+    fn determinism_identical_runs() {
+        fn run_once() -> (SimTime, u64, Vec<u32>) {
+            let sim = Sim::new();
+            let order = Rc::new(RefCell::new(Vec::new()));
+            for i in 0..8u32 {
+                let s = sim.clone();
+                let order = Rc::clone(&order);
+                sim.spawn(async move {
+                    for k in 0..5u64 {
+                        s.sleep(SimTime::from_nanos((i as u64 * 37 + k * 11) % 23 + 1))
+                            .await;
+                    }
+                    order.borrow_mut().push(i);
+                });
+            }
+            let r = sim.run().unwrap();
+            let o = order.borrow().clone();
+            (r.end_time, r.events, o)
+        }
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn events_processed_counts_polls() {
+        let sim = Sim::new();
+        sim.spawn(async {});
+        sim.run().unwrap();
+        assert!(sim.events_processed() >= 1);
+    }
+}

@@ -1,0 +1,205 @@
+//! Single-shot completion signalling between simulation tasks.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+struct Shared<T> {
+    value: Option<T>,
+    waker: Option<Waker>,
+    sender_alive: bool,
+}
+
+/// Creates a oneshot channel.
+///
+/// The receiver future resolves to `Ok(value)` after [`OneshotSender::send`],
+/// or `Err(RecvError)` if the sender is dropped first.
+///
+/// # Examples
+///
+/// ```
+/// use fcache_des::{oneshot, Sim, SimTime};
+///
+/// let sim = Sim::new();
+/// let (tx, rx) = oneshot();
+/// let s = sim.clone();
+/// sim.spawn(async move {
+///     s.sleep(SimTime::from_micros(1)).await;
+///     tx.send(123).unwrap();
+/// });
+/// let h = sim.spawn(async move { rx.await.unwrap() });
+/// sim.run().unwrap();
+/// assert_eq!(h.try_result().unwrap(), 123);
+/// ```
+pub fn oneshot<T>() -> (OneshotSender<T>, OneshotReceiver<T>) {
+    let shared = Rc::new(RefCell::new(Shared {
+        value: None,
+        waker: None,
+        sender_alive: true,
+    }));
+    (
+        OneshotSender {
+            shared: Rc::clone(&shared),
+        },
+        OneshotReceiver { shared },
+    )
+}
+
+/// Sending half of a oneshot channel.
+pub struct OneshotSender<T> {
+    shared: Rc<RefCell<Shared<T>>>,
+}
+
+impl<T> OneshotSender<T> {
+    /// Delivers the value, waking the receiver.
+    ///
+    /// Returns the value back if the receiver was dropped.
+    pub fn send(self, value: T) -> Result<(), T> {
+        let mut sh = self.shared.borrow_mut();
+        // Receiver dropped iff we hold the only other Rc reference.
+        if Rc::strong_count(&self.shared) == 1 {
+            return Err(value);
+        }
+        sh.value = Some(value);
+        if let Some(w) = sh.waker.take() {
+            w.wake();
+        }
+        // Mark delivered so Drop does not report a dead sender.
+        sh.sender_alive = false;
+        drop(sh);
+        std::mem::forget(self);
+        Ok(())
+    }
+}
+
+impl<T> Drop for OneshotSender<T> {
+    fn drop(&mut self) {
+        let mut sh = self.shared.borrow_mut();
+        sh.sender_alive = false;
+        if let Some(w) = sh.waker.take() {
+            w.wake();
+        }
+    }
+}
+
+impl<T> fmt::Debug for OneshotSender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "OneshotSender")
+    }
+}
+
+/// Error returned when the sender is dropped without sending.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "oneshot sender dropped without sending")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Receiving half of a oneshot channel; a future yielding `Result<T, RecvError>`.
+pub struct OneshotReceiver<T> {
+    shared: Rc<RefCell<Shared<T>>>,
+}
+
+impl<T> OneshotReceiver<T> {
+    /// Takes the value if it has already been delivered.
+    pub fn try_recv(self) -> Option<T> {
+        self.shared.borrow_mut().value.take()
+    }
+
+    /// True if a value is waiting.
+    pub fn is_ready(&self) -> bool {
+        self.shared.borrow().value.is_some()
+    }
+}
+
+impl<T> Future for OneshotReceiver<T> {
+    type Output = Result<T, RecvError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut sh = self.shared.borrow_mut();
+        if let Some(v) = sh.value.take() {
+            return Poll::Ready(Ok(v));
+        }
+        if !sh.sender_alive {
+            return Poll::Ready(Err(RecvError));
+        }
+        sh.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+impl<T> fmt::Debug for OneshotReceiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "OneshotReceiver {{ ready: {} }}", self.is_ready())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sim, SimTime};
+
+    #[test]
+    fn send_then_recv() {
+        let sim = Sim::new();
+        let (tx, rx) = oneshot();
+        tx.send(7u32).unwrap();
+        let h = sim.spawn(async move { rx.await.unwrap() });
+        sim.run().unwrap();
+        assert_eq!(h.try_result().unwrap(), 7);
+    }
+
+    #[test]
+    fn recv_waits_for_send() {
+        let sim = Sim::new();
+        let (tx, rx) = oneshot();
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(SimTime::from_micros(3)).await;
+            tx.send("hello").unwrap();
+        });
+        let s2 = sim.clone();
+        let h = sim.spawn(async move {
+            let v = rx.await.unwrap();
+            (v, s2.now())
+        });
+        sim.run().unwrap();
+        assert_eq!(h.try_result().unwrap(), ("hello", SimTime::from_micros(3)));
+    }
+
+    #[test]
+    fn dropped_sender_yields_error() {
+        let sim = Sim::new();
+        let (tx, rx) = oneshot::<u32>();
+        sim.spawn(async move {
+            drop(tx);
+        });
+        let h = sim.spawn(async move { rx.await });
+        sim.run().unwrap();
+        assert_eq!(h.try_result().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_returns_value() {
+        let (tx, rx) = oneshot::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(9));
+    }
+
+    #[test]
+    fn try_recv_and_is_ready() {
+        let (tx, rx) = oneshot();
+        assert!(!rx.is_ready());
+        tx.send(1u8).unwrap();
+        assert!(rx.is_ready());
+        assert_eq!(rx.try_recv(), Some(1));
+    }
+}

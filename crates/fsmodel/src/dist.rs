@@ -1,0 +1,212 @@
+//! Random distributions used by the model generator.
+//!
+//! The `rand` crate's distribution add-ons are not available offline, so
+//! the lognormal, Pareto, and Zipf samplers are implemented here from first
+//! principles. All take the RNG explicitly for determinism.
+
+use rand::Rng;
+
+/// Samples a standard normal deviate via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples a lognormal deviate with location `mu` and scale `sigma`
+/// (parameters of the underlying normal, in log-space).
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// Samples a Pareto deviate with scale `x_m` (minimum) and shape `alpha`.
+///
+/// # Panics
+///
+/// Panics if `alpha` is not positive or `x_m` is not positive.
+pub fn pareto<R: Rng + ?Sized>(rng: &mut R, x_m: f64, alpha: f64) -> f64 {
+    assert!(alpha > 0.0 && x_m > 0.0, "invalid Pareto parameters");
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    x_m / u.powf(1.0 / alpha)
+}
+
+/// Zipfian sampler over the small integers `1..=n`.
+///
+/// P(k) ∝ 1/k^s. Used for the paper's "small integer popularities …
+/// generated from a Zipfian distribution" (§4).
+///
+/// # Examples
+///
+/// ```
+/// use fcache_fsmodel::ZipfSmallInt;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let z = ZipfSmallInt::new(10, 1.0);
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let k = z.sample(&mut rng);
+/// assert!((1..=10).contains(&k));
+/// ```
+#[derive(Clone, Debug)]
+pub struct ZipfSmallInt {
+    /// Cumulative probabilities for 1..=n.
+    cdf: Vec<f64>,
+}
+
+impl ZipfSmallInt {
+    /// Builds the sampler for `1..=n` with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: u32, s: f64) -> Self {
+        assert!(n > 0, "Zipf support must be nonempty");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of support points.
+    pub fn n(&self) -> u32 {
+        self.cdf.len() as u32
+    }
+
+    /// Draws one value in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        // First index whose cdf ≥ u.
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i as u32 + 1,
+            Err(i) => (i as u32).min(self.n() - 1) + 1,
+        }
+    }
+
+    /// Probability mass of value `k` (1-based).
+    pub fn pmf(&self, k: u32) -> f64 {
+        assert!(k >= 1 && k <= self.n(), "k out of support");
+        let i = (k - 1) as usize;
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_mean_and_sd() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mu = 8.33;
+        let mut xs: Vec<f64> = (0..50_001).map(|_| lognormal(&mut rng, mu, 2.4)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        let expect = mu.exp();
+        assert!(
+            (median / expect - 1.0).abs() < 0.1,
+            "median {median} vs exp(mu) {expect}"
+        );
+    }
+
+    #[test]
+    fn pareto_respects_minimum_and_tail() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let xs: Vec<f64> = (0..20_000).map(|_| pareto(&mut rng, 100.0, 1.5)).collect();
+        assert!(xs.iter().all(|&x| x >= 100.0));
+        // P(X > 200) = (100/200)^1.5 ≈ 0.3536.
+        let frac = xs.iter().filter(|&&x| x > 200.0).count() as f64 / xs.len() as f64;
+        assert!((frac - 0.3536).abs() < 0.02, "tail fraction {frac}");
+    }
+
+    #[test]
+    fn zipf_prefers_small_values() {
+        let z = ZipfSmallInt::new(20, 1.0);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let n = 100_000;
+        let mut counts = vec![0u32; 21];
+        for _ in 0..n {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[5]);
+        assert!(counts[5] > counts[20]);
+        // Observed frequency of 1 close to pmf(1).
+        let f1 = counts[1] as f64 / n as f64;
+        assert!((f1 - z.pmf(1)).abs() < 0.01, "f1 {f1} pmf {}", z.pmf(1));
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = ZipfSmallInt::new(12, 1.3);
+        let total: f64 = (1..=12).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_samples_in_support() {
+        let z = ZipfSmallInt::new(3, 0.8);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=3).contains(&k));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "support must be nonempty")]
+    fn zipf_zero_support_panics() {
+        let _ = ZipfSmallInt::new(0, 1.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn zipf_sample_always_in_bounds(n in 1u32..64, s in 0.0f64..3.0, seed in any::<u64>()) {
+                let z = ZipfSmallInt::new(n, s);
+                let mut rng = SmallRng::seed_from_u64(seed);
+                for _ in 0..100 {
+                    let k = z.sample(&mut rng);
+                    prop_assert!(k >= 1 && k <= n);
+                }
+            }
+
+            #[test]
+            fn pareto_always_at_least_minimum(xm in 1.0f64..1e6, alpha in 0.2f64..5.0, seed in any::<u64>()) {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                for _ in 0..50 {
+                    prop_assert!(pareto(&mut rng, xm, alpha) >= xm);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! The file-server model: a list of files with sizes and popularities,
+//! plus a popularity-weighted sampler.
+
+use fcache_types::{block::blocks_for_bytes, ByteSize, FileId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dist::{lognormal, pareto, ZipfSmallInt};
+
+/// Parameters for generating an [`FsModel`].
+///
+/// Defaults approximate the Impressions defaults: a lognormal file-size
+/// body (median ≈ 4 KB) with a Pareto tail supplying the rare very large
+/// files, and Zipfian small-integer popularities.
+#[derive(Clone, Debug)]
+pub struct FsModelConfig {
+    /// Target total size; generation stops at the first file that reaches
+    /// it (paper: 1.4 TB).
+    pub total_bytes: ByteSize,
+    /// Lognormal location (ln bytes). exp(9.0) ≈ 8.1 KB median.
+    pub lognormal_mu: f64,
+    /// Lognormal scale.
+    pub lognormal_sigma: f64,
+    /// Fraction of files drawn from the Pareto tail instead of the body.
+    pub pareto_fraction: f64,
+    /// Pareto scale (minimum tail file size, bytes).
+    pub pareto_scale: f64,
+    /// Pareto shape.
+    pub pareto_shape: f64,
+    /// Per-file size clamp in bytes.
+    pub max_file_bytes: u64,
+    /// Number of distinct popularity classes (Zipf over `1..=n`).
+    pub popularity_classes: u32,
+    /// Zipf exponent for popularity classes.
+    pub popularity_exponent: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FsModelConfig {
+    fn default() -> Self {
+        Self {
+            // The paper's model is "1.4 TB": 1400 GiB here.
+            total_bytes: ByteSize::gib(1400),
+            lognormal_mu: 9.0,
+            lognormal_sigma: 2.4,
+            pareto_fraction: 0.002,
+            pareto_scale: 64.0 * 1024.0 * 1024.0,
+            pareto_shape: 1.2,
+            max_file_bytes: 16 << 30,
+            popularity_classes: 20,
+            popularity_exponent: 1.0,
+            seed: 0x1391e551,
+        }
+    }
+}
+
+impl FsModelConfig {
+    /// The paper's 1.4 TB model at a linear scale factor (1 = paper scale).
+    pub fn paper_scaled(scale: u64, seed: u64) -> Self {
+        Self {
+            total_bytes: ByteSize::bytes_exact((1400u64 << 30) / scale),
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// One file in the model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FileInfo {
+    /// File identifier (index into the model).
+    pub id: FileId,
+    /// Size in bytes.
+    pub bytes: u64,
+    /// Size in whole 4 KB blocks (rounded up, minimum 1).
+    pub blocks: u32,
+    /// Small-integer popularity weight (≥ 1).
+    pub popularity: u32,
+}
+
+/// A generated file-server model.
+///
+/// # Examples
+///
+/// ```
+/// use fcache_fsmodel::{FsModel, FsModelConfig};
+/// use fcache_types::ByteSize;
+///
+/// let cfg = FsModelConfig {
+///     total_bytes: ByteSize::mib(64),
+///     seed: 7,
+///     ..FsModelConfig::default()
+/// };
+/// let model = FsModel::generate(cfg);
+/// assert!(model.total_bytes() >= 64 << 20);
+/// assert!(model.file_count() > 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FsModel {
+    files: Vec<FileInfo>,
+    total_bytes: u64,
+    total_blocks: u64,
+    /// Cumulative popularity weights, for O(log n) weighted sampling.
+    cum_weights: Vec<u64>,
+}
+
+impl FsModel {
+    /// Generates a model from the configuration; deterministic in the seed.
+    pub fn generate(cfg: FsModelConfig) -> Self {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let zipf = ZipfSmallInt::new(cfg.popularity_classes, cfg.popularity_exponent);
+        let target = cfg.total_bytes.bytes();
+        let mut files = Vec::new();
+        let mut total = 0u64;
+        while total < target {
+            let raw = if rng.gen_bool(cfg.pareto_fraction) {
+                pareto(&mut rng, cfg.pareto_scale, cfg.pareto_shape)
+            } else {
+                lognormal(&mut rng, cfg.lognormal_mu, cfg.lognormal_sigma)
+            };
+            let bytes = (raw.round() as u64).clamp(1, cfg.max_file_bytes);
+            let blocks = blocks_for_bytes(bytes).max(1) as u32;
+            let popularity = zipf.sample(&mut rng);
+            files.push(FileInfo {
+                id: FileId(files.len() as u32),
+                bytes,
+                blocks,
+                popularity,
+            });
+            total += bytes;
+        }
+        let mut cum = Vec::with_capacity(files.len());
+        let mut acc = 0u64;
+        for f in &files {
+            acc += f.popularity as u64;
+            cum.push(acc);
+        }
+        let total_blocks = files.iter().map(|f| f.blocks as u64).sum();
+        Self {
+            files,
+            total_bytes: total,
+            total_blocks,
+            cum_weights: cum,
+        }
+    }
+
+    /// Number of files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Sum of file sizes in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Sum of file sizes in blocks.
+    pub fn total_blocks(&self) -> u64 {
+        self.total_blocks
+    }
+
+    /// Looks up a file.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn file(&self, id: FileId) -> &FileInfo {
+        &self.files[id.0 as usize]
+    }
+
+    /// All files.
+    pub fn files(&self) -> &[FileInfo] {
+        &self.files
+    }
+
+    /// Draws a file weighted by popularity ("the distribution of I/Os among
+    /// files (and selection of files for working sets) is weighted by
+    /// popularity", §4).
+    pub fn sample_weighted<R: Rng + ?Sized>(&self, rng: &mut R) -> &FileInfo {
+        let total = *self.cum_weights.last().expect("model has files");
+        let x = rng.gen_range(0..total);
+        let idx = self.cum_weights.partition_point(|&c| c <= x);
+        &self.files[idx]
+    }
+
+    /// Summary of the size distribution: (median bytes, mean bytes, max bytes).
+    pub fn size_summary(&self) -> (u64, u64, u64) {
+        let mut sizes: Vec<u64> = self.files.iter().map(|f| f.bytes).collect();
+        sizes.sort_unstable();
+        let median = sizes[sizes.len() / 2];
+        let mean = self.total_bytes / self.files.len() as u64;
+        let max = *sizes.last().expect("model has files");
+        (median, mean, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg(seed: u64) -> FsModelConfig {
+        FsModelConfig {
+            total_bytes: ByteSize::mib(256),
+            seed,
+            ..FsModelConfig::default()
+        }
+    }
+
+    #[test]
+    fn reaches_size_target_without_overshoot_blowup() {
+        let m = FsModel::generate(small_cfg(1));
+        let target = 256u64 << 20;
+        assert!(m.total_bytes() >= target);
+        // Overshoot bounded by the per-file clamp.
+        assert!(m.total_bytes() < target + (16u64 << 30));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = FsModel::generate(small_cfg(42));
+        let b = FsModel::generate(small_cfg(42));
+        assert_eq!(a.files(), b.files());
+        let c = FsModel::generate(small_cfg(43));
+        assert_ne!(a.files(), c.files());
+    }
+
+    #[test]
+    fn ids_are_dense_indices() {
+        let m = FsModel::generate(small_cfg(2));
+        for (i, f) in m.files().iter().enumerate() {
+            assert_eq!(f.id, FileId(i as u32));
+            assert_eq!(m.file(f.id), f);
+        }
+    }
+
+    #[test]
+    fn block_counts_round_up_and_are_positive() {
+        let m = FsModel::generate(small_cfg(3));
+        for f in m.files() {
+            assert!(f.blocks >= 1);
+            assert!(u64::from(f.blocks) * 4096 >= f.bytes);
+            assert!((u64::from(f.blocks) - 1) * 4096 < f.bytes);
+        }
+        assert_eq!(
+            m.total_blocks(),
+            m.files().iter().map(|f| f.blocks as u64).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn size_distribution_shape() {
+        let m = FsModel::generate(FsModelConfig {
+            total_bytes: ByteSize::gib(2),
+            seed: 4,
+            ..FsModelConfig::default()
+        });
+        let (median, mean, max) = m.size_summary();
+        // Lognormal body: median near exp(9) ≈ 8.1 KB (loose bounds).
+        assert!(median > 2_000 && median < 40_000, "median {median}");
+        // Heavy tail: mean far above median, max far above mean.
+        assert!(mean > 4 * median, "mean {mean} median {median}");
+        assert!(max > 10 * mean, "max {max} mean {mean}");
+    }
+
+    #[test]
+    fn popularity_within_classes_and_skewed() {
+        let m = FsModel::generate(small_cfg(5));
+        let mut counts = vec![0u32; 21];
+        for f in m.files() {
+            assert!((1..=20).contains(&f.popularity));
+            counts[f.popularity as usize] += 1;
+        }
+        assert!(counts[1] > counts[10], "Zipf should prefer class 1");
+    }
+
+    #[test]
+    fn weighted_sampling_prefers_popular_files() {
+        let m = FsModel::generate(small_cfg(6));
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut by_pop = [0u64; 21];
+        let n = 200_000;
+        for _ in 0..n {
+            by_pop[m.sample_weighted(&mut rng).popularity as usize] += 1;
+        }
+        // Expected draw share of a class is proportional to
+        // count(class) × class; compare class 1 per-file rate vs class 5.
+        let files_in = |p: u32| m.files().iter().filter(|f| f.popularity == p).count() as f64;
+        if files_in(1) > 50.0 && files_in(5) > 5.0 {
+            let rate1 = by_pop[1] as f64 / files_in(1);
+            let rate5 = by_pop[5] as f64 / files_in(5);
+            let ratio = rate5 / rate1;
+            assert!(
+                (ratio - 5.0).abs() < 1.5,
+                "per-file draw ratio {ratio} should be ≈5"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_scaled_divides_total() {
+        let cfg = FsModelConfig::paper_scaled(1024, 9);
+        assert_eq!(cfg.total_bytes.bytes(), (1400u64 << 30) / 1024);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+            #[test]
+            fn sampling_never_out_of_range(seed in any::<u64>()) {
+                let m = FsModel::generate(FsModelConfig {
+                    total_bytes: ByteSize::mib(16),
+                    seed,
+                    ..FsModelConfig::default()
+                });
+                let mut rng = SmallRng::seed_from_u64(seed ^ 0xabcd);
+                for _ in 0..200 {
+                    let f = m.sample_weighted(&mut rng);
+                    prop_assert!((f.id.0 as usize) < m.file_count());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Network segment model.
+//!
+//! §5 of the paper: "The network is modeled less exactly: each segment can
+//! carry one packet at a time, and each I/O request uses one packet in each
+//! direction. Each packet is assumed to incur a fixed latency (for headers,
+//! block information, and so forth) plus a small amount of additional time
+//! per bit of block data transferred."
+//!
+//! A [`Segment`] is therefore a capacity-1 [`fcache_des::Resource`] plus a
+//! timing rule: holding the segment for `base + bits × per_bit` models one
+//! packet on the wire. Hosts connect to the filer "by private network
+//! segments" (§3), i.e. one `Segment` per host with no cross-host
+//! contention — but full contention among the threads, syncers, and
+//! evictions of a single host, which is what produces the paper's eviction
+//! convoys.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use fcache_des::{Resource, Sim, SimTime};
+
+/// Direction of a packet on a segment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Client → filer (requests, write payloads).
+    ToServer,
+    /// Filer → client (responses, read payloads).
+    FromServer,
+}
+
+/// Wire timing parameters (Table 1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct NetConfig {
+    /// Fixed per-packet latency (Table 1: 8.2 µs — "loosely corresponding
+    /// to a gigabit network", §7).
+    pub base_latency: SimTime,
+    /// Per-bit data latency (Table 1: 1 ns / bit).
+    pub per_bit: SimTime,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            base_latency: SimTime::from_nanos(8_200),
+            per_bit: SimTime::from_nanos(1),
+        }
+    }
+}
+
+impl NetConfig {
+    /// Table 1 values.
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
+    /// Wire time of one packet carrying `payload_bytes` of block data.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fcache_net::NetConfig;
+    /// use fcache_des::SimTime;
+    ///
+    /// let cfg = NetConfig::default();
+    /// // Command-only packet: just the base latency.
+    /// assert_eq!(cfg.packet_time(0), SimTime::from_nanos(8_200));
+    /// // One 4 KB block: 8.2 µs + 32768 bits × 1 ns = 40.968 µs.
+    /// assert_eq!(cfg.packet_time(4096), SimTime::from_nanos(40_968));
+    /// ```
+    pub fn packet_time(&self, payload_bytes: u64) -> SimTime {
+        self.base_latency + self.per_bit.times(payload_bytes * 8)
+    }
+}
+
+/// Traffic counters for a segment.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SegmentStats {
+    /// Packets carried.
+    pub packets: u64,
+    /// Payload bytes carried.
+    pub payload_bytes: u64,
+    /// Total wire-busy time.
+    pub busy: SimTime,
+}
+
+/// A private network segment between one host and the filer.
+///
+/// Half-duplex by default (one packet at a time in either direction, as the
+/// paper specifies); [`Segment::new_duplex`] provides a full-duplex variant
+/// used by the ablation benches.
+#[derive(Clone)]
+pub struct Segment {
+    sim: Sim,
+    cfg: NetConfig,
+    to_server: Resource,
+    from_server: Resource,
+    stats: Rc<Cell<SegmentStats>>,
+}
+
+impl Segment {
+    /// Creates a half-duplex segment: both directions share one channel.
+    pub fn new(sim: Sim, cfg: NetConfig) -> Self {
+        let chan = Resource::new(1);
+        Self {
+            sim,
+            cfg,
+            to_server: chan.clone(),
+            from_server: chan,
+            stats: Rc::new(Cell::new(SegmentStats::default())),
+        }
+    }
+
+    /// Creates a full-duplex segment: each direction has its own channel.
+    pub fn new_duplex(sim: Sim, cfg: NetConfig) -> Self {
+        Self {
+            sim,
+            cfg,
+            to_server: Resource::new(1),
+            from_server: Resource::new(1),
+            stats: Rc::new(Cell::new(SegmentStats::default())),
+        }
+    }
+
+    /// Wire configuration.
+    pub fn config(&self) -> NetConfig {
+        self.cfg
+    }
+
+    /// Traffic counters so far.
+    pub fn stats(&self) -> SegmentStats {
+        self.stats.get()
+    }
+
+    /// Resets traffic counters (end of warmup).
+    pub fn reset_stats(&self) {
+        self.stats.set(SegmentStats::default());
+    }
+
+    /// Transfers one packet with `payload_bytes` of block data in the given
+    /// direction, waiting FIFO for the wire and holding it for the packet's
+    /// wire time.
+    pub async fn transfer(&self, dir: Direction, payload_bytes: u64) {
+        let chan = match dir {
+            Direction::ToServer => &self.to_server,
+            Direction::FromServer => &self.from_server,
+        };
+        let _guard = chan.acquire().await;
+        let t = self.cfg.packet_time(payload_bytes);
+        self.sim.sleep(t).await;
+        let mut s = self.stats.get();
+        s.packets += 1;
+        s.payload_bytes += payload_bytes;
+        s.busy += t;
+        self.stats.set(s);
+    }
+}
+
+impl std::fmt::Debug for Segment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Segment")
+            .field("cfg", &self.cfg)
+            .field("stats", &self.stats.get())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_time_matches_table1_math() {
+        let cfg = NetConfig::default();
+        assert_eq!(cfg.packet_time(0).as_nanos(), 8_200);
+        assert_eq!(cfg.packet_time(4096).as_nanos(), 8_200 + 4096 * 8);
+        assert_eq!(cfg.packet_time(8 * 4096).as_nanos(), 8_200 + 8 * 4096 * 8);
+    }
+
+    #[test]
+    fn transfer_takes_wire_time() {
+        let sim = Sim::new();
+        let seg = Segment::new(sim.clone(), NetConfig::default());
+        let s = sim.clone();
+        let seg2 = seg.clone();
+        let h = sim.spawn(async move {
+            seg2.transfer(Direction::ToServer, 4096).await;
+            s.now()
+        });
+        sim.run().unwrap();
+        assert_eq!(h.try_result().unwrap(), SimTime::from_nanos(40_968));
+        assert_eq!(seg.stats().packets, 1);
+        assert_eq!(seg.stats().payload_bytes, 4096);
+    }
+
+    #[test]
+    fn half_duplex_serializes_both_directions() {
+        let sim = Sim::new();
+        let seg = Segment::new(sim.clone(), NetConfig::default());
+        for dir in [Direction::ToServer, Direction::FromServer] {
+            let seg = seg.clone();
+            sim.spawn(async move {
+                seg.transfer(dir, 0).await;
+            });
+        }
+        let report = sim.run().unwrap();
+        // Two command packets share one channel: 2 × 8.2 µs.
+        assert_eq!(report.end_time, SimTime::from_nanos(16_400));
+    }
+
+    #[test]
+    fn full_duplex_overlaps_directions() {
+        let sim = Sim::new();
+        let seg = Segment::new_duplex(sim.clone(), NetConfig::default());
+        for dir in [Direction::ToServer, Direction::FromServer] {
+            let seg = seg.clone();
+            sim.spawn(async move {
+                seg.transfer(dir, 0).await;
+            });
+        }
+        let report = sim.run().unwrap();
+        assert_eq!(report.end_time, SimTime::from_nanos(8_200));
+    }
+
+    #[test]
+    fn contention_convoys_fifo() {
+        let sim = Sim::new();
+        let seg = Segment::new(sim.clone(), NetConfig::default());
+        let n = 5;
+        for _ in 0..n {
+            let seg = seg.clone();
+            sim.spawn(async move {
+                seg.transfer(Direction::ToServer, 4096).await;
+            });
+        }
+        let report = sim.run().unwrap();
+        assert_eq!(report.end_time, SimTime::from_nanos(40_968 * n));
+        assert_eq!(seg.stats().packets, n);
+        assert_eq!(seg.stats().busy, SimTime::from_nanos(40_968 * n));
+    }
+
+    #[test]
+    fn reset_stats_zeroes_counters() {
+        let sim = Sim::new();
+        let seg = Segment::new(sim.clone(), NetConfig::default());
+        let seg2 = seg.clone();
+        sim.spawn(async move {
+            seg2.transfer(Direction::ToServer, 4096).await;
+        });
+        sim.run().unwrap();
+        assert_ne!(seg.stats(), SegmentStats::default());
+        seg.reset_stats();
+        assert_eq!(seg.stats(), SegmentStats::default());
+    }
+}

@@ -1,0 +1,416 @@
+//! The trace generator proper.
+
+use fcache_fsmodel::FsModel;
+use fcache_types::{ByteSize, HostId, OpKind, ThreadId, Trace, TraceMeta, TraceOp, BLOCK_SIZE};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::poisson::poisson;
+use crate::working_set::WorkingSet;
+
+/// Generation parameters; defaults are the paper's baseline (§4).
+#[derive(Clone, Debug)]
+pub struct TraceGenConfig {
+    /// Number of client hosts (baseline 1; consistency traces use 2).
+    pub hosts: u16,
+    /// Threads per host ("They also use eight threads per host").
+    pub threads_per_host: u16,
+    /// Working-set size (baselines: 60 GB and 80 GB).
+    pub working_set: ByteSize,
+    /// Number of distinct working sets; host *i* uses set `i % ws_count`.
+    /// The consistency experiments use `hosts = 2, ws_count = 1` — "as a
+    /// worst-case scenario we make the two hosts share one working set"
+    /// (§7.9).
+    pub ws_count: usize,
+    /// Fraction of I/Os drawn from the working set ("80 % of the I/Os
+    /// coming from the working set").
+    pub ws_fraction: f64,
+    /// Fraction of operations that are writes (baseline 30 %).
+    pub write_fraction: f64,
+    /// Total data volume as a multiple of the working-set size ("a total
+    /// volume of data that is, in all cases, four times the working set
+    /// size").
+    pub volume_multiplier: f64,
+    /// Leading fraction of the volume flagged as warmup ("half of it being
+    /// devoted to a warmup period for which statistics are not collected").
+    pub warmup_fraction: f64,
+    /// Mean I/O size in blocks (Poisson).
+    pub io_mean_blocks: f64,
+    /// Mean working-set extent length in blocks (Poisson).
+    pub extent_mean_blocks: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TraceGenConfig {
+    fn default() -> Self {
+        Self {
+            hosts: 1,
+            threads_per_host: 8,
+            working_set: ByteSize::gib(60),
+            ws_count: 1,
+            ws_fraction: 0.8,
+            write_fraction: 0.3,
+            volume_multiplier: 4.0,
+            warmup_fraction: 0.5,
+            io_mean_blocks: 8.0,
+            extent_mean_blocks: 1024.0,
+            seed: 0x7ace_5eed,
+        }
+    }
+}
+
+impl TraceGenConfig {
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range fractions or zero hosts/threads/ws_count.
+    pub fn validate(&self) {
+        assert!(self.hosts > 0, "need at least one host");
+        assert!(self.threads_per_host > 0, "need at least one thread");
+        assert!(self.ws_count > 0, "need at least one working set");
+        assert!(
+            (0.0..=1.0).contains(&self.ws_fraction),
+            "ws_fraction out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.write_fraction),
+            "write_fraction out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.warmup_fraction),
+            "warmup_fraction out of range"
+        );
+        assert!(
+            self.volume_multiplier > 0.0,
+            "volume_multiplier must be positive"
+        );
+        assert!(self.io_mean_blocks > 0.0, "io_mean_blocks must be positive");
+        assert!(
+            self.extent_mean_blocks > 0.0,
+            "extent_mean_blocks must be positive"
+        );
+        assert!(!self.working_set.is_zero(), "working set must be nonzero");
+    }
+}
+
+/// Generates a trace from a file-server model.
+///
+/// Working sets are sampled first (one per `ws_count`), then I/Os are drawn
+/// with uniform host/thread assignment until the target volume is reached.
+/// The leading `warmup_fraction` of the volume is flagged `warmup`.
+///
+/// # Examples
+///
+/// ```
+/// use fcache_fsmodel::{FsModel, FsModelConfig};
+/// use fcache_trace::{generate, TraceGenConfig};
+/// use fcache_types::ByteSize;
+///
+/// let model = FsModel::generate(FsModelConfig {
+///     total_bytes: ByteSize::mib(64),
+///     seed: 1,
+///     ..FsModelConfig::default()
+/// });
+/// let trace = generate(&model, TraceGenConfig {
+///     working_set: ByteSize::mib(4),
+///     seed: 2,
+///     ..TraceGenConfig::default()
+/// });
+/// assert!(!trace.is_empty());
+/// let stats = trace.stats();
+/// // Volume ≈ 4 × 4 MB in blocks.
+/// assert!(stats.blocks >= 4 * ((4 << 20) / 4096));
+/// ```
+pub fn generate(model: &FsModel, cfg: TraceGenConfig) -> Trace {
+    cfg.validate();
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+    let sets: Vec<WorkingSet> = (0..cfg.ws_count)
+        .map(|_| WorkingSet::sample(model, cfg.working_set, cfg.extent_mean_blocks, &mut rng))
+        .collect();
+
+    // Volume is 4× the *total* working-set footprint: with several
+    // distinct working sets, every one must be ground through four times
+    // so each host's cache fills during warmup just as in the single-set
+    // baseline ("a total volume of data that is, in all cases, four times
+    // the working set size", §4).
+    let target_blocks =
+        (cfg.working_set.bytes() as f64 * cfg.volume_multiplier * cfg.ws_count as f64
+            / BLOCK_SIZE as f64) as u64;
+    let warmup_blocks = (target_blocks as f64 * cfg.warmup_fraction) as u64;
+
+    let meta = TraceMeta {
+        hosts: cfg.hosts,
+        threads_per_host: cfg.threads_per_host,
+        working_set_bytes: cfg.working_set.bytes(),
+        working_set_pct: (cfg.ws_fraction * 100.0).round() as u8,
+        write_pct: (cfg.write_fraction * 100.0).round() as u8,
+        seed: cfg.seed,
+    };
+    let mut trace = Trace::new(meta);
+    let mut volume = 0u64;
+
+    while volume < target_blocks {
+        let host = HostId(rng.gen_range(0..cfg.hosts));
+        let thread = ThreadId(rng.gen_range(0..cfg.threads_per_host));
+        let kind = if rng.gen_bool(cfg.write_fraction) {
+            OpKind::Write
+        } else {
+            OpKind::Read
+        };
+
+        let (file, start_block, nblocks) = if rng.gen_bool(cfg.ws_fraction) {
+            let ws = &sets[host.index() % sets.len()];
+            ws.sample_io(cfg.io_mean_blocks, &mut rng)
+        } else {
+            // Whole-file-server I/O: popularity-weighted file, Poisson size
+            // clamped to the file, uniform start.
+            let f = model.sample_weighted(&mut rng);
+            let len = poisson(&mut rng, cfg.io_mean_blocks).clamp(1, f.blocks as u64) as u32;
+            let max_start = f.blocks - len;
+            let start = if max_start == 0 {
+                0
+            } else {
+                rng.gen_range(0..=max_start)
+            };
+            (f.id, start, len)
+        };
+
+        trace.ops.push(TraceOp {
+            host,
+            thread,
+            kind,
+            file,
+            start_block,
+            nblocks,
+            warmup: volume < warmup_blocks,
+        });
+        volume += nblocks as u64;
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcache_fsmodel::FsModelConfig;
+
+    fn model() -> FsModel {
+        FsModel::generate(FsModelConfig {
+            total_bytes: ByteSize::mib(256),
+            seed: 21,
+            ..FsModelConfig::default()
+        })
+    }
+
+    fn small_cfg() -> TraceGenConfig {
+        TraceGenConfig {
+            working_set: ByteSize::mib(8),
+            seed: 22,
+            ..TraceGenConfig::default()
+        }
+    }
+
+    #[test]
+    fn volume_is_four_times_working_set() {
+        let t = generate(&model(), small_cfg());
+        let s = t.stats();
+        let ws_blocks = (8u64 << 20) / 4096;
+        assert!(s.blocks >= 4 * ws_blocks);
+        // Overshoot bounded by one I/O.
+        assert!(s.blocks < 4 * ws_blocks + 1024);
+    }
+
+    #[test]
+    fn half_the_volume_is_warmup() {
+        let t = generate(&model(), small_cfg());
+        let s = t.stats();
+        let frac = s.warmup_fraction();
+        assert!((frac - 0.5).abs() < 0.02, "warmup byte fraction {frac}");
+        // Warmup ops form a prefix.
+        let first_measured = t.ops.iter().position(|o| !o.warmup).unwrap();
+        assert!(t.ops[..first_measured].iter().all(|o| o.warmup));
+        assert!(t.ops[first_measured..].iter().all(|o| !o.warmup));
+    }
+
+    #[test]
+    fn write_fraction_close_to_config() {
+        let t = generate(&model(), small_cfg());
+        let f = t.stats().write_fraction();
+        assert!((f - 0.3).abs() < 0.03, "write fraction {f}");
+    }
+
+    #[test]
+    fn hosts_and_threads_uniform() {
+        let cfg = TraceGenConfig {
+            hosts: 2,
+            ..small_cfg()
+        };
+        let t = generate(&model(), cfg);
+        let mut host_counts = [0u64; 2];
+        let mut thread_counts = [0u64; 8];
+        for op in &t.ops {
+            host_counts[op.host.index()] += 1;
+            thread_counts[op.thread.index()] += 1;
+        }
+        let total = t.len() as f64;
+        for c in host_counts {
+            assert!((c as f64 / total - 0.5).abs() < 0.05);
+        }
+        for c in thread_counts {
+            assert!((c as f64 / total - 0.125).abs() < 0.03);
+        }
+    }
+
+    #[test]
+    fn ops_stay_inside_files() {
+        let m = model();
+        let t = generate(&m, small_cfg());
+        for op in &t.ops {
+            let f = m.file(op.file);
+            assert!(op.nblocks >= 1);
+            assert!(op.start_block + op.nblocks <= f.blocks);
+        }
+    }
+
+    #[test]
+    fn working_set_concentration() {
+        // With ws_fraction = 0.8, the measured half should hit a bounded
+        // set of blocks far smaller than the whole model.
+        let m = model();
+        let t = generate(&m, small_cfg());
+        use std::collections::HashSet;
+        let mut touched = HashSet::new();
+        for op in t.ops.iter().filter(|o| !o.warmup) {
+            for b in op.blocks() {
+                touched.insert(b.to_u64());
+            }
+        }
+        let model_blocks = m.total_blocks();
+        assert!(
+            (touched.len() as u64) < model_blocks / 2,
+            "trace should concentrate: touched {} of {model_blocks}",
+            touched.len()
+        );
+    }
+
+    #[test]
+    fn shared_working_set_overlaps_across_hosts() {
+        // Two hosts, one working set: hosts must touch overlapping blocks.
+        let m = model();
+        let cfg = TraceGenConfig {
+            hosts: 2,
+            ws_count: 1,
+            ..small_cfg()
+        };
+        let t = generate(&m, cfg);
+        use std::collections::HashSet;
+        let blocks_of = |h: u16| -> HashSet<u64> {
+            t.ops
+                .iter()
+                .filter(|o| o.host.0 == h)
+                .flat_map(|o| o.blocks().map(|b| b.to_u64()))
+                .collect()
+        };
+        let a = blocks_of(0);
+        let b = blocks_of(1);
+        let inter = a.intersection(&b).count();
+        assert!(
+            inter as f64 > 0.3 * a.len().min(b.len()) as f64,
+            "hosts sharing a WS should overlap heavily ({inter} common)"
+        );
+    }
+
+    #[test]
+    fn separate_working_sets_overlap_less() {
+        let m = model();
+        let shared = generate(
+            &m,
+            TraceGenConfig {
+                hosts: 2,
+                ws_count: 1,
+                ..small_cfg()
+            },
+        );
+        let split = generate(
+            &m,
+            TraceGenConfig {
+                hosts: 2,
+                ws_count: 2,
+                ..small_cfg()
+            },
+        );
+        use std::collections::HashSet;
+        let overlap = |t: &Trace| {
+            let blocks_of = |h: u16| -> HashSet<u64> {
+                t.ops
+                    .iter()
+                    .filter(|o| o.host.0 == h)
+                    .flat_map(|o| o.blocks().map(|b| b.to_u64()))
+                    .collect()
+            };
+            let a = blocks_of(0);
+            let b = blocks_of(1);
+            a.intersection(&b).count() as f64 / a.len().min(b.len()).max(1) as f64
+        };
+        // Popular files and the 20 % whole-server traffic keep some overlap
+        // even for distinct working sets; shared sets must still overlap
+        // distinctly more.
+        assert!(
+            overlap(&shared) > 1.25 * overlap(&split),
+            "shared {} vs split {}",
+            overlap(&shared),
+            overlap(&split)
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let m = model();
+        let a = generate(&m, small_cfg());
+        let b = generate(&m, small_cfg());
+        assert_eq!(a.ops, b.ops);
+        let c = generate(
+            &m,
+            TraceGenConfig {
+                seed: 99,
+                ..small_cfg()
+            },
+        );
+        assert_ne!(a.ops, c.ops);
+    }
+
+    #[test]
+    fn zero_write_fraction_all_reads() {
+        let t = generate(
+            &model(),
+            TraceGenConfig {
+                write_fraction: 0.0,
+                ..small_cfg()
+            },
+        );
+        assert_eq!(t.stats().write_ops, 0);
+        let t2 = generate(
+            &model(),
+            TraceGenConfig {
+                write_fraction: 1.0,
+                ..small_cfg()
+            },
+        );
+        assert_eq!(t2.stats().write_ops, t2.stats().ops);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one host")]
+    fn invalid_config_panics() {
+        let _ = generate(
+            &model(),
+            TraceGenConfig {
+                hosts: 0,
+                ..small_cfg()
+            },
+        );
+    }
+}

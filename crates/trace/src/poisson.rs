@@ -1,0 +1,95 @@
+//! Poisson sampling.
+//!
+//! The paper uses Poisson-distributed I/O sizes and working-set subregion
+//! lengths (§4). `rand`'s distribution add-ons are unavailable offline, so
+//! this is a self-contained sampler: Knuth's product method for small λ and
+//! a normal approximation for large λ.
+
+use rand::Rng;
+
+/// Draws a Poisson deviate with mean `lambda`.
+///
+/// For `lambda < 30` uses Knuth's exact product method; above that, a
+/// rounded normal approximation `N(λ, λ)` clamped at zero (error is
+/// negligible at the λ values the generator uses).
+///
+/// # Panics
+///
+/// Panics if `lambda` is negative or non-finite.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(lambda.is_finite() && lambda >= 0.0, "invalid Poisson mean");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen_range(0.0f64..1.0);
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let z = fcache_fsmodel::dist::standard_normal(rng);
+        let x = lambda + lambda.sqrt() * z;
+        if x < 0.0 {
+            0
+        } else {
+            x.round() as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn sample_stats(lambda: f64, n: usize, seed: u64) -> (f64, f64) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let xs: Vec<f64> = (0..n).map(|_| poisson(&mut rng, lambda) as f64).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        (mean, var)
+    }
+
+    #[test]
+    fn small_lambda_mean_and_variance() {
+        let (mean, var) = sample_stats(4.0, 100_000, 1);
+        assert!((mean - 4.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn large_lambda_mean_and_variance() {
+        let (mean, var) = sample_stats(512.0, 50_000, 2);
+        assert!((mean - 512.0).abs() < 1.0, "mean {mean}");
+        assert!((var / 512.0 - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn zero_lambda_is_zero() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn boundary_lambda_regimes_agree() {
+        // Means on both sides of the 30 cutover should be close to λ.
+        let (m_lo, _) = sample_stats(29.5, 50_000, 4);
+        let (m_hi, _) = sample_stats(30.5, 50_000, 5);
+        assert!((m_lo - 29.5).abs() < 0.3);
+        assert!((m_hi - 30.5).abs() < 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Poisson mean")]
+    fn negative_lambda_panics() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let _ = poisson(&mut rng, -1.0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Working sets: popularity-weighted collections of file subregions.
+//!
+//! §4: the generator "samples this file server model to produce working
+//! sets, then samples these to produce I/O requests". A working set is a
+//! list of *extents* — contiguous block ranges of files — whose subregion
+//! lengths are Poisson and starting points uniform, with files chosen
+//! weighted by popularity.
+
+use fcache_fsmodel::FsModel;
+use fcache_types::{ByteSize, FileId, BLOCK_SIZE};
+use rand::Rng;
+
+use crate::poisson::poisson;
+
+/// A contiguous run of blocks within one file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Extent {
+    /// Owning file.
+    pub file: FileId,
+    /// First block of the subregion.
+    pub start_block: u32,
+    /// Length in blocks (≥ 1).
+    pub nblocks: u32,
+    /// Popularity weight inherited from the file.
+    pub popularity: u32,
+}
+
+/// A working set sampled from a file-server model.
+#[derive(Clone, Debug)]
+pub struct WorkingSet {
+    extents: Vec<Extent>,
+    total_blocks: u64,
+    /// Cumulative extent lengths, for per-block-uniform I/O sampling.
+    cum_blocks: Vec<u64>,
+    /// Cumulative popularity weights, for the skewed sampling ablation.
+    cum_weights: Vec<u64>,
+}
+
+impl WorkingSet {
+    /// Samples a working set of at least `size` from the model.
+    ///
+    /// Extent lengths are Poisson with mean `extent_mean_blocks`, clamped
+    /// to the file size; starting points are uniform; file selection is
+    /// popularity-weighted. Generation stops at the first extent reaching
+    /// the size target, so the overshoot is at most one extent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn sample<R: Rng + ?Sized>(
+        model: &FsModel,
+        size: ByteSize,
+        extent_mean_blocks: f64,
+        rng: &mut R,
+    ) -> Self {
+        let target_blocks = size.bytes().div_ceil(BLOCK_SIZE);
+        assert!(target_blocks > 0, "working set size must be nonzero");
+        let mut extents = Vec::new();
+        let mut total = 0u64;
+        while total < target_blocks {
+            let f = model.sample_weighted(rng);
+            let len = poisson(rng, extent_mean_blocks).clamp(1, f.blocks as u64) as u32;
+            let max_start = f.blocks - len;
+            let start = if max_start == 0 {
+                0
+            } else {
+                rng.gen_range(0..=max_start)
+            };
+            extents.push(Extent {
+                file: f.id,
+                start_block: start,
+                nblocks: len,
+                popularity: f.popularity,
+            });
+            total += len as u64;
+        }
+        let mut cum_blocks = Vec::with_capacity(extents.len());
+        let mut cum_weights = Vec::with_capacity(extents.len());
+        let (mut acc_b, mut acc_w) = (0u64, 0u64);
+        for e in &extents {
+            acc_b += e.nblocks as u64;
+            cum_blocks.push(acc_b);
+            acc_w += e.popularity as u64;
+            cum_weights.push(acc_w);
+        }
+        Self {
+            extents,
+            total_blocks: total,
+            cum_blocks,
+            cum_weights,
+        }
+    }
+
+    /// The extents making up the set.
+    pub fn extents(&self) -> &[Extent] {
+        &self.extents
+    }
+
+    /// Total size in blocks.
+    pub fn total_blocks(&self) -> u64 {
+        self.total_blocks
+    }
+
+    /// Total size in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_blocks * BLOCK_SIZE
+    }
+
+    /// Draws an extent with probability proportional to its length, making
+    /// I/O starting points uniform over the working-set footprint ("The
+    /// distribution of I/O starting points … is uniform", §4). Popularity
+    /// shapes which subregions *join* the working set, not how often each
+    /// resident block is touched — this is what keeps cache hit rates
+    /// tracking the size ratios the paper reports (e.g. the small RAM hit
+    /// rates of §7.2).
+    pub fn sample_extent<R: Rng + ?Sized>(&self, rng: &mut R) -> &Extent {
+        let total = *self.cum_blocks.last().expect("working set has extents");
+        let x = rng.gen_range(0..total);
+        let idx = self.cum_blocks.partition_point(|&c| c <= x);
+        &self.extents[idx]
+    }
+
+    /// Draws an extent weighted by file popularity instead of length
+    /// (skewed-access ablation; not the paper's shape).
+    pub fn sample_extent_by_popularity<R: Rng + ?Sized>(&self, rng: &mut R) -> &Extent {
+        let total = *self.cum_weights.last().expect("working set has extents");
+        let x = rng.gen_range(0..total);
+        let idx = self.cum_weights.partition_point(|&c| c <= x);
+        &self.extents[idx]
+    }
+
+    /// Draws one I/O from the working set: an extent, then a Poisson size
+    /// clamped to the extent, then a uniform start keeping the I/O inside
+    /// the extent. Returns `(file, start_block, nblocks)`.
+    pub fn sample_io<R: Rng + ?Sized>(
+        &self,
+        io_mean_blocks: f64,
+        rng: &mut R,
+    ) -> (FileId, u32, u32) {
+        let e = self.sample_extent(rng);
+        let len = poisson(rng, io_mean_blocks).clamp(1, e.nblocks as u64) as u32;
+        let max_off = e.nblocks - len;
+        let off = if max_off == 0 {
+            0
+        } else {
+            rng.gen_range(0..=max_off)
+        };
+        (e.file, e.start_block + off, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcache_fsmodel::FsModelConfig;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn model() -> FsModel {
+        FsModel::generate(FsModelConfig {
+            total_bytes: ByteSize::mib(512),
+            seed: 11,
+            ..FsModelConfig::default()
+        })
+    }
+
+    #[test]
+    fn reaches_target_size() {
+        let m = model();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let ws = WorkingSet::sample(&m, ByteSize::mib(64), 256.0, &mut rng);
+        let target = (64u64 << 20) / 4096;
+        assert!(ws.total_blocks() >= target);
+        // Overshoot at most one extent (extents are clamped to file size).
+        let largest = ws.extents().iter().map(|e| e.nblocks as u64).max().unwrap();
+        assert!(ws.total_blocks() < target + largest + 1);
+    }
+
+    #[test]
+    fn extents_stay_inside_files() {
+        let m = model();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let ws = WorkingSet::sample(&m, ByteSize::mib(32), 512.0, &mut rng);
+        for e in ws.extents() {
+            let f = m.file(e.file);
+            assert!(e.nblocks >= 1);
+            assert!(e.start_block + e.nblocks <= f.blocks, "extent escapes file");
+            assert_eq!(e.popularity, f.popularity);
+        }
+    }
+
+    #[test]
+    fn sampled_io_stays_inside_extent() {
+        let m = model();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let ws = WorkingSet::sample(&m, ByteSize::mib(16), 128.0, &mut rng);
+        for _ in 0..5_000 {
+            let (file, start, len) = ws.sample_io(8.0, &mut rng);
+            assert!(len >= 1);
+            let containing = ws.extents().iter().any(|e| {
+                e.file == file && start >= e.start_block && start + len <= e.start_block + e.nblocks
+            });
+            assert!(
+                containing,
+                "I/O f{}@{start}+{len} not inside any extent",
+                file.0
+            );
+        }
+    }
+
+    #[test]
+    fn io_sizes_follow_requested_mean_when_unclamped() {
+        // A model with large files (median ≈ 440 KB) leaves the Poisson
+        // I/O sizes essentially unclamped: the mean approaches λ = 8.
+        let m = FsModel::generate(FsModelConfig {
+            total_bytes: ByteSize::mib(512),
+            lognormal_mu: 13.0,
+            seed: 11,
+            ..FsModelConfig::default()
+        });
+        let mut rng = SmallRng::seed_from_u64(4);
+        let ws = WorkingSet::sample(&m, ByteSize::mib(64), 1024.0, &mut rng);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| ws.sample_io(8.0, &mut rng).2 as u64).sum();
+        let mean = total as f64 / n as f64;
+        assert!(mean > 7.0 && mean <= 8.5, "mean {mean}");
+    }
+
+    #[test]
+    fn io_sizes_clamped_by_small_files() {
+        // On the default small-file model, clamping "to the filesize" (§4)
+        // pulls the observed mean well below λ while staying ≥ 1.
+        let m = model();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let ws = WorkingSet::sample(&m, ByteSize::mib(64), 1024.0, &mut rng);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| ws.sample_io(8.0, &mut rng).2 as u64).sum();
+        let mean = total as f64 / n as f64;
+        assert!(mean >= 1.0 && mean < 8.0, "mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_in_rng_seed() {
+        let m = model();
+        let a = WorkingSet::sample(&m, ByteSize::mib(8), 128.0, &mut SmallRng::seed_from_u64(5));
+        let b = WorkingSet::sample(&m, ByteSize::mib(8), 128.0, &mut SmallRng::seed_from_u64(5));
+        assert_eq!(a.extents(), b.extents());
+    }
+
+    #[test]
+    #[should_panic(expected = "working set size must be nonzero")]
+    fn zero_size_panics() {
+        let m = model();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let _ = WorkingSet::sample(&m, ByteSize::ZERO, 128.0, &mut rng);
+    }
+}

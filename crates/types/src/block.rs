@@ -1,0 +1,168 @@
+//! Block addressing.
+//!
+//! The paper simulates 4 KB blocks throughout ("They use 4K blocks", §4);
+//! every cache is "a single LRU chain of blocks" (§5). A block is identified
+//! by the file it belongs to plus its index within that file.
+
+use core::fmt;
+
+use crate::ids::FileId;
+
+/// Size of one cache/storage block in bytes (the paper uses 4 KB blocks).
+pub const BLOCK_SIZE: u64 = 4096;
+
+/// `log2(BLOCK_SIZE)`, for shift-based conversions.
+pub const BLOCK_SHIFT: u32 = 12;
+
+/// Address of a single 4 KB block: a file and a block index within it.
+///
+/// Packs into a `u64` (`file` in the high 32 bits) so it can serve directly
+/// as a cheap hash-map key in the caches and the consistency directory.
+///
+/// # Examples
+///
+/// ```
+/// use fcache_types::{BlockAddr, FileId};
+///
+/// let a = BlockAddr::new(FileId(7), 42);
+/// assert_eq!(a.file, FileId(7));
+/// assert_eq!(a.block, 42);
+/// assert_eq!(BlockAddr::from_u64(a.to_u64()), a);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockAddr {
+    /// File containing the block.
+    pub file: FileId,
+    /// Zero-based 4 KB block index within the file.
+    pub block: u32,
+}
+
+impl BlockAddr {
+    /// Creates a block address.
+    pub const fn new(file: FileId, block: u32) -> Self {
+        Self { file, block }
+    }
+
+    /// Packs the address into a `u64` (file id in the high 32 bits).
+    pub const fn to_u64(self) -> u64 {
+        ((self.file.0 as u64) << 32) | self.block as u64
+    }
+
+    /// Unpacks an address produced by [`BlockAddr::to_u64`].
+    pub const fn from_u64(v: u64) -> Self {
+        Self {
+            file: FileId((v >> 32) as u32),
+            block: v as u32,
+        }
+    }
+
+    /// Returns the address of the next block in the same file.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the block index overflows `u32`.
+    pub const fn next(self) -> Self {
+        Self {
+            file: self.file,
+            block: self.block + 1,
+        }
+    }
+
+    /// Byte offset of this block within its file.
+    pub const fn byte_offset(self) -> u64 {
+        (self.block as u64) << BLOCK_SHIFT
+    }
+}
+
+impl fmt::Debug for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}+{}", self.file.0, self.block)
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Converts a byte count to the number of whole blocks it occupies,
+/// rounding up.
+///
+/// # Examples
+///
+/// ```
+/// use fcache_types::block::{blocks_for_bytes, BLOCK_SIZE};
+///
+/// assert_eq!(blocks_for_bytes(0), 0);
+/// assert_eq!(blocks_for_bytes(1), 1);
+/// assert_eq!(blocks_for_bytes(BLOCK_SIZE), 1);
+/// assert_eq!(blocks_for_bytes(BLOCK_SIZE + 1), 2);
+/// ```
+pub const fn blocks_for_bytes(bytes: u64) -> u64 {
+    bytes.div_ceil(BLOCK_SIZE)
+}
+
+/// Converts a block count to bytes.
+pub const fn bytes_for_blocks(blocks: u64) -> u64 {
+    blocks * BLOCK_SIZE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrip() {
+        let cases = [
+            BlockAddr::new(FileId(0), 0),
+            BlockAddr::new(FileId(1), 2),
+            BlockAddr::new(FileId(u32::MAX), u32::MAX),
+            BlockAddr::new(FileId(0xdead_beef), 0x0bad_cafe),
+        ];
+        for a in cases {
+            assert_eq!(BlockAddr::from_u64(a.to_u64()), a);
+        }
+    }
+
+    #[test]
+    fn ordering_groups_by_file_then_block() {
+        let a = BlockAddr::new(FileId(1), 100);
+        let b = BlockAddr::new(FileId(2), 0);
+        let c = BlockAddr::new(FileId(2), 1);
+        assert!(a < b);
+        assert!(b < c);
+        assert_eq!(a.to_u64() < b.to_u64(), a < b);
+    }
+
+    #[test]
+    fn next_advances_block_only() {
+        let a = BlockAddr::new(FileId(3), 9);
+        let n = a.next();
+        assert_eq!(n.file, FileId(3));
+        assert_eq!(n.block, 10);
+    }
+
+    #[test]
+    fn byte_offset_is_block_times_4k() {
+        assert_eq!(BlockAddr::new(FileId(0), 3).byte_offset(), 3 * 4096);
+    }
+
+    #[test]
+    fn block_size_constants_agree() {
+        assert_eq!(1u64 << BLOCK_SHIFT, BLOCK_SIZE);
+    }
+
+    #[test]
+    fn blocks_for_bytes_rounds_up() {
+        assert_eq!(blocks_for_bytes(4095), 1);
+        assert_eq!(blocks_for_bytes(4097), 2);
+        assert_eq!(blocks_for_bytes(10 * 4096), 10);
+        assert_eq!(bytes_for_blocks(10), 40960);
+    }
+
+    #[test]
+    fn debug_format_is_compact() {
+        assert_eq!(format!("{:?}", BlockAddr::new(FileId(5), 77)), "f5+77");
+    }
+}

@@ -1,0 +1,80 @@
+//! Identifier newtypes for hosts, threads, and files.
+//!
+//! The paper's environment is "one or more compute servers ('hosts') and a
+//! file server ('filer')" where "each host runs one or more applications,
+//! involving one or more threads of execution" (§3). Trace records carry a
+//! host id and a thread id; I/O requests name a file.
+
+use core::fmt;
+
+/// Identifies a file in the file-server model.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct FileId(pub u32);
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "file{}", self.0)
+    }
+}
+
+/// Identifies a compute server (client host).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct HostId(pub u16);
+
+impl HostId {
+    /// Index form for vector lookups.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host{}", self.0)
+    }
+}
+
+/// Identifies an application thread *within* a host.
+///
+/// Thread ids are local: thread 0 on host 0 and thread 0 on host 1 are
+/// distinct threads. The paper's baseline traces "use eight threads per
+/// host" (§4).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct ThreadId(pub u16);
+
+impl ThreadId {
+    /// Index form for vector lookups.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thr{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(FileId(3).to_string(), "file3");
+        assert_eq!(HostId(1).to_string(), "host1");
+        assert_eq!(ThreadId(7).to_string(), "thr7");
+    }
+
+    #[test]
+    fn index_conversions() {
+        assert_eq!(HostId(9).index(), 9);
+        assert_eq!(ThreadId(11).index(), 11);
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(FileId(1) < FileId(2));
+        assert!(HostId(0) < HostId(1));
+    }
+}

@@ -1,0 +1,27 @@
+//! Shared vocabulary for the *Flash Caching on the Storage Client*
+//! reproduction.
+//!
+//! This crate defines the domain types every other crate speaks:
+//!
+//! - [`BlockAddr`] — a 4 KB block within a file, the unit of caching.
+//! - [`HostId`] / [`ThreadId`] — who issued an I/O.
+//! - [`TraceOp`] / [`Trace`] — the block-level trace format of Section 4 of
+//!   the paper, with a compact binary codec.
+//! - [`ByteSize`] — human-friendly byte quantities ("8G", "256K") used
+//!   throughout experiment configuration.
+//!
+//! The paper's traces "contain read and write operations. Each operation
+//! identifies a file and a range of blocks within that file. Each operation
+//! also carries a thread ID and host ID." [`TraceOp`] is exactly that record.
+
+pub mod block;
+pub mod ids;
+pub mod op;
+pub mod size;
+pub mod trace;
+
+pub use block::{BlockAddr, BLOCK_SHIFT, BLOCK_SIZE};
+pub use ids::{FileId, HostId, ThreadId};
+pub use op::{OpKind, TraceOp};
+pub use size::ByteSize;
+pub use trace::{Trace, TraceMeta, TraceStats};

@@ -1,0 +1,138 @@
+//! Trace operations: the unit record of the block-level traces.
+
+use core::fmt;
+
+use crate::{
+    block::BlockAddr,
+    ids::{FileId, HostId, ThreadId},
+};
+
+/// Whether an operation reads or writes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OpKind {
+    /// Read a range of blocks.
+    Read,
+    /// Write (overwrite) a range of blocks.
+    Write,
+}
+
+impl OpKind {
+    /// True for [`OpKind::Write`].
+    pub const fn is_write(self) -> bool {
+        matches!(self, OpKind::Write)
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpKind::Read => write!(f, "R"),
+            OpKind::Write => write!(f, "W"),
+        }
+    }
+}
+
+/// One block-level trace operation.
+///
+/// Mirrors §4 of the paper: "Each operation identifies a file and a range of
+/// blocks within that file. Each operation also carries a thread ID and host
+/// ID." The `warmup` flag marks the first half of the trace volume, for
+/// which "statistics are not collected".
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceOp {
+    /// Issuing host.
+    pub host: HostId,
+    /// Issuing thread (host-local).
+    pub thread: ThreadId,
+    /// Read or write.
+    pub kind: OpKind,
+    /// File the range lives in.
+    pub file: FileId,
+    /// First 4 KB block of the range.
+    pub start_block: u32,
+    /// Number of 4 KB blocks (always ≥ 1).
+    pub nblocks: u32,
+    /// True while the cache is being warmed; such ops are simulated but
+    /// excluded from statistics.
+    pub warmup: bool,
+}
+
+impl TraceOp {
+    /// Address of the first block touched.
+    pub const fn first_block(&self) -> BlockAddr {
+        BlockAddr::new(self.file, self.start_block)
+    }
+
+    /// Iterator over every block address the operation touches.
+    pub fn blocks(&self) -> impl Iterator<Item = BlockAddr> + '_ {
+        let file = self.file;
+        (self.start_block..self.start_block + self.nblocks).map(move |b| BlockAddr::new(file, b))
+    }
+
+    /// Total bytes moved by the operation.
+    pub const fn bytes(&self) -> u64 {
+        (self.nblocks as u64) * crate::block::BLOCK_SIZE
+    }
+}
+
+impl fmt::Display for TraceOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} f{}@{}+{}{}",
+            self.host,
+            self.thread,
+            self.kind,
+            self.file.0,
+            self.start_block,
+            self.nblocks,
+            if self.warmup { " (warmup)" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op() -> TraceOp {
+        TraceOp {
+            host: HostId(0),
+            thread: ThreadId(2),
+            kind: OpKind::Write,
+            file: FileId(9),
+            start_block: 5,
+            nblocks: 3,
+            warmup: false,
+        }
+    }
+
+    #[test]
+    fn blocks_iterates_full_range() {
+        let blocks: Vec<_> = op().blocks().collect();
+        assert_eq!(
+            blocks,
+            vec![
+                BlockAddr::new(FileId(9), 5),
+                BlockAddr::new(FileId(9), 6),
+                BlockAddr::new(FileId(9), 7)
+            ]
+        );
+    }
+
+    #[test]
+    fn bytes_counts_blocks() {
+        assert_eq!(op().bytes(), 3 * 4096);
+    }
+
+    #[test]
+    fn kind_flags() {
+        assert!(OpKind::Write.is_write());
+        assert!(!OpKind::Read.is_write());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(op().to_string(), "host0 thr2 W f9@5+3");
+    }
+}

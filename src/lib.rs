@@ -1,0 +1,14 @@
+//! Meta-crate for the *Flash Caching on the Storage Client* reproduction.
+//!
+//! Hosts the workspace-level examples and integration tests; re-exports the
+//! member crates for convenient access from a single dependency.
+
+pub use fcache;
+pub use fcache_cache;
+pub use fcache_des;
+pub use fcache_device;
+pub use fcache_filer;
+pub use fcache_fsmodel;
+pub use fcache_net;
+pub use fcache_trace;
+pub use fcache_types;
