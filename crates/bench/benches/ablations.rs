@@ -17,7 +17,8 @@
 //!   flight (1 = fully synchronous flush loop).
 
 use fcache_bench::{
-    f, f2, header, scale_from_env, shape_check, SimConfig, Table, Workbench, WorkloadSpec,
+    f, f2, header, run_configs, scale_from_env, shape_check, SimConfig, Table, Workbench,
+    WorkloadSpec,
 };
 use fcache_cache::EvictionPolicy;
 
@@ -104,8 +105,8 @@ fn main() {
         ],
     );
     let mut results = Vec::new();
-    for (name, cfg) in &variants {
-        let r = wb.run_with_trace(cfg, &trace).expect("run");
+    let cfgs: Vec<SimConfig> = variants.iter().map(|(_, cfg)| cfg.clone()).collect();
+    for ((name, _), r) in variants.iter().zip(run_configs(&wb, &cfgs, &trace)) {
         t.row(vec![
             name.to_string(),
             f(r.read_latency_us()),

@@ -12,7 +12,7 @@
 //!    elaborate policies".
 
 use fcache_bench::{
-    f, f2, header, scale_from_env, shape_check, ByteSize, SimConfig, Table, Workbench,
+    f, f2, header, run_configs, scale_from_env, shape_check, ByteSize, SimConfig, Table, Workbench,
     WorkloadSpec, WritebackPolicy,
 };
 
@@ -82,18 +82,21 @@ fn main() {
         &["period_s", "read_us", "write_us"],
     );
     let mut writes = Vec::new();
-    for secs in [1u32, 2, 3, 5, 8, 10, 15, 20, 30, 45, 60] {
-        let cfg = SimConfig {
-            ram_policy: WritebackPolicy::Periodic(secs),
+    let periods = [1u32, 2, 3, 5, 8, 10, 15, 20, 30, 45, 60];
+    let cfgs: Vec<SimConfig> = periods
+        .iter()
+        .map(|secs| SimConfig {
+            ram_policy: WritebackPolicy::Periodic(*secs),
             ..SimConfig::baseline()
-        };
-        let r = wb.run_with_trace(&cfg, &trace).expect("run");
+        })
+        .collect();
+    for (secs, r) in periods.iter().zip(run_configs(&wb, &cfgs, &trace)) {
         t2.row(vec![
             secs.to_string(),
             f(r.read_latency_us()),
             f2(r.write_latency_us()),
         ]);
-        writes.push((secs, r.write_latency_us()));
+        writes.push((*secs, r.write_latency_us()));
         eprint!(".");
     }
     eprintln!();

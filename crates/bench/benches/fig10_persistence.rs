@@ -10,8 +10,8 @@
 //! than the warmed ones; the no-flash line is shown for comparison.
 
 use fcache_bench::{
-    f, header, scale_from_env, shape_check, ByteSize, SimConfig, Table, Workbench, WorkloadSpec,
-    WS_SWEEP_GIB,
+    f, header, run_sweep, scale_from_env, shape_check, ByteSize, SimConfig, Table, Workbench,
+    WorkloadSpec, WS_SWEEP_GIB,
 };
 use fcache_device::FlashModel;
 
@@ -56,9 +56,22 @@ fn main() {
             ..warmed_spec.clone()
         };
 
-        let nf = wb.run(&no_flash, &warmed_spec).expect("run");
-        let cold = wb.run(&persistent, &cold_spec).expect("run");
-        let warm = wb.run(&persistent, &warmed_spec).expect("run");
+        // Three independent (config, trace) jobs — fan them out in one
+        // parallel sweep (the cold trace differs, so this goes through
+        // `run_sweep` directly rather than the one-trace helper).
+        let warmed_trace = wb.make_trace(&warmed_spec);
+        let cold_trace = wb.make_trace(&cold_spec);
+        let scaled_nf = no_flash.clone().scaled_down(wb.scale());
+        let scaled_p = persistent.clone().scaled_down(wb.scale());
+        let jobs = vec![
+            (scaled_nf, &warmed_trace),
+            (scaled_p.clone(), &cold_trace),
+            (scaled_p, &warmed_trace),
+        ];
+        let mut results = run_sweep(&jobs, None).into_iter();
+        let nf = results.next().unwrap().expect("run");
+        let cold = results.next().unwrap().expect("run");
+        let warm = results.next().unwrap().expect("run");
         t.row(vec![
             ws.to_string(),
             f(nf.read_latency_us()),
@@ -66,7 +79,7 @@ fn main() {
             f(warm.read_latency_us()),
             f(warm.write_latency_us()),
         ]);
-        if ws >= 20 && ws <= 160 {
+        if (20..=160).contains(&ws) {
             cold_gap.push(cold.read_latency_us() / warm.read_latency_us());
         }
         write_cost.push(warm.write_latency_us());

@@ -9,7 +9,8 @@
 //! re-fetched from the filer.
 
 use fcache_bench::{
-    f, header, scale_from_env, shape_check, ByteSize, SimConfig, Table, Workbench, WorkloadSpec,
+    f, header, run_configs, scale_from_env, shape_check, ByteSize, SimConfig, Table, Workbench,
+    WorkloadSpec,
 };
 
 fn main() {
@@ -51,18 +52,18 @@ fn main() {
                 ..WorkloadSpec::default()
             };
             let trace = wb.make_trace(&spec);
-            let nf = wb
-                .run_with_trace(
-                    &SimConfig {
+            let results = run_configs(
+                &wb,
+                &[
+                    SimConfig {
                         flash_size: ByteSize::ZERO,
                         ..SimConfig::baseline()
                     },
-                    &trace,
-                )
-                .expect("run");
-            let fl = wb
-                .run_with_trace(&SimConfig::baseline(), &trace)
-                .expect("run");
+                    SimConfig::baseline(),
+                ],
+                &trace,
+            );
+            let (nf, fl) = (&results[0], &results[1]);
             row.push(f(nf.invalidation_pct()));
             row.push(f(fl.invalidation_pct()));
             reads.push(fl.read_latency_us());

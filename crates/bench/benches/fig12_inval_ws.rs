@@ -8,8 +8,8 @@
 //! as significantly as with the smaller RAM cache."
 
 use fcache_bench::{
-    f, header, scale_from_env, shape_check, ByteSize, SimConfig, Table, Workbench, WorkloadSpec,
-    WS_SWEEP_GIB,
+    f, header, run_configs, scale_from_env, shape_check, ByteSize, SimConfig, Table, Workbench,
+    WorkloadSpec, WS_SWEEP_GIB,
 };
 
 fn main() {
@@ -43,18 +43,18 @@ fn main() {
             ..WorkloadSpec::default()
         };
         let trace = wb.make_trace(&spec);
-        let nf = wb
-            .run_with_trace(
-                &SimConfig {
+        let results = run_configs(
+            &wb,
+            &[
+                SimConfig {
                     flash_size: ByteSize::ZERO,
                     ..SimConfig::baseline()
                 },
-                &trace,
-            )
-            .expect("run");
-        let fl = wb
-            .run_with_trace(&SimConfig::baseline(), &trace)
-            .expect("run");
+                SimConfig::baseline(),
+            ],
+            &trace,
+        );
+        let (nf, fl) = (&results[0], &results[1]);
         t.row(vec![
             ws.to_string(),
             f(nf.invalidation_pct()),

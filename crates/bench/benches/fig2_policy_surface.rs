@@ -9,8 +9,8 @@
 //! ~8/9 of the flash write latency.
 
 use fcache_bench::{
-    f, f2, header, scale_from_env, shape_check, Architecture, SimConfig, Table, Workbench,
-    WorkloadSpec, WritebackPolicy,
+    f, f2, header, run_configs, scale_from_env, shape_check, Architecture, SimConfig, Table,
+    Workbench, WorkloadSpec, WritebackPolicy,
 };
 
 fn main() {
@@ -35,17 +35,29 @@ fn main() {
         );
         let mut interior_writes = Vec::new();
         let mut sync_writes = Vec::new();
-        for ram_policy in WritebackPolicy::ALL {
+        // All 49 policy combinations are independent: fan them out as one
+        // parallel sweep per architecture instead of 49 serial runs.
+        let combos: Vec<(WritebackPolicy, WritebackPolicy)> = WritebackPolicy::ALL
+            .into_iter()
+            .flat_map(|rp| WritebackPolicy::ALL.into_iter().map(move |fp| (rp, fp)))
+            .collect();
+        let cfgs: Vec<SimConfig> = combos
+            .iter()
+            .map(|&(ram_policy, flash_policy)| SimConfig {
+                arch,
+                ram_policy,
+                flash_policy,
+                ..SimConfig::baseline()
+            })
+            .collect();
+        let results = run_configs(&wb, &cfgs, &trace);
+        for (chunk, ram_policy) in results
+            .chunks(WritebackPolicy::ALL.len())
+            .zip(WritebackPolicy::ALL)
+        {
             let mut rrow = vec![ram_policy.label()];
             let mut wrow = vec![ram_policy.label()];
-            for flash_policy in WritebackPolicy::ALL {
-                let cfg = SimConfig {
-                    arch,
-                    ram_policy,
-                    flash_policy,
-                    ..SimConfig::baseline()
-                };
-                let r = wb.run_with_trace(&cfg, &trace).expect("run");
+            for (r, flash_policy) in chunk.iter().zip(WritebackPolicy::ALL) {
                 rrow.push(f(r.read_latency_us()));
                 wrow.push(f2(r.write_latency_us()));
                 // The benign interior (§7.1): both tiers asynchronous-ish —

@@ -12,8 +12,8 @@
 //! them by the flash read latency's contribution.
 
 use fcache_bench::{
-    f, header, scale_from_env, shape_check, Architecture, ByteSize, SimConfig, Table, Workbench,
-    WorkloadSpec, WS_SWEEP_GIB,
+    f, header, run_configs, scale_from_env, shape_check, Architecture, ByteSize, SimConfig, Table,
+    Workbench, WorkloadSpec, WS_SWEEP_GIB,
 };
 use fcache_des::SimTime;
 use fcache_device::{FlashModel, RamModel};
@@ -66,18 +66,13 @@ fn main() {
             ..WorkloadSpec::default()
         };
         let trace = wb.make_trace(&spec);
-        let a = wb
-            .run_with_trace(&real, &trace)
-            .expect("run")
-            .read_latency_us();
-        let b = wb
-            .run_with_trace(&ram_speed_flash, &trace)
-            .expect("run")
-            .read_latency_us();
-        let c = wb
-            .run_with_trace(&unified_56, &trace)
-            .expect("run")
-            .read_latency_us();
+        let cfgs = [real.clone(), ram_speed_flash.clone(), unified_56.clone()];
+        let results = run_configs(&wb, &cfgs, &trace);
+        let (a, b, c) = (
+            results[0].read_latency_us(),
+            results[1].read_latency_us(),
+            results[2].read_latency_us(),
+        );
         // The smallest working sets have too few filer reads for the
         // Bernoulli fast/slow draws to average out; exclude them from the
         // shape statistics (they are still printed).

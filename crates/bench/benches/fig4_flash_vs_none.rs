@@ -9,8 +9,8 @@
 //! 128 GB configuration"); writes sit at the RAM write latency everywhere.
 
 use fcache_bench::{
-    f, header, scale_from_env, shape_check, ByteSize, SimConfig, Table, Workbench, WorkloadSpec,
-    WS_SWEEP_GIB,
+    f, header, run_configs, scale_from_env, shape_check, ByteSize, SimConfig, Table, Workbench,
+    WorkloadSpec, WS_SWEEP_GIB,
 };
 
 fn main() {
@@ -50,12 +50,18 @@ fn main() {
         let mut row = vec![ws.to_string()];
         let mut hrow = vec![ws.to_string()];
         let mut ram_hit = 0.0;
-        for (i, fs) in flash_sizes.iter().enumerate() {
-            let cfg = SimConfig {
+        let cfgs: Vec<SimConfig> = flash_sizes
+            .iter()
+            .map(|fs| SimConfig {
                 flash_size: ByteSize::gib(*fs),
                 ..SimConfig::baseline()
-            };
-            let r = wb.run_with_trace(&cfg, &trace).expect("run");
+            })
+            .collect();
+        for (i, (fs, r)) in flash_sizes
+            .iter()
+            .zip(run_configs(&wb, &cfgs, &trace))
+            .enumerate()
+        {
             row.push(f(r.read_latency_us()));
             latencies[i].push(r.read_latency_us());
             write_lat_max = write_lat_max.max(r.write_latency_us());

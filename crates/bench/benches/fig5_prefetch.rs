@@ -10,8 +10,8 @@
 //! between the no-flash/95 % and flash/80 % curves).
 
 use fcache_bench::{
-    f, header, scale_from_env, shape_check, ByteSize, SimConfig, Table, Workbench, WorkloadSpec,
-    WS_SWEEP_GIB,
+    f, header, run_configs, scale_from_env, shape_check, ByteSize, SimConfig, Table, Workbench,
+    WorkloadSpec, WS_SWEEP_GIB,
 };
 
 fn main() {
@@ -42,16 +42,18 @@ fn main() {
         };
         let trace = wb.make_trace(&spec);
         let mut row = vec![ws.to_string()];
-        for (i, (flash, rate)) in [(0u64, 0.80), (0, 0.95), (64, 0.80), (64, 0.95)]
+        let cfgs: Vec<SimConfig> = [(0u64, 0.80), (0, 0.95), (64, 0.80), (64, 0.95)]
             .iter()
-            .enumerate()
-        {
-            let mut cfg = SimConfig {
-                flash_size: ByteSize::gib(*flash),
-                ..SimConfig::baseline()
-            };
-            cfg.filer.fast_read_rate = *rate;
-            let r = wb.run_with_trace(&cfg, &trace).expect("run");
+            .map(|(flash, rate)| {
+                let mut cfg = SimConfig {
+                    flash_size: ByteSize::gib(*flash),
+                    ..SimConfig::baseline()
+                };
+                cfg.filer.fast_read_rate = *rate;
+                cfg
+            })
+            .collect();
+        for (i, r) in run_configs(&wb, &cfgs, &trace).into_iter().enumerate() {
             row.push(f(r.read_latency_us()));
             series[i].push(r.read_latency_us());
         }

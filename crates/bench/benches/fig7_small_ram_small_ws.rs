@@ -6,7 +6,7 @@
 //! cache."
 
 use fcache_bench::{
-    f, f2, header, scale_from_env, shape_check, ByteSize, SimConfig, Table, Workbench,
+    f, f2, header, run_configs, scale_from_env, shape_check, ByteSize, SimConfig, Table, Workbench,
     WorkloadSpec, WritebackPolicy,
 };
 
@@ -51,16 +51,18 @@ fn main() {
         let mut row = vec![label.to_string()];
         let mut reads = Vec::new();
         let mut writes = Vec::new();
-        for policy in [
+        let cfgs: Vec<SimConfig> = [
             WritebackPolicy::Periodic(1),
             WritebackPolicy::AsyncWriteThrough,
-        ] {
-            let cfg = SimConfig {
-                ram_size: ByteSize::bytes_exact(scaled * scale),
-                ram_policy: policy,
-                ..SimConfig::baseline()
-            };
-            let r = wb.run_with_trace(&cfg, &trace).expect("run");
+        ]
+        .into_iter()
+        .map(|policy| SimConfig {
+            ram_size: ByteSize::bytes_exact(scaled * scale),
+            ram_policy: policy,
+            ..SimConfig::baseline()
+        })
+        .collect();
+        for r in run_configs(&wb, &cfgs, &trace) {
             reads.push(r.read_latency_us());
             writes.push(r.write_latency_us());
         }

@@ -8,7 +8,8 @@
 //! salt").
 
 use fcache_bench::{
-    f, f2, header, scale_from_env, shape_check, ByteSize, SimConfig, Table, Workbench, WorkloadSpec,
+    f, f2, header, run_sweep, scale_from_env, shape_check, ByteSize, SimConfig, Table, Workbench,
+    WorkloadSpec,
 };
 
 fn main() {
@@ -28,14 +29,23 @@ fn main() {
         let mut row = vec![pct.to_string()];
         let mut reads = Vec::new();
         let mut writes = Vec::new();
-        for ws in [60u64, 80] {
-            let spec = WorkloadSpec {
-                working_set: ByteSize::gib(ws),
-                write_fraction: f64::from(pct) / 100.0,
-                seed: ws * 100 + u64::from(pct),
-                ..WorkloadSpec::default()
-            };
-            let r = wb.run(&SimConfig::baseline(), &spec).expect("run");
+        // The two working-set sizes use distinct traces, so pair each with
+        // the baseline config and fan out through `run_sweep` directly.
+        let traces: Vec<_> = [60u64, 80]
+            .iter()
+            .map(|ws| {
+                wb.make_trace(&WorkloadSpec {
+                    working_set: ByteSize::gib(*ws),
+                    write_fraction: f64::from(pct) / 100.0,
+                    seed: ws * 100 + u64::from(pct),
+                    ..WorkloadSpec::default()
+                })
+            })
+            .collect();
+        let cfg = SimConfig::baseline().scaled_down(wb.scale());
+        let jobs: Vec<_> = traces.iter().map(|t| (cfg.clone(), t)).collect();
+        for r in run_sweep(&jobs, None) {
+            let r = r.expect("run");
             reads.push(r.read_latency_us());
             writes.push(r.write_latency_us());
         }

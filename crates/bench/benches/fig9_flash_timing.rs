@@ -9,8 +9,8 @@
 //! "represents the potential performance of phase-change memory".
 
 use fcache_bench::{
-    f, header, scale_from_env, shape_check, Architecture, ByteSize, SimConfig, Table, Workbench,
-    WorkloadSpec,
+    f, header, run_configs, scale_from_env, shape_check, Architecture, ByteSize, SimConfig, Table,
+    Workbench, WorkloadSpec,
 };
 use fcache_des::SimTime;
 use fcache_device::FlashModel;
@@ -53,21 +53,20 @@ fn main() {
         .collect();
     for us in times_us {
         let mut row = vec![us.to_string()];
+        let cfgs: Vec<SimConfig> = [
+            Architecture::Lookaside,
+            Architecture::Naive,
+            Architecture::Unified,
+        ]
+        .into_iter()
+        .map(|arch| SimConfig {
+            arch,
+            flash_model: FlashModel::with_read_time_proportional(SimTime::from_micros(us)),
+            ..SimConfig::baseline()
+        })
+        .collect();
         for (wi, trace) in traces.iter().enumerate() {
-            for (ai, arch) in [
-                Architecture::Lookaside,
-                Architecture::Naive,
-                Architecture::Unified,
-            ]
-            .into_iter()
-            .enumerate()
-            {
-                let cfg = SimConfig {
-                    arch,
-                    flash_model: FlashModel::with_read_time_proportional(SimTime::from_micros(us)),
-                    ..SimConfig::baseline()
-                };
-                let r = wb.run_with_trace(&cfg, trace).expect("run");
+            for (ai, r) in run_configs(&wb, &cfgs, trace).into_iter().enumerate() {
                 row.push(f(r.read_latency_us()));
                 series[ai][wi].push(r.read_latency_us());
             }

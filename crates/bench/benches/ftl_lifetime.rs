@@ -12,7 +12,7 @@
 //! (FlashTier's key cache-specific FTL optimization).
 
 use fcache_bench::{
-    f2, header, scale_from_env, shape_check, ByteSize, SimConfig, Table, Workbench, WorkloadSpec,
+    f2, header, scale_from_env, shape_check, SimConfig, Table, Workbench, WorkloadSpec,
 };
 use fcache_device::ftl::{Ftl, FtlConfig};
 use fcache_device::IoDirection;

@@ -17,9 +17,29 @@ use std::fs;
 use std::path::PathBuf;
 
 pub use fcache::{
-    run_trace, Architecture, SimConfig, SimReport, Workbench, WorkloadSpec, WritebackPolicy,
+    run_sweep, run_trace, Architecture, SimConfig, SimReport, Workbench, WorkloadSpec,
+    WritebackPolicy,
 };
-pub use fcache_types::ByteSize;
+pub use fcache_types::{ByteSize, Trace};
+
+/// Runs a set of paper-scale configurations against one trace through the
+/// parallel sweep runner, unwrapping each result.
+///
+/// This is the figure harnesses' inner loop: every figure compares several
+/// configurations over the same workload, and the configurations are
+/// independent — exactly the shape `run_sweep` fans out. Results come back
+/// in `cfgs` order and are bit-identical to serial `run_with_trace` calls.
+///
+/// # Panics
+///
+/// Panics if any simulation deadlocks (a figure cannot be produced from a
+/// partial sweep).
+pub fn run_configs(wb: &Workbench, cfgs: &[SimConfig], trace: &Trace) -> Vec<SimReport> {
+    wb.run_sweep_with_trace(cfgs, trace)
+        .into_iter()
+        .map(|r| r.expect("sweep configuration deadlocked"))
+        .collect()
+}
 
 /// Reads the scale-factor override, falling back to the figure's default.
 pub fn scale_from_env(default: u64) -> u64 {

@@ -10,9 +10,7 @@
 //! LRU)" (§1). [`EvictionPolicy::Lru`] is therefore the default; FIFO and
 //! CLOCK (second chance) are provided for the replacement-policy ablation.
 
-use std::collections::{HashMap, HashSet};
-
-use fcache_types::BlockAddr;
+use fcache_types::{BlockAddr, FxBuildHasher, FxHashMap};
 
 use crate::lru::{LruList, NodeId};
 use crate::stats::CacheStats;
@@ -37,6 +35,11 @@ struct Entry {
     dirty: bool,
     /// CLOCK reference bit (unused by LRU/FIFO).
     referenced: bool,
+    /// Intrusive dirty-list links: dirty entries form a doubly-linked list
+    /// threaded through the slab, so dirty-set snapshots iterate O(dirty)
+    /// without a second hash structure (links maintained in O(1)).
+    dirty_prev: Option<NodeId>,
+    dirty_next: Option<NodeId>,
 }
 
 /// What `insert` had to evict, if anything.
@@ -87,9 +90,16 @@ pub enum InsertOutcome {
 pub struct BlockCache {
     capacity: usize,
     policy: EvictionPolicy,
-    map: HashMap<u64, NodeId>,
+    /// One fast-hash probe per lookup; the dirty bit lives inside the LRU
+    /// entry (not a second structure), so every hot-path operation touches
+    /// exactly one hash table. See `PERF.md`.
+    map: FxHashMap<u64, NodeId>,
     lru: LruList<Entry>,
-    dirty: HashSet<u64>,
+    /// Count of entries with `dirty == true` (kept in lockstep with the
+    /// entry bits; the former `HashSet<u64>` second structure is gone).
+    dirty_count: usize,
+    /// Head of the intrusive dirty list (see `Entry::dirty_prev`).
+    dirty_head: Option<NodeId>,
     stats: CacheStats,
 }
 
@@ -108,9 +118,13 @@ impl BlockCache {
         Self {
             capacity: capacity_blocks,
             policy,
-            map: HashMap::with_capacity(capacity_blocks.min(1 << 22)),
+            map: FxHashMap::with_capacity_and_hasher(
+                capacity_blocks.min(1 << 22),
+                FxBuildHasher::default(),
+            ),
             lru: LruList::with_capacity(capacity_blocks.min(1 << 22)),
-            dirty: HashSet::new(),
+            dirty_count: 0,
+            dirty_head: None,
             stats: CacheStats::default(),
         }
     }
@@ -134,11 +148,11 @@ impl BlockCache {
         }
     }
 
-    /// Selects and unlinks the eviction victim per the policy.
-    fn pop_victim(&mut self) -> Entry {
+    /// Selects the eviction victim per the policy without unlinking it.
+    fn select_victim(&mut self) -> NodeId {
         match self.policy {
             EvictionPolicy::Lru | EvictionPolicy::Fifo => {
-                self.lru.pop_back().expect("full cache has a victim")
+                self.lru.back().expect("full cache has a victim")
             }
             EvictionPolicy::Clock => {
                 // Second chance: rotate referenced entries to the front,
@@ -155,11 +169,48 @@ impl BlockCache {
                     if referenced {
                         self.lru.touch(id);
                     } else {
-                        return self.lru.remove(id).expect("live tail");
+                        return id;
                     }
                 }
             }
         }
+    }
+
+    /// Marks a clean resident entry dirty, pushing it onto the intrusive
+    /// dirty list. Caller ensures the entry is currently clean.
+    fn link_dirty(&mut self, id: NodeId) {
+        let old_head = self.dirty_head;
+        {
+            let e = self.lru.get_mut(id).expect("mapped node must live");
+            debug_assert!(!e.dirty, "link_dirty on dirty entry");
+            e.dirty = true;
+            e.dirty_prev = None;
+            e.dirty_next = old_head;
+        }
+        if let Some(h) = old_head {
+            self.lru.get_mut(h).expect("dirty head lives").dirty_prev = Some(id);
+        }
+        self.dirty_head = Some(id);
+        self.dirty_count += 1;
+    }
+
+    /// Marks a dirty resident entry clean, unlinking it from the intrusive
+    /// dirty list. Caller ensures the entry is currently dirty.
+    fn unlink_dirty(&mut self, id: NodeId) {
+        let (prev, next) = {
+            let e = self.lru.get_mut(id).expect("mapped node must live");
+            debug_assert!(e.dirty, "unlink_dirty on clean entry");
+            e.dirty = false;
+            (e.dirty_prev.take(), e.dirty_next.take())
+        };
+        match prev {
+            Some(p) => self.lru.get_mut(p).expect("dirty prev lives").dirty_next = next,
+            None => self.dirty_head = next,
+        }
+        if let Some(n) = next {
+            self.lru.get_mut(n).expect("dirty next lives").dirty_prev = prev;
+        }
+        self.dirty_count -= 1;
     }
 
     /// Maximum block count.
@@ -184,7 +235,7 @@ impl BlockCache {
 
     /// Number of dirty blocks.
     pub fn dirty_len(&self) -> usize {
-        self.dirty.len()
+        self.dirty_count
     }
 
     /// Statistics counters.
@@ -235,7 +286,10 @@ impl BlockCache {
 
     /// True if the block is cached and dirty.
     pub fn is_dirty(&self, addr: BlockAddr) -> bool {
-        self.dirty.contains(&addr.to_u64())
+        match self.map.get(&addr.to_u64()) {
+            Some(&id) => self.lru.get(id).expect("mapped node must live").dirty,
+            None => false,
+        }
     }
 
     /// Inserts (or overwrites) a block, promoting it to MRU.
@@ -250,8 +304,8 @@ impl BlockCache {
             self.reference(id);
             if dirty {
                 self.stats.overwrites += 1;
-                if self.dirty.insert(key) {
-                    self.lru.get_mut(id).expect("mapped node must live").dirty = true;
+                if !self.lru.get(id).expect("mapped node must live").dirty {
+                    self.link_dirty(id);
                 }
             }
             return InsertOutcome::AlreadyPresent;
@@ -261,19 +315,19 @@ impl BlockCache {
         }
 
         let evicted = if self.lru.len() >= self.capacity {
-            let victim = self.pop_victim();
-            let vkey = victim.addr.to_u64();
-            self.map.remove(&vkey);
-            let was_dirty = self.dirty.remove(&vkey);
-            debug_assert_eq!(was_dirty, victim.dirty);
-            if victim.dirty {
+            let victim_id = self.select_victim();
+            let was_dirty = self.lru.get(victim_id).expect("victim lives").dirty;
+            if was_dirty {
+                self.unlink_dirty(victim_id);
                 self.stats.dirty_evictions += 1;
             } else {
                 self.stats.clean_evictions += 1;
             }
+            let victim = self.lru.remove(victim_id).expect("victim lives");
+            self.map.remove(&victim.addr.to_u64());
             Some(Eviction {
                 addr: victim.addr,
-                dirty: victim.dirty,
+                dirty: was_dirty,
             })
         } else {
             None
@@ -281,12 +335,14 @@ impl BlockCache {
 
         let id = self.lru.push_front(Entry {
             addr,
-            dirty,
+            dirty: false,
             referenced: false,
+            dirty_prev: None,
+            dirty_next: None,
         });
         self.map.insert(key, id);
         if dirty {
-            self.dirty.insert(key);
+            self.link_dirty(id);
         }
         self.stats.insertions += 1;
         match evicted {
@@ -297,11 +353,11 @@ impl BlockCache {
 
     /// Marks a cached block dirty (no promotion). Returns false if absent.
     pub fn mark_dirty(&mut self, addr: BlockAddr) -> bool {
-        let key = addr.to_u64();
-        match self.map.get(&key) {
+        match self.map.get(&addr.to_u64()) {
             Some(&id) => {
-                self.lru.get_mut(id).expect("mapped node must live").dirty = true;
-                self.dirty.insert(key);
+                if !self.lru.get(id).expect("mapped node must live").dirty {
+                    self.link_dirty(id);
+                }
                 true
             }
             None => false,
@@ -311,11 +367,11 @@ impl BlockCache {
     /// Marks a cached block clean (after a completed writeback).
     /// Returns false if the block is absent.
     pub fn mark_clean(&mut self, addr: BlockAddr) -> bool {
-        let key = addr.to_u64();
-        match self.map.get(&key) {
+        match self.map.get(&addr.to_u64()) {
             Some(&id) => {
-                self.lru.get_mut(id).expect("mapped node must live").dirty = false;
-                self.dirty.remove(&key);
+                if self.lru.get(id).expect("mapped node must live").dirty {
+                    self.unlink_dirty(id);
+                }
                 true
             }
             None => false,
@@ -325,15 +381,16 @@ impl BlockCache {
     /// Removes a block (cache-consistency invalidation or subset
     /// maintenance). Returns whether it was present and whether dirty.
     pub fn remove(&mut self, addr: BlockAddr) -> Option<Eviction> {
-        let key = addr.to_u64();
-        let id = self.map.remove(&key)?;
+        let id = self.map.remove(&addr.to_u64())?;
+        let was_dirty = self.lru.get(id).expect("mapped node must live").dirty;
+        if was_dirty {
+            self.unlink_dirty(id);
+        }
         let entry = self.lru.remove(id).expect("mapped node must live");
-        let dirty = self.dirty.remove(&key);
-        debug_assert_eq!(dirty, entry.dirty);
         self.stats.invalidations += 1;
         Some(Eviction {
             addr: entry.addr,
-            dirty: entry.dirty,
+            dirty: was_dirty,
         })
     }
 
@@ -347,15 +404,30 @@ impl BlockCache {
         })
     }
 
-    /// Snapshot of all dirty block addresses, sorted by address.
+    /// Appends all dirty block addresses to `out`, sorted by address.
     ///
     /// The syncer uses this to flush: it iterates the snapshot, writing each
-    /// block to the next level and marking it clean on completion. The sort
-    /// keeps simulation runs deterministic (hash-set iteration order is
-    /// randomized per instance).
+    /// block to the next level and marking it clean on completion. Taking a
+    /// caller-owned buffer lets periodic flushers reuse one allocation
+    /// across ticks instead of churning the allocator. The sort keeps flush
+    /// order deterministic and independent of hash-map layout.
+    pub fn dirty_blocks_into(&self, out: &mut Vec<BlockAddr>) {
+        let start = out.len();
+        out.reserve(self.dirty_count);
+        let mut cur = self.dirty_head;
+        while let Some(id) = cur {
+            let e = self.lru.get(id).expect("dirty entry lives");
+            out.push(e.addr);
+            cur = e.dirty_next;
+        }
+        out[start..].sort_unstable();
+    }
+
+    /// Snapshot of all dirty block addresses, sorted by address
+    /// (allocating convenience wrapper over [`BlockCache::dirty_blocks_into`]).
     pub fn dirty_blocks(&self) -> Vec<BlockAddr> {
-        let mut v: Vec<BlockAddr> = self.dirty.iter().map(|&k| BlockAddr::from_u64(k)).collect();
-        v.sort_unstable();
+        let mut v = Vec::with_capacity(self.dirty_count);
+        self.dirty_blocks_into(&mut v);
         v
     }
 
@@ -371,7 +443,7 @@ impl BlockCache {
     /// Panics if the map, LRU list, and dirty set disagree.
     pub fn check_invariants(&self) {
         assert_eq!(self.map.len(), self.lru.len(), "map/lru size mismatch");
-        assert!(self.lru.len() <= self.capacity.max(0), "over capacity");
+        assert!(self.lru.len() <= self.capacity, "over capacity");
         let mut dirty_seen = 0;
         for (addr, dirty) in self.iter_mru() {
             let id = self.map.get(&addr.to_u64()).expect("lru block not in map");
@@ -380,14 +452,25 @@ impl BlockCache {
                 Some(addr),
                 "map points at wrong node"
             );
-            assert_eq!(
-                self.dirty.contains(&addr.to_u64()),
-                dirty,
-                "dirty set mismatch"
-            );
+            assert_eq!(self.is_dirty(addr), dirty, "dirty bit mismatch");
             dirty_seen += usize::from(dirty);
         }
-        assert_eq!(dirty_seen, self.dirty.len(), "dirty count mismatch");
+        assert_eq!(dirty_seen, self.dirty_count, "dirty count mismatch");
+        // The intrusive dirty list must contain exactly the dirty entries,
+        // with consistent back-links.
+        let mut walked = 0;
+        let mut prev: Option<NodeId> = None;
+        let mut cur = self.dirty_head;
+        while let Some(id) = cur {
+            let e = self.lru.get(id).expect("dirty entry lives");
+            assert!(e.dirty, "dirty list holds clean entry");
+            assert_eq!(e.dirty_prev, prev, "dirty list back-link mismatch");
+            walked += 1;
+            assert!(walked <= self.dirty_count, "dirty list cycle");
+            prev = cur;
+            cur = e.dirty_next;
+        }
+        assert_eq!(walked, self.dirty_count, "dirty list length mismatch");
     }
 }
 
@@ -721,7 +804,108 @@ mod tests {
             }
         }
 
+        /// The pre-refactor representation: recency order in one structure,
+        /// dirtiness in a *separate* set (the two-probe model this cache
+        /// replaced). The folded single-probe cache must stay observably
+        /// identical to it.
+        struct TwoStructureModel {
+            cap: usize,
+            order: VecDeque<u32>, // front = MRU
+            dirty: std::collections::HashSet<u32>,
+        }
+
+        impl TwoStructureModel {
+            fn insert(&mut self, k: u32, d: bool) -> Option<(u32, bool)> {
+                if let Some(p) = self.order.iter().position(|&x| x == k) {
+                    self.order.remove(p);
+                    self.order.push_front(k);
+                    if d {
+                        self.dirty.insert(k);
+                    }
+                    return None;
+                }
+                let evicted = if self.order.len() >= self.cap {
+                    self.order.pop_back().map(|v| (v, self.dirty.remove(&v)))
+                } else {
+                    None
+                };
+                self.order.push_front(k);
+                if d {
+                    self.dirty.insert(k);
+                }
+                evicted
+            }
+        }
+
         proptest! {
+            #[test]
+            fn folded_dirty_bit_matches_two_structure_model(
+                cap in 1usize..10,
+                ops in proptest::collection::vec(op_strategy(), 0..300),
+            ) {
+                let mut sut = BlockCache::new(cap);
+                let mut model = TwoStructureModel {
+                    cap,
+                    order: VecDeque::new(),
+                    dirty: std::collections::HashSet::new(),
+                };
+                for op in ops {
+                    match op {
+                        Op::Lookup(k) => {
+                            let hit = sut.lookup(addr(k));
+                            if let Some(p) = model.order.iter().position(|&x| x == k) {
+                                prop_assert!(hit);
+                                model.order.remove(p);
+                                model.order.push_front(k);
+                            } else {
+                                prop_assert!(!hit);
+                            }
+                        }
+                        Op::Insert(k, d) => {
+                            match (sut.insert(addr(k), d), model.insert(k, d)) {
+                                (InsertOutcome::InsertedEvicting(ev), Some((mk, md))) => {
+                                    prop_assert_eq!(ev.addr, addr(mk));
+                                    prop_assert_eq!(ev.dirty, md);
+                                }
+                                (InsertOutcome::Inserted, None)
+                                | (InsertOutcome::AlreadyPresent, None) => {}
+                                (got, want) => {
+                                    return Err(TestCaseError::fail(
+                                        format!("insert mismatch: sut={got:?} model={want:?}")));
+                                }
+                            }
+                        }
+                        Op::MarkClean(k) => {
+                            let present = model.order.contains(&k);
+                            model.dirty.remove(&k);
+                            prop_assert_eq!(sut.mark_clean(addr(k)), present);
+                        }
+                        Op::Remove(k) => {
+                            let got = sut.remove(addr(k));
+                            if let Some(p) = model.order.iter().position(|&x| x == k) {
+                                model.order.remove(p);
+                                let was_dirty = model.dirty.remove(&k);
+                                prop_assert_eq!(got.map(|e| (e.addr, e.dirty)),
+                                                Some((addr(k), was_dirty)));
+                            } else {
+                                prop_assert_eq!(got, None);
+                            }
+                        }
+                    }
+                    // Observable dirty state must match the two-structure
+                    // model exactly after every operation.
+                    sut.check_invariants();
+                    prop_assert_eq!(sut.dirty_len(), model.dirty.len());
+                    for &k in model.order.iter() {
+                        prop_assert_eq!(sut.is_dirty(addr(k)), model.dirty.contains(&k));
+                    }
+                    let mut expect: Vec<BlockAddr> =
+                        model.dirty.iter().map(|&k| addr(k)).collect();
+                    expect.sort_unstable();
+                    prop_assert_eq!(sut.dirty_blocks(), expect);
+                }
+            }
+
             #[test]
             fn matches_reference_model(
                 cap in 1usize..8,

@@ -12,9 +12,7 @@
 //! tiers (72 GB for the baseline 8 GB RAM + 64 GB flash), which is the
 //! source of the unified architecture's read-latency advantage (§7.1).
 
-use std::collections::{HashMap, HashSet};
-
-use fcache_types::BlockAddr;
+use fcache_types::{BlockAddr, FxBuildHasher, FxHashMap};
 
 use crate::lru::{LruList, NodeId};
 use crate::stats::CacheStats;
@@ -35,6 +33,11 @@ struct Frame {
     /// Block currently held (None = free frame).
     block: Option<BlockAddr>,
     dirty: bool,
+    /// Intrusive dirty-list links: dirty frames form a doubly-linked list
+    /// threaded through the slab, so dirty snapshots iterate O(dirty)
+    /// without a second hash structure (links maintained in O(1)).
+    dirty_prev: Option<NodeId>,
+    dirty_next: Option<NodeId>,
 }
 
 /// Block evicted by a unified insert.
@@ -76,9 +79,14 @@ pub struct UnifiedInsert {
 /// assert!(ins.evicted.is_none());
 /// ```
 pub struct UnifiedCache {
-    map: HashMap<u64, NodeId>,
+    /// One fast-hash probe per lookup; the dirty bit lives inside the frame
+    /// (no second structure). See `PERF.md`.
+    map: FxHashMap<u64, NodeId>,
     lru: LruList<Frame>,
-    dirty: HashSet<u64>,
+    /// Count of frames with `dirty == true`.
+    dirty_count: usize,
+    /// Head of the intrusive dirty list (see `Frame::dirty_prev`).
+    dirty_head: Option<NodeId>,
     ram_frames: usize,
     flash_frames: usize,
     stats: CacheStats,
@@ -122,12 +130,15 @@ impl UnifiedCache {
                 medium,
                 block: None,
                 dirty: false,
+                dirty_prev: None,
+                dirty_next: None,
             });
         }
         Self {
-            map: HashMap::with_capacity(total.min(1 << 22)),
+            map: FxHashMap::with_capacity_and_hasher(total.min(1 << 22), FxBuildHasher::default()),
             lru,
-            dirty: HashSet::new(),
+            dirty_count: 0,
+            dirty_head: None,
             ram_frames,
             flash_frames,
             stats: CacheStats::default(),
@@ -161,7 +172,7 @@ impl UnifiedCache {
 
     /// Number of dirty blocks.
     pub fn dirty_len(&self) -> usize {
-        self.dirty.len()
+        self.dirty_count
     }
 
     /// Statistics counters.
@@ -172,6 +183,43 @@ impl UnifiedCache {
     /// Resets the statistics counters.
     pub fn reset_stats(&mut self) {
         self.stats.reset();
+    }
+
+    /// Marks a clean frame dirty, pushing it onto the intrusive dirty
+    /// list. Caller ensures the frame is currently clean.
+    fn link_dirty(&mut self, id: NodeId) {
+        let old_head = self.dirty_head;
+        {
+            let f = self.lru.get_mut(id).expect("mapped frame lives");
+            debug_assert!(!f.dirty, "link_dirty on dirty frame");
+            f.dirty = true;
+            f.dirty_prev = None;
+            f.dirty_next = old_head;
+        }
+        if let Some(h) = old_head {
+            self.lru.get_mut(h).expect("dirty head lives").dirty_prev = Some(id);
+        }
+        self.dirty_head = Some(id);
+        self.dirty_count += 1;
+    }
+
+    /// Marks a dirty frame clean, unlinking it from the intrusive dirty
+    /// list. Caller ensures the frame is currently dirty.
+    fn unlink_dirty(&mut self, id: NodeId) {
+        let (prev, next) = {
+            let f = self.lru.get_mut(id).expect("mapped frame lives");
+            debug_assert!(f.dirty, "unlink_dirty on clean frame");
+            f.dirty = false;
+            (f.dirty_prev.take(), f.dirty_next.take())
+        };
+        match prev {
+            Some(p) => self.lru.get_mut(p).expect("dirty prev lives").dirty_next = next,
+            None => self.dirty_head = next,
+        }
+        if let Some(n) = next {
+            self.lru.get_mut(n).expect("dirty next lives").dirty_prev = prev;
+        }
+        self.dirty_count -= 1;
     }
 
     /// Looks a block up; on a hit promotes its frame and returns the medium
@@ -204,7 +252,10 @@ impl UnifiedCache {
 
     /// True if the block is cached and dirty.
     pub fn is_dirty(&self, addr: BlockAddr) -> bool {
-        self.dirty.contains(&addr.to_u64())
+        match self.map.get(&addr.to_u64()) {
+            Some(&id) => self.lru.get(id).expect("mapped frame lives").dirty,
+            None => false,
+        }
     }
 
     /// Inserts (or overwrites) a block.
@@ -216,16 +267,13 @@ impl UnifiedCache {
         let key = addr.to_u64();
         if let Some(&id) = self.map.get(&key) {
             self.lru.touch(id);
-            let medium = {
-                let f = self.lru.get_mut(id).expect("mapped frame lives");
-                if dirty {
-                    f.dirty = true;
-                }
-                f.medium
-            };
+            let f = self.lru.get(id).expect("mapped frame lives");
+            let medium = f.medium;
             if dirty {
                 self.stats.overwrites += 1;
-                self.dirty.insert(key);
+                if !f.dirty {
+                    self.link_dirty(id);
+                }
             }
             return UnifiedInsert {
                 medium,
@@ -238,23 +286,23 @@ impl UnifiedCache {
             .lru
             .back()
             .expect("unified cache has at least one frame");
+        let was_dirty = self.lru.get(victim_id).expect("tail frame lives").dirty;
+        if was_dirty {
+            self.unlink_dirty(victim_id);
+        }
         let (medium, evicted) = {
             let f = self.lru.get_mut(victim_id).expect("tail frame lives");
             let medium = f.medium;
             let evicted = f.block.take().map(|old| UnifiedEviction {
                 addr: old,
                 medium,
-                dirty: f.dirty,
+                dirty: was_dirty,
             });
             f.block = Some(addr);
-            f.dirty = dirty;
             (medium, evicted)
         };
         if let Some(ev) = &evicted {
-            let old_key = ev.addr.to_u64();
-            self.map.remove(&old_key);
-            let was_dirty = self.dirty.remove(&old_key);
-            debug_assert_eq!(was_dirty, ev.dirty);
+            self.map.remove(&ev.addr.to_u64());
             if ev.dirty {
                 self.stats.dirty_evictions += 1;
             } else {
@@ -264,7 +312,7 @@ impl UnifiedCache {
         self.lru.touch(victim_id);
         self.map.insert(key, victim_id);
         if dirty {
-            self.dirty.insert(key);
+            self.link_dirty(victim_id);
         }
         self.stats.insertions += 1;
         UnifiedInsert {
@@ -276,11 +324,11 @@ impl UnifiedCache {
 
     /// Marks a cached block clean (after its writeback completes).
     pub fn mark_clean(&mut self, addr: BlockAddr) -> bool {
-        let key = addr.to_u64();
-        match self.map.get(&key) {
+        match self.map.get(&addr.to_u64()) {
             Some(&id) => {
-                self.lru.get_mut(id).expect("mapped frame lives").dirty = false;
-                self.dirty.remove(&key);
+                if self.lru.get(id).expect("mapped frame lives").dirty {
+                    self.unlink_dirty(id);
+                }
                 true
             }
             None => false,
@@ -290,14 +338,14 @@ impl UnifiedCache {
     /// Removes a block (consistency invalidation). The frame stays in the
     /// chain as a free frame at its current recency position.
     pub fn remove(&mut self, addr: BlockAddr) -> Option<UnifiedEviction> {
-        let key = addr.to_u64();
-        let id = self.map.remove(&key)?;
+        let id = self.map.remove(&addr.to_u64())?;
+        let dirty = self.lru.get(id).expect("mapped frame lives").dirty;
+        if dirty {
+            self.unlink_dirty(id);
+        }
         let f = self.lru.get_mut(id).expect("mapped frame lives");
         let medium = f.medium;
-        let dirty = f.dirty;
         f.block = None;
-        f.dirty = false;
-        self.dirty.remove(&key);
         self.stats.invalidations += 1;
         Some(UnifiedEviction {
             addr,
@@ -306,19 +354,33 @@ impl UnifiedCache {
         })
     }
 
+    /// Appends dirty blocks living in `medium` to `out`, sorted by address
+    /// (deterministic flush order). Caller-owned buffer: periodic syncers
+    /// reuse one allocation across ticks.
+    pub fn dirty_blocks_of_into(&self, medium: Medium, out: &mut Vec<BlockAddr>) {
+        let start = out.len();
+        let mut cur = self.dirty_head;
+        while let Some(id) = cur {
+            let f = self.lru.get(id).expect("dirty frame lives");
+            if f.medium == medium {
+                out.push(f.block.expect("dirty frame holds a block"));
+            }
+            cur = f.dirty_next;
+        }
+        out[start..].sort_unstable();
+    }
+
     /// Snapshot of dirty blocks and the medium each lives in, sorted by
-    /// address (deterministic flush order; hash-set iteration order is
-    /// randomized per instance).
+    /// address (allocating convenience wrapper; the syncers use
+    /// [`UnifiedCache::dirty_blocks_of_into`]).
     pub fn dirty_blocks(&self) -> Vec<(BlockAddr, Medium)> {
-        let mut v: Vec<(BlockAddr, Medium)> = self
-            .dirty
-            .iter()
-            .map(|&k| {
-                let addr = BlockAddr::from_u64(k);
-                let medium = self.medium_of(addr).expect("dirty block must be mapped");
-                (addr, medium)
-            })
-            .collect();
+        let mut v: Vec<(BlockAddr, Medium)> = Vec::with_capacity(self.dirty_count);
+        let mut cur = self.dirty_head;
+        while let Some(id) = cur {
+            let f = self.lru.get(id).expect("dirty frame lives");
+            v.push((f.block.expect("dirty frame holds a block"), f.medium));
+            cur = f.dirty_next;
+        }
         v.sort_unstable_by_key(|(a, _)| *a);
         v
     }
@@ -349,11 +411,7 @@ impl UnifiedCache {
                     self.map.contains_key(&b.to_u64()),
                     "occupied frame not mapped"
                 );
-                assert_eq!(
-                    self.dirty.contains(&b.to_u64()),
-                    f.dirty,
-                    "dirty set mismatch"
-                );
+                assert_eq!(self.is_dirty(b), f.dirty, "dirty bit mismatch");
                 dirty += usize::from(f.dirty);
             } else {
                 assert!(!f.dirty, "free frame cannot be dirty");
@@ -362,7 +420,22 @@ impl UnifiedCache {
         assert_eq!(ram, self.ram_frames, "RAM frames leaked");
         assert_eq!(flash, self.flash_frames, "flash frames leaked");
         assert_eq!(occupied, self.map.len(), "map size mismatch");
-        assert_eq!(dirty, self.dirty.len(), "dirty count mismatch");
+        assert_eq!(dirty, self.dirty_count, "dirty count mismatch");
+        // The intrusive dirty list must contain exactly the dirty frames,
+        // with consistent back-links.
+        let mut walked = 0;
+        let mut prev: Option<NodeId> = None;
+        let mut cur = self.dirty_head;
+        while let Some(id) = cur {
+            let f = self.lru.get(id).expect("dirty frame lives");
+            assert!(f.dirty, "dirty list holds clean frame");
+            assert_eq!(f.dirty_prev, prev, "dirty list back-link mismatch");
+            walked += 1;
+            assert!(walked <= self.dirty_count, "dirty list cycle");
+            prev = cur;
+            cur = f.dirty_next;
+        }
+        assert_eq!(walked, self.dirty_count, "dirty list length mismatch");
     }
 }
 

@@ -4,7 +4,9 @@ use std::error::Error;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
-use fcache::{Architecture, SimConfig, Workbench, WorkloadSpec, WritebackPolicy};
+use fcache::{
+    run_sweep, Architecture, SimConfig, SimReport, Workbench, WorkloadSpec, WritebackPolicy,
+};
 use fcache_types::{ByteSize, Trace};
 
 use crate::args::{ArgError, Flags};
@@ -16,12 +18,19 @@ fcsim — client-side flash-cache simulator (USENIX ATC '13 reproduction)
 
 USAGE:
   fcsim run [flags]          run one configuration against a generated workload
+  fcsim sweep [flags]        run a config sweep in parallel (see SWEEP FLAGS)
   fcsim table1               print the Table 1 timing parameters
   fcsim gen-trace [flags]    generate a trace file (--out required)
   fcsim trace-stats --in F   summarize a trace file
   fcsim trace-dump --in F    print trace records as text (--limit N, default 20)
   fcsim replay [flags]       run a configuration against a trace file (--in)
   fcsim help                 this text
+
+SWEEP FLAGS (in addition to the common/workload flags):
+  --arch-list a,b,...              architectures to sweep     [naive]
+  --flash-list S1,S2,...           flash sizes to sweep       [0,32G,64G,128G]
+  --jobs N                         worker threads (0 = auto)  [0]
+  --serial                         run serially (baseline for timing)
 
 COMMON FLAGS (run / replay):
   --arch naive|lookaside|unified   cache architecture        [naive]
@@ -54,6 +63,7 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
             Ok(())
         }
         Some("run") => cmd_run(&argv[1..]),
+        Some("sweep") => cmd_sweep(&argv[1..]),
         Some("table1") => cmd_table1(),
         Some("gen-trace") => cmd_gen_trace(&argv[1..]),
         Some("trace-stats") => cmd_trace_stats(&argv[1..]),
@@ -81,8 +91,11 @@ const CFG_FLAGS: &[&str] = &[
     "in",
     "out",
     "limit",
+    "arch-list",
+    "flash-list",
+    "jobs",
 ];
-const CFG_BOOLS: &[&str] = &["persistent", "duplex", "skip-warmup"];
+const CFG_BOOLS: &[&str] = &["persistent", "duplex", "skip-warmup", "serial"];
 
 fn config_from(flags: &Flags) -> Result<SimConfig, ArgError> {
     let mut cfg = SimConfig::baseline();
@@ -139,6 +152,123 @@ fn cmd_run(args: &[String]) -> CmdResult {
     println!(
         "write latency      {:.2} us/block",
         report.write_latency_us()
+    );
+    Ok(())
+}
+
+fn parse_list<T: std::str::FromStr>(raw: &str, what: &str) -> Result<Vec<T>, ArgError>
+where
+    T::Err: std::fmt::Display,
+{
+    raw.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.trim()
+                .parse::<T>()
+                .map_err(|e| ArgError(format!("invalid {what} {s:?}: {e}")))
+        })
+        .collect()
+}
+
+/// Runs a (architecture × flash size) sweep against one generated workload,
+/// fanning the independent configurations out through `run_sweep`.
+fn cmd_sweep(args: &[String]) -> CmdResult {
+    let flags = Flags::parse(args, CFG_FLAGS, CFG_BOOLS)?;
+    let scale: u64 = flags.get_parsed("scale", 64u64)?;
+    let base = config_from(&flags)?;
+    let spec = spec_from(&flags)?;
+    let archs: Vec<Architecture> = parse_list(
+        flags
+            .get("arch-list")
+            .or_else(|| flags.get("arch"))
+            .unwrap_or("naive"),
+        "architecture",
+    )?;
+    // A bare --flash narrows the sweep to that one size; --flash-list wins
+    // when both are given.
+    let flash_sizes: Vec<ByteSize> = parse_list(
+        flags
+            .get("flash-list")
+            .or_else(|| flags.get("flash"))
+            .unwrap_or("0,32G,64G,128G"),
+        "size",
+    )?;
+    if archs.is_empty() || flash_sizes.is_empty() {
+        return Err(Box::new(ArgError(
+            "--arch-list / --flash-list must name at least one value".into(),
+        )));
+    }
+    let jobs: usize = flags.get_parsed("jobs", 0usize)?;
+
+    let wb = Workbench::new(scale, base.seed);
+    let trace = wb.make_trace(&spec);
+    let mut cfgs: Vec<SimConfig> = Vec::new();
+    for arch in &archs {
+        for fs in &flash_sizes {
+            cfgs.push(
+                SimConfig {
+                    arch: *arch,
+                    flash_size: *fs,
+                    ..base.clone()
+                }
+                .scaled_down(scale),
+            );
+        }
+    }
+
+    let t0 = std::time::Instant::now();
+    let results: Vec<SimReport> = if flags.has("serial") {
+        cfgs.iter()
+            .map(|cfg| fcache::run_trace(cfg, &trace))
+            .collect::<Result<_, _>>()?
+    } else {
+        let sweep_jobs: Vec<_> = cfgs.iter().map(|cfg| (cfg.clone(), &trace)).collect();
+        let workers = if jobs == 0 { None } else { Some(jobs) };
+        run_sweep(&sweep_jobs, workers)
+            .into_iter()
+            .collect::<Result<_, _>>()?
+    };
+    let wall = t0.elapsed();
+
+    println!(
+        "{:>10}  {:>8}  {:>9}  {:>9}  {:>7}  {:>7}",
+        "arch", "flash", "read_us", "write_us", "ram%", "flash%"
+    );
+    let mut i = 0;
+    for arch in &archs {
+        for fs in &flash_sizes {
+            let r = &results[i];
+            i += 1;
+            println!(
+                "{:>10}  {:>8}  {:>9.1}  {:>9.2}  {:>7.1}  {:>7.1}",
+                arch.name(),
+                fs.to_string(),
+                r.read_latency_us(),
+                r.write_latency_us(),
+                100.0 * r.ram_hit_rate(),
+                100.0 * r.flash_hit_rate_of_all_reads(),
+            );
+        }
+    }
+    eprintln!(
+        "# {} configs in {:.2}s ({})",
+        results.len(),
+        wall.as_secs_f64(),
+        if flags.has("serial") {
+            "serial".to_string()
+        } else {
+            format!(
+                "parallel, {} workers",
+                if jobs == 0 {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                } else {
+                    jobs
+                }
+                .min(results.len().max(1))
+            )
+        }
     );
     Ok(())
 }
@@ -295,6 +425,33 @@ mod tests {
 
         let bad = Flags::parse(&argv(&["--write-pct", "120"]), CFG_FLAGS, CFG_BOOLS).unwrap();
         assert!(spec_from(&bad).is_err());
+    }
+
+    #[test]
+    fn sweep_runs_parallel_and_serial() {
+        for extra in [&["--serial"][..], &["--jobs", "2"][..]] {
+            let mut args = argv(&[
+                "sweep",
+                "--scale",
+                "16384",
+                "--ws",
+                "16G",
+                "--seed",
+                "9",
+                "--arch-list",
+                "naive,unified",
+                "--flash-list",
+                "0,16G",
+            ]);
+            args.extend(argv(extra));
+            dispatch(&args).unwrap();
+        }
+    }
+
+    #[test]
+    fn sweep_rejects_bad_lists() {
+        assert!(dispatch(&argv(&["sweep", "--arch-list", "bogus"])).is_err());
+        assert!(dispatch(&argv(&["sweep", "--flash-list", "1Q"])).is_err());
     }
 
     #[test]

@@ -52,8 +52,10 @@ pub(crate) async fn execute_op(h: &Rc<HostCtx>, op: &TraceOp) -> SimTime {
 /// Naive / lookaside read: RAM, then flash, then the filer; fetched blocks
 /// are "first placed in flash, then into RAM" (§3.2).
 async fn read_layered(h: &Rc<HostCtx>, op: &TraceOp) {
-    // RAM stage: hits pay the RAM read latency; misses fall through.
-    let mut ram_misses: Vec<BlockAddr> = Vec::new();
+    // RAM stage: hits pay the RAM read latency; misses fall through. The
+    // miss/hit lists live in pooled buffers so the per-op path performs no
+    // heap allocation after pool warmup.
+    let mut ram_misses = h.take_buf();
     let mut wait = SimTime::ZERO;
     if h.has_ram() {
         let mut ram = h.ram.borrow_mut();
@@ -76,12 +78,13 @@ async fn read_layered(h: &Rc<HostCtx>, op: &TraceOp) {
         h.sim.sleep(wait).await;
     }
     if ram_misses.is_empty() {
+        h.put_buf(ram_misses);
         return;
     }
 
     // Flash stage.
-    let mut flash_hits: Vec<BlockAddr> = Vec::new();
-    let mut filer_misses: Vec<BlockAddr> = Vec::new();
+    let mut flash_hits = h.take_buf();
+    let mut filer_misses = h.take_buf();
     if h.has_flash() {
         let mut flash = h.flash.borrow_mut();
         for b in &ram_misses {
@@ -92,7 +95,7 @@ async fn read_layered(h: &Rc<HostCtx>, op: &TraceOp) {
             }
         }
     } else {
-        filer_misses = ram_misses;
+        std::mem::swap(&mut filer_misses, &mut ram_misses);
     }
     if !flash_hits.is_empty() {
         for b in &flash_hits {
@@ -113,23 +116,26 @@ async fn read_layered(h: &Rc<HostCtx>, op: &TraceOp) {
     if !filer_misses.is_empty() {
         let n = filer_misses.len() as u32;
         h.segment.transfer(Direction::ToServer, 0).await;
-        h.filer.read(n).await;
+        h.filer.read_blocks(&filer_misses).await;
         h.segment
             .transfer(Direction::FromServer, u64::from(n) * BLOCK_SIZE)
             .await;
         if h.has_flash() && h.cfg.populate_flash_on_read {
-            for b in &filer_misses {
-                flash_insert(h, *b, false).await;
+            for &b in filer_misses.iter() {
+                flash_insert(h, b, false).await;
             }
         }
     }
 
     // Fill RAM with everything that missed it.
     if h.has_ram() {
-        for b in flash_hits.into_iter().chain(filer_misses) {
+        for &b in flash_hits.iter().chain(filer_misses.iter()) {
             ram_insert(h, b, false).await;
         }
     }
+    h.put_buf(ram_misses);
+    h.put_buf(flash_hits);
+    h.put_buf(filer_misses);
 }
 
 /// Unified read: one lookup against the single LRU chain; hits pay the
@@ -140,7 +146,7 @@ async fn read_unified(h: &Rc<HostCtx>, op: &TraceOp) {
         .as_ref()
         .expect("unified arch has a unified cache");
     let mut wait = SimTime::ZERO;
-    let mut misses: Vec<BlockAddr> = Vec::new();
+    let mut misses = h.take_buf();
     {
         let mut u = unified.borrow_mut();
         for b in op.blocks() {
@@ -158,17 +164,19 @@ async fn read_unified(h: &Rc<HostCtx>, op: &TraceOp) {
         h.sim.sleep(wait).await;
     }
     if misses.is_empty() {
+        h.put_buf(misses);
         return;
     }
     let n = misses.len() as u32;
     h.segment.transfer(Direction::ToServer, 0).await;
-    h.filer.read(n).await;
+    h.filer.read_blocks(&misses).await;
     h.segment
         .transfer(Direction::FromServer, u64::from(n) * BLOCK_SIZE)
         .await;
-    for b in misses {
+    for &b in misses.iter() {
         unified_insert(h, b, false).await;
     }
+    h.put_buf(misses);
 }
 
 // ---------------------------------------------------------------------------
@@ -477,24 +485,22 @@ enum FlushTier {
 /// not the flush loop — is the writeback bottleneck, which is what lets
 /// "any reasonable writeback policy maintain an ample supply of clean
 /// blocks" (§7.1).
-async fn flush_batch(h: &Rc<HostCtx>, blocks: Vec<BlockAddr>, tier: FlushTier) {
+async fn flush_batch(h: &Rc<HostCtx>, blocks: &[BlockAddr], tier: FlushTier) {
     let window = h.cfg.syncer_window.max(1);
+    let mut handles = Vec::with_capacity(window.min(blocks.len()));
     for chunk in blocks.chunks(window) {
-        let handles: Vec<_> = chunk
-            .iter()
-            .map(|b| {
-                let h2 = Rc::clone(h);
-                let b = *b;
-                h.sim.spawn(async move {
-                    match tier {
-                        FlushTier::Ram => flush_ram_block(&h2, b).await,
-                        FlushTier::Flash => flush_flash_block(&h2, b).await,
-                        FlushTier::Unified => flush_unified_block(&h2, b).await,
-                    }
-                })
+        handles.extend(chunk.iter().map(|b| {
+            let h2 = Rc::clone(h);
+            let b = *b;
+            h.sim.spawn(async move {
+                match tier {
+                    FlushTier::Ram => flush_ram_block(&h2, b).await,
+                    FlushTier::Flash => flush_flash_block(&h2, b).await,
+                    FlushTier::Unified => flush_unified_block(&h2, b).await,
+                }
             })
-            .collect();
-        for handle in handles {
+        }));
+        for handle in handles.drain(..) {
             handle.await;
         }
     }
@@ -502,38 +508,40 @@ async fn flush_batch(h: &Rc<HostCtx>, blocks: Vec<BlockAddr>, tier: FlushTier) {
 
 /// Periodic RAM-tier syncer: every `period`, flush every block that is
 /// dirty in RAM ("dirty data remains in the cache until a syncer thread
-/// flushes the data back", §3.5).
+/// flushes the data back", §3.5). The dirty-set snapshot reuses one
+/// scratch buffer across ticks instead of allocating per tick.
 pub(crate) async fn ram_syncer(h: Rc<HostCtx>, period: SimTime) {
+    let mut dirty: Vec<BlockAddr> = Vec::new();
     loop {
         h.sim.sleep(period).await;
-        let dirty = h.ram.borrow().dirty_blocks();
-        flush_batch(&h, dirty, FlushTier::Ram).await;
+        dirty.clear();
+        h.ram.borrow().dirty_blocks_into(&mut dirty);
+        flush_batch(&h, &dirty, FlushTier::Ram).await;
     }
 }
 
 /// Periodic flash-tier syncer (naive architecture).
 pub(crate) async fn flash_syncer(h: Rc<HostCtx>, period: SimTime) {
+    let mut dirty: Vec<BlockAddr> = Vec::new();
     loop {
         h.sim.sleep(period).await;
-        let dirty = h.flash.borrow().dirty_blocks();
-        flush_batch(&h, dirty, FlushTier::Flash).await;
+        dirty.clear();
+        h.flash.borrow().dirty_blocks_into(&mut dirty);
+        flush_batch(&h, &dirty, FlushTier::Flash).await;
     }
 }
 
 /// Periodic unified-tier syncer for one medium.
 pub(crate) async fn unified_syncer(h: Rc<HostCtx>, medium: Medium, period: SimTime) {
+    let mut dirty: Vec<BlockAddr> = Vec::new();
     loop {
         h.sim.sleep(period).await;
-        let dirty: Vec<BlockAddr> = h
-            .unified
+        dirty.clear();
+        h.unified
             .as_ref()
             .expect("unified cache")
             .borrow()
-            .dirty_blocks()
-            .into_iter()
-            .filter(|(_, m)| *m == medium)
-            .map(|(a, _)| a)
-            .collect();
-        flush_batch(&h, dirty, FlushTier::Unified).await;
+            .dirty_blocks_of_into(medium, &mut dirty);
+        flush_batch(&h, &dirty, FlushTier::Unified).await;
     }
 }

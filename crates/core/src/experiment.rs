@@ -14,6 +14,9 @@
 //! code reads exactly like the paper ("60 GB working set, 8 GB RAM, 64 GB
 //! flash").
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
 use fcache_fsmodel::{FsModel, FsModelConfig};
 use fcache_trace::{generate, TraceGenConfig};
 use fcache_types::{ByteSize, Trace};
@@ -21,6 +24,72 @@ use fcache_types::{ByteSize, Trace};
 use crate::config::SimConfig;
 use crate::report::SimReport;
 use crate::sim::{run_trace, SimError};
+
+/// One unit of sweep work: a configuration to run against a trace.
+///
+/// The trace is borrowed so sweeps that replay one workload across many
+/// configurations (every paper figure) share a single copy.
+pub type SweepJob<'a> = (SimConfig, &'a Trace);
+
+/// Runs independent `(SimConfig, Trace)` jobs across threads, returning
+/// results in job order.
+///
+/// Each simulation is single-threaded and fully deterministic, so fanning
+/// the jobs out over a scoped-thread worker pool changes nothing about any
+/// individual result: `run_sweep` output is bit-identical to calling
+/// [`run_trace`] serially over the same jobs (asserted by
+/// `tests/sweep_determinism.rs`). Workers pull jobs from a shared atomic
+/// cursor, so heterogeneous job lengths load-balance; results land in a
+/// per-job slot, so completion order never affects output order.
+///
+/// `threads` bounds the worker count; `None` uses the machine's available
+/// parallelism. The figure harnesses and the CLI sweep command route
+/// through this function.
+pub fn run_sweep(
+    jobs: &[SweepJob<'_>],
+    threads: Option<usize>,
+) -> Vec<Result<SimReport, SimError>> {
+    let workers = threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .clamp(1, jobs.len().max(1));
+
+    if workers <= 1 || jobs.len() <= 1 {
+        return jobs
+            .iter()
+            .map(|(cfg, trace)| run_trace(cfg, trace))
+            .collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<SimReport, SimError>>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some((cfg, trace)) = jobs.get(i) else {
+                    break;
+                };
+                let result = run_trace(cfg, trace);
+                *slots[i].lock().expect("sweep slot poisoned") = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("sweep slot poisoned")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
 
 /// Workload description in paper-scale units.
 #[derive(Clone, Debug)]
@@ -127,6 +196,20 @@ impl Workbench {
     pub fn run_with_trace(&self, cfg: &SimConfig, trace: &Trace) -> Result<SimReport, SimError> {
         let scaled = cfg.clone().scaled_down(self.scale);
         run_trace(&scaled, trace)
+    }
+
+    /// Runs many paper-scale configurations against one pre-generated
+    /// trace in parallel via [`run_sweep`], preserving input order.
+    pub fn run_sweep_with_trace(
+        &self,
+        cfgs: &[SimConfig],
+        trace: &Trace,
+    ) -> Vec<Result<SimReport, SimError>> {
+        let jobs: Vec<SweepJob<'_>> = cfgs
+            .iter()
+            .map(|cfg| (cfg.clone().scaled_down(self.scale), trace))
+            .collect();
+        run_sweep(&jobs, None)
     }
 }
 

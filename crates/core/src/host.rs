@@ -1,7 +1,6 @@
 //! Per-host simulation state.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashSet;
 use std::rc::{Rc, Weak};
 
 use fcache_cache::{BlockCache, UnifiedCache};
@@ -9,7 +8,7 @@ use fcache_des::Sim;
 use fcache_device::IoLog;
 use fcache_filer::Filer;
 use fcache_net::Segment;
-use fcache_types::{BlockAddr, HostId};
+use fcache_types::{BlockAddr, FxHashSet, HostId};
 
 use crate::config::SimConfig;
 use crate::metrics::Metrics;
@@ -40,17 +39,33 @@ pub(crate) struct HostCtx {
     /// Flash I/O log (for Figure 1 replay; usually disabled).
     pub iolog: IoLog,
     /// Blocks with an asynchronous RAM-tier flush in flight (dedupe).
-    pub ram_flush_pending: RefCell<HashSet<u64>>,
+    pub ram_flush_pending: RefCell<FxHashSet<u64>>,
     /// Blocks with an asynchronous flash-tier flush in flight (dedupe).
-    pub flash_flush_pending: RefCell<HashSet<u64>>,
+    pub flash_flush_pending: RefCell<FxHashSet<u64>>,
     /// Other hosts, for instant cache-consistency invalidation.
     pub peers: RefCell<Vec<Weak<HostCtx>>>,
     /// Set once the first measured (non-warmup) operation issues; flipping
     /// it resets all statistics.
     pub warmup_over: Rc<Cell<bool>>,
+    /// Reusable `Vec<BlockAddr>` pool for per-op scratch (miss lists, hit
+    /// lists) and syncer dirty-set snapshots. Once the pool has warmed up
+    /// to the host's concurrency level, the simulate-one-op path performs
+    /// no heap allocation (see `PERF.md`).
+    pub buf_pool: RefCell<Vec<Vec<BlockAddr>>>,
 }
 
 impl HostCtx {
+    /// Takes a cleared scratch buffer from the pool (or allocates the
+    /// pool's first few on a cold start).
+    pub fn take_buf(&self) -> Vec<BlockAddr> {
+        self.buf_pool.borrow_mut().pop().unwrap_or_default()
+    }
+
+    /// Returns a scratch buffer to the pool for reuse.
+    pub fn put_buf(&self, mut buf: Vec<BlockAddr>) {
+        buf.clear();
+        self.buf_pool.borrow_mut().push(buf);
+    }
     /// True if this host has a RAM cache tier.
     pub fn has_ram(&self) -> bool {
         self.cfg.ram_blocks() > 0

@@ -57,7 +57,7 @@ pub mod sim;
 
 pub use arch::Architecture;
 pub use config::SimConfig;
-pub use experiment::{Workbench, WorkloadSpec};
+pub use experiment::{run_sweep, SweepJob, Workbench, WorkloadSpec};
 pub use histogram::{HistogramSnapshot, LatencyHistogram};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use policy::WritebackPolicy;

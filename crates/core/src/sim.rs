@@ -2,7 +2,6 @@
 //! trace.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashSet;
 use std::rc::Rc;
 
 use fcache_cache::{BlockCache, Medium, UnifiedCache};
@@ -10,7 +9,7 @@ use fcache_des::{RunError, Sim};
 use fcache_device::IoLog;
 use fcache_filer::{Filer, FilerConfig};
 use fcache_net::Segment;
-use fcache_types::{HostId, Trace, TraceOp};
+use fcache_types::{FxHashSet, HostId, Trace, TraceOp};
 
 use crate::arch::Architecture;
 use crate::config::SimConfig;
@@ -137,10 +136,11 @@ pub fn run_trace(config: &SimConfig, trace: &Trace) -> Result<SimReport, SimErro
                 } else {
                     IoLog::disabled()
                 },
-                ram_flush_pending: RefCell::new(HashSet::new()),
-                flash_flush_pending: RefCell::new(HashSet::new()),
+                ram_flush_pending: RefCell::new(FxHashSet::default()),
+                flash_flush_pending: RefCell::new(FxHashSet::default()),
                 peers: RefCell::new(Vec::new()),
                 warmup_over: Rc::clone(&warmup_over),
+                buf_pool: RefCell::new(Vec::new()),
             })
         })
         .collect();

@@ -1,0 +1,110 @@
+//! `run_sweep` (parallel) must be observably identical to the serial loop:
+//! each simulation is single-threaded and deterministic, so fanning jobs
+//! out over worker threads may change only wall-clock time, never results.
+
+use fcache::{run_sweep, run_trace, Architecture, SimConfig, Workbench, WorkloadSpec};
+use fcache_types::ByteSize;
+
+fn sweep_configs() -> Vec<SimConfig> {
+    vec![
+        SimConfig {
+            flash_size: ByteSize::ZERO,
+            ..SimConfig::baseline()
+        },
+        SimConfig::baseline(),
+        SimConfig {
+            arch: Architecture::Lookaside,
+            ..SimConfig::baseline()
+        },
+        SimConfig {
+            arch: Architecture::Unified,
+            ..SimConfig::baseline()
+        },
+    ]
+}
+
+#[test]
+fn parallel_sweep_reports_are_bit_identical_to_serial() {
+    let wb = Workbench::new(4096, 42);
+    let trace = wb.make_trace(&WorkloadSpec::baseline_60g());
+    let cfgs: Vec<SimConfig> = sweep_configs()
+        .into_iter()
+        .map(|c| c.scaled_down(4096))
+        .collect();
+
+    let serial: Vec<String> = cfgs
+        .iter()
+        .map(|cfg| format!("{:?}", run_trace(cfg, &trace).expect("serial run")))
+        .collect();
+
+    // Force real fan-out even on single-core CI machines, and repeat so a
+    // racy slot assignment would have chances to surface.
+    for round in 0..3 {
+        let jobs: Vec<_> = cfgs.iter().map(|cfg| (cfg.clone(), &trace)).collect();
+        let parallel = run_sweep(&jobs, Some(4));
+        assert_eq!(parallel.len(), serial.len());
+        for (i, result) in parallel.into_iter().enumerate() {
+            let got = format!("{:?}", result.expect("parallel run"));
+            assert_eq!(
+                got, serial[i],
+                "round {round}: job {i} diverged between parallel and serial"
+            );
+        }
+    }
+}
+
+#[test]
+fn sweep_preserves_job_order_not_completion_order() {
+    // Jobs of very different lengths: big trace first, tiny trace last.
+    // If results were stored by completion order the cheap jobs would
+    // finish first and land in the wrong slots.
+    let wb = Workbench::new(4096, 7);
+    let big = wb.make_trace(&WorkloadSpec::baseline_80g());
+    let small = wb.make_trace(&WorkloadSpec {
+        working_set: ByteSize::gib(5),
+        seed: 5,
+        ..WorkloadSpec::default()
+    });
+    let cfg = SimConfig::baseline().scaled_down(4096);
+    let jobs = vec![
+        (cfg.clone(), &big),
+        (cfg.clone(), &small),
+        (cfg.clone(), &big),
+        (cfg.clone(), &small),
+    ];
+    let results = run_sweep(&jobs, Some(4));
+    let blocks: Vec<u64> = results
+        .into_iter()
+        .map(|r| {
+            let m = r.expect("run").metrics;
+            m.read_blocks + m.write_blocks
+        })
+        .collect();
+    assert_eq!(blocks[0], blocks[2], "same job, same slot, same result");
+    assert_eq!(blocks[1], blocks[3]);
+    assert!(
+        blocks[0] > blocks[1],
+        "80 GiB trace must move more blocks than the 5 GiB trace"
+    );
+}
+
+#[test]
+fn workbench_sweep_matches_run_with_trace() {
+    let wb = Workbench::new(8192, 11);
+    let trace = wb.make_trace(&WorkloadSpec {
+        working_set: ByteSize::gib(20),
+        seed: 20,
+        ..WorkloadSpec::default()
+    });
+    let cfgs = sweep_configs();
+    let swept = wb.run_sweep_with_trace(&cfgs, &trace);
+    for (cfg, got) in cfgs.iter().zip(swept) {
+        let want = wb.run_with_trace(cfg, &trace).expect("serial");
+        assert_eq!(
+            format!("{:?}", got.expect("sweep")),
+            format!("{want:?}"),
+            "Workbench::run_sweep_with_trace diverged for {:?}",
+            cfg.arch
+        );
+    }
+}

@@ -7,13 +7,14 @@
 //! daemon tasks (e.g. periodic writeback syncers, which loop forever) do not
 //! keep the simulation alive.
 
-use std::cell::{Cell, RefCell};
+use std::cell::{Cell, RefCell, UnsafeCell};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
 
@@ -59,21 +60,64 @@ enum Slot {
 /// FIFO ready queue shared with wakers.
 ///
 /// The executor is single-threaded, but `std::task::Waker` requires
-/// `Send + Sync`, so the queue sits behind a (never-contended) mutex.
+/// `Send + Sync`. Taking a mutex on every push/pop put a lock acquisition
+/// (and its fence) on the hottest path of the simulator, even though it is
+/// never contended in practice. Instead the queue records the thread that
+/// created the simulation and keeps a plain `VecDeque` for that thread;
+/// only a waker that fires from a *different* thread (possible if a task
+/// output's waker escapes, e.g. through a panic-unwind payload) falls back
+/// to a mutex-protected side queue, drained by the owner before each pop.
+///
+/// Safety argument: `local` is touched only after verifying
+/// `thread::current().id() == owner`, so at most one thread ever holds a
+/// reference into it; cross-thread pushes go exclusively through `remote`.
 struct ReadyQueue {
-    queue: Mutex<VecDeque<TaskId>>,
+    owner: std::thread::ThreadId,
+    local: UnsafeCell<VecDeque<TaskId>>,
+    remote: Mutex<Vec<TaskId>>,
+    has_remote: AtomicBool,
 }
 
+// SAFETY: `local` is only accessed from `owner` (checked at runtime);
+// everything else is `Sync` on its own.
+unsafe impl Send for ReadyQueue {}
+unsafe impl Sync for ReadyQueue {}
+
 impl ReadyQueue {
-    fn push(&self, id: TaskId) {
-        self.queue
-            .lock()
-            .expect("ready queue poisoned")
-            .push_back(id);
+    fn new() -> Self {
+        Self {
+            owner: std::thread::current().id(),
+            local: UnsafeCell::new(VecDeque::with_capacity(256)),
+            remote: Mutex::new(Vec::new()),
+            has_remote: AtomicBool::new(false),
+        }
     }
 
+    fn push(&self, id: TaskId) {
+        if std::thread::current().id() == self.owner {
+            // SAFETY: we are the owner thread; no other thread touches
+            // `local` (see type-level comment).
+            unsafe { (*self.local.get()).push_back(id) };
+        } else {
+            self.remote.lock().expect("ready queue poisoned").push(id);
+            self.has_remote.store(true, Ordering::Release);
+        }
+    }
+
+    /// Pops the next ready task. Must be called from the owner thread (the
+    /// run loop); enforced with a debug assertion.
     fn pop(&self) -> Option<TaskId> {
-        self.queue.lock().expect("ready queue poisoned").pop_front()
+        debug_assert_eq!(
+            std::thread::current().id(),
+            self.owner,
+            "ReadyQueue::pop from non-owner thread"
+        );
+        // SAFETY: owner thread only, as asserted above.
+        let local = unsafe { &mut *self.local.get() };
+        if self.has_remote.swap(false, Ordering::Acquire) {
+            local.extend(self.remote.lock().expect("ready queue poisoned").drain(..));
+        }
+        local.pop_front()
     }
 }
 
@@ -148,15 +192,16 @@ impl Default for Sim {
 impl Sim {
     /// Creates a fresh simulation with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
+        // Pre-size the timer heap and task slab: simulations register
+        // thousands of timers and tasks, and growth reallocations would
+        // land mid-run on the hot path.
         Self {
             inner: Rc::new(SimInner {
                 now: Cell::new(SimTime::ZERO),
-                timers: RefCell::new(BinaryHeap::new()),
-                ready: Arc::new(ReadyQueue {
-                    queue: Mutex::new(VecDeque::new()),
-                }),
-                slots: RefCell::new(Vec::new()),
-                free_slots: RefCell::new(Vec::new()),
+                timers: RefCell::new(BinaryHeap::with_capacity(1024)),
+                ready: Arc::new(ReadyQueue::new()),
+                slots: RefCell::new(Vec::with_capacity(256)),
+                free_slots: RefCell::new(Vec::with_capacity(256)),
                 live_tasks: Cell::new(0),
                 timer_seq: Cell::new(0),
                 events_processed: Cell::new(0),
@@ -773,6 +818,44 @@ mod tests {
             (r.end_time, r.events, o)
         }
         assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn cross_thread_wake_lands_in_remote_queue() {
+        use std::sync::{Arc, Mutex};
+
+        // A future that parks forever, handing its waker out.
+        struct Park {
+            stash: Arc<Mutex<Option<Waker>>>,
+            done: Rc<Cell<bool>>,
+        }
+        impl Future for Park {
+            type Output = ();
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+                if self.done.get() {
+                    return Poll::Ready(());
+                }
+                *self.stash.lock().unwrap() = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+
+        let sim = Sim::new();
+        let stash: Arc<Mutex<Option<Waker>>> = Arc::new(Mutex::new(None));
+        let done = Rc::new(Cell::new(false));
+        sim.spawn(Park {
+            stash: Arc::clone(&stash),
+            done: Rc::clone(&done),
+        });
+        // First run parks the task (deadlock: nothing can wake it yet).
+        assert!(matches!(sim.run(), Err(RunError::Deadlock { .. })));
+        // Wake from a foreign thread: must take the remote path, not touch
+        // the owner-local queue.
+        let waker = stash.lock().unwrap().take().expect("waker stashed");
+        std::thread::spawn(move || waker.wake()).join().unwrap();
+        done.set(true);
+        sim.run().unwrap();
+        sim.shutdown();
     }
 
     #[test]

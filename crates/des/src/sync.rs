@@ -182,7 +182,7 @@ mod tests {
         sim.spawn(async move {
             drop(tx);
         });
-        let h = sim.spawn(async move { rx.await });
+        let h = sim.spawn(rx);
         sim.run().unwrap();
         assert_eq!(h.try_result().unwrap(), Err(RecvError));
     }

@@ -250,7 +250,7 @@ impl SsdModel {
                 }
             }
             i += 1;
-            if i % window as u64 == 0 {
+            if i.is_multiple_of(window as u64) {
                 out.push(WindowStat {
                     start_io: start,
                     read_avg_us: if rn > 0 {

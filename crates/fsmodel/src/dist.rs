@@ -150,7 +150,7 @@ mod tests {
         let z = ZipfSmallInt::new(20, 1.0);
         let mut rng = SmallRng::seed_from_u64(4);
         let n = 100_000;
-        let mut counts = vec![0u32; 21];
+        let mut counts = [0u32; 21];
         for _ in 0..n {
             counts[z.sample(&mut rng) as usize] += 1;
         }

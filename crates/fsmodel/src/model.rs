@@ -266,7 +266,7 @@ mod tests {
     #[test]
     fn popularity_within_classes_and_skewed() {
         let m = FsModel::generate(small_cfg(5));
-        let mut counts = vec![0u32; 21];
+        let mut counts = [0u32; 21];
         for f in m.files() {
             assert!((1..=20).contains(&f.popularity));
             counts[f.popularity as usize] += 1;

@@ -236,7 +236,7 @@ mod tests {
         let n = 20_000;
         let total: u64 = (0..n).map(|_| ws.sample_io(8.0, &mut rng).2 as u64).sum();
         let mean = total as f64 / n as f64;
-        assert!(mean >= 1.0 && mean < 8.0, "mean {mean}");
+        assert!((1.0..8.0).contains(&mean), "mean {mean}");
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! A fast, non-cryptographic hasher for the simulator's hot paths.
+//!
+//! The caches key their maps by the packed `u64` of a [`crate::BlockAddr`]
+//! and perform one probe per simulated block operation, so hashing cost is
+//! pure per-op overhead. `std`'s default SipHash-1-3 is DoS-resistant but
+//! several times slower than necessary for trusted keys. [`FxHasher`] is
+//! the word-at-a-time multiply-xor hash used by rustc (Firefox's "Fx"
+//! hash): one wrapping multiply and a rotate per word, which optimizing
+//! builds compile to a handful of instructions.
+//!
+//! Determinism: unlike `RandomState`, [`FxBuildHasher`] has no per-instance
+//! entropy, so map iteration order is stable across runs *and* across
+//! processes — one less source of accidental nondeterminism in parallel
+//! sweeps (snapshots are still sorted before use; see `PERF.md`).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the golden ratio (same as rustc-hash).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Word-at-a-time multiply-xor hasher.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(b));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut b = [0u8; 8];
+            b[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(b) | ((rest.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Final avalanche so the high bits (used by hashbrown for control
+        // bytes) depend on every input bit.
+        let h = self.hash;
+        h ^ (h >> 32)
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s; no per-instance randomness.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed through [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` hashed through [`FxHasher`].
+pub type FxHashSet<K> = HashSet<K, FxBuildHasher>;
+
+/// Stateless 64-bit mixer (SplitMix64 finalizer) for key-derived decisions
+/// such as the filer's per-block fast/slow draw — one value in, one
+/// avalanche-quality value out, no state.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = FxBuildHasher::default().hash_one(0xdead_beefu64);
+        let b = FxBuildHasher::default().hash_one(0xdead_beefu64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_keys_disperse() {
+        // Sequential block addresses must not collide in the low bits the
+        // table actually indexes with.
+        let bh = FxBuildHasher::default();
+        let mut low_bits = std::collections::HashSet::new();
+        for k in 0u64..1024 {
+            low_bits.insert(bh.hash_one(k) & 0x3ff);
+        }
+        assert!(
+            low_bits.len() > 600,
+            "only {} distinct buckets",
+            low_bits.len()
+        );
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        m.insert(1, 10);
+        m.insert(2, 20);
+        assert_eq!(m.get(&1), Some(&10));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+
+    #[test]
+    fn bytes_and_words_hash_consistently() {
+        let mut h1 = FxHasher::default();
+        h1.write(b"0123456789abcdef");
+        let mut h2 = FxHasher::default();
+        h2.write(b"0123456789abcdeX");
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn mix64_avalanches() {
+        // Flipping one input bit flips roughly half the output bits.
+        for (a, b) in [(1u64, 2u64), (3, 7), (1 << 40, 3 << 40)] {
+            let flips = (mix64(a) ^ mix64(b)).count_ones();
+            assert!((16..=48).contains(&flips), "flips {flips} for {a}/{b}");
+        }
+    }
+}

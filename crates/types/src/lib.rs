@@ -9,18 +9,22 @@
 //!   the paper, with a compact binary codec.
 //! - [`ByteSize`] — human-friendly byte quantities ("8G", "256K") used
 //!   throughout experiment configuration.
+//! - [`FxHashMap`] / [`FxHasher`] — the deterministic fast hasher every
+//!   hot-path map in the simulator uses (see `PERF.md`).
 //!
 //! The paper's traces "contain read and write operations. Each operation
 //! identifies a file and a range of blocks within that file. Each operation
 //! also carries a thread ID and host ID." [`TraceOp`] is exactly that record.
 
 pub mod block;
+pub mod fxhash;
 pub mod ids;
 pub mod op;
 pub mod size;
 pub mod trace;
 
 pub use block::{BlockAddr, BLOCK_SHIFT, BLOCK_SIZE};
+pub use fxhash::{mix64, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{FileId, HostId, ThreadId};
 pub use op::{OpKind, TraceOp};
 pub use size::ByteSize;

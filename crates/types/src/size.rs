@@ -89,7 +89,7 @@ impl fmt::Display for ByteSize {
             (1 << 10, "K"),
         ];
         for (factor, suffix) in UNITS {
-            if b >= factor && b % factor == 0 {
+            if b >= factor && b.is_multiple_of(factor) {
                 return write!(f, "{}{}", b / factor, suffix);
             }
         }
@@ -145,7 +145,7 @@ impl FromStr for ByteSize {
             Some(b'm') => (&lower[..lower.len() - 1], 1 << 20),
             Some(b'g') => (&lower[..lower.len() - 1], 1 << 30),
             Some(b't') => (&lower[..lower.len() - 1], 1 << 40),
-            _ => (&lower[..], 1),
+            _ => (lower, 1),
         };
         let num = num.trim();
         if num.is_empty() {
