@@ -21,7 +21,7 @@ use std::time::Instant;
 use fcache_bench::{run_sweep, scale_from_env, Architecture, SimConfig, Workbench, WorkloadSpec};
 use fcache_cache::{BlockCache, LruList, UnifiedCache};
 use fcache_des::{Sim, SimTime};
-use fcache_types::{BlockAddr, ByteSize, FileId};
+use fcache_types::{BlockAddr, ByteSize, FileId, TraceOp, TraceReader};
 
 /// The pre-refactor cache hot path, reconstructed for comparison: SipHash
 /// `HashMap` keyed map plus a *separate* SipHash `HashSet` for dirtiness —
@@ -194,6 +194,33 @@ fn main() {
     let layered_wall = t0.elapsed().as_secs_f64();
     assert!(r.metrics.read_ops > 0);
     res.push("layered_sim_ops_per_sec", blocks / layered_wall, "blocks/s");
+
+    // Packed-op footprint: the trajectory record of the 16-byte layout vs
+    // the seed's 20-byte field-per-flag struct (host + thread + kind enum +
+    // file + start + nblocks + warmup bool, 4-byte aligned).
+    res.push(
+        "trace_bytes_per_op",
+        std::mem::size_of::<TraceOp>() as f64,
+        "B",
+    );
+    res.push("trace_bytes_per_op_seed", 20.0, "B");
+
+    // Streamed replay throughput: the full zero-copy pipeline — encode the
+    // workload as an FCTRACE1 image, then replay it through chunked decode
+    // and the per-thread feed (resident op memory stays O(chunk)).
+    let mut archive = Vec::new();
+    trace.encode(&mut archive).expect("encode trace");
+    let scaled_layered = layered.clone().scaled_down(wb.scale());
+    let t0 = Instant::now();
+    let mut reader = TraceReader::new(archive.as_slice()).expect("trace header");
+    let r = fcache_bench::run_source(&scaled_layered, &mut reader).expect("streamed replay");
+    let replay_wall = t0.elapsed().as_secs_f64();
+    assert!(r.metrics.read_ops > 0);
+    res.push(
+        "trace_replay_ops_per_sec",
+        trace.len() as f64 / replay_wall,
+        "ops/s",
+    );
 
     let unified = SimConfig {
         arch: Architecture::Unified,

@@ -17,10 +17,10 @@ use std::fs;
 use std::path::PathBuf;
 
 pub use fcache::{
-    run_sweep, run_trace, Architecture, SimConfig, SimReport, Workbench, WorkloadSpec,
+    run_source, run_sweep, run_trace, Architecture, SimConfig, SimReport, Workbench, WorkloadSpec,
     WritebackPolicy,
 };
-pub use fcache_types::{ByteSize, Trace};
+pub use fcache_types::{ByteSize, Trace, TraceReader, TraceSource};
 
 /// Runs a set of paper-scale configurations against one trace through the
 /// parallel sweep runner, unwrapping each result.

@@ -5,9 +5,10 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
 use fcache::{
-    run_sweep, Architecture, SimConfig, SimReport, Workbench, WorkloadSpec, WritebackPolicy,
+    run_source, run_sweep, Architecture, SimConfig, SimReport, Workbench, WorkloadSpec,
+    WritebackPolicy,
 };
-use fcache_types::{ByteSize, Trace};
+use fcache_types::{stream_stats, ByteSize, TraceReader, TraceSource};
 
 use crate::args::{ArgError, Flags};
 
@@ -21,9 +22,10 @@ USAGE:
   fcsim sweep [flags]        run a config sweep in parallel (see SWEEP FLAGS)
   fcsim table1               print the Table 1 timing parameters
   fcsim gen-trace [flags]    generate a trace file (--out required)
-  fcsim trace-stats --in F   summarize a trace file
+  fcsim trace-stats --in F   summarize a trace file (streamed, O(chunk) memory)
   fcsim trace-dump --in F    print trace records as text (--limit N, default 20)
-  fcsim replay [flags]       run a configuration against a trace file (--in)
+  fcsim replay [flags]       run a configuration against a trace file (--in),
+                             streamed through chunked reads
   fcsim help                 this text
 
 SWEEP FLAGS (in addition to the common/workload flags):
@@ -143,7 +145,9 @@ fn cmd_run(args: &[String]) -> CmdResult {
         spec.working_set,
         spec.working_set.scaled_down(scale),
     );
-    let report = wb.run(&cfg, &spec)?;
+    // Stream the generated workload into the simulator in bounded chunks:
+    // run memory is O(cache + chunk) regardless of the trace volume.
+    let report = wb.run_streamed(&cfg, &spec)?;
     print!("{report}");
     println!(
         "read latency       {:.1} us/block",
@@ -294,18 +298,21 @@ fn cmd_gen_trace(args: &[String]) -> CmdResult {
     Ok(())
 }
 
-fn load_trace(flags: &Flags) -> Result<Trace, Box<dyn Error>> {
+fn open_trace(flags: &Flags) -> Result<TraceReader<BufReader<File>>, Box<dyn Error>> {
     let path = flags
         .get("in")
         .ok_or_else(|| ArgError("--in FILE is required".into()))?;
-    let mut r = BufReader::new(File::open(path)?);
-    Ok(Trace::decode(&mut r)?)
+    Ok(TraceReader::new(BufReader::new(File::open(path)?))?)
 }
 
 fn cmd_trace_stats(args: &[String]) -> CmdResult {
     let flags = Flags::parse(args, CFG_FLAGS, CFG_BOOLS)?;
-    let trace = load_trace(&flags)?;
-    let s = trace.stats();
+    let path = flags
+        .get("in")
+        .ok_or_else(|| ArgError("--in FILE is required".into()))?;
+    // Stream the file in bounded chunks: stats over an arbitrarily large
+    // archive without ever materializing its ops.
+    let (_, s, peak) = stream_stats(BufReader::new(File::open(path)?))?;
     println!("ops                {}", s.ops);
     println!("blocks             {}", s.blocks);
     println!("bytes              {}", s.bytes);
@@ -316,27 +323,28 @@ fn cmd_trace_stats(args: &[String]) -> CmdResult {
     );
     println!("hosts              {}", s.max_host + 1);
     println!("threads/host       {}", s.max_thread + 1);
+    println!("peak op buffer     {peak} bytes (streamed decode)");
     Ok(())
 }
 
 fn cmd_trace_dump(args: &[String]) -> CmdResult {
     let flags = Flags::parse(args, CFG_FLAGS, CFG_BOOLS)?;
-    let trace = load_trace(&flags)?;
+    let mut reader = open_trace(&flags)?;
     let limit: usize = flags.get_parsed("limit", 20usize)?;
+    let total = reader.remaining();
+    let meta = reader.meta().clone();
     println!(
         "# {} ops; hosts={} threads/host={} ws={} write%={} seed={}",
-        trace.len(),
-        trace.meta.hosts,
-        trace.meta.threads_per_host,
-        trace.meta.working_set_bytes,
-        trace.meta.write_pct,
-        trace.meta.seed
+        total, meta.hosts, meta.threads_per_host, meta.working_set_bytes, meta.write_pct, meta.seed
     );
-    for op in trace.ops.iter().take(limit) {
+    // Only the records to print are ever decoded.
+    let mut head = Vec::new();
+    reader.next_chunk(&mut head, limit)?;
+    for op in &head {
         println!("{op}");
     }
-    if trace.len() > limit {
-        println!("... ({} more)", trace.len() - limit);
+    if total as usize > limit {
+        println!("... ({} more)", total as usize - limit);
     }
     Ok(())
 }
@@ -345,8 +353,24 @@ fn cmd_replay(args: &[String]) -> CmdResult {
     let flags = Flags::parse(args, CFG_FLAGS, CFG_BOOLS)?;
     let scale: u64 = flags.get_parsed("scale", 64u64)?;
     let cfg = config_from(&flags)?.scaled_down(scale);
-    let trace = load_trace(&flags)?;
-    let report = fcache::run_trace(&cfg, &trace)?;
+    // Chunked file replay: resident op memory is O(TRACE_CHUNK_OPS), not
+    // O(trace), so paper-scale archives replay on small machines.
+    let mut reader = open_trace(&flags)?;
+    let report = match run_source(&cfg, &mut reader) {
+        Ok(report) => report,
+        Err(fcache::SimError::Source(msg)) => {
+            // Streamed replay sizes the host/thread grid from the file
+            // header; an archive whose header understates its op ids (the
+            // encoder never validated this) still replays the slow way,
+            // where the grid is widened from the ops themselves.
+            eprintln!("# streamed replay unavailable ({msg}); falling back to full decode");
+            let path = flags.get("in").expect("open_trace validated --in");
+            let mut r = BufReader::new(File::open(path)?);
+            let trace = fcache_types::Trace::decode(&mut r)?;
+            fcache::run_trace(&cfg, &trace)?
+        }
+        Err(e) => return Err(e.into()),
+    };
     print!("{report}");
     println!(
         "read latency       {:.1} us/block",
@@ -483,6 +507,43 @@ mod tests {
         dispatch(&argv(&["trace-stats", "--in", path_s])).unwrap();
         dispatch(&argv(&["trace-dump", "--in", path_s, "--limit", "5"])).unwrap();
         dispatch(&argv(&["replay", "--in", path_s, "--scale", "16384"])).unwrap();
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn replay_accepts_archive_with_understated_meta() {
+        // Older builds could write headers whose host/thread counts
+        // understate the op ids; replay must fall back to the widening
+        // full-decode path instead of rejecting the archive.
+        use fcache_types::{FileId, HostId, OpKind, ThreadId, Trace, TraceMeta, TraceOp};
+        let mut trace = Trace::new(TraceMeta {
+            hosts: 1, // lies: ops below use host 1 (= 2 hosts)
+            threads_per_host: 1,
+            ..TraceMeta::default()
+        });
+        for host in 0..2u16 {
+            trace.ops.push(TraceOp::new(
+                HostId(host),
+                ThreadId(0),
+                OpKind::Read,
+                FileId(1),
+                0,
+                4,
+                false,
+            ));
+        }
+        let path = std::env::temp_dir().join("fcsim_test_lying_meta.bin");
+        let mut w = BufWriter::new(File::create(&path).unwrap());
+        trace.encode(&mut w).unwrap();
+        drop(w);
+        dispatch(&argv(&[
+            "replay",
+            "--in",
+            path.to_str().unwrap(),
+            "--scale",
+            "16384",
+        ]))
+        .unwrap();
         let _ = std::fs::remove_file(path);
     }
 }

@@ -12,6 +12,7 @@ use fcache_net::Direction;
 use fcache_types::{BlockAddr, OpKind, TraceOp, BLOCK_SIZE};
 
 use crate::arch::Architecture;
+use crate::flush::{self, FlushReq, FlushTarget};
 use crate::host::HostCtx;
 use crate::policy::WritebackPolicy;
 
@@ -28,19 +29,19 @@ enum FlushSource {
 
 /// Executes one trace operation, returning its application latency.
 pub(crate) async fn execute_op(h: &Rc<HostCtx>, op: &TraceOp) -> SimTime {
-    if !op.warmup {
+    if !op.warmup() {
         h.maybe_end_warmup();
     }
     let t0 = h.sim.now();
-    match (op.kind, h.cfg.arch) {
+    match (op.kind(), h.cfg.arch) {
         (OpKind::Read, Architecture::Unified) => read_unified(h, op).await,
         (OpKind::Read, _) => read_layered(h, op).await,
         (OpKind::Write, Architecture::Unified) => write_unified(h, op).await,
         (OpKind::Write, _) => write_layered(h, op).await,
     }
     let latency = h.sim.now() - t0;
-    if !op.warmup {
-        h.metrics.record_op(op.kind, latency, op.nblocks);
+    if !op.warmup() {
+        h.metrics.record_op(op.kind(), latency, op.nblocks());
     }
     latency
 }
@@ -187,7 +188,7 @@ async fn read_unified(h: &Rc<HostCtx>, op: &TraceOp) {
 async fn write_layered(h: &Rc<HostCtx>, op: &TraceOp) {
     for b in op.blocks() {
         let invalidated = h.invalidate_peers(b);
-        if !op.warmup {
+        if !op.warmup() {
             h.metrics.record_block_write(invalidated);
         }
         if h.has_ram() {
@@ -218,7 +219,7 @@ async fn write_layered(h: &Rc<HostCtx>, op: &TraceOp) {
 async fn write_unified(h: &Rc<HostCtx>, op: &TraceOp) {
     for b in op.blocks() {
         let invalidated = h.invalidate_peers(b);
-        if !op.warmup {
+        if !op.warmup() {
             h.metrics.record_block_write(invalidated);
         }
         unified_insert(h, b, true).await;
@@ -404,39 +405,39 @@ pub(crate) async fn flush_unified_block(h: &Rc<HostCtx>, addr: BlockAddr) {
     flush_to_filer(h, addr, src).await;
 }
 
-/// Spawns a detached asynchronous write-through flush for a RAM block.
-/// Duplicate spawns for a block already being flushed are suppressed; the
-/// flush loop re-checks dirtiness so a re-dirty during flight is not lost.
+/// Queues a detached asynchronous write-through flush for a RAM block.
+/// Duplicate submissions for a block already being flushed are suppressed;
+/// the worker's flush loop re-checks dirtiness so a re-dirty during flight
+/// is not lost. No allocation once the host's worker pool has converged
+/// (see `crate::flush`).
 fn spawn_ram_flush(h: &Rc<HostCtx>, addr: BlockAddr) {
     if !h.ram_flush_pending.borrow_mut().insert(addr.to_u64()) {
         return;
     }
-    let h = Rc::clone(h);
-    let sim = h.sim.clone();
-    sim.spawn(async move {
-        while h.ram.borrow().is_dirty(addr) {
-            flush_ram_block(&h, addr).await;
-        }
-        h.ram_flush_pending.borrow_mut().remove(&addr.to_u64());
-    });
+    flush::submit(
+        h,
+        FlushReq {
+            addr,
+            target: FlushTarget::Ram,
+        },
+    );
 }
 
-/// Spawns a detached asynchronous write-through flush for a flash block.
+/// Queues a detached asynchronous write-through flush for a flash block.
 fn spawn_flash_flush(h: &Rc<HostCtx>, addr: BlockAddr) {
     if !h.flash_flush_pending.borrow_mut().insert(addr.to_u64()) {
         return;
     }
-    let h = Rc::clone(h);
-    let sim = h.sim.clone();
-    sim.spawn(async move {
-        while h.flash.borrow().is_dirty(addr) {
-            flush_flash_block(&h, addr).await;
-        }
-        h.flash_flush_pending.borrow_mut().remove(&addr.to_u64());
-    });
+    flush::submit(
+        h,
+        FlushReq {
+            addr,
+            target: FlushTarget::Flash,
+        },
+    );
 }
 
-/// Spawns a detached asynchronous write-through flush for a unified frame.
+/// Queues a detached asynchronous write-through flush for a unified frame.
 fn spawn_unified_flush(h: &Rc<HostCtx>, addr: BlockAddr, medium: Medium) {
     let pending = match medium {
         Medium::Ram => &h.ram_flush_pending,
@@ -445,27 +446,13 @@ fn spawn_unified_flush(h: &Rc<HostCtx>, addr: BlockAddr, medium: Medium) {
     if !pending.borrow_mut().insert(addr.to_u64()) {
         return;
     }
-    let h = Rc::clone(h);
-    let sim = h.sim.clone();
-    sim.spawn(async move {
-        loop {
-            let dirty = h
-                .unified
-                .as_ref()
-                .expect("unified cache")
-                .borrow()
-                .is_dirty(addr);
-            if !dirty {
-                break;
-            }
-            flush_unified_block(&h, addr).await;
-        }
-        let pending = match medium {
-            Medium::Ram => &h.ram_flush_pending,
-            Medium::Flash => &h.flash_flush_pending,
-        };
-        pending.borrow_mut().remove(&addr.to_u64());
-    });
+    flush::submit(
+        h,
+        FlushReq {
+            addr,
+            target: FlushTarget::Unified(medium),
+        },
+    );
 }
 
 // ---------------------------------------------------------------------------

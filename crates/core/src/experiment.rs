@@ -18,12 +18,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use fcache_fsmodel::{FsModel, FsModelConfig};
-use fcache_trace::{generate, TraceGenConfig};
+use fcache_trace::{TraceGenConfig, TraceStream};
 use fcache_types::{ByteSize, Trace};
 
 use crate::config::SimConfig;
 use crate::report::SimReport;
-use crate::sim::{run_trace, SimError};
+use crate::sim::{run_source, run_trace, SimError};
 
 /// One unit of sweep work: a configuration to run against a trace.
 ///
@@ -166,8 +166,22 @@ impl Workbench {
         &self.model
     }
 
-    /// Generates a trace for a paper-scale workload spec.
+    /// Generates a trace for a paper-scale workload spec by collecting the
+    /// stream [`Workbench::make_stream`] builds — one config site, so the
+    /// materialized and streamed paths cannot drift apart.
     pub fn make_trace(&self, spec: &WorkloadSpec) -> Trace {
+        let mut stream = self.make_stream(spec);
+        let mut trace = Trace::new(stream.meta().clone());
+        while let Some(op) = stream.next_op() {
+            trace.ops.push(op);
+        }
+        trace
+    }
+
+    /// Builds a streaming generator for a paper-scale workload spec: the
+    /// same ops [`Workbench::make_trace`] would materialize, deliverable in
+    /// bounded chunks.
+    pub fn make_stream(&self, spec: &WorkloadSpec) -> TraceStream<'_> {
         let cfg = TraceGenConfig {
             hosts: spec.hosts,
             working_set: spec.working_set.scaled_down(self.scale),
@@ -176,11 +190,7 @@ impl Workbench {
             seed: spec.seed,
             ..TraceGenConfig::default()
         };
-        let mut trace = generate(&self.model, cfg);
-        if spec.skip_warmup {
-            trace.ops.retain(|op| !op.warmup);
-        }
-        trace
+        TraceStream::new(&self.model, cfg).skip_warmup(spec.skip_warmup)
     }
 
     /// Runs a paper-scale configuration against a workload: cache sizes in
@@ -189,6 +199,20 @@ impl Workbench {
         let scaled = cfg.clone().scaled_down(self.scale);
         let trace = self.make_trace(spec);
         run_trace(&scaled, &trace)
+    }
+
+    /// Runs a paper-scale configuration against a *streamed* workload:
+    /// generation feeds the simulator in bounded chunks, so memory stays
+    /// O(cache + chunk) no matter how large the trace volume is. The
+    /// report is bit-identical to [`Workbench::run`] for the same inputs.
+    pub fn run_streamed(
+        &self,
+        cfg: &SimConfig,
+        spec: &WorkloadSpec,
+    ) -> Result<SimReport, SimError> {
+        let scaled = cfg.clone().scaled_down(self.scale);
+        let mut stream = self.make_stream(spec);
+        run_source(&scaled, &mut stream)
     }
 
     /// Runs a paper-scale configuration against a pre-generated trace
@@ -259,7 +283,7 @@ mod tests {
             ..WorkloadSpec::default()
         };
         let t = wb.make_trace(&spec);
-        assert!(t.ops.iter().all(|o| !o.warmup));
+        assert!(t.ops.iter().all(|o| !o.warmup()));
         let full = wb.make_trace(&WorkloadSpec {
             skip_warmup: false,
             ..spec

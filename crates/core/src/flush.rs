@@ -1,0 +1,188 @@
+//! Per-host asynchronous flush machinery without per-flush allocation.
+//!
+//! The seed spawned one boxed task per asynchronous write-through flush
+//! (`policy a`), making every dirty block under that policy a heap
+//! allocation in the executor's slab. This module replaces those spawns
+//! with a per-host [`FlushQueue`] drained by a pool of long-lived worker
+//! daemons: submitting a flush wakes an idle worker (or grows the pool to
+//! the high-water mark of concurrent flushes, after which no allocation
+//! ever happens again — the same convergence discipline as the host's
+//! scratch-buffer pool, see `PERF.md` invariant 2).
+//!
+//! Timing is preserved: waking an idle worker enqueues it at the executor
+//! ready-queue tail exactly where a fresh spawn would have landed, and the
+//! worker then runs the identical while-dirty flush loop. Because workers
+//! are daemons, a separate *keeper* task (spawned once per busy period, not
+//! per flush) keeps the simulation alive until every submitted flush has
+//! drained, matching the lifetime the per-flush tasks used to provide.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+use fcache_cache::Medium;
+use fcache_types::BlockAddr;
+
+use crate::host::HostCtx;
+
+/// Which tier's while-dirty loop a queued flush runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum FlushTarget {
+    /// RAM tier (naive/lookaside).
+    Ram,
+    /// Flash tier (naive).
+    Flash,
+    /// Unified cache; the medium selects the dedupe set.
+    Unified(Medium),
+}
+
+/// One queued asynchronous flush.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct FlushReq {
+    /// Block to flush.
+    pub addr: BlockAddr,
+    /// Tier to flush it from.
+    pub target: FlushTarget,
+}
+
+/// Per-host flush queue state (a field of [`HostCtx`]).
+pub(crate) struct FlushQueue {
+    /// Pending requests, drained FIFO by the workers.
+    queue: RefCell<VecDeque<FlushReq>>,
+    /// Wakers of parked (idle) workers.
+    idle: RefCell<Vec<Waker>>,
+    /// Requests submitted but not yet fully flushed (queued + in flight).
+    outstanding: Cell<usize>,
+    /// Wakers of keeper tasks waiting for `outstanding == 0`.
+    done_wakers: RefCell<Vec<Waker>>,
+}
+
+impl FlushQueue {
+    /// Creates an empty queue with no workers.
+    pub(crate) fn new() -> Self {
+        Self {
+            queue: RefCell::new(VecDeque::new()),
+            idle: RefCell::new(Vec::new()),
+            outstanding: Cell::new(0),
+            done_wakers: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Marks one request fully processed, releasing the keeper when the
+    /// queue drains.
+    fn complete_one(&self) {
+        let left = self.outstanding.get() - 1;
+        self.outstanding.set(left);
+        if left == 0 {
+            for w in self.done_wakers.borrow_mut().drain(..) {
+                w.wake();
+            }
+        }
+    }
+}
+
+/// Submits an asynchronous flush for `addr`, waking an idle worker or
+/// growing the pool by one long-lived daemon if all workers are busy.
+pub(crate) fn submit(h: &Rc<HostCtx>, req: FlushReq) {
+    let q = &h.flushq;
+    let was_idle = q.outstanding.get() == 0;
+    q.outstanding.set(q.outstanding.get() + 1);
+    q.queue.borrow_mut().push_back(req);
+    if was_idle {
+        // First flush of a busy period: spawn the keeper that holds the
+        // simulation open until the queue drains again.
+        h.sim.spawn(WaitDrained { h: Rc::clone(h) });
+    }
+    let idle_waker = q.idle.borrow_mut().pop();
+    match idle_waker {
+        Some(w) => w.wake(),
+        None => {
+            h.sim.spawn_daemon(flush_worker(Rc::clone(h)));
+        }
+    }
+}
+
+/// Long-lived flush worker: parks when the queue is empty, otherwise runs
+/// the same while-dirty loop the per-flush tasks used to run.
+async fn flush_worker(h: Rc<HostCtx>) {
+    loop {
+        let req = NextFlush { h: Rc::clone(&h) }.await;
+        match req.target {
+            FlushTarget::Ram => {
+                while h.ram.borrow().is_dirty(req.addr) {
+                    crate::engine::flush_ram_block(&h, req.addr).await;
+                }
+                h.ram_flush_pending.borrow_mut().remove(&req.addr.to_u64());
+            }
+            FlushTarget::Flash => {
+                while h.flash.borrow().is_dirty(req.addr) {
+                    crate::engine::flush_flash_block(&h, req.addr).await;
+                }
+                h.flash_flush_pending
+                    .borrow_mut()
+                    .remove(&req.addr.to_u64());
+            }
+            FlushTarget::Unified(medium) => {
+                loop {
+                    let dirty = h
+                        .unified
+                        .as_ref()
+                        .expect("unified cache")
+                        .borrow()
+                        .is_dirty(req.addr);
+                    if !dirty {
+                        break;
+                    }
+                    crate::engine::flush_unified_block(&h, req.addr).await;
+                }
+                let pending = match medium {
+                    Medium::Ram => &h.ram_flush_pending,
+                    Medium::Flash => &h.flash_flush_pending,
+                };
+                pending.borrow_mut().remove(&req.addr.to_u64());
+            }
+        }
+        h.flushq.complete_one();
+    }
+}
+
+/// Future yielding the next queued flush; parks the worker when empty.
+struct NextFlush {
+    h: Rc<HostCtx>,
+}
+
+impl Future for NextFlush {
+    type Output = FlushReq;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<FlushReq> {
+        let q = &self.h.flushq;
+        if let Some(req) = q.queue.borrow_mut().pop_front() {
+            return Poll::Ready(req);
+        }
+        q.idle.borrow_mut().push(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// Keeper future: completes once every submitted flush has been processed,
+/// so daemon workers with work in flight still keep [`fcache_des::Sim::run`]
+/// alive (non-daemon tasks gate run completion).
+struct WaitDrained {
+    h: Rc<HostCtx>,
+}
+
+impl Future for WaitDrained {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let q = &self.h.flushq;
+        if q.outstanding.get() == 0 {
+            return Poll::Ready(());
+        }
+        q.done_wakers.borrow_mut().push(cx.waker().clone());
+        Poll::Pending
+    }
+}

@@ -11,6 +11,7 @@ use fcache_net::Segment;
 use fcache_types::{BlockAddr, FxHashSet, HostId};
 
 use crate::config::SimConfig;
+use crate::flush::FlushQueue;
 use crate::metrics::Metrics;
 
 /// Everything one compute server ("host") owns in the simulation.
@@ -52,6 +53,10 @@ pub(crate) struct HostCtx {
     /// to the host's concurrency level, the simulate-one-op path performs
     /// no heap allocation (see `PERF.md`).
     pub buf_pool: RefCell<Vec<Vec<BlockAddr>>>,
+    /// Asynchronous write-through flush queue, drained by a converging pool
+    /// of long-lived worker daemons (see `crate::flush`): policy `a` runs
+    /// allocation-free once the pool has grown to the peak concurrency.
+    pub flushq: FlushQueue,
 }
 
 impl HostCtx {

@@ -48,6 +48,7 @@ pub mod arch;
 pub mod config;
 pub mod engine;
 pub mod experiment;
+mod flush;
 pub mod histogram;
 pub mod host;
 pub mod metrics;
@@ -62,4 +63,4 @@ pub use histogram::{HistogramSnapshot, LatencyHistogram};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use policy::WritebackPolicy;
 pub use report::SimReport;
-pub use sim::{run_trace, SimError};
+pub use sim::{run_source, run_trace, SimError};

@@ -1,7 +1,26 @@
 //! Building and running a complete simulation from a configuration and a
 //! trace.
+//!
+//! Two replay paths share one engine:
+//!
+//! - [`run_trace`] replays an in-memory [`Trace`] through **per-thread
+//!   cursors**: one counting-sort index pass groups op indices by
+//!   `(host, thread)` slot, and each slot's task walks its span of the
+//!   shared order array. No per-thread `Vec<TraceOp>` clones exist — replay
+//!   memory beyond the shared trace is the 4-byte-per-op index, shared by
+//!   all threads.
+//! - [`run_source`] replays any [`TraceSource`] (streamed generation,
+//!   chunked `FCTRACE1` file reads) through bounded chunks fanned into
+//!   per-thread queues, so replay memory is O(chunk) plus transient
+//!   inter-thread skew — independent of trace length.
+//!
+//! Both paths spawn one task per `(host, thread)` slot in slot order and
+//! deliver each thread's ops in trace order, so they produce bit-identical
+//! [`SimReport`]s (asserted by `tests/trace_streaming.rs`).
 
 use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::io;
 use std::rc::Rc;
 
 use fcache_cache::{BlockCache, Medium, UnifiedCache};
@@ -9,11 +28,12 @@ use fcache_des::{RunError, Sim};
 use fcache_device::IoLog;
 use fcache_filer::{Filer, FilerConfig};
 use fcache_net::Segment;
-use fcache_types::{FxHashSet, HostId, Trace, TraceOp};
+use fcache_types::{FxHashSet, HostId, Trace, TraceOp, TraceSource, TRACE_CHUNK_OPS};
 
 use crate::arch::Architecture;
 use crate::config::SimConfig;
 use crate::engine::{self, execute_op};
+use crate::flush::FlushQueue;
 use crate::host::HostCtx;
 use crate::metrics::Metrics;
 use crate::report::SimReport;
@@ -26,6 +46,9 @@ pub enum SimError {
         /// Number of stuck tasks.
         live_tasks: usize,
     },
+    /// The trace source failed mid-stream (I/O error, corrupt record, or an
+    /// op outside the dimensions its metadata promised).
+    Source(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -34,6 +57,7 @@ impl std::fmt::Display for SimError {
             SimError::Deadlock { live_tasks } => {
                 write!(f, "simulation deadlocked with {live_tasks} task(s) blocked")
             }
+            SimError::Source(msg) => write!(f, "trace source failed: {msg}"),
         }
     }
 }
@@ -48,38 +72,18 @@ impl From<RunError> for SimError {
     }
 }
 
-/// Runs `trace` under `config`, returning the aggregated report.
-///
-/// This is the crate's main entry point. The run is fully deterministic:
-/// the same configuration and trace always produce the same report.
-///
-/// # Examples
-///
-/// ```
-/// use fcache::{run_trace, SimConfig};
-/// use fcache_fsmodel::{FsModel, FsModelConfig};
-/// use fcache_trace::{generate, TraceGenConfig};
-/// use fcache_types::ByteSize;
-///
-/// let model = FsModel::generate(FsModelConfig {
-///     total_bytes: ByteSize::mib(32),
-///     seed: 1,
-///     ..FsModelConfig::default()
-/// });
-/// let trace = generate(&model, TraceGenConfig {
-///     working_set: ByteSize::mib(2),
-///     seed: 2,
-///     ..TraceGenConfig::default()
-/// });
-/// let cfg = SimConfig {
-///     ram_size: ByteSize::kib(512),
-///     flash_size: ByteSize::mib(4),
-///     ..SimConfig::default()
-/// };
-/// let report = run_trace(&cfg, &trace).unwrap();
-/// assert!(report.metrics.read_ops > 0);
-/// ```
-pub fn run_trace(config: &SimConfig, trace: &Trace) -> Result<SimReport, SimError> {
+/// Everything both replay paths share: the executor, the hosts, and the
+/// global sinks that become the report.
+struct SimParts {
+    sim: Sim,
+    cfg: Rc<SimConfig>,
+    filer: Filer,
+    metrics: Metrics,
+    hosts: Vec<Rc<HostCtx>>,
+}
+
+/// Builds the executor and one [`HostCtx`] per host (no tasks yet).
+fn build_parts(config: &SimConfig, n_hosts: u16) -> SimParts {
     let cfg = Rc::new(config.clone());
     let sim = Sim::new();
 
@@ -93,11 +97,6 @@ pub fn run_trace(config: &SimConfig, trace: &Trace) -> Result<SimReport, SimErro
     let metrics = Metrics::new();
     let warmup_over = Rc::new(Cell::new(false));
 
-    let stats = trace.stats();
-    let n_hosts = u16::max(trace.meta.hosts.max(1), stats.max_host + 1);
-    let n_threads = u16::max(trace.meta.threads_per_host.max(1), stats.max_thread + 1);
-
-    // Build hosts.
     let hosts: Vec<Rc<HostCtx>> = (0..n_hosts)
         .map(|i| {
             let segment = if cfg.duplex_network {
@@ -141,6 +140,7 @@ pub fn run_trace(config: &SimConfig, trace: &Trace) -> Result<SimReport, SimErro
                 peers: RefCell::new(Vec::new()),
                 warmup_over: Rc::clone(&warmup_over),
                 buf_pool: RefCell::new(Vec::new()),
+                flushq: FlushQueue::new(),
             })
         })
         .collect();
@@ -153,26 +153,22 @@ pub fn run_trace(config: &SimConfig, trace: &Trace) -> Result<SimReport, SimErro
             .collect();
     }
 
-    // Partition the trace per (host, thread), preserving order: "each
-    // application thread can have only one I/O in progress" (§5).
-    let mut per_thread: Vec<Vec<TraceOp>> = vec![Vec::new(); n_hosts as usize * n_threads as usize];
-    for op in &trace.ops {
-        per_thread[op.host.index() * n_threads as usize + op.thread.index()].push(*op);
+    SimParts {
+        sim,
+        cfg,
+        filer,
+        metrics,
+        hosts,
     }
-    for (slot, ops) in per_thread.into_iter().enumerate() {
-        if ops.is_empty() {
-            continue;
-        }
-        let host = Rc::clone(&hosts[slot / n_threads as usize]);
-        sim.spawn(async move {
-            for op in ops {
-                execute_op(&host, &op).await;
-            }
-        });
-    }
+}
 
-    // Periodic syncer daemons.
-    for h in &hosts {
+/// Spawns the periodic syncer daemons and the optional clock pin. Called
+/// after the per-thread replay tasks so both paths share one spawn order.
+fn spawn_daemons(parts: &SimParts) {
+    let SimParts {
+        sim, cfg, hosts, ..
+    } = parts;
+    for h in hosts {
         match cfg.arch {
             Architecture::Unified => {
                 if let Some(period) = cfg.scaled_period(cfg.ram_policy) {
@@ -206,7 +202,18 @@ pub fn run_trace(config: &SimConfig, trace: &Trace) -> Result<SimReport, SimErro
             s.sleep_until(t).await;
         });
     }
+}
 
+/// Runs the simulation, aggregates the report, and shuts the executor down
+/// (breaking task↔executor `Rc` cycles) before surfacing any run error.
+fn run_and_collect(parts: &SimParts) -> Result<SimReport, SimError> {
+    let SimParts {
+        sim,
+        cfg,
+        filer,
+        metrics,
+        hosts,
+    } = parts;
     let run = sim.run().map_err(SimError::from);
 
     // Aggregate before shutdown (shutdown drops the host tasks).
@@ -217,7 +224,7 @@ pub fn run_trace(config: &SimConfig, trace: &Trace) -> Result<SimReport, SimErro
         events: sim.events_processed(),
         ..SimReport::default()
     };
-    for h in &hosts {
+    for h in hosts {
         report.ram += *h.ram.borrow().stats();
         report.flash += *h.flash.borrow().stats();
         if let Some(u) = &h.unified {
@@ -230,7 +237,7 @@ pub fn run_trace(config: &SimConfig, trace: &Trace) -> Result<SimReport, SimErro
     }
     if cfg.log_flash_io {
         let mut log = Vec::new();
-        for h in &hosts {
+        for h in hosts {
             log.extend(h.iolog.take());
         }
         report.flash_iolog = Some(log);
@@ -239,4 +246,270 @@ pub fn run_trace(config: &SimConfig, trace: &Trace) -> Result<SimReport, SimErro
     sim.shutdown();
     run?;
     Ok(report)
+}
+
+/// Immutable raw view of the trace's op slice, handed to replay tasks.
+///
+/// The executor requires `'static` futures, but the ops live in the caller's
+/// `&Trace` borrow. A lifetime-erased pointer is sound here because the ops
+/// are only dereferenced while `Sim::run` executes inside [`run_trace`]'s
+/// borrow of the trace: every replay task is either completed during the run
+/// or dropped by `Sim::shutdown` before `run_trace` returns, and a future
+/// that is never polled again never touches the pointer (even if a panic
+/// leaks the executor, leaked tasks are never polled).
+#[derive(Clone, Copy)]
+struct OpsView {
+    ptr: *const TraceOp,
+    len: usize,
+}
+
+impl OpsView {
+    fn new(ops: &[TraceOp]) -> Self {
+        Self {
+            ptr: ops.as_ptr(),
+            len: ops.len(),
+        }
+    }
+
+    fn get(&self, i: usize) -> &TraceOp {
+        debug_assert!(i < self.len);
+        // SAFETY: `i` is an index produced by the counting sort over the
+        // same slice, and the slice outlives every poll (type-level comment).
+        unsafe { &*self.ptr.add(i) }
+    }
+}
+
+/// Runs `trace` under `config`, returning the aggregated report.
+///
+/// This is the crate's main entry point. The run is fully deterministic:
+/// the same configuration and trace always produce the same report. The
+/// trace is shared, not copied: replay builds a 4-byte-per-op index once
+/// and every thread cursor walks the caller's buffer in place (sweeps
+/// replaying one trace across many configurations share a single copy).
+///
+/// # Examples
+///
+/// ```
+/// use fcache::{run_trace, SimConfig};
+/// use fcache_fsmodel::{FsModel, FsModelConfig};
+/// use fcache_trace::{generate, TraceGenConfig};
+/// use fcache_types::ByteSize;
+///
+/// let model = FsModel::generate(FsModelConfig {
+///     total_bytes: ByteSize::mib(32),
+///     seed: 1,
+///     ..FsModelConfig::default()
+/// });
+/// let trace = generate(&model, TraceGenConfig {
+///     working_set: ByteSize::mib(2),
+///     seed: 2,
+///     ..TraceGenConfig::default()
+/// });
+/// let cfg = SimConfig {
+///     ram_size: ByteSize::kib(512),
+///     flash_size: ByteSize::mib(4),
+///     ..SimConfig::default()
+/// };
+/// let report = run_trace(&cfg, &trace).unwrap();
+/// assert!(report.metrics.read_ops > 0);
+/// ```
+pub fn run_trace(config: &SimConfig, trace: &Trace) -> Result<SimReport, SimError> {
+    // Size the host/thread grid from the metadata, widened by what the ops
+    // actually carry.
+    let (mut max_host, mut max_thread) = (0u16, 0u16);
+    for op in &trace.ops {
+        max_host = max_host.max(op.host().0);
+        max_thread = max_thread.max(op.thread().0);
+    }
+    let n_hosts = u16::max(trace.meta.hosts.max(1), max_host + 1);
+    let n_threads = u16::max(trace.meta.threads_per_host.max(1), max_thread + 1);
+    let n_slots = n_hosts as usize * n_threads as usize;
+
+    assert!(
+        trace.ops.len() <= u32::MAX as usize,
+        "trace exceeds the 4-billion-op cursor index range"
+    );
+
+    // One index pass: counting-sort op indices by (host, thread) slot. The
+    // order array is the only per-run allocation that scales with the
+    // trace, and it is shared read-only by every thread task — the ops
+    // themselves are never copied ("each application thread can have only
+    // one I/O in progress", §5, so per-slot order is all replay needs).
+    let slot_of = |op: &TraceOp| op.host().index() * n_threads as usize + op.thread().index();
+    let mut starts = vec![0u32; n_slots + 1];
+    for op in &trace.ops {
+        starts[slot_of(op) + 1] += 1;
+    }
+    for i in 0..n_slots {
+        starts[i + 1] += starts[i];
+    }
+    let mut next = starts.clone();
+    let mut order = vec![0u32; trace.ops.len()];
+    for (i, op) in trace.ops.iter().enumerate() {
+        let s = slot_of(op);
+        order[next[s] as usize] = i as u32;
+        next[s] += 1;
+    }
+    let order: Rc<[u32]> = order.into();
+
+    let parts = build_parts(config, n_hosts);
+    let ops = OpsView::new(&trace.ops);
+
+    // One cursor task per slot, in slot order (empty slots spawn a task
+    // that completes on its first poll, mirroring the streamed path).
+    for slot in 0..n_slots {
+        let host = Rc::clone(&parts.hosts[slot / n_threads as usize]);
+        let order = Rc::clone(&order);
+        let (lo, hi) = (starts[slot] as usize, starts[slot + 1] as usize);
+        parts.sim.spawn(async move {
+            for &idx in &order[lo..hi] {
+                execute_op(&host, ops.get(idx as usize)).await;
+            }
+        });
+    }
+
+    spawn_daemons(&parts);
+    run_and_collect(&parts)
+}
+
+/// Type-erased handle to the caller's `&mut S` source: a data pointer plus
+/// a monomorphized fill thunk, so the `'static` replay tasks can pull
+/// chunks without naming the source's lifetime. Sound for the same reason
+/// as [`OpsView`]: only dereferenced while `Sim::run` executes inside
+/// [`run_source`]'s borrow of the source.
+struct RawSource {
+    data: *mut (),
+    fill: unsafe fn(*mut (), &mut Vec<TraceOp>, usize) -> io::Result<usize>,
+}
+
+impl RawSource {
+    fn new<S: TraceSource>(source: &mut S) -> Self {
+        unsafe fn fill_thunk<S: TraceSource>(
+            data: *mut (),
+            out: &mut Vec<TraceOp>,
+            max: usize,
+        ) -> io::Result<usize> {
+            // SAFETY: `data` was produced from `&mut S` by `RawSource::new`
+            // and is only used while that borrow is live (type-level
+            // comment); the feed's `RefCell` serializes access.
+            unsafe { (*data.cast::<S>()).next_chunk(out, max) }
+        }
+        Self {
+            data: (source as *mut S).cast(),
+            fill: fill_thunk::<S>,
+        }
+    }
+
+    fn fill(&mut self, out: &mut Vec<TraceOp>, max: usize) -> io::Result<usize> {
+        // SAFETY: see `RawSource` docs.
+        unsafe { (self.fill)(self.data, out, max) }
+    }
+}
+
+/// Shared chunk feed: per-slot queues refilled from the source on demand.
+struct Feed {
+    source: RawSource,
+    queues: Vec<VecDeque<TraceOp>>,
+    chunk: Vec<TraceOp>,
+    n_threads: usize,
+    done: bool,
+    error: Option<String>,
+}
+
+impl Feed {
+    /// Pops the next op for `slot`, pulling chunks from the source until
+    /// the slot has one or the stream ends. Refills cost zero simulated
+    /// time, matching the materialized path where all ops exist up front.
+    fn next_for(&mut self, slot: usize) -> Option<TraceOp> {
+        loop {
+            if let Some(op) = self.queues[slot].pop_front() {
+                return Some(op);
+            }
+            if self.done {
+                return None;
+            }
+            self.refill();
+        }
+    }
+
+    fn refill(&mut self) {
+        self.chunk.clear();
+        match self.source.fill(&mut self.chunk, TRACE_CHUNK_OPS) {
+            Ok(0) => self.done = true,
+            Ok(_) => {
+                for op in self.chunk.drain(..) {
+                    let slot = op.host().index() * self.n_threads + op.thread().index();
+                    if slot >= self.queues.len() {
+                        self.error = Some(format!(
+                            "op for {} {} outside the {}-host/{}-thread grid its meta promised",
+                            op.host(),
+                            op.thread(),
+                            self.queues.len() / self.n_threads,
+                            self.n_threads,
+                        ));
+                        self.done = true;
+                        return;
+                    }
+                    self.queues[slot].push_back(op);
+                }
+            }
+            Err(e) => {
+                self.error = Some(e.to_string());
+                self.done = true;
+            }
+        }
+    }
+}
+
+/// Replays a streamed [`TraceSource`] under `config`.
+///
+/// Ops are pulled in bounded chunks ([`TRACE_CHUNK_OPS`]) and fanned into
+/// per-thread queues, so replay memory is O(chunk + inter-thread skew)
+/// regardless of trace length — a generated multi-gigabyte workload or an
+/// archived `FCTRACE1` file replays without ever being resident. Reports
+/// are bit-identical to materializing the same ops and calling
+/// [`run_trace`].
+///
+/// The host/thread grid comes from [`TraceSource::meta`]; an op outside
+/// that grid fails the run with [`SimError::Source`].
+pub fn run_source<S: TraceSource>(
+    config: &SimConfig,
+    source: &mut S,
+) -> Result<SimReport, SimError> {
+    let meta = source.meta();
+    let n_hosts = meta.hosts.max(1);
+    let n_threads = meta.threads_per_host.max(1);
+    let n_slots = n_hosts as usize * n_threads as usize;
+
+    let parts = build_parts(config, n_hosts);
+    let feed = Rc::new(RefCell::new(Feed {
+        source: RawSource::new(source),
+        queues: vec![VecDeque::new(); n_slots],
+        chunk: Vec::with_capacity(TRACE_CHUNK_OPS),
+        n_threads: n_threads as usize,
+        done: false,
+        error: None,
+    }));
+
+    for slot in 0..n_slots {
+        let host = Rc::clone(&parts.hosts[slot / n_threads as usize]);
+        let feed = Rc::clone(&feed);
+        parts.sim.spawn(async move {
+            loop {
+                // The borrow must not span the await (a `while let` would
+                // hold the `RefMut` through the body): copy the op out of
+                // the queue, drop the borrow, then run the engine.
+                let next = feed.borrow_mut().next_for(slot);
+                let Some(op) = next else { break };
+                execute_op(&host, &op).await;
+            }
+        });
+    }
+
+    spawn_daemons(&parts);
+    let report = run_and_collect(&parts);
+    if let Some(msg) = feed.borrow_mut().error.take() {
+        return Err(SimError::Source(msg));
+    }
+    report
 }

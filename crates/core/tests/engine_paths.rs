@@ -12,20 +12,20 @@ use fcache_filer::FilerConfig;
 use fcache_types::{ByteSize, FileId, HostId, OpKind, ThreadId, Trace, TraceMeta, TraceOp};
 
 fn op(host: u16, thread: u16, kind: OpKind, file: u32, start: u32, n: u32) -> TraceOp {
-    TraceOp {
-        host: HostId(host),
-        thread: ThreadId(thread),
+    TraceOp::new(
+        HostId(host),
+        ThreadId(thread),
         kind,
-        file: FileId(file),
-        start_block: start,
-        nblocks: n,
-        warmup: false,
-    }
+        FileId(file),
+        start,
+        n,
+        false,
+    )
 }
 
 fn trace_of(ops: Vec<TraceOp>) -> Trace {
-    let hosts = ops.iter().map(|o| o.host.0).max().unwrap_or(0) + 1;
-    let threads = ops.iter().map(|o| o.thread.0).max().unwrap_or(0) + 1;
+    let hosts = ops.iter().map(|o| o.host().0).max().unwrap_or(0) + 1;
+    let threads = ops.iter().map(|o| o.thread().0).max().unwrap_or(0) + 1;
     Trace {
         meta: TraceMeta {
             hosts,
@@ -356,7 +356,7 @@ fn single_host_never_invalidates() {
 #[test]
 fn warmup_ops_are_simulated_but_not_measured() {
     let mut warm = op(0, 0, OpKind::Read, 1, 0, 1);
-    warm.warmup = true;
+    warm.set_warmup(true);
     let t = trace_of(vec![warm, op(0, 0, OpKind::Read, 1, 0, 1)]);
     let r = run_trace(&cfg(), &t).unwrap();
     // Only the measured op is counted, and it hits RAM (the warmup op

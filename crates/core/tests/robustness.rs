@@ -17,14 +17,16 @@ fn op_strategy(hosts: u16, threads: u16) -> impl Strategy<Value = TraceOp> {
         1u32..8,
         any::<bool>(),
     )
-        .prop_map(|(h, t, w, file, start, n, warm)| TraceOp {
-            host: HostId(h),
-            thread: ThreadId(t),
-            kind: if w { OpKind::Write } else { OpKind::Read },
-            file: FileId(file),
-            start_block: start,
-            nblocks: n,
-            warmup: warm,
+        .prop_map(|(h, t, w, file, start, n, warm)| {
+            TraceOp::new(
+                HostId(h),
+                ThreadId(t),
+                if w { OpKind::Write } else { OpKind::Read },
+                FileId(file),
+                start,
+                n,
+                warm,
+            )
         })
 }
 
@@ -94,15 +96,15 @@ proptest! {
         let ops: Vec<TraceOp> = ops
             .into_iter()
             .map(|mut o| {
-                o.host = HostId(o.host.0 % hosts);
+                o.set_host(HostId(o.host().0 % hosts));
                 o
             })
             .collect();
         let measured_reads =
-            ops.iter().filter(|o| !o.warmup && o.kind == OpKind::Read).count() as u64;
+            ops.iter().filter(|o| !o.warmup() && o.kind() == OpKind::Read).count() as u64;
         let measured_writes =
-            ops.iter().filter(|o| !o.warmup && o.kind == OpKind::Write).count() as u64;
-        let any_measured = ops.iter().any(|o| !o.warmup);
+            ops.iter().filter(|o| !o.warmup() && o.kind() == OpKind::Write).count() as u64;
+        let any_measured = ops.iter().any(|o| !o.warmup());
         let trace = Trace {
             meta: TraceMeta { hosts, threads_per_host: 3, ..TraceMeta::default() },
             ops,

@@ -2,8 +2,8 @@
 //! each simulation is single-threaded and deterministic, so fanning jobs
 //! out over worker threads may change only wall-clock time, never results.
 
-use fcache::{run_sweep, run_trace, Architecture, SimConfig, Workbench, WorkloadSpec};
-use fcache_types::ByteSize;
+use fcache::{run_source, run_sweep, run_trace, Architecture, SimConfig, Workbench, WorkloadSpec};
+use fcache_types::{ByteSize, SliceSource};
 
 fn sweep_configs() -> Vec<SimConfig> {
     vec![
@@ -86,6 +86,33 @@ fn sweep_preserves_job_order_not_completion_order() {
         blocks[0] > blocks[1],
         "80 GiB trace must move more blocks than the 5 GiB trace"
     );
+}
+
+#[test]
+fn sweep_results_match_streamed_replay_of_the_same_trace() {
+    // The parallel sweep replays the shared trace through per-thread
+    // cursors; feeding the same trace through the chunked stream path must
+    // land on the same reports, so sweeps and streamed replays are
+    // interchangeable evidence.
+    let wb = Workbench::new(4096, 42);
+    let trace = wb.make_trace(&WorkloadSpec::baseline_60g());
+    let cfgs: Vec<SimConfig> = sweep_configs()
+        .into_iter()
+        .map(|c| c.scaled_down(4096))
+        .collect();
+    let jobs: Vec<_> = cfgs.iter().map(|cfg| (cfg.clone(), &trace)).collect();
+    let swept = run_sweep(&jobs, Some(4));
+    for (cfg, swept) in cfgs.iter().zip(swept) {
+        let mut src = SliceSource::new(&trace);
+        let streamed = run_source(cfg, &mut src).expect("streamed run");
+        assert_eq!(
+            format!("{:?}", swept.expect("sweep run")),
+            format!("{streamed:?}"),
+            "sweep and streamed replay diverged for {:?}/{}",
+            cfg.arch,
+            cfg.flash_size,
+        );
+    }
 }
 
 #[test]

@@ -1,7 +1,18 @@
 //! The trace generator proper.
+//!
+//! Generation is *streamed*: [`TraceStream`] is a deterministic op source
+//! that draws one op at a time, so the simulator can consume a multi-million
+//! op workload in bounded chunks without ever materializing it
+//! ([`generate`] is now just "collect the stream into a [`Trace`]"). The two
+//! paths draw from the same RNG in the same order, so they produce the same
+//! ops — asserted by the crate tests and the core determinism suite.
+
+use std::io;
 
 use fcache_fsmodel::FsModel;
-use fcache_types::{ByteSize, HostId, OpKind, ThreadId, Trace, TraceMeta, TraceOp, BLOCK_SIZE};
+use fcache_types::{
+    ByteSize, HostId, OpKind, ThreadId, Trace, TraceMeta, TraceOp, TraceSource, BLOCK_SIZE,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -124,72 +135,158 @@ impl TraceGenConfig {
 /// assert!(stats.blocks >= 4 * ((4 << 20) / 4096));
 /// ```
 pub fn generate(model: &FsModel, cfg: TraceGenConfig) -> Trace {
-    cfg.validate();
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
-
-    let sets: Vec<WorkingSet> = (0..cfg.ws_count)
-        .map(|_| WorkingSet::sample(model, cfg.working_set, cfg.extent_mean_blocks, &mut rng))
-        .collect();
-
-    // Volume is 4× the *total* working-set footprint: with several
-    // distinct working sets, every one must be ground through four times
-    // so each host's cache fills during warmup just as in the single-set
-    // baseline ("a total volume of data that is, in all cases, four times
-    // the working set size", §4).
-    let target_blocks =
-        (cfg.working_set.bytes() as f64 * cfg.volume_multiplier * cfg.ws_count as f64
-            / BLOCK_SIZE as f64) as u64;
-    let warmup_blocks = (target_blocks as f64 * cfg.warmup_fraction) as u64;
-
-    let meta = TraceMeta {
-        hosts: cfg.hosts,
-        threads_per_host: cfg.threads_per_host,
-        working_set_bytes: cfg.working_set.bytes(),
-        working_set_pct: (cfg.ws_fraction * 100.0).round() as u8,
-        write_pct: (cfg.write_fraction * 100.0).round() as u8,
-        seed: cfg.seed,
-    };
-    let mut trace = Trace::new(meta);
-    let mut volume = 0u64;
-
-    while volume < target_blocks {
-        let host = HostId(rng.gen_range(0..cfg.hosts));
-        let thread = ThreadId(rng.gen_range(0..cfg.threads_per_host));
-        let kind = if rng.gen_bool(cfg.write_fraction) {
-            OpKind::Write
-        } else {
-            OpKind::Read
-        };
-
-        let (file, start_block, nblocks) = if rng.gen_bool(cfg.ws_fraction) {
-            let ws = &sets[host.index() % sets.len()];
-            ws.sample_io(cfg.io_mean_blocks, &mut rng)
-        } else {
-            // Whole-file-server I/O: popularity-weighted file, Poisson size
-            // clamped to the file, uniform start.
-            let f = model.sample_weighted(&mut rng);
-            let len = poisson(&mut rng, cfg.io_mean_blocks).clamp(1, f.blocks as u64) as u32;
-            let max_start = f.blocks - len;
-            let start = if max_start == 0 {
-                0
-            } else {
-                rng.gen_range(0..=max_start)
-            };
-            (f.id, start, len)
-        };
-
-        trace.ops.push(TraceOp {
-            host,
-            thread,
-            kind,
-            file,
-            start_block,
-            nblocks,
-            warmup: volume < warmup_blocks,
-        });
-        volume += nblocks as u64;
+    let mut stream = TraceStream::new(model, cfg);
+    let mut trace = Trace::new(stream.meta().clone());
+    while let Some(op) = stream.next_op() {
+        trace.ops.push(op);
     }
     trace
+}
+
+/// Deterministic streaming trace generator: a [`TraceSource`] that draws
+/// ops on demand instead of materializing the whole workload.
+///
+/// The draw sequence is exactly the one [`generate`] performs, so streamed
+/// and materialized generation yield identical ops for identical
+/// configurations.
+#[derive(Debug)]
+pub struct TraceStream<'m> {
+    model: &'m FsModel,
+    cfg: TraceGenConfig,
+    rng: SmallRng,
+    sets: Vec<WorkingSet>,
+    meta: TraceMeta,
+    target_blocks: u64,
+    warmup_blocks: u64,
+    volume: u64,
+    skip_warmup: bool,
+}
+
+impl<'m> TraceStream<'m> {
+    /// Validates the configuration and samples the working sets; the first
+    /// [`TraceStream::next_op`] call continues the RNG from there.
+    pub fn new(model: &'m FsModel, cfg: TraceGenConfig) -> Self {
+        cfg.validate();
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+        let sets: Vec<WorkingSet> = (0..cfg.ws_count)
+            .map(|_| WorkingSet::sample(model, cfg.working_set, cfg.extent_mean_blocks, &mut rng))
+            .collect();
+
+        // Volume is 4× the *total* working-set footprint: with several
+        // distinct working sets, every one must be ground through four times
+        // so each host's cache fills during warmup just as in the single-set
+        // baseline ("a total volume of data that is, in all cases, four times
+        // the working set size", §4).
+        let target_blocks =
+            (cfg.working_set.bytes() as f64 * cfg.volume_multiplier * cfg.ws_count as f64
+                / BLOCK_SIZE as f64) as u64;
+        let warmup_blocks = (target_blocks as f64 * cfg.warmup_fraction) as u64;
+
+        let meta = TraceMeta {
+            hosts: cfg.hosts,
+            threads_per_host: cfg.threads_per_host,
+            working_set_bytes: cfg.working_set.bytes(),
+            working_set_pct: (cfg.ws_fraction * 100.0).round() as u8,
+            write_pct: (cfg.write_fraction * 100.0).round() as u8,
+            seed: cfg.seed,
+        };
+        Self {
+            model,
+            cfg,
+            rng,
+            sets,
+            meta,
+            target_blocks,
+            warmup_blocks,
+            volume: 0,
+            skip_warmup: false,
+        }
+    }
+
+    /// Drops warmup-flagged ops from the stream instead of emitting them —
+    /// "equivalent to having a non-persistent flash cache and crashing at
+    /// the start of the simulator run" (§7.8). The RNG sequence is
+    /// unchanged; the warmup prefix is simply not delivered.
+    pub fn skip_warmup(mut self, skip: bool) -> Self {
+        self.skip_warmup = skip;
+        self
+    }
+
+    /// Generation metadata (also the replay engine's host/thread sizing).
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Draws the next op, or `None` once the volume target is reached.
+    pub fn next_op(&mut self) -> Option<TraceOp> {
+        loop {
+            if self.volume >= self.target_blocks {
+                return None;
+            }
+            let cfg = &self.cfg;
+            let rng = &mut self.rng;
+            let host = HostId(rng.gen_range(0..cfg.hosts));
+            let thread = ThreadId(rng.gen_range(0..cfg.threads_per_host));
+            let kind = if rng.gen_bool(cfg.write_fraction) {
+                OpKind::Write
+            } else {
+                OpKind::Read
+            };
+
+            let (file, start_block, nblocks) = if rng.gen_bool(cfg.ws_fraction) {
+                let ws = &self.sets[host.index() % self.sets.len()];
+                ws.sample_io(cfg.io_mean_blocks, rng)
+            } else {
+                // Whole-file-server I/O: popularity-weighted file, Poisson
+                // size clamped to the file, uniform start.
+                let f = self.model.sample_weighted(rng);
+                let len = poisson(rng, cfg.io_mean_blocks).clamp(1, f.blocks as u64) as u32;
+                let max_start = f.blocks - len;
+                let start = if max_start == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..=max_start)
+                };
+                (f.id, start, len)
+            };
+
+            let warmup = self.volume < self.warmup_blocks;
+            self.volume += nblocks as u64;
+            if warmup && self.skip_warmup {
+                continue;
+            }
+            return Some(TraceOp::new(
+                host,
+                thread,
+                kind,
+                file,
+                start_block,
+                nblocks,
+                warmup,
+            ));
+        }
+    }
+}
+
+impl TraceSource for TraceStream<'_> {
+    fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    fn next_chunk(&mut self, out: &mut Vec<TraceOp>, max: usize) -> io::Result<usize> {
+        let mut n = 0;
+        while n < max {
+            match self.next_op() {
+                Some(op) => {
+                    out.push(op);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        Ok(n)
+    }
 }
 
 #[cfg(test)]
@@ -230,9 +327,9 @@ mod tests {
         let frac = s.warmup_fraction();
         assert!((frac - 0.5).abs() < 0.02, "warmup byte fraction {frac}");
         // Warmup ops form a prefix.
-        let first_measured = t.ops.iter().position(|o| !o.warmup).unwrap();
-        assert!(t.ops[..first_measured].iter().all(|o| o.warmup));
-        assert!(t.ops[first_measured..].iter().all(|o| !o.warmup));
+        let first_measured = t.ops.iter().position(|o| !o.warmup()).unwrap();
+        assert!(t.ops[..first_measured].iter().all(|o| o.warmup()));
+        assert!(t.ops[first_measured..].iter().all(|o| !o.warmup()));
     }
 
     #[test]
@@ -240,6 +337,30 @@ mod tests {
         let t = generate(&model(), small_cfg());
         let f = t.stats().write_fraction();
         assert!((f - 0.3).abs() < 0.03, "write fraction {f}");
+    }
+
+    #[test]
+    fn streamed_chunks_match_materialized_generation() {
+        let m = model();
+        let materialized = generate(&m, small_cfg());
+        let mut stream = TraceStream::new(&m, small_cfg());
+        assert_eq!(stream.meta(), &materialized.meta);
+        let mut streamed = Vec::new();
+        // Odd chunk size: chunk boundaries must not perturb the sequence.
+        while stream.next_chunk(&mut streamed, 37).unwrap() > 0 {}
+        assert_eq!(streamed, materialized.ops);
+    }
+
+    #[test]
+    fn skip_warmup_stream_drops_exactly_the_warmup_prefix() {
+        let m = model();
+        let full = generate(&m, small_cfg());
+        let mut stream = TraceStream::new(&m, small_cfg()).skip_warmup(true);
+        let mut streamed = Vec::new();
+        while stream.next_chunk(&mut streamed, 64).unwrap() > 0 {}
+        let measured: Vec<_> = full.ops.iter().filter(|o| !o.warmup()).copied().collect();
+        assert!(!streamed.is_empty());
+        assert_eq!(streamed, measured);
     }
 
     #[test]
@@ -252,8 +373,8 @@ mod tests {
         let mut host_counts = [0u64; 2];
         let mut thread_counts = [0u64; 8];
         for op in &t.ops {
-            host_counts[op.host.index()] += 1;
-            thread_counts[op.thread.index()] += 1;
+            host_counts[op.host().index()] += 1;
+            thread_counts[op.thread().index()] += 1;
         }
         let total = t.len() as f64;
         for c in host_counts {
@@ -269,9 +390,9 @@ mod tests {
         let m = model();
         let t = generate(&m, small_cfg());
         for op in &t.ops {
-            let f = m.file(op.file);
-            assert!(op.nblocks >= 1);
-            assert!(op.start_block + op.nblocks <= f.blocks);
+            let f = m.file(op.file());
+            assert!(op.nblocks() >= 1);
+            assert!(op.start_block() + op.nblocks() <= f.blocks);
         }
     }
 
@@ -283,7 +404,7 @@ mod tests {
         let t = generate(&m, small_cfg());
         use std::collections::HashSet;
         let mut touched = HashSet::new();
-        for op in t.ops.iter().filter(|o| !o.warmup) {
+        for op in t.ops.iter().filter(|o| !o.warmup()) {
             for b in op.blocks() {
                 touched.insert(b.to_u64());
             }
@@ -310,7 +431,7 @@ mod tests {
         let blocks_of = |h: u16| -> HashSet<u64> {
             t.ops
                 .iter()
-                .filter(|o| o.host.0 == h)
+                .filter(|o| o.host().0 == h)
                 .flat_map(|o| o.blocks().map(|b| b.to_u64()))
                 .collect()
         };
@@ -347,7 +468,7 @@ mod tests {
             let blocks_of = |h: u16| -> HashSet<u64> {
                 t.ops
                     .iter()
-                    .filter(|o| o.host.0 == h)
+                    .filter(|o| o.host().0 == h)
                     .flat_map(|o| o.blocks().map(|b| b.to_u64()))
                     .collect()
             };

@@ -24,6 +24,6 @@ pub mod generator;
 pub mod poisson;
 pub mod working_set;
 
-pub use generator::{generate, TraceGenConfig};
+pub use generator::{generate, TraceGenConfig, TraceStream};
 pub use poisson::poisson;
 pub use working_set::{Extent, WorkingSet};

@@ -28,4 +28,7 @@ pub use fxhash::{mix64, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{FileId, HostId, ThreadId};
 pub use op::{OpKind, TraceOp};
 pub use size::ByteSize;
-pub use trace::{Trace, TraceMeta, TraceStats};
+pub use trace::{
+    stream_stats, SliceSource, Trace, TraceMeta, TraceReader, TraceSource, TraceStats,
+    TRACE_CHUNK_OPS,
+};

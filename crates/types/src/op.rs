@@ -1,4 +1,11 @@
 //! Trace operations: the unit record of the block-level traces.
+//!
+//! [`TraceOp`] uses a packed 16-byte layout (down from the 20-byte
+//! field-per-flag seed struct): the read/write kind and the warmup flag are
+//! folded into the top byte of the `nblocks` word. Four ops fit in a cache
+//! line, which matters because replay streams millions of them through the
+//! simulator per experiment. Construction goes through [`TraceOp::new`],
+//! which enforces the packed ranges; fields are read through accessors.
 
 use core::fmt;
 
@@ -32,32 +39,136 @@ impl fmt::Display for OpKind {
     }
 }
 
+/// Flag bit for a write op in the packed `nbf` word.
+const FLAG_WRITE: u32 = 1 << 24;
+/// Flag bit for a warmup op in the packed `nbf` word.
+const FLAG_WARMUP: u32 = 1 << 25;
+/// Low 24 bits of `nbf`: the block count.
+const NBLOCKS_MASK: u32 = (1 << 24) - 1;
+
 /// One block-level trace operation.
 ///
 /// Mirrors §4 of the paper: "Each operation identifies a file and a range of
 /// blocks within that file. Each operation also carries a thread ID and host
-/// ID." The `warmup` flag marks the first half of the trace volume, for
+/// ID." The warmup flag marks the first half of the trace volume, for
 /// which "statistics are not collected".
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+///
+/// Layout: `file` (4) + `start_block` (4) + packed `nblocks`/flags (4) +
+/// `host` (2) + `thread` (2) = 16 bytes, 4-byte aligned.
+#[derive(Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
 pub struct TraceOp {
-    /// Issuing host.
-    pub host: HostId,
-    /// Issuing thread (host-local).
-    pub thread: ThreadId,
-    /// Read or write.
-    pub kind: OpKind,
     /// File the range lives in.
-    pub file: FileId,
+    file: FileId,
     /// First 4 KB block of the range.
-    pub start_block: u32,
-    /// Number of 4 KB blocks (always ≥ 1).
-    pub nblocks: u32,
-    /// True while the cache is being warmed; such ops are simulated but
-    /// excluded from statistics.
-    pub warmup: bool,
+    start_block: u32,
+    /// Block count in the low 24 bits; kind/warmup flags in the top byte.
+    nbf: u32,
+    /// Issuing host.
+    host: HostId,
+    /// Issuing thread (host-local).
+    thread: ThreadId,
 }
 
 impl TraceOp {
+    /// Largest block count one op can carry (24 bits — 64 GiB of 4 KB
+    /// blocks, far beyond any generated I/O).
+    pub const MAX_NBLOCKS: u32 = NBLOCKS_MASK;
+
+    /// Builds an op, packing the kind and warmup flag next to the block
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nblocks` is zero or exceeds [`TraceOp::MAX_NBLOCKS`].
+    pub const fn new(
+        host: HostId,
+        thread: ThreadId,
+        kind: OpKind,
+        file: FileId,
+        start_block: u32,
+        nblocks: u32,
+        warmup: bool,
+    ) -> Self {
+        assert!(
+            nblocks >= 1 && nblocks <= NBLOCKS_MASK,
+            "nblocks out of packed range"
+        );
+        let mut nbf = nblocks;
+        if kind.is_write() {
+            nbf |= FLAG_WRITE;
+        }
+        if warmup {
+            nbf |= FLAG_WARMUP;
+        }
+        Self {
+            file,
+            start_block,
+            nbf,
+            host,
+            thread,
+        }
+    }
+
+    /// Issuing host.
+    pub const fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// Issuing thread (host-local).
+    pub const fn thread(&self) -> ThreadId {
+        self.thread
+    }
+
+    /// Read or write.
+    pub const fn kind(&self) -> OpKind {
+        if self.nbf & FLAG_WRITE != 0 {
+            OpKind::Write
+        } else {
+            OpKind::Read
+        }
+    }
+
+    /// True for write ops (one branch cheaper than `kind().is_write()`).
+    pub const fn is_write(&self) -> bool {
+        self.nbf & FLAG_WRITE != 0
+    }
+
+    /// File the range lives in.
+    pub const fn file(&self) -> FileId {
+        self.file
+    }
+
+    /// First 4 KB block of the range.
+    pub const fn start_block(&self) -> u32 {
+        self.start_block
+    }
+
+    /// Number of 4 KB blocks (always ≥ 1).
+    pub const fn nblocks(&self) -> u32 {
+        self.nbf & NBLOCKS_MASK
+    }
+
+    /// True while the cache is being warmed; such ops are simulated but
+    /// excluded from statistics.
+    pub const fn warmup(&self) -> bool {
+        self.nbf & FLAG_WARMUP != 0
+    }
+
+    /// Sets the warmup flag in place.
+    pub fn set_warmup(&mut self, warmup: bool) {
+        if warmup {
+            self.nbf |= FLAG_WARMUP;
+        } else {
+            self.nbf &= !FLAG_WARMUP;
+        }
+    }
+
+    /// Replaces the issuing host in place.
+    pub fn set_host(&mut self, host: HostId) {
+        self.host = host;
+    }
+
     /// Address of the first block touched.
     pub const fn first_block(&self) -> BlockAddr {
         BlockAddr::new(self.file, self.start_block)
@@ -66,12 +177,26 @@ impl TraceOp {
     /// Iterator over every block address the operation touches.
     pub fn blocks(&self) -> impl Iterator<Item = BlockAddr> + '_ {
         let file = self.file;
-        (self.start_block..self.start_block + self.nblocks).map(move |b| BlockAddr::new(file, b))
+        (self.start_block..self.start_block + self.nblocks()).map(move |b| BlockAddr::new(file, b))
     }
 
     /// Total bytes moved by the operation.
     pub const fn bytes(&self) -> u64 {
-        (self.nblocks as u64) * crate::block::BLOCK_SIZE
+        (self.nblocks() as u64) * crate::block::BLOCK_SIZE
+    }
+}
+
+impl fmt::Debug for TraceOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceOp")
+            .field("host", &self.host)
+            .field("thread", &self.thread)
+            .field("kind", &self.kind())
+            .field("file", &self.file)
+            .field("start_block", &self.start_block)
+            .field("nblocks", &self.nblocks())
+            .field("warmup", &self.warmup())
+            .finish()
     }
 }
 
@@ -82,11 +207,11 @@ impl fmt::Display for TraceOp {
             "{} {} {} f{}@{}+{}{}",
             self.host,
             self.thread,
-            self.kind,
+            self.kind(),
             self.file.0,
             self.start_block,
-            self.nblocks,
-            if self.warmup { " (warmup)" } else { "" }
+            self.nblocks(),
+            if self.warmup() { " (warmup)" } else { "" }
         )
     }
 }
@@ -96,15 +221,75 @@ mod tests {
     use super::*;
 
     fn op() -> TraceOp {
-        TraceOp {
-            host: HostId(0),
-            thread: ThreadId(2),
-            kind: OpKind::Write,
-            file: FileId(9),
-            start_block: 5,
-            nblocks: 3,
-            warmup: false,
-        }
+        TraceOp::new(
+            HostId(0),
+            ThreadId(2),
+            OpKind::Write,
+            FileId(9),
+            5,
+            3,
+            false,
+        )
+    }
+
+    #[test]
+    fn packed_layout_is_16_bytes() {
+        assert_eq!(core::mem::size_of::<TraceOp>(), 16);
+        assert_eq!(core::mem::align_of::<TraceOp>(), 4);
+    }
+
+    #[test]
+    fn accessors_roundtrip_all_fields() {
+        let o = TraceOp::new(
+            HostId(7),
+            ThreadId(65_535),
+            OpKind::Read,
+            FileId(u32::MAX),
+            u32::MAX,
+            TraceOp::MAX_NBLOCKS,
+            true,
+        );
+        assert_eq!(o.host(), HostId(7));
+        assert_eq!(o.thread(), ThreadId(65_535));
+        assert_eq!(o.kind(), OpKind::Read);
+        assert!(!o.is_write());
+        assert_eq!(o.file(), FileId(u32::MAX));
+        assert_eq!(o.start_block(), u32::MAX);
+        assert_eq!(o.nblocks(), TraceOp::MAX_NBLOCKS);
+        assert!(o.warmup());
+    }
+
+    #[test]
+    fn setters_update_in_place() {
+        let mut o = op();
+        o.set_warmup(true);
+        assert!(o.warmup());
+        assert_eq!(o.nblocks(), 3, "warmup flag must not disturb nblocks");
+        assert!(o.is_write(), "warmup flag must not disturb kind");
+        o.set_warmup(false);
+        assert!(!o.warmup());
+        o.set_host(HostId(4));
+        assert_eq!(o.host(), HostId(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "nblocks out of packed range")]
+    fn zero_nblocks_rejected() {
+        let _ = TraceOp::new(HostId(0), ThreadId(0), OpKind::Read, FileId(0), 0, 0, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "nblocks out of packed range")]
+    fn oversized_nblocks_rejected() {
+        let _ = TraceOp::new(
+            HostId(0),
+            ThreadId(0),
+            OpKind::Read,
+            FileId(0),
+            0,
+            TraceOp::MAX_NBLOCKS + 1,
+            false,
+        );
     }
 
     #[test]

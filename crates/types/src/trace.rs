@@ -1,8 +1,13 @@
-//! Trace container, statistics, and a compact binary codec.
+//! Trace container, statistics, a compact binary codec, and the streaming
+//! [`TraceSource`] abstraction.
 //!
 //! Traces can be held in memory (the common case — the generator feeds the
 //! simulator directly) or serialized to a file with a small little-endian
 //! binary format so generated workloads can be archived and replayed.
+//! Consumers that do not need the whole trace resident pull ops through a
+//! [`TraceSource`] in bounded chunks: [`TraceReader`] streams an archived
+//! `FCTRACE1` file with O(chunk) memory, and [`SliceSource`] adapts an
+//! in-memory [`Trace`] to the same interface.
 
 use std::io::{self, Read, Write};
 
@@ -13,6 +18,13 @@ use crate::{
 
 /// Magic bytes identifying the trace file format.
 const MAGIC: &[u8; 8] = b"FCTRACE1";
+
+/// Size of one encoded op record in bytes.
+const RECORD_BYTES: usize = 20;
+
+/// Default chunk size (in ops) for streamed trace consumption: 4096 packed
+/// ops = 64 KiB resident, independent of trace length.
+pub const TRACE_CHUNK_OPS: usize = 4096;
 
 /// Metadata describing how a trace was generated.
 #[derive(Clone, Debug, PartialEq, Default)]
@@ -29,6 +41,56 @@ pub struct TraceMeta {
     pub write_pct: u8,
     /// RNG seed the trace was generated from.
     pub seed: u64,
+}
+
+/// A pull-based stream of trace operations.
+///
+/// This is the zero-copy trace pipeline's feeding interface: the replay
+/// engine provisions hosts/threads from [`TraceSource::meta`] and then
+/// drains ops in bounded chunks, so replay memory is O(chunk) instead of
+/// O(trace). Delivery order is the trace's issue order; within one
+/// `(host, thread)` pair ops must arrive in program order (the simulator's
+/// "one I/O in progress per thread" rule depends on it).
+pub trait TraceSource {
+    /// Generation metadata; `hosts` × `threads_per_host` bounds the ids the
+    /// stream may emit.
+    fn meta(&self) -> &TraceMeta;
+
+    /// Appends up to `max` next ops to `out`, returning how many were
+    /// appended. Returning `Ok(0)` signals end of stream; the source is
+    /// never polled again after that.
+    fn next_chunk(&mut self, out: &mut Vec<TraceOp>, max: usize) -> io::Result<usize>;
+}
+
+/// [`TraceSource`] over an in-memory [`Trace`].
+///
+/// Used to route materialized traces through the same streamed-replay code
+/// path as generated or archived ones (and to prove the paths equivalent).
+#[derive(Debug)]
+pub struct SliceSource<'a> {
+    trace: &'a Trace,
+    pos: usize,
+}
+
+impl<'a> SliceSource<'a> {
+    /// Wraps a trace, starting at its first op.
+    pub fn new(trace: &'a Trace) -> Self {
+        Self { trace, pos: 0 }
+    }
+}
+
+impl TraceSource for SliceSource<'_> {
+    fn meta(&self) -> &TraceMeta {
+        &self.trace.meta
+    }
+
+    fn next_chunk(&mut self, out: &mut Vec<TraceOp>, max: usize) -> io::Result<usize> {
+        let end = (self.pos + max).min(self.trace.ops.len());
+        let n = end - self.pos;
+        out.extend_from_slice(&self.trace.ops[self.pos..end]);
+        self.pos = end;
+        Ok(n)
+    }
 }
 
 /// An in-memory block-level trace.
@@ -63,26 +125,17 @@ impl Trace {
     pub fn stats(&self) -> TraceStats {
         let mut s = TraceStats::default();
         for op in &self.ops {
-            s.ops += 1;
-            s.blocks += op.nblocks as u64;
-            s.bytes += op.bytes();
-            if op.kind.is_write() {
-                s.write_ops += 1;
-                s.write_blocks += op.nblocks as u64;
-            }
-            if op.warmup {
-                s.warmup_ops += 1;
-                s.warmup_bytes += op.bytes();
-            }
-            s.max_host = s.max_host.max(op.host.0);
-            s.max_thread = s.max_thread.max(op.thread.0);
+            s.accumulate(op);
         }
         s
     }
 
     /// Serializes the trace to a writer in the `FCTRACE1` binary format.
     ///
-    /// Layout: magic, meta fields, op count, then one 24-byte record per op.
+    /// Layout: magic, meta fields, op count, then one 20-byte record per op.
+    /// The record format is unchanged from the seed (the packed in-memory
+    /// layout is a RAM optimization, not a wire change), so archives written
+    /// by older builds round-trip.
     pub fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
         w.write_all(MAGIC)?;
         w.write_all(&self.meta.hosts.to_le_bytes())?;
@@ -92,21 +145,101 @@ impl Trace {
         w.write_all(&self.meta.seed.to_le_bytes())?;
         w.write_all(&(self.ops.len() as u64).to_le_bytes())?;
         for op in &self.ops {
-            w.write_all(&op.host.0.to_le_bytes())?;
-            w.write_all(&op.thread.0.to_le_bytes())?;
-            let flags: u8 = u8::from(op.kind.is_write()) | (u8::from(op.warmup) << 1);
-            w.write_all(&[flags, 0, 0, 0])?;
-            w.write_all(&op.file.0.to_le_bytes())?;
-            w.write_all(&op.start_block.to_le_bytes())?;
-            w.write_all(&op.nblocks.to_le_bytes())?;
+            encode_record(op, w)?;
         }
         Ok(())
     }
 
     /// Deserializes a trace written by [`Trace::encode`].
     ///
-    /// Returns `InvalidData` on a bad magic number or truncated input.
+    /// Returns `InvalidData` on a bad magic number or truncated input. This
+    /// materializes every op; use [`TraceReader`] to stream with O(chunk)
+    /// memory instead.
     pub fn decode<R: Read>(r: &mut R) -> io::Result<Self> {
+        let mut reader = TraceReader::new(r)?;
+        let mut ops = Vec::with_capacity((reader.remaining() as usize).min(1 << 24));
+        while reader.next_chunk(&mut ops, TRACE_CHUNK_OPS)? > 0 {}
+        Ok(Self {
+            meta: reader.into_meta(),
+            ops,
+        })
+    }
+}
+
+/// Writes one op as a 20-byte `FCTRACE1` record.
+fn encode_record<W: Write>(op: &TraceOp, w: &mut W) -> io::Result<()> {
+    let mut rec = [0u8; RECORD_BYTES];
+    rec[0..2].copy_from_slice(&op.host().0.to_le_bytes());
+    rec[2..4].copy_from_slice(&op.thread().0.to_le_bytes());
+    rec[4] = u8::from(op.is_write()) | (u8::from(op.warmup()) << 1);
+    rec[8..12].copy_from_slice(&op.file().0.to_le_bytes());
+    rec[12..16].copy_from_slice(&op.start_block().to_le_bytes());
+    rec[16..20].copy_from_slice(&op.nblocks().to_le_bytes());
+    w.write_all(&rec)
+}
+
+/// Parses one 20-byte `FCTRACE1` record into a packed op.
+fn decode_record(rec: &[u8; RECORD_BYTES]) -> io::Result<TraceOp> {
+    let host = HostId(u16::from_le_bytes([rec[0], rec[1]]));
+    let thread = ThreadId(u16::from_le_bytes([rec[2], rec[3]]));
+    let kind = if rec[4] & 1 != 0 {
+        OpKind::Write
+    } else {
+        OpKind::Read
+    };
+    let warmup = rec[4] & 2 != 0;
+    let file = FileId(u32::from_le_bytes([rec[8], rec[9], rec[10], rec[11]]));
+    let start_block = u32::from_le_bytes([rec[12], rec[13], rec[14], rec[15]]);
+    let nblocks = u32::from_le_bytes([rec[16], rec[17], rec[18], rec[19]]);
+    if nblocks == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "zero-length trace op",
+        ));
+    }
+    if nblocks > TraceOp::MAX_NBLOCKS {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "trace op block count exceeds packed range",
+        ));
+    }
+    Ok(TraceOp::new(
+        host,
+        thread,
+        kind,
+        file,
+        start_block,
+        nblocks,
+        warmup,
+    ))
+}
+
+/// Streaming `FCTRACE1` decoder: reads the header eagerly, then yields ops
+/// in bounded chunks so an arbitrarily large archive replays with O(chunk)
+/// resident memory.
+///
+/// # Examples
+///
+/// ```
+/// use fcache_types::{Trace, TraceMeta, TraceReader, TraceSource};
+///
+/// let mut buf = Vec::new();
+/// Trace::new(TraceMeta::default()).encode(&mut buf).unwrap();
+/// let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+/// let mut chunk = Vec::new();
+/// assert_eq!(reader.next_chunk(&mut chunk, 1024).unwrap(), 0);
+/// ```
+#[derive(Debug)]
+pub struct TraceReader<R> {
+    r: R,
+    meta: TraceMeta,
+    remaining: u64,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Reads and validates the `FCTRACE1` header, leaving the reader
+    /// positioned at the first op record.
+    pub fn new(mut r: R) -> io::Result<Self> {
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
         if &magic != MAGIC {
@@ -116,47 +249,64 @@ impl Trace {
             ));
         }
         let meta = TraceMeta {
-            hosts: read_u16(r)?,
-            threads_per_host: read_u16(r)?,
-            working_set_bytes: read_u64(r)?,
-            working_set_pct: read_u8(r)?,
-            write_pct: read_u8(r)?,
-            seed: read_u64(r)?,
+            hosts: read_u16(&mut r)?,
+            threads_per_host: read_u16(&mut r)?,
+            working_set_bytes: read_u64(&mut r)?,
+            working_set_pct: read_u8(&mut r)?,
+            write_pct: read_u8(&mut r)?,
+            seed: read_u64(&mut r)?,
         };
-        let n = read_u64(r)? as usize;
-        let mut ops = Vec::with_capacity(n.min(1 << 24));
-        for _ in 0..n {
-            let host = HostId(read_u16(r)?);
-            let thread = ThreadId(read_u16(r)?);
-            let mut flags = [0u8; 4];
-            r.read_exact(&mut flags)?;
-            let kind = if flags[0] & 1 != 0 {
-                OpKind::Write
-            } else {
-                OpKind::Read
-            };
-            let warmup = flags[0] & 2 != 0;
-            let file = FileId(read_u32(r)?);
-            let start_block = read_u32(r)?;
-            let nblocks = read_u32(r)?;
-            if nblocks == 0 {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    "zero-length trace op",
-                ));
-            }
-            ops.push(TraceOp {
-                host,
-                thread,
-                kind,
-                file,
-                start_block,
-                nblocks,
-                warmup,
-            });
-        }
-        Ok(Self { meta, ops })
+        let remaining = read_u64(&mut r)?;
+        Ok(Self { r, meta, remaining })
     }
+
+    /// Ops not yet yielded.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Consumes the reader, returning the header metadata.
+    pub fn into_meta(self) -> TraceMeta {
+        self.meta
+    }
+}
+
+impl<R: Read> TraceSource for TraceReader<R> {
+    fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    fn next_chunk(&mut self, out: &mut Vec<TraceOp>, max: usize) -> io::Result<usize> {
+        let n = (self.remaining.min(max as u64)) as usize;
+        out.reserve(n);
+        let mut rec = [0u8; RECORD_BYTES];
+        for _ in 0..n {
+            self.r.read_exact(&mut rec)?;
+            out.push(decode_record(&rec)?);
+        }
+        self.remaining -= n as u64;
+        Ok(n)
+    }
+}
+
+/// Streams a `FCTRACE1` archive computing its [`TraceStats`] with O(chunk)
+/// memory; returns the header meta, the stats, and the peak resident
+/// op-buffer size in bytes.
+pub fn stream_stats<R: Read>(r: R) -> io::Result<(TraceMeta, TraceStats, usize)> {
+    let mut reader = TraceReader::new(r)?;
+    let mut stats = TraceStats::default();
+    let mut chunk: Vec<TraceOp> = Vec::with_capacity(TRACE_CHUNK_OPS);
+    loop {
+        chunk.clear();
+        if reader.next_chunk(&mut chunk, TRACE_CHUNK_OPS)? == 0 {
+            break;
+        }
+        for op in &chunk {
+            stats.accumulate(op);
+        }
+    }
+    let peak = chunk.capacity() * std::mem::size_of::<TraceOp>();
+    Ok((reader.into_meta(), stats, peak))
 }
 
 fn read_u8<R: Read>(r: &mut R) -> io::Result<u8> {
@@ -169,12 +319,6 @@ fn read_u16<R: Read>(r: &mut R) -> io::Result<u16> {
     let mut b = [0u8; 2];
     r.read_exact(&mut b)?;
     Ok(u16::from_le_bytes(b))
-}
-
-fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
-    let mut b = [0u8; 4];
-    r.read_exact(&mut b)?;
-    Ok(u32::from_le_bytes(b))
 }
 
 fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
@@ -207,6 +351,24 @@ pub struct TraceStats {
 }
 
 impl TraceStats {
+    /// Folds one op into the summary (streaming-friendly building block of
+    /// [`Trace::stats`] and [`stream_stats`]).
+    pub fn accumulate(&mut self, op: &TraceOp) {
+        self.ops += 1;
+        self.blocks += op.nblocks() as u64;
+        self.bytes += op.bytes();
+        if op.is_write() {
+            self.write_ops += 1;
+            self.write_blocks += op.nblocks() as u64;
+        }
+        if op.warmup() {
+            self.warmup_ops += 1;
+            self.warmup_bytes += op.bytes();
+        }
+        self.max_host = self.max_host.max(op.host().0);
+        self.max_thread = self.max_thread.max(op.thread().0);
+    }
+
     /// Observed write fraction in operations (0.0–1.0).
     pub fn write_fraction(&self) -> f64 {
         if self.ops == 0 {
@@ -241,19 +403,19 @@ mod tests {
         };
         let mut t = Trace::new(meta);
         for i in 0..100u32 {
-            t.ops.push(TraceOp {
-                host: HostId((i % 2) as u16),
-                thread: ThreadId((i % 8) as u16),
-                kind: if i % 3 == 0 {
+            t.ops.push(TraceOp::new(
+                HostId((i % 2) as u16),
+                ThreadId((i % 8) as u16),
+                if i % 3 == 0 {
                     OpKind::Write
                 } else {
                     OpKind::Read
                 },
-                file: FileId(i / 10),
-                start_block: i * 7,
-                nblocks: 1 + i % 5,
-                warmup: i < 50,
-            });
+                FileId(i / 10),
+                i * 7,
+                1 + i % 5,
+                i < 50,
+            ));
         }
         t
     }
@@ -282,6 +444,83 @@ mod tests {
         sample_trace().encode(&mut buf).unwrap();
         buf.truncate(buf.len() - 3);
         assert!(Trace::decode(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn decode_accepts_seed_format_records() {
+        // A record laid out byte-for-byte as the seed encoder wrote it
+        // (host u16, thread u16, flags u8, 3 pad bytes, file u32,
+        // start u32, nblocks u32) must decode into the packed op.
+        let mut buf = Vec::new();
+        Trace::new(TraceMeta {
+            hosts: 1,
+            threads_per_host: 1,
+            ..TraceMeta::default()
+        })
+        .encode(&mut buf)
+        .unwrap();
+        // Patch the op count to 1 and append a hand-built record.
+        let count_at = buf.len() - 8;
+        buf[count_at..].copy_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&7u16.to_le_bytes()); // host
+        buf.extend_from_slice(&300u16.to_le_bytes()); // thread (> u8 range)
+        buf.extend_from_slice(&[0b11, 0, 0, 0]); // write + warmup, padding
+        buf.extend_from_slice(&9u32.to_le_bytes()); // file
+        buf.extend_from_slice(&123u32.to_le_bytes()); // start
+        buf.extend_from_slice(&4u32.to_le_bytes()); // nblocks
+        let t = Trace::decode(&mut buf.as_slice()).unwrap();
+        assert_eq!(t.ops.len(), 1);
+        let op = &t.ops[0];
+        assert_eq!(op.host(), HostId(7));
+        assert_eq!(op.thread(), ThreadId(300));
+        assert_eq!(op.kind(), OpKind::Write);
+        assert!(op.warmup());
+        assert_eq!(op.file(), FileId(9));
+        assert_eq!(op.start_block(), 123);
+        assert_eq!(op.nblocks(), 4);
+    }
+
+    #[test]
+    fn streamed_reader_matches_bulk_decode() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.encode(&mut buf).unwrap();
+
+        let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+        assert_eq!(reader.meta(), &t.meta);
+        assert_eq!(reader.remaining(), t.len() as u64);
+        let mut streamed = Vec::new();
+        let mut chunk = Vec::new();
+        loop {
+            chunk.clear();
+            // A deliberately tiny chunk exercises many refills.
+            if reader.next_chunk(&mut chunk, 7).unwrap() == 0 {
+                break;
+            }
+            streamed.extend_from_slice(&chunk);
+        }
+        assert_eq!(streamed, t.ops);
+    }
+
+    #[test]
+    fn stream_stats_matches_materialized_stats() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.encode(&mut buf).unwrap();
+        let (meta, stats, peak) = stream_stats(buf.as_slice()).unwrap();
+        assert_eq!(meta, t.meta);
+        assert_eq!(stats, t.stats());
+        assert!(peak <= TRACE_CHUNK_OPS * std::mem::size_of::<TraceOp>());
+    }
+
+    #[test]
+    fn slice_source_yields_trace_in_order() {
+        let t = sample_trace();
+        let mut src = SliceSource::new(&t);
+        assert_eq!(src.meta(), &t.meta);
+        let mut got = Vec::new();
+        while src.next_chunk(&mut got, 13).unwrap() > 0 {}
+        assert_eq!(got, t.ops);
     }
 
     #[test]
@@ -316,23 +555,26 @@ mod tests {
                 any::<bool>(),
                 0u32..1000,
                 0u32..10_000,
-                1u32..64,
+                // Cover the full packed range, including the 24-bit edge.
+                prop_oneof![1u32..64, TraceOp::MAX_NBLOCKS - 2..TraceOp::MAX_NBLOCKS + 1],
                 any::<bool>(),
             )
-                .prop_map(|(h, t, w, file, start, n, warm)| TraceOp {
-                    host: HostId(h),
-                    thread: ThreadId(t),
-                    kind: if w { OpKind::Write } else { OpKind::Read },
-                    file: FileId(file),
-                    start_block: start,
-                    nblocks: n,
-                    warmup: warm,
+                .prop_map(|(h, t, w, file, start, n, warm)| {
+                    TraceOp::new(
+                        HostId(h),
+                        ThreadId(t),
+                        if w { OpKind::Write } else { OpKind::Read },
+                        FileId(file),
+                        start,
+                        n,
+                        warm,
+                    )
                 })
         }
 
         proptest! {
             #[test]
-            fn codec_roundtrips_arbitrary_traces(
+            fn codec_roundtrips_arbitrary_packed_traces(
                 ops in proptest::collection::vec(op_strategy(), 0..200),
                 hosts in 1u16..8,
                 seed in any::<u64>(),
@@ -346,6 +588,11 @@ mod tests {
                 let d = Trace::decode(&mut buf.as_slice()).unwrap();
                 prop_assert_eq!(d.meta, t.meta);
                 prop_assert_eq!(d.ops, t.ops);
+                // Chunked streaming sees the same ops as bulk decode.
+                let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+                let mut streamed = Vec::new();
+                while reader.next_chunk(&mut streamed, 17).unwrap() > 0 {}
+                prop_assert_eq!(streamed, t.ops);
             }
 
             #[test]

@@ -41,9 +41,9 @@ fn reference_hit_counts(trace: &Trace, capacity_blocks: usize) -> (u64, u64) {
     let (mut hits, mut lookups) = (0u64, 0u64);
     for op in &trace.ops {
         for b in op.blocks() {
-            match op.kind {
+            match op.kind() {
                 OpKind::Read => {
-                    if !op.warmup {
+                    if !op.warmup() {
                         lookups += 1;
                         if cache.lookup(b) {
                             hits += 1;
@@ -95,14 +95,8 @@ fn single_op_latencies_compose_exactly() {
     // 10%". Our equivalent: a hand-built trace whose per-op latencies are
     // analytically known under the Mercury configuration.
     use fcache_types::{FileId, HostId, ThreadId, TraceMeta, TraceOp};
-    let mk = |kind, file: u32, start: u32| TraceOp {
-        host: HostId(0),
-        thread: ThreadId(0),
-        kind,
-        file: FileId(file),
-        start_block: start,
-        nblocks: 1,
-        warmup: false,
+    let mk = |kind, file: u32, start: u32| {
+        TraceOp::new(HostId(0), ThreadId(0), kind, FileId(file), start, 1, false)
     };
     let trace = Trace {
         meta: TraceMeta {
