@@ -16,12 +16,17 @@
 //! `FCACHE_BENCH_OUT` overrides the JSON output path.
 
 use std::fmt::Write as _;
+use std::rc::Rc;
 use std::time::Instant;
 
-use fcache_bench::{run_sweep, scale_from_env, Architecture, SimConfig, Workbench, WorkloadSpec};
+use fcache::DeviceService;
+use fcache_bench::{
+    run_sweep, scale_from_env, Architecture, FlashTiming, SimConfig, Workbench, WorkloadSpec,
+};
 use fcache_cache::{BlockCache, LruList, UnifiedCache};
 use fcache_des::{Sim, SimTime};
-use fcache_types::{BlockAddr, ByteSize, FileId, TraceOp, TraceReader};
+use fcache_device::{IoLog, SsdConfig};
+use fcache_types::{BlockAddr, ByteSize, FileId, HostId, TraceOp, TraceReader};
 
 /// The pre-refactor cache hot path, reconstructed for comparison: SipHash
 /// `HashMap` keyed map plus a *separate* SipHash `HashSet` for dirtiness —
@@ -173,6 +178,49 @@ fn bench_des(res: &mut Results) {
     );
 }
 
+/// Raw device-service throughput: flash ops pushed through the queue-aware
+/// SSD timing path (slot acquire + model draw + timed sleep) by eight
+/// concurrent submitters in a dedicated DES — the per-op cost of
+/// `flash_timing = ssd`, isolated from the rest of the engine.
+fn bench_ssd_service(res: &mut Results) {
+    const OPS: u64 = 200_000;
+    const LANES: u64 = 8;
+    let cfg = SimConfig {
+        flash_size: ByteSize::mib(256),
+        flash_timing: FlashTiming::Ssd(SsdConfig::auto()),
+        ..SimConfig::baseline()
+    };
+    let t0 = Instant::now();
+    let sim = Sim::new();
+    let dev = Rc::new(DeviceService::new(
+        sim.clone(),
+        &cfg,
+        HostId(0),
+        IoLog::disabled(),
+    ));
+    for lane in 0..LANES {
+        let dev = Rc::clone(&dev);
+        sim.spawn(async move {
+            for i in 0..OPS / LANES {
+                let addr = BlockAddr::new(FileId(0), (lane * 1_000_003 + i * 17) as u32);
+                if i % 3 == 0 {
+                    dev.write(addr).await;
+                } else {
+                    dev.read(addr).await;
+                }
+            }
+        });
+    }
+    sim.run().expect("ssd service run");
+    sim.shutdown();
+    assert_eq!(dev.stats().ops(), OPS);
+    res.push(
+        "ssd_service_ops_per_sec",
+        OPS as f64 / t0.elapsed().as_secs_f64(),
+        "ops/s",
+    );
+}
+
 fn main() {
     let scale = scale_from_env(1024);
     println!("# micro benchmarks, workload scale 1/{scale}");
@@ -182,6 +230,7 @@ fn main() {
 
     bench_block_cache(&mut res);
     bench_des(&mut res);
+    bench_ssd_service(&mut res);
 
     // End-to-end throughput: simulated trace blocks per wall-clock second.
     let wb = Workbench::new(scale, 42);
@@ -194,6 +243,26 @@ fn main() {
     let layered_wall = t0.elapsed().as_secs_f64();
     assert!(r.metrics.read_ops > 0);
     res.push("layered_sim_ops_per_sec", blocks / layered_wall, "blocks/s");
+
+    // The same run under queue-aware SSD timing: the wall-clock ratio to
+    // the flat run is the whole-engine overhead of `flash_timing = ssd`
+    // (recorded in PERF.md invariant 7).
+    let layered_ssd = SimConfig {
+        flash_timing: FlashTiming::Ssd(SsdConfig::auto()),
+        ..SimConfig::baseline()
+    };
+    let t0 = Instant::now();
+    let r = wb
+        .run_with_trace(&layered_ssd, &trace)
+        .expect("layered ssd run");
+    let ssd_wall = t0.elapsed().as_secs_f64();
+    assert!(r.device.ops() > 0);
+    res.push("layered_ssd_sim_ops_per_sec", blocks / ssd_wall, "blocks/s");
+    res.push(
+        "ssd_timing_overhead_vs_flat",
+        ssd_wall / layered_wall.max(1e-9),
+        "x",
+    );
 
     // Packed-op footprint: the trajectory record of the 16-byte layout vs
     // the seed's 20-byte field-per-flag struct (host + thread + kind enum +

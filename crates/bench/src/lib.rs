@@ -17,8 +17,8 @@ use std::fs;
 use std::path::PathBuf;
 
 pub use fcache::{
-    run_source, run_sweep, run_trace, Architecture, SimConfig, SimReport, Workbench, WorkloadSpec,
-    WritebackPolicy,
+    run_source, run_sweep, run_trace, Architecture, FlashTiming, SimConfig, SimReport, Workbench,
+    WorkloadSpec, WritebackPolicy,
 };
 pub use fcache_types::{ByteSize, Trace, TraceReader, TraceSource};
 

@@ -5,9 +5,10 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
 use fcache::{
-    run_source, run_sweep, Architecture, SimConfig, SimReport, Workbench, WorkloadSpec,
-    WritebackPolicy,
+    run_source, run_sweep, Architecture, FlashTiming, SimConfig, SimReport, Workbench,
+    WorkloadSpec, WritebackPolicy,
 };
+use fcache_device::{SimTime, SsdConfig};
 use fcache_types::{stream_stats, ByteSize, TraceReader, TraceSource};
 
 use crate::args::{ArgError, Flags};
@@ -43,8 +44,17 @@ COMMON FLAGS (run / replay):
   --prefetch RATE                  filer fast-read rate      [0.9]
   --persistent                     persistent (recoverable) flash metadata
   --duplex                         full-duplex network segments
+  --flash-timing flat|ssd          flash device timing model [flat]
+  --ssd-capacity SIZE              SSD device capacity       [auto: flash-sized]
+  --ssd-read-base MICROS           SSD base read service time  [52]
+  --ssd-write-base MICROS          SSD mean write service time [21]
   --scale N                        divide all byte sizes by N [64]
   --seed N                         RNG seed                  [42]
+
+  `--flash-timing ssd` services every flash op through a bounded NCQ-style
+  queue in front of the behavioral SSD model (FTL map-cache locality, fill
+  and wear penalties) instead of the flat Table 1 latencies; the --ssd-*
+  overrides require it.
 
 WORKLOAD FLAGS (run / gen-trace):
   --ws SIZE                        working-set size (paper scale) [80G]
@@ -96,6 +106,10 @@ const CFG_FLAGS: &[&str] = &[
     "arch-list",
     "flash-list",
     "jobs",
+    "flash-timing",
+    "ssd-capacity",
+    "ssd-read-base",
+    "ssd-write-base",
 ];
 const CFG_BOOLS: &[&str] = &["persistent", "duplex", "skip-warmup", "serial"];
 
@@ -114,7 +128,57 @@ fn config_from(flags: &Flags) -> Result<SimConfig, ArgError> {
     cfg.flash_model.persistent = flags.has("persistent");
     cfg.duplex_network = flags.has("duplex");
     cfg.seed = flags.get_parsed("seed", 42u64)?;
+    cfg.flash_timing = flash_timing_from(flags)?;
     Ok(cfg)
+}
+
+/// Parses the device timing selector and its `--ssd-*` overrides.
+fn flash_timing_from(flags: &Flags) -> Result<FlashTiming, ArgError> {
+    let mode = flags.get("flash-timing").unwrap_or("flat");
+    let overrides = ["ssd-capacity", "ssd-read-base", "ssd-write-base"];
+    match mode {
+        "flat" => {
+            if let Some(given) = overrides.iter().find(|f| flags.get(f).is_some()) {
+                return Err(ArgError(format!("--{given} requires --flash-timing ssd")));
+            }
+            Ok(FlashTiming::Flat)
+        }
+        "ssd" => {
+            let mut sc = SsdConfig::auto();
+            if let Some(raw) = flags.get("ssd-capacity") {
+                let size: ByteSize = raw
+                    .parse()
+                    .map_err(|e| ArgError(format!("invalid value for --ssd-capacity: {e}")))?;
+                if size.blocks() == 0 {
+                    return Err(ArgError(
+                        "--ssd-capacity must be at least one 4K block".into(),
+                    ));
+                }
+                // Fit, don't just set: the FTL region size and map-cache
+                // coverage must follow the device size or locality behavior
+                // silently disappears for small devices.
+                sc = sc.fit_capacity(size.blocks());
+            }
+            for (flag, slot) in [
+                ("ssd-read-base", &mut sc.read_base),
+                ("ssd-write-base", &mut sc.write_base),
+            ] {
+                if let Some(raw) = flags.get(flag) {
+                    let us: f64 = raw
+                        .parse()
+                        .map_err(|e| ArgError(format!("invalid value for --{flag}: {e}")))?;
+                    if !us.is_finite() || us <= 0.0 {
+                        return Err(ArgError(format!("--{flag} must be positive microseconds")));
+                    }
+                    *slot = SimTime::from_nanos((us * 1000.0).round() as u64);
+                }
+            }
+            Ok(FlashTiming::Ssd(sc))
+        }
+        other => Err(ArgError(format!(
+            "--flash-timing must be flat or ssd, got {other:?}"
+        ))),
+    }
 }
 
 fn spec_from(flags: &Flags) -> Result<WorkloadSpec, ArgError> {
@@ -145,6 +209,7 @@ fn cmd_run(args: &[String]) -> CmdResult {
         spec.working_set,
         spec.working_set.scaled_down(scale),
     );
+    eprintln!("flash timing: {}", cfg.flash_timing.describe());
     // Stream the generated workload into the simulator in bounded chunks:
     // run memory is O(cache + chunk) regardless of the trace volume.
     let report = wb.run_streamed(&cfg, &spec)?;
@@ -433,6 +498,95 @@ mod tests {
         assert_eq!(cfg.flash_policy, WritebackPolicy::Periodic(5));
         assert!((cfg.filer.fast_read_rate - 0.8).abs() < 1e-9);
         assert!(cfg.flash_model.persistent);
+    }
+
+    #[test]
+    fn flash_timing_flags_select_and_tune_the_ssd_model() {
+        let flags = Flags::parse(
+            &argv(&[
+                "--flash-timing",
+                "ssd",
+                "--ssd-capacity",
+                "1G",
+                "--ssd-read-base",
+                "60",
+                "--ssd-write-base",
+                "18.5",
+            ]),
+            CFG_FLAGS,
+            CFG_BOOLS,
+        )
+        .unwrap();
+        let cfg = config_from(&flags).unwrap();
+        let FlashTiming::Ssd(sc) = cfg.flash_timing else {
+            panic!("expected ssd timing, got {:?}", cfg.flash_timing);
+        };
+        assert_eq!(sc.capacity_blocks, (1u64 << 30) / 4096);
+        assert_eq!(sc.read_base, SimTime::from_micros(60));
+        assert_eq!(sc.write_base, SimTime::from_nanos(18_500));
+        // The FTL locality parameters were fitted to the 1 GiB device
+        // (262144 blocks → regions shrunk until ≥1024 of them exist).
+        let fitted = SsdConfig::auto().fit_capacity((1u64 << 30) / 4096);
+        assert_eq!(sc.region_shift, fitted.region_shift);
+        assert_eq!(sc.map_cache_slots, fitted.map_cache_slots);
+        assert!(
+            sc.capacity_blocks >> sc.region_shift >= 1024,
+            "explicitly sized device must keep enough regions for locality"
+        );
+        // Defaults: flat, with the auto-capacity sentinel when ssd is bare.
+        let bare = Flags::parse(&argv(&[]), CFG_FLAGS, CFG_BOOLS).unwrap();
+        assert_eq!(config_from(&bare).unwrap().flash_timing, FlashTiming::Flat);
+        let auto = Flags::parse(&argv(&["--flash-timing", "ssd"]), CFG_FLAGS, CFG_BOOLS).unwrap();
+        let FlashTiming::Ssd(sc) = config_from(&auto).unwrap().flash_timing else {
+            panic!("expected ssd timing");
+        };
+        assert_eq!(sc.capacity_blocks, 0, "bare ssd keeps the auto sentinel");
+    }
+
+    #[test]
+    fn flash_timing_flags_reject_bad_input() {
+        for bad in [
+            &["--flash-timing", "warp"][..],
+            &["--ssd-capacity", "1G"][..], // override without ssd mode
+            &["--flash-timing", "ssd", "--ssd-read-base", "-3"][..],
+            &["--flash-timing", "ssd", "--ssd-read-base", "fast"][..],
+            &["--flash-timing", "ssd", "--ssd-capacity", "1K"][..], // < 1 block
+        ] {
+            let flags = Flags::parse(&argv(bad), CFG_FLAGS, CFG_BOOLS).unwrap();
+            assert!(config_from(&flags).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn end_to_end_ssd_run_and_sweep() {
+        dispatch(&argv(&[
+            "run",
+            "--scale",
+            "16384",
+            "--ws",
+            "16G",
+            "--seed",
+            "7",
+            "--flash-timing",
+            "ssd",
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "sweep",
+            "--scale",
+            "16384",
+            "--ws",
+            "16G",
+            "--seed",
+            "9",
+            "--flash-list",
+            "0,16G",
+            "--flash-timing",
+            "ssd",
+            "--ssd-read-base",
+            "40",
+        ]))
+        .unwrap();
     }
 
     #[test]

@@ -1,13 +1,51 @@
 //! Simulation configuration.
 
 use fcache_cache::EvictionPolicy;
-use fcache_device::{FlashModel, RamModel};
+use fcache_device::{FlashModel, RamModel, SsdConfig};
 use fcache_filer::FilerConfig;
 use fcache_net::NetConfig;
 use fcache_types::ByteSize;
 
 use crate::arch::Architecture;
 use crate::policy::WritebackPolicy;
+
+/// How flash device time is charged (see `crate::devsvc`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum FlashTiming {
+    /// The paper's constant per-block latencies from the configured
+    /// [`FlashModel`] — the default; bit-identical to the pre-service
+    /// engine.
+    #[default]
+    Flat,
+    /// The queue-aware behavioral SSD: a bounded NCQ-style service queue
+    /// in front of an [`fcache_device::SsdModel`] with FTL map-cache
+    /// locality, fill and wear penalties. A `capacity_blocks` of 0 (the
+    /// [`SsdConfig::auto`] sentinel) fits the device to the flash tier at
+    /// host-build time; each host derives its own deterministic device
+    /// seed from the run seed.
+    Ssd(SsdConfig),
+}
+
+impl FlashTiming {
+    /// One-line description of the active device model (printed by
+    /// [`SimConfig::timing_table`] and the CLI).
+    pub fn describe(&self) -> String {
+        match self {
+            FlashTiming::Flat => "flat (constant per-block latencies)".to_string(),
+            FlashTiming::Ssd(sc) => {
+                let capacity = if sc.capacity_blocks == 0 {
+                    "auto (flash-sized)".to_string()
+                } else {
+                    format!("{} blocks", sc.capacity_blocks)
+                };
+                format!(
+                    "ssd (capacity {capacity}, read base {}, write base {}, queue depth {})",
+                    sc.read_base, sc.write_base, sc.queue_depth
+                )
+            }
+        }
+    }
+}
 
 /// Complete configuration of one simulation run.
 ///
@@ -33,6 +71,15 @@ pub struct SimConfig {
     pub ram_model: RamModel,
     /// Flash timing model (includes the persistence flag, §7.8).
     pub flash_model: FlashModel,
+    /// How flash device time is charged: [`FlashTiming::Flat`] (default —
+    /// constant `flash_model` latencies, bit-identical to the pre-service
+    /// engine) or [`FlashTiming::Ssd`] (queue-aware behavioral device).
+    pub flash_timing: FlashTiming,
+    /// Window size (in device I/Os) for per-window device latency
+    /// averages in the report (`SimReport::device_windows` — the Figure 1
+    /// series, produced inline). 0 (default) disables the series; only
+    /// meaningful with [`FlashTiming::Ssd`].
+    pub device_window: usize,
     /// Network timing model.
     pub net: NetConfig,
     /// Filer timing model.
@@ -90,6 +137,8 @@ impl Default for SimConfig {
             flash_policy: WritebackPolicy::AsyncWriteThrough,
             ram_model: RamModel::default(),
             flash_model: FlashModel::default(),
+            flash_timing: FlashTiming::Flat,
+            device_window: 0,
             net: NetConfig::default(),
             filer: FilerConfig::default(),
             populate_flash_on_read: true,
@@ -123,6 +172,18 @@ impl SimConfig {
         assert!(factor > 0, "scale factor must be nonzero");
         self.ram_size = self.ram_size.scaled_down(factor);
         self.flash_size = self.flash_size.scaled_down(factor);
+        // An explicitly sized SSD device is a byte quantity too: shrink it
+        // with the caches (re-deriving the FTL locality parameters) so fill
+        // and wear dynamics stay scale-invariant. The auto sentinel (0)
+        // needs nothing — it fits to the already-scaled flash tier at host
+        // build time.
+        if let FlashTiming::Ssd(sc) = &mut self.flash_timing {
+            if sc.capacity_blocks > 0 {
+                *sc = sc
+                    .clone()
+                    .fit_capacity((sc.capacity_blocks / factor).max(1));
+            }
+        }
         self.time_scale = self.time_scale.saturating_mul(factor);
         self
     }
@@ -191,6 +252,10 @@ impl SimConfig {
             "File server fast read rate {:.0}%\n",
             self.filer.fast_read_rate * 100.0
         ));
+        out.push_str(&format!(
+            "Flash timing model        {}\n",
+            self.flash_timing.describe()
+        ));
         out
     }
 }
@@ -222,6 +287,35 @@ mod tests {
     }
 
     #[test]
+    fn scaling_shrinks_an_explicit_ssd_device_with_the_caches() {
+        let paper_blocks = (58u64 << 30) / 4096;
+        let c = SimConfig {
+            flash_timing: FlashTiming::Ssd(SsdConfig::default()),
+            ..SimConfig::baseline()
+        }
+        .scaled_down(64);
+        let FlashTiming::Ssd(sc) = &c.flash_timing else {
+            panic!("timing mode must survive scaling");
+        };
+        assert_eq!(sc.capacity_blocks, paper_blocks / 64);
+        // Locality parameters were re-fitted, latencies untouched.
+        let refit = SsdConfig::default().fit_capacity(paper_blocks / 64);
+        assert_eq!(sc.region_shift, refit.region_shift);
+        assert_eq!(sc.map_cache_slots, refit.map_cache_slots);
+        assert_eq!(sc.read_base, SsdConfig::default().read_base);
+        // The auto sentinel passes through untouched.
+        let auto = SimConfig {
+            flash_timing: FlashTiming::Ssd(SsdConfig::auto()),
+            ..SimConfig::baseline()
+        }
+        .scaled_down(64);
+        let FlashTiming::Ssd(sc) = &auto.flash_timing else {
+            panic!("timing mode must survive scaling");
+        };
+        assert_eq!(sc.capacity_blocks, 0);
+    }
+
+    #[test]
     fn block_counts() {
         let c = SimConfig::baseline().scaled_down(64);
         assert_eq!(c.ram_blocks(), (128 << 20) / 4096);
@@ -238,8 +332,33 @@ mod tests {
             "fast read rate",
             "88.000us",
             "21.000us",
+            "Flash timing model",
+            "flat",
         ] {
             assert!(t.contains(needle), "missing {needle} in:\n{t}");
         }
+    }
+
+    #[test]
+    fn flash_timing_defaults_to_flat() {
+        assert_eq!(SimConfig::baseline().flash_timing, FlashTiming::Flat);
+        assert_eq!(SimConfig::baseline().device_window, 0);
+    }
+
+    #[test]
+    fn timing_table_names_the_active_ssd_model() {
+        let cfg = SimConfig {
+            flash_timing: FlashTiming::Ssd(SsdConfig::auto()),
+            ..SimConfig::baseline()
+        };
+        let t = cfg.timing_table();
+        for needle in ["ssd", "auto (flash-sized)", "queue depth 32", "52.000us"] {
+            assert!(t.contains(needle), "missing {needle} in:\n{t}");
+        }
+        let sized = SimConfig {
+            flash_timing: FlashTiming::Ssd(SsdConfig::small(4096, 1)),
+            ..SimConfig::baseline()
+        };
+        assert!(sized.timing_table().contains("4096 blocks"));
     }
 }

@@ -1,0 +1,483 @@
+//! Device timing service: queue-aware SSD latency in the simulation hot
+//! path.
+//!
+//! The paper's §6.2 validation shows real client SSDs have fill-, wear-,
+//! and locality-dependent latency, but the engine historically charged a
+//! flat [`fcache_device::FlashModel`] latency per flash op, leaving the
+//! behavioral [`SsdModel`] to an offline replay bench. [`DeviceService`]
+//! closes that gap: every flash read and write in the engine routes through
+//! one per-host service that either
+//!
+//! - charges the **flat** Table 1 latency exactly as before (the default —
+//!   bit-identical reports, zero added cost), or
+//! - services the op against a **queue-aware SSD**: a bounded NCQ-style
+//!   service queue ([`fcache_des::Resource`] with `queue_depth` slots,
+//!   strict FIFO) in front of the behavioral [`SsdModel`] (FTL map-cache
+//!   locality, fill penalty, wear penalty, short-term noise). Ops submit,
+//!   wait for a free slot when the device is saturated, then complete
+//!   after their drawn service time.
+//!
+//! The selector is [`crate::SimConfig::flash_timing`]. In SSD mode the
+//! service also keeps device-level statistics (read/write latency
+//! histograms, queue-depth occupancy) and, when
+//! [`crate::SimConfig::device_window`] is nonzero, per-window latency
+//! averages — the data behind Figure 1, now produced by an in-engine run
+//! instead of an offline log replay.
+//!
+//! Determinism: each host owns one device whose RNG seed derives from
+//! `(ssd seed, run seed, host id)` ([`fcache_device::SsdConfig::for_host`]), service
+//! times are drawn in FIFO grant order inside a deterministic DES, and the
+//! queue is strict FIFO — the same configuration and trace always produce
+//! the same device timings (asserted by `tests/sweep_determinism.rs`).
+
+use std::cell::{Cell, RefCell};
+
+use fcache_des::{Resource, Sim, SimTime};
+use fcache_device::{IoDirection, IoLog, SsdModel, WindowStat};
+use fcache_types::{BlockAddr, HostId};
+
+use crate::config::{FlashTiming, SimConfig};
+use crate::histogram::{HistogramSnapshot, LatencyHistogram};
+
+/// Per-host flash device timing service. Owned by each
+/// [`crate::host`]`::HostCtx`; the engine performs no flash sleep outside
+/// of it.
+pub struct DeviceService {
+    sim: Sim,
+    /// Shared flash I/O log (same handle as the host's; appends are no-ops
+    /// when logging is disabled).
+    iolog: IoLog,
+    /// Flat read latency (effective, from the `FlashModel`).
+    flat_read: SimTime,
+    /// Flat write latency (effective: includes the §7.8 persistence
+    /// doubling).
+    flat_write: SimTime,
+    /// Whether the cache keeps recoverable on-flash metadata (§7.8). In
+    /// SSD mode a persistent write services two device writes per block —
+    /// "one of the data and one for the meta-data".
+    persistent: bool,
+    /// LBA space of the backing flash tier (for the address hash).
+    lba_space: u64,
+    /// Queue-aware SSD state; `None` in flat mode.
+    ssd: Option<SsdQueue>,
+}
+
+/// The NCQ-style service queue plus the behavioral model behind it.
+struct SsdQueue {
+    /// Bounded service slots: up to `depth` commands in service at once,
+    /// FIFO admission beyond that.
+    slots: Resource,
+    depth: usize,
+    model: RefCell<SsdModel>,
+    stats: DeviceStats,
+    /// Window size for Figure-1-style per-window averages (0 = off).
+    window: usize,
+    windows: RefCell<Vec<WindowStat>>,
+    acc: RefCell<WindowAcc>,
+}
+
+/// Running accumulator for the current latency window.
+#[derive(Default)]
+struct WindowAcc {
+    start_io: u64,
+    ios: u64,
+    read_ns: u64,
+    reads: u64,
+    write_ns: u64,
+    writes: u64,
+}
+
+impl WindowAcc {
+    fn flush(&mut self) -> WindowStat {
+        let stat = WindowStat {
+            start_io: self.start_io,
+            read_avg_us: if self.reads > 0 {
+                self.read_ns as f64 / self.reads as f64 / 1000.0
+            } else {
+                0.0
+            },
+            write_avg_us: if self.writes > 0 {
+                self.write_ns as f64 / self.writes as f64 / 1000.0
+            } else {
+                0.0
+            },
+            reads: self.reads,
+            writes: self.writes,
+        };
+        let next_start = self.start_io + self.ios;
+        *self = WindowAcc {
+            start_io: next_start,
+            ..WindowAcc::default()
+        };
+        stat
+    }
+}
+
+/// Device-level counters (SSD mode only; flat mode records nothing so the
+/// default path stays zero-cost).
+#[derive(Default)]
+struct DeviceStats {
+    reads: Cell<u64>,
+    writes: Cell<u64>,
+    read_time: Cell<u64>,  // ns
+    write_time: Cell<u64>, // ns
+    queue_waits: Cell<u64>,
+    depth_sum: Cell<u64>,
+    depth_samples: Cell<u64>,
+    depth_max: Cell<u64>,
+    read_hist: LatencyHistogram,
+    write_hist: LatencyHistogram,
+}
+
+impl DeviceStats {
+    /// Records queue occupancy observed by one submission (before it
+    /// enters), and whether it had to wait for a slot.
+    fn note_submit(&self, inflight: u64, waited: bool) {
+        self.depth_sum.set(self.depth_sum.get() + inflight);
+        self.depth_samples.set(self.depth_samples.get() + 1);
+        self.depth_max.set(self.depth_max.get().max(inflight));
+        if waited {
+            self.queue_waits.set(self.queue_waits.get() + 1);
+        }
+    }
+
+    fn note_complete(&self, dir: IoDirection, t: SimTime) {
+        match dir {
+            IoDirection::Read => {
+                self.reads.set(self.reads.get() + 1);
+                self.read_time.set(self.read_time.get() + t.as_nanos());
+                self.read_hist.record(t);
+            }
+            IoDirection::Write => {
+                self.writes.set(self.writes.get() + 1);
+                self.write_time.set(self.write_time.get() + t.as_nanos());
+                self.write_hist.record(t);
+            }
+        }
+    }
+
+    fn reset(&self) {
+        self.reads.set(0);
+        self.writes.set(0);
+        self.read_time.set(0);
+        self.write_time.set(0);
+        self.queue_waits.set(0);
+        self.depth_sum.set(0);
+        self.depth_samples.set(0);
+        self.depth_max.set(0);
+        self.read_hist.reset();
+        self.write_hist.reset();
+    }
+
+    fn snapshot(&self) -> DeviceStatsSnapshot {
+        DeviceStatsSnapshot {
+            reads: self.reads.get(),
+            writes: self.writes.get(),
+            read_time: SimTime::from_nanos(self.read_time.get()),
+            write_time: SimTime::from_nanos(self.write_time.get()),
+            queue_waits: self.queue_waits.get(),
+            depth_sum: self.depth_sum.get(),
+            depth_samples: self.depth_samples.get(),
+            depth_max: self.depth_max.get(),
+            read_hist: self.read_hist.snapshot(),
+            write_hist: self.write_hist.snapshot(),
+        }
+    }
+}
+
+/// Frozen device-service counters (all zero in flat mode).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeviceStatsSnapshot {
+    /// Device reads serviced.
+    pub reads: u64,
+    /// Device writes serviced.
+    pub writes: u64,
+    /// Sum of read service times.
+    pub read_time: SimTime,
+    /// Sum of write service times.
+    pub write_time: SimTime,
+    /// Submissions that found every service slot busy and had to queue.
+    pub queue_waits: u64,
+    /// Sum of the queue occupancy (in-service + waiting) each submission
+    /// observed.
+    pub depth_sum: u64,
+    /// Submissions sampled for occupancy.
+    pub depth_samples: u64,
+    /// Peak queue occupancy observed by any submission.
+    pub depth_max: u64,
+    /// Per-read device service-time distribution.
+    pub read_hist: HistogramSnapshot,
+    /// Per-write device service-time distribution.
+    pub write_hist: HistogramSnapshot,
+}
+
+impl DeviceStatsSnapshot {
+    /// Total device ops serviced.
+    pub fn ops(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Mean device read service time in microseconds (0 when no reads).
+    pub fn read_avg_us(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.read_time.as_nanos() as f64 / self.reads as f64 / 1000.0
+        }
+    }
+
+    /// Mean device write service time in microseconds (0 when no writes).
+    pub fn write_avg_us(&self) -> f64 {
+        if self.writes == 0 {
+            0.0
+        } else {
+            self.write_time.as_nanos() as f64 / self.writes as f64 / 1000.0
+        }
+    }
+
+    /// Mean queue occupancy observed at submission (0 when unsampled).
+    pub fn mean_queue_depth(&self) -> f64 {
+        if self.depth_samples == 0 {
+            0.0
+        } else {
+            self.depth_sum as f64 / self.depth_samples as f64
+        }
+    }
+}
+
+impl std::ops::AddAssign for DeviceStatsSnapshot {
+    fn add_assign(&mut self, rhs: Self) {
+        self.reads += rhs.reads;
+        self.writes += rhs.writes;
+        self.read_time += rhs.read_time;
+        self.write_time += rhs.write_time;
+        self.queue_waits += rhs.queue_waits;
+        self.depth_sum += rhs.depth_sum;
+        self.depth_samples += rhs.depth_samples;
+        self.depth_max = self.depth_max.max(rhs.depth_max);
+        // Histograms merge bucket-wise through their snapshots.
+        self.read_hist = self.read_hist.merged(&rhs.read_hist);
+        self.write_hist = self.write_hist.merged(&rhs.write_hist);
+    }
+}
+
+impl DeviceService {
+    /// Builds the service for one host from the run configuration. The SSD
+    /// variant resolves the auto-capacity sentinel against the host's flash
+    /// tier and derives the per-host device seed; flat mode stores the two
+    /// effective `FlashModel` latencies and nothing else.
+    pub fn new(sim: Sim, cfg: &SimConfig, host: HostId, iolog: IoLog) -> Self {
+        let ssd = match &cfg.flash_timing {
+            FlashTiming::Flat => None,
+            FlashTiming::Ssd(sc) => {
+                let mut sc = sc.clone();
+                if sc.capacity_blocks == 0 {
+                    sc = sc.fit_capacity(cfg.flash_blocks() as u64);
+                }
+                let sc = sc.for_host(cfg.seed, host.0);
+                let depth = sc.queue_depth.max(1);
+                Some(SsdQueue {
+                    slots: Resource::new(depth),
+                    depth,
+                    model: RefCell::new(SsdModel::new(sc)),
+                    stats: DeviceStats::default(),
+                    window: cfg.device_window,
+                    windows: RefCell::new(Vec::new()),
+                    acc: RefCell::new(WindowAcc::default()),
+                })
+            }
+        };
+        Self {
+            sim,
+            iolog,
+            flat_read: cfg.flash_model.read_latency(),
+            flat_write: cfg.flash_model.write_latency(),
+            persistent: cfg.flash_model.persistent,
+            lba_space: cfg.flash_blocks().max(1) as u64,
+            ssd,
+        }
+    }
+
+    /// True when the queue-aware SSD services ops (i.e. `flash_timing` is
+    /// [`FlashTiming::Ssd`]).
+    pub fn is_queued(&self) -> bool {
+        self.ssd.is_some()
+    }
+
+    /// Maps a file block address onto the device's LBA space (the
+    /// simulator does not model flash layout; a stable hash preserves the
+    /// locality structure the SSD model cares about).
+    pub fn lba(&self, addr: BlockAddr) -> u64 {
+        (addr.to_u64().wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 16) % self.lba_space
+    }
+
+    /// Flat-mode fast path for read hits whose latency the caller
+    /// accumulates into one combined sleep (the unified lookup loop):
+    /// returns `Some(latency)` after logging the access, or `None` in SSD
+    /// mode, where the caller must collect the block and [`Self::read`]
+    /// it through the queue after the loop.
+    pub fn try_flat_read(&self, addr: BlockAddr) -> Option<SimTime> {
+        if self.ssd.is_some() {
+            return None;
+        }
+        self.iolog.log_read(self.lba(addr));
+        Some(self.flat_read)
+    }
+
+    /// Services one block read (flash-tier hit in the unified cache, or a
+    /// writeback's read off the device).
+    pub async fn read(&self, addr: BlockAddr) {
+        let lba = self.lba(addr);
+        self.iolog.log_read(lba);
+        match &self.ssd {
+            None => self.sim.sleep(self.flat_read).await,
+            Some(q) => q.service(&self.sim, IoDirection::Read, lba, false).await,
+        }
+    }
+
+    /// Services a batch of block reads issued by one operation (the
+    /// layered read path's flash hits). Flat mode charges one combined
+    /// sleep of `n × read latency` — exactly the pre-service engine
+    /// behavior; SSD mode services the blocks through the queue in order.
+    pub async fn read_batch(&self, addrs: &[BlockAddr]) {
+        if addrs.is_empty() {
+            return;
+        }
+        match &self.ssd {
+            None => {
+                for &a in addrs {
+                    self.iolog.log_read(self.lba(a));
+                }
+                self.sim
+                    .sleep(self.flat_read.times(addrs.len() as u64))
+                    .await;
+            }
+            Some(q) => {
+                for &a in addrs {
+                    let lba = self.lba(a);
+                    self.iolog.log_read(lba);
+                    q.service(&self.sim, IoDirection::Read, lba, false).await;
+                }
+            }
+        }
+    }
+
+    /// Services one block write (any flash landing). Flat mode preserves
+    /// the pre-service order (sleep, then log); SSD mode submits to the
+    /// queue, servicing two device writes per block when the cache keeps
+    /// persistent metadata (§7.8).
+    pub async fn write(&self, addr: BlockAddr) {
+        let lba = self.lba(addr);
+        match &self.ssd {
+            None => {
+                self.sim.sleep(self.flat_write).await;
+                self.iolog.log_write(lba);
+            }
+            Some(q) => {
+                self.iolog.log_write(lba);
+                q.service(&self.sim, IoDirection::Write, lba, self.persistent)
+                    .await;
+            }
+        }
+    }
+
+    /// Frozen counters (all zero in flat mode).
+    pub fn stats(&self) -> DeviceStatsSnapshot {
+        self.ssd
+            .as_ref()
+            .map(|q| q.stats.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Zeroes the service counters (warmup reset). Device *physical* state
+    /// — fill, wear, map cache — carries across the reset, as does the
+    /// window series: device conditioning is the point of measuring it.
+    pub fn reset_stats(&self) {
+        if let Some(q) = &self.ssd {
+            q.stats.reset();
+        }
+    }
+
+    /// Drains the per-window latency averages accumulated so far
+    /// (including a partial final window). `None` unless SSD mode with a
+    /// nonzero [`crate::SimConfig::device_window`].
+    pub fn take_windows(&self) -> Option<Vec<WindowStat>> {
+        let q = self.ssd.as_ref().filter(|q| q.window > 0)?;
+        let mut out = std::mem::take(&mut *q.windows.borrow_mut());
+        let mut acc = q.acc.borrow_mut();
+        if acc.ios > 0 {
+            out.push(acc.flush());
+        }
+        Some(out)
+    }
+}
+
+impl SsdQueue {
+    /// Current queue occupancy: commands in service plus commands waiting.
+    fn inflight(&self) -> u64 {
+        (self.depth - self.slots.available()) as u64 + self.slots.queue_len() as u64
+    }
+
+    /// Submits one command: records occupancy, waits FIFO for a service
+    /// slot, draws the service time from the behavioral model (in grant
+    /// order, so draws are deterministic), and holds the slot for exactly
+    /// that long.
+    async fn service(&self, sim: &Sim, dir: IoDirection, lba: u64, persistent_write: bool) {
+        let waited = self.slots.available() == 0 || self.slots.queue_len() > 0;
+        self.stats.note_submit(self.inflight(), waited);
+        let _slot = self.slots.acquire().await;
+        let t = {
+            let mut m = self.model.borrow_mut();
+            match dir {
+                IoDirection::Read => m.read(lba),
+                IoDirection::Write => {
+                    let mut t = m.write(lba);
+                    if persistent_write {
+                        // "two flash writes per block, one of the data and
+                        // one for the meta-data" (§7.8).
+                        t += m.write(lba);
+                    }
+                    t
+                }
+            }
+        };
+        self.stats.note_complete(dir, t);
+        self.window_record(dir, t);
+        sim.sleep(t).await;
+    }
+
+    fn window_record(&self, dir: IoDirection, t: SimTime) {
+        if self.window == 0 {
+            return;
+        }
+        let mut acc = self.acc.borrow_mut();
+        match dir {
+            IoDirection::Read => {
+                acc.reads += 1;
+                acc.read_ns += t.as_nanos();
+            }
+            IoDirection::Write => {
+                acc.writes += 1;
+                acc.write_ns += t.as_nanos();
+            }
+        }
+        acc.ios += 1;
+        if acc.ios as usize >= self.window {
+            let stat = acc.flush();
+            drop(acc);
+            self.windows.borrow_mut().push(stat);
+        }
+    }
+}
+
+impl std::fmt::Debug for DeviceService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_struct("DeviceService");
+        d.field("mode", if self.is_queued() { &"ssd" } else { &"flat" });
+        if let Some(q) = &self.ssd {
+            d.field("depth", &q.depth)
+                .field("model", &*q.model.borrow());
+        }
+        d.finish()
+    }
+}

@@ -98,19 +98,10 @@ async fn read_layered(h: &Rc<HostCtx>, op: &TraceOp) {
     } else {
         std::mem::swap(&mut filer_misses, &mut ram_misses);
     }
-    if !flash_hits.is_empty() {
-        for b in &flash_hits {
-            h.iolog.log_read(h.flash_lba(*b));
-        }
-        h.sim
-            .sleep(
-                h.cfg
-                    .flash_model
-                    .read_latency()
-                    .times(flash_hits.len() as u64),
-            )
-            .await;
-    }
+    // Device time for the flash hits goes through the timing service:
+    // flat mode charges one combined sleep (as the paper's model always
+    // did), SSD mode services each block through the bounded device queue.
+    h.dev.read_batch(&flash_hits).await;
 
     // Filer stage: "each I/O request uses one packet in each direction"
     // (§5) — one request covers every block this op still misses.
@@ -148,15 +139,21 @@ async fn read_unified(h: &Rc<HostCtx>, op: &TraceOp) {
         .expect("unified arch has a unified cache");
     let mut wait = SimTime::ZERO;
     let mut misses = h.take_buf();
+    let mut flash_hits = h.take_buf();
     {
         let mut u = unified.borrow_mut();
         for b in op.blocks() {
             match u.lookup(b) {
                 Some(Medium::Ram) => wait += h.cfg.ram_model.read,
-                Some(Medium::Flash) => {
-                    wait += h.cfg.flash_model.read_latency();
-                    h.iolog.log_read(h.flash_lba(b));
-                }
+                Some(Medium::Flash) => match h.dev.try_flat_read(b) {
+                    // Flat timing folds into the one combined sleep below,
+                    // exactly as before the device service existed.
+                    Some(lat) => wait += lat,
+                    // Queue-aware timing: the hit must be serviced by the
+                    // device queue, which cannot happen under the cache
+                    // borrow — collect it for after the loop.
+                    None => flash_hits.push(b),
+                },
                 None => misses.push(b),
             }
         }
@@ -164,6 +161,10 @@ async fn read_unified(h: &Rc<HostCtx>, op: &TraceOp) {
     if wait > SimTime::ZERO {
         h.sim.sleep(wait).await;
     }
+    for &b in flash_hits.iter() {
+        h.dev.read(b).await;
+    }
+    h.put_buf(flash_hits);
     if misses.is_empty() {
         h.put_buf(misses);
         return;
@@ -265,8 +266,7 @@ async fn evicted_ram_writeback(h: &Rc<HostCtx>, addr: BlockAddr) {
 /// dirty flash victim forces a synchronous writeback to the filer. If the
 /// inserted block is dirty, the flash writeback policy reacts.
 async fn flash_insert(h: &Rc<HostCtx>, addr: BlockAddr, dirty: bool) {
-    h.sim.sleep(h.cfg.flash_model.write_latency()).await;
-    h.iolog.log_write(h.flash_lba(addr));
+    h.dev.write(addr).await;
     let outcome = h.flash.borrow_mut().insert(addr, dirty);
     if let InsertOutcome::InsertedEvicting(ev) = outcome {
         if ev.dirty {
@@ -302,13 +302,9 @@ async fn unified_insert(h: &Rc<HostCtx>, addr: BlockAddr, dirty: bool) {
         .expect("unified cache")
         .borrow_mut()
         .insert(addr, dirty);
-    let write_cost = match ins.medium {
-        Medium::Ram => h.cfg.ram_model.write,
-        Medium::Flash => h.cfg.flash_model.write_latency(),
-    };
-    h.sim.sleep(write_cost).await;
-    if ins.medium == Medium::Flash {
-        h.iolog.log_write(h.flash_lba(addr));
+    match ins.medium {
+        Medium::Ram => h.sim.sleep(h.cfg.ram_model.write).await,
+        Medium::Flash => h.dev.write(addr).await,
     }
     if let Some(ev) = ins.evicted {
         if ev.dirty {
@@ -348,8 +344,8 @@ async fn unified_insert(h: &Rc<HostCtx>, addr: BlockAddr, dirty: bool) {
 /// (the data must come off the device) when configured.
 async fn flush_to_filer(h: &Rc<HostCtx>, addr: BlockAddr, src: FlushSource) {
     if src == FlushSource::Flash && h.cfg.charge_flash_read_on_writeback {
-        h.iolog.log_read(h.flash_lba(addr));
-        h.sim.sleep(h.cfg.flash_model.read_latency()).await;
+        // The data must come off the device before it can be sent.
+        h.dev.read(addr).await;
     }
     h.segment.transfer(Direction::ToServer, BLOCK_SIZE).await;
     h.filer.write(1).await;

@@ -128,6 +128,19 @@ impl HistogramSnapshot {
         (v(50.0), v(95.0), v(99.0))
     }
 
+    /// Returns the bucket-wise sum of two snapshots (used to aggregate
+    /// per-host device histograms into one report).
+    pub fn merged(&self, other: &Self) -> Self {
+        let mut buckets = self.buckets;
+        for (b, o) in buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        Self {
+            buckets,
+            count: self.count + other.count,
+        }
+    }
+
     /// Iterates non-empty buckets as `(bucket_upper_bound, count)`.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (SimTime, u64)> + '_ {
         self.buckets

@@ -11,6 +11,7 @@ use fcache_net::Segment;
 use fcache_types::{BlockAddr, FxHashSet, HostId};
 
 use crate::config::SimConfig;
+use crate::devsvc::DeviceService;
 use crate::flush::FlushQueue;
 use crate::metrics::Metrics;
 
@@ -37,8 +38,13 @@ pub(crate) struct HostCtx {
     pub filer: Filer,
     /// Shared metrics sink.
     pub metrics: Metrics,
-    /// Flash I/O log (for Figure 1 replay; usually disabled).
+    /// Flash I/O log (for Figure 1 replay; usually disabled). The device
+    /// service holds a clone and appends every flash access it times.
     pub iolog: IoLog,
+    /// Flash device timing service: every flash read/write the engine
+    /// performs is charged through it (flat Table 1 latencies by default,
+    /// or the queue-aware SSD model — see `crate::devsvc`).
+    pub dev: DeviceService,
     /// Blocks with an asynchronous RAM-tier flush in flight (dedupe).
     pub ram_flush_pending: RefCell<FxHashSet<u64>>,
     /// Blocks with an asynchronous flash-tier flush in flight (dedupe).
@@ -79,14 +85,6 @@ impl HostCtx {
     /// True if this host has a flash cache tier.
     pub fn has_flash(&self) -> bool {
         self.cfg.flash_blocks() > 0
-    }
-
-    /// Maps a file block address onto the flash device's LBA space for the
-    /// I/O log (the simulator does not model flash layout; a stable hash
-    /// preserves the locality structure the SSD model cares about).
-    pub fn flash_lba(&self, addr: BlockAddr) -> u64 {
-        let cap = self.cfg.flash_blocks().max(1) as u64;
-        (addr.to_u64().wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 16) % cap
     }
 
     /// Invalidates copies of `addr` held by *other* hosts (instant, global
@@ -136,6 +134,7 @@ impl HostCtx {
             u.borrow_mut().reset_stats();
         }
         self.segment.reset_stats();
+        self.dev.reset_stats();
     }
 }
 

@@ -46,6 +46,7 @@
 
 pub mod arch;
 pub mod config;
+pub mod devsvc;
 pub mod engine;
 pub mod experiment;
 mod flush;
@@ -57,7 +58,8 @@ pub mod report;
 pub mod sim;
 
 pub use arch::Architecture;
-pub use config::SimConfig;
+pub use config::{FlashTiming, SimConfig};
+pub use devsvc::{DeviceService, DeviceStatsSnapshot};
 pub use experiment::{run_sweep, SweepJob, Workbench, WorkloadSpec};
 pub use histogram::{HistogramSnapshot, LatencyHistogram};
 pub use metrics::{Metrics, MetricsSnapshot};

@@ -4,10 +4,11 @@ use core::fmt;
 
 use fcache_cache::CacheStats;
 use fcache_des::SimTime;
-use fcache_device::IoLogEntry;
+use fcache_device::{IoLogEntry, WindowStat};
 use fcache_filer::FilerStats;
 use fcache_net::SegmentStats;
 
+use crate::devsvc::DeviceStatsSnapshot;
 use crate::metrics::MetricsSnapshot;
 
 /// Everything measured by one simulation run (post-warmup unless noted).
@@ -25,6 +26,17 @@ pub struct SimReport {
     pub filer: FilerStats,
     /// Network counters, summed over host segments.
     pub net: SegmentStats,
+    /// Flash device service counters, summed over hosts: service-time
+    /// histograms and queue-depth occupancy. All zero under the default
+    /// flat timing; populated when `flash_timing` is `Ssd`.
+    pub device: DeviceStatsSnapshot,
+    /// Per-window device latency averages (the Figure 1 series, produced
+    /// by the in-engine device service). Present only when
+    /// `flash_timing = Ssd` and `device_window > 0`; covers the whole run
+    /// including warmup, since device fill behavior is the point.
+    /// Multi-host runs append each host's series in host-id order, with
+    /// `start_io` rebased so the combined sequence tiles contiguously.
+    pub device_windows: Option<Vec<WindowStat>>,
     /// Simulated time at completion (includes warmup).
     pub end_time: SimTime,
     /// Executor polls performed (a proxy for simulation work).
@@ -137,6 +149,29 @@ impl fmt::Display for SimReport {
             "network            {} packets, {} payload bytes",
             self.net.packets, self.net.payload_bytes
         )?;
+        if self.device.ops() > 0 {
+            writeln!(
+                f,
+                "device             {} reads ({:.1} us avg) / {} writes ({:.1} us avg)",
+                self.device.reads,
+                self.device.read_avg_us(),
+                self.device.writes,
+                self.device.write_avg_us()
+            )?;
+            let (dp50, dp95, dp99) = self.device.read_hist.p50_p95_p99_us();
+            writeln!(
+                f,
+                "device read p50/p95/p99 {dp50:.0} / {dp95:.0} / {dp99:.0} us (service time, bucketed)"
+            )?;
+            writeln!(
+                f,
+                "device queue       depth {:.2} mean / {} peak, {} waits over {} submits",
+                self.device.mean_queue_depth(),
+                self.device.depth_max,
+                self.device.queue_waits,
+                self.device.depth_samples
+            )?;
+        }
         if self.metrics.tracked_writes > 0 {
             writeln!(
                 f,

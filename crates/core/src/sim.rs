@@ -32,6 +32,7 @@ use fcache_types::{FxHashSet, HostId, Trace, TraceOp, TraceSource, TRACE_CHUNK_O
 
 use crate::arch::Architecture;
 use crate::config::SimConfig;
+use crate::devsvc::DeviceService;
 use crate::engine::{self, execute_op};
 use crate::flush::FlushQueue;
 use crate::host::HostCtx;
@@ -106,6 +107,12 @@ fn build_parts(config: &SimConfig, n_hosts: u16) -> SimParts {
             };
             let unified = (cfg.arch == Architecture::Unified)
                 .then(|| RefCell::new(UnifiedCache::new(cfg.ram_blocks(), cfg.flash_blocks())));
+            let iolog = if cfg.log_flash_io {
+                IoLog::new()
+            } else {
+                IoLog::disabled()
+            };
+            let dev = DeviceService::new(sim.clone(), &cfg, HostId(i), iolog.clone());
             Rc::new(HostCtx {
                 id: HostId(i),
                 sim: sim.clone(),
@@ -130,11 +137,8 @@ fn build_parts(config: &SimConfig, n_hosts: u16) -> SimParts {
                 segment,
                 filer: filer.clone(),
                 metrics: metrics.clone(),
-                iolog: if cfg.log_flash_io {
-                    IoLog::new()
-                } else {
-                    IoLog::disabled()
-                },
+                iolog,
+                dev,
                 ram_flush_pending: RefCell::new(FxHashSet::default()),
                 flash_flush_pending: RefCell::new(FxHashSet::default()),
                 peers: RefCell::new(Vec::new()),
@@ -234,6 +238,21 @@ fn run_and_collect(parts: &SimParts) -> Result<SimReport, SimError> {
         report.net.packets += s.packets;
         report.net.payload_bytes += s.payload_bytes;
         report.net.busy += s.busy;
+        report.device += h.dev.stats();
+        if let Some(w) = h.dev.take_windows() {
+            // Each host numbers its windows from I/O 0; rebase every
+            // appended series past the previous host's end so the combined
+            // sequence tiles contiguously (hosts append in host-id order).
+            let windows = report.device_windows.get_or_insert_with(Vec::new);
+            let offset = windows
+                .last()
+                .map(|l| l.start_io + l.reads + l.writes)
+                .unwrap_or(0);
+            windows.extend(w.into_iter().map(|mut s| {
+                s.start_io += offset;
+                s
+            }));
+        }
     }
     if cfg.log_flash_io {
         let mut log = Vec::new();

@@ -1,0 +1,386 @@
+//! The device timing service must be invisible under the default flat
+//! timing (byte-identical reports vs the pre-service engine, pinned by a
+//! golden check) and must behave as a bounded FIFO queue under SSD timing.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use fcache::{
+    run_trace, Architecture, DeviceService, FlashTiming, SimConfig, Workbench, WorkloadSpec,
+};
+use fcache_des::Sim;
+use fcache_device::{IoLog, SsdConfig};
+use fcache_types::{BlockAddr, ByteSize, FileId, HostId};
+
+// ---------------------------------------------------------------------------
+// Golden check: flat timing is byte-identical to the pre-DeviceService engine
+// ---------------------------------------------------------------------------
+
+/// Report fields captured from the engine *before* the device service
+/// existed (same workload: `Workbench::new(4096, 42)`,
+/// `WorkloadSpec::baseline_60g()`, configs scaled down by 4096). Flat
+/// timing must keep reproducing these numbers bit-for-bit — including the
+/// executor event count, which would move if the service added so much as
+/// one extra poll to the hot path.
+struct Golden {
+    arch: Architecture,
+    zero_flash: bool,
+    end_ns: u64,
+    events: u64,
+    read_latency_ns: u64,
+    write_latency_ns: u64,
+    ram_hits: u64,
+    flash_hits: u64,
+    unified_hits: u64,
+    filer_fast: u64,
+    filer_slow: u64,
+    filer_writes: u64,
+    net_packets: u64,
+    net_payload: u64,
+}
+
+const GOLDENS: &[Golden] = &[
+    Golden {
+        arch: Architecture::Naive,
+        zero_flash: false,
+        end_ns: 606_001_132,
+        events: 69_584,
+        read_latency_ns: 1_393_239_848,
+        write_latency_ns: 1_002_400,
+        ram_hits: 692,
+        flash_hits: 4586,
+        unified_hits: 0,
+        filer_fast: 1179,
+        filer_slow: 137,
+        filer_writes: 3268,
+        net_packets: 7277,
+        net_payload: 18_935_808,
+    },
+    Golden {
+        arch: Architecture::Lookaside,
+        zero_flash: false,
+        end_ns: 598_723_536,
+        events: 62_456,
+        read_latency_ns: 1_425_541_292,
+        write_latency_ns: 1_002_400,
+        ram_hits: 733,
+        flash_hits: 4527,
+        unified_hits: 0,
+        filer_fast: 1174,
+        filer_slow: 139,
+        filer_writes: 3271,
+        net_packets: 7284,
+        net_payload: 18_976_768,
+    },
+    Golden {
+        arch: Architecture::Unified,
+        zero_flash: false,
+        end_ns: 598_140_980,
+        events: 48_738,
+        read_latency_ns: 1_290_779_640,
+        write_latency_ns: 46_961_000,
+        ram_hits: 0,
+        flash_hits: 0,
+        unified_hits: 5395,
+        filer_fast: 1065,
+        filer_slow: 125,
+        filer_writes: 3295,
+        net_packets: 7271,
+        net_payload: 18_591_744,
+    },
+    Golden {
+        arch: Architecture::Naive,
+        zero_flash: true,
+        end_ns: 1_404_960_820,
+        events: 58_443,
+        read_latency_ns: 4_478_416_996,
+        write_latency_ns: 1_002_400,
+        ram_hits: 554,
+        flash_hits: 0,
+        unified_hits: 0,
+        filer_fast: 5203,
+        filer_slow: 582,
+        filer_writes: 3058,
+        net_packets: 7866,
+        net_payload: 36_442_112,
+    },
+];
+
+#[test]
+fn flat_mode_reports_are_byte_identical_to_pre_service_engine() {
+    let wb = Workbench::new(4096, 42);
+    let trace = wb.make_trace(&WorkloadSpec::baseline_60g());
+    for g in GOLDENS {
+        let cfg = SimConfig {
+            arch: g.arch,
+            flash_size: if g.zero_flash {
+                ByteSize::ZERO
+            } else {
+                SimConfig::baseline().flash_size
+            },
+            ..SimConfig::baseline()
+        }
+        .scaled_down(4096);
+        let r = run_trace(&cfg, &trace).expect("flat run");
+        let tag = format!("{:?} (zero_flash={})", g.arch, g.zero_flash);
+        assert_eq!(r.end_time.as_nanos(), g.end_ns, "end_time drifted: {tag}");
+        assert_eq!(r.events, g.events, "executor event count drifted: {tag}");
+        assert_eq!(
+            r.metrics.read_latency.as_nanos(),
+            g.read_latency_ns,
+            "read latency drifted: {tag}"
+        );
+        assert_eq!(
+            r.metrics.write_latency.as_nanos(),
+            g.write_latency_ns,
+            "write latency drifted: {tag}"
+        );
+        assert_eq!(r.ram.hits, g.ram_hits, "ram hits drifted: {tag}");
+        assert_eq!(r.flash.hits, g.flash_hits, "flash hits drifted: {tag}");
+        assert_eq!(r.unified.hits, g.unified_hits, "unified drifted: {tag}");
+        assert_eq!(r.filer.fast_reads, g.filer_fast, "filer fast: {tag}");
+        assert_eq!(r.filer.slow_reads, g.filer_slow, "filer slow: {tag}");
+        assert_eq!(r.filer.writes, g.filer_writes, "filer writes: {tag}");
+        assert_eq!(r.net.packets, g.net_packets, "net packets: {tag}");
+        assert_eq!(r.net.payload_bytes, g.net_payload, "net payload: {tag}");
+        // And the service itself must have stayed out of the way entirely.
+        assert_eq!(r.device.ops(), 0, "flat mode recorded device stats: {tag}");
+        assert!(r.device_windows.is_none(), "flat mode built windows: {tag}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Queue behavior under SSD timing
+// ---------------------------------------------------------------------------
+
+/// A config whose device service runs in SSD mode with the given queue
+/// depth, small enough to drive directly.
+fn ssd_cfg(depth: usize) -> SimConfig {
+    SimConfig {
+        flash_size: ByteSize::mib(16), // 4096-block LBA space
+        flash_timing: FlashTiming::Ssd(SsdConfig {
+            queue_depth: depth,
+            ..SsdConfig::small(4096, 77)
+        }),
+        ..SimConfig::baseline()
+    }
+}
+
+fn addr(n: u32) -> BlockAddr {
+    BlockAddr::new(FileId(7), n)
+}
+
+#[test]
+fn depth_one_queue_services_concurrent_submitters_in_fifo_order() {
+    let sim = Sim::new();
+    let dev = Rc::new(DeviceService::new(
+        sim.clone(),
+        &ssd_cfg(1),
+        HostId(0),
+        IoLog::disabled(),
+    ));
+    assert!(dev.is_queued());
+    let order: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+    // All submitters are ready at t=0; with one service slot they must
+    // complete in exact submission order regardless of their (random,
+    // unequal) service times.
+    for i in 0..16u32 {
+        let dev = Rc::clone(&dev);
+        let order = Rc::clone(&order);
+        sim.spawn(async move {
+            dev.read(addr(i)).await;
+            order.borrow_mut().push(i);
+        });
+    }
+    sim.run().expect("run");
+    let end = sim.now();
+    sim.shutdown();
+    assert_eq!(*order.borrow(), (0..16).collect::<Vec<_>>());
+    // Depth 1 fully serializes: elapsed time is the sum of service times.
+    let stats = dev.stats();
+    assert_eq!(stats.reads, 16);
+    assert_eq!(end, stats.read_time, "depth-1 queue must serialize");
+    assert_eq!(stats.queue_waits, 15, "all but the first submission wait");
+    assert_eq!(stats.depth_max, 15, "peak occupancy seen by the last");
+}
+
+#[test]
+fn bounded_depth_applies_backpressure_and_wider_queues_overlap_service() {
+    // The same 24 submissions through depth-2 and depth-32 devices: the
+    // narrow queue must take notably longer (service barely overlaps) and
+    // must force waits; the wide queue accepts everything at once.
+    let mut ends = Vec::new();
+    let mut all_waits = Vec::new();
+    for depth in [2usize, 32] {
+        let sim = Sim::new();
+        let dev = Rc::new(DeviceService::new(
+            sim.clone(),
+            &ssd_cfg(depth),
+            HostId(0),
+            IoLog::disabled(),
+        ));
+        for i in 0..24u32 {
+            let dev = Rc::clone(&dev);
+            sim.spawn(async move {
+                dev.write(addr(i)).await;
+            });
+        }
+        sim.run().expect("run");
+        let stats = dev.stats();
+        ends.push(sim.now());
+        all_waits.push(stats.queue_waits);
+        sim.shutdown();
+        assert_eq!(stats.writes, 24);
+        assert!(
+            stats.depth_max <= 23,
+            "occupancy cannot exceed the other submitters"
+        );
+    }
+    assert!(
+        ends[0] > ends[1],
+        "depth 2 ({}) must be slower than depth 32 ({})",
+        ends[0],
+        ends[1]
+    );
+    assert_eq!(all_waits[0], 22, "depth 2 admits two, queues the rest");
+    assert_eq!(all_waits[1], 0, "depth 32 absorbs all 24 at once");
+}
+
+#[test]
+fn read_batch_services_blocks_sequentially_in_ssd_mode() {
+    let sim = Sim::new();
+    let dev = Rc::new(DeviceService::new(
+        sim.clone(),
+        &ssd_cfg(32),
+        HostId(0),
+        IoLog::disabled(),
+    ));
+    let addrs: Vec<BlockAddr> = (0..10).map(addr).collect();
+    {
+        let dev = Rc::clone(&dev);
+        sim.spawn(async move {
+            dev.read_batch(&addrs).await;
+        });
+    }
+    sim.run().expect("run");
+    let end = sim.now();
+    sim.shutdown();
+    let stats = dev.stats();
+    assert_eq!(stats.reads, 10);
+    // One op's batch is sequential: total elapsed equals summed service.
+    assert_eq!(end, stats.read_time);
+    assert_eq!(stats.queue_waits, 0, "a lone submitter never queues");
+}
+
+#[test]
+fn flat_service_charges_exact_model_latencies_and_no_stats() {
+    let cfg = SimConfig {
+        flash_size: ByteSize::mib(16),
+        ..SimConfig::baseline()
+    };
+    let sim = Sim::new();
+    let dev = Rc::new(DeviceService::new(
+        sim.clone(),
+        &cfg,
+        HostId(0),
+        IoLog::disabled(),
+    ));
+    assert!(!dev.is_queued());
+    assert_eq!(
+        dev.try_flat_read(addr(1)),
+        Some(cfg.flash_model.read_latency())
+    );
+    {
+        let dev = Rc::clone(&dev);
+        sim.spawn(async move {
+            dev.read(addr(0)).await;
+            dev.write(addr(1)).await;
+            dev.read_batch(&[addr(2), addr(3), addr(4)]).await;
+        });
+    }
+    sim.run().expect("run");
+    let end = sim.now();
+    sim.shutdown();
+    // 4 reads' worth (1 + batch of 3) + 1 write, all at Table 1 rates.
+    let want = cfg.flash_model.read_latency().times(4) + cfg.flash_model.write_latency();
+    assert_eq!(end, want);
+    assert_eq!(dev.stats().ops(), 0, "flat mode keeps no device stats");
+    assert!(dev.take_windows().is_none());
+}
+
+#[test]
+fn ssd_runs_shift_latency_and_populate_device_stats() {
+    // End-to-end: the same trace under flat vs SSD timing. SSD timing must
+    // fill the device histograms/queue stats and shift the clock — that
+    // interleaving (and thus policy behavior) moves with device timing is
+    // precisely why the paper's trade-offs warrant re-examination.
+    let wb = Workbench::new(4096, 42);
+    let trace = wb.make_trace(&WorkloadSpec::baseline_60g());
+    let flat_cfg = SimConfig::baseline().scaled_down(4096);
+    let ssd_cfg = SimConfig {
+        flash_timing: FlashTiming::Ssd(SsdConfig::auto()),
+        ..SimConfig::baseline()
+    }
+    .scaled_down(4096);
+    let flat = run_trace(&flat_cfg, &trace).expect("flat");
+    let ssd = run_trace(&ssd_cfg, &trace).expect("ssd");
+    // The trace is fully consumed either way.
+    assert_eq!(flat.metrics.read_ops, ssd.metrics.read_ops);
+    assert_eq!(flat.metrics.write_ops, ssd.metrics.write_ops);
+    assert_eq!(flat.metrics.read_blocks, ssd.metrics.read_blocks);
+    assert!(ssd.device.ops() > 0, "ssd mode must record device service");
+    assert_eq!(
+        ssd.device.reads + ssd.device.writes,
+        ssd.device.read_hist.count() + ssd.device.write_hist.count(),
+        "histograms cover every serviced op"
+    );
+    assert!(
+        ssd.end_time != flat.end_time,
+        "device timing must actually shift the clock"
+    );
+    assert!(ssd.device.depth_samples > 0);
+}
+
+#[test]
+fn device_windows_partition_the_run() {
+    // Single host, and two hosts whose per-device series must be rebased
+    // so the combined report series still tiles contiguously.
+    for hosts in [1u16, 2] {
+        let wb = Workbench::new(4096, 42);
+        let trace = wb.make_trace(&WorkloadSpec {
+            hosts,
+            ..WorkloadSpec::baseline_60g()
+        });
+        let cfg = SimConfig {
+            flash_timing: FlashTiming::Ssd(SsdConfig::auto()),
+            device_window: 500,
+            ..SimConfig::baseline()
+        }
+        .scaled_down(4096);
+        let r = run_trace(&cfg, &trace).expect("run");
+        let windows = r.device_windows.expect("windows enabled");
+        assert!(!windows.is_empty());
+        // Windows tile the device I/O sequence without gaps or overlaps,
+        // even across the per-host series boundary.
+        let mut expected_start = 0u64;
+        let mut total = 0u64;
+        let mut full = 0usize;
+        for w in &windows {
+            assert_eq!(
+                w.start_io, expected_start,
+                "windows must tile contiguously ({hosts} hosts)"
+            );
+            expected_start += w.reads + w.writes;
+            total += w.reads + w.writes;
+            full += usize::from(w.reads + w.writes == 500);
+        }
+        // Windows cover the whole run (warmup included) while aggregate
+        // stats reset at warmup end, so windows see at least as many I/Os.
+        assert!(total >= r.device.ops(), "windows cover warmup too");
+        // All but at most one trailing partial window per host are full.
+        assert!(
+            full >= windows.len() - hosts as usize,
+            "at most one partial window per host"
+        );
+    }
+}

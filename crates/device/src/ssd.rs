@@ -32,10 +32,13 @@ use rand::{Rng, SeedableRng};
 use crate::iolog::{IoDirection, IoLogEntry};
 
 /// Tunable parameters of the behavioral SSD model.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SsdConfig {
     /// Device capacity in 4 KB blocks (the paper's Figure 1 device is
-    /// 58 GB). LBAs wrap modulo this capacity.
+    /// 58 GB). LBAs wrap modulo this capacity. Zero is the *auto* sentinel
+    /// ([`SsdConfig::auto`]): the consumer fits the device to whatever it
+    /// backs (the simulator sizes it to the flash cache tier) via
+    /// [`SsdConfig::fit_capacity`] before building a model.
     pub capacity_blocks: u64,
     /// Read service time when the FTL map cache hits and the device is
     /// empty. Tuned so that a cache-shaped workload on a mostly-full
@@ -54,6 +57,9 @@ pub struct SsdConfig {
     /// Extra read latency fraction after one full device overwrite of
     /// cumulative writes (the "weak relationship" with write volume).
     pub wear_read_penalty: f64,
+    /// NCQ-style service-queue depth: how many commands the device accepts
+    /// (and services) concurrently before submitters back up.
+    pub queue_depth: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -69,6 +75,7 @@ impl Default for SsdConfig {
             read_miss_factor: 2.4,
             fill_read_penalty: 0.35,
             wear_read_penalty: 0.15,
+            queue_depth: 32,
             seed: 0x55d_f1a5,
         }
     }
@@ -105,6 +112,45 @@ impl SsdConfig {
             map_cache_slots: (regions / 16).clamp(16, 1 << 20) as usize,
             ..base
         }
+    }
+
+    /// The auto-sizing configuration: capacity 0 means "fit the device to
+    /// whatever it backs". Consumers must call [`SsdConfig::fit_capacity`]
+    /// before constructing a model.
+    pub fn auto() -> Self {
+        Self {
+            capacity_blocks: 0,
+            ..Self::default()
+        }
+    }
+
+    /// Fits the device to `blocks` of capacity, re-deriving the
+    /// locality parameters ([`SsdConfig::sized`]'s region/map-cache
+    /// scaling) while preserving every tuned latency field of `self`.
+    /// Capacity is clamped to at least one block so a model can always be
+    /// built. No-op on the capacity if it is already nonzero *and* matches.
+    pub fn fit_capacity(self, blocks: u64) -> Self {
+        let capacity_blocks = blocks.max(1);
+        let locality = Self::sized(capacity_blocks, self.seed);
+        Self {
+            capacity_blocks,
+            region_shift: locality.region_shift,
+            map_cache_slots: locality.map_cache_slots,
+            ..self
+        }
+    }
+
+    /// Derives the per-host instance of this configuration: each simulated
+    /// host owns a physically distinct device, so its RNG stream mixes the
+    /// run seed and the host index into the device seed. Deterministic —
+    /// the same `(config, run_seed, host)` triple always yields the same
+    /// device.
+    pub fn for_host(self, run_seed: u64, host: u16) -> Self {
+        let seed = self
+            .seed
+            .wrapping_add(run_seed.rotate_left(29))
+            .wrapping_add((u64::from(host) + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        Self { seed, ..self }
     }
 }
 
@@ -486,5 +532,49 @@ mod tests {
     fn zero_window_panics() {
         let mut m = model(100, 15);
         let _ = m.replay_windows(&[], 0);
+    }
+
+    #[test]
+    fn auto_config_fits_to_backing_capacity() {
+        let auto = SsdConfig::auto();
+        assert_eq!(auto.capacity_blocks, 0);
+        let fitted = auto.clone().fit_capacity(1 << 18);
+        assert_eq!(fitted.capacity_blocks, 1 << 18);
+        // Locality parameters follow `sized`, latency fields are preserved.
+        let sized = SsdConfig::sized(1 << 18, auto.seed);
+        assert_eq!(fitted.region_shift, sized.region_shift);
+        assert_eq!(fitted.map_cache_slots, sized.map_cache_slots);
+        assert_eq!(fitted.read_base, auto.read_base);
+        assert_eq!(fitted.write_base, auto.write_base);
+        // Fitting to zero still yields a buildable device.
+        assert_eq!(SsdConfig::auto().fit_capacity(0).capacity_blocks, 1);
+    }
+
+    #[test]
+    fn fit_capacity_preserves_tuned_latencies() {
+        let tuned = SsdConfig {
+            read_base: SimTime::from_micros(33),
+            write_base: SimTime::from_micros(9),
+            ..SsdConfig::auto()
+        };
+        let fitted = tuned.fit_capacity(4096);
+        assert_eq!(fitted.read_base, SimTime::from_micros(33));
+        assert_eq!(fitted.write_base, SimTime::from_micros(9));
+        assert_eq!(fitted.capacity_blocks, 4096);
+    }
+
+    #[test]
+    fn per_host_derivation_is_deterministic_and_distinct() {
+        let base = SsdConfig::small(4096, 99);
+        let a0 = base.clone().for_host(7, 0);
+        let a0_again = base.clone().for_host(7, 0);
+        let a1 = base.clone().for_host(7, 1);
+        let b0 = base.clone().for_host(8, 0);
+        assert_eq!(a0, a0_again, "same (seed, host) must derive identically");
+        assert_ne!(a0.seed, a1.seed, "hosts must own distinct devices");
+        assert_ne!(a0.seed, b0.seed, "runs must decorrelate");
+        // Only the seed differs.
+        assert_eq!(a0.capacity_blocks, base.capacity_blocks);
+        assert_eq!(a0.queue_depth, base.queue_depth);
     }
 }
