@@ -10,7 +10,7 @@
 //! than the warmed ones; the no-flash line is shown for comparison.
 
 use fcache_bench::{
-    f, header, run_sweep, scale_from_env, shape_check, ByteSize, SimConfig, Table, Workbench,
+    f, header, scale_from_env, shape_check, ByteSize, SimConfig, Sweep, Table, Workbench,
     WorkloadSpec, WS_SWEEP_GIB,
 };
 use fcache_device::FlashModel;
@@ -56,22 +56,19 @@ fn main() {
             ..warmed_spec.clone()
         };
 
-        // Three independent (config, trace) jobs — fan them out in one
-        // parallel sweep (the cold trace differs, so this goes through
-        // `run_sweep` directly rather than the one-trace helper).
-        let warmed_trace = wb.make_trace(&warmed_spec);
-        let cold_trace = wb.make_trace(&cold_spec);
-        let scaled_nf = no_flash.clone().scaled_down(wb.scale());
-        let scaled_p = persistent.clone().scaled_down(wb.scale());
-        let jobs = vec![
-            (scaled_nf, &warmed_trace),
-            (scaled_p.clone(), &cold_trace),
-            (scaled_p, &warmed_trace),
-        ];
-        let mut results = run_sweep(&jobs, None).into_iter();
-        let nf = results.next().unwrap().expect("run");
-        let cold = results.next().unwrap().expect("run");
-        let warm = results.next().unwrap().expect("run");
+        // Three independent jobs over two distinct workloads (the cold
+        // spec drops the warmup half) — fan them out as per-job scenarios;
+        // each job regenerates its own stream, nothing is materialized.
+        let mut results = Sweep::new()
+            .scenario("no-flash warmed", wb.scenario(&no_flash, &warmed_spec))
+            .scenario("flash64 not-warmed", wb.scenario(&persistent, &cold_spec))
+            .scenario("flash64 warmed", wb.scenario(&persistent, &warmed_spec))
+            .run()
+            .expect_reports("figure 10 sweep")
+            .into_iter();
+        let nf = results.next().unwrap();
+        let cold = results.next().unwrap();
+        let warm = results.next().unwrap();
         t.row(vec![
             ws.to_string(),
             f(nf.read_latency_us()),

@@ -8,7 +8,7 @@
 //! salt").
 
 use fcache_bench::{
-    f, f2, header, run_sweep, scale_from_env, shape_check, ByteSize, SimConfig, Table, Workbench,
+    f, f2, header, scale_from_env, shape_check, ByteSize, SimConfig, Sweep, Table, Workbench,
     WorkloadSpec,
 };
 
@@ -29,23 +29,23 @@ fn main() {
         let mut row = vec![pct.to_string()];
         let mut reads = Vec::new();
         let mut writes = Vec::new();
-        // The two working-set sizes use distinct traces, so pair each with
-        // the baseline config and fan out through `run_sweep` directly.
-        let traces: Vec<_> = [60u64, 80]
-            .iter()
-            .map(|ws| {
-                wb.make_trace(&WorkloadSpec {
-                    working_set: ByteSize::gib(*ws),
-                    write_fraction: f64::from(pct) / 100.0,
-                    seed: ws * 100 + u64::from(pct),
-                    ..WorkloadSpec::default()
-                })
-            })
-            .collect();
-        let cfg = SimConfig::baseline().scaled_down(wb.scale());
-        let jobs: Vec<_> = traces.iter().map(|t| (cfg.clone(), t)).collect();
-        for r in run_sweep(&jobs, None) {
-            let r = r.expect("run");
+        // The two working-set sizes use distinct workloads, so fan them
+        // out as per-job scenarios: each job regenerates its own stream,
+        // so neither trace is ever materialized.
+        let mut sweep = Sweep::new();
+        for ws in [60u64, 80] {
+            let spec = WorkloadSpec {
+                working_set: ByteSize::gib(ws),
+                write_fraction: f64::from(pct) / 100.0,
+                seed: ws * 100 + u64::from(pct),
+                ..WorkloadSpec::default()
+            };
+            sweep = sweep.scenario(
+                format!("{ws}G/{pct}%"),
+                wb.scenario(&SimConfig::baseline(), &spec),
+            );
+        }
+        for r in sweep.run().expect_reports("figure 8 sweep") {
             reads.push(r.read_latency_us());
             writes.push(r.write_latency_us());
         }

@@ -21,7 +21,8 @@ use std::time::Instant;
 
 use fcache::DeviceService;
 use fcache_bench::{
-    run_sweep, scale_from_env, Architecture, FlashTiming, SimConfig, Workbench, WorkloadSpec,
+    run_sweep, scale_from_env, Architecture, FlashTiming, SimConfig, Sweep, Workbench, Workload,
+    WorkloadSpec,
 };
 use fcache_cache::{BlockCache, LruList, UnifiedCache};
 use fcache_des::{Sim, SimTime};
@@ -328,6 +329,24 @@ fn main() {
     assert!(reports.iter().all(|r| r.is_ok()));
     res.push("sweep4_parallel_wall_s", parallel_wall, "s");
     res.push("sweep4_speedup", serial_wall / parallel_wall.max(1e-9), "x");
+
+    // Fully streamed sweep: the same 4 configurations, but each job
+    // regenerates its own `TraceStream` instead of borrowing the resident
+    // trace — the O(chunk × jobs) sweep mode. Throughput counts every
+    // job's ops (generation + simulation per job).
+    let spec = WorkloadSpec::baseline_60g();
+    let t0 = Instant::now();
+    let streamed = Sweep::over(Workload::stream(|| wb.make_stream(&spec)))
+        .configs(cfgs.iter().cloned())
+        .run();
+    let streamed_wall = t0.elapsed().as_secs_f64();
+    let reports = streamed.into_reports().expect("streamed sweep");
+    assert_eq!(reports.len(), cfgs.len());
+    res.push(
+        "sweep_streamed_ops_per_sec",
+        (trace.len() * cfgs.len()) as f64 / streamed_wall.max(1e-9),
+        "ops/s",
+    );
     res.push(
         "sweep_workers",
         std::thread::available_parallelism()

@@ -17,28 +17,26 @@ use std::fs;
 use std::path::PathBuf;
 
 pub use fcache::{
-    run_source, run_sweep, run_trace, Architecture, FlashTiming, SimConfig, SimReport, Workbench,
-    WorkloadSpec, WritebackPolicy,
+    run_source, run_sweep, run_trace, Architecture, FlashTiming, Scenario, SimConfig, SimReport,
+    Sweep, SweepResults, Workbench, Workload, WorkloadSpec, WritebackPolicy,
 };
 pub use fcache_types::{ByteSize, Trace, TraceReader, TraceSource};
 
 /// Runs a set of paper-scale configurations against one trace through the
-/// parallel sweep runner, unwrapping each result.
+/// [`Sweep`] fan-out, unwrapping each report.
 ///
 /// This is the figure harnesses' inner loop: every figure compares several
 /// configurations over the same workload, and the configurations are
-/// independent — exactly the shape `run_sweep` fans out. Results come back
+/// independent — exactly the shape a `Sweep` fans out. Results come back
 /// in `cfgs` order and are bit-identical to serial `run_with_trace` calls.
 ///
 /// # Panics
 ///
-/// Panics if any simulation deadlocks (a figure cannot be produced from a
-/// partial sweep).
+/// Panics if any simulation fails, naming the failing configuration's
+/// sweep label (a figure cannot be produced from a partial sweep).
 pub fn run_configs(wb: &Workbench, cfgs: &[SimConfig], trace: &Trace) -> Vec<SimReport> {
     wb.run_sweep_with_trace(cfgs, trace)
-        .into_iter()
-        .map(|r| r.expect("sweep configuration deadlocked"))
-        .collect()
+        .expect_reports("figure sweep")
 }
 
 /// Reads the scale-factor override, falling back to the figure's default.

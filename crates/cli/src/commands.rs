@@ -5,7 +5,7 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
 use fcache::{
-    run_source, run_sweep, Architecture, FlashTiming, SimConfig, SimReport, Workbench,
+    Architecture, FlashTiming, Scenario, SimConfig, SimReport, Sweep, Workbench, Workload,
     WorkloadSpec, WritebackPolicy,
 };
 use fcache_device::{SimTime, SsdConfig};
@@ -32,7 +32,11 @@ USAGE:
 SWEEP FLAGS (in addition to the common/workload flags):
   --arch-list a,b,...              architectures to sweep     [naive]
   --flash-list S1,S2,...           flash sizes to sweep       [0,32G,64G,128G]
-  --jobs N                         worker threads (0 = auto)  [0]
+  --threads N                      worker threads (0 = auto)  [0]
+  --jobs N                         alias for --threads
+  --streamed                       regenerate the workload per job instead of
+                                   sharing one materialized trace: sweep
+                                   memory drops to O(chunk x jobs)
   --serial                         run serially (baseline for timing)
 
 COMMON FLAGS (run / replay):
@@ -106,12 +110,13 @@ const CFG_FLAGS: &[&str] = &[
     "arch-list",
     "flash-list",
     "jobs",
+    "threads",
     "flash-timing",
     "ssd-capacity",
     "ssd-read-base",
     "ssd-write-base",
 ];
-const CFG_BOOLS: &[&str] = &["persistent", "duplex", "skip-warmup", "serial"];
+const CFG_BOOLS: &[&str] = &["persistent", "duplex", "skip-warmup", "serial", "streamed"];
 
 fn config_from(flags: &Flags) -> Result<SimConfig, ArgError> {
     let mut cfg = SimConfig::baseline();
@@ -210,9 +215,10 @@ fn cmd_run(args: &[String]) -> CmdResult {
         spec.working_set.scaled_down(scale),
     );
     eprintln!("flash timing: {}", cfg.flash_timing.describe());
-    // Stream the generated workload into the simulator in bounded chunks:
-    // run memory is O(cache + chunk) regardless of the trace volume.
-    let report = wb.run_streamed(&cfg, &spec)?;
+    // One scenario over a streamed workload: generation feeds the
+    // simulator in bounded chunks, so run memory is O(cache + chunk)
+    // regardless of the trace volume.
+    let report = wb.scenario(&cfg, &spec).run()?;
     print!("{report}");
     println!(
         "read latency       {:.1} us/block",
@@ -239,8 +245,9 @@ where
         .collect()
 }
 
-/// Runs a (architecture × flash size) sweep against one generated workload,
-/// fanning the independent configurations out through `run_sweep`.
+/// Runs a (architecture × flash size) sweep against one generated workload
+/// through the [`Sweep`] builder: a shared materialized trace by default,
+/// or per-job regenerated streams with `--streamed`.
 fn cmd_sweep(args: &[String]) -> CmdResult {
     let flags = Flags::parse(args, CFG_FLAGS, CFG_BOOLS)?;
     let scale: u64 = flags.get_parsed("scale", 64u64)?;
@@ -267,11 +274,16 @@ fn cmd_sweep(args: &[String]) -> CmdResult {
             "--arch-list / --flash-list must name at least one value".into(),
         )));
     }
-    let jobs: usize = flags.get_parsed("jobs", 0usize)?;
+    // --threads is the builder-facing name; --jobs stays as an alias.
+    let threads: usize = match flags.get("threads") {
+        Some(_) => flags.get_parsed("threads", 0usize)?,
+        None => flags.get_parsed("jobs", 0usize)?,
+    };
+    let workers = if flags.has("serial") { 1 } else { threads };
 
     let wb = Workbench::new(scale, base.seed);
-    let trace = wb.make_trace(&spec);
     let mut cfgs: Vec<SimConfig> = Vec::new();
+    let mut labels: Vec<(Architecture, ByteSize)> = Vec::new();
     for arch in &archs {
         for fs in &flash_sizes {
             cfgs.push(
@@ -282,58 +294,64 @@ fn cmd_sweep(args: &[String]) -> CmdResult {
                 }
                 .scaled_down(scale),
             );
+            labels.push((*arch, *fs));
         }
     }
 
-    let t0 = std::time::Instant::now();
-    let results: Vec<SimReport> = if flags.has("serial") {
-        cfgs.iter()
-            .map(|cfg| fcache::run_trace(cfg, &trace))
-            .collect::<Result<_, _>>()?
+    // The workload axis: one shared materialized trace (zero-copy across
+    // jobs, O(trace) resident) or a per-job regenerated stream
+    // (O(chunk × jobs) resident — nothing is ever materialized).
+    let trace;
+    let workload = if flags.has("streamed") {
+        wb.workload(&spec)
     } else {
-        let sweep_jobs: Vec<_> = cfgs.iter().map(|cfg| (cfg.clone(), &trace)).collect();
-        let workers = if jobs == 0 { None } else { Some(jobs) };
-        run_sweep(&sweep_jobs, workers)
-            .into_iter()
-            .collect::<Result<_, _>>()?
+        trace = wb.make_trace(&spec);
+        Workload::trace(&trace)
     };
+    // Diagnostics go to stderr like the timing footer, keeping stdout a
+    // clean one-header table for scripts.
+    eprintln!("# workload: {}", workload.describe());
+
+    let t0 = std::time::Instant::now();
+    let mut sweep = Sweep::over(workload).threads(workers);
+    for ((arch, fs), cfg) in labels.iter().zip(cfgs.iter()) {
+        sweep = sweep.config(format!("{}/{}", arch.name(), fs), cfg.clone());
+    }
+    // A failing job names its config (index + label) instead of
+    // unwinding through a positional unwrap.
+    let results: Vec<SimReport> = sweep.run().into_reports().map_err(Box::new)?;
     let wall = t0.elapsed();
 
     println!(
         "{:>10}  {:>8}  {:>9}  {:>9}  {:>7}  {:>7}",
         "arch", "flash", "read_us", "write_us", "ram%", "flash%"
     );
-    let mut i = 0;
-    for arch in &archs {
-        for fs in &flash_sizes {
-            let r = &results[i];
-            i += 1;
-            println!(
-                "{:>10}  {:>8}  {:>9.1}  {:>9.2}  {:>7.1}  {:>7.1}",
-                arch.name(),
-                fs.to_string(),
-                r.read_latency_us(),
-                r.write_latency_us(),
-                100.0 * r.ram_hit_rate(),
-                100.0 * r.flash_hit_rate_of_all_reads(),
-            );
-        }
+    for ((arch, fs), r) in labels.iter().zip(results.iter()) {
+        println!(
+            "{:>10}  {:>8}  {:>9.1}  {:>9.2}  {:>7.1}  {:>7.1}",
+            arch.name(),
+            fs.to_string(),
+            r.read_latency_us(),
+            r.write_latency_us(),
+            100.0 * r.ram_hit_rate(),
+            100.0 * r.flash_hit_rate_of_all_reads(),
+        );
     }
     eprintln!(
         "# {} configs in {:.2}s ({})",
         results.len(),
         wall.as_secs_f64(),
-        if flags.has("serial") {
+        if workers == 1 {
             "serial".to_string()
         } else {
             format!(
                 "parallel, {} workers",
-                if jobs == 0 {
+                if workers == 0 {
                     std::thread::available_parallelism()
                         .map(|n| n.get())
                         .unwrap_or(1)
                 } else {
-                    jobs
+                    workers
                 }
                 .min(results.len().max(1))
             )
@@ -418,10 +436,20 @@ fn cmd_replay(args: &[String]) -> CmdResult {
     let flags = Flags::parse(args, CFG_FLAGS, CFG_BOOLS)?;
     let scale: u64 = flags.get_parsed("scale", 64u64)?;
     let cfg = config_from(&flags)?.scaled_down(scale);
-    // Chunked file replay: resident op memory is O(TRACE_CHUNK_OPS), not
-    // O(trace), so paper-scale archives replay on small machines.
-    let mut reader = open_trace(&flags)?;
-    let report = match run_source(&cfg, &mut reader) {
+    let path = flags
+        .get("in")
+        .ok_or_else(|| ArgError("--in FILE is required".into()))?;
+    // Surface a missing/unreadable/corrupt archive directly — validating
+    // the FCTRACE1 header here keeps the replay fallback below for what
+    // it is meant for (archives whose header understates their op ids).
+    TraceReader::new(BufReader::new(
+        File::open(path).map_err(|e| ArgError(format!("--in {path}: {e}")))?,
+    ))
+    .map_err(|e| ArgError(format!("--in {path}: {e}")))?;
+    // A scenario over a file workload: chunked replay, so resident op
+    // memory is O(TRACE_CHUNK_OPS), not O(trace) — paper-scale archives
+    // replay on small machines.
+    let report = match Scenario::new(cfg.clone(), Workload::file(path)).run() {
         Ok(report) => report,
         Err(fcache::SimError::Source(msg)) => {
             // Streamed replay sizes the host/thread grid from the file
@@ -429,10 +457,10 @@ fn cmd_replay(args: &[String]) -> CmdResult {
             // encoder never validated this) still replays the slow way,
             // where the grid is widened from the ops themselves.
             eprintln!("# streamed replay unavailable ({msg}); falling back to full decode");
-            let path = flags.get("in").expect("open_trace validated --in");
             let mut r = BufReader::new(File::open(path)?);
             let trace = fcache_types::Trace::decode(&mut r)?;
-            fcache::run_trace(&cfg, &trace)?
+            let scenario = Scenario::new(cfg, Workload::trace(&trace));
+            scenario.run()?
         }
         Err(e) => return Err(e.into()),
     };
@@ -607,7 +635,13 @@ mod tests {
 
     #[test]
     fn sweep_runs_parallel_and_serial() {
-        for extra in [&["--serial"][..], &["--jobs", "2"][..]] {
+        for extra in [
+            &["--serial"][..],
+            &["--jobs", "2"][..],
+            &["--threads", "2"][..],
+            &["--streamed"][..],
+            &["--streamed", "--threads", "2"][..],
+        ] {
             let mut args = argv(&[
                 "sweep",
                 "--scale",

@@ -4,7 +4,7 @@
 //! a miniature property-testing framework exposing the subset of the
 //! `proptest` API the test suites use: the [`proptest!`] / [`prop_oneof!`] /
 //! [`prop_assert!`] / [`prop_assert_eq!`] macros, [`Strategy`] with
-//! `prop_map`, [`Just`], `any::<T>()`, `collection::vec`, range and tuple
+//! `prop_map`, [`Just`](strategy::Just), `any::<T>()`, `collection::vec`, range and tuple
 //! strategies, [`ProptestConfig`], and [`TestCaseError`].
 //!
 //! Cases are generated from a deterministic per-test seed (derived from the

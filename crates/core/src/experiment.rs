@@ -14,16 +14,14 @@
 //! code reads exactly like the paper ("60 GB working set, 8 GB RAM, 64 GB
 //! flash").
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
 use fcache_fsmodel::{FsModel, FsModelConfig};
 use fcache_trace::{TraceGenConfig, TraceStream};
 use fcache_types::{ByteSize, Trace};
 
 use crate::config::SimConfig;
 use crate::report::SimReport;
-use crate::sim::{run_source, run_trace, SimError};
+use crate::scenario::{Scenario, Sweep, SweepResults, Workload};
+use crate::sim::SimError;
 
 /// One unit of sweep work: a configuration to run against a trace.
 ///
@@ -34,59 +32,33 @@ pub type SweepJob<'a> = (SimConfig, &'a Trace);
 /// Runs independent `(SimConfig, Trace)` jobs across threads, returning
 /// results in job order.
 ///
-/// Each simulation is single-threaded and fully deterministic, so fanning
-/// the jobs out over a scoped-thread worker pool changes nothing about any
-/// individual result: `run_sweep` output is bit-identical to calling
-/// [`run_trace`] serially over the same jobs (asserted by
-/// `tests/sweep_determinism.rs`). Workers pull jobs from a shared atomic
-/// cursor, so heterogeneous job lengths load-balance; results land in a
-/// per-job slot, so completion order never affects output order.
+/// Thin shim over the [`Sweep`] builder for callers that want a bare
+/// `Vec<Result>` back: each job becomes a [`Scenario`] over
+/// [`Workload::trace`], so the fan-out, determinism, and job-order
+/// guarantees are exactly [`Sweep::run`]'s (bit-identical to a serial
+/// [`run_trace`](crate::run_trace) loop, asserted by
+/// `tests/sweep_determinism.rs`).
 ///
 /// `threads` bounds the worker count; `None` uses the machine's available
-/// parallelism. The figure harnesses and the CLI sweep command route
-/// through this function.
+/// parallelism. Prefer [`Sweep`] directly for labeled results, streamed
+/// workloads, or incremental sinks.
 pub fn run_sweep(
     jobs: &[SweepJob<'_>],
     threads: Option<usize>,
 ) -> Vec<Result<SimReport, SimError>> {
-    let workers = threads
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
-        .clamp(1, jobs.len().max(1));
-
-    if workers <= 1 || jobs.len() <= 1 {
-        return jobs
-            .iter()
-            .map(|(cfg, trace)| run_trace(cfg, trace))
-            .collect();
+    let mut sweep = Sweep::new().threads(threads.unwrap_or(0));
+    for (i, (cfg, trace)) in jobs.iter().enumerate() {
+        sweep = sweep.scenario(
+            format!("job{i}"),
+            Scenario::new(cfg.clone(), Workload::trace(trace)),
+        );
     }
-
-    let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<SimReport, SimError>>>> =
-        jobs.iter().map(|_| Mutex::new(None)).collect();
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some((cfg, trace)) = jobs.get(i) else {
-                    break;
-                };
-                let result = run_trace(cfg, trace);
-                *slots[i].lock().expect("sweep slot poisoned") = Some(result);
-            });
-        }
-    });
-
-    slots
+    sweep
+        .run()
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("sweep slot poisoned")
-                .expect("worker filled every claimed slot")
+        .map(|item| match item.error {
+            Some(e) => Err(e),
+            None => Ok(item.report.expect("ok sweep item retains its report")),
         })
         .collect()
 }
@@ -193,12 +165,39 @@ impl Workbench {
         TraceStream::new(&self.model, cfg).skip_warmup(spec.skip_warmup)
     }
 
+    /// A paper-scale workload spec as a *streamed* [`Workload`]: every
+    /// run or sweep job regenerates its own [`TraceStream`] from this
+    /// workbench's model, so resident op memory is O(chunk) per job no
+    /// matter how large the workload volume is. Bit-identical to
+    /// materializing [`Workbench::make_trace`] and replaying that.
+    pub fn workload(&self, spec: &WorkloadSpec) -> Workload<'_> {
+        let spec = spec.clone();
+        Workload::stream(move || self.make_stream(&spec))
+    }
+
+    /// Builds a [`Scenario`] for a paper-scale configuration (scaled down
+    /// here) against the streamed workload of `spec`.
+    pub fn scenario(&self, cfg: &SimConfig, spec: &WorkloadSpec) -> Scenario<'_> {
+        Scenario::new(cfg.clone().scaled_down(self.scale), self.workload(spec))
+    }
+
+    /// Builds a [`Sweep`] over `workload` from paper-scale configurations
+    /// (scaled down here), auto-labeled by index, architecture, and cache
+    /// sizes. Chain [`Sweep::threads`] / [`Sweep::on_result`] before
+    /// running.
+    pub fn sweep<'a>(&self, cfgs: &[SimConfig], workload: Workload<'a>) -> Sweep<'a> {
+        Sweep::over(workload).configs(cfgs.iter().map(|cfg| cfg.clone().scaled_down(self.scale)))
+    }
+
     /// Runs a paper-scale configuration against a workload: cache sizes in
     /// `cfg` are given at paper scale and scaled down here.
     pub fn run(&self, cfg: &SimConfig, spec: &WorkloadSpec) -> Result<SimReport, SimError> {
         let scaled = cfg.clone().scaled_down(self.scale);
         let trace = self.make_trace(spec);
-        run_trace(&scaled, &trace)
+        // Bind the scenario so it (and its borrow of `trace`) drops before
+        // the trace does.
+        let scenario = Scenario::new(scaled, Workload::trace(&trace));
+        scenario.run()
     }
 
     /// Runs a paper-scale configuration against a *streamed* workload:
@@ -210,30 +209,20 @@ impl Workbench {
         cfg: &SimConfig,
         spec: &WorkloadSpec,
     ) -> Result<SimReport, SimError> {
-        let scaled = cfg.clone().scaled_down(self.scale);
-        let mut stream = self.make_stream(spec);
-        run_source(&scaled, &mut stream)
+        self.scenario(cfg, spec).run()
     }
 
     /// Runs a paper-scale configuration against a pre-generated trace
     /// (for sweeps that reuse one workload across many configurations).
     pub fn run_with_trace(&self, cfg: &SimConfig, trace: &Trace) -> Result<SimReport, SimError> {
         let scaled = cfg.clone().scaled_down(self.scale);
-        run_trace(&scaled, trace)
+        Scenario::new(scaled, Workload::trace(trace)).run()
     }
 
     /// Runs many paper-scale configurations against one pre-generated
-    /// trace in parallel via [`run_sweep`], preserving input order.
-    pub fn run_sweep_with_trace(
-        &self,
-        cfgs: &[SimConfig],
-        trace: &Trace,
-    ) -> Vec<Result<SimReport, SimError>> {
-        let jobs: Vec<SweepJob<'_>> = cfgs
-            .iter()
-            .map(|cfg| (cfg.clone().scaled_down(self.scale), trace))
-            .collect();
-        run_sweep(&jobs, None)
+    /// trace in parallel via [`Sweep`], preserving input order.
+    pub fn run_sweep_with_trace(&self, cfgs: &[SimConfig], trace: &Trace) -> SweepResults {
+        self.sweep(cfgs, Workload::trace(trace)).run()
     }
 }
 

@@ -18,8 +18,17 @@
 //!
 //! # Quick start
 //!
+//! The run surface is the [`Scenario`]/[`Sweep`] builder pair over a
+//! pluggable [`Workload`] (see [`scenario`]): one configuration × one
+//! workload is a `Scenario`; a labeled grid of configurations is a
+//! `Sweep`. Workloads replay a shared in-memory trace
+//! ([`Workload::trace`]), regenerate a stream per job
+//! ([`Workload::stream`] — sweep memory O(chunk × jobs) instead of a
+//! resident trace), or stream an archived `FCTRACE1` file
+//! ([`Workload::file`]); all three are bit-identical for the same ops.
+//!
 //! ```
-//! use fcache::{run_trace, SimConfig};
+//! use fcache::{Scenario, SimConfig, Sweep, Workload};
 //! use fcache_fsmodel::{FsModel, FsModelConfig};
 //! use fcache_trace::{generate, TraceGenConfig};
 //! use fcache_types::ByteSize;
@@ -40,8 +49,21 @@
 //!     flash_size: ByteSize::mib(8),
 //!     ..SimConfig::baseline()
 //! };
-//! let report = run_trace(&cfg, &trace).unwrap();
+//! let report = Scenario::new(cfg.clone(), Workload::trace(&trace))
+//!     .run()
+//!     .unwrap();
 //! println!("read latency: {:.1} µs/block", report.read_latency_us());
+//!
+//! // A labeled sweep over the same trace, fanned out across threads;
+//! // results keep each job's label and config next to its report.
+//! let results = Sweep::over(Workload::trace(&trace))
+//!     .config("no flash", SimConfig { flash_size: ByteSize::ZERO, ..cfg.clone() })
+//!     .config("with flash", cfg)
+//!     .run();
+//! for item in &results {
+//!     let r = item.report.as_ref().unwrap();
+//!     println!("{}: {:.1} µs/block", item.label, r.read_latency_us());
+//! }
 //! ```
 
 pub mod arch;
@@ -55,6 +77,7 @@ pub mod host;
 pub mod metrics;
 pub mod policy;
 pub mod report;
+pub mod scenario;
 pub mod sim;
 
 pub use arch::Architecture;
@@ -65,4 +88,5 @@ pub use histogram::{HistogramSnapshot, LatencyHistogram};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use policy::WritebackPolicy;
 pub use report::SimReport;
+pub use scenario::{Scenario, Sweep, SweepError, SweepItem, SweepOutcome, SweepResults, Workload};
 pub use sim::{run_source, run_trace, SimError};

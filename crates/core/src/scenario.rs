@@ -1,0 +1,800 @@
+//! The one run surface: [`Scenario`] and [`Sweep`] builders over pluggable
+//! [`Workload`]s.
+//!
+//! Every experiment in this crate is "some configurations × some workload →
+//! reports". Historically that shape was spread over loose entry points
+//! ([`run_trace`], [`run_source`], [`run_sweep`](crate::run_sweep), the
+//! `Workbench` helpers),
+//! each hard-wiring one workload kind. This module is the composable layer
+//! they all route through now:
+//!
+//! - a [`Workload`] names *what* to replay — a shared in-memory trace
+//!   ([`Workload::trace`]), a per-job regenerated stream
+//!   ([`Workload::stream`]), or a chunked `FCTRACE1` archive
+//!   ([`Workload::file`]) — and every kind produces bit-identical
+//!   [`SimReport`]s for the same ops (pinned by
+//!   `tests/trace_streaming.rs` and `tests/sweep_determinism.rs`);
+//! - a [`Scenario`] pairs one [`SimConfig`] with one workload and runs it;
+//! - a [`Sweep`] fans a labeled grid of scenarios out over scoped worker
+//!   threads ([`Sweep::threads`]), optionally spilling each report to an
+//!   incremental sink as jobs finish ([`Sweep::on_result`]) so paper-scale
+//!   sweeps never hold every report resident, and returns
+//!   [`SweepResults`] that keep each job's label and configuration next to
+//!   its report or error — no positional `expect` chains.
+//!
+//! Memory: a sweep over [`Workload::trace`] shares one resident trace
+//! across all jobs (O(trace) total). A sweep over [`Workload::stream`]
+//! regenerates each job's ops on the fly, so resident op memory is
+//! O(chunk × concurrent jobs) no matter how large the workload volume is —
+//! the "fully streamed sweep" mode.
+//!
+//! # Examples
+//!
+//! ```
+//! use fcache::{Scenario, SimConfig, Sweep, Workload};
+//! use fcache_fsmodel::{FsModel, FsModelConfig};
+//! use fcache_trace::{TraceGenConfig, TraceStream};
+//! use fcache_types::ByteSize;
+//!
+//! let model = FsModel::generate(FsModelConfig {
+//!     total_bytes: ByteSize::mib(64),
+//!     seed: 1,
+//!     ..FsModelConfig::default()
+//! });
+//! let gen_cfg = TraceGenConfig {
+//!     working_set: ByteSize::mib(4),
+//!     seed: 2,
+//!     ..TraceGenConfig::default()
+//! };
+//! let cfg = SimConfig {
+//!     ram_size: ByteSize::mib(1),
+//!     flash_size: ByteSize::mib(8),
+//!     ..SimConfig::baseline()
+//! };
+//!
+//! // One configuration, one streamed workload.
+//! let workload = Workload::stream(|| TraceStream::new(&model, gen_cfg.clone()));
+//! let report = Scenario::new(cfg.clone(), workload).run().unwrap();
+//! assert!(report.metrics.read_ops > 0);
+//!
+//! // A labeled two-point sweep over the same streamed workload: each job
+//! // regenerates its own stream, so nothing is materialized.
+//! let results = Sweep::over(Workload::stream(|| TraceStream::new(&model, gen_cfg.clone())))
+//!     .config("no flash", SimConfig { flash_size: ByteSize::ZERO, ..cfg.clone() })
+//!     .config("8M flash", cfg)
+//!     .threads(2)
+//!     .run();
+//! let reports = results.into_reports().unwrap();
+//! assert_eq!(reports.len(), 2);
+//! ```
+
+use std::fs::File;
+use std::io::BufReader;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use fcache_types::{Trace, TraceReader, TraceSource};
+
+use crate::config::SimConfig;
+use crate::report::SimReport;
+use crate::sim::{run_source, run_trace, SimError};
+
+/// Boxed per-job source factory: called once per run/job, on the worker
+/// thread that consumes the stream.
+type SourceFactory<'a> = Box<dyn Fn() -> Box<dyn TraceSource + 'a> + Sync + 'a>;
+
+/// Boxed incremental result sink (see [`Sweep::on_result`]).
+type Sink<'a> = Box<dyn FnMut(SweepOutcome) + Send + 'a>;
+
+enum WorkloadKind<'a> {
+    Trace(&'a Trace),
+    Stream(SourceFactory<'a>),
+    File(PathBuf),
+}
+
+/// What a [`Scenario`] or [`Sweep`] replays.
+///
+/// All three kinds feed the same engine and produce bit-identical
+/// [`SimReport`]s for the same operation sequence; they differ only in
+/// where the ops live while a job runs:
+///
+/// | constructor | resident op memory | sharing across sweep jobs |
+/// |---|---|---|
+/// | [`Workload::trace`] | O(trace), once | one shared borrow, zero copies |
+/// | [`Workload::stream`] | O(chunk) per job | each job regenerates its own stream |
+/// | [`Workload::file`] | O(chunk) per job | each job re-reads the archive |
+pub struct Workload<'a> {
+    kind: WorkloadKind<'a>,
+}
+
+impl<'a> Workload<'a> {
+    /// A shared, zero-copy borrow of a materialized trace. Sweep jobs
+    /// replay it through per-thread cursors without copying any ops.
+    pub fn trace(trace: &'a Trace) -> Self {
+        Self {
+            kind: WorkloadKind::Trace(trace),
+        }
+    }
+
+    /// A per-job stream factory: every run calls `factory` for a fresh
+    /// [`TraceSource`] and replays it in bounded chunks, so a sweep's
+    /// resident op memory is O(chunk × concurrent jobs) instead of a
+    /// materialized trace. Regeneration is pure CPU; the reports are
+    /// bit-identical to replaying the materialized equivalent.
+    ///
+    /// The factory is shared by all of a sweep's worker threads, hence the
+    /// `Sync` bound; the sources it returns stay on the worker that made
+    /// them.
+    pub fn stream<F, S>(factory: F) -> Self
+    where
+        F: Fn() -> S + Sync + 'a,
+        S: TraceSource + 'a,
+    {
+        Self {
+            kind: WorkloadKind::Stream(Box::new(move || Box::new(factory()))),
+        }
+    }
+
+    /// Chunked replay of an archived `FCTRACE1` trace file: each run opens
+    /// the file and streams it through [`TraceReader`] with O(chunk)
+    /// resident memory. I/O and decode errors surface as
+    /// [`SimError::Source`].
+    pub fn file(path: impl Into<PathBuf>) -> Self {
+        Self {
+            kind: WorkloadKind::File(path.into()),
+        }
+    }
+
+    /// True if runs regenerate/stream their ops instead of borrowing a
+    /// resident trace (the O(chunk)-per-job kinds).
+    pub fn is_streamed(&self) -> bool {
+        !matches!(self.kind, WorkloadKind::Trace(_))
+    }
+
+    /// One-line description of the workload kind and its memory bound
+    /// (printed by `fcsim sweep`).
+    pub fn describe(&self) -> &'static str {
+        match self.kind {
+            WorkloadKind::Trace(_) => "materialized trace, shared zero-copy (O(trace) resident)",
+            WorkloadKind::Stream(_) => "streamed, regenerated per job (O(chunk × jobs) resident)",
+            WorkloadKind::File(_) => "file replay, chunked per job (O(chunk × jobs) resident)",
+        }
+    }
+
+    /// Replays this workload under `cfg`.
+    fn run(&self, cfg: &SimConfig) -> Result<SimReport, SimError> {
+        match &self.kind {
+            WorkloadKind::Trace(trace) => run_trace(cfg, trace),
+            WorkloadKind::Stream(factory) => {
+                let mut source = factory();
+                run_source(cfg, &mut source)
+            }
+            WorkloadKind::File(path) => {
+                let open = |e| SimError::Source(format!("{}: {e}", path.display()));
+                let file = File::open(path).map_err(open)?;
+                let mut reader = TraceReader::new(BufReader::new(file)).map_err(open)?;
+                run_source(cfg, &mut reader)
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Workload<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            WorkloadKind::Trace(t) => f.debug_tuple("Workload::trace").field(&t.len()).finish(),
+            WorkloadKind::Stream(_) => f.write_str("Workload::stream(..)"),
+            WorkloadKind::File(p) => f.debug_tuple("Workload::file").field(p).finish(),
+        }
+    }
+}
+
+/// One configuration paired with one workload.
+///
+/// The smallest unit of the run surface: build it, [`Scenario::run`] it,
+/// get a [`SimReport`]. Runs are fully deterministic and repeatable — the
+/// workload kinds are interchangeable for the same ops.
+#[derive(Debug)]
+pub struct Scenario<'a> {
+    cfg: SimConfig,
+    workload: Workload<'a>,
+}
+
+impl<'a> Scenario<'a> {
+    /// Pairs a configuration with a workload.
+    pub fn new(cfg: SimConfig, workload: Workload<'a>) -> Self {
+        Self { cfg, workload }
+    }
+
+    /// The configuration this scenario runs.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The workload this scenario replays.
+    pub fn workload(&self) -> &Workload<'a> {
+        &self.workload
+    }
+
+    /// Runs the scenario. `&self`: a scenario can run any number of times
+    /// (streams regenerate, files re-open, traces re-borrow) and always
+    /// produces the same report.
+    pub fn run(&self) -> Result<SimReport, SimError> {
+        self.workload.run(&self.cfg)
+    }
+}
+
+/// One sweep job's result, handed to an [`Sweep::on_result`] sink as the
+/// job finishes (completion order, serialized across workers).
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Job index in sweep (push) order.
+    pub index: usize,
+    /// The job's label.
+    pub label: String,
+    /// The job's report, or the error that stopped it.
+    pub report: Result<SimReport, SimError>,
+}
+
+/// A sweep job failure with its job context attached.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepError {
+    /// Index of the failed job in sweep order.
+    pub index: usize,
+    /// Label of the failed job.
+    pub label: String,
+    /// The underlying simulation error.
+    pub error: SimError,
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sweep job {} ({}) failed: {}",
+            self.index, self.label, self.error
+        )
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// One job of a finished sweep: the label and configuration it ran, plus
+/// its report (unless spilled to a sink) or error.
+#[derive(Debug)]
+pub struct SweepItem {
+    /// The job's label.
+    pub label: String,
+    /// The configuration the job ran.
+    pub config: SimConfig,
+    /// The job's report. `None` if the job failed *or* if the report was
+    /// delivered to an [`Sweep::on_result`] sink instead of retained.
+    pub report: Option<SimReport>,
+    /// The job's error, if it failed.
+    pub error: Option<SimError>,
+}
+
+impl SweepItem {
+    /// True if the job completed without error.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// Results of a [`Sweep`], in job (push) order.
+#[derive(Debug)]
+pub struct SweepResults {
+    items: Vec<SweepItem>,
+    spilled: bool,
+}
+
+impl SweepResults {
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if the sweep had no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True if reports were streamed to an [`Sweep::on_result`] sink
+    /// instead of retained in the items.
+    pub fn spilled_to_sink(&self) -> bool {
+        self.spilled
+    }
+
+    /// The per-job results, in job order.
+    pub fn items(&self) -> &[SweepItem] {
+        &self.items
+    }
+
+    /// Iterates the per-job results in job order.
+    pub fn iter(&self) -> std::slice::Iter<'_, SweepItem> {
+        self.items.iter()
+    }
+
+    /// The first failed job, with its index and label attached.
+    pub fn first_error(&self) -> Option<SweepError> {
+        self.items.iter().enumerate().find_map(|(index, item)| {
+            item.error.as_ref().map(|error| SweepError {
+                index,
+                label: item.label.clone(),
+                error: error.clone(),
+            })
+        })
+    }
+
+    /// Unwraps every report in job order, or the first failure with its
+    /// job context ("which config failed", not a positional `expect`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reports were spilled to an [`Sweep::on_result`] sink
+    /// (they are no longer here to return).
+    pub fn into_reports(self) -> Result<Vec<SimReport>, SweepError> {
+        if let Some(err) = self.first_error() {
+            return Err(err);
+        }
+        assert!(
+            !self.spilled,
+            "sweep reports were streamed to the on_result sink; read them there"
+        );
+        Ok(self
+            .items
+            .into_iter()
+            .map(|item| item.report.expect("ok item retains its report"))
+            .collect())
+    }
+
+    /// [`SweepResults::into_reports`], panicking with `what` plus the
+    /// failing job's label on error (for harnesses that cannot proceed
+    /// from a partial sweep, like the figure benches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job failed, naming the job, or if the reports were
+    /// spilled to a sink.
+    pub fn expect_reports(self, what: &str) -> Vec<SimReport> {
+        match self.into_reports() {
+            Ok(reports) => reports,
+            Err(e) => panic!("{what}: {e}"),
+        }
+    }
+}
+
+impl IntoIterator for SweepResults {
+    type Item = SweepItem;
+    type IntoIter = std::vec::IntoIter<SweepItem>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a SweepResults {
+    type Item = &'a SweepItem;
+    type IntoIter = std::slice::Iter<'a, SweepItem>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+struct JobSpec {
+    label: String,
+    cfg: SimConfig,
+    workload: usize,
+}
+
+/// A labeled grid of scenarios, fanned out over scoped worker threads.
+///
+/// Build with [`Sweep::over`] (one shared workload, many configurations —
+/// every paper figure) and/or [`Sweep::scenario`] (jobs with their own
+/// workloads). Jobs are independent single-threaded simulations, so the
+/// fan-out is bit-identical to running them serially in push order
+/// (`tests/sweep_determinism.rs`); results come back in push order no
+/// matter the completion order.
+pub struct Sweep<'a> {
+    workloads: Vec<Workload<'a>>,
+    jobs: Vec<JobSpec>,
+    threads: usize,
+    sink: Option<Sink<'a>>,
+}
+
+impl Default for Sweep<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'a> Sweep<'a> {
+    /// An empty sweep with no shared workload; add jobs with
+    /// [`Sweep::scenario`].
+    pub fn new() -> Self {
+        Self {
+            workloads: Vec::new(),
+            jobs: Vec::new(),
+            threads: 0,
+            sink: None,
+        }
+    }
+
+    /// A sweep whose [`Sweep::config`]/[`Sweep::configs`] jobs all replay
+    /// `workload`.
+    pub fn over(workload: Workload<'a>) -> Self {
+        let mut sweep = Self::new();
+        sweep.workloads.push(workload);
+        sweep
+    }
+
+    /// Adds one labeled configuration against the shared workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep was built with [`Sweep::new`] (no shared
+    /// workload to run against — use [`Sweep::scenario`]).
+    pub fn config(mut self, label: impl Into<String>, cfg: SimConfig) -> Self {
+        assert!(
+            !self.workloads.is_empty(),
+            "Sweep::config needs a shared workload; build with Sweep::over"
+        );
+        self.jobs.push(JobSpec {
+            label: label.into(),
+            cfg,
+            workload: 0,
+        });
+        self
+    }
+
+    /// Adds many configurations against the shared workload, each labeled
+    /// `#<index> <arch> ram=<size> flash=<size>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep was built with [`Sweep::new`] (see
+    /// [`Sweep::config`]).
+    pub fn configs(mut self, cfgs: impl IntoIterator<Item = SimConfig>) -> Self {
+        for cfg in cfgs {
+            let label = format!(
+                "#{} {} ram={} flash={}",
+                self.jobs.len(),
+                cfg.arch.name(),
+                cfg.ram_size,
+                cfg.flash_size
+            );
+            self = self.config(label, cfg);
+        }
+        self
+    }
+
+    /// Adds a labeled job with its own workload (for grids whose jobs
+    /// replay different traces — e.g. a working-set or write-ratio axis).
+    pub fn scenario(mut self, label: impl Into<String>, scenario: Scenario<'a>) -> Self {
+        self.workloads.push(scenario.workload);
+        self.jobs.push(JobSpec {
+            label: label.into(),
+            cfg: scenario.cfg,
+            workload: self.workloads.len() - 1,
+        });
+        self
+    }
+
+    /// Bounds the worker-thread count; `0` (the default) uses the
+    /// machine's available parallelism. `1` runs the jobs serially on the
+    /// calling thread.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Streams each job's result to `sink` as the job finishes
+    /// (completion order; calls are serialized across workers). With a
+    /// sink attached the returned [`SweepResults`] keep only each job's
+    /// label, configuration, and error status — reports are moved into the
+    /// sink, so a paper-scale sweep never holds all of them resident.
+    pub fn on_result(mut self, sink: impl FnMut(SweepOutcome) + Send + 'a) -> Self {
+        self.sink = Some(Box::new(sink));
+        self
+    }
+
+    /// Number of jobs added so far.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True if no jobs have been added.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Runs every job and returns the per-job results in push order.
+    pub fn run(self) -> SweepResults {
+        let Sweep {
+            workloads,
+            jobs,
+            threads,
+            sink,
+        } = self;
+        let spilled = sink.is_some();
+        let workers = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        }
+        .clamp(1, jobs.len().max(1));
+
+        // What a finished job leaves behind: its retained report (absent
+        // when spilled to the sink or failed) and its error status.
+        type JobOutcome = (Option<SimReport>, Option<SimError>);
+
+        let sink = Mutex::new(sink);
+        // Runs job `i` and delivers its result: the report goes to the
+        // sink (moved) or into the returned slot; the error status is
+        // recorded either way so `SweepResults` keeps the job context.
+        let run_job = |i: usize| -> JobOutcome {
+            let job = &jobs[i];
+            let result = workloads[job.workload].run(&job.cfg);
+            let mut guard = sink.lock().expect("sweep sink poisoned");
+            if let Some(sink) = guard.as_mut() {
+                let error = result.as_ref().err().cloned();
+                sink(SweepOutcome {
+                    index: i,
+                    label: job.label.clone(),
+                    report: result,
+                });
+                (None, error)
+            } else {
+                match result {
+                    Ok(report) => (Some(report), None),
+                    Err(error) => (None, Some(error)),
+                }
+            }
+        };
+
+        let mut outcomes: Vec<Option<JobOutcome>>;
+        if workers <= 1 || jobs.len() <= 1 {
+            outcomes = (0..jobs.len()).map(|i| Some(run_job(i))).collect();
+        } else {
+            // Workers pull jobs from a shared cursor (heterogeneous job
+            // lengths load-balance); each result lands in its job's slot,
+            // so completion order never affects output order.
+            let cursor = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<JobOutcome>>> =
+                jobs.iter().map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        let outcome = run_job(i);
+                        *slots[i].lock().expect("sweep slot poisoned") = Some(outcome);
+                    });
+                }
+            });
+            outcomes = slots
+                .into_iter()
+                .map(|slot| slot.into_inner().expect("sweep slot poisoned"))
+                .collect();
+        }
+
+        let items = jobs
+            .into_iter()
+            .enumerate()
+            .map(|(i, job)| {
+                let (report, error) = outcomes[i].take().unwrap_or_else(|| {
+                    // Scoped workers claim slots monotonically and the
+                    // scope joins them all, so an empty slot means a
+                    // worker died; name the job instead of a bare unwrap.
+                    panic!("sweep job {i} ({}) was never completed", job.label)
+                });
+                SweepItem {
+                    label: job.label,
+                    config: job.cfg,
+                    report,
+                    error,
+                }
+            })
+            .collect();
+        SweepResults { items, spilled }
+    }
+}
+
+impl std::fmt::Debug for Sweep<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sweep")
+            .field("jobs", &self.jobs.len())
+            .field("workloads", &self.workloads)
+            .field("threads", &self.threads)
+            .field("sink", &self.sink.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcache_types::{FileId, HostId, OpKind, ThreadId, TraceMeta, TraceOp};
+
+    /// A tiny deterministic in-memory trace (no generator dependency).
+    fn tiny_trace() -> Trace {
+        let mut t = Trace::new(TraceMeta {
+            hosts: 1,
+            threads_per_host: 2,
+            ..TraceMeta::default()
+        });
+        for i in 0..40u32 {
+            t.ops.push(TraceOp::new(
+                HostId(0),
+                ThreadId((i % 2) as u16),
+                if i % 3 == 0 {
+                    OpKind::Write
+                } else {
+                    OpKind::Read
+                },
+                FileId(i % 4),
+                i * 3,
+                1 + i % 4,
+                false,
+            ));
+        }
+        t
+    }
+
+    fn tiny_cfg() -> SimConfig {
+        SimConfig {
+            ram_size: fcache_types::ByteSize::kib(64),
+            flash_size: fcache_types::ByteSize::kib(256),
+            ..SimConfig::baseline()
+        }
+    }
+
+    #[test]
+    fn scenario_runs_all_workload_kinds_identically() {
+        let trace = tiny_trace();
+        let cfg = tiny_cfg();
+        let want = format!(
+            "{:?}",
+            Scenario::new(cfg.clone(), Workload::trace(&trace))
+                .run()
+                .expect("trace run")
+        );
+
+        let streamed = Scenario::new(
+            cfg.clone(),
+            Workload::stream(|| fcache_types::SliceSource::new(&trace)),
+        )
+        .run()
+        .expect("streamed run");
+        assert_eq!(format!("{streamed:?}"), want);
+
+        let path = std::env::temp_dir().join("fcache_scenario_unit_trace.bin");
+        let mut buf = Vec::new();
+        trace.encode(&mut buf).expect("encode");
+        std::fs::write(&path, &buf).expect("write archive");
+        let filed = Scenario::new(cfg, Workload::file(&path))
+            .run()
+            .expect("file run");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(format!("{filed:?}"), want);
+    }
+
+    #[test]
+    fn scenario_is_rerunnable() {
+        let trace = tiny_trace();
+        let s = Scenario::new(tiny_cfg(), Workload::trace(&trace));
+        let a = format!("{:?}", s.run().expect("first"));
+        let b = format!("{:?}", s.run().expect("second"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sweep_keeps_labels_and_order() {
+        let trace = tiny_trace();
+        let results = Sweep::over(Workload::trace(&trace))
+            .config("small", tiny_cfg())
+            .config(
+                "no-flash",
+                SimConfig {
+                    flash_size: fcache_types::ByteSize::ZERO,
+                    ..tiny_cfg()
+                },
+            )
+            .threads(2)
+            .run();
+        assert_eq!(results.len(), 2);
+        assert!(!results.spilled_to_sink());
+        let labels: Vec<&str> = results.iter().map(|i| i.label.as_str()).collect();
+        assert_eq!(labels, ["small", "no-flash"]);
+        assert!(results
+            .items()
+            .iter()
+            .all(|i| i.is_ok() && i.report.is_some()));
+        let reports = results.into_reports().expect("all ok");
+        assert_eq!(reports.len(), 2);
+    }
+
+    #[test]
+    fn auto_labels_name_the_configuration() {
+        let trace = tiny_trace();
+        let results = Sweep::over(Workload::trace(&trace))
+            .configs([tiny_cfg()])
+            .run();
+        let label = &results.items()[0].label;
+        assert!(label.contains("#0") && label.contains("naive"), "{label}");
+    }
+
+    #[test]
+    fn sink_spills_reports_incrementally() {
+        let trace = tiny_trace();
+        let want = format!(
+            "{:?}",
+            Scenario::new(tiny_cfg(), Workload::trace(&trace))
+                .run()
+                .expect("reference")
+        );
+        let outcomes = Mutex::new(Vec::new());
+        let results = Sweep::over(Workload::trace(&trace))
+            .config("a", tiny_cfg())
+            .config("b", tiny_cfg())
+            .threads(2)
+            .on_result(|o| outcomes.lock().unwrap().push(o))
+            .run();
+        assert!(results.spilled_to_sink());
+        assert!(results
+            .items()
+            .iter()
+            .all(|i| i.report.is_none() && i.is_ok()));
+        let mut outcomes = outcomes.into_inner().unwrap();
+        outcomes.sort_by_key(|o| o.index);
+        assert_eq!(outcomes.len(), 2);
+        for o in &outcomes {
+            assert_eq!(
+                format!("{:?}", o.report.as_ref().expect("ok")),
+                want,
+                "sink outcome {} diverged",
+                o.label
+            );
+        }
+    }
+
+    #[test]
+    fn failed_jobs_carry_index_and_label_context() {
+        let results = Sweep::over(Workload::file("/nonexistent/fcache-trace.bin"))
+            .config("missing-archive", tiny_cfg())
+            .run();
+        assert!(!results.items()[0].is_ok());
+        let err = results.first_error().expect("job failed");
+        assert_eq!(err.index, 0);
+        assert_eq!(err.label, "missing-archive");
+        assert!(matches!(err.error, SimError::Source(_)));
+        let msg = results.into_reports().unwrap_err().to_string();
+        assert!(
+            msg.contains("job 0") && msg.contains("missing-archive"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a shared workload")]
+    fn config_without_shared_workload_panics() {
+        let _ = Sweep::new().config("x", tiny_cfg());
+    }
+
+    #[test]
+    fn empty_sweep_returns_empty_results() {
+        let results = Sweep::new().run();
+        assert!(results.is_empty());
+        assert_eq!(results.into_reports().expect("empty is ok").len(), 0);
+    }
+}

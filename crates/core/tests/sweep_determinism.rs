@@ -1,9 +1,14 @@
-//! `run_sweep` (parallel) must be observably identical to the serial loop:
-//! each simulation is single-threaded and deterministic, so fanning jobs
-//! out over worker threads may change only wall-clock time, never results.
+//! Sweeps (parallel fan-out, any [`Workload`] kind) must be observably
+//! identical to the serial loop: each simulation is single-threaded and
+//! deterministic, so fanning jobs out over worker threads — or swapping a
+//! resident trace for a per-job regenerated stream or a chunked file
+//! replay — may change only wall-clock time and memory, never results.
+
+use std::sync::Mutex;
 
 use fcache::{
-    run_source, run_sweep, run_trace, Architecture, FlashTiming, SimConfig, Workbench, WorkloadSpec,
+    run_source, run_sweep, run_trace, Architecture, FlashTiming, SimConfig, Sweep, Workbench,
+    Workload, WorkloadSpec,
 };
 use fcache_device::SsdConfig;
 use fcache_types::{ByteSize, SliceSource};
@@ -147,9 +152,9 @@ fn ssd_sweep_configs() -> Vec<SimConfig> {
 #[test]
 fn ssd_timing_is_deterministic_across_parallel_serial_and_repeat_runs() {
     // The queue-aware device draws service times from per-host RNGs; the
-    // whole pipeline must stay bit-identical serial vs `run_sweep`, and
-    // across repeated runs of the same seed (windows included — they ride
-    // in the report Debug output).
+    // whole pipeline must stay bit-identical serial vs the `Sweep`
+    // fan-out, and across repeated runs of the same seed (windows
+    // included — they ride in the report Debug output).
     let wb = Workbench::new(4096, 42);
     let trace = wb.make_trace(&WorkloadSpec::baseline_60g());
     let cfgs: Vec<SimConfig> = ssd_sweep_configs()
@@ -173,14 +178,18 @@ fn ssd_timing_is_deterministic_across_parallel_serial_and_repeat_runs() {
         assert_eq!(&again, want, "repeat run diverged for {:?}", cfg.arch);
     }
 
-    // Parallel fan-out: bit-identical to the serial loop, thrice.
+    // Parallel fan-out through the builder: bit-identical to the serial
+    // loop, thrice.
     for round in 0..3 {
-        let jobs: Vec<_> = cfgs.iter().map(|cfg| (cfg.clone(), &trace)).collect();
-        let parallel = run_sweep(&jobs, Some(4));
-        for (i, result) in parallel.into_iter().enumerate() {
-            let got = format!("{:?}", result.expect("parallel ssd run"));
+        let parallel = Sweep::over(Workload::trace(&trace))
+            .configs(cfgs.iter().cloned())
+            .threads(4)
+            .run();
+        for (i, item) in parallel.into_iter().enumerate() {
+            let report = item.report.expect("parallel ssd run");
             assert_eq!(
-                got, serial[i],
+                format!("{report:?}"),
+                serial[i],
                 "round {round}: ssd job {i} diverged between parallel and serial"
             );
         }
@@ -204,13 +213,161 @@ fn workbench_sweep_matches_run_with_trace() {
     });
     let cfgs = sweep_configs();
     let swept = wb.run_sweep_with_trace(&cfgs, &trace);
-    for (cfg, got) in cfgs.iter().zip(swept) {
+    assert_eq!(swept.len(), cfgs.len());
+    for (i, (cfg, got)) in cfgs.iter().zip(swept).enumerate() {
         let want = wb.run_with_trace(cfg, &trace).expect("serial");
+        assert!(
+            got.label.starts_with(&format!("#{i} ")),
+            "auto label keeps job order: {}",
+            got.label
+        );
         assert_eq!(
-            format!("{:?}", got.expect("sweep")),
+            format!("{:?}", got.report.expect("sweep")),
             format!("{want:?}"),
             "Workbench::run_sweep_with_trace diverged for {:?}",
             cfg.arch
+        );
+    }
+}
+
+/// A 16-point configuration grid (2 architectures × 4 flash sizes × 2 RAM
+/// sizes) at paper scale, under the given device-timing mode.
+fn grid16(timing: &FlashTiming) -> Vec<SimConfig> {
+    let mut cfgs = Vec::new();
+    for arch in [Architecture::Naive, Architecture::Unified] {
+        for flash_gib in [0u64, 16, 32, 64] {
+            for ram_gib in [4u64, 8] {
+                cfgs.push(SimConfig {
+                    arch,
+                    flash_size: ByteSize::gib(flash_gib),
+                    ram_size: ByteSize::gib(ram_gib),
+                    flash_timing: timing.clone(),
+                    ..SimConfig::baseline()
+                });
+            }
+        }
+    }
+    cfgs
+}
+
+#[test]
+fn streamed_workload_sweeps_are_bit_identical_to_materialized_sweeps() {
+    // The ROADMAP "fully streamed sweeps" acceptance: a 16-config sweep
+    // whose jobs each regenerate their own `TraceStream` (never holding
+    // the full trace resident) must produce reports bit-identical —
+    // including event counts — to the same sweep over one materialized
+    // trace, across ≥2 seeds and both `flash_timing` modes.
+    for seed in [42u64, 1301] {
+        for timing in [FlashTiming::Flat, FlashTiming::Ssd(SsdConfig::auto())] {
+            let wb = Workbench::new(4096, seed);
+            let spec = WorkloadSpec {
+                working_set: ByteSize::gib(10),
+                seed: seed ^ 0x5eed,
+                ..WorkloadSpec::default()
+            };
+            let cfgs = grid16(&timing);
+            assert_eq!(cfgs.len(), 16);
+
+            let trace = wb.make_trace(&spec);
+            let materialized = wb.sweep(&cfgs, Workload::trace(&trace)).threads(4).run();
+
+            let streamed_workload = wb.workload(&spec);
+            assert!(
+                streamed_workload.is_streamed(),
+                "workbench workloads regenerate per job"
+            );
+            let streamed = wb.sweep(&cfgs, streamed_workload).threads(4).run();
+
+            assert_eq!(materialized.len(), 16);
+            assert_eq!(streamed.len(), 16);
+            for (m, s) in materialized.into_iter().zip(streamed) {
+                assert_eq!(m.label, s.label);
+                assert_eq!(
+                    format!("{:?}", s.report.expect("streamed job")),
+                    format!("{:?}", m.report.expect("materialized job")),
+                    "streamed sweep diverged from materialized for {} (seed {seed}, {timing:?})",
+                    m.label,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn file_workload_sweeps_are_bit_identical_to_materialized_sweeps() {
+    let wb = Workbench::new(4096, 17);
+    let spec = WorkloadSpec {
+        working_set: ByteSize::gib(10),
+        seed: 23,
+        ..WorkloadSpec::default()
+    };
+    let trace = wb.make_trace(&spec);
+    let path = std::env::temp_dir().join("fcache_sweep_file_workload.bin");
+    let mut buf = Vec::new();
+    trace.encode(&mut buf).expect("encode");
+    std::fs::write(&path, &buf).expect("write archive");
+
+    let cfgs = sweep_configs();
+    let materialized = wb.run_sweep_with_trace(&cfgs, &trace);
+    let filed = wb.sweep(&cfgs, Workload::file(&path)).threads(4).run();
+    let _ = std::fs::remove_file(&path);
+
+    for (m, f) in materialized.into_iter().zip(filed) {
+        assert_eq!(
+            format!("{:?}", f.report.expect("file job")),
+            format!("{:?}", m.report.expect("materialized job")),
+            "file-workload sweep diverged for {}",
+            m.label,
+        );
+    }
+}
+
+#[test]
+fn on_result_sink_spills_every_report_exactly_once() {
+    // Incremental spilling: with a sink attached, reports stream out as
+    // jobs finish and the returned results retain only job context — and
+    // the spilled reports are the same bit-identical reports a collecting
+    // sweep returns.
+    let wb = Workbench::new(4096, 42);
+    let trace = wb.make_trace(&WorkloadSpec::baseline_60g());
+    let cfgs = sweep_configs();
+
+    let collected = wb.run_sweep_with_trace(&cfgs, &trace);
+    let want: Vec<String> = collected
+        .into_iter()
+        .map(|item| format!("{:?}", item.report.expect("collected run")))
+        .collect();
+
+    let spilled = Mutex::new(vec![None; cfgs.len()]);
+    let results = wb
+        .sweep(&cfgs, Workload::trace(&trace))
+        .threads(4)
+        .on_result(|outcome| {
+            let mut slots = spilled.lock().unwrap();
+            assert!(
+                slots[outcome.index].is_none(),
+                "job {} delivered twice",
+                outcome.index
+            );
+            slots[outcome.index] = Some(format!("{:?}", outcome.report.expect("spilled run")));
+        })
+        .run();
+
+    assert!(results.spilled_to_sink());
+    for item in &results {
+        assert!(item.is_ok());
+        assert!(
+            item.report.is_none(),
+            "spilled sweeps must not retain reports ({})",
+            item.label
+        );
+    }
+    let spilled = spilled.into_inner().unwrap();
+    for (i, got) in spilled.into_iter().enumerate() {
+        assert_eq!(
+            got.expect("every job delivered"),
+            want[i],
+            "sink outcome {i} diverged from the collecting sweep"
         );
     }
 }

@@ -4,7 +4,10 @@
 //! sequences, so their [`fcache::SimReport`]s must be bit-identical (the
 //! whole report, compared through `Debug`, including event counts).
 
-use fcache::{run_source, run_trace, Architecture, SimConfig, SimError, Workbench, WorkloadSpec};
+use fcache::{
+    run_source, run_trace, Architecture, Scenario, SimConfig, SimError, Workbench, Workload,
+    WorkloadSpec,
+};
 use fcache_types::{ByteSize, SliceSource, TraceMeta, TraceOp, TraceReader, TraceSource};
 
 fn configs() -> Vec<SimConfig> {
@@ -111,6 +114,53 @@ fn multi_host_streams_stay_identical() {
     let materialized = format!("{:?}", wb.run(&cfg, &spec).expect("materialized"));
     let streamed = format!("{:?}", wb.run_streamed(&cfg, &spec).expect("generated"));
     assert_eq!(streamed, materialized);
+}
+
+#[test]
+fn scenario_workload_kinds_are_bit_identical() {
+    // The three `Workload` constructors are one surface over the three
+    // replay paths this suite pins pairwise; a `Scenario` must be
+    // indifferent to which one it is handed.
+    let wb = Workbench::new(4096, 29);
+    let spec = WorkloadSpec {
+        working_set: ByteSize::gib(20),
+        seed: 37,
+        ..WorkloadSpec::default()
+    };
+    let trace = wb.make_trace(&spec);
+    let path = std::env::temp_dir().join("fcache_scenario_workloads.bin");
+    let mut buf = Vec::new();
+    trace.encode(&mut buf).expect("encode");
+    std::fs::write(&path, &buf).expect("write archive");
+
+    for cfg in configs() {
+        let cfg = cfg.scaled_down(4096);
+        let want = format!(
+            "{:?}",
+            Scenario::new(cfg.clone(), Workload::trace(&trace))
+                .run()
+                .expect("trace workload")
+        );
+        let streamed = Scenario::new(cfg.clone(), wb.workload(&spec))
+            .run()
+            .expect("streamed workload");
+        assert_eq!(
+            format!("{streamed:?}"),
+            want,
+            "streamed workload diverged for {:?}",
+            cfg.arch
+        );
+        let filed = Scenario::new(cfg.clone(), Workload::file(&path))
+            .run()
+            .expect("file workload");
+        assert_eq!(
+            format!("{filed:?}"),
+            want,
+            "file workload diverged for {:?}",
+            cfg.arch
+        );
+    }
+    let _ = std::fs::remove_file(&path);
 }
 
 /// A source whose ops exceed the host grid its metadata promises.

@@ -62,6 +62,26 @@ pub trait TraceSource {
     fn next_chunk(&mut self, out: &mut Vec<TraceOp>, max: usize) -> io::Result<usize>;
 }
 
+impl<S: TraceSource + ?Sized> TraceSource for Box<S> {
+    fn meta(&self) -> &TraceMeta {
+        (**self).meta()
+    }
+
+    fn next_chunk(&mut self, out: &mut Vec<TraceOp>, max: usize) -> io::Result<usize> {
+        (**self).next_chunk(out, max)
+    }
+}
+
+impl<S: TraceSource + ?Sized> TraceSource for &mut S {
+    fn meta(&self) -> &TraceMeta {
+        (**self).meta()
+    }
+
+    fn next_chunk(&mut self, out: &mut Vec<TraceOp>, max: usize) -> io::Result<usize> {
+        (**self).next_chunk(out, max)
+    }
+}
+
 /// [`TraceSource`] over an in-memory [`Trace`].
 ///
 /// Used to route materialized traces through the same streamed-replay code

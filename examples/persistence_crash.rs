@@ -6,9 +6,13 @@
 //! half of the trace, "equivalent to having a non-persistent flash cache
 //! and crashing at the start of the simulator run".
 //!
+//! Each working-set row is a two-job `Sweep` whose jobs replay *different*
+//! workloads (the crash run drops the warmup half), so they go in as
+//! per-job scenarios over streamed workloads — nothing is materialized.
+//!
 //! Run with: `cargo run --release --example persistence_crash [scale]`
 
-use fcache::{SimConfig, Workbench, WorkloadSpec};
+use fcache::{SimConfig, Sweep, Workbench, WorkloadSpec};
 use fcache_device::FlashModel;
 use fcache_types::ByteSize;
 
@@ -31,19 +35,27 @@ fn main() {
             ..WorkloadSpec::default()
         };
 
-        // Warmed + persistent: metadata writes double the flash write cost.
+        // Warmed + persistent: metadata writes double the flash write
+        // cost. Not warmed: cold caches see the measured half directly.
         let persistent_cfg = SimConfig {
             flash_model: FlashModel::default().with_persistence(true),
             ..SimConfig::baseline()
         };
-        let warmed = wb.run(&persistent_cfg, &base).expect("run");
-
-        // Not warmed: cold caches see the measured half directly.
         let crash_spec = WorkloadSpec {
             skip_warmup: true,
             ..base.clone()
         };
-        let cold = wb.run(&SimConfig::baseline(), &crash_spec).expect("run");
+        let mut reports = Sweep::new()
+            .scenario("warmed persistent", wb.scenario(&persistent_cfg, &base))
+            .scenario(
+                "crash not-warmed",
+                wb.scenario(&SimConfig::baseline(), &crash_spec),
+            )
+            .run()
+            .expect_reports("persistence sweep")
+            .into_iter();
+        let warmed = reports.next().expect("warmed report");
+        let cold = reports.next().expect("cold report");
 
         let penalty =
             100.0 * (cold.read_latency_us() - warmed.read_latency_us()) / warmed.read_latency_us();

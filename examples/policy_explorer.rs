@@ -6,9 +6,13 @@
 //! that avoids synchronous writes to the filer (`s` rows/columns and the
 //! all-dirty `n`/`n` corner) performs essentially identically.
 //!
+//! The 49 configurations are one labeled `Sweep` over a shared
+//! materialized trace: every job replays the same borrowed ops (zero
+//! copies) and the grid fans out across worker threads.
+//!
 //! Run with: `cargo run --release --example policy_explorer [arch] [scale]`
 
-use fcache::{Architecture, SimConfig, Workbench, WorkloadSpec, WritebackPolicy};
+use fcache::{Architecture, SimConfig, Sweep, Workbench, Workload, WorkloadSpec, WritebackPolicy};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -26,27 +30,30 @@ fn main() {
     let spec = WorkloadSpec::baseline_80g();
     let trace = wb.make_trace(&spec);
 
-    let mut reads = Vec::new();
-    let mut writes = Vec::new();
+    let mut sweep = Sweep::over(Workload::trace(&trace));
     for ram_policy in WritebackPolicy::ALL {
-        let mut rrow = Vec::new();
-        let mut wrow = Vec::new();
         for flash_policy in WritebackPolicy::ALL {
             let cfg = SimConfig {
                 arch,
                 ram_policy,
                 flash_policy,
                 ..SimConfig::baseline()
-            };
-            let r = wb.run_with_trace(&cfg, &trace).expect("run");
-            rrow.push(r.read_latency_us());
-            wrow.push(r.write_latency_us());
+            }
+            .scaled_down(scale);
+            sweep = sweep.config(
+                format!("ram={} flash={}", ram_policy.label(), flash_policy.label()),
+                cfg,
+            );
         }
-        reads.push(rrow);
-        writes.push(wrow);
-        eprint!(".");
     }
-    eprintln!();
+    let results = sweep.run().expect_reports("policy surface");
+
+    let mut reads = Vec::new();
+    let mut writes = Vec::new();
+    for row in results.chunks(WritebackPolicy::ALL.len()) {
+        reads.push(row.iter().map(|r| r.read_latency_us()).collect::<Vec<_>>());
+        writes.push(row.iter().map(|r| r.write_latency_us()).collect::<Vec<_>>());
+    }
 
     for (name, grid) in [("READ", &reads), ("WRITE", &writes)] {
         println!("{name} latency (us/block); rows = RAM policy, cols = flash policy");

@@ -1,10 +1,15 @@
 //! Quickstart: run the paper's baseline experiment at laptop scale.
 //!
 //! Builds the 1.4 TB Impressions-style file-server model at 1/256 scale,
-//! generates the 80 GB-working-set baseline trace (30 % writes, eight
-//! threads), and runs it through the naive architecture with 8 GB RAM and
-//! 64 GB flash — the configuration §7.1 of the paper settles on (one-second
-//! periodic RAM writeback, asynchronous write-through flash).
+//! then runs the 60 GB and 80 GB baseline workloads (30 % writes, eight
+//! threads) through the naive architecture with 8 GB RAM and 64 GB flash —
+//! the configuration §7.1 of the paper settles on (one-second periodic RAM
+//! writeback, asynchronous write-through flash).
+//!
+//! Each experiment is one `Scenario`: a configuration paired with a
+//! workload. `Workbench::scenario` builds it from paper-scale quantities
+//! (scaling the sizes internally) over a *streamed* workload, so the trace
+//! is generated in bounded chunks and never materialized.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -29,7 +34,7 @@ fn main() {
             spec.working_set,
             spec.write_fraction * 100.0
         );
-        let report = wb.run(&cfg, &spec).expect("simulation runs");
+        let report = wb.scenario(&cfg, &spec).run().expect("simulation runs");
         println!("{report}");
         println!(
             "  -> application read latency  {:>8.1} us/block",

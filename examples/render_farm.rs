@@ -41,7 +41,8 @@ fn main() {
                 flash_size: flash,
                 ..SimConfig::baseline()
             };
-            let report = wb.run(&cfg, &spec).expect("run");
+            // One scenario per cell: streamed generation, nothing resident.
+            let report = wb.scenario(&cfg, &spec).run().expect("run");
             let (p50, p95, _) = report.metrics.read_hist.p50_p95_p99_us();
             println!(
                 "{:>7}% {:>9} | {:>12.1} {:>13.2} {:>9.0} {:>9.0} {:>9.1}",

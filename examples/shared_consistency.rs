@@ -37,7 +37,8 @@ fn main() {
                 flash_size: flash,
                 ..SimConfig::baseline()
             };
-            let r = wb.run(&cfg, &spec).expect("run");
+            // One scenario per cell: streamed generation, nothing resident.
+            let r = wb.scenario(&cfg, &spec).run().expect("run");
             println!(
                 "{:>9} {:>9}% | {:>13.1}% {:>14.1} {:>12.2}",
                 flash.to_string(),

@@ -6,9 +6,12 @@
 //! policy is asynchronous write-through. The freed RAM can go to the
 //! application instead.
 //!
+//! The 16 configurations (8 RAM sizes × 2 writeback policies) run as one
+//! labeled `Sweep` over the shared materialized trace.
+//!
 //! Run with: `cargo run --release --example tiny_ram [scale]`
 
-use fcache::{SimConfig, Workbench, WorkloadSpec, WritebackPolicy};
+use fcache::{SimConfig, Sweep, Workbench, Workload, WorkloadSpec, WritebackPolicy};
 use fcache_types::ByteSize;
 
 fn main() {
@@ -39,8 +42,10 @@ fn main() {
         "{:>10} {:>10} | {:>12} {:>13} | {:>12} {:>13}",
         "RAM", "scaled", "read(a) us", "write(a) us", "read(p1) us", "write(p1) us"
     );
+    // One labeled job per (RAM size, policy): 16 configurations fanned
+    // out over the shared trace in a single sweep.
+    let mut sweep = Sweep::over(Workload::trace(&trace));
     for ram in sizes {
-        let mut row = Vec::new();
         for policy in [
             WritebackPolicy::AsyncWriteThrough,
             WritebackPolicy::Periodic(1),
@@ -50,15 +55,22 @@ fn main() {
                 scaled_ram = ByteSize::bytes_exact(4096); // floor: one block
             }
             let cfg = SimConfig {
-                // Sizes here are paper-scale; feed the pre-scaled value by
-                // multiplying back up so Workbench's scaling lands on it.
-                ram_size: ByteSize::bytes_exact(scaled_ram.bytes() * scale),
+                ram_size: scaled_ram,
                 ram_policy: policy,
-                ..SimConfig::baseline()
+                ..SimConfig::baseline().scaled_down(scale)
             };
-            let r = wb.run_with_trace(&cfg, &trace).expect("run");
-            row.push((r.read_latency_us(), r.write_latency_us()));
+            sweep = sweep.config(format!("ram={ram} {}", policy.label()), cfg);
         }
+    }
+    let mut results = sweep.run().expect_reports("tiny-RAM sweep").into_iter();
+
+    for ram in sizes {
+        let row: Vec<(f64, f64)> = (0..2)
+            .map(|_| {
+                let r = results.next().expect("one report per job");
+                (r.read_latency_us(), r.write_latency_us())
+            })
+            .collect();
         let scaled = {
             let s = ram.scaled_down(scale);
             if !ram.is_zero() && s.blocks() == 0 {

@@ -2,6 +2,11 @@
 //!
 //! Hosts the workspace-level examples and integration tests; re-exports the
 //! member crates for convenient access from a single dependency.
+//!
+//! The run surface lives in [`fcache`]: pair a `SimConfig` with a
+//! `Workload` (shared trace, per-job regenerated stream, or archived
+//! file) in a `Scenario`, or fan a labeled grid of configurations out
+//! with the `Sweep` builder — see `fcache::scenario` and the examples.
 
 pub use fcache;
 pub use fcache_cache;
