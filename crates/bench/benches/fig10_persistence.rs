@@ -8,12 +8,20 @@
 //! Shape to reproduce: the doubled flash write latency is invisible to the
 //! application; the not-warmed (post-crash) runs are substantially slower
 //! than the warmed ones; the no-flash line is shown for comparison.
+//!
+//! Pipeline shape: all 30 jobs (10 working sets × 3 scenario kinds) run as
+//! ONE sweep whose rows stream through a tee of a durable JSONL sink
+//! (`target/paper-figures/fig10_persistence.jsonl`) and a scalar
+//! extractor. No report vector is ever materialized.
 
 use fcache_bench::{
-    f, header, scale_from_env, shape_check, ByteSize, SimConfig, Sweep, Table, Workbench,
+    f, header, scale_from_env, shape_check, ByteSize, FigSink, SimConfig, Sweep, Table, Workbench,
     WorkloadSpec, WS_SWEEP_GIB,
 };
 use fcache_device::FlashModel;
+
+/// The three scenario kinds per working-set row, in job order.
+const KINDS: usize = 3;
 
 fn main() {
     let scale = scale_from_env(1024);
@@ -33,6 +41,43 @@ fn main() {
         ..SimConfig::baseline()
     };
 
+    // Rows stream out as (read_us, write_us) pairs, slot-indexed by
+    // `ws_i * KINDS + kind`; the durable JSONL keeps the full reports.
+    let mut sink = FigSink::new("fig10_persistence", WS_SWEEP_GIB.len() * KINDS);
+
+    // The grid is not a rectangular config × workload product (the cold
+    // spec only pairs with the persistent config), so the jobs are
+    // explicit scenarios; each regenerates its own stream, nothing is
+    // materialized.
+    let mut sweep = Sweep::new();
+    for ws in WS_SWEEP_GIB {
+        let warmed_spec = WorkloadSpec {
+            working_set: ByteSize::gib(ws),
+            seed: ws,
+            ..WorkloadSpec::default()
+        };
+        let cold_spec = WorkloadSpec {
+            skip_warmup: true,
+            ..warmed_spec.clone()
+        };
+        sweep = sweep
+            .scenario(
+                format!("ws{ws}/no-flash warmed"),
+                wb.scenario(&no_flash, &warmed_spec),
+            )
+            .scenario(
+                format!("ws{ws}/flash64 not-warmed"),
+                wb.scenario(&persistent, &cold_spec),
+            )
+            .scenario(
+                format!("ws{ws}/flash64 warmed"),
+                wb.scenario(&persistent, &warmed_spec),
+            );
+    }
+    let results = sweep.sink(&mut sink).run();
+    eprintln!();
+    let slots = sink.finish(&results, "figure 10 sweep");
+
     let mut t = Table::new(
         "Figure 10 — read latency (µs/block)",
         &[
@@ -45,45 +90,24 @@ fn main() {
     );
     let mut cold_gap = Vec::new();
     let mut write_cost = Vec::new();
-    for ws in WS_SWEEP_GIB {
-        let warmed_spec = WorkloadSpec {
-            working_set: ByteSize::gib(ws),
-            seed: ws,
-            ..WorkloadSpec::default()
-        };
-        let cold_spec = WorkloadSpec {
-            skip_warmup: true,
-            ..warmed_spec.clone()
-        };
-
-        // Three independent jobs over two distinct workloads (the cold
-        // spec drops the warmup half) — fan them out as per-job scenarios;
-        // each job regenerates its own stream, nothing is materialized.
-        let mut results = Sweep::new()
-            .scenario("no-flash warmed", wb.scenario(&no_flash, &warmed_spec))
-            .scenario("flash64 not-warmed", wb.scenario(&persistent, &cold_spec))
-            .scenario("flash64 warmed", wb.scenario(&persistent, &warmed_spec))
-            .run()
-            .expect_reports("figure 10 sweep")
-            .into_iter();
-        let nf = results.next().unwrap();
-        let cold = results.next().unwrap();
-        let warm = results.next().unwrap();
+    for (wi, &ws) in WS_SWEEP_GIB.iter().enumerate() {
+        let (nf_read, _) = slots[wi * KINDS];
+        let (cold_read, _) = slots[wi * KINDS + 1];
+        let (warm_read, warm_write) = slots[wi * KINDS + 2];
         t.row(vec![
             ws.to_string(),
-            f(nf.read_latency_us()),
-            f(cold.read_latency_us()),
-            f(warm.read_latency_us()),
-            f(warm.write_latency_us()),
+            f(nf_read),
+            f(cold_read),
+            f(warm_read),
+            f(warm_write),
         ]);
         if (20..=160).contains(&ws) {
-            cold_gap.push(cold.read_latency_us() / warm.read_latency_us());
+            cold_gap.push(cold_read / warm_read);
         }
-        write_cost.push(warm.write_latency_us());
-        eprint!(".");
+        write_cost.push(warm_write);
     }
-    eprintln!();
     t.note("not-warmed = crash at start of run with a non-persistent cache.");
+    t.note("full rows (schema-versioned JSONL): paper-figures/fig10_persistence.jsonl");
     t.emit("fig10_persistence");
 
     let mean_gap = cold_gap.iter().sum::<f64>() / cold_gap.len() as f64;

@@ -7,10 +7,17 @@
 //! policy does not matter"; the unified architecture posts the lowest read
 //! latencies; naive and lookaside write at RAM speed while unified pays
 //! ~8/9 of the flash write latency.
+//!
+//! Pipeline shape: all 147 combinations (49 policy pairs × 3
+//! architectures) run as ONE sweep over the shared materialized trace,
+//! streamed through a tee of one durable JSONL sink
+//! (`target/paper-figures/fig2_policy_surface.jsonl` — one row per job,
+//! globally unique indices) and a scalar extractor. No report vector is
+//! ever materialized.
 
 use fcache_bench::{
-    f, f2, header, run_configs, scale_from_env, shape_check, Architecture, SimConfig, Table,
-    Workbench, WorkloadSpec, WritebackPolicy,
+    f, f2, figures_dir, header, scale_from_env, shape_check, Architecture, FigSink, SimConfig,
+    Sweep, Table, Workbench, Workload, WorkloadSpec, WritebackPolicy,
 };
 
 fn main() {
@@ -24,7 +31,40 @@ fn main() {
     let wb = Workbench::new(scale, 42);
     let trace = wb.make_trace(&WorkloadSpec::baseline_80g());
 
-    for arch in Architecture::ALL {
+    // One flat job list, arch-major: job index =
+    // arch_i * 49 + ram_i * 7 + flash_i. Keeping all 147 jobs in a single
+    // sweep gives the JSONL globally unique row indices (the row key
+    // everywhere else in the pipeline) and the widest fan-out.
+    let combos: Vec<(Architecture, WritebackPolicy, WritebackPolicy)> = Architecture::ALL
+        .into_iter()
+        .flat_map(|arch| {
+            WritebackPolicy::ALL.into_iter().flat_map(move |rp| {
+                WritebackPolicy::ALL
+                    .into_iter()
+                    .map(move |fp| (arch, rp, fp))
+            })
+        })
+        .collect();
+    let mut sink = FigSink::new("fig2_policy_surface", combos.len());
+    let mut sweep = Sweep::over(Workload::trace(&trace));
+    for &(arch, ram_policy, flash_policy) in &combos {
+        sweep = sweep.config(
+            format!("{arch}/r={}/f={}", ram_policy.label(), flash_policy.label()),
+            SimConfig {
+                arch,
+                ram_policy,
+                flash_policy,
+                ..SimConfig::baseline()
+            }
+            .scaled_down(wb.scale()),
+        );
+    }
+    let results = sweep.sink(&mut sink).run();
+    eprintln!();
+    let slots = sink.finish(&results, "figure 2 sweep");
+    let per_arch = WritebackPolicy::ALL.len() * WritebackPolicy::ALL.len();
+
+    for (ai, arch) in Architecture::ALL.into_iter().enumerate() {
         let mut reads = Table::new(
             &format!("Figure 2 — read latency (µs/block), {arch}"),
             &["ram\\flash", "s", "a", "p1", "p5", "p15", "p30", "n"],
@@ -35,31 +75,15 @@ fn main() {
         );
         let mut interior_writes = Vec::new();
         let mut sync_writes = Vec::new();
-        // All 49 policy combinations are independent: fan them out as one
-        // parallel sweep per architecture instead of 49 serial runs.
-        let combos: Vec<(WritebackPolicy, WritebackPolicy)> = WritebackPolicy::ALL
-            .into_iter()
-            .flat_map(|rp| WritebackPolicy::ALL.into_iter().map(move |fp| (rp, fp)))
-            .collect();
-        let cfgs: Vec<SimConfig> = combos
-            .iter()
-            .map(|&(ram_policy, flash_policy)| SimConfig {
-                arch,
-                ram_policy,
-                flash_policy,
-                ..SimConfig::baseline()
-            })
-            .collect();
-        let results = run_configs(&wb, &cfgs, &trace);
-        for (chunk, ram_policy) in results
-            .chunks(WritebackPolicy::ALL.len())
-            .zip(WritebackPolicy::ALL)
-        {
+
+        for (ri, ram_policy) in WritebackPolicy::ALL.into_iter().enumerate() {
             let mut rrow = vec![ram_policy.label()];
             let mut wrow = vec![ram_policy.label()];
-            for (r, flash_policy) in chunk.iter().zip(WritebackPolicy::ALL) {
-                rrow.push(f(r.read_latency_us()));
-                wrow.push(f2(r.write_latency_us()));
+            for (fi, flash_policy) in WritebackPolicy::ALL.into_iter().enumerate() {
+                let (read_us, write_us) =
+                    slots[ai * per_arch + ri * WritebackPolicy::ALL.len() + fi];
+                rrow.push(f(read_us));
+                wrow.push(f2(write_us));
                 // The benign interior (§7.1): both tiers asynchronous-ish —
                 // `a` or `pN` — so no app write ever blocks on the filer.
                 let async_ish = |p: WritebackPolicy| {
@@ -84,16 +108,14 @@ fn main() {
                     }
                 };
                 if async_ish(ram_policy) && async_ish(flash_policy) {
-                    interior_writes.push(r.write_latency_us());
+                    interior_writes.push(write_us);
                 } else if sync_to_filer {
-                    sync_writes.push(r.write_latency_us());
+                    sync_writes.push(write_us);
                 }
             }
             reads.row(rrow);
             writes.row(wrow);
-            eprint!(".");
         }
-        eprintln!();
         reads.emit(&format!("fig2_read_{arch}"));
         writes.emit(&format!("fig2_write_{arch}"));
 
@@ -121,4 +143,8 @@ fn main() {
             );
         }
     }
+    println!(
+        "# all 147 rows (schema-versioned JSONL): {}",
+        figures_dir().join("fig2_policy_surface.jsonl").display()
+    );
 }

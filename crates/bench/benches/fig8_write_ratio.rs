@@ -6,10 +6,16 @@
 //! independent of the write rate" — reads stable, writes at RAM speed —
 //! with complex degradation effects above 90 % ("taken with a grain of
 //! salt").
+//!
+//! Pipeline shape: the whole figure is ONE config × workload grid — the
+//! baseline configuration crossed with a 22-point workload axis
+//! ([`Sweep::workloads`]) — streamed through a tee of a durable JSONL sink
+//! (`target/paper-figures/fig8_write_ratio.jsonl`) and a scalar extractor.
+//! No report vector is ever materialized.
 
 use fcache_bench::{
-    f, f2, header, scale_from_env, shape_check, ByteSize, SimConfig, Sweep, Table, Workbench,
-    WorkloadSpec,
+    f, f2, header, scale_from_env, shape_check, ByteSize, FigSink, SimConfig, Sweep, Table,
+    Workbench, WorkloadSpec,
 };
 
 fn main() {
@@ -18,6 +24,31 @@ fn main() {
 
     let wb = Workbench::new(scale, 42);
     let pcts = [0u32, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+    let ws_gib = [60u64, 80];
+
+    // The workload axis, pct-major: job index = pct_i * 2 + ws_i.
+    let specs: Vec<WorkloadSpec> = pcts
+        .iter()
+        .flat_map(|&pct| {
+            ws_gib.iter().map(move |&ws| WorkloadSpec {
+                working_set: ByteSize::gib(ws),
+                write_fraction: f64::from(pct) / 100.0,
+                seed: ws * 100 + u64::from(pct),
+                ..WorkloadSpec::default()
+            })
+        })
+        .collect();
+
+    // Each finished job streams its row to the durable JSONL and drops to
+    // two scalars; the slot table is the only thing retained.
+    let mut sink = FigSink::new("fig8_write_ratio", specs.len());
+    let results = Sweep::new()
+        .workloads(wb.workloads(&specs))
+        .config("baseline", SimConfig::baseline().scaled_down(wb.scale()))
+        .sink(&mut sink)
+        .run();
+    eprintln!();
+    let slots = sink.finish(&results, "figure 8 sweep");
 
     let mut t = Table::new(
         "Figure 8 — latency vs write percentage",
@@ -25,48 +56,28 @@ fn main() {
     );
     let mut stable_writes = Vec::new();
     let mut stable_reads = Vec::new();
-    for pct in pcts {
-        let mut row = vec![pct.to_string()];
-        let mut reads = Vec::new();
-        let mut writes = Vec::new();
-        // The two working-set sizes use distinct workloads, so fan them
-        // out as per-job scenarios: each job regenerates its own stream,
-        // so neither trace is ever materialized.
-        let mut sweep = Sweep::new();
-        for ws in [60u64, 80] {
-            let spec = WorkloadSpec {
-                working_set: ByteSize::gib(ws),
-                write_fraction: f64::from(pct) / 100.0,
-                seed: ws * 100 + u64::from(pct),
-                ..WorkloadSpec::default()
-            };
-            sweep = sweep.scenario(
-                format!("{ws}G/{pct}%"),
-                wb.scenario(&SimConfig::baseline(), &spec),
-            );
-        }
-        for r in sweep.run().expect_reports("figure 8 sweep") {
-            reads.push(r.read_latency_us());
-            writes.push(r.write_latency_us());
-        }
-        row.push(if pct == 100 { "-".into() } else { f(reads[0]) });
-        row.push(if pct == 100 { "-".into() } else { f(reads[1]) });
-        row.push(if pct == 0 { "-".into() } else { f2(writes[0]) });
-        row.push(if pct == 0 { "-".into() } else { f2(writes[1]) });
-        t.row(row);
+    for (pi, &pct) in pcts.iter().enumerate() {
+        let (read60, write60) = slots[pi * 2];
+        let (read80, write80) = slots[pi * 2 + 1];
+        t.row(vec![
+            pct.to_string(),
+            if pct == 100 { "-".into() } else { f(read60) },
+            if pct == 100 { "-".into() } else { f(read80) },
+            if pct == 0 { "-".into() } else { f2(write60) },
+            if pct == 0 { "-".into() } else { f2(write80) },
+        ]);
         if (10..=80).contains(&pct) {
-            stable_writes.push(writes[1]);
+            stable_writes.push(write80);
         }
         if (10..=50).contains(&pct) {
-            stable_reads.push(reads[1]);
+            stable_reads.push(read80);
         }
-        eprint!(".");
     }
-    eprintln!();
     t.note("paper: below ~90% writes, reads are stable and writes stay at RAM speed.");
     t.note("our model saturates the gigabit segment with writeback traffic somewhat");
     t.note("earlier (reads rise above ~50-60% writes); the paper itself flags this");
     t.note("region as 'network saturation … imperfectly modeled' (§7.6).");
+    t.note("full rows (schema-versioned JSONL): paper-figures/fig8_write_ratio.jsonl");
     t.emit("fig8_write_ratio");
 
     let wmax = stable_writes.iter().cloned().fold(0.0f64, f64::max);

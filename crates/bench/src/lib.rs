@@ -17,10 +17,11 @@ use std::fs;
 use std::path::PathBuf;
 
 pub use fcache::{
-    run_source, run_sweep, run_trace, Architecture, FlashTiming, Scenario, SimConfig, SimReport,
-    Sweep, SweepResults, Workbench, Workload, WorkloadSpec, WritebackPolicy,
+    read_rows, run_source, run_sweep, run_trace, sink_fn, Architecture, DecodedRow, FlashTiming,
+    JsonlSink, MemorySink, ResultRow, ResultSink, Scenario, SimConfig, SimReport, Sweep,
+    SweepResults, TeeSink, Workbench, Workload, WorkloadSpec, WritebackPolicy, REPORT_SCHEMA,
 };
-pub use fcache_types::{ByteSize, Trace, TraceReader, TraceSource};
+pub use fcache_types::{ByteSize, Json, Trace, TraceReader, TraceSource};
 
 /// Runs a set of paper-scale configurations against one trace through the
 /// [`Sweep`] fan-out, unwrapping each report.
@@ -37,6 +38,74 @@ pub use fcache_types::{ByteSize, Trace, TraceReader, TraceSource};
 pub fn run_configs(wb: &Workbench, cfgs: &[SimConfig], trace: &Trace) -> Vec<SimReport> {
     wb.run_sweep_with_trace(cfgs, trace)
         .expect_reports("figure sweep")
+}
+
+/// The sink plumbing shared by the figure harnesses: streams every
+/// finished job's row to `<name>.jsonl` under [`figures_dir`] (durable,
+/// schema-versioned, flushed per row) while extracting the two scalars the
+/// figures plot — `(read_latency_us, write_latency_us)` — into a
+/// job-indexed slot table. No report vector is ever materialized.
+///
+/// Sweep sink deliveries are serialized, so no lock is needed around the
+/// slots.
+pub struct FigSink {
+    jsonl: JsonlSink,
+    slots: Vec<Option<(f64, f64)>>,
+}
+
+impl FigSink {
+    /// Creates the sink for a figure with `jobs` sweep jobs, writing
+    /// `<name>.jsonl` under the figures directory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the results file cannot be created (a figure without its
+    /// durable rows is not worth running).
+    pub fn new(name: &str, jobs: usize) -> Self {
+        let path = figures_dir().join(format!("{name}.jsonl"));
+        Self {
+            jsonl: JsonlSink::create(&path)
+                .unwrap_or_else(|e| panic!("create {}: {e}", path.display())),
+            slots: vec![None; jobs],
+        }
+    }
+
+    /// Checks the sweep outcome and returns the per-job scalars in job
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics — naming `what` and the job — if any job failed, the sink
+    /// errored, or a slot was never delivered (a figure cannot be
+    /// produced from a partial sweep).
+    pub fn finish(self, results: &SweepResults, what: &str) -> Vec<(f64, f64)> {
+        if let Some(err) = results.first_error() {
+            panic!("{what}: {err}");
+        }
+        if let Some(err) = results.sink_error() {
+            panic!("{what} results sink: {err}");
+        }
+        self.slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| slot.unwrap_or_else(|| panic!("{what}: job {i} never delivered")))
+            .collect()
+    }
+}
+
+impl ResultSink for FigSink {
+    fn on_row(&mut self, row: ResultRow) -> std::io::Result<()> {
+        let r = &row.report;
+        let slot = (row.index, (r.read_latency_us(), r.write_latency_us()));
+        self.jsonl.on_row(row)?;
+        self.slots[slot.0] = Some(slot.1);
+        eprint!(".");
+        Ok(())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.jsonl.flush()
+    }
 }
 
 /// Reads the scale-factor override, falling back to the figure's default.

@@ -5,8 +5,8 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
 use fcache::{
-    Architecture, FlashTiming, Scenario, SimConfig, SimReport, Sweep, Workbench, Workload,
-    WorkloadSpec, WritebackPolicy,
+    read_rows, Architecture, DecodedRow, FlashTiming, JsonlSink, MemorySink, ResultSink, Scenario,
+    SimConfig, Sweep, Workbench, Workload, WorkloadSpec, WritebackPolicy, REPORT_SCHEMA,
 };
 use fcache_device::{SimTime, SsdConfig};
 use fcache_types::{stream_stats, ByteSize, TraceReader, TraceSource};
@@ -21,6 +21,8 @@ fcsim — client-side flash-cache simulator (USENIX ATC '13 reproduction)
 USAGE:
   fcsim run [flags]          run one configuration against a generated workload
   fcsim sweep [flags]        run a config sweep in parallel (see SWEEP FLAGS)
+  fcsim report FILE          summarize a JSONL results file written by
+                             `sweep --out` (schema check + metrics table)
   fcsim table1               print the Table 1 timing parameters
   fcsim gen-trace [flags]    generate a trace file (--out required)
   fcsim trace-stats --in F   summarize a trace file (streamed, O(chunk) memory)
@@ -38,6 +40,14 @@ SWEEP FLAGS (in addition to the common/workload flags):
                                    sharing one materialized trace: sweep
                                    memory drops to O(chunk x jobs)
   --serial                         run serially (baseline for timing)
+  --out FILE                       stream each finished job to FILE as one
+                                   schema-versioned JSON row per line,
+                                   flushed per row (durable results)
+  --resume                         with --out: skip jobs whose rows are
+                                   already in FILE (tolerates the torn last
+                                   line a killed run leaves) and append the
+                                   rest — the final row set matches an
+                                   uninterrupted run
 
 COMMON FLAGS (run / replay):
   --arch naive|lookaside|unified   cache architecture        [naive]
@@ -80,6 +90,7 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
         }
         Some("run") => cmd_run(&argv[1..]),
         Some("sweep") => cmd_sweep(&argv[1..]),
+        Some("report") => cmd_report(&argv[1..]),
         Some("table1") => cmd_table1(),
         Some("gen-trace") => cmd_gen_trace(&argv[1..]),
         Some("trace-stats") => cmd_trace_stats(&argv[1..]),
@@ -116,7 +127,14 @@ const CFG_FLAGS: &[&str] = &[
     "ssd-read-base",
     "ssd-write-base",
 ];
-const CFG_BOOLS: &[&str] = &["persistent", "duplex", "skip-warmup", "serial", "streamed"];
+const CFG_BOOLS: &[&str] = &[
+    "persistent",
+    "duplex",
+    "skip-warmup",
+    "serial",
+    "streamed",
+    "resume",
+];
 
 fn config_from(flags: &Flags) -> Result<SimConfig, ArgError> {
     let mut cfg = SimConfig::baseline();
@@ -231,6 +249,15 @@ fn cmd_run(args: &[String]) -> CmdResult {
     Ok(())
 }
 
+fn ensure_unique<T: PartialEq + std::fmt::Display>(list: &[T], flag: &str) -> Result<(), ArgError> {
+    for (i, v) in list.iter().enumerate() {
+        if list[..i].contains(v) {
+            return Err(ArgError(format!("--{flag} contains duplicate {v}")));
+        }
+    }
+    Ok(())
+}
+
 fn parse_list<T: std::str::FromStr>(raw: &str, what: &str) -> Result<Vec<T>, ArgError>
 where
     T::Err: std::fmt::Display,
@@ -274,6 +301,11 @@ fn cmd_sweep(args: &[String]) -> CmdResult {
             "--arch-list / --flash-list must name at least one value".into(),
         )));
     }
+    // Duplicate axis entries would produce duplicate job labels, which
+    // break label-keyed results (resume refuses them with a library
+    // assert); reject them here as ordinary flag errors.
+    ensure_unique(&archs, "arch-list")?;
+    ensure_unique(&flash_sizes, "flash-list")?;
     // --threads is the builder-facing name; --jobs stays as an alias.
     let threads: usize = match flags.get("threads") {
         Some(_) => flags.get_parsed("threads", 0usize)?,
@@ -298,11 +330,91 @@ fn cmd_sweep(args: &[String]) -> CmdResult {
         }
     }
 
+    let out = flags.get("out");
+    if flags.has("resume") && out.is_none() {
+        return Err(Box::new(ArgError("--resume requires --out FILE".into())));
+    }
+    let jobs = cfgs.len();
+
+    // Job labels carry the full workload identity (ws/write-pct/seed,
+    // plus hosts/cold when off-baseline), not just arch/flash: resume
+    // matches rows by label, and a label that omitted the workload would
+    // let a results file from a different --ws/--seed satisfy this sweep
+    // with stale rows.
+    let spec_label = spec.label();
+    let job_labels: Vec<String> = labels
+        .iter()
+        .map(|(arch, fs)| format!("{}/{} {spec_label}", arch.name(), fs))
+        .collect();
+
+    // Every finished job streams through a sink: a durable JSONL file
+    // (--out; flushed per row, so a killed sweep resumes with --resume) or
+    // an in-memory collector. Reports are never held as a vector. The
+    // sinks — and the resume skip set — are prepared before the workload,
+    // both for borrow ordering and so a fully-resumed sweep never pays
+    // for trace generation.
+    let mut jsonl = None;
+    let mut memory = MemorySink::new();
+    let mut skip: Vec<String> = Vec::new();
+    match out {
+        Some(path) if flags.has("resume") => {
+            // One decode pass: JsonlSink::resume truncates any torn tail
+            // and returns the surviving rows, whose serialized configs
+            // are checked against the jobs they would skip — resuming
+            // against a file produced by different flags is an error, not
+            // a silent pile of stale rows.
+            let (sink, rows) = JsonlSink::resume(path)?;
+            for row in &rows {
+                let Some(job) = job_labels
+                    .iter()
+                    .position(|label| *label == row.label)
+                    .map(|i| &cfgs[i])
+                else {
+                    // A label this sweep would never produce means the
+                    // file belongs to a different sweep (other workload
+                    // flags, other grid); appending would mix two runs'
+                    // rows in one artifact.
+                    return Err(format!(
+                        "{path}: row {:?} is not part of this sweep; refusing to \
+                         resume — use a new --out file",
+                        row.label
+                    )
+                    .into());
+                };
+                let want = fcache::results::config_to_json(job);
+                if row.config != want {
+                    return Err(format!(
+                        "{path}: row {:?} was produced by a different configuration \
+                         (file: {}, requested: {}); refusing to resume — use a new \
+                         --out file",
+                        row.label,
+                        row.config.to_string(),
+                        want.to_string(),
+                    )
+                    .into());
+                }
+            }
+            if !rows.is_empty() {
+                eprintln!(
+                    "# resuming: {} of {jobs} rows already in {path}",
+                    rows.len()
+                );
+            }
+            skip = rows.into_iter().map(|r| r.label).collect();
+            jsonl = Some(sink);
+        }
+        Some(path) => jsonl = Some(JsonlSink::create(path)?),
+        None => {}
+    }
+
     // The workload axis: one shared materialized trace (zero-copy across
     // jobs, O(trace) resident) or a per-job regenerated stream
-    // (O(chunk × jobs) resident — nothing is ever materialized).
+    // (O(chunk × jobs) resident — nothing is ever materialized). A fully
+    // resumed sweep runs nothing, so it takes the lazy streamed form and
+    // skips trace generation entirely.
+    let all_resumed = job_labels.iter().all(|l| skip.contains(l));
     let trace;
-    let workload = if flags.has("streamed") {
+    let workload = if flags.has("streamed") || all_resumed {
         wb.workload(&spec)
     } else {
         trace = wb.make_trace(&spec);
@@ -310,36 +422,57 @@ fn cmd_sweep(args: &[String]) -> CmdResult {
     };
     // Diagnostics go to stderr like the timing footer, keeping stdout a
     // clean one-header table for scripts.
-    eprintln!("# workload: {}", workload.describe());
+    if all_resumed {
+        eprintln!("# workload: all jobs resumed; nothing to generate or run");
+    } else {
+        eprintln!("# workload: {}", workload.describe());
+    }
 
     let t0 = std::time::Instant::now();
-    let mut sweep = Sweep::over(workload).threads(workers);
-    for ((arch, fs), cfg) in labels.iter().zip(cfgs.iter()) {
-        sweep = sweep.config(format!("{}/{}", arch.name(), fs), cfg.clone());
+    let mut sweep = Sweep::over(workload).threads(workers).skip_labels(skip);
+    for (label, cfg) in job_labels.iter().zip(cfgs.iter()) {
+        sweep = sweep.config(label.clone(), cfg.clone());
     }
+    let sink: &mut dyn ResultSink = match &mut jsonl {
+        Some(sink) => sink,
+        None => &mut memory,
+    };
+    let results = sweep.sink(sink).run();
+    let wall = t0.elapsed();
     // A failing job names its config (index + label) instead of
     // unwinding through a positional unwrap.
-    let results: Vec<SimReport> = sweep.run().into_reports().map_err(Box::new)?;
-    let wall = t0.elapsed();
+    if let Some(err) = results.first_error() {
+        return Err(Box::new(err));
+    }
+    if let Some(err) = results.sink_error() {
+        return Err(format!("results sink failed: {err}").into());
+    }
+    let skipped = results.skipped();
 
-    println!(
-        "{:>10}  {:>8}  {:>9}  {:>9}  {:>7}  {:>7}",
-        "arch", "flash", "read_us", "write_us", "ram%", "flash%"
-    );
-    for ((arch, fs), r) in labels.iter().zip(results.iter()) {
-        println!(
-            "{:>10}  {:>8}  {:>9.1}  {:>9.2}  {:>7.1}  {:>7.1}",
-            arch.name(),
-            fs.to_string(),
-            r.read_latency_us(),
-            r.write_latency_us(),
-            100.0 * r.ram_hit_rate(),
-            100.0 * r.flash_hit_rate_of_all_reads(),
-        );
+    // The printed table reads from the same rows the sink received — for
+    // --out, decoded back from the file (so what you see is exactly what
+    // the durable artifact holds, resumed rows included).
+    let mut rows: Vec<DecodedRow> = match out {
+        Some(path) => read_rows(path)?,
+        None => memory
+            .into_rows()
+            .into_iter()
+            .map(|r| DecodedRow {
+                index: r.index,
+                label: r.label,
+                config: fcache::results::config_to_json(&r.config),
+                report: r.report,
+            })
+            .collect(),
+    };
+    rows.sort_by_key(|r| r.index);
+    print_rows_table(&rows);
+    if let Some(path) = out {
+        eprintln!("# {} rows in {path} (schema {REPORT_SCHEMA})", rows.len());
     }
     eprintln!(
-        "# {} configs in {:.2}s ({})",
-        results.len(),
+        "# {} configs in {:.2}s ({}{})",
+        jobs,
         wall.as_secs_f64(),
         if workers == 1 {
             "serial".to_string()
@@ -353,10 +486,70 @@ fn cmd_sweep(args: &[String]) -> CmdResult {
                 } else {
                     workers
                 }
-                .min(results.len().max(1))
+                .min(jobs.max(1))
             )
+        },
+        if skipped > 0 {
+            format!("; {skipped} resumed, {} run", jobs - skipped)
+        } else {
+            String::new()
         }
     );
+    Ok(())
+}
+
+/// Renders decoded result rows as the standard metrics table.
+fn print_rows_table(rows: &[DecodedRow]) {
+    let label_w = rows
+        .iter()
+        .map(|r| r.label.len())
+        .chain(["label".len()])
+        .max()
+        .unwrap_or(5);
+    println!(
+        "{:>label_w$}  {:>9}  {:>9}  {:>7}  {:>7}",
+        "label", "read_us", "write_us", "ram%", "flash%"
+    );
+    for row in rows {
+        let r = &row.report;
+        println!(
+            "{:>label_w$}  {:>9.1}  {:>9.2}  {:>7.1}  {:>7.1}",
+            row.label,
+            r.read_latency_us(),
+            r.write_latency_us(),
+            100.0 * r.ram_hit_rate(),
+            100.0 * r.flash_hit_rate_of_all_reads(),
+        );
+    }
+}
+
+/// Summarizes a JSONL results file: schema check, row count, metrics
+/// table. The strict decode means a corrupt or drifted file fails loudly
+/// here rather than feeding silent garbage into a comparison.
+fn cmd_report(args: &[String]) -> CmdResult {
+    // Accept `fcsim report results.jsonl` or `--in results.jsonl`.
+    let (path, rest): (Option<&str>, &[String]) = match args.first() {
+        Some(first) if !first.starts_with("--") => (Some(first.as_str()), &args[1..]),
+        _ => (None, args),
+    };
+    let flags = Flags::parse(rest, &["in"], &[])?;
+    let path = path
+        .or_else(|| flags.get("in"))
+        .ok_or_else(|| ArgError("usage: fcsim report FILE".into()))?;
+    let mut rows = read_rows(path)?;
+    if rows.is_empty() {
+        return Err(Box::new(ArgError(format!("{path}: no result rows"))));
+    }
+    rows.sort_by_key(|r| r.index);
+    println!("# {path}: {} rows, schema {REPORT_SCHEMA}", rows.len());
+    print_rows_table(&rows);
+    let total_reads: u64 = rows.iter().map(|r| r.report.metrics.read_ops).sum();
+    let total_writes: u64 = rows.iter().map(|r| r.report.metrics.write_ops).sum();
+    let device_ops: u64 = rows.iter().map(|r| r.report.device.ops()).sum();
+    println!("# totals: {total_reads} read ops, {total_writes} write ops across all rows");
+    if device_ops > 0 {
+        println!("# device: {device_ops} serviced ops (ssd timing rows present)");
+    }
     Ok(())
 }
 
@@ -664,6 +857,117 @@ mod tests {
     fn sweep_rejects_bad_lists() {
         assert!(dispatch(&argv(&["sweep", "--arch-list", "bogus"])).is_err());
         assert!(dispatch(&argv(&["sweep", "--flash-list", "1Q"])).is_err());
+    }
+
+    #[test]
+    fn sweep_out_writes_rows_report_reads_them_and_resume_skips() {
+        let path = std::env::temp_dir().join("fcsim_test_results.jsonl");
+        let path_s = path.to_str().unwrap().to_string();
+        let sweep_args = |extra: &[&str]| {
+            let mut a = argv(&[
+                "sweep",
+                "--scale",
+                "16384",
+                "--ws",
+                "16G",
+                "--seed",
+                "9",
+                "--arch-list",
+                "naive,unified",
+                "--flash-list",
+                "0,16G",
+                "--out",
+                &path_s,
+            ]);
+            a.extend(argv(extra));
+            a
+        };
+        dispatch(&sweep_args(&[])).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 4, "one row per job:\n{text}");
+        assert!(text.lines().all(|l| l.contains("\"schema\":1")));
+        // Labels carry the workload identity, not just arch/flash.
+        assert!(
+            text.contains("\"label\":\"unified/16G ws=16G wr=30% seed=9\""),
+            "{text}"
+        );
+
+        // The report subcommand decodes the file (both arg forms).
+        dispatch(&argv(&["report", &path_s])).unwrap();
+        dispatch(&argv(&["report", "--in", &path_s])).unwrap();
+
+        // A complete file resumes to a no-op: the bytes are untouched.
+        dispatch(&sweep_args(&["--resume"])).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), text);
+
+        // Truncate to one complete row plus a torn half-row; resume
+        // restores the full row set.
+        let lines: Vec<&str> = text.lines().collect();
+        std::fs::write(
+            &path,
+            format!("{}\n{}", lines[0], &lines[1][..lines[1].len() / 2]),
+        )
+        .unwrap();
+        dispatch(&sweep_args(&["--resume"])).unwrap();
+        let resumed = std::fs::read_to_string(&path).unwrap();
+        let mut want: Vec<&str> = text.lines().collect();
+        let mut got: Vec<&str> = resumed.lines().collect();
+        want.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(got, want, "resumed row set must match the full run");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sweep_resume_requires_out() {
+        assert!(dispatch(&argv(&["sweep", "--resume"])).is_err());
+    }
+
+    #[test]
+    fn sweep_resume_refuses_a_file_from_different_flags() {
+        let path = std::env::temp_dir().join("fcsim_test_resume_mismatch.jsonl");
+        let path_s = path.to_str().unwrap().to_string();
+        let run = |extra: &[&str]| {
+            let mut a = argv(&[
+                "sweep",
+                "--scale",
+                "16384",
+                "--arch-list",
+                "naive",
+                "--flash-list",
+                "16G",
+                "--out",
+                &path_s,
+            ]);
+            a.extend(argv(extra));
+            dispatch(&a)
+        };
+        run(&["--ws", "16G", "--seed", "9"]).unwrap();
+        // Different workload (ws or seed): the file's rows are not part
+        // of this sweep — stale results must not satisfy a new query.
+        let err = run(&["--ws", "24G", "--seed", "9", "--resume"]).unwrap_err();
+        assert!(err.to_string().contains("not part of this sweep"), "{err}");
+        let err = run(&["--ws", "16G", "--seed", "8", "--resume"]).unwrap_err();
+        assert!(err.to_string().contains("not part of this sweep"), "{err}");
+        // Same labels but a different configuration knob (--ram): caught
+        // by the serialized-config cross-check.
+        let err = run(&["--ws", "16G", "--seed", "9", "--ram", "1G", "--resume"]).unwrap_err();
+        assert!(err.to_string().contains("different configuration"), "{err}");
+        // Identical flags still resume cleanly (no-op on a complete file).
+        let before = std::fs::read_to_string(&path).unwrap();
+        run(&["--ws", "16G", "--seed", "9", "--resume"]).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), before);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn report_rejects_missing_and_corrupt_files() {
+        assert!(dispatch(&argv(&["report"])).is_err());
+        assert!(dispatch(&argv(&["report", "/nonexistent/rows.jsonl"])).is_err());
+        let path = std::env::temp_dir().join("fcsim_test_corrupt.jsonl");
+        std::fs::write(&path, "not json\n").unwrap();
+        assert!(dispatch(&argv(&["report", path.to_str().unwrap()])).is_err());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

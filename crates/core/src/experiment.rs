@@ -101,6 +101,35 @@ impl WorkloadSpec {
         Self::default()
     }
 
+    /// A compact label naming this workload's axes
+    /// (`ws=80G wr=30% seed=42`, plus `hosts=`/`wsc=`/`cold` when
+    /// off-baseline). Used as the workload half of a sweep grid's
+    /// composite job labels — and label-based resume
+    /// ([`Sweep::resume_from`]) requires distinct specs to get distinct
+    /// labels, so every field that commonly forms an axis is included:
+    /// the seed always (two specs differing only in seed are different
+    /// workloads), and the write percentage at full precision down to
+    /// 0.01% (trailing zeros trimmed).
+    pub fn label(&self) -> String {
+        use std::fmt::Write as _;
+        // {:.2} then trim: "30.00" → "30", "12.50" → "12.5". Plain `{}`
+        // of `write_fraction * 100.0` would leak float noise
+        // ("30.000000000000004").
+        let pct = format!("{:.2}", self.write_fraction * 100.0);
+        let pct = pct.trim_end_matches('0').trim_end_matches('.');
+        let mut s = format!("ws={} wr={pct}% seed={}", self.working_set, self.seed);
+        if self.hosts != 1 {
+            let _ = write!(s, " hosts={}", self.hosts);
+        }
+        if self.ws_count != 1 {
+            let _ = write!(s, " wsc={}", self.ws_count);
+        }
+        if self.skip_warmup {
+            s.push_str(" cold");
+        }
+        s
+    }
+
     /// The 80 GB baseline workload of §4.
     pub fn baseline_80g() -> Self {
         Self {
@@ -183,10 +212,22 @@ impl Workbench {
 
     /// Builds a [`Sweep`] over `workload` from paper-scale configurations
     /// (scaled down here), auto-labeled by index, architecture, and cache
-    /// sizes. Chain [`Sweep::threads`] / [`Sweep::on_result`] before
-    /// running.
+    /// sizes. Chain [`Sweep::threads`] / [`Sweep::sink`] before running.
     pub fn sweep<'a>(&self, cfgs: &[SimConfig], workload: Workload<'a>) -> Sweep<'a> {
         Sweep::over(workload).configs(cfgs.iter().map(|cfg| cfg.clone().scaled_down(self.scale)))
+    }
+
+    /// Builds the labeled *workload axis* for a sweep grid from paper-scale
+    /// workload specs: each spec becomes a streamed [`Workload`] (per-job
+    /// regenerated, O(chunk) resident) labeled by [`WorkloadSpec::label`].
+    /// Feed the result to [`Sweep::workloads`] and every configuration
+    /// added afterwards crosses the whole axis — the Figures 8/10/11
+    /// config × workload grid in one call.
+    pub fn workloads(&self, specs: &[WorkloadSpec]) -> Vec<(String, Workload<'_>)> {
+        specs
+            .iter()
+            .map(|spec| (spec.label(), self.workload(spec)))
+            .collect()
     }
 
     /// Runs a paper-scale configuration against a workload: cache sizes in
@@ -284,6 +325,35 @@ mod tests {
     fn baseline_specs() {
         assert_eq!(WorkloadSpec::baseline_60g().working_set, ByteSize::gib(60));
         assert_eq!(WorkloadSpec::baseline_80g().working_set, ByteSize::gib(80));
+    }
+
+    #[test]
+    fn workload_labels_distinguish_axis_specs() {
+        let base = WorkloadSpec {
+            working_set: ByteSize::gib(80),
+            write_fraction: 0.3,
+            seed: 1,
+            ..WorkloadSpec::default()
+        };
+        assert_eq!(base.label(), "ws=80G wr=30% seed=1");
+        // Seed-only axes (the "≥2 seeds" grids) must not collide.
+        let other_seed = WorkloadSpec {
+            seed: 2,
+            ..base.clone()
+        };
+        assert_ne!(base.label(), other_seed.label());
+        // Fractional percentages survive without float-noise leakage.
+        let frac = WorkloadSpec {
+            write_fraction: 0.125,
+            ..base.clone()
+        };
+        assert!(frac.label().contains("wr=12.5%"), "{}", frac.label());
+        let off_baseline = WorkloadSpec {
+            hosts: 2,
+            skip_warmup: true,
+            ..base
+        };
+        assert!(off_baseline.label().ends_with("hosts=2 cold"));
     }
 
     #[test]

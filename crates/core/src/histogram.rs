@@ -12,7 +12,7 @@ use std::cell::Cell;
 use fcache_des::SimTime;
 
 /// Number of power-of-two buckets (covers all of `u64` nanoseconds).
-const BUCKETS: usize = 64;
+pub const BUCKETS: usize = 64;
 
 /// Append-only histogram with power-of-two nanosecond buckets.
 pub struct LatencyHistogram {
@@ -93,6 +93,23 @@ impl HistogramSnapshot {
     /// Total samples.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// The raw per-bucket counts (bucket `i` covers `[2^i, 2^(i+1))` ns,
+    /// bucket 0 additionally covers 0).
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Rebuilds a snapshot from raw bucket counts (the serialization
+    /// path). The total is derived — a live histogram's count always
+    /// equals its bucket sum, so this is the exact inverse of
+    /// [`HistogramSnapshot::buckets`].
+    pub fn from_buckets(buckets: [u64; BUCKETS]) -> Self {
+        Self {
+            count: buckets.iter().sum(),
+            buckets,
+        }
     }
 
     /// Approximate percentile (`p` in 0–100): the upper bound of the

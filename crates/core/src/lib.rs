@@ -21,11 +21,15 @@
 //! The run surface is the [`Scenario`]/[`Sweep`] builder pair over a
 //! pluggable [`Workload`] (see [`scenario`]): one configuration × one
 //! workload is a `Scenario`; a labeled grid of configurations is a
-//! `Sweep`. Workloads replay a shared in-memory trace
-//! ([`Workload::trace`]), regenerate a stream per job
-//! ([`Workload::stream`] — sweep memory O(chunk × jobs) instead of a
-//! resident trace), or stream an archived `FCTRACE1` file
-//! ([`Workload::file`]); all three are bit-identical for the same ops.
+//! `Sweep` (cross a workload axis in with [`Sweep::workloads`]).
+//! Workloads replay a shared in-memory trace ([`Workload::trace`]),
+//! regenerate a stream per job ([`Workload::stream`] — sweep memory
+//! O(chunk × jobs) instead of a resident trace), or stream an archived
+//! `FCTRACE1` file ([`Workload::file`]); all three are bit-identical for
+//! the same ops. Sweep results stream through [`ResultSink`]s (see
+//! [`results`]): durable, schema-versioned JSONL rows with exact
+//! `SimReport` round-trips, making interrupted sweeps resumable
+//! ([`Sweep::resume_from`]) and every run a diffable artifact.
 //!
 //! ```
 //! use fcache::{Scenario, SimConfig, Sweep, Workload};
@@ -77,6 +81,7 @@ pub mod host;
 pub mod metrics;
 pub mod policy;
 pub mod report;
+pub mod results;
 pub mod scenario;
 pub mod sim;
 
@@ -88,5 +93,9 @@ pub use histogram::{HistogramSnapshot, LatencyHistogram};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use policy::WritebackPolicy;
 pub use report::SimReport;
-pub use scenario::{Scenario, Sweep, SweepError, SweepItem, SweepOutcome, SweepResults, Workload};
+pub use results::{
+    read_rows, report_from_json, report_to_json, row_from_json, row_to_json, scan_jsonl, sink_fn,
+    DecodedRow, JsonlSink, MemorySink, ResultRow, ResultSink, TeeSink, REPORT_SCHEMA,
+};
+pub use scenario::{Scenario, Sweep, SweepError, SweepItem, SweepResults, Workload};
 pub use sim::{run_source, run_trace, SimError};

@@ -12,7 +12,7 @@ use crate::devsvc::DeviceStatsSnapshot;
 use crate::metrics::MetricsSnapshot;
 
 /// Everything measured by one simulation run (post-warmup unless noted).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SimReport {
     /// Application-level latency metrics.
     pub metrics: MetricsSnapshot,

@@ -16,11 +16,15 @@
 //!   `tests/trace_streaming.rs` and `tests/sweep_determinism.rs`);
 //! - a [`Scenario`] pairs one [`SimConfig`] with one workload and runs it;
 //! - a [`Sweep`] fans a labeled grid of scenarios out over scoped worker
-//!   threads ([`Sweep::threads`]), optionally spilling each report to an
-//!   incremental sink as jobs finish ([`Sweep::on_result`]) so paper-scale
-//!   sweeps never hold every report resident, and returns
-//!   [`SweepResults`] that keep each job's label and configuration next to
-//!   its report or error — no positional `expect` chains.
+//!   threads ([`Sweep::threads`]), optionally streaming each report to a
+//!   [`ResultSink`] as jobs finish ([`Sweep::sink`] — in-memory, durable
+//!   JSONL, or a tee of both) so paper-scale sweeps never hold every
+//!   report resident, and returns [`SweepResults`] that keep each job's
+//!   label and configuration next to its report or error — no positional
+//!   `expect` chains. Grids over *both* axes — configurations × workloads
+//!   — build with [`Sweep::workloads`] (the Figures 8/10/11 shape), and
+//!   [`Sweep::resume_from`] skips jobs already present in an existing
+//!   results file, making interrupted sweeps restartable.
 //!
 //! Memory: a sweep over [`Workload::trace`] shares one resident trace
 //! across all jobs (O(trace) total). A sweep over [`Workload::stream`]
@@ -68,9 +72,11 @@
 //! assert_eq!(reports.len(), 2);
 //! ```
 
+use std::collections::HashSet;
 use std::fs::File;
 use std::io::BufReader;
-use std::path::PathBuf;
+use std::panic::AssertUnwindSafe;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -78,14 +84,12 @@ use fcache_types::{Trace, TraceReader, TraceSource};
 
 use crate::config::SimConfig;
 use crate::report::SimReport;
+use crate::results::{scan_jsonl, ResultRow, ResultSink};
 use crate::sim::{run_source, run_trace, SimError};
 
 /// Boxed per-job source factory: called once per run/job, on the worker
 /// thread that consumes the stream.
 type SourceFactory<'a> = Box<dyn Fn() -> Box<dyn TraceSource + 'a> + Sync + 'a>;
-
-/// Boxed incremental result sink (see [`Sweep::on_result`]).
-type Sink<'a> = Box<dyn FnMut(SweepOutcome) + Send + 'a>;
 
 enum WorkloadKind<'a> {
     Trace(&'a Trace),
@@ -225,18 +229,6 @@ impl<'a> Scenario<'a> {
     }
 }
 
-/// One sweep job's result, handed to an [`Sweep::on_result`] sink as the
-/// job finishes (completion order, serialized across workers).
-#[derive(Debug)]
-pub struct SweepOutcome {
-    /// Job index in sweep (push) order.
-    pub index: usize,
-    /// The job's label.
-    pub label: String,
-    /// The job's report, or the error that stopped it.
-    pub report: Result<SimReport, SimError>,
-}
-
 /// A sweep job failure with its job context attached.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SweepError {
@@ -272,15 +264,20 @@ pub struct SweepItem {
     pub label: String,
     /// The configuration the job ran.
     pub config: SimConfig,
-    /// The job's report. `None` if the job failed *or* if the report was
-    /// delivered to an [`Sweep::on_result`] sink instead of retained.
+    /// The job's report. `None` if the job failed, was skipped by
+    /// [`Sweep::resume_from`], *or* if the report was delivered to a
+    /// [`Sweep::sink`] instead of retained.
     pub report: Option<SimReport>,
     /// The job's error, if it failed.
     pub error: Option<SimError>,
+    /// True if the job was skipped because [`Sweep::resume_from`] found
+    /// its label already present in the results file.
+    pub skipped: bool,
 }
 
 impl SweepItem {
-    /// True if the job completed without error.
+    /// True if the job completed without error (skipped jobs count as ok —
+    /// their report is in the resumed results file).
     pub fn is_ok(&self) -> bool {
         self.error.is_none()
     }
@@ -291,6 +288,7 @@ impl SweepItem {
 pub struct SweepResults {
     items: Vec<SweepItem>,
     spilled: bool,
+    sink_error: Option<std::io::Error>,
 }
 
 impl SweepResults {
@@ -304,10 +302,23 @@ impl SweepResults {
         self.items.is_empty()
     }
 
-    /// True if reports were streamed to an [`Sweep::on_result`] sink
-    /// instead of retained in the items.
+    /// True if reports were streamed to a [`Sweep::sink`] instead of
+    /// retained in the items.
     pub fn spilled_to_sink(&self) -> bool {
         self.spilled
+    }
+
+    /// The first I/O error the sink raised, if any. Simulations keep
+    /// running after a sink failure (their results are still returned or
+    /// reported as errors), but no further rows are delivered — a durable
+    /// results file is incomplete if this is `Some`.
+    pub fn sink_error(&self) -> Option<&std::io::Error> {
+        self.sink_error.as_ref()
+    }
+
+    /// Number of jobs skipped by [`Sweep::resume_from`].
+    pub fn skipped(&self) -> usize {
+        self.items.iter().filter(|i| i.skipped).count()
     }
 
     /// The per-job results, in job order.
@@ -336,15 +347,20 @@ impl SweepResults {
     ///
     /// # Panics
     ///
-    /// Panics if the reports were spilled to an [`Sweep::on_result`] sink
-    /// (they are no longer here to return).
+    /// Panics if the reports were spilled to a [`Sweep::sink`] (they are
+    /// no longer here to return) or skipped by [`Sweep::resume_from`]
+    /// (they were never run — read the results file).
     pub fn into_reports(self) -> Result<Vec<SimReport>, SweepError> {
         if let Some(err) = self.first_error() {
             return Err(err);
         }
         assert!(
             !self.spilled,
-            "sweep reports were streamed to the on_result sink; read them there"
+            "sweep reports were streamed to the sink; read them there"
+        );
+        assert!(
+            self.skipped() == 0,
+            "sweep skipped resumed jobs; their reports live in the results file"
         );
         Ok(self
             .items
@@ -396,16 +412,29 @@ struct JobSpec {
 /// A labeled grid of scenarios, fanned out over scoped worker threads.
 ///
 /// Build with [`Sweep::over`] (one shared workload, many configurations —
-/// every paper figure) and/or [`Sweep::scenario`] (jobs with their own
-/// workloads). Jobs are independent single-threaded simulations, so the
-/// fan-out is bit-identical to running them serially in push order
+/// every paper figure), [`Sweep::workloads`] (a labeled *workload axis*:
+/// each configuration crosses every workload, the Figures 8/10/11 grid
+/// shape), and/or [`Sweep::scenario`] (jobs with their own workloads).
+/// Jobs are independent single-threaded simulations, so the fan-out is
+/// bit-identical to running them serially in push order
 /// (`tests/sweep_determinism.rs`); results come back in push order no
-/// matter the completion order.
+/// matter the completion order. A per-job panic is caught and surfaced as
+/// [`SimError::Panic`] with the job's index and label — one hostile job
+/// cannot abort the sweep.
 pub struct Sweep<'a> {
     workloads: Vec<Workload<'a>>,
+    /// The shared workload axis: `(label, index into workloads)`. `None`
+    /// labels the single axis entry of [`Sweep::over`], which keeps plain
+    /// config labels ungarbled.
+    axis: Vec<(Option<String>, usize)>,
     jobs: Vec<JobSpec>,
+    /// Number of [`Sweep::config`]/[`Sweep::configs`] calls so far (the
+    /// config-axis length; used for auto-labels and to reject workload
+    /// additions after the cross product started).
+    config_count: usize,
     threads: usize,
-    sink: Option<Sink<'a>>,
+    sink: Option<&'a mut dyn ResultSink>,
+    skip: HashSet<String>,
 }
 
 impl Default for Sweep<'_> {
@@ -416,13 +445,17 @@ impl Default for Sweep<'_> {
 
 impl<'a> Sweep<'a> {
     /// An empty sweep with no shared workload; add jobs with
-    /// [`Sweep::scenario`].
+    /// [`Sweep::scenario`] (or add a workload axis first with
+    /// [`Sweep::workloads`]).
     pub fn new() -> Self {
         Self {
             workloads: Vec::new(),
+            axis: Vec::new(),
             jobs: Vec::new(),
+            config_count: 0,
             threads: 0,
             sink: None,
+            skip: HashSet::new(),
         }
     }
 
@@ -431,40 +464,87 @@ impl<'a> Sweep<'a> {
     pub fn over(workload: Workload<'a>) -> Self {
         let mut sweep = Self::new();
         sweep.workloads.push(workload);
+        sweep.axis.push((None, 0));
         sweep
     }
 
-    /// Adds one labeled configuration against the shared workload.
+    /// Adds labeled workloads to the shared axis. Every configuration
+    /// added afterwards crosses the whole axis: `.workloads(W).config(c)`
+    /// pushes one job per workload, labeled `<config>/<workload>` — the
+    /// config × workload grid of Figures 8/10/11 in one call. Job order is
+    /// config-major (all of one config's workloads, then the next
+    /// config's).
     ///
     /// # Panics
     ///
-    /// Panics if the sweep was built with [`Sweep::new`] (no shared
-    /// workload to run against — use [`Sweep::scenario`]).
-    pub fn config(mut self, label: impl Into<String>, cfg: SimConfig) -> Self {
+    /// Panics if configurations were already added — the cross product is
+    /// expanded eagerly, so the workload axis must be complete first —
+    /// or if the sweep was built with [`Sweep::over`] (mixing its
+    /// anonymous workload into a labeled axis would give every config a
+    /// phantom unlabeled job; start from [`Sweep::new`]).
+    pub fn workloads<S: Into<String>>(
+        mut self,
+        workloads: impl IntoIterator<Item = (S, Workload<'a>)>,
+    ) -> Self {
         assert!(
-            !self.workloads.is_empty(),
-            "Sweep::config needs a shared workload; build with Sweep::over"
+            self.config_count == 0,
+            "Sweep::workloads must come before config/configs (the grid is expanded eagerly)"
         );
-        self.jobs.push(JobSpec {
-            label: label.into(),
-            cfg,
-            workload: 0,
-        });
+        assert!(
+            self.axis.iter().all(|(label, _)| label.is_some()),
+            "Sweep::workloads cannot extend a Sweep::over axis; build with Sweep::new"
+        );
+        for (label, workload) in workloads {
+            self.workloads.push(workload);
+            self.axis
+                .push((Some(label.into()), self.workloads.len() - 1));
+        }
         self
     }
 
-    /// Adds many configurations against the shared workload, each labeled
-    /// `#<index> <arch> ram=<size> flash=<size>`.
+    /// Adds one labeled configuration: one job per workload on the shared
+    /// axis (a single job for [`Sweep::over`], the full cross-product row
+    /// for [`Sweep::workloads`], labeled `<config>/<workload>`).
     ///
     /// # Panics
     ///
-    /// Panics if the sweep was built with [`Sweep::new`] (see
+    /// Panics if the sweep has no shared workload axis (build with
+    /// [`Sweep::over`] or [`Sweep::workloads`], or use
+    /// [`Sweep::scenario`]).
+    pub fn config(mut self, label: impl Into<String>, cfg: SimConfig) -> Self {
+        assert!(
+            !self.axis.is_empty(),
+            "Sweep::config needs a shared workload; build with Sweep::over or Sweep::workloads"
+        );
+        let label = label.into();
+        for ai in 0..self.axis.len() {
+            let (wl_label, workload) = &self.axis[ai];
+            let composite = match wl_label {
+                None => label.clone(),
+                Some(w) => format!("{label}/{w}"),
+            };
+            self.jobs.push(JobSpec {
+                label: composite,
+                cfg: cfg.clone(),
+                workload: *workload,
+            });
+        }
+        self.config_count += 1;
+        self
+    }
+
+    /// Adds many configurations against the shared workload axis, each
+    /// labeled `#<index> <arch> ram=<size> flash=<size>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep has no shared workload axis (see
     /// [`Sweep::config`]).
     pub fn configs(mut self, cfgs: impl IntoIterator<Item = SimConfig>) -> Self {
         for cfg in cfgs {
             let label = format!(
                 "#{} {} ram={} flash={}",
-                self.jobs.len(),
+                self.config_count,
                 cfg.arch.name(),
                 cfg.ram_size,
                 cfg.flash_size
@@ -475,7 +555,7 @@ impl<'a> Sweep<'a> {
     }
 
     /// Adds a labeled job with its own workload (for grids whose jobs
-    /// replay different traces — e.g. a working-set or write-ratio axis).
+    /// don't fit a rectangular config × workload product).
     pub fn scenario(mut self, label: impl Into<String>, scenario: Scenario<'a>) -> Self {
         self.workloads.push(scenario.workload);
         self.jobs.push(JobSpec {
@@ -494,13 +574,47 @@ impl<'a> Sweep<'a> {
         self
     }
 
-    /// Streams each job's result to `sink` as the job finishes
-    /// (completion order; calls are serialized across workers). With a
-    /// sink attached the returned [`SweepResults`] keep only each job's
+    /// Streams each job's [`ResultRow`] to `sink` as the job finishes
+    /// (completion order; deliveries are serialized across workers). With
+    /// a sink attached the returned [`SweepResults`] keep only each job's
     /// label, configuration, and error status — reports are moved into the
     /// sink, so a paper-scale sweep never holds all of them resident.
-    pub fn on_result(mut self, sink: impl FnMut(SweepOutcome) + Send + 'a) -> Self {
-        self.sink = Some(Box::new(sink));
+    /// Failed jobs produce no row; their error stays in the results. The
+    /// sink is borrowed, so the caller keeps it (and e.g. a
+    /// [`MemorySink`](crate::MemorySink)'s rows) after the run.
+    pub fn sink(mut self, sink: &'a mut dyn ResultSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Skips jobs whose labels already have rows in the JSONL results
+    /// file at `path` (a missing file skips nothing), making interrupted
+    /// sweeps restartable: pair with
+    /// [`JsonlSink::resume`](crate::JsonlSink::resume) writing the same
+    /// file and a killed 16-job sweep picks up where it stopped — the
+    /// resumed file's row *set* is identical to an uninterrupted run's
+    /// (pinned by `tests/results_pipeline.rs`).
+    ///
+    /// The scan is lenient about the torn final line a kill leaves behind
+    /// (see [`scan_jsonl`]); labels must be unique across the sweep for
+    /// skipping to be sound — [`Sweep::run`] asserts this whenever a skip
+    /// set is present.
+    ///
+    /// When the same file is also being opened for appending via
+    /// [`JsonlSink::resume`](crate::JsonlSink::resume), prefer feeding
+    /// the labels it returns to [`Sweep::skip_labels`] — one scan instead
+    /// of two.
+    pub fn resume_from(self, path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let (_, rows) = scan_jsonl(path)?;
+        Ok(self.skip_labels(rows.into_iter().map(|r| r.label)))
+    }
+
+    /// Skips jobs whose labels are in `labels` (see [`Sweep::resume_from`]
+    /// — this is its scan-free half, for callers that already hold the
+    /// finished-row labels, e.g. from
+    /// [`JsonlSink::resume`](crate::JsonlSink::resume)).
+    pub fn skip_labels(mut self, labels: impl IntoIterator<Item = String>) -> Self {
+        self.skip.extend(labels);
         self
     }
 
@@ -518,9 +632,12 @@ impl<'a> Sweep<'a> {
     pub fn run(self) -> SweepResults {
         let Sweep {
             workloads,
+            axis: _,
             jobs,
+            config_count: _,
             threads,
             sink,
+            skip,
         } = self;
         let spilled = sink.is_some();
         let workers = if threads == 0 {
@@ -532,30 +649,70 @@ impl<'a> Sweep<'a> {
         }
         .clamp(1, jobs.len().max(1));
 
-        // What a finished job leaves behind: its retained report (absent
-        // when spilled to the sink or failed) and its error status.
-        type JobOutcome = (Option<SimReport>, Option<SimError>);
+        // Label-based skipping is only sound when labels identify jobs
+        // uniquely; with a skip set present, a duplicate label would
+        // silently skip a job that never ran.
+        if !skip.is_empty() {
+            let mut seen = HashSet::new();
+            for job in &jobs {
+                assert!(
+                    seen.insert(job.label.as_str()),
+                    "resume requires unique job labels; duplicate {:?}",
+                    job.label
+                );
+            }
+        }
 
-        let sink = Mutex::new(sink);
+        // What a finished job leaves behind: its retained report (absent
+        // when spilled to the sink, failed, or skipped), its error status,
+        // and whether it was skipped by resume.
+        type JobOutcome = (Option<SimReport>, Option<SimError>, bool);
+
+        // The sink plus the first error it raised; after an error the
+        // sink reference is dropped so no further rows are delivered.
+        let sink = Mutex::new((sink, None::<std::io::Error>));
         // Runs job `i` and delivers its result: the report goes to the
         // sink (moved) or into the returned slot; the error status is
         // recorded either way so `SweepResults` keeps the job context.
         let run_job = |i: usize| -> JobOutcome {
             let job = &jobs[i];
-            let result = workloads[job.workload].run(&job.cfg);
+            if skip.contains(&job.label) {
+                return (None, None, true);
+            }
+            // One panicking job must not abort the other 15: catch it and
+            // surface it as this job's error, with context. The job's
+            // simulator state is fully owned by the run, so unwinding
+            // cannot corrupt its siblings.
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                workloads[job.workload].run(&job.cfg)
+            }))
+            .unwrap_or_else(|payload| Err(SimError::Panic(panic_message(payload.as_ref()))));
             let mut guard = sink.lock().expect("sweep sink poisoned");
-            if let Some(sink) = guard.as_mut() {
-                let error = result.as_ref().err().cloned();
-                sink(SweepOutcome {
-                    index: i,
-                    label: job.label.clone(),
-                    report: result,
-                });
-                (None, error)
+            let (sink_slot, sink_err) = &mut *guard;
+            if let Some(s) = sink_slot.as_mut() {
+                match result {
+                    Ok(report) => {
+                        let delivery = s.on_row(ResultRow {
+                            index: i,
+                            label: job.label.clone(),
+                            config: job.cfg.clone(),
+                            report,
+                        });
+                        if let Err(e) = delivery {
+                            *sink_err = Some(e);
+                            *sink_slot = None;
+                        }
+                        (None, None, false)
+                    }
+                    Err(error) => (None, Some(error), false),
+                }
             } else {
                 match result {
-                    Ok(report) => (Some(report), None),
-                    Err(error) => (None, Some(error)),
+                    Ok(report) if !spilled => (Some(report), None, false),
+                    // A broken sink already consumed this sweep's mandate
+                    // to stream; don't silently start retaining.
+                    Ok(_) => (None, None, false),
+                    Err(error) => (None, Some(error), false),
                 }
             }
         };
@@ -588,11 +745,18 @@ impl<'a> Sweep<'a> {
                 .collect();
         }
 
+        let (sink, mut sink_error) = sink.into_inner().expect("sweep sink poisoned");
+        if let Some(s) = sink {
+            if let Err(e) = s.flush() {
+                sink_error.get_or_insert(e);
+            }
+        }
+
         let items = jobs
             .into_iter()
             .enumerate()
             .map(|(i, job)| {
-                let (report, error) = outcomes[i].take().unwrap_or_else(|| {
+                let (report, error, skipped) = outcomes[i].take().unwrap_or_else(|| {
                     // Scoped workers claim slots monotonically and the
                     // scope joins them all, so an empty slot means a
                     // worker died; name the job instead of a bare unwrap.
@@ -603,10 +767,26 @@ impl<'a> Sweep<'a> {
                     config: job.cfg,
                     report,
                     error,
+                    skipped,
                 }
             })
             .collect();
-        SweepResults { items, spilled }
+        SweepResults {
+            items,
+            spilled,
+            sink_error,
+        }
+    }
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -617,6 +797,7 @@ impl std::fmt::Debug for Sweep<'_> {
             .field("workloads", &self.workloads)
             .field("threads", &self.threads)
             .field("sink", &self.sink.is_some())
+            .field("skip", &self.skip.len())
             .finish()
     }
 }
@@ -743,29 +924,131 @@ mod tests {
                 .run()
                 .expect("reference")
         );
-        let outcomes = Mutex::new(Vec::new());
+        let mut sink = crate::MemorySink::new();
         let results = Sweep::over(Workload::trace(&trace))
             .config("a", tiny_cfg())
             .config("b", tiny_cfg())
             .threads(2)
-            .on_result(|o| outcomes.lock().unwrap().push(o))
+            .sink(&mut sink)
             .run();
         assert!(results.spilled_to_sink());
+        assert!(results.sink_error().is_none());
         assert!(results
             .items()
             .iter()
             .all(|i| i.report.is_none() && i.is_ok()));
-        let mut outcomes = outcomes.into_inner().unwrap();
-        outcomes.sort_by_key(|o| o.index);
-        assert_eq!(outcomes.len(), 2);
-        for o in &outcomes {
+        let rows = sink.into_rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].label, "a");
+        assert_eq!(rows[1].label, "b");
+        for row in &rows {
             assert_eq!(
-                format!("{:?}", o.report.as_ref().expect("ok")),
+                format!("{:?}", row.report),
                 want,
-                "sink outcome {} diverged",
-                o.label
+                "sink row {} diverged",
+                row.label
             );
         }
+    }
+
+    #[test]
+    fn workload_axis_crosses_configs_with_composite_labels() {
+        let trace = tiny_trace();
+        let results = Sweep::new()
+            .workloads([
+                ("w1", Workload::trace(&trace)),
+                ("w2", Workload::trace(&trace)),
+            ])
+            .config("a", tiny_cfg())
+            .config("b", tiny_cfg())
+            .run();
+        let labels: Vec<&str> = results.iter().map(|i| i.label.as_str()).collect();
+        assert_eq!(labels, ["a/w1", "a/w2", "b/w1", "b/w2"]);
+        assert!(results.items().iter().all(SweepItem::is_ok));
+        // Same workload, same config: every cell of the grid agrees.
+        let reports: Vec<String> = results
+            .iter()
+            .map(|i| format!("{:?}", i.report.as_ref().expect("ok")))
+            .collect();
+        assert!(reports.iter().all(|r| r == &reports[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "before config")]
+    fn workloads_after_configs_panics() {
+        let trace = tiny_trace();
+        let _ = Sweep::new()
+            .workloads([("v", Workload::trace(&trace))])
+            .config("a", tiny_cfg())
+            .workloads([("w", Workload::trace(&trace))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot extend a Sweep::over axis")]
+    fn workloads_on_an_over_sweep_panics() {
+        // Mixing over()'s anonymous workload into a labeled axis would
+        // give every config a phantom unlabeled job.
+        let trace = tiny_trace();
+        let _ = Sweep::over(Workload::trace(&trace)).workloads([("w", Workload::trace(&trace))]);
+    }
+
+    #[test]
+    fn panicking_job_becomes_an_error_not_an_abort() {
+        let trace = tiny_trace();
+        let results = Sweep::new()
+            .scenario("good", Scenario::new(tiny_cfg(), Workload::trace(&trace)))
+            .scenario(
+                "hostile",
+                Scenario::new(
+                    tiny_cfg(),
+                    Workload::stream(|| -> fcache_types::SliceSource<'_> {
+                        panic!("boom in workload factory")
+                    }),
+                ),
+            )
+            .scenario(
+                "also good",
+                Scenario::new(tiny_cfg(), Workload::trace(&trace)),
+            )
+            .threads(2)
+            .run();
+        assert_eq!(results.len(), 3);
+        assert!(results.items()[0].is_ok());
+        assert!(results.items()[2].is_ok());
+        let err = results.first_error().expect("hostile job failed");
+        assert_eq!(err.index, 1);
+        assert_eq!(err.label, "hostile");
+        match &err.error {
+            SimError::Panic(msg) => assert!(msg.contains("boom"), "{msg}"),
+            other => panic!("expected Panic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failing_sink_surfaces_io_error_and_stops_deliveries() {
+        struct FailingSink {
+            delivered: usize,
+        }
+        impl crate::ResultSink for FailingSink {
+            fn on_row(&mut self, _row: crate::ResultRow) -> std::io::Result<()> {
+                self.delivered += 1;
+                Err(std::io::Error::other("disk full"))
+            }
+        }
+        let trace = tiny_trace();
+        let mut sink = FailingSink { delivered: 0 };
+        let results = Sweep::over(Workload::trace(&trace))
+            .config("a", tiny_cfg())
+            .config("b", tiny_cfg())
+            .threads(1)
+            .sink(&mut sink)
+            .run();
+        let err = results.sink_error().expect("sink error surfaced");
+        assert!(err.to_string().contains("disk full"));
+        // The sink was dropped after the first failure; the jobs still ran
+        // and report ok (the failure is the sink's, not theirs).
+        assert_eq!(sink.delivered, 1);
+        assert!(results.items().iter().all(SweepItem::is_ok));
     }
 
     #[test]

@@ -50,6 +50,10 @@ pub enum SimError {
     /// The trace source failed mid-stream (I/O error, corrupt record, or an
     /// op outside the dimensions its metadata promised).
     Source(String),
+    /// The run panicked. Produced only by [`crate::Sweep`], which catches
+    /// per-job panics so one hostile job cannot abort a whole sweep; the
+    /// payload is the panic message.
+    Panic(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -59,6 +63,7 @@ impl std::fmt::Display for SimError {
                 write!(f, "simulation deadlocked with {live_tasks} task(s) blocked")
             }
             SimError::Source(msg) => write!(f, "trace source failed: {msg}"),
+            SimError::Panic(msg) => write!(f, "simulation panicked: {msg}"),
         }
     }
 }

@@ -1,0 +1,520 @@
+//! The structured results pipeline end to end: exact JSON round-trips for
+//! reports, durable JSONL sweep sinks, and resumable grids.
+//!
+//! The two contracts pinned here:
+//!
+//! 1. **Serialization is exact.** `SimReport` → JSON → `SimReport` is the
+//!    identity, including histograms, device windows, and the flash I/O
+//!    log (property test over arbitrary counter values), and the encoded
+//!    form itself is pinned by a golden row so any schema drift fails
+//!    loudly instead of silently changing files on disk.
+//! 2. **Resume is lossless.** A 16-job grid sweep killed mid-run (torn
+//!    final line included) and resumed with `Sweep::resume_from` +
+//!    `JsonlSink::resume` produces a results file whose row set is
+//!    identical to an uninterrupted run's (PERF.md invariant 9).
+
+use fcache::{
+    read_rows, report_from_json, report_to_json, row_to_json, scan_jsonl, Architecture,
+    DeviceStatsSnapshot, HistogramSnapshot, JsonlSink, MemorySink, MetricsSnapshot, ResultRow,
+    SimConfig, SimReport, Sweep, Workbench, WorkloadSpec, REPORT_SCHEMA,
+};
+use fcache_cache::CacheStats;
+use fcache_des::SimTime;
+use fcache_device::{IoDirection, IoLogEntry, WindowStat};
+use fcache_filer::FilerStats;
+use fcache_net::SegmentStats;
+use fcache_types::{ByteSize, Json};
+
+/// Deterministic word stream, cycling so the builder is total for any
+/// non-empty input.
+struct Words<'a> {
+    words: &'a [u64],
+    i: usize,
+}
+
+impl Words<'_> {
+    fn next(&mut self) -> u64 {
+        let w = self.words[self.i % self.words.len()].wrapping_add(self.i as u64);
+        self.i += 1;
+        w
+    }
+
+    fn hist(&mut self) -> HistogramSnapshot {
+        let mut buckets = [0u64; fcache::histogram::BUCKETS];
+        for _ in 0..(self.next() % 6) {
+            let slot = (self.next() % 64) as usize;
+            // Capped so the derived total cannot overflow (a live
+            // histogram's count grows one sample at a time and never can).
+            buckets[slot] = self.next() % (1 << 40);
+        }
+        HistogramSnapshot::from_buckets(buckets)
+    }
+
+    /// Arbitrary finite f64s: shortest-round-trip formatting must bring
+    /// any of them back exactly, not just "nice" values.
+    fn float(&mut self) -> f64 {
+        let x = f64::from_bits(self.next());
+        if x.is_finite() {
+            x
+        } else {
+            self.next() as f64 / 1e3
+        }
+    }
+
+    fn cache(&mut self) -> CacheStats {
+        CacheStats {
+            hits: self.next(),
+            misses: self.next(),
+            insertions: self.next(),
+            clean_evictions: self.next(),
+            dirty_evictions: self.next(),
+            invalidations: self.next(),
+            overwrites: self.next(),
+        }
+    }
+}
+
+/// Builds a `SimReport` deterministically from a word stream, exercising
+/// every serialized field (optionals included, steered by the draws).
+fn report_from_words(words: &[u64]) -> SimReport {
+    let w = &mut Words { words, i: 0 };
+    let metrics = MetricsSnapshot {
+        read_ops: w.next(),
+        write_ops: w.next(),
+        read_blocks: w.next(),
+        write_blocks: w.next(),
+        read_latency: SimTime::from_nanos(w.next()),
+        write_latency: SimTime::from_nanos(w.next()),
+        tracked_writes: w.next(),
+        writes_invalidating: w.next(),
+        invalidated_blocks: w.next(),
+        read_hist: w.hist(),
+        write_hist: w.hist(),
+    };
+    let device = DeviceStatsSnapshot {
+        reads: w.next(),
+        writes: w.next(),
+        read_time: SimTime::from_nanos(w.next()),
+        write_time: SimTime::from_nanos(w.next()),
+        queue_waits: w.next(),
+        depth_sum: w.next(),
+        depth_samples: w.next(),
+        depth_max: w.next(),
+        read_hist: w.hist(),
+        write_hist: w.hist(),
+    };
+    let device_windows = if w.next().is_multiple_of(2) {
+        None
+    } else {
+        Some(
+            (0..(w.next() % 4))
+                .map(|_| WindowStat {
+                    start_io: w.next(),
+                    read_avg_us: w.float(),
+                    write_avg_us: w.float(),
+                    reads: w.next(),
+                    writes: w.next(),
+                })
+                .collect(),
+        )
+    };
+    let flash_iolog = if w.next().is_multiple_of(2) {
+        None
+    } else {
+        Some(
+            (0..(w.next() % 5))
+                .map(|_| IoLogEntry {
+                    dir: if w.next().is_multiple_of(2) {
+                        IoDirection::Read
+                    } else {
+                        IoDirection::Write
+                    },
+                    lba: w.next(),
+                })
+                .collect(),
+        )
+    };
+    SimReport {
+        metrics,
+        ram: w.cache(),
+        flash: w.cache(),
+        unified: w.cache(),
+        filer: FilerStats {
+            fast_reads: w.next(),
+            slow_reads: w.next(),
+            writes: w.next(),
+        },
+        net: SegmentStats {
+            packets: w.next(),
+            payload_bytes: w.next(),
+            busy: SimTime::from_nanos(w.next()),
+        },
+        device,
+        device_windows,
+        end_time: SimTime::from_nanos(w.next()),
+        events: w.next(),
+        flash_iolog,
+    }
+}
+
+mod roundtrip {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn report_json_roundtrip_is_exact(words in proptest::collection::vec(0u64..u64::MAX, 40..220)) {
+            let report = report_from_words(&words);
+            let encoded = report_to_json(&report).to_string();
+            let parsed = Json::parse(&encoded).expect("reparse");
+            let back = report_from_json(&parsed).expect("decode");
+            prop_assert_eq!(back, report);
+        }
+    }
+}
+
+#[test]
+fn simulated_report_roundtrips_including_device_state() {
+    // Not just synthetic counters: a real SSD-timing run with device
+    // windows and an I/O log survives the round trip bit-for-bit.
+    let wb = Workbench::new(16384, 7);
+    let cfg = SimConfig {
+        flash_timing: fcache::FlashTiming::Ssd(fcache_device::SsdConfig::auto()),
+        device_window: 64,
+        log_flash_io: true,
+        ..SimConfig::baseline()
+    };
+    let spec = WorkloadSpec {
+        working_set: ByteSize::gib(16),
+        seed: 3,
+        ..WorkloadSpec::default()
+    };
+    let report = wb.scenario(&cfg, &spec).run().expect("run");
+    assert!(report.device.ops() > 0, "ssd timing must record device ops");
+    assert!(report.device_windows.is_some());
+    assert!(report.flash_iolog.as_deref().is_some_and(|l| !l.is_empty()));
+    let back = report_from_json(&Json::parse(&report_to_json(&report).to_string()).unwrap())
+        .expect("decode");
+    assert_eq!(back, report);
+}
+
+#[test]
+fn golden_row_pins_the_schema() {
+    // A fixed report must serialize to this exact string. If this test
+    // fails because the layout changed on purpose, bump REPORT_SCHEMA and
+    // repin — silent drift is the failure mode this guards against.
+    let mut buckets = [0u64; fcache::histogram::BUCKETS];
+    buckets[4] = 2;
+    buckets[40] = 1;
+    let report = SimReport {
+        metrics: MetricsSnapshot {
+            read_ops: 3,
+            write_ops: 1,
+            read_blocks: 9,
+            write_blocks: 2,
+            read_latency: SimTime::from_micros(120),
+            write_latency: SimTime::from_nanos(1500),
+            tracked_writes: 1,
+            writes_invalidating: 0,
+            invalidated_blocks: 0,
+            read_hist: HistogramSnapshot::from_buckets(buckets),
+            write_hist: HistogramSnapshot::default(),
+        },
+        ram: CacheStats {
+            hits: 5,
+            misses: 4,
+            insertions: 4,
+            clean_evictions: 1,
+            dirty_evictions: 0,
+            invalidations: 0,
+            overwrites: 2,
+        },
+        flash: CacheStats::default(),
+        unified: CacheStats::default(),
+        filer: FilerStats {
+            fast_reads: 3,
+            slow_reads: 1,
+            writes: 2,
+        },
+        net: SegmentStats {
+            packets: 12,
+            payload_bytes: 49152,
+            busy: SimTime::from_micros(393),
+        },
+        device: DeviceStatsSnapshot::default(),
+        device_windows: Some(vec![WindowStat {
+            start_io: 0,
+            read_avg_us: 92.5,
+            write_avg_us: 21.0,
+            reads: 7,
+            writes: 3,
+        }]),
+        end_time: SimTime::from_millis(2),
+        events: 77,
+        flash_iolog: Some(vec![
+            IoLogEntry {
+                dir: IoDirection::Write,
+                lba: 8,
+            },
+            IoLogEntry {
+                dir: IoDirection::Read,
+                lba: 8,
+            },
+        ]),
+    };
+    let row = ResultRow {
+        index: 4,
+        label: "naive/64G".into(),
+        config: SimConfig {
+            seed: 42,
+            ..SimConfig::baseline()
+        },
+        report,
+    };
+    let golden = concat!(
+        r#"{"schema":1,"index":4,"label":"naive/64G","#,
+        r#""config":{"arch":"naive","ram":"8G","flash":"64G","ram_policy":"p1","flash_policy":"a","#,
+        r#""flash_timing":"flat (constant per-block latencies)","prefetch":0.9,"persistent":false,"#,
+        r#""duplex":false,"time_scale":1,"seed":42},"#,
+        r#""report":{"metrics":{"read_ops":3,"write_ops":1,"read_blocks":9,"write_blocks":2,"#,
+        r#""read_latency_ns":120000,"write_latency_ns":1500,"tracked_writes":1,"#,
+        r#""writes_invalidating":0,"invalidated_blocks":0,"read_hist":[[4,2],[40,1]],"write_hist":[]},"#,
+        r#""ram":{"hits":5,"misses":4,"insertions":4,"clean_evictions":1,"dirty_evictions":0,"invalidations":0,"overwrites":2},"#,
+        r#""flash":{"hits":0,"misses":0,"insertions":0,"clean_evictions":0,"dirty_evictions":0,"invalidations":0,"overwrites":0},"#,
+        r#""unified":{"hits":0,"misses":0,"insertions":0,"clean_evictions":0,"dirty_evictions":0,"invalidations":0,"overwrites":0},"#,
+        r#""filer":{"fast_reads":3,"slow_reads":1,"writes":2},"#,
+        r#""net":{"packets":12,"payload_bytes":49152,"busy_ns":393000},"#,
+        r#""device":{"reads":0,"writes":0,"read_time_ns":0,"write_time_ns":0,"queue_waits":0,"#,
+        r#""depth_sum":0,"depth_samples":0,"depth_max":0,"read_hist":[],"write_hist":[]},"#,
+        r#""device_windows":[{"start_io":0,"read_avg_us":92.5,"write_avg_us":21.0,"reads":7,"writes":3}],"#,
+        r#""end_time_ns":2000000,"events":77,"flash_iolog":[["w",8],["r",8]]}}"#,
+    );
+    assert_eq!(row_to_json(&row).to_string(), golden);
+    // And the golden string decodes back to the same row content.
+    let decoded = fcache::row_from_json(&Json::parse(golden).unwrap()).expect("decode golden");
+    assert_eq!(decoded.index, 4);
+    assert_eq!(decoded.label, "naive/64G");
+    assert_eq!(decoded.report, row.report);
+}
+
+/// The 16-job grid every resume test runs: 4 configurations × 4 workload
+/// specs through the `Sweep::workloads` cross product.
+fn grid_sweep(wb: &Workbench) -> (Sweep<'_>, usize) {
+    let specs: Vec<WorkloadSpec> = [(16u64, 0.1), (16, 0.3), (24, 0.1), (24, 0.3)]
+        .into_iter()
+        .map(|(ws, wf)| WorkloadSpec {
+            working_set: ByteSize::gib(ws),
+            write_fraction: wf,
+            seed: ws + (wf * 100.0) as u64,
+            ..WorkloadSpec::default()
+        })
+        .collect();
+    let cfgs = [
+        ("noflash", ByteSize::ZERO, Architecture::Naive),
+        ("naive", ByteSize::gib(16), Architecture::Naive),
+        ("lookaside", ByteSize::gib(16), Architecture::Lookaside),
+        ("unified", ByteSize::gib(16), Architecture::Unified),
+    ];
+    let mut sweep = Sweep::new().workloads(wb.workloads(&specs));
+    for (label, flash, arch) in cfgs {
+        sweep = sweep.config(
+            label,
+            SimConfig {
+                arch,
+                flash_size: flash,
+                ..SimConfig::baseline()
+            }
+            .scaled_down(wb.scale()),
+        );
+    }
+    let jobs = sweep.len();
+    (sweep, jobs)
+}
+
+#[test]
+fn killed_and_resumed_sweep_matches_uninterrupted_row_set() {
+    let dir = std::env::temp_dir();
+    let full_path = dir.join("fcache_results_full.jsonl");
+    let resumed_path = dir.join("fcache_results_resumed.jsonl");
+    let wb = Workbench::new(16384, 42);
+
+    // Uninterrupted reference run.
+    let mut sink = JsonlSink::create(&full_path).expect("create");
+    let (sweep, jobs) = grid_sweep(&wb);
+    assert_eq!(jobs, 16);
+    let results = sweep.threads(4).sink(&mut sink).run();
+    assert!(results.first_error().is_none());
+    assert!(results.sink_error().is_none());
+    drop(sink);
+    let full_text = std::fs::read_to_string(&full_path).expect("read full");
+    let full_lines: Vec<&str> = full_text.lines().collect();
+    assert_eq!(full_lines.len(), 16);
+
+    // Simulate a kill after 7 complete rows plus a torn eighth line (what
+    // a flush-per-row writer leaves when the process dies mid-write).
+    let torn = full_lines[7];
+    let partial: String = full_lines[..7]
+        .iter()
+        .map(|l| format!("{l}\n"))
+        .collect::<String>()
+        + &torn[..torn.len() / 2];
+    std::fs::write(&resumed_path, &partial).expect("write partial");
+
+    // Resume: skip the 7 finished jobs, truncate the torn tail, append
+    // the missing 9.
+    let (mut sink, seen) = JsonlSink::resume(&resumed_path).expect("resume sink");
+    assert_eq!(seen.len(), 7);
+    let (sweep, _) = grid_sweep(&wb);
+    let results = sweep
+        .resume_from(&resumed_path)
+        .expect("scan resume file")
+        .threads(4)
+        .sink(&mut sink)
+        .run();
+    assert!(results.first_error().is_none());
+    assert!(results.sink_error().is_none());
+    assert_eq!(results.skipped(), 7, "finished jobs must not rerun");
+    drop(sink);
+
+    // The resumed file's row *set* is byte-identical to the uninterrupted
+    // run's (order differs: resumed rows keep their original positions,
+    // new rows land in completion order).
+    let resumed_text = std::fs::read_to_string(&resumed_path).expect("read resumed");
+    let mut full_sorted: Vec<&str> = full_text.lines().collect();
+    let mut resumed_sorted: Vec<&str> = resumed_text.lines().collect();
+    assert_eq!(resumed_sorted.len(), 16);
+    full_sorted.sort_unstable();
+    resumed_sorted.sort_unstable();
+    assert_eq!(resumed_sorted, full_sorted);
+
+    // And both decode to 16 schema-checked rows covering all 16 labels.
+    let rows = read_rows(&resumed_path).expect("decode resumed");
+    assert_eq!(rows.len(), 16);
+    let mut labels: Vec<&str> = rows.iter().map(|r| r.label.as_str()).collect();
+    labels.sort_unstable();
+    labels.dedup();
+    assert_eq!(labels.len(), 16, "labels must be unique");
+    assert!(
+        labels.contains(&"unified/ws=24G wr=30% seed=54"),
+        "{labels:?}"
+    );
+
+    let _ = std::fs::remove_file(&full_path);
+    let _ = std::fs::remove_file(&resumed_path);
+}
+
+#[test]
+fn resume_with_complete_file_skips_everything() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("fcache_results_complete.jsonl");
+    let wb = Workbench::new(16384, 42);
+
+    let mut sink = JsonlSink::create(&path).expect("create");
+    let (sweep, _) = grid_sweep(&wb);
+    sweep.threads(4).sink(&mut sink).run();
+    drop(sink);
+    let before = std::fs::read_to_string(&path).expect("read");
+
+    let (mut sink, seen) = JsonlSink::resume(&path).expect("resume");
+    assert_eq!(seen.len(), 16);
+    let (sweep, _) = grid_sweep(&wb);
+    let results = sweep
+        .resume_from(&path)
+        .expect("scan")
+        .sink(&mut sink)
+        .run();
+    assert_eq!(results.skipped(), 16);
+    drop(sink);
+    // Nothing reran, nothing was rewritten: the file is untouched.
+    assert_eq!(std::fs::read_to_string(&path).expect("read"), before);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn memory_sink_collects_the_grid_in_job_order() {
+    let wb = Workbench::new(16384, 42);
+    let mut mem = MemorySink::new();
+    let (sweep, jobs) = grid_sweep(&wb);
+    let results = sweep.threads(4).sink(&mut mem).run();
+    assert!(results.first_error().is_none());
+    let rows = mem.into_rows();
+    assert_eq!(rows.len(), jobs);
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(row.index, i);
+        assert_eq!(row.label, results.items()[i].label);
+    }
+}
+
+#[test]
+fn scan_refuses_other_schemas_instead_of_truncating() {
+    // A results file from a future schema must not satisfy resume — and
+    // it must NOT be silently truncated to nothing either (that would
+    // destroy a completed run's data). It is an error the user sees.
+    let dir = std::env::temp_dir();
+    let path = dir.join("fcache_results_other_schema.jsonl");
+    let row = ResultRow {
+        index: 0,
+        label: "x".into(),
+        config: SimConfig::baseline(),
+        report: SimReport::default(),
+    };
+    let line = row_to_json(&row).to_string().replacen(
+        &format!("\"schema\":{REPORT_SCHEMA}"),
+        &format!("\"schema\":{}", REPORT_SCHEMA + 1),
+        1,
+    );
+    let content = format!("{line}\n");
+    std::fs::write(&path, &content).unwrap();
+    let err = scan_jsonl(&path).unwrap_err();
+    assert!(err.to_string().contains("schema"), "{err}");
+    let err = JsonlSink::resume(&path).unwrap_err();
+    assert!(err.to_string().contains("refusing to truncate"), "{err}");
+    // The file is untouched.
+    assert_eq!(std::fs::read_to_string(&path).unwrap(), content);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn scan_tolerates_a_tail_torn_mid_utf8_character() {
+    // Labels may contain multibyte characters; a kill can land between
+    // their bytes. That is still "torn final line", not an I/O error.
+    let dir = std::env::temp_dir();
+    let path = dir.join("fcache_results_torn_utf8.jsonl");
+    let row = |label: &str| {
+        row_to_json(&ResultRow {
+            index: 0,
+            label: label.into(),
+            config: SimConfig::baseline(),
+            report: SimReport::default(),
+        })
+        .to_string()
+    };
+    let good = row("tiny-αβ");
+    let torn = row("später");
+    let cut = torn.find('ä').unwrap() + 1; // one byte into the 2-byte 'ä'
+    let mut bytes = format!("{good}\n").into_bytes();
+    bytes.extend_from_slice(&torn.as_bytes()[..cut]);
+    std::fs::write(&path, &bytes).unwrap();
+    let (valid, rows) = scan_jsonl(&path).unwrap();
+    assert_eq!(valid as usize, good.len() + 1);
+    let labels: Vec<&str> = rows.iter().map(|r| r.label.as_str()).collect();
+    assert_eq!(labels, ["tiny-αβ"]);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+#[should_panic(expected = "unique job labels")]
+fn resume_with_duplicate_labels_panics_instead_of_skipping_blind() {
+    // Two jobs with one label cannot be told apart by a results file;
+    // resuming such a sweep would silently skip a job that never ran.
+    let wb = Workbench::new(16384, 42);
+    let spec = WorkloadSpec {
+        working_set: ByteSize::gib(16),
+        ..WorkloadSpec::default()
+    };
+    let sweep = Sweep::new()
+        .scenario("dup", wb.scenario(&SimConfig::baseline(), &spec))
+        .scenario("dup", wb.scenario(&SimConfig::baseline(), &spec))
+        .skip_labels(["dup".to_string()]);
+    let _ = sweep.run();
+}

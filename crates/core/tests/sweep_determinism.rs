@@ -323,7 +323,7 @@ fn file_workload_sweeps_are_bit_identical_to_materialized_sweeps() {
 }
 
 #[test]
-fn on_result_sink_spills_every_report_exactly_once() {
+fn result_sink_spills_every_report_exactly_once() {
     // Incremental spilling: with a sink attached, reports stream out as
     // jobs finish and the returned results retain only job context — and
     // the spilled reports are the same bit-identical reports a collecting
@@ -339,21 +339,23 @@ fn on_result_sink_spills_every_report_exactly_once() {
         .collect();
 
     let spilled = Mutex::new(vec![None; cfgs.len()]);
+    let mut sink = fcache::sink_fn(|row: fcache::ResultRow| {
+        let mut slots = spilled.lock().unwrap();
+        assert!(
+            slots[row.index].is_none(),
+            "job {} delivered twice",
+            row.index
+        );
+        slots[row.index] = Some(format!("{:?}", row.report));
+    });
     let results = wb
         .sweep(&cfgs, Workload::trace(&trace))
         .threads(4)
-        .on_result(|outcome| {
-            let mut slots = spilled.lock().unwrap();
-            assert!(
-                slots[outcome.index].is_none(),
-                "job {} delivered twice",
-                outcome.index
-            );
-            slots[outcome.index] = Some(format!("{:?}", outcome.report.expect("spilled run")));
-        })
+        .sink(&mut sink)
         .run();
 
     assert!(results.spilled_to_sink());
+    assert!(results.sink_error().is_none());
     for item in &results {
         assert!(item.is_ok());
         assert!(
@@ -367,7 +369,7 @@ fn on_result_sink_spills_every_report_exactly_once() {
         assert_eq!(
             got.expect("every job delivered"),
             want[i],
-            "sink outcome {i} diverged from the collecting sweep"
+            "sink row {i} diverged from the collecting sweep"
         );
     }
 }

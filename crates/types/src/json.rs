@@ -1,0 +1,714 @@
+//! Hand-rolled, dependency-free JSON encode/decode.
+//!
+//! The build environment has no crates.io access, so the structured
+//! results pipeline (see `fcache::results`) cannot lean on `serde`. This
+//! module is the minimal replacement: a [`Json`] value tree, a compact
+//! encoder, and a strict recursive-descent parser — enough to write and
+//! read schema-versioned JSONL result rows.
+//!
+//! Exactness is the design constraint (result rows must round-trip
+//! bit-for-bit, `fcache`'s `results_pipeline` tests pin it):
+//!
+//! - integers keep their own variants ([`Json::U64`] / [`Json::I64`]), so
+//!   64-bit counters never pass through an `f64` and lose precision;
+//! - floats encode via Rust's shortest-round-trip formatting (`{:?}`),
+//!   which `str::parse::<f64>` maps back to the identical bits;
+//! - object key order is preserved (insertion order, not a sorted map),
+//!   so encode(parse(s)) == s for anything this encoder produced.
+//!
+//! Non-finite floats have no JSON representation; the encoder writes
+//! `null` for them (the simulator's metrics are NaN-free by construction,
+//! see `SimReport`).
+
+use std::fmt;
+
+/// Maximum nesting depth the parser accepts (arrays/objects combined).
+/// Deep enough for any result row, shallow enough that hostile input
+/// cannot overflow the stack.
+const MAX_DEPTH: usize = 128;
+
+/// One JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer that fits in `u64` (the common case for the
+    /// simulator's counters).
+    U64(u64),
+    /// A negative integer that fits in `i64`.
+    I64(i64),
+    /// Any other number (fractional or exponent form).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is preserved exactly as built or parsed.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Parse failure with the byte offset where it happened.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub msg: String,
+    /// Byte offset into the input.
+    pub at: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// An empty object, for builder-style construction with
+    /// [`Json::field`].
+    pub fn obj() -> Self {
+        Json::Obj(Vec::new())
+    }
+
+    /// Appends a key/value pair (builder style). Keys are not checked for
+    /// uniqueness — the caller controls the schema.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn field(mut self, key: &str, value: Json) -> Self {
+        match &mut self {
+            Json::Obj(pairs) => pairs.push((key.to_string(), value)),
+            other => panic!("Json::field on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Member lookup on an object (first match wins).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (any numeric variant converts).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::U64(n) => Some(*n as f64),
+            Json::I64(n) => Some(*n as f64),
+            Json::F64(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Encodes compactly (no whitespace) into `out`.
+    pub fn encode(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::U64(n) => push_u64(out, *n),
+            Json::I64(n) => {
+                if *n < 0 {
+                    out.push('-');
+                }
+                push_u64(out, n.unsigned_abs());
+            }
+            Json::F64(x) => {
+                if x.is_finite() {
+                    // `{:?}` is Rust's shortest representation that parses
+                    // back to the identical bits.
+                    out.push_str(&format!("{x:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => encode_str(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.encode(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    encode_str(k, out);
+                    out.push(':');
+                    v.encode(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Encodes compactly to a fresh string.
+    #[allow(clippy::inherent_to_string)]
+    pub fn to_string(&self) -> String {
+        let mut out = String::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Parses one JSON value; the whole input must be consumed (trailing
+    /// whitespace allowed).
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after value"));
+        }
+        Ok(v)
+    }
+}
+
+/// Appends a `u64`'s digits without `fmt` machinery or allocation (hot in
+/// JSONL encoding: every counter in a result row is one of these).
+fn push_u64(out: &mut String, mut n: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    // Digits are ASCII by construction.
+    out.push_str(std::str::from_utf8(&buf[i..]).expect("ascii digits"));
+}
+
+fn encode_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> JsonError {
+        JsonError {
+            msg: msg.to_string(),
+            at: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected {word:?}")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.err(&format!("unexpected character {:?}", other as char))),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: the low half must follow.
+                                if !self.bytes[self.pos..].starts_with(b"\\u") {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                                char::from_u32(code).ok_or_else(|| self.err("invalid codepoint"))?
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| self.err("invalid codepoint"))?
+                            };
+                            out.push(c);
+                            // hex4 leaves pos past the digits; skip the
+                            // outer increment below.
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 encoded char (input is &str, so the
+                    // bytes are valid UTF-8).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
+                    let c = s.chars().next().unwrap();
+                    if (c as u32) < 0x20 {
+                        return Err(self.err("unescaped control character"));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        // Exactly four hex digits; from_str_radix alone would also accept
+        // a leading '+', which JSON does not.
+        if !slice.iter().all(u8::is_ascii_hexdigit) {
+            return Err(self.err("invalid \\u escape"));
+        }
+        let s = std::str::from_utf8(slice).map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    /// Consumes `1..` digits; errors with `what` if there are none.
+    fn digits(&mut self, what: &str) -> Result<usize, JsonError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err(what));
+        }
+        Ok(self.pos - start)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        // The full JSON number grammar, enforced shape-first:
+        // `-? (0 | [1-9][0-9]*) (\.[0-9]+)? ([eE][+-]?[0-9]+)?`.
+        // Deferring to str::parse alone would accept non-JSON forms like
+        // leading-zero integers ("0123").
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let int_start = self.pos;
+        let int_digits = self.digits("expected digits in number")?;
+        if int_digits > 1 && self.bytes[int_start] == b'0' {
+            self.pos = int_start;
+            return Err(self.err("leading zeros are not valid JSON"));
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            self.digits("expected digits after decimal point")?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            self.digits("expected digits in exponent")?;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if integral {
+            if let Some(digits) = text.strip_prefix('-') {
+                if let Ok(n) = digits.parse::<u64>() {
+                    // i64::MIN's magnitude is i64::MAX + 1; wrapping_neg
+                    // maps it back exactly.
+                    if n <= i64::MAX as u64 + 1 {
+                        return Ok(Json::I64((n as i64).wrapping_neg()));
+                    }
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::U64(n));
+            }
+            // Out-of-range integer: fall through to f64 (lossy but legal
+            // JSON; nothing in the result schema produces these).
+        }
+        match text.parse::<f64>() {
+            Ok(x) if x.is_finite() => Ok(Json::F64(x)),
+            _ => {
+                self.pos = start;
+                Err(self.err(&format!("invalid number {text:?}")))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Json) -> Json {
+        Json::parse(&v.to_string()).expect("reparse")
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        for v in [
+            Json::Null,
+            Json::Bool(true),
+            Json::Bool(false),
+            Json::U64(0),
+            Json::U64(u64::MAX),
+            Json::I64(-1),
+            Json::I64(i64::MIN),
+            Json::F64(0.1),
+            Json::F64(-1.5e300),
+            Json::Str(String::new()),
+            Json::Str("hello \"world\"\n\t\\ ∞ 𝄞".into()),
+        ] {
+            assert_eq!(roundtrip(&v), v, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn u64_precision_is_exact() {
+        // 2^53 + 1 is the first integer an f64 path would corrupt.
+        let v = Json::U64((1 << 53) + 1);
+        assert_eq!(v.to_string(), "9007199254740993");
+        assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn containers_roundtrip_preserving_order() {
+        let v = Json::obj()
+            .field("z", Json::U64(1))
+            .field("a", Json::Arr(vec![Json::Null, Json::Bool(true)]))
+            .field("nested", Json::obj().field("k", Json::Str("v".into())));
+        let s = v.to_string();
+        assert_eq!(s, r#"{"z":1,"a":[null,true],"nested":{"k":"v"}}"#);
+        assert_eq!(roundtrip(&v), v);
+        // Encoding is a fixed point: encode(parse(s)) == s.
+        assert_eq!(Json::parse(&s).unwrap().to_string(), s);
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Json::obj()
+            .field("n", Json::U64(7))
+            .field("s", Json::Str("x".into()))
+            .field("b", Json::Bool(true))
+            .field("arr", Json::Arr(vec![Json::F64(1.5)]))
+            .field("nil", Json::Null);
+        assert_eq!(v.get("n").and_then(Json::as_u64), Some(7));
+        assert_eq!(v.get("n").and_then(Json::as_f64), Some(7.0));
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("x"));
+        assert_eq!(v.get("b").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            v.get("arr").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(1)
+        );
+        assert!(v.get("nil").is_some_and(Json::is_null));
+        assert!(v.get("missing").is_none());
+        assert!(Json::Null.get("n").is_none());
+    }
+
+    #[test]
+    fn parses_whitespace_and_escapes() {
+        let v = Json::parse(" { \"k\" : [ 1 , \"a\\u0041\\n\" , -2.5e1 ] } ").unwrap();
+        assert_eq!(
+            v,
+            Json::obj().field(
+                "k",
+                Json::Arr(vec![
+                    Json::U64(1),
+                    Json::Str("aA\n".into()),
+                    Json::F64(-25.0)
+                ])
+            )
+        );
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        let v = Json::parse(r#""\ud834\udd1e""#).unwrap();
+        assert_eq!(v, Json::Str("𝄞".into()));
+        assert!(Json::parse(r#""\ud834""#).is_err());
+        assert!(Json::parse(r#""\ud834\u0041""#).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "[1 2]",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "nul",
+            "1x",
+            "--1",
+            "1.2.3",
+            "\"\\q\"",
+            "\"unterminated",
+            "[1]]",
+            "{}{}",
+            "\u{1}",
+            "\"\u{1}\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn number_grammar_is_strict_json() {
+        // Forms a conforming JSON parser rejects must be rejected here
+        // too, or hand-edited/corrupt rows decode differently per tool.
+        for bad in [
+            "0123",
+            "01",
+            "-01",
+            "1.",
+            ".5",
+            "-",
+            "1e",
+            "1e+",
+            "1.e5",
+            "+1",
+            r#""\u+abc""#,
+            r#""\u12g4""#,
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        for (ok, want) in [
+            ("0", Json::U64(0)),
+            ("-0", Json::I64(0)),
+            ("10", Json::U64(10)),
+            ("0.5", Json::F64(0.5)),
+            ("1e5", Json::F64(1e5)),
+            ("1E+5", Json::F64(1e5)),
+            ("2e-3", Json::F64(2e-3)),
+        ] {
+            assert_eq!(Json::parse(ok).unwrap(), want, "{ok}");
+        }
+    }
+
+    #[test]
+    fn depth_limit_stops_hostile_nesting() {
+        let deep = "[".repeat(100_000);
+        let err = Json::parse(&deep).unwrap_err();
+        assert!(err.msg.contains("deep"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-object")]
+    fn field_on_non_object_panics() {
+        let _ = Json::U64(1).field("k", Json::Null);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn arbitrary_counters_roundtrip(ns in proptest::collection::vec(0u64..u64::MAX, 1..50)) {
+                let v = Json::Arr(ns.iter().map(|&n| Json::U64(n)).collect());
+                prop_assert_eq!(roundtrip(&v), v);
+            }
+
+            #[test]
+            fn arbitrary_floats_roundtrip(bits in proptest::collection::vec(0u64..u64::MAX, 1..50)) {
+                // Drive through the full f64 bit space; skip non-finite.
+                let v = Json::Arr(
+                    bits.iter()
+                        .map(|&b| f64::from_bits(b))
+                        .filter(|x| x.is_finite())
+                        .map(Json::F64)
+                        .collect(),
+                );
+                prop_assert_eq!(roundtrip(&v), v);
+            }
+
+            #[test]
+            fn arbitrary_strings_roundtrip(points in proptest::collection::vec(0u32..0x11_0000u32, 0..60)) {
+                // Any scalar value survives; unpaired-surrogate codepoints
+                // are not `char`s, so from_u32 filters them.
+                let s: String = points.iter().filter_map(|&p| char::from_u32(p)).collect();
+                let v = Json::Str(s);
+                prop_assert_eq!(roundtrip(&v), v);
+            }
+        }
+    }
+}

@@ -11,6 +11,9 @@
 //!   throughout experiment configuration.
 //! - [`FxHashMap`] / [`FxHasher`] — the deterministic fast hasher every
 //!   hot-path map in the simulator uses (see `PERF.md`).
+//! - [`Json`] — a hand-rolled, dependency-free JSON value/codec (the
+//!   offline environment has no `serde`) used by the structured results
+//!   pipeline to write schema-versioned JSONL result rows.
 //!
 //! The paper's traces "contain read and write operations. Each operation
 //! identifies a file and a range of blocks within that file. Each operation
@@ -19,6 +22,7 @@
 pub mod block;
 pub mod fxhash;
 pub mod ids;
+pub mod json;
 pub mod op;
 pub mod size;
 pub mod trace;
@@ -26,6 +30,7 @@ pub mod trace;
 pub use block::{BlockAddr, BLOCK_SHIFT, BLOCK_SIZE};
 pub use fxhash::{mix64, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{FileId, HostId, ThreadId};
+pub use json::{Json, JsonError};
 pub use op::{OpKind, TraceOp};
 pub use size::ByteSize;
 pub use trace::{
