@@ -27,7 +27,7 @@ use fcache_bench::{
 use fcache_cache::{BlockCache, LruList, UnifiedCache};
 use fcache_des::{Sim, SimTime};
 use fcache_device::{IoLog, SsdConfig};
-use fcache_types::{BlockAddr, ByteSize, FileId, HostId, TraceOp, TraceReader};
+use fcache_types::{BlockAddr, ByteSize, FaultPlan, FileId, HostId, TraceOp, TraceReader};
 
 /// The pre-refactor cache hot path, reconstructed for comparison: SipHash
 /// `HashMap` keyed map plus a *separate* SipHash `HashSet` for dirtiness —
@@ -262,6 +262,30 @@ fn main() {
     res.push(
         "ssd_timing_overhead_vs_flat",
         ssd_wall / layered_wall.max(1e-9),
+        "x",
+    );
+
+    // The same run through a mid-run filer outage: the wall-clock ratio to
+    // the clean run is the engine cost of the engaged robustness layer
+    // (retry/park bookkeeping, recovery drains) on top of the simulation.
+    let layered_faulted = SimConfig {
+        fault_plan: FaultPlan::parse("filer:outage@40s-60s").expect("spec"),
+        ..SimConfig::baseline()
+    };
+    let t0 = Instant::now();
+    let r = wb
+        .run_with_trace(&layered_faulted, &trace)
+        .expect("faulted run");
+    let faulted_wall = t0.elapsed().as_secs_f64();
+    assert!(r.robustness.engaged());
+    res.push(
+        "fault_outage_sim_ops_per_sec",
+        blocks / faulted_wall,
+        "blocks/s",
+    );
+    res.push(
+        "fault_outage_overhead_vs_clean",
+        faulted_wall / layered_wall.max(1e-9),
         "x",
     );
 

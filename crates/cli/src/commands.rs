@@ -5,11 +5,12 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
 use fcache::{
-    read_rows, Architecture, DecodedRow, FlashTiming, JsonlSink, MemorySink, ResultSink, Scenario,
-    SimConfig, Sweep, Workbench, Workload, WorkloadSpec, WritebackPolicy, REPORT_SCHEMA,
+    read_rows, Architecture, DecodedRow, DegradedPolicy, FlashTiming, JsonlSink, MemorySink,
+    ResultSink, Scenario, SimConfig, Sweep, Workbench, Workload, WorkloadSpec, WritebackPolicy,
+    REPORT_SCHEMA,
 };
 use fcache_device::{SimTime, SsdConfig};
-use fcache_types::{stream_stats, ByteSize, TraceReader, TraceSource};
+use fcache_types::{stream_stats, ByteSize, FaultPlan, TraceReader, TraceSource};
 
 use crate::args::{ArgError, Flags};
 
@@ -64,6 +65,14 @@ COMMON FLAGS (run / replay):
   --ssd-write-base MICROS          SSD mean write service time [21]
   --scale N                        divide all byte sizes by N [64]
   --seed N                         RNG seed                  [42]
+  --fault SPEC                     inject faults (run / sweep / replay):
+                                   clauses `target:kind@window` joined by `;`
+                                   with target filer|net|net-up|net-down|device,
+                                   kind outage|slowx<f>|err<p>, window
+                                   <start>-<end> (paper-scale, e.g. 40s-60s)
+                                   or ~<count>x<len>/<gap> seeded episodes
+  --degraded queue|failfast|strict reads that hit a filer outage: park until
+                                   recovery, fail fast, or fail the run [queue]
 
   `--flash-timing ssd` services every flash op through a bounded NCQ-style
   queue in front of the behavioral SSD model (FTL map-cache locality, fill
@@ -126,6 +135,8 @@ const CFG_FLAGS: &[&str] = &[
     "ssd-capacity",
     "ssd-read-base",
     "ssd-write-base",
+    "fault",
+    "degraded",
 ];
 const CFG_BOOLS: &[&str] = &[
     "persistent",
@@ -152,6 +163,13 @@ fn config_from(flags: &Flags) -> Result<SimConfig, ArgError> {
     cfg.duplex_network = flags.has("duplex");
     cfg.seed = flags.get_parsed("seed", 42u64)?;
     cfg.flash_timing = flash_timing_from(flags)?;
+    if let Some(spec) = flags.get("fault") {
+        cfg.fault_plan = FaultPlan::parse(spec).map_err(|e| ArgError(format!("--fault: {e}")))?;
+    }
+    if let Some(label) = flags.get("degraded") {
+        cfg.robustness.degraded =
+            DegradedPolicy::parse(label).map_err(|e| ArgError(format!("--degraded: {e}")))?;
+    }
     Ok(cfg)
 }
 
@@ -233,6 +251,13 @@ fn cmd_run(args: &[String]) -> CmdResult {
         spec.working_set.scaled_down(scale),
     );
     eprintln!("flash timing: {}", cfg.flash_timing.describe());
+    if !cfg.fault_plan.is_empty() {
+        eprintln!(
+            "fault plan: {} (degraded: {})",
+            cfg.fault_plan.describe(),
+            cfg.robustness.degraded.label()
+        );
+    }
     // One scenario over a streamed workload: generation feeds the
     // simulator in bounded chunks, so run memory is O(cache + chunk)
     // regardless of the trace volume.
@@ -550,6 +575,25 @@ fn cmd_report(args: &[String]) -> CmdResult {
     if device_ops > 0 {
         println!("# device: {device_ops} serviced ops (ssd timing rows present)");
     }
+    let faulted = rows
+        .iter()
+        .filter(|r| r.report.robustness.engaged())
+        .count();
+    if faulted > 0 {
+        let sum = |f: fn(&fcache::RobustnessStats) -> u64| -> u64 {
+            rows.iter().map(|r| f(&r.report.robustness)).sum()
+        };
+        let degraded = SimTime::from_nanos(sum(|r| r.degraded_time.as_nanos()));
+        println!(
+            "# robustness: {faulted} faulted rows; {} retries, {} timeouts, {} failed / {} \
+             queued ops, {} buffered writes, {degraded} degraded",
+            sum(|r| r.retries),
+            sum(|r| r.timeouts),
+            sum(|r| r.failed_ops),
+            sum(|r| r.queued_ops),
+            sum(|r| r.buffered_writes),
+        );
+    }
     Ok(())
 }
 
@@ -806,6 +850,49 @@ mod tests {
             "ssd",
             "--ssd-read-base",
             "40",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn fault_flags_parse_and_reject() {
+        let flags = Flags::parse(
+            &argv(&["--fault", "filer:outage@40s-60s", "--degraded", "failfast"]),
+            CFG_FLAGS,
+            CFG_BOOLS,
+        )
+        .unwrap();
+        let cfg = config_from(&flags).unwrap();
+        assert_eq!(cfg.fault_plan.clauses.len(), 1);
+        assert_eq!(cfg.robustness.degraded, DegradedPolicy::FailFast);
+        // The default is fault-free with the queueing policy.
+        let bare = Flags::parse(&argv(&[]), CFG_FLAGS, CFG_BOOLS).unwrap();
+        let cfg = config_from(&bare).unwrap();
+        assert!(cfg.fault_plan.is_empty());
+        assert_eq!(cfg.robustness.degraded, DegradedPolicy::Queue);
+        for bad in [
+            &["--fault", "filer:outage"][..],         // missing window
+            &["--fault", "gremlin:outage@1s-2s"][..], // unknown target
+            &["--fault", "filer:slowx0@1s-2s"][..],   // non-positive factor
+            &["--degraded", "panic"][..],             // unknown policy
+        ] {
+            let flags = Flags::parse(&argv(bad), CFG_FLAGS, CFG_BOOLS).unwrap();
+            assert!(config_from(&flags).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn end_to_end_faulted_run() {
+        dispatch(&argv(&[
+            "run",
+            "--scale",
+            "16384",
+            "--ws",
+            "16G",
+            "--seed",
+            "7",
+            "--fault",
+            "filer:outage@40s-60s",
         ]))
         .unwrap();
     }

@@ -4,10 +4,11 @@ use fcache_cache::EvictionPolicy;
 use fcache_device::{FlashModel, RamModel, SsdConfig};
 use fcache_filer::FilerConfig;
 use fcache_net::NetConfig;
-use fcache_types::ByteSize;
+use fcache_types::{ByteSize, FaultPlan};
 
 use crate::arch::Architecture;
 use crate::policy::WritebackPolicy;
+use crate::robust::RobustnessConfig;
 
 /// How flash device time is charged (see `crate::devsvc`).
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -122,6 +123,13 @@ pub struct SimConfig {
     /// write bandwidth × period / cache size is scale-invariant).
     /// [`SimConfig::scaled_down`] sets this automatically.
     pub time_scale: u64,
+    /// Injected faults (see `fcache_types::fault`). Empty — the default —
+    /// means a healthy run, bit-identical to the pre-fault engine; clause
+    /// windows are paper-scale and divide by `time_scale` at resolve time.
+    pub fault_plan: FaultPlan,
+    /// Client robustness parameters (timeouts, retries, degraded-mode
+    /// policy). Consulted only when `fault_plan` is non-empty.
+    pub robustness: RobustnessConfig,
     /// Base RNG seed; filer draws and any stochastic components derive
     /// from it deterministically.
     pub seed: u64,
@@ -150,6 +158,8 @@ impl Default for SimConfig {
             min_runtime: None,
             syncer_window: 64,
             time_scale: 1,
+            fault_plan: FaultPlan::default(),
+            robustness: RobustnessConfig::default(),
             seed: 0xcafe_f00d,
         }
     }
@@ -186,6 +196,13 @@ impl SimConfig {
         }
         self.time_scale = self.time_scale.saturating_mul(factor);
         self
+    }
+
+    /// A paper-scale duration divided by this configuration's time scale
+    /// (never below 1 ns). Robustness timeouts and backoffs go through
+    /// this, like syncer periods go through [`SimConfig::scaled_period`].
+    pub fn scaled_time(&self, t: fcache_des::SimTime) -> fcache_des::SimTime {
+        fcache_des::SimTime::from_nanos((t.as_nanos() / self.time_scale).max(1))
     }
 
     /// Effective period of a policy under this configuration's time scale.
@@ -256,6 +273,13 @@ impl SimConfig {
             "Flash timing model        {}\n",
             self.flash_timing.describe()
         ));
+        if !self.fault_plan.is_empty() {
+            out.push_str(&format!(
+                "Fault plan                {} (degraded: {})\n",
+                self.fault_plan.describe(),
+                self.robustness.degraded.label()
+            ));
+        }
         out
     }
 }

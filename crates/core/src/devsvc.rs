@@ -31,13 +31,17 @@
 //! the same device timings (asserted by `tests/sweep_determinism.rs`).
 
 use std::cell::{Cell, RefCell};
+use std::rc::Rc;
 
 use fcache_des::{Resource, Sim, SimTime};
 use fcache_device::{IoDirection, IoLog, SsdModel, WindowStat};
-use fcache_types::{BlockAddr, HostId};
+use fcache_types::{BlockAddr, FaultEffect, FaultSchedule, HostId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 use crate::config::{FlashTiming, SimConfig};
 use crate::histogram::{HistogramSnapshot, LatencyHistogram};
+use crate::robust::RobustnessState;
 
 /// Per-host flash device timing service. Owned by each
 /// [`crate::host`]`::HostCtx`; the engine performs no flash sleep outside
@@ -60,6 +64,21 @@ pub struct DeviceService {
     lba_space: u64,
     /// Queue-aware SSD state; `None` in flat mode.
     ssd: Option<SsdQueue>,
+    /// Fault-injection state; `None` — the default — keeps every dispatch
+    /// path byte-identical to the pre-fault service.
+    faults: Option<DevFaults>,
+}
+
+/// Device-target fault state (see `fcache_types::fault`).
+struct DevFaults {
+    /// Resolved schedule for [`fcache_types::FaultTarget::Device`].
+    sched: FaultSchedule,
+    /// Error-rate draw stream (per host, seeded from the run seed).
+    rng: RefCell<SmallRng>,
+    /// Shared robustness counters (queued/retried dispatches).
+    state: Rc<RobustnessState>,
+    /// Pause before re-probing after a transient device error.
+    retry: SimTime,
 }
 
 /// The NCQ-style service queue plus the behavioral model behind it.
@@ -295,6 +314,71 @@ impl DeviceService {
             persistent: cfg.flash_model.persistent,
             lba_space: cfg.flash_blocks().max(1) as u64,
             ssd,
+            faults: None,
+        }
+    }
+
+    /// Attaches a device fault schedule (builder style; used only when the
+    /// run has a non-empty fault plan). `retry` is the already-scaled pause
+    /// between dispatch attempts after a transient device error.
+    pub(crate) fn with_faults(
+        mut self,
+        sched: FaultSchedule,
+        seed: u64,
+        state: Rc<RobustnessState>,
+        retry: SimTime,
+    ) -> Self {
+        self.faults = Some(DevFaults {
+            sched,
+            rng: RefCell::new(SmallRng::seed_from_u64(seed)),
+            state,
+            retry,
+        });
+        self
+    }
+
+    /// Admits one dispatch through the device fault schedule, returning the
+    /// service-time multiplier in force (1.0 when fault-free). Outages park
+    /// the dispatch until the window closes; transient errors pause and
+    /// re-probe (a cache device retries internally — the op never fails up
+    /// the stack, it just takes longer).
+    async fn fault_admit(&self) -> f64 {
+        let Some(f) = &self.faults else {
+            return 1.0;
+        };
+        loop {
+            let eff = {
+                let mut rng = f.rng.borrow_mut();
+                f.sched.effect_at(self.sim.now().as_nanos(), &mut || {
+                    rng.gen_range(0.0f64..1.0)
+                })
+            };
+            match eff {
+                FaultEffect::None => return 1.0,
+                FaultEffect::SlowBy(x) => return x,
+                FaultEffect::Fail {
+                    until_ns: Some(end),
+                    ..
+                } => {
+                    RobustnessState::bump(&f.state.queued_ops);
+                    let wait = SimTime::from_nanos(end).saturating_sub(self.sim.now());
+                    self.sim.sleep(wait.max(SimTime::from_nanos(1))).await;
+                }
+                FaultEffect::Fail { until_ns: None, .. } => {
+                    RobustnessState::bump(&f.state.retries);
+                    self.sim.sleep(f.retry).await;
+                }
+            }
+        }
+    }
+
+    /// Applies a fault multiplier without perturbing the fault-free path
+    /// (scaling by exactly 1.0 must not round through `f64`).
+    fn inflate(t: SimTime, m: f64) -> SimTime {
+        if m == 1.0 {
+            t
+        } else {
+            t.scale(m)
         }
     }
 
@@ -317,7 +401,10 @@ impl DeviceService {
     /// mode, where the caller must collect the block and [`Self::read`]
     /// it through the queue after the loop.
     pub fn try_flat_read(&self, addr: BlockAddr) -> Option<SimTime> {
-        if self.ssd.is_some() {
+        if self.ssd.is_some() || self.faults.is_some() {
+            // Fault handling may need to park the dispatch, which cannot
+            // happen under the caller's cache borrow — route through
+            // [`Self::read`] like an SSD-mode hit.
             return None;
         }
         self.iolog.log_read(self.lba(addr));
@@ -329,9 +416,10 @@ impl DeviceService {
     pub async fn read(&self, addr: BlockAddr) {
         let lba = self.lba(addr);
         self.iolog.log_read(lba);
+        let m = self.fault_admit().await;
         match &self.ssd {
-            None => self.sim.sleep(self.flat_read).await,
-            Some(q) => q.service(&self.sim, IoDirection::Read, lba, false).await,
+            None => self.sim.sleep(Self::inflate(self.flat_read, m)).await,
+            Some(q) => q.service(&self.sim, IoDirection::Read, lba, false, m).await,
         }
     }
 
@@ -343,20 +431,23 @@ impl DeviceService {
         if addrs.is_empty() {
             return;
         }
+        // One batch is one request stream: admit it through the fault
+        // schedule once, like one command at the device interface.
+        let m = self.fault_admit().await;
         match &self.ssd {
             None => {
                 for &a in addrs {
                     self.iolog.log_read(self.lba(a));
                 }
                 self.sim
-                    .sleep(self.flat_read.times(addrs.len() as u64))
+                    .sleep(Self::inflate(self.flat_read.times(addrs.len() as u64), m))
                     .await;
             }
             Some(q) => {
                 for &a in addrs {
                     let lba = self.lba(a);
                     self.iolog.log_read(lba);
-                    q.service(&self.sim, IoDirection::Read, lba, false).await;
+                    q.service(&self.sim, IoDirection::Read, lba, false, m).await;
                 }
             }
         }
@@ -368,14 +459,15 @@ impl DeviceService {
     /// persistent metadata (§7.8).
     pub async fn write(&self, addr: BlockAddr) {
         let lba = self.lba(addr);
+        let m = self.fault_admit().await;
         match &self.ssd {
             None => {
-                self.sim.sleep(self.flat_write).await;
+                self.sim.sleep(Self::inflate(self.flat_write, m)).await;
                 self.iolog.log_write(lba);
             }
             Some(q) => {
                 self.iolog.log_write(lba);
-                q.service(&self.sim, IoDirection::Write, lba, self.persistent)
+                q.service(&self.sim, IoDirection::Write, lba, self.persistent, m)
                     .await;
             }
         }
@@ -422,7 +514,14 @@ impl SsdQueue {
     /// slot, draws the service time from the behavioral model (in grant
     /// order, so draws are deterministic), and holds the slot for exactly
     /// that long.
-    async fn service(&self, sim: &Sim, dir: IoDirection, lba: u64, persistent_write: bool) {
+    async fn service(
+        &self,
+        sim: &Sim,
+        dir: IoDirection,
+        lba: u64,
+        persistent_write: bool,
+        scale: f64,
+    ) {
         let waited = self.slots.available() == 0 || self.slots.queue_len() > 0;
         self.stats.note_submit(self.inflight(), waited);
         let _slot = self.slots.acquire().await;
@@ -441,6 +540,7 @@ impl SsdQueue {
                 }
             }
         };
+        let t = DeviceService::inflate(t, scale);
         self.stats.note_complete(dir, t);
         self.window_record(dir, t);
         sim.sleep(t).await;

@@ -9,12 +9,13 @@ use std::rc::Rc;
 use fcache_cache::{InsertOutcome, Medium};
 use fcache_des::SimTime;
 use fcache_net::Direction;
-use fcache_types::{BlockAddr, OpKind, TraceOp, BLOCK_SIZE};
+use fcache_types::{BlockAddr, FaultError, FaultKind, OpKind, TraceOp, BLOCK_SIZE};
 
 use crate::arch::Architecture;
 use crate::flush::{self, FlushReq, FlushTarget};
 use crate::host::HostCtx;
 use crate::policy::WritebackPolicy;
+use crate::robust::{DegradedPolicy, FaultCtx, RobustnessState};
 
 /// Where the data being flushed currently lives, which decides what the
 /// flush costs before the network leg.
@@ -106,16 +107,27 @@ async fn read_layered(h: &Rc<HostCtx>, op: &TraceOp) {
     // Filer stage: "each I/O request uses one packet in each direction"
     // (§5) — one request covers every block this op still misses.
     if !filer_misses.is_empty() {
-        let n = filer_misses.len() as u32;
-        h.segment.transfer(Direction::ToServer, 0).await;
-        h.filer.read_blocks(&filer_misses).await;
-        h.segment
-            .transfer(Direction::FromServer, u64::from(n) * BLOCK_SIZE)
-            .await;
-        if h.has_flash() && h.cfg.populate_flash_on_read {
-            for &b in filer_misses.iter() {
-                flash_insert(h, b, false).await;
+        let fetched = match &h.fault {
+            None => {
+                let n = filer_misses.len() as u32;
+                h.segment.transfer(Direction::ToServer, 0).await;
+                h.filer.read_blocks(&filer_misses).await;
+                h.segment
+                    .transfer(Direction::FromServer, u64::from(n) * BLOCK_SIZE)
+                    .await;
+                true
             }
+            Some(f) => fetch_from_filer(h, &Rc::clone(f), &filer_misses).await,
+        };
+        if fetched {
+            if h.has_flash() && h.cfg.populate_flash_on_read {
+                for &b in filer_misses.iter() {
+                    flash_insert(h, b, false).await;
+                }
+            }
+        } else {
+            // Failed-fast miss: no data arrived, so nothing to cache.
+            filer_misses.clear();
         }
     }
 
@@ -169,14 +181,22 @@ async fn read_unified(h: &Rc<HostCtx>, op: &TraceOp) {
         h.put_buf(misses);
         return;
     }
-    let n = misses.len() as u32;
-    h.segment.transfer(Direction::ToServer, 0).await;
-    h.filer.read_blocks(&misses).await;
-    h.segment
-        .transfer(Direction::FromServer, u64::from(n) * BLOCK_SIZE)
-        .await;
-    for &b in misses.iter() {
-        unified_insert(h, b, false).await;
+    let fetched = match &h.fault {
+        None => {
+            let n = misses.len() as u32;
+            h.segment.transfer(Direction::ToServer, 0).await;
+            h.filer.read_blocks(&misses).await;
+            h.segment
+                .transfer(Direction::FromServer, u64::from(n) * BLOCK_SIZE)
+                .await;
+            true
+        }
+        Some(f) => fetch_from_filer(h, &Rc::clone(f), &misses).await,
+    };
+    if fetched {
+        for &b in misses.iter() {
+            unified_insert(h, b, false).await;
+        }
     }
     h.put_buf(misses);
 }
@@ -195,7 +215,18 @@ async fn write_layered(h: &Rc<HostCtx>, op: &TraceOp) {
         if h.has_ram() {
             ram_insert(h, b, true).await;
             match h.cfg.ram_policy {
-                WritebackPolicy::WriteThrough => flush_ram_block(h, b).await,
+                WritebackPolicy::WriteThrough => {
+                    if filer_down(h) {
+                        // Degraded mode: the filer is unreachable, so the
+                        // blocking write-through falls back to writeback-style
+                        // buffering — the flush queue holds the block and
+                        // drains once the outage clears (§ISSUE 6).
+                        buffered_write(h);
+                        spawn_ram_flush(h, b);
+                    } else {
+                        flush_ram_block(h, b).await;
+                    }
+                }
                 WritebackPolicy::AsyncWriteThrough => spawn_ram_flush(h, b),
                 WritebackPolicy::Periodic(_) | WritebackPolicy::None => {}
             }
@@ -283,6 +314,13 @@ async fn flash_insert(h: &Rc<HostCtx>, addr: BlockAddr, dirty: bool) {
 async fn on_flash_dirtied(h: &Rc<HostCtx>, addr: BlockAddr) {
     match h.cfg.flash_policy {
         WritebackPolicy::WriteThrough => {
+            if filer_down(h) {
+                // Degraded mode: keep the block dirty in flash and let the
+                // flush queue drain it after the outage.
+                buffered_write(h);
+                spawn_flash_flush(h, addr);
+                return;
+            }
             // Blocking write-through; the payload is still in hand.
             h.flash.borrow_mut().mark_clean(addr);
             flush_to_filer(h, addr, FlushSource::InHand).await;
@@ -322,6 +360,11 @@ async fn unified_insert(h: &Rc<HostCtx>, addr: BlockAddr, dirty: bool) {
         };
         match policy {
             WritebackPolicy::WriteThrough => {
+                if filer_down(h) {
+                    buffered_write(h);
+                    spawn_unified_flush(h, addr, ins.medium);
+                    return;
+                }
                 h.unified
                     .as_ref()
                     .expect("unified cache")
@@ -347,9 +390,145 @@ async fn flush_to_filer(h: &Rc<HostCtx>, addr: BlockAddr, src: FlushSource) {
         // The data must come off the device before it can be sent.
         h.dev.read(addr).await;
     }
-    h.segment.transfer(Direction::ToServer, BLOCK_SIZE).await;
-    h.filer.write(1).await;
-    h.segment.transfer(Direction::FromServer, 0).await;
+    let Some(f) = h.fault.as_ref().map(Rc::clone) else {
+        h.segment.transfer(Direction::ToServer, BLOCK_SIZE).await;
+        h.filer.write(1).await;
+        h.segment.transfer(Direction::FromServer, 0).await;
+        return;
+    };
+    // Dirty data is never dropped: a flush retries without bound (the
+    // backoff exponent is capped), parking through outages regardless of
+    // the degraded policy — durability over latency.
+    let mut attempt: u32 = 0;
+    loop {
+        if park_through_outage(h, &f).await {
+            continue;
+        }
+        let sent = async {
+            h.segment
+                .try_transfer(Direction::ToServer, BLOCK_SIZE)
+                .await?;
+            h.filer.try_write(1).await?;
+            h.segment.try_transfer(Direction::FromServer, 0).await
+        }
+        .await;
+        match sent {
+            Ok(()) => return,
+            Err(_) => {
+                attempt += 1;
+                failed_attempt(h, &f, attempt).await;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault-mode fetch / retry machinery (see `crate::robust`)
+// ---------------------------------------------------------------------------
+
+/// True when the filer fault schedule has an outage open right now. Always
+/// false without a fault plan, so write-through degradation never engages
+/// on fault-free runs.
+fn filer_down(h: &HostCtx) -> bool {
+    h.fault
+        .as_ref()
+        .is_some_and(|f| f.set.filer.outage_until(h.sim.now().as_nanos()).is_some())
+}
+
+/// Counts one write-through write degraded to buffered writeback.
+fn buffered_write(h: &HostCtx) {
+    if let Some(f) = &h.fault {
+        RobustnessState::bump(&f.state.buffered_writes);
+    }
+}
+
+/// If the filer is in outage, sleeps until it clears and returns true
+/// (counting the parked op); returns false when the filer is up.
+async fn park_through_outage(h: &Rc<HostCtx>, f: &Rc<FaultCtx>) -> bool {
+    let Some(clear_ns) = f.set.filer.outage_until(h.sim.now().as_nanos()) else {
+        return false;
+    };
+    RobustnessState::bump(&f.state.queued_ops);
+    let wait = SimTime::from_nanos(clear_ns).saturating_sub(h.sim.now());
+    h.sim.sleep(wait.max(SimTime::from_nanos(1))).await;
+    true
+}
+
+/// Charges one failed exchange attempt: the per-op timeout, then the
+/// jittered exponential backoff before the retry.
+async fn failed_attempt(h: &Rc<HostCtx>, f: &Rc<FaultCtx>, attempt: u32) {
+    RobustnessState::bump(&f.state.timeouts);
+    h.sim.sleep(f.op_timeout).await;
+    RobustnessState::bump(&f.state.retries);
+    h.sim.sleep(f.backoff(attempt)).await;
+}
+
+/// The clause text of the filer outage open at `now_ns` (for failure
+/// attribution when a miss fails fast).
+fn outage_clause(f: &FaultCtx, now_ns: u64) -> String {
+    f.set
+        .filer
+        .windows()
+        .iter()
+        .find(|w| w.kind == FaultKind::Outage && w.start_ns <= now_ns && now_ns < w.end_ns)
+        .map(|w| w.clause.clone())
+        .unwrap_or_else(|| "filer:outage".to_string())
+}
+
+/// One full miss exchange against the filer through the fault seams:
+/// request packet out, filer read service, payload packet back. Any leg
+/// can fail transiently; a failed leg consumes no service time.
+async fn try_exchange(h: &Rc<HostCtx>, blocks: &[BlockAddr]) -> Result<(), FaultError> {
+    let n = blocks.len() as u32;
+    h.segment.try_transfer(Direction::ToServer, 0).await?;
+    h.filer.try_read_blocks(blocks).await?;
+    h.segment
+        .try_transfer(Direction::FromServer, u64::from(n) * BLOCK_SIZE)
+        .await
+}
+
+/// Fetches a miss list from the filer under fault injection: outages
+/// degrade per [`DegradedPolicy`] (cache hits keep serving either way),
+/// transient failures retry with timeout + jittered exponential backoff
+/// up to `max_retries`. Returns whether the data ultimately arrived.
+async fn fetch_from_filer(h: &Rc<HostCtx>, f: &Rc<FaultCtx>, blocks: &[BlockAddr]) -> bool {
+    let now = h.sim.now().as_nanos();
+    let widx = f.set.filer.window_index_at(now);
+    f.state.window_op(widx);
+    let mut attempt: u32 = 0;
+    loop {
+        let now = h.sim.now().as_nanos();
+        if f.set.filer.outage_until(now).is_some() {
+            match f.cfg.degraded {
+                DegradedPolicy::Queue => {
+                    // Availability first: park the miss until the filer
+                    // returns, then fetch. Hits never reach this path.
+                    park_through_outage(h, f).await;
+                    continue;
+                }
+                DegradedPolicy::FailFast | DegradedPolicy::Strict => {
+                    f.state.op_failed(&outage_clause(f, now));
+                    return false;
+                }
+            }
+        }
+        match try_exchange(h, blocks).await {
+            Ok(()) => {
+                f.state.window_ok(widx);
+                return true;
+            }
+            Err(e) => {
+                if attempt >= f.cfg.max_retries {
+                    RobustnessState::bump(&f.state.timeouts);
+                    h.sim.sleep(f.op_timeout).await;
+                    f.state.op_failed(&e.clause);
+                    return false;
+                }
+                attempt += 1;
+                failed_attempt(h, f, attempt).await;
+            }
+        }
+    }
 }
 
 /// Flushes one dirty RAM block down a level (the RAM tier's writeback

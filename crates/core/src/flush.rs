@@ -71,6 +71,12 @@ impl FlushQueue {
         }
     }
 
+    /// Requests submitted but not yet fully flushed (queued + in flight) —
+    /// the backlog an outage-recovery probe reads as its drain depth.
+    pub(crate) fn backlog(&self) -> usize {
+        self.outstanding.get()
+    }
+
     /// Marks one request fully processed, releasing the keeper when the
     /// queue drains.
     fn complete_one(&self) {
@@ -165,6 +171,13 @@ impl Future for NextFlush {
         q.idle.borrow_mut().push(cx.waker().clone());
         Poll::Pending
     }
+}
+
+/// Completes once the host's flush queue is fully drained (immediately if
+/// it already is). Used by the outage-recovery probes to time how long the
+/// buffered-write backlog takes to clear.
+pub(crate) async fn wait_drained(h: &Rc<HostCtx>) {
+    WaitDrained { h: Rc::clone(h) }.await;
 }
 
 /// Keeper future: completes once every submitted flush has been processed,

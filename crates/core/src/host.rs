@@ -14,6 +14,7 @@ use crate::config::SimConfig;
 use crate::devsvc::DeviceService;
 use crate::flush::FlushQueue;
 use crate::metrics::Metrics;
+use crate::robust::FaultCtx;
 
 /// Everything one compute server ("host") owns in the simulation.
 ///
@@ -63,6 +64,11 @@ pub(crate) struct HostCtx {
     /// of long-lived worker daemons (see `crate::flush`): policy `a` runs
     /// allocation-free once the pool has grown to the peak concurrency.
     pub flushq: FlushQueue,
+    /// Fault-injection context (resolved schedules, retry parameters,
+    /// shared robustness counters). `None` — the default — means every
+    /// fault-aware path collapses to its pre-fault form (see
+    /// `crate::robust`).
+    pub fault: Option<Rc<FaultCtx>>,
 }
 
 impl HostCtx {
@@ -135,6 +141,12 @@ impl HostCtx {
         }
         self.segment.reset_stats();
         self.dev.reset_stats();
+        // Robustness counters are NOT reset: like `device_windows` and
+        // `degraded_time`, they cover the whole run including warmup —
+        // fault handling, not steady-state latency, is what they measure.
+        // (Resetting them would also tear counts for ops parked across
+        // the warmup boundary: entry counted before the reset, completion
+        // after, leaving ok > ops in the window tallies.)
     }
 }
 

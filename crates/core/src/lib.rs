@@ -82,6 +82,7 @@ pub mod metrics;
 pub mod policy;
 pub mod report;
 pub mod results;
+pub mod robust;
 pub mod scenario;
 pub mod sim;
 
@@ -97,5 +98,6 @@ pub use results::{
     read_rows, report_from_json, report_to_json, row_from_json, row_to_json, scan_jsonl, sink_fn,
     DecodedRow, JsonlSink, MemorySink, ResultRow, ResultSink, TeeSink, REPORT_SCHEMA,
 };
+pub use robust::{DegradedPolicy, FaultWindowStat, RobustnessConfig, RobustnessStats};
 pub use scenario::{Scenario, Sweep, SweepError, SweepItem, SweepResults, Workload};
 pub use sim::{run_source, run_trace, SimError};

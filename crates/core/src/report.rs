@@ -10,6 +10,7 @@ use fcache_net::SegmentStats;
 
 use crate::devsvc::DeviceStatsSnapshot;
 use crate::metrics::MetricsSnapshot;
+use crate::robust::RobustnessStats;
 
 /// Everything measured by one simulation run (post-warmup unless noted).
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -44,6 +45,12 @@ pub struct SimReport {
     /// Flash I/O log (present only when `log_flash_io` was set; covers the
     /// whole run including warmup, since device fill behavior is the point).
     pub flash_iolog: Option<Vec<IoLogEntry>>,
+    /// Robustness counters under fault injection: retries, timeouts,
+    /// failed/queued ops, degraded time, recovery drains, and per-window
+    /// availability. All zero/empty when the run had no fault plan.
+    /// Covers the whole run including warmup (like `device_windows`):
+    /// fault handling, not steady-state latency, is what it measures.
+    pub robustness: RobustnessStats,
 }
 
 impl SimReport {
@@ -179,6 +186,38 @@ impl fmt::Display for SimReport {
                 self.invalidation_pct(),
                 self.metrics.tracked_writes
             )?;
+        }
+        if self.robustness.engaged() {
+            let r = &self.robustness;
+            writeln!(
+                f,
+                "faults             {} retries, {} timeouts, {} failed / {} queued ops, {} buffered writes",
+                r.retries, r.timeouts, r.failed_ops, r.queued_ops, r.buffered_writes
+            )?;
+            writeln!(
+                f,
+                "degraded           {} ({:.1}% of run)",
+                r.degraded_time,
+                100.0 * r.degraded_fraction(self.end_time)
+            )?;
+            if r.drain_events > 0 {
+                writeln!(
+                    f,
+                    "recovery           {} drains, max depth {}, {} total drain time",
+                    r.drain_events, r.drain_depth_max, r.drain_time
+                )?;
+            }
+            for (i, w) in r.windows.iter().enumerate() {
+                writeln!(
+                    f,
+                    "window {i}           {} - {}: {:.1}% available ({} / {} ops)",
+                    w.start,
+                    w.end,
+                    100.0 * w.availability(),
+                    w.ok,
+                    w.ops
+                )?;
+            }
         }
         Ok(())
     }

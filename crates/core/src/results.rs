@@ -42,6 +42,7 @@ use crate::devsvc::DeviceStatsSnapshot;
 use crate::histogram::{HistogramSnapshot, BUCKETS};
 use crate::metrics::MetricsSnapshot;
 use crate::report::SimReport;
+use crate::robust::{FaultWindowStat, RobustnessStats};
 
 /// Version stamped into every serialized result row. Bump it whenever the
 /// row layout changes shape; readers reject rows from other schemas
@@ -346,7 +347,7 @@ pub fn row_to_json(row: &ResultRow) -> Json {
 /// model, prefetch/persistence/duplex knobs, scale, seed). Not
 /// round-tripped — [`row_from_json`] hands it back verbatim.
 pub fn config_to_json(cfg: &SimConfig) -> Json {
-    Json::obj()
+    let mut j = Json::obj()
         .field("arch", Json::Str(cfg.arch.name().to_string()))
         .field("ram", Json::Str(cfg.ram_size.to_string()))
         .field("flash", Json::Str(cfg.flash_size.to_string()))
@@ -357,7 +358,16 @@ pub fn config_to_json(cfg: &SimConfig) -> Json {
         .field("persistent", Json::Bool(cfg.flash_model.persistent))
         .field("duplex", Json::Bool(cfg.duplex_network))
         .field("time_scale", Json::U64(cfg.time_scale))
-        .field("seed", Json::U64(cfg.seed))
+        .field("seed", Json::U64(cfg.seed));
+    // Fault axes appear only when a plan exists, so fault-free rows keep
+    // their exact pre-fault encoding.
+    if !cfg.fault_plan.is_empty() {
+        j = j.field("fault", cfg.fault_plan.to_json()).field(
+            "degraded",
+            Json::Str(cfg.robustness.degraded.label().to_string()),
+        );
+    }
+    j
 }
 
 /// Serializes a complete report, exactly (see the round-trip property test
@@ -409,6 +419,38 @@ pub fn report_to_json(r: &SimReport) -> Json {
                         .collect(),
                 ),
             },
+        )
+        .field("robustness", robustness_to_json(&r.robustness))
+}
+
+/// Robustness counters serialize compactly; fault-free runs encode the
+/// all-zero default, and PR-5-era rows without the field decode to it.
+fn robustness_to_json(r: &RobustnessStats) -> Json {
+    Json::obj()
+        .field("retries", Json::U64(r.retries))
+        .field("timeouts", Json::U64(r.timeouts))
+        .field("failed_ops", Json::U64(r.failed_ops))
+        .field("queued_ops", Json::U64(r.queued_ops))
+        .field("buffered_writes", Json::U64(r.buffered_writes))
+        .field("degraded_time_ns", Json::U64(r.degraded_time.as_nanos()))
+        .field("drain_events", Json::U64(r.drain_events))
+        .field("drain_depth_max", Json::U64(r.drain_depth_max))
+        .field("drain_time_ns", Json::U64(r.drain_time.as_nanos()))
+        .field(
+            "windows",
+            Json::Arr(
+                r.windows
+                    .iter()
+                    .map(|w| {
+                        Json::Arr(vec![
+                            Json::U64(w.start.as_nanos()),
+                            Json::U64(w.end.as_nanos()),
+                            Json::U64(w.ops),
+                            Json::U64(w.ok),
+                        ])
+                    })
+                    .collect(),
+            ),
         )
 }
 
@@ -550,6 +592,43 @@ pub fn report_from_json(v: &Json) -> Result<SimReport, String> {
             ),
             Some(other) => return Err(format!("invalid flash_iolog: {other:?}")),
         },
+        // Optional for backward compatibility: rows written before the
+        // fault-injection schema addition decode to the all-zero default.
+        robustness: match v.get("robustness") {
+            None | Some(Json::Null) => RobustnessStats::default(),
+            Some(r) => robustness_from_json(r)?,
+        },
+    })
+}
+
+fn robustness_from_json(v: &Json) -> Result<RobustnessStats, String> {
+    Ok(RobustnessStats {
+        retries: u(v, "retries")?,
+        timeouts: u(v, "timeouts")?,
+        failed_ops: u(v, "failed_ops")?,
+        queued_ops: u(v, "queued_ops")?,
+        buffered_writes: u(v, "buffered_writes")?,
+        degraded_time: t(v, "degraded_time_ns")?,
+        drain_events: u(v, "drain_events")?,
+        drain_depth_max: u(v, "drain_depth_max")?,
+        drain_time: t(v, "drain_time_ns")?,
+        windows: v
+            .get("windows")
+            .and_then(Json::as_arr)
+            .ok_or("missing/invalid robustness windows")?
+            .iter()
+            .map(|w| {
+                let q = w.as_arr().filter(|a| a.len() == 4);
+                let q = q.ok_or("robustness window must be [start, end, ops, ok]")?;
+                let n = |i: usize| q[i].as_u64().ok_or("invalid robustness window entry");
+                Ok(FaultWindowStat {
+                    start: SimTime::from_nanos(n(0)?),
+                    end: SimTime::from_nanos(n(1)?),
+                    ops: n(2)?,
+                    ok: n(3)?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?,
     })
 }
 

@@ -80,11 +80,12 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use fcache_types::{Trace, TraceReader, TraceSource};
+use fcache_types::{FaultPlan, Trace, TraceReader, TraceSource};
 
 use crate::config::SimConfig;
 use crate::report::SimReport;
 use crate::results::{scan_jsonl, ResultRow, ResultSink};
+use crate::robust::DegradedPolicy;
 use crate::sim::{run_source, run_trace, SimError};
 
 /// Boxed per-job source factory: called once per run/job, on the worker
@@ -221,6 +222,33 @@ impl<'a> Scenario<'a> {
         &self.workload
     }
 
+    /// Attaches a fault-injection plan (builder style). Windows are
+    /// paper-scale simulated time and scale down with the run's
+    /// `time_scale`, like syncer periods:
+    ///
+    /// ```
+    /// use fcache::{Scenario, SimConfig, Workload};
+    /// use fcache_types::FaultPlan;
+    /// # use fcache_trace::{generate, TraceGenConfig};
+    /// # use fcache_fsmodel::{FsModel, FsModelConfig};
+    /// # let model = FsModel::generate(FsModelConfig::default());
+    /// # let trace = generate(&model, TraceGenConfig::default());
+    /// let plan = FaultPlan::parse("filer:outage@40s-60s").unwrap();
+    /// let s = Scenario::new(SimConfig::default(), Workload::trace(&trace))
+    ///     .fault_plan(plan);
+    /// ```
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.cfg.fault_plan = plan;
+        self
+    }
+
+    /// Sets the degraded-mode policy for read misses during a filer outage
+    /// (builder style; meaningful only with a fault plan).
+    pub fn degraded(mut self, policy: DegradedPolicy) -> Self {
+        self.cfg.robustness.degraded = policy;
+        self
+    }
+
     /// Runs the scenario. `&self`: a scenario can run any number of times
     /// (streams regenerate, files re-open, traces re-borrow) and always
     /// produces the same report.
@@ -230,6 +258,12 @@ impl<'a> Scenario<'a> {
 }
 
 /// A sweep job failure with its job context attached.
+///
+/// Display output chains through the underlying [`SimError`], so a job
+/// sunk by fault injection under a strict degraded policy prints the
+/// originating fault clause, e.g.
+/// `sweep job 3 (naive/none) failed: operation failed under injected
+/// fault (filer:outage@40s-60s) with strict degraded policy`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SweepError {
     /// Index of the failed job in sweep order.

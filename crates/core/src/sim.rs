@@ -24,20 +24,25 @@ use std::io;
 use std::rc::Rc;
 
 use fcache_cache::{BlockCache, Medium, UnifiedCache};
-use fcache_des::{RunError, Sim};
+use fcache_des::{RunError, Sim, SimTime};
 use fcache_device::IoLog;
 use fcache_filer::{Filer, FilerConfig};
 use fcache_net::Segment;
-use fcache_types::{FxHashSet, HostId, Trace, TraceOp, TraceSource, TRACE_CHUNK_OPS};
+use fcache_types::{
+    mix64, FxHashSet, HostId, ResolvedFaultSet, Trace, TraceOp, TraceSource, TRACE_CHUNK_OPS,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 
 use crate::arch::Architecture;
 use crate::config::SimConfig;
 use crate::devsvc::DeviceService;
 use crate::engine::{self, execute_op};
-use crate::flush::FlushQueue;
+use crate::flush::{self, FlushQueue};
 use crate::host::HostCtx;
 use crate::metrics::Metrics;
 use crate::report::SimReport;
+use crate::robust::{DegradedPolicy, FaultCtx, RobustnessState};
 
 /// Error from a simulation run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -54,6 +59,15 @@ pub enum SimError {
     /// per-job panics so one hostile job cannot abort a whole sweep; the
     /// payload is the panic message.
     Panic(String),
+    /// An operation failed under fault injection while the degraded policy
+    /// was [`crate::DegradedPolicy::Strict`] — the run refuses to report
+    /// degraded results. The payload is the first offending fault clause
+    /// (e.g. `filer:outage@40s-60s`), so a sweep error names the injection
+    /// that sank the job.
+    Faulted {
+        /// The fault clause behind the first failed operation.
+        clause: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -64,6 +78,12 @@ impl std::fmt::Display for SimError {
             }
             SimError::Source(msg) => write!(f, "trace source failed: {msg}"),
             SimError::Panic(msg) => write!(f, "simulation panicked: {msg}"),
+            SimError::Faulted { clause } => {
+                write!(
+                    f,
+                    "operation failed under injected fault ({clause}) with strict degraded policy"
+                )
+            }
         }
     }
 }
@@ -78,6 +98,14 @@ impl From<RunError> for SimError {
     }
 }
 
+/// Resolved fault-injection state for one run: the per-target schedules
+/// plus the shared robustness counters. Absent when the plan is empty, so
+/// fault-free runs build exactly the pre-fault object graph.
+struct FaultParts {
+    set: Rc<ResolvedFaultSet>,
+    state: Rc<RobustnessState>,
+}
+
 /// Everything both replay paths share: the executor, the hosts, and the
 /// global sinks that become the report.
 struct SimParts {
@@ -86,6 +114,7 @@ struct SimParts {
     filer: Filer,
     metrics: Metrics,
     hosts: Vec<Rc<HostCtx>>,
+    fault: Option<FaultParts>,
 }
 
 /// Builds the executor and one [`HostCtx`] per host (no tasks yet).
@@ -93,23 +122,46 @@ fn build_parts(config: &SimConfig, n_hosts: u16) -> SimParts {
     let cfg = Rc::new(config.clone());
     let sim = Sim::new();
 
+    // Resolve the fault plan once per run: paper-scale windows divide by
+    // `time_scale` (like syncer periods) and stochastic episodes expand
+    // against the run seed, so the same configuration always injects the
+    // same faults.
+    let fault = (!cfg.fault_plan.is_empty()).then(|| {
+        let set = Rc::new(cfg.fault_plan.resolve(cfg.seed, cfg.time_scale));
+        let state = Rc::new(RobustnessState::new(set.filer.windows().len()));
+        FaultParts { set, state }
+    });
+
     // Derive the filer draw seed from both the filer seed and the run seed
     // so distinct configurations decorrelate.
     let filer_cfg = FilerConfig {
         seed: cfg.filer.seed ^ cfg.seed.rotate_left(17),
         ..cfg.filer
     };
-    let filer = Filer::new(sim.clone(), filer_cfg);
+    let mut filer = Filer::new(sim.clone(), filer_cfg);
+    if let Some(fp) = &fault {
+        filer = filer.with_faults(
+            fp.set.filer.clone(),
+            mix64(cfg.seed ^ 0xf11e_fa17_0000_0001),
+        );
+    }
     let metrics = Metrics::new();
     let warmup_over = Rc::new(Cell::new(false));
 
     let hosts: Vec<Rc<HostCtx>> = (0..n_hosts)
         .map(|i| {
-            let segment = if cfg.duplex_network {
+            let mut segment = if cfg.duplex_network {
                 Segment::new_duplex(sim.clone(), cfg.net)
             } else {
                 Segment::new(sim.clone(), cfg.net)
             };
+            if let Some(fp) = &fault {
+                segment = segment.with_faults(
+                    fp.set.net_to_server.clone(),
+                    fp.set.net_from_server.clone(),
+                    mix64(cfg.seed ^ (u64::from(i) << 32) ^ 0x5e97_fa17_0000_0002),
+                );
+            }
             let unified = (cfg.arch == Architecture::Unified)
                 .then(|| RefCell::new(UnifiedCache::new(cfg.ram_blocks(), cfg.flash_blocks())));
             let iolog = if cfg.log_flash_io {
@@ -117,7 +169,27 @@ fn build_parts(config: &SimConfig, n_hosts: u16) -> SimParts {
             } else {
                 IoLog::disabled()
             };
-            let dev = DeviceService::new(sim.clone(), &cfg, HostId(i), iolog.clone());
+            let mut dev = DeviceService::new(sim.clone(), &cfg, HostId(i), iolog.clone());
+            if let Some(fp) = &fault {
+                dev = dev.with_faults(
+                    fp.set.device.clone(),
+                    mix64(cfg.seed ^ (u64::from(i) << 32) ^ 0xde71_fa17_0000_0003),
+                    Rc::clone(&fp.state),
+                    cfg.scaled_time(cfg.robustness.retry_base),
+                );
+            }
+            let host_fault = fault.as_ref().map(|fp| {
+                Rc::new(FaultCtx {
+                    set: Rc::clone(&fp.set),
+                    cfg: cfg.robustness,
+                    op_timeout: cfg.scaled_time(cfg.robustness.op_timeout),
+                    retry_base: cfg.scaled_time(cfg.robustness.retry_base),
+                    rng: RefCell::new(SmallRng::seed_from_u64(mix64(
+                        cfg.seed ^ (u64::from(i) << 32) ^ 0x0b0f_fa17_0000_0004,
+                    ))),
+                    state: Rc::clone(&fp.state),
+                })
+            });
             Rc::new(HostCtx {
                 id: HostId(i),
                 sim: sim.clone(),
@@ -150,6 +222,7 @@ fn build_parts(config: &SimConfig, n_hosts: u16) -> SimParts {
                 warmup_over: Rc::clone(&warmup_over),
                 buf_pool: RefCell::new(Vec::new()),
                 flushq: FlushQueue::new(),
+                fault: host_fault,
             })
         })
         .collect();
@@ -168,6 +241,7 @@ fn build_parts(config: &SimConfig, n_hosts: u16) -> SimParts {
         filer,
         metrics,
         hosts,
+        fault,
     }
 }
 
@@ -204,6 +278,30 @@ fn spawn_daemons(parts: &SimParts) {
         }
     }
 
+    // Recovery-drain probes: at the close of every filer outage, measure
+    // the flush backlog that piled up while write-through was degraded and
+    // time how long it takes to drain. Daemons, so they never extend the
+    // run past the workload; spawned only when a plan exists, so fault-free
+    // runs spawn exactly the pre-fault task set.
+    if let Some(fp) = &parts.fault {
+        for h in hosts {
+            for (_, end_ns) in fp.set.filer.outage_spans() {
+                let h = Rc::clone(h);
+                let state = Rc::clone(&fp.state);
+                let s = sim.clone();
+                sim.spawn_daemon(async move {
+                    s.sleep_until(SimTime::from_nanos(end_ns)).await;
+                    let depth = h.flushq.backlog();
+                    if depth > 0 {
+                        let t0 = s.now();
+                        flush::wait_drained(&h).await;
+                        state.note_drain(depth as u64, s.now() - t0);
+                    }
+                });
+            }
+        }
+    }
+
     // Optionally pin the clock past the trace so periodic syncers can run.
     if let Some(t) = cfg.min_runtime {
         let s = sim.clone();
@@ -222,6 +320,7 @@ fn run_and_collect(parts: &SimParts) -> Result<SimReport, SimError> {
         filer,
         metrics,
         hosts,
+        fault,
     } = parts;
     let run = sim.run().map_err(SimError::from);
 
@@ -266,9 +365,20 @@ fn run_and_collect(parts: &SimParts) -> Result<SimReport, SimError> {
         }
         report.flash_iolog = Some(log);
     }
+    if let Some(fp) = fault {
+        let mut rs = fp.state.snapshot(&fp.set.filer);
+        rs.degraded_time =
+            SimTime::from_nanos(fp.set.filer.outage_overlap(report.end_time.as_nanos()));
+        report.robustness = rs;
+    }
 
     sim.shutdown();
     run?;
+    if cfg.robustness.degraded == DegradedPolicy::Strict {
+        if let Some(clause) = fault.as_ref().and_then(|fp| fp.state.first_fail()) {
+            return Err(SimError::Faulted { clause });
+        }
+    }
     Ok(report)
 }
 

@@ -15,8 +15,9 @@
 
 use fcache::{
     read_rows, report_from_json, report_to_json, row_to_json, scan_jsonl, Architecture,
-    DeviceStatsSnapshot, HistogramSnapshot, JsonlSink, MemorySink, MetricsSnapshot, ResultRow,
-    SimConfig, SimReport, Sweep, Workbench, WorkloadSpec, REPORT_SCHEMA,
+    DeviceStatsSnapshot, FaultWindowStat, HistogramSnapshot, JsonlSink, MemorySink,
+    MetricsSnapshot, ResultRow, RobustnessStats, SimConfig, SimReport, Sweep, Workbench,
+    WorkloadSpec, REPORT_SCHEMA,
 };
 use fcache_cache::CacheStats;
 use fcache_des::SimTime;
@@ -154,6 +155,25 @@ fn report_from_words(words: &[u64]) -> SimReport {
         end_time: SimTime::from_nanos(w.next()),
         events: w.next(),
         flash_iolog,
+        robustness: RobustnessStats {
+            retries: w.next(),
+            timeouts: w.next(),
+            failed_ops: w.next(),
+            queued_ops: w.next(),
+            buffered_writes: w.next(),
+            degraded_time: SimTime::from_nanos(w.next()),
+            drain_events: w.next(),
+            drain_depth_max: w.next(),
+            drain_time: SimTime::from_nanos(w.next()),
+            windows: (0..(w.next() % 3))
+                .map(|_| FaultWindowStat {
+                    start: SimTime::from_nanos(w.next()),
+                    end: SimTime::from_nanos(w.next()),
+                    ops: w.next(),
+                    ok: w.next(),
+                })
+                .collect(),
+        },
     }
 }
 
@@ -261,6 +281,7 @@ fn golden_row_pins_the_schema() {
                 lba: 8,
             },
         ]),
+        robustness: RobustnessStats::default(),
     };
     let row = ResultRow {
         index: 4,
@@ -287,7 +308,9 @@ fn golden_row_pins_the_schema() {
         r#""device":{"reads":0,"writes":0,"read_time_ns":0,"write_time_ns":0,"queue_waits":0,"#,
         r#""depth_sum":0,"depth_samples":0,"depth_max":0,"read_hist":[],"write_hist":[]},"#,
         r#""device_windows":[{"start_io":0,"read_avg_us":92.5,"write_avg_us":21.0,"reads":7,"writes":3}],"#,
-        r#""end_time_ns":2000000,"events":77,"flash_iolog":[["w",8],["r",8]]}}"#,
+        r#""end_time_ns":2000000,"events":77,"flash_iolog":[["w",8],["r",8]],"#,
+        r#""robustness":{"retries":0,"timeouts":0,"failed_ops":0,"queued_ops":0,"buffered_writes":0,"#,
+        r#""degraded_time_ns":0,"drain_events":0,"drain_depth_max":0,"drain_time_ns":0,"windows":[]}}}"#,
     );
     assert_eq!(row_to_json(&row).to_string(), golden);
     // And the golden string decodes back to the same row content.

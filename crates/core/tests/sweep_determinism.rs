@@ -11,7 +11,7 @@ use fcache::{
     Workload, WorkloadSpec,
 };
 use fcache_device::SsdConfig;
-use fcache_types::{ByteSize, SliceSource};
+use fcache_types::{ByteSize, FaultPlan, SliceSource};
 
 fn sweep_configs() -> Vec<SimConfig> {
     vec![
@@ -318,6 +318,90 @@ fn file_workload_sweeps_are_bit_identical_to_materialized_sweeps() {
             format!("{:?}", m.report.expect("materialized job")),
             "file-workload sweep diverged for {}",
             m.label,
+        );
+    }
+}
+
+/// Fault plans spanning every target and kind, across architectures and
+/// degraded policies (queue is the default; failfast adds the give-up
+/// paths to the determinism surface).
+fn faulted_configs() -> Vec<SimConfig> {
+    let plan = |spec: &str| FaultPlan::parse(spec).expect("valid spec");
+    let mut failfast = SimConfig {
+        arch: Architecture::Unified,
+        fault_plan: plan("filer:outage@40s-60s;net:err0.2@20s-80s"),
+        ..SimConfig::baseline()
+    };
+    failfast.robustness.degraded = fcache::DegradedPolicy::FailFast;
+    vec![
+        SimConfig {
+            fault_plan: plan("filer:outage@40s-60s"),
+            ..SimConfig::baseline()
+        },
+        failfast,
+        SimConfig {
+            arch: Architecture::Lookaside,
+            fault_plan: plan("net-up:slowx4@10s-30s;filer:err0.1@~3x5s/30s"),
+            ..SimConfig::baseline()
+        },
+        SimConfig {
+            flash_timing: FlashTiming::Ssd(SsdConfig::auto()),
+            fault_plan: plan("device:slowx8@10s-50s;filer:outage@60s-70s"),
+            ..SimConfig::baseline()
+        },
+    ]
+}
+
+#[test]
+fn faulted_sweeps_are_bit_identical_serial_parallel_and_streamed() {
+    // Fault handling draws from seeded RNGs and parks tasks on the sim
+    // clock, so it must stay inside the determinism envelope: a faulted
+    // job produces one report, no matter how the sweep is driven.
+    let wb = Workbench::new(4096, 42);
+    let trace = wb.make_trace(&WorkloadSpec::baseline_60g());
+    let cfgs: Vec<SimConfig> = faulted_configs()
+        .into_iter()
+        .map(|c| c.scaled_down(4096))
+        .collect();
+
+    let serial: Vec<String> = cfgs
+        .iter()
+        .map(|cfg| format!("{:?}", run_trace(cfg, &trace).expect("serial faulted run")))
+        .collect();
+    // The faults actually engaged (otherwise this pins nothing): no
+    // report carries an idle robustness section in its Debug output.
+    let idle = format!("{:?}", fcache::RobustnessStats::default());
+    for (cfg, s) in cfgs.iter().zip(&serial) {
+        assert!(
+            !s.contains(&idle),
+            "fault plan {:?} never engaged",
+            cfg.fault_plan.describe()
+        );
+    }
+
+    for round in 0..3 {
+        let jobs: Vec<_> = cfgs.iter().map(|cfg| (cfg.clone(), &trace)).collect();
+        let parallel = run_sweep(&jobs, Some(4));
+        for (i, result) in parallel.into_iter().enumerate() {
+            assert_eq!(
+                format!("{:?}", result.expect("parallel faulted run")),
+                serial[i],
+                "round {round}: faulted job {i} diverged between parallel and serial"
+            );
+        }
+    }
+
+    for (cfg, want) in cfgs.iter().zip(&serial) {
+        let mut src = SliceSource::new(&trace);
+        let streamed = format!(
+            "{:?}",
+            run_source(cfg, &mut src).expect("streamed faulted run")
+        );
+        assert_eq!(
+            &streamed,
+            want,
+            "streamed faulted run diverged for {:?}",
+            cfg.fault_plan.describe()
         );
     }
 }

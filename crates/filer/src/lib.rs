@@ -19,7 +19,7 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use fcache_des::{Sim, SimTime};
-use fcache_types::{mix64, BlockAddr};
+use fcache_types::{mix64, BlockAddr, FaultEffect, FaultError, FaultSchedule};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -100,6 +100,14 @@ impl FilerStats {
     }
 }
 
+/// Fault-injection state for a filer: the resolved schedule plus a
+/// dedicated RNG for `ErrorRate` draws. The service-draw RNG is left
+/// untouched so a faulted run's fast/slow luck matches the healthy run's.
+struct FilerFaults {
+    sched: FaultSchedule,
+    rng: RefCell<SmallRng>,
+}
+
 /// The shared file server.
 #[derive(Clone)]
 pub struct Filer {
@@ -107,6 +115,7 @@ pub struct Filer {
     cfg: FilerConfig,
     rng: Rc<RefCell<SmallRng>>,
     stats: Rc<Cell<FilerStats>>,
+    faults: Option<Rc<FilerFaults>>,
 }
 
 impl Filer {
@@ -117,6 +126,31 @@ impl Filer {
             rng: Rc::new(RefCell::new(SmallRng::seed_from_u64(cfg.seed))),
             cfg,
             stats: Rc::new(Cell::new(FilerStats::default())),
+            faults: None,
+        }
+    }
+
+    /// Attaches a resolved fault schedule (seeded error draws). Without
+    /// this, the `try_*` paths behave exactly like their plain
+    /// counterparts.
+    pub fn with_faults(mut self, sched: FaultSchedule, seed: u64) -> Self {
+        self.faults = Some(Rc::new(FilerFaults {
+            sched,
+            rng: RefCell::new(SmallRng::seed_from_u64(seed)),
+        }));
+        self
+    }
+
+    /// The fault effect in force right now ([`FaultEffect::None`] when no
+    /// schedule is attached).
+    pub fn fault_effect(&self) -> FaultEffect {
+        match &self.faults {
+            None => FaultEffect::None,
+            Some(f) => {
+                let now = self.sim.now().as_nanos();
+                let mut rng = f.rng.borrow_mut();
+                f.sched.effect_at(now, &mut || rng.gen_range(0.0f64..1.0))
+            }
         }
     }
 
@@ -227,6 +261,41 @@ impl Filer {
     pub async fn write(&self, nblocks: u32) {
         let t = self.draw_write_service(nblocks);
         self.sim.sleep(t).await;
+    }
+
+    /// Fault-aware [`Filer::read_blocks`]: consults the attached schedule
+    /// at `sim.now()` and either fails (no service, no stats, no time),
+    /// serves with inflated latency, or serves normally.
+    pub async fn try_read_blocks(&self, blocks: &[BlockAddr]) -> Result<(), FaultError> {
+        match self.fault_effect() {
+            FaultEffect::Fail { clause, .. } => Err(FaultError { clause }),
+            FaultEffect::SlowBy(factor) => {
+                let t = self.draw_read_service_for(blocks);
+                self.sim.sleep(t.scale(factor)).await;
+                Ok(())
+            }
+            FaultEffect::None => {
+                self.read_blocks(blocks).await;
+                Ok(())
+            }
+        }
+    }
+
+    /// Fault-aware [`Filer::write`]; same contract as
+    /// [`Filer::try_read_blocks`].
+    pub async fn try_write(&self, nblocks: u32) -> Result<(), FaultError> {
+        match self.fault_effect() {
+            FaultEffect::Fail { clause, .. } => Err(FaultError { clause }),
+            FaultEffect::SlowBy(factor) => {
+                let t = self.draw_write_service(nblocks);
+                self.sim.sleep(t.scale(factor)).await;
+                Ok(())
+            }
+            FaultEffect::None => {
+                self.write(nblocks).await;
+                Ok(())
+            }
+        }
     }
 }
 

@@ -14,10 +14,13 @@
 //! evictions of a single host, which is what produces the paper's eviction
 //! convoys.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use fcache_des::{Resource, Sim, SimTime};
+use fcache_types::{FaultEffect, FaultError, FaultSchedule};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 /// Direction of a packet on a segment.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -83,6 +86,14 @@ pub struct SegmentStats {
     pub busy: SimTime,
 }
 
+/// Fault-injection state for a segment: one resolved schedule per
+/// direction plus a dedicated RNG for `ErrorRate` draws.
+struct SegmentFaults {
+    to_server: FaultSchedule,
+    from_server: FaultSchedule,
+    rng: RefCell<SmallRng>,
+}
+
 /// A private network segment between one host and the filer.
 ///
 /// Half-duplex by default (one packet at a time in either direction, as the
@@ -95,6 +106,7 @@ pub struct Segment {
     to_server: Resource,
     from_server: Resource,
     stats: Rc<Cell<SegmentStats>>,
+    faults: Option<Rc<SegmentFaults>>,
 }
 
 impl Segment {
@@ -107,6 +119,7 @@ impl Segment {
             to_server: chan.clone(),
             from_server: chan,
             stats: Rc::new(Cell::new(SegmentStats::default())),
+            faults: None,
         }
     }
 
@@ -118,7 +131,25 @@ impl Segment {
             to_server: Resource::new(1),
             from_server: Resource::new(1),
             stats: Rc::new(Cell::new(SegmentStats::default())),
+            faults: None,
         }
+    }
+
+    /// Attaches per-direction fault schedules (seeded error draws).
+    /// Without this, [`Segment::try_transfer`] behaves exactly like
+    /// [`Segment::transfer`].
+    pub fn with_faults(
+        mut self,
+        to_server: FaultSchedule,
+        from_server: FaultSchedule,
+        seed: u64,
+    ) -> Self {
+        self.faults = Some(Rc::new(SegmentFaults {
+            to_server,
+            from_server,
+            rng: RefCell::new(SmallRng::seed_from_u64(seed)),
+        }));
+        self
     }
 
     /// Wire configuration.
@@ -152,6 +183,44 @@ impl Segment {
         s.payload_bytes += payload_bytes;
         s.busy += t;
         self.stats.set(s);
+    }
+
+    /// Fault-aware [`Segment::transfer`]: after winning the wire, consults
+    /// the direction's schedule at `sim.now()` and either drops the packet
+    /// (no wire time, no stats), carries it with inflated wire time, or
+    /// carries it normally.
+    pub async fn try_transfer(&self, dir: Direction, payload_bytes: u64) -> Result<(), FaultError> {
+        let Some(f) = &self.faults else {
+            self.transfer(dir, payload_bytes).await;
+            return Ok(());
+        };
+        let chan = match dir {
+            Direction::ToServer => &self.to_server,
+            Direction::FromServer => &self.from_server,
+        };
+        let sched = match dir {
+            Direction::ToServer => &f.to_server,
+            Direction::FromServer => &f.from_server,
+        };
+        let _guard = chan.acquire().await;
+        let effect = {
+            let mut rng = f.rng.borrow_mut();
+            sched.effect_at(self.sim.now().as_nanos(), &mut || {
+                rng.gen_range(0.0f64..1.0)
+            })
+        };
+        let t = match effect {
+            FaultEffect::Fail { clause, .. } => return Err(FaultError { clause }),
+            FaultEffect::SlowBy(factor) => self.cfg.packet_time(payload_bytes).scale(factor),
+            FaultEffect::None => self.cfg.packet_time(payload_bytes),
+        };
+        self.sim.sleep(t).await;
+        let mut s = self.stats.get();
+        s.packets += 1;
+        s.payload_bytes += payload_bytes;
+        s.busy += t;
+        self.stats.set(s);
+        Ok(())
     }
 }
 

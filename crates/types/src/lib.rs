@@ -20,6 +20,7 @@
 //! also carries a thread ID and host ID." [`TraceOp`] is exactly that record.
 
 pub mod block;
+pub mod fault;
 pub mod fxhash;
 pub mod ids;
 pub mod json;
@@ -28,6 +29,10 @@ pub mod size;
 pub mod trace;
 
 pub use block::{BlockAddr, BLOCK_SHIFT, BLOCK_SIZE};
+pub use fault::{
+    FaultClause, FaultDirection, FaultEffect, FaultError, FaultKind, FaultPlan, FaultSchedule,
+    FaultTarget, FaultWindow, ResolvedFaultSet, ResolvedWindow,
+};
 pub use fxhash::{mix64, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{FileId, HostId, ThreadId};
 pub use json::{Json, JsonError};
