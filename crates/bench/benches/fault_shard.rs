@@ -1,0 +1,198 @@
+//! Fault shard: the Figure 2 policy comparison rerun against a sharded
+//! remote tier (4 shards, replication 2, hedged reads) with one shard
+//! failing mid-run.
+//!
+//! A 150 s outage takes shard 1 down inside the measured half (hedged
+//! reads shorten the closed-loop run, so the window sits earlier than in
+//! `fault_outage`). Reads
+//! whose primary replica died must fail over to the survivor, writes to
+//! the dead shard are acknowledged by the live replica and re-replicated
+//! when the shard returns. The questions: does every job keep every
+//! operation (zero acknowledged writes lost), does in-window availability
+//! stay at 100% behind replication, does recovery heal the tier by run
+//! end, and do the §7.1 orderings — synchronous-to-filer policies write
+//! slowest, unified reads fastest — survive the sharded backend as they
+//! do over the single filer?
+//!
+//! Run with: `cargo bench --bench fault_shard`
+//! (`FCACHE_SCALE=256` for a heavier workload).
+
+use fcache::DegradedPolicy;
+use fcache_bench::{
+    f, f2, header, run_configs, scale_from_env, shape_check, Architecture, SimConfig, Table,
+    Workbench, WorkloadSpec, WritebackPolicy,
+};
+use fcache_device::SimTime;
+use fcache_types::FaultPlan;
+
+fn main() {
+    let scale = scale_from_env(1024);
+    header(
+        "Fault shard",
+        scale,
+        "7 RAM policies × 3 architectures, 4-shard/replication-2 tier, healthy vs 150 s \
+         shard outage (80 GB WS)",
+    );
+
+    let wb = Workbench::new(scale, 42);
+    let trace = wb.make_trace(&WorkloadSpec::baseline_80g());
+
+    // Shard 1 dies inside the measured half (paper-scale clause). Queue
+    // degraded policy: with a live replica it never actually queues.
+    let plan = FaultPlan::parse("shard1:outage@1000s-1150s").expect("spec");
+
+    let combos: Vec<(Architecture, WritebackPolicy)> = Architecture::ALL
+        .into_iter()
+        .flat_map(|arch| WritebackPolicy::ALL.into_iter().map(move |rp| (arch, rp)))
+        .collect();
+    let mut healthy_cfgs = Vec::new();
+    let mut faulted_cfgs = Vec::new();
+    for &(arch, ram_policy) in &combos {
+        let base = SimConfig {
+            arch,
+            ram_policy,
+            shards: 4,
+            replicas: 2,
+            hedge: Some(SimTime::from_micros(500)),
+            ..SimConfig::baseline()
+        };
+        healthy_cfgs.push(base.clone());
+        let mut faulted = base;
+        faulted.fault_plan = plan.clone();
+        faulted.robustness.degraded = DegradedPolicy::Queue;
+        faulted_cfgs.push(faulted);
+    }
+    let healthy = run_configs(&wb, &healthy_cfgs, &trace);
+    let faulted = run_configs(&wb, &faulted_cfgs, &trace);
+
+    let per_arch = WritebackPolicy::ALL.len();
+    let mut table = Table::new(
+        "Fault shard — healthy vs 150 s shard-1 outage (4 shards × 2 replicas, hedged)",
+        &[
+            "arch/ram",
+            "read us",
+            "read+out",
+            "write us",
+            "write+out",
+            "failover",
+            "re-repl",
+            "avail%",
+        ],
+    );
+    for (i, &(arch, rp)) in combos.iter().enumerate() {
+        let (h, o) = (&healthy[i], &faulted[i]);
+        // One distinct fault window (the shard outage): its availability is
+        // the fraction of remote fetches first attempted inside it that
+        // ultimately succeeded.
+        let avail = o
+            .robustness
+            .windows
+            .iter()
+            .map(|w| w.availability())
+            .fold(1.0, f64::min);
+        table.row(vec![
+            format!("{arch}/{}", rp.label()),
+            f(h.read_latency_us()),
+            f(o.read_latency_us()),
+            f2(h.write_latency_us()),
+            f2(o.write_latency_us()),
+            o.shard.remote.failovers.to_string(),
+            o.shard.remote.re_replicated_blocks.to_string(),
+            format!("{:.1}", 100.0 * avail),
+        ]);
+    }
+    table.emit("fault_shard");
+
+    // Replication masks the outage completely: nothing fails, nothing
+    // queues behind a dead shard, and the op tallies match the healthy
+    // runs exactly — zero acknowledged writes (or reads) lost.
+    shape_check(
+        "single-shard outage at replication 2 loses no operations",
+        healthy.iter().zip(&faulted).all(|(h, o)| {
+            h.metrics.read_ops == o.metrics.read_ops
+                && h.metrics.write_ops == o.metrics.write_ops
+                && o.robustness.failed_ops == 0
+        }),
+        format!(
+            "{} jobs, op tallies equal healthy vs faulted, 0 failed",
+            faulted.len()
+        ),
+    );
+    shape_check(
+        "reads fail over to the surviving replica on every job",
+        faulted.iter().all(|r| r.shard.remote.failovers > 0),
+        format!(
+            "min failovers {}",
+            faulted
+                .iter()
+                .map(|r| r.shard.remote.failovers)
+                .min()
+                .unwrap_or(0)
+        ),
+    );
+    shape_check(
+        "in-window availability stays at 100% behind replication",
+        faulted.iter().all(|r| {
+            !r.robustness.windows.is_empty()
+                && r.robustness
+                    .windows
+                    .iter()
+                    .all(|w| w.ops > 0 && w.ok == w.ops)
+        }),
+        "every in-window fetch served by a live replica".to_string(),
+    );
+    shape_check(
+        "recovery re-replicates every under-replicated block by run end",
+        faulted.iter().all(|r| {
+            let rem = &r.shard.remote;
+            rem.under_peak > 0 && rem.re_replicated_blocks > 0 && rem.under_now == 0
+        }),
+        format!(
+            "max under-replication peak {} blocks",
+            faulted
+                .iter()
+                .map(|r| r.shard.remote.under_peak)
+                .max()
+                .unwrap_or(0)
+        ),
+    );
+
+    // §7.1 rankings over the sharded tier. Lookaside and unified expose a
+    // synchronous-to-filer corner through the RAM tier's `s` policy; that
+    // corner must still write slowest with a shard down.
+    for (ai, arch) in Architecture::ALL.into_iter().enumerate() {
+        if arch == Architecture::Naive {
+            continue;
+        }
+        let writes: Vec<f64> = (0..per_arch)
+            .map(|ri| faulted[ai * per_arch + ri].write_latency_us())
+            .collect();
+        let sync_i = WritebackPolicy::ALL
+            .iter()
+            .position(|&p| p == WritebackPolicy::WriteThrough)
+            .expect("s in policy list");
+        let worst = writes.iter().cloned().fold(0.0, f64::max);
+        shape_check(
+            &format!("{arch}: synchronous-to-filer corner still writes slowest with a shard down"),
+            writes[sync_i] >= worst,
+            format!("s = {:.2} µs, max = {worst:.2} µs", writes[sync_i]),
+        );
+    }
+    // Unified posts the lowest mean read latency over the healthy sharded
+    // tier; the shard outage must not flip that architecture ranking.
+    let mean_read = |reports: &[fcache_bench::SimReport], ai: usize| {
+        (0..per_arch)
+            .map(|ri| reports[ai * per_arch + ri].read_latency_us())
+            .sum::<f64>()
+            / per_arch as f64
+    };
+    for reports in [&healthy, &faulted] {
+        let naive = mean_read(reports, 0);
+        let unified = mean_read(reports, 2);
+        shape_check(
+            "unified still reads fastest",
+            unified < naive,
+            format!("unified {unified:.1} µs vs naive {naive:.1} µs"),
+        );
+    }
+}

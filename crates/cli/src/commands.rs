@@ -67,12 +67,19 @@ COMMON FLAGS (run / replay):
   --seed N                         RNG seed                  [42]
   --fault SPEC                     inject faults (run / sweep / replay):
                                    clauses `target:kind@window` joined by `;`
-                                   with target filer|net|net-up|net-down|device,
-                                   kind outage|slowx<f>|err<p>, window
-                                   <start>-<end> (paper-scale, e.g. 40s-60s)
-                                   or ~<count>x<len>/<gap> seeded episodes
+                                   with target filer|net|net-up|net-down|device
+                                   |shard<k>|shard*, kind outage|slowx<f>|err<p>,
+                                   window <start>-<end> (paper-scale, e.g.
+                                   40s-60s) or ~<count>x<len>/<gap> episodes
   --degraded queue|failfast|strict reads that hit a filer outage: park until
                                    recovery, fail fast, or fail the run [queue]
+  --shards K                       shard the remote tier across K filers [1]
+  --replicas R                     replicate each block on R shards (reads
+                                   serve from any live replica, writes ack
+                                   all live replicas)              [1]
+  --hedge MICROS                   hedge remote reads: race a second replica
+                                   if the first is silent for MICROS
+                                   (requires --replicas >= 2)   [off]
 
   `--flash-timing ssd` services every flash op through a bounded NCQ-style
   queue in front of the behavioral SSD model (FTL map-cache locality, fill
@@ -137,6 +144,9 @@ const CFG_FLAGS: &[&str] = &[
     "ssd-write-base",
     "fault",
     "degraded",
+    "shards",
+    "replicas",
+    "hedge",
 ];
 const CFG_BOOLS: &[&str] = &[
     "persistent",
@@ -169,6 +179,43 @@ fn config_from(flags: &Flags) -> Result<SimConfig, ArgError> {
     if let Some(label) = flags.get("degraded") {
         cfg.robustness.degraded =
             DegradedPolicy::parse(label).map_err(|e| ArgError(format!("--degraded: {e}")))?;
+    }
+    cfg.shards = flags.get_parsed("shards", 1u16)?;
+    if cfg.shards == 0 {
+        return Err(ArgError("--shards must be at least 1".into()));
+    }
+    // An out-of-range shard clause would only surface as a panic deep in
+    // the run; catch it here as an ordinary flag error.
+    for clause in &cfg.fault_plan.clauses {
+        if let fcache_types::FaultTarget::Shard(Some(k)) = clause.target {
+            if k >= cfg.shards {
+                return Err(ArgError(format!(
+                    "--fault: clause targets shard{k} but --shards is {}",
+                    cfg.shards
+                )));
+            }
+        }
+    }
+    cfg.replicas = flags.get_parsed("replicas", 1u16)?;
+    if cfg.replicas == 0 || cfg.replicas > cfg.shards {
+        return Err(ArgError(format!(
+            "--replicas must be in 1..={} (one per distinct shard), got {}",
+            cfg.shards, cfg.replicas
+        )));
+    }
+    if let Some(raw) = flags.get("hedge") {
+        if cfg.replicas < 2 {
+            return Err(ArgError(
+                "--hedge requires --replicas >= 2 (a hedge needs a second replica)".into(),
+            ));
+        }
+        let us: f64 = raw
+            .parse()
+            .map_err(|e| ArgError(format!("invalid value for --hedge: {e}")))?;
+        if !us.is_finite() || us <= 0.0 {
+            return Err(ArgError("--hedge must be positive microseconds".into()));
+        }
+        cfg.hedge = Some(SimTime::from_nanos((us * 1000.0).round() as u64));
     }
     Ok(cfg)
 }
@@ -251,6 +298,17 @@ fn cmd_run(args: &[String]) -> CmdResult {
         spec.working_set.scaled_down(scale),
     );
     eprintln!("flash timing: {}", cfg.flash_timing.describe());
+    if cfg.remote_engaged() {
+        eprintln!(
+            "remote tier: {} shard(s) x {} replica(s){}",
+            cfg.shards,
+            cfg.replicas,
+            match cfg.hedge {
+                Some(d) => format!(", hedged reads after {d}"),
+                None => ", no hedging".into(),
+            }
+        );
+    }
     if !cfg.fault_plan.is_empty() {
         eprintln!(
             "fault plan: {} (degraded: {})",
@@ -879,6 +937,94 @@ mod tests {
             let flags = Flags::parse(&argv(bad), CFG_FLAGS, CFG_BOOLS).unwrap();
             assert!(config_from(&flags).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn shard_flags_parse_and_reject() {
+        let flags = Flags::parse(
+            &argv(&["--shards", "4", "--replicas", "2", "--hedge", "150"]),
+            CFG_FLAGS,
+            CFG_BOOLS,
+        )
+        .unwrap();
+        let cfg = config_from(&flags).unwrap();
+        assert_eq!(cfg.shards, 4);
+        assert_eq!(cfg.replicas, 2);
+        assert_eq!(cfg.hedge, Some(SimTime::from_micros(150)));
+        assert!(cfg.remote_engaged());
+        // Defaults: single shard, single replica, no hedge — disengaged.
+        let bare = Flags::parse(&argv(&[]), CFG_FLAGS, CFG_BOOLS).unwrap();
+        let cfg = config_from(&bare).unwrap();
+        assert_eq!((cfg.shards, cfg.replicas, cfg.hedge), (1, 1, None));
+        assert!(!cfg.remote_engaged());
+        for bad in [
+            &["--shards", "0"][..],                    // no shards at all
+            &["--replicas", "2"][..],                  // replicas > shards
+            &["--shards", "4", "--replicas", "0"][..], // no replicas
+            &["--shards", "2", "--replicas", "3"][..], // replicas > shards
+            &["--hedge", "100"][..],                   // hedge without replicas
+            &["--shards", "2", "--replicas", "2", "--hedge", "-5"][..],
+            &["--shards", "2", "--replicas", "2", "--hedge", "soon"][..],
+            &["--fault", "shard9:outage@1s-2s", "--shards", "2"][..], // out of range
+            &["--fault", "shard0:outage@1s-2s"][..], // shard clause, 1 shard... fine
+        ] {
+            let flags = Flags::parse(&argv(bad), CFG_FLAGS, CFG_BOOLS).unwrap();
+            let cfg = config_from(&flags);
+            // `shard0` against the default single shard is legal (it
+            // targets the only shard); every other case is a flag error.
+            if bad == ["--fault", "shard0:outage@1s-2s"] {
+                assert!(cfg.is_ok(), "rejected {bad:?}: {cfg:?}");
+            } else {
+                assert!(cfg.is_err(), "accepted {bad:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn end_to_end_sharded_run_with_failover() {
+        dispatch(&argv(&[
+            "run",
+            "--scale",
+            "16384",
+            "--ws",
+            "16G",
+            "--seed",
+            "7",
+            "--shards",
+            "4",
+            "--replicas",
+            "2",
+            "--hedge",
+            "200",
+            "--fault",
+            "shard1:outage@40s-60s",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn strict_degraded_run_fails_naming_the_clause() {
+        // Satellite: `--degraded strict` must fail the run (main maps the
+        // Err to exit code 1) with the offending clause in the message.
+        let err = dispatch(&argv(&[
+            "run",
+            "--scale",
+            "16384",
+            "--ws",
+            "16G",
+            "--seed",
+            "7",
+            "--shards",
+            "2",
+            "--fault",
+            "shard0:outage@40s-60s",
+            "--degraded",
+            "strict",
+        ]))
+        .expect_err("strict policy must fail the run");
+        let msg = err.to_string();
+        assert!(msg.contains("shard0:outage"), "names the clause: {msg}");
+        assert!(msg.contains("strict degraded policy"), "{msg}");
     }
 
     #[test]

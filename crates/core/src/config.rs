@@ -123,6 +123,20 @@ pub struct SimConfig {
     /// write bandwidth × period / cache size is scale-invariant).
     /// [`SimConfig::scaled_down`] sets this automatically.
     pub time_scale: u64,
+    /// Number of backend shards in the remote tier. 1 (the default) with
+    /// `replicas == 1` and no `shard*` fault clauses keeps the single-filer
+    /// engine, bit-identical to the pre-remote path (PERF.md invariant 11);
+    /// anything else engages the sharded read-any/write-all tier.
+    pub shards: u16,
+    /// Replication factor of the remote tier (copies per block). Must be
+    /// in `1..=shards`.
+    pub replicas: u16,
+    /// Hedge delay for replicated reads: after a miss fetch has been
+    /// outstanding this long (paper-scale; divides by `time_scale`), a
+    /// second request races on the next replica and the first answer wins.
+    /// `None` (default) disables hedging. Meaningful only with
+    /// `replicas > 1`.
+    pub hedge: Option<fcache_des::SimTime>,
     /// Injected faults (see `fcache_types::fault`). Empty — the default —
     /// means a healthy run, bit-identical to the pre-fault engine; clause
     /// windows are paper-scale and divide by `time_scale` at resolve time.
@@ -158,6 +172,9 @@ impl Default for SimConfig {
             min_runtime: None,
             syncer_window: 64,
             time_scale: 1,
+            shards: 1,
+            replicas: 1,
+            hedge: None,
             fault_plan: FaultPlan::default(),
             robustness: RobustnessConfig::default(),
             seed: 0xcafe_f00d,
@@ -213,6 +230,14 @@ impl SimConfig {
         policy
             .period()
             .map(|p| fcache_des::SimTime::from_nanos((p.as_nanos() / self.time_scale).max(1)))
+    }
+
+    /// Whether this configuration engages the sharded remote tier. A
+    /// hedge delay alone does not engage it — hedging with one replica is
+    /// a no-op, and engaging would cost the bit-identity of the plain
+    /// filer path (PERF.md invariant 11).
+    pub fn remote_engaged(&self) -> bool {
+        self.shards > 1 || self.replicas > 1 || self.fault_plan.has_shard_clauses()
     }
 
     /// RAM capacity in 4 KB blocks.
@@ -273,6 +298,16 @@ impl SimConfig {
             "Flash timing model        {}\n",
             self.flash_timing.describe()
         ));
+        if self.remote_engaged() {
+            let hedge = match self.hedge {
+                Some(d) => format!("hedge after {d}"),
+                None => "no hedging".to_string(),
+            };
+            out.push_str(&format!(
+                "Remote tier               {} shard(s) x {} replica(s), {hedge}\n",
+                self.shards, self.replicas
+            ));
+        }
         if !self.fault_plan.is_empty() {
             out.push_str(&format!(
                 "Fault plan                {} (degraded: {})\n",
@@ -367,6 +402,48 @@ mod tests {
     fn flash_timing_defaults_to_flat() {
         assert_eq!(SimConfig::baseline().flash_timing, FlashTiming::Flat);
         assert_eq!(SimConfig::baseline().device_window, 0);
+    }
+
+    #[test]
+    fn remote_tier_engagement_and_table_line() {
+        let base = SimConfig::baseline();
+        assert!(!base.remote_engaged());
+        assert!(!base.timing_table().contains("Remote tier"));
+        // A hedge delay alone is a no-op with one replica: stays plain.
+        let hedged = SimConfig {
+            hedge: Some(SimTime::from_micros(500)),
+            ..SimConfig::baseline()
+        };
+        assert!(!hedged.remote_engaged());
+        for engaged in [
+            SimConfig {
+                shards: 4,
+                ..SimConfig::baseline()
+            },
+            SimConfig {
+                shards: 4,
+                replicas: 2,
+                ..SimConfig::baseline()
+            },
+            SimConfig {
+                fault_plan: FaultPlan::parse("shard0:outage@1s-2s").unwrap(),
+                ..SimConfig::baseline()
+            },
+        ] {
+            assert!(engaged.remote_engaged(), "{:?}", engaged.shards);
+        }
+        let t = SimConfig {
+            shards: 4,
+            replicas: 2,
+            hedge: Some(SimTime::from_micros(500)),
+            ..SimConfig::baseline()
+        }
+        .timing_table();
+        assert!(
+            t.contains("Remote tier") && t.contains("4 shard(s) x 2 replica(s)"),
+            "{t}"
+        );
+        assert!(t.contains("hedge after"), "{t}");
     }
 
     #[test]

@@ -4,16 +4,21 @@
 //! Every path here follows the paper's §3 design descriptions; quotes in
 //! comments mark the load-bearing sentences.
 
+use std::cell::{Cell, RefCell};
+use std::future::Future;
+use std::pin::Pin;
 use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
 
 use fcache_cache::{InsertOutcome, Medium};
 use fcache_des::SimTime;
 use fcache_net::Direction;
+use fcache_remote::RemoteStore;
 use fcache_types::{BlockAddr, FaultError, FaultKind, OpKind, TraceOp, BLOCK_SIZE};
 
 use crate::arch::Architecture;
 use crate::flush::{self, FlushReq, FlushTarget};
-use crate::host::HostCtx;
+use crate::host::{HostCtx, RemoteCtx};
 use crate::policy::WritebackPolicy;
 use crate::robust::{DegradedPolicy, FaultCtx, RobustnessState};
 
@@ -107,17 +112,21 @@ async fn read_layered(h: &Rc<HostCtx>, op: &TraceOp) {
     // Filer stage: "each I/O request uses one packet in each direction"
     // (§5) — one request covers every block this op still misses.
     if !filer_misses.is_empty() {
-        let fetched = match &h.fault {
-            None => {
-                let n = filer_misses.len() as u32;
-                h.segment.transfer(Direction::ToServer, 0).await;
-                h.filer.read_blocks(&filer_misses).await;
-                h.segment
-                    .transfer(Direction::FromServer, u64::from(n) * BLOCK_SIZE)
-                    .await;
-                true
+        let fetched = if h.remote.is_some() {
+            remote_fetch(h, &filer_misses).await
+        } else {
+            match &h.fault {
+                None => {
+                    let n = filer_misses.len() as u32;
+                    h.segment.transfer(Direction::ToServer, 0).await;
+                    h.filer.read_blocks(&filer_misses).await;
+                    h.segment
+                        .transfer(Direction::FromServer, u64::from(n) * BLOCK_SIZE)
+                        .await;
+                    true
+                }
+                Some(f) => fetch_from_filer(h, &Rc::clone(f), &filer_misses).await,
             }
-            Some(f) => fetch_from_filer(h, &Rc::clone(f), &filer_misses).await,
         };
         if fetched {
             if h.has_flash() && h.cfg.populate_flash_on_read {
@@ -181,17 +190,21 @@ async fn read_unified(h: &Rc<HostCtx>, op: &TraceOp) {
         h.put_buf(misses);
         return;
     }
-    let fetched = match &h.fault {
-        None => {
-            let n = misses.len() as u32;
-            h.segment.transfer(Direction::ToServer, 0).await;
-            h.filer.read_blocks(&misses).await;
-            h.segment
-                .transfer(Direction::FromServer, u64::from(n) * BLOCK_SIZE)
-                .await;
-            true
+    let fetched = if h.remote.is_some() {
+        remote_fetch(h, &misses).await
+    } else {
+        match &h.fault {
+            None => {
+                let n = misses.len() as u32;
+                h.segment.transfer(Direction::ToServer, 0).await;
+                h.filer.read_blocks(&misses).await;
+                h.segment
+                    .transfer(Direction::FromServer, u64::from(n) * BLOCK_SIZE)
+                    .await;
+                true
+            }
+            Some(f) => fetch_from_filer(h, &Rc::clone(f), &misses).await,
         }
-        Some(f) => fetch_from_filer(h, &Rc::clone(f), &misses).await,
     };
     if fetched {
         for &b in misses.iter() {
@@ -390,6 +403,9 @@ async fn flush_to_filer(h: &Rc<HostCtx>, addr: BlockAddr, src: FlushSource) {
         // The data must come off the device before it can be sent.
         h.dev.read(addr).await;
     }
+    if h.remote.is_some() {
+        return remote_write_all(h, addr).await;
+    }
     let Some(f) = h.fault.as_ref().map(Rc::clone) else {
         h.segment.transfer(Direction::ToServer, BLOCK_SIZE).await;
         h.filer.write(1).await;
@@ -493,7 +509,7 @@ async fn try_exchange(h: &Rc<HostCtx>, blocks: &[BlockAddr]) -> Result<(), Fault
 /// up to `max_retries`. Returns whether the data ultimately arrived.
 async fn fetch_from_filer(h: &Rc<HostCtx>, f: &Rc<FaultCtx>, blocks: &[BlockAddr]) -> bool {
     let now = h.sim.now().as_nanos();
-    let widx = f.set.filer.window_index_at(now);
+    let widx = f.acct.window_index_at(now);
     f.state.window_op(widx);
     let mut attempt: u32 = 0;
     loop {
@@ -526,6 +542,366 @@ async fn fetch_from_filer(h: &Rc<HostCtx>, f: &Rc<FaultCtx>, blocks: &[BlockAddr
                 }
                 attempt += 1;
                 failed_attempt(h, f, attempt).await;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded remote tier (read-any / write-all, hedging, failover)
+// ---------------------------------------------------------------------------
+
+/// Fetches a miss list through the sharded remote tier: the list is
+/// partitioned by primary shard and each group is served **read-any**
+/// across its replica ring (optionally hedged). Returns whether every
+/// group's data arrived.
+async fn remote_fetch(h: &Rc<HostCtx>, blocks: &[BlockAddr]) -> bool {
+    let router = h.remote.as_ref().expect("remote engaged").store.router();
+    // Window accounting mirrors `fetch_from_filer`, against the backend
+    // accounting schedule: filer-wide clauses and shard-local clauses each
+    // contribute one distinct window, so availability-per-window covers a
+    // single shard's outage as well as a fleet-wide one.
+    let widx = h.fault.as_ref().map(|f| {
+        let w = f.acct.window_index_at(h.sim.now().as_nanos());
+        f.state.window_op(w);
+        w
+    });
+    let mut ok = true;
+    let mut group = h.take_buf();
+    for k in 0..router.shards() {
+        group.clear();
+        group.extend(blocks.iter().copied().filter(|b| router.primary(*b) == k));
+        if !group.is_empty() && !fetch_group(h, k, &group).await {
+            ok = false;
+        }
+    }
+    h.put_buf(group);
+    if ok {
+        if let Some(f) = &h.fault {
+            f.state
+                .window_ok(widx.expect("widx set when fault ctx exists"));
+        }
+    }
+    ok
+}
+
+/// Serves one primary-shard group: pick the first live replica in ring
+/// order (counting a failover when it is not the primary), optionally
+/// hedge against the next live one, and retry with timeout + jittered
+/// backoff on transient failures. A whole-ring outage degrades per
+/// [`DegradedPolicy`], exactly like the single-filer path.
+async fn fetch_group(h: &Rc<HostCtx>, primary: u16, blocks: &[BlockAddr]) -> bool {
+    let r = h.remote.as_ref().expect("remote engaged");
+    let router = r.store.router();
+    let ring = |j: u16| (primary + j) % router.shards();
+    let mut attempt: u32 = 0;
+    loop {
+        let now = h.sim.now().as_nanos();
+        let first = (0..router.replicas())
+            .map(ring)
+            .find(|&s| r.store.live_at(s, now));
+        let Some(first) = first else {
+            // The whole replica set is down: no replica can serve. Outages
+            // only exist under a fault plan, so the fault ctx is present.
+            let f = h.fault.as_ref().expect("outages require a fault plan");
+            match f.cfg.degraded {
+                DegradedPolicy::Queue => {
+                    RobustnessState::bump(&f.state.queued_ops);
+                    let clear = (0..router.replicas())
+                        .map(ring)
+                        .filter_map(|s| r.store.outage_until(s, now))
+                        .min()
+                        .unwrap_or(now);
+                    let wait = SimTime::from_nanos(clear).saturating_sub(h.sim.now());
+                    h.sim.sleep(wait.max(SimTime::from_nanos(1))).await;
+                    continue;
+                }
+                DegradedPolicy::FailFast | DegradedPolicy::Strict => {
+                    f.state.op_failed(&shard_outage_clause(r, primary, now));
+                    return false;
+                }
+            }
+        };
+        // Hedge when configured and a second live replica exists to race.
+        let hedge = r.hedge_ns.and_then(|d| {
+            (0..router.replicas())
+                .map(ring)
+                .find(|&s| s != first && r.store.live_at(s, now))
+                .map(|s| (s, d))
+        });
+        let served = match hedge {
+            Some((second, delay_ns)) => hedged_exchange(h, first, second, delay_ns, blocks).await,
+            None => shard_exchange(h, first, blocks).await.map(|()| first),
+        };
+        match served {
+            Ok(winner) => {
+                if winner != primary {
+                    r.store.note_failover();
+                }
+                return true;
+            }
+            Err(e) => {
+                let f = h.fault.as_ref().expect("fault-free exchanges cannot fail");
+                if attempt >= f.cfg.max_retries {
+                    RobustnessState::bump(&f.state.timeouts);
+                    h.sim.sleep(f.op_timeout).await;
+                    f.state.op_failed(&e.clause);
+                    return false;
+                }
+                attempt += 1;
+                let f = Rc::clone(f);
+                failed_attempt(h, &f, attempt).await;
+            }
+        }
+    }
+}
+
+/// One full miss exchange against shard `shard` over this host's segment
+/// to it. Fault-free hosts use the plain (infallible) legs so the exchange
+/// shape matches the single-filer path exactly.
+async fn shard_exchange(
+    h: &Rc<HostCtx>,
+    shard: u16,
+    blocks: &[BlockAddr],
+) -> Result<(), FaultError> {
+    let r = h.remote.as_ref().expect("remote engaged");
+    let seg = &r.segments[usize::from(shard)];
+    let filer = r.store.filer(shard);
+    let n = blocks.len() as u32;
+    if h.fault.is_some() {
+        seg.try_transfer(Direction::ToServer, 0).await?;
+        filer.try_read_blocks(blocks).await?;
+        seg.try_transfer(Direction::FromServer, u64::from(n) * BLOCK_SIZE)
+            .await
+    } else {
+        seg.transfer(Direction::ToServer, 0).await;
+        filer.read_blocks(blocks).await;
+        seg.transfer(Direction::FromServer, u64::from(n) * BLOCK_SIZE)
+            .await;
+        Ok(())
+    }
+}
+
+/// Shared state of one hedged-read race (see [`hedged_exchange`]).
+struct RaceState {
+    winner: Cell<Option<u16>>,
+    pending: Cell<u8>,
+    error: RefCell<Option<FaultError>>,
+    waker: RefCell<Option<Waker>>,
+}
+
+impl RaceState {
+    /// Records one arm's result; returns whether this arm won the race.
+    fn arm_done(&self, shard: u16, result: Result<(), FaultError>) -> bool {
+        self.pending.set(self.pending.get() - 1);
+        let mut won = false;
+        match result {
+            Ok(()) => {
+                if self.winner.get().is_none() {
+                    self.winner.set(Some(shard));
+                    won = true;
+                }
+            }
+            Err(e) => {
+                let mut slot = self.error.borrow_mut();
+                if slot.is_none() {
+                    *slot = Some(e);
+                }
+            }
+        }
+        self.maybe_wake();
+        won
+    }
+
+    /// An arm that never launched (the race was decided first).
+    fn arm_skipped(&self) {
+        self.pending.set(self.pending.get() - 1);
+        self.maybe_wake();
+    }
+
+    fn maybe_wake(&self) {
+        if self.winner.get().is_some() || self.pending.get() == 0 {
+            if let Some(w) = self.waker.borrow_mut().take() {
+                w.wake();
+            }
+        }
+    }
+}
+
+/// Resolves at the first arm success — the race's point: the op continues
+/// at the winner's latency while the loser finishes in the background —
+/// or when every arm has finished without one.
+struct RaceDone(Rc<RaceState>);
+
+impl Future for RaceDone {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.0.winner.get().is_some() || self.0.pending.get() == 0 {
+            return Poll::Ready(());
+        }
+        *self.0.waker.borrow_mut() = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// Hedged read: send to `first` immediately; if it has not answered within
+/// `delay_ns`, duplicate the request to `second` and take whichever
+/// answers first. The late response is not awaited — its shard keeps
+/// servicing it in the background (counted as a cancelled hedge when it
+/// does arrive after losing).
+async fn hedged_exchange(
+    h: &Rc<HostCtx>,
+    first: u16,
+    second: u16,
+    delay_ns: u64,
+    blocks: &[BlockAddr],
+) -> Result<u16, FaultError> {
+    let state = Rc::new(RaceState {
+        winner: Cell::new(None),
+        pending: Cell::new(2),
+        error: RefCell::new(None),
+        waker: RefCell::new(None),
+    });
+
+    // Primary arm: the ordinary exchange.
+    {
+        let h2 = Rc::clone(h);
+        let st = Rc::clone(&state);
+        let mut buf = h.take_buf();
+        buf.extend_from_slice(blocks);
+        h.sim.spawn_daemon(async move {
+            let res = shard_exchange(&h2, first, &buf).await;
+            h2.put_buf(buf);
+            st.arm_done(first, res);
+        });
+    }
+    // Hedge arm: waits out the hedge delay, then duplicates the request
+    // unless the primary already answered.
+    {
+        let h2 = Rc::clone(h);
+        let st = Rc::clone(&state);
+        let mut buf = h.take_buf();
+        buf.extend_from_slice(blocks);
+        h.sim.spawn_daemon(async move {
+            h2.sim.sleep(SimTime::from_nanos(delay_ns)).await;
+            if st.winner.get().is_some() {
+                // Primary answered inside the hedge delay: nothing sent.
+                h2.put_buf(buf);
+                st.arm_skipped();
+                return;
+            }
+            let store = Rc::clone(&h2.remote.as_ref().expect("remote engaged").store);
+            store.note_hedge_launched();
+            let res = shard_exchange(&h2, second, &buf).await;
+            h2.put_buf(buf);
+            let arrived = res.is_ok();
+            if st.arm_done(second, res) {
+                store.note_hedge_won();
+            } else if arrived {
+                // The result arrived after the primary had already won.
+                store.note_hedge_cancelled();
+            }
+        });
+    }
+
+    RaceDone(Rc::clone(&state)).await;
+    match state.winner.get() {
+        Some(w) => Ok(w),
+        None => Err(state.error.borrow_mut().take().unwrap_or(FaultError {
+            clause: format!("shard{first}:outage"),
+        })),
+    }
+}
+
+/// The clause text of the outage open on `shard` at `now_ns` (for failure
+/// attribution).
+fn shard_outage_clause(r: &RemoteCtx, shard: u16, now_ns: u64) -> String {
+    r.store
+        .faults(shard)
+        .windows()
+        .iter()
+        .find(|w| w.kind == FaultKind::Outage && w.start_ns <= now_ns && now_ns < w.end_ns)
+        .map(|w| w.clause.clone())
+        .unwrap_or_else(|| format!("shard{shard}:outage"))
+}
+
+/// **Write-all** through the sharded tier: the write acknowledges only
+/// when every *live* replica has accepted it (fanned out concurrently, so
+/// the ack latency is the slowest live replica, not the sum); replicas
+/// down at write time are recorded as under-replicated for the recovery
+/// pass. If the whole replica set is down the write parks until a replica
+/// returns — an acknowledged write is never dropped, matching the
+/// single-filer flush path's durability-over-latency stance.
+async fn remote_write_all(h: &Rc<HostCtx>, addr: BlockAddr) {
+    let router = h.remote.as_ref().expect("remote engaged").store.router();
+    loop {
+        let r = h.remote.as_ref().expect("remote engaged");
+        let now = h.sim.now().as_nanos();
+        if router.replica_set(addr).any(|s| r.store.live_at(s, now)) {
+            break;
+        }
+        let f = h.fault.as_ref().expect("outages require a fault plan");
+        RobustnessState::bump(&f.state.queued_ops);
+        let clear = router
+            .replica_set(addr)
+            .filter_map(|s| r.store.outage_until(s, now))
+            .min()
+            .unwrap_or(now);
+        let wait = SimTime::from_nanos(clear).saturating_sub(h.sim.now());
+        h.sim.sleep(wait.max(SimTime::from_nanos(1))).await;
+    }
+    let mut ring = router.replica_set(addr);
+    let first = ring.next().expect("replication factor >= 1");
+    let mut handles = Vec::with_capacity(ring.len());
+    for shard in ring {
+        let h2 = Rc::clone(h);
+        handles.push(
+            h.sim
+                .spawn(async move { write_one_replica(&h2, shard, addr).await }),
+        );
+    }
+    write_one_replica(h, first, addr).await;
+    for handle in handles {
+        handle.await;
+    }
+}
+
+/// Writes one block to one replica: unbounded retries on transient
+/// failures (capped backoff exponent, like the flush path), but a replica
+/// that is *down* — initially or mid-retry — is skipped and the copy is
+/// recorded as under-replicated.
+async fn write_one_replica(h: &Rc<HostCtx>, shard: u16, addr: BlockAddr) {
+    let r = h.remote.as_ref().expect("remote engaged");
+    let mut attempt: u32 = 0;
+    loop {
+        let now = h.sim.now().as_nanos();
+        if !r.store.live_at(shard, now) {
+            // This replica is down: ack without it and leave the copy for
+            // recovery re-replication.
+            r.store.mark_under_replicated(shard, addr, now);
+            return;
+        }
+        let seg = &r.segments[usize::from(shard)];
+        let filer = r.store.filer(shard);
+        if h.fault.is_none() {
+            seg.transfer(Direction::ToServer, BLOCK_SIZE).await;
+            filer.write(1).await;
+            seg.transfer(Direction::FromServer, 0).await;
+            return;
+        }
+        let sent = async {
+            seg.try_transfer(Direction::ToServer, BLOCK_SIZE).await?;
+            filer.try_write(1).await?;
+            seg.try_transfer(Direction::FromServer, 0).await
+        }
+        .await;
+        match sent {
+            Ok(()) => return,
+            Err(_) => {
+                attempt += 1;
+                let f = Rc::clone(h.fault.as_ref().expect("checked above"));
+                failed_attempt(h, &f, attempt).await;
             }
         }
     }

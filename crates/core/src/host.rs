@@ -10,11 +10,30 @@ use fcache_filer::Filer;
 use fcache_net::Segment;
 use fcache_types::{BlockAddr, FxHashSet, HostId};
 
+use fcache_remote::ShardedStore;
+
 use crate::config::SimConfig;
 use crate::devsvc::DeviceService;
 use crate::flush::FlushQueue;
 use crate::metrics::Metrics;
 use crate::robust::FaultCtx;
+
+/// This host's view of the sharded remote tier: the shared store plus one
+/// private segment per shard (the host's network link to that backend).
+/// Present only when [`SimConfig::remote_engaged`] — a single-shard,
+/// replication-1, shard-fault-free run keeps the plain `filer`/`segment`
+/// path bit-identical to the pre-remote engine (PERF.md invariant 11).
+pub(crate) struct RemoteCtx {
+    /// The shared sharded backend (filers, schedules, replication
+    /// bookkeeping); one instance per run.
+    pub store: Rc<ShardedStore>,
+    /// Per-shard segments, indexed by shard. `segments[0]` is also the
+    /// host's legacy `segment` handle (same `Rc`'d stats cells), so the
+    /// remote aggregation must sum these — not `segment` per host.
+    pub segments: Vec<Segment>,
+    /// Scaled hedge delay in simulated ns (`None` disables hedging).
+    pub hedge_ns: Option<u64>,
+}
 
 /// Everything one compute server ("host") owns in the simulation.
 ///
@@ -69,6 +88,9 @@ pub(crate) struct HostCtx {
     /// fault-aware path collapses to its pre-fault form (see
     /// `crate::robust`).
     pub fault: Option<Rc<FaultCtx>>,
+    /// Sharded remote tier (router, replicas, per-shard segments). `None`
+    /// — the default — keeps the single-filer read/write paths.
+    pub remote: Option<RemoteCtx>,
 }
 
 impl HostCtx {
@@ -130,6 +152,9 @@ impl HostCtx {
             peer.reset_stats();
         }
         self.filer.reset_stats();
+        if let Some(remote) = &self.remote {
+            remote.store.reset_service_stats();
+        }
         self.metrics.reset();
     }
 
@@ -140,6 +165,13 @@ impl HostCtx {
             u.borrow_mut().reset_stats();
         }
         self.segment.reset_stats();
+        if let Some(remote) = &self.remote {
+            // Per-shard wires; segments[0] shares cells with `segment`
+            // above, so its reset just repeats harmlessly.
+            for seg in &remote.segments {
+                seg.reset_stats();
+            }
+        }
         self.dev.reset_stats();
         // Robustness counters are NOT reset: like `device_windows` and
         // `degraded_time`, they cover the whole run including warmup —

@@ -90,10 +90,11 @@ pub use arch::Architecture;
 pub use config::{FlashTiming, SimConfig};
 pub use devsvc::{DeviceService, DeviceStatsSnapshot};
 pub use experiment::{run_sweep, SweepJob, Workbench, WorkloadSpec};
+pub use fcache_remote::{RemoteStats, RemoteStore, Router, ShardedStore};
 pub use histogram::{HistogramSnapshot, LatencyHistogram};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use policy::WritebackPolicy;
-pub use report::SimReport;
+pub use report::{ShardServiceStats, ShardStats, SimReport};
 pub use results::{
     read_rows, report_from_json, report_to_json, row_from_json, row_to_json, scan_jsonl, sink_fn,
     DecodedRow, JsonlSink, MemorySink, ResultRow, ResultSink, TeeSink, REPORT_SCHEMA,

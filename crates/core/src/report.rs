@@ -7,6 +7,7 @@ use fcache_des::SimTime;
 use fcache_device::{IoLogEntry, WindowStat};
 use fcache_filer::FilerStats;
 use fcache_net::SegmentStats;
+use fcache_remote::RemoteStats;
 
 use crate::devsvc::DeviceStatsSnapshot;
 use crate::metrics::MetricsSnapshot;
@@ -51,6 +52,50 @@ pub struct SimReport {
     /// Covers the whole run including warmup (like `device_windows`):
     /// fault handling, not steady-state latency, is what it measures.
     pub robustness: RobustnessStats,
+    /// Sharded remote-tier counters: topology, per-shard service tallies,
+    /// hedged-read and failover counts, and under-replication bookkeeping.
+    /// Disengaged (all zero, `shards == 0`) when the run used the plain
+    /// single-filer backend.
+    pub shard: ShardStats,
+}
+
+/// One shard's service tallies plus how long its fault schedule had it in
+/// outage.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardServiceStats {
+    /// Block reads this shard served fast.
+    pub fast_reads: u64,
+    /// Block reads this shard served slow.
+    pub slow_reads: u64,
+    /// Blocks written to this shard (including re-replication copies).
+    pub writes: u64,
+    /// Simulated time this shard spent in outage during the run.
+    pub outage_ns: u64,
+}
+
+/// Remote-tier section of a [`SimReport`]. `shards == 0` (the default)
+/// means the run never engaged the sharded backend.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ShardStats {
+    /// Number of backend shards (0 when disengaged).
+    pub shards: u16,
+    /// Replication factor.
+    pub replicas: u16,
+    /// Scaled hedge delay in simulated ns (0 when hedging was off).
+    pub hedge_ns: u64,
+    /// Per-shard service tallies, indexed by shard.
+    pub per_shard: Vec<ShardServiceStats>,
+    /// Replication-layer counters (hedges, failovers, under-replication,
+    /// recovery traffic). Covers the whole run including warmup, like
+    /// `robustness`.
+    pub remote: RemoteStats,
+}
+
+impl ShardStats {
+    /// True when the run used the sharded remote tier.
+    pub fn engaged(&self) -> bool {
+        self.shards > 0
+    }
 }
 
 impl SimReport {
@@ -216,6 +261,48 @@ impl fmt::Display for SimReport {
                     100.0 * w.availability(),
                     w.ok,
                     w.ops
+                )?;
+            }
+        }
+        if self.shard.engaged() {
+            let sh = &self.shard;
+            writeln!(
+                f,
+                "remote tier        {} shard(s) x {} replica(s), {}",
+                sh.shards,
+                sh.replicas,
+                if sh.hedge_ns > 0 {
+                    format!("hedge after {}", SimTime::from_nanos(sh.hedge_ns))
+                } else {
+                    "no hedging".to_string()
+                }
+            )?;
+            for (k, s) in sh.per_shard.iter().enumerate() {
+                writeln!(
+                    f,
+                    "shard {k}            {} fast / {} slow reads, {} writes, {} outage",
+                    s.fast_reads,
+                    s.slow_reads,
+                    s.writes,
+                    SimTime::from_nanos(s.outage_ns)
+                )?;
+            }
+            let r = &sh.remote;
+            writeln!(
+                f,
+                "hedged reads       {} launched, {} won, {} cancelled, {} failovers",
+                r.hedges_launched, r.hedges_won, r.hedges_cancelled, r.failovers
+            )?;
+            if r.under_intervals > 0 {
+                writeln!(
+                    f,
+                    "re-replication     {} blocks / {} bytes copied; {} under-replicated interval(s), peak {}, {} open, {} exposed",
+                    r.re_replicated_blocks,
+                    r.re_replication_bytes,
+                    r.under_intervals,
+                    r.under_peak,
+                    r.under_now,
+                    SimTime::from_nanos(r.under_time_ns)
                 )?;
             }
         }

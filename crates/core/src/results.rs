@@ -41,8 +41,9 @@ use crate::config::SimConfig;
 use crate::devsvc::DeviceStatsSnapshot;
 use crate::histogram::{HistogramSnapshot, BUCKETS};
 use crate::metrics::MetricsSnapshot;
-use crate::report::SimReport;
+use crate::report::{ShardServiceStats, ShardStats, SimReport};
 use crate::robust::{FaultWindowStat, RobustnessStats};
+use fcache_remote::RemoteStats;
 
 /// Version stamped into every serialized result row. Bump it whenever the
 /// row layout changes shape; readers reject rows from other schemas
@@ -367,13 +368,26 @@ pub fn config_to_json(cfg: &SimConfig) -> Json {
             Json::Str(cfg.robustness.degraded.label().to_string()),
         );
     }
+    // Remote-tier axes, likewise only when non-default.
+    if cfg.shards > 1 || cfg.replicas > 1 || cfg.hedge.is_some() {
+        j = j
+            .field("shards", Json::U64(u64::from(cfg.shards)))
+            .field("replicas", Json::U64(u64::from(cfg.replicas)))
+            .field(
+                "hedge_ns",
+                match cfg.hedge {
+                    Some(d) => Json::U64(d.as_nanos()),
+                    None => Json::Null,
+                },
+            );
+    }
     j
 }
 
 /// Serializes a complete report, exactly (see the round-trip property test
 /// in `tests/results_pipeline.rs`).
 pub fn report_to_json(r: &SimReport) -> Json {
-    Json::obj()
+    let j = Json::obj()
         .field("metrics", metrics_to_json(&r.metrics))
         .field("ram", cache_to_json(&r.ram))
         .field("flash", cache_to_json(&r.flash))
@@ -420,7 +434,51 @@ pub fn report_to_json(r: &SimReport) -> Json {
                 ),
             },
         )
-        .field("robustness", robustness_to_json(&r.robustness))
+        .field("robustness", robustness_to_json(&r.robustness));
+    // The shard section appears only when the run engaged the remote tier,
+    // so single-filer rows keep their exact pre-remote encoding.
+    if r.shard.engaged() {
+        j.field("shard", shard_to_json(&r.shard))
+    } else {
+        j
+    }
+}
+
+/// Remote-tier counters: topology, per-shard tallies (compact
+/// `[fast, slow, writes, outage_ns]` rows), and the replication-layer
+/// counters flattened alongside.
+fn shard_to_json(s: &ShardStats) -> Json {
+    let r = &s.remote;
+    Json::obj()
+        .field("shards", Json::U64(u64::from(s.shards)))
+        .field("replicas", Json::U64(u64::from(s.replicas)))
+        .field("hedge_ns", Json::U64(s.hedge_ns))
+        .field(
+            "per_shard",
+            Json::Arr(
+                s.per_shard
+                    .iter()
+                    .map(|p| {
+                        Json::Arr(vec![
+                            Json::U64(p.fast_reads),
+                            Json::U64(p.slow_reads),
+                            Json::U64(p.writes),
+                            Json::U64(p.outage_ns),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )
+        .field("hedges_launched", Json::U64(r.hedges_launched))
+        .field("hedges_won", Json::U64(r.hedges_won))
+        .field("hedges_cancelled", Json::U64(r.hedges_cancelled))
+        .field("failovers", Json::U64(r.failovers))
+        .field("re_replicated_blocks", Json::U64(r.re_replicated_blocks))
+        .field("re_replication_bytes", Json::U64(r.re_replication_bytes))
+        .field("under_intervals", Json::U64(r.under_intervals))
+        .field("under_peak", Json::U64(r.under_peak))
+        .field("under_now", Json::U64(r.under_now))
+        .field("under_time_ns", Json::U64(r.under_time_ns))
 }
 
 /// Robustness counters serialize compactly; fault-free runs encode the
@@ -597,6 +655,49 @@ pub fn report_from_json(v: &Json) -> Result<SimReport, String> {
         robustness: match v.get("robustness") {
             None | Some(Json::Null) => RobustnessStats::default(),
             Some(r) => robustness_from_json(r)?,
+        },
+        // Likewise optional: rows from single-filer runs (and older
+        // builds) decode to the disengaged default.
+        shard: match v.get("shard") {
+            None | Some(Json::Null) => ShardStats::default(),
+            Some(s) => shard_from_json(s)?,
+        },
+    })
+}
+
+fn shard_from_json(v: &Json) -> Result<ShardStats, String> {
+    Ok(ShardStats {
+        shards: u(v, "shards")? as u16,
+        replicas: u(v, "replicas")? as u16,
+        hedge_ns: u(v, "hedge_ns")?,
+        per_shard: v
+            .get("per_shard")
+            .and_then(Json::as_arr)
+            .ok_or("missing/invalid shard per_shard")?
+            .iter()
+            .map(|p| {
+                let q = p.as_arr().filter(|a| a.len() == 4);
+                let q = q.ok_or("per_shard row must be [fast, slow, writes, outage_ns]")?;
+                let n = |i: usize| q[i].as_u64().ok_or("invalid per_shard entry");
+                Ok(ShardServiceStats {
+                    fast_reads: n(0)?,
+                    slow_reads: n(1)?,
+                    writes: n(2)?,
+                    outage_ns: n(3)?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+        remote: RemoteStats {
+            hedges_launched: u(v, "hedges_launched")?,
+            hedges_won: u(v, "hedges_won")?,
+            hedges_cancelled: u(v, "hedges_cancelled")?,
+            failovers: u(v, "failovers")?,
+            re_replicated_blocks: u(v, "re_replicated_blocks")?,
+            re_replication_bytes: u(v, "re_replication_bytes")?,
+            under_intervals: u(v, "under_intervals")?,
+            under_peak: u(v, "under_peak")?,
+            under_now: u(v, "under_now")?,
+            under_time_ns: u(v, "under_time_ns")?,
         },
     })
 }

@@ -284,6 +284,9 @@ impl RobustnessState {
 /// counters. Present on `HostCtx` only when the plan is non-empty.
 pub(crate) struct FaultCtx {
     pub set: Rc<ResolvedFaultSet>,
+    /// Backend accounting schedule (filer plus distinct shard windows);
+    /// per-window availability tallies index into *this*.
+    pub acct: Rc<FaultSchedule>,
     pub cfg: RobustnessConfig,
     /// Per-op timeout, already divided by `time_scale`.
     pub op_timeout: SimTime,
@@ -348,6 +351,7 @@ mod tests {
         let set = Rc::new(FaultPlan::default().resolve(0, 1));
         let make = || FaultCtx {
             set: Rc::clone(&set),
+            acct: Rc::new(FaultSchedule::default()),
             cfg: RobustnessConfig::default(),
             op_timeout: SimTime::from_millis(50),
             retry_base: SimTime::from_millis(10),

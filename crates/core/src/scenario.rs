@@ -249,6 +249,29 @@ impl<'a> Scenario<'a> {
         self
     }
 
+    /// Shards the remote tier across `n` backends (builder style). With
+    /// `n > 1` blocks are hash-range routed; see
+    /// [`SimConfig::remote_engaged`].
+    pub fn shards(mut self, n: u16) -> Self {
+        self.cfg.shards = n;
+        self
+    }
+
+    /// Sets the replication factor (builder style): writes go to all live
+    /// replicas, reads are served by any. Must be `1..=shards` at run time.
+    pub fn replicas(mut self, n: u16) -> Self {
+        self.cfg.replicas = n;
+        self
+    }
+
+    /// Enables hedged reads (builder style): a read not answered within
+    /// `delay` (paper-scale, divided by `time_scale`) is duplicated to a
+    /// second live replica. Needs `replicas >= 2` to have any effect.
+    pub fn hedge(mut self, delay: fcache_des::SimTime) -> Self {
+        self.cfg.hedge = Some(delay);
+        self
+    }
+
     /// Runs the scenario. `&self`: a scenario can run any number of times
     /// (streams regenerate, files re-open, traces re-borrow) and always
     /// produces the same report.

@@ -28,8 +28,10 @@ use fcache_des::{RunError, Sim, SimTime};
 use fcache_device::IoLog;
 use fcache_filer::{Filer, FilerConfig};
 use fcache_net::Segment;
+use fcache_remote::{shard_filer_config, shard_net_config, RemoteStore, Router, ShardedStore};
 use fcache_types::{
-    mix64, FxHashSet, HostId, ResolvedFaultSet, Trace, TraceOp, TraceSource, TRACE_CHUNK_OPS,
+    mix64, FaultSchedule, FxHashSet, HostId, ResolvedFaultSet, Trace, TraceOp, TraceSource,
+    BLOCK_SIZE, TRACE_CHUNK_OPS,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -39,7 +41,7 @@ use crate::config::SimConfig;
 use crate::devsvc::DeviceService;
 use crate::engine::{self, execute_op};
 use crate::flush::{self, FlushQueue};
-use crate::host::HostCtx;
+use crate::host::{HostCtx, RemoteCtx};
 use crate::metrics::Metrics;
 use crate::report::SimReport;
 use crate::robust::{DegradedPolicy, FaultCtx, RobustnessState};
@@ -103,6 +105,10 @@ impl From<RunError> for SimError {
 /// fault-free runs build exactly the pre-fault object graph.
 struct FaultParts {
     set: Rc<ResolvedFaultSet>,
+    /// Backend availability-accounting schedule: filer windows plus the
+    /// distinct shard windows (mirrors deduped), so per-window tallies
+    /// cover shard faults too.
+    acct: Rc<FaultSchedule>,
     state: Rc<RobustnessState>,
 }
 
@@ -115,6 +121,10 @@ struct SimParts {
     metrics: Metrics,
     hosts: Vec<Rc<HostCtx>>,
     fault: Option<FaultParts>,
+    /// The sharded remote tier, present only when
+    /// [`SimConfig::remote_engaged`]. When present, `filer` above is unused
+    /// (hosts alias shard 0's filer) and the report aggregates the shards.
+    remote: Option<Rc<ShardedStore>>,
 }
 
 /// Builds the executor and one [`HostCtx`] per host (no tasks yet).
@@ -127,9 +137,21 @@ fn build_parts(config: &SimConfig, n_hosts: u16) -> SimParts {
     // against the run seed, so the same configuration always injects the
     // same faults.
     let fault = (!cfg.fault_plan.is_empty()).then(|| {
-        let set = Rc::new(cfg.fault_plan.resolve(cfg.seed, cfg.time_scale));
-        let state = Rc::new(RobustnessState::new(set.filer.windows().len()));
-        FaultParts { set, state }
+        let set = if cfg.remote_engaged() {
+            // Shard-aware resolve: `shard<k>`/`shard*` clauses land on
+            // per-shard schedules (and filer clauses fan out to every
+            // shard). An out-of-range `shard<k>` is a configuration error;
+            // `Sweep` catches the panic and reports it as the job's error.
+            cfg.fault_plan
+                .resolve_sharded(cfg.seed, cfg.time_scale, cfg.shards)
+                .unwrap_or_else(|e| panic!("{e}"))
+        } else {
+            cfg.fault_plan.resolve(cfg.seed, cfg.time_scale)
+        };
+        let acct = Rc::new(set.backend_accounting());
+        let set = Rc::new(set);
+        let state = Rc::new(RobustnessState::new(acct.windows().len()));
+        FaultParts { set, acct, state }
     });
 
     // Derive the filer draw seed from both the filer seed and the run seed
@@ -148,20 +170,93 @@ fn build_parts(config: &SimConfig, n_hosts: u16) -> SimParts {
     let metrics = Metrics::new();
     let warmup_over = Rc::new(Cell::new(false));
 
+    // The sharded remote tier: one filer per shard (each with its own
+    // content-hash luck and fault schedule) behind a shared router. Built
+    // only when the topology or a shard clause engages it, so the plain
+    // single-filer object graph stays bit-identical otherwise (PERF.md
+    // invariant 11).
+    let remote_store: Option<Rc<ShardedStore>> = cfg.remote_engaged().then(|| {
+        let router = Router::new(cfg.shards, cfg.replicas);
+        let scheds: Vec<FaultSchedule> = match &fault {
+            Some(fp) => fp.set.shards.clone(),
+            None => vec![FaultSchedule::default(); usize::from(cfg.shards)],
+        };
+        let filers: Vec<Filer> = (0..cfg.shards)
+            .map(|k| {
+                let mut f = Filer::new(sim.clone(), shard_filer_config(filer_cfg, k, cfg.seed));
+                if fault.is_some() {
+                    f = f.with_faults(
+                        scheds[usize::from(k)].clone(),
+                        mix64(cfg.seed ^ (u64::from(k) << 16) ^ 0x51a2_fa17_0000_0012),
+                    );
+                }
+                f
+            })
+            .collect();
+        Rc::new(ShardedStore::new(router, filers, scheds))
+    });
+
     let hosts: Vec<Rc<HostCtx>> = (0..n_hosts)
         .map(|i| {
-            let mut segment = if cfg.duplex_network {
-                Segment::new_duplex(sim.clone(), cfg.net)
+            // This host's view of the remote tier: one private segment per
+            // shard, with a small deterministic latency skew per shard.
+            let remote = remote_store.as_ref().map(|store| {
+                let segments: Vec<Segment> = (0..cfg.shards)
+                    .map(|k| {
+                        let net = shard_net_config(cfg.net, k);
+                        let mut seg = if cfg.duplex_network {
+                            Segment::new_duplex(sim.clone(), net)
+                        } else {
+                            Segment::new(sim.clone(), net)
+                        };
+                        if let Some(fp) = &fault {
+                            seg = seg.with_faults(
+                                fp.set.net_to_server.clone(),
+                                fp.set.net_from_server.clone(),
+                                mix64(
+                                    cfg.seed
+                                        ^ (u64::from(i) << 32)
+                                        ^ (u64::from(k) << 16)
+                                        ^ 0x5e97_fa17_0000_0012,
+                                ),
+                            );
+                        }
+                        seg
+                    })
+                    .collect();
+                RemoteCtx {
+                    store: Rc::clone(store),
+                    segments,
+                    // Hedging needs a second replica to race.
+                    hedge_ns: (cfg.replicas > 1)
+                        .then(|| cfg.hedge.map(|d| cfg.scaled_time(d).as_nanos()))
+                        .flatten(),
+                }
+            });
+            let segment = if let Some(r) = &remote {
+                // Alias shard 0's wire so legacy `segment` consumers (stat
+                // resets, debug) see a live handle; aggregation sums the
+                // per-shard segments instead.
+                r.segments[0].clone()
             } else {
-                Segment::new(sim.clone(), cfg.net)
+                let mut segment = if cfg.duplex_network {
+                    Segment::new_duplex(sim.clone(), cfg.net)
+                } else {
+                    Segment::new(sim.clone(), cfg.net)
+                };
+                if let Some(fp) = &fault {
+                    segment = segment.with_faults(
+                        fp.set.net_to_server.clone(),
+                        fp.set.net_from_server.clone(),
+                        mix64(cfg.seed ^ (u64::from(i) << 32) ^ 0x5e97_fa17_0000_0002),
+                    );
+                }
+                segment
             };
-            if let Some(fp) = &fault {
-                segment = segment.with_faults(
-                    fp.set.net_to_server.clone(),
-                    fp.set.net_from_server.clone(),
-                    mix64(cfg.seed ^ (u64::from(i) << 32) ^ 0x5e97_fa17_0000_0002),
-                );
-            }
+            let host_filer = match &remote {
+                Some(r) => r.store.filer(0).clone(),
+                None => filer.clone(),
+            };
             let unified = (cfg.arch == Architecture::Unified)
                 .then(|| RefCell::new(UnifiedCache::new(cfg.ram_blocks(), cfg.flash_blocks())));
             let iolog = if cfg.log_flash_io {
@@ -181,6 +276,7 @@ fn build_parts(config: &SimConfig, n_hosts: u16) -> SimParts {
             let host_fault = fault.as_ref().map(|fp| {
                 Rc::new(FaultCtx {
                     set: Rc::clone(&fp.set),
+                    acct: Rc::clone(&fp.acct),
                     cfg: cfg.robustness,
                     op_timeout: cfg.scaled_time(cfg.robustness.op_timeout),
                     retry_base: cfg.scaled_time(cfg.robustness.retry_base),
@@ -212,7 +308,7 @@ fn build_parts(config: &SimConfig, n_hosts: u16) -> SimParts {
                 )),
                 unified,
                 segment,
-                filer: filer.clone(),
+                filer: host_filer,
                 metrics: metrics.clone(),
                 iolog,
                 dev,
@@ -223,6 +319,7 @@ fn build_parts(config: &SimConfig, n_hosts: u16) -> SimParts {
                 buf_pool: RefCell::new(Vec::new()),
                 flushq: FlushQueue::new(),
                 fault: host_fault,
+                remote,
             })
         })
         .collect();
@@ -242,6 +339,7 @@ fn build_parts(config: &SimConfig, n_hosts: u16) -> SimParts {
         metrics,
         hosts,
         fault,
+        remote: remote_store,
     }
 }
 
@@ -302,6 +400,59 @@ fn spawn_daemons(parts: &SimParts) {
         }
     }
 
+    // Recovery re-replication: when a failed shard returns, copy every
+    // block whose acknowledged write it missed back from a surviving
+    // replica. Backend-to-backend traffic — it pays filer service time on
+    // both ends but no client segment time — fanned over a bounded number
+    // of repair streams (a sequential drain cannot outpace a large
+    // backlog before the run ends; a fleet rebuilds in parallel but
+    // bounds the streams to protect foreground traffic). One pass per
+    // (shard, outage span), so a copy whose only source is itself still
+    // down is requeued for the next pass.
+    const REPAIR_STREAMS: usize = 16;
+    if let (Some(store), Some(_)) = (&parts.remote, &parts.fault) {
+        for k in 0..store.router().shards() {
+            for (_, end_ns) in store.faults(k).outage_spans() {
+                let store = Rc::clone(store);
+                let s = sim.clone();
+                sim.spawn_daemon(async move {
+                    s.sleep_until(SimTime::from_nanos(end_ns)).await;
+                    let queue = Rc::new(RefCell::new(store.take_under_replicated(k)));
+                    let drain =
+                        |store: Rc<ShardedStore>,
+                         s: Sim,
+                         queue: Rc<RefCell<Vec<fcache_types::BlockAddr>>>| async move {
+                            loop {
+                                // Scope the borrow: `while let` would hold the
+                                // RefMut across the awaits below.
+                                let popped = queue.borrow_mut().pop();
+                                let Some(addr) = popped else { break };
+                                let now = s.now().as_nanos();
+                                let src = store
+                                    .router()
+                                    .replica_set(addr)
+                                    .find(|&r| r != k && store.live_at(r, now));
+                                match src {
+                                    Some(src) => {
+                                        store.filer(src).read_blocks(&[addr]).await;
+                                        store.filer(k).write(1).await;
+                                        store.note_re_replicated(BLOCK_SIZE, s.now().as_nanos());
+                                    }
+                                    // No live source right now: leave the copy
+                                    // for the next recovery pass.
+                                    None => store.requeue_under_replicated(k, addr),
+                                }
+                            }
+                        };
+                    for _ in 1..REPAIR_STREAMS {
+                        s.spawn_daemon(drain(Rc::clone(&store), s.clone(), Rc::clone(&queue)));
+                    }
+                    drain(store, s.clone(), queue).await;
+                });
+            }
+        }
+    }
+
     // Optionally pin the clock past the trace so periodic syncers can run.
     if let Some(t) = cfg.min_runtime {
         let s = sim.clone();
@@ -321,6 +472,7 @@ fn run_and_collect(parts: &SimParts) -> Result<SimReport, SimError> {
         metrics,
         hosts,
         fault,
+        ..
     } = parts;
     let run = sim.run().map_err(SimError::from);
 
@@ -338,10 +490,21 @@ fn run_and_collect(parts: &SimParts) -> Result<SimReport, SimError> {
         if let Some(u) = &h.unified {
             report.unified += *u.borrow().stats();
         }
-        let s = h.segment.stats();
-        report.net.packets += s.packets;
-        report.net.payload_bytes += s.payload_bytes;
-        report.net.busy += s.busy;
+        if let Some(r) = &h.remote {
+            // Per-shard wires; `h.segment` aliases `r.segments[0]`, so only
+            // the per-shard list is summed.
+            for seg in &r.segments {
+                let s = seg.stats();
+                report.net.packets += s.packets;
+                report.net.payload_bytes += s.payload_bytes;
+                report.net.busy += s.busy;
+            }
+        } else {
+            let s = h.segment.stats();
+            report.net.packets += s.packets;
+            report.net.payload_bytes += s.payload_bytes;
+            report.net.busy += s.busy;
+        }
         report.device += h.dev.stats();
         if let Some(w) = h.dev.take_windows() {
             // Each host numbers its windows from I/O 0; rebase every
@@ -366,10 +529,41 @@ fn run_and_collect(parts: &SimParts) -> Result<SimReport, SimError> {
         report.flash_iolog = Some(log);
     }
     if let Some(fp) = fault {
-        let mut rs = fp.state.snapshot(&fp.set.filer);
+        let mut rs = fp.state.snapshot(&fp.acct);
         rs.degraded_time =
             SimTime::from_nanos(fp.set.filer.outage_overlap(report.end_time.as_nanos()));
         report.robustness = rs;
+    }
+    if let Some(store) = &parts.remote {
+        // The shared `filer` is bypassed in remote mode: service counters
+        // live in the per-shard filers.
+        let end_ns = report.end_time.as_nanos();
+        let mut total = fcache_filer::FilerStats::default();
+        let mut per_shard = Vec::with_capacity(usize::from(store.router().shards()));
+        for k in 0..store.router().shards() {
+            let fs = store.shard_stats(k);
+            total.fast_reads += fs.fast_reads;
+            total.slow_reads += fs.slow_reads;
+            total.writes += fs.writes;
+            per_shard.push(crate::report::ShardServiceStats {
+                fast_reads: fs.fast_reads,
+                slow_reads: fs.slow_reads,
+                writes: fs.writes,
+                outage_ns: store.faults(k).outage_overlap(end_ns),
+            });
+        }
+        report.filer = total;
+        report.shard = crate::report::ShardStats {
+            shards: store.router().shards(),
+            replicas: store.router().replicas(),
+            hedge_ns: hosts
+                .first()
+                .and_then(|h| h.remote.as_ref())
+                .and_then(|r| r.hedge_ns)
+                .unwrap_or(0),
+            per_shard,
+            remote: store.stats(end_ns),
+        };
     }
 
     sim.shutdown();

@@ -16,8 +16,8 @@
 use fcache::{
     read_rows, report_from_json, report_to_json, row_to_json, scan_jsonl, Architecture,
     DeviceStatsSnapshot, FaultWindowStat, HistogramSnapshot, JsonlSink, MemorySink,
-    MetricsSnapshot, ResultRow, RobustnessStats, SimConfig, SimReport, Sweep, Workbench,
-    WorkloadSpec, REPORT_SCHEMA,
+    MetricsSnapshot, RemoteStats, ResultRow, RobustnessStats, ShardServiceStats, ShardStats,
+    SimConfig, SimReport, Sweep, Workbench, WorkloadSpec, REPORT_SCHEMA,
 };
 use fcache_cache::CacheStats;
 use fcache_des::SimTime;
@@ -174,6 +174,37 @@ fn report_from_words(words: &[u64]) -> SimReport {
                 })
                 .collect(),
         },
+        shard: if w.next().is_multiple_of(2) {
+            // Disengaged half the time: the section must be omitted and
+            // decode back to the default.
+            ShardStats::default()
+        } else {
+            ShardStats {
+                shards: (w.next() % 8 + 1) as u16,
+                replicas: (w.next() % 3 + 1) as u16,
+                hedge_ns: w.next(),
+                per_shard: (0..(w.next() % 4))
+                    .map(|_| ShardServiceStats {
+                        fast_reads: w.next(),
+                        slow_reads: w.next(),
+                        writes: w.next(),
+                        outage_ns: w.next(),
+                    })
+                    .collect(),
+                remote: RemoteStats {
+                    hedges_launched: w.next(),
+                    hedges_won: w.next(),
+                    hedges_cancelled: w.next(),
+                    failovers: w.next(),
+                    re_replicated_blocks: w.next(),
+                    re_replication_bytes: w.next(),
+                    under_intervals: w.next(),
+                    under_peak: w.next(),
+                    under_now: w.next(),
+                    under_time_ns: w.next(),
+                },
+            }
+        },
     }
 }
 
@@ -282,6 +313,7 @@ fn golden_row_pins_the_schema() {
             },
         ]),
         robustness: RobustnessStats::default(),
+        shard: ShardStats::default(),
     };
     let row = ResultRow {
         index: 4,

@@ -349,6 +349,23 @@ fn faulted_configs() -> Vec<SimConfig> {
             fault_plan: plan("device:slowx8@10s-50s;filer:outage@60s-70s"),
             ..SimConfig::baseline()
         },
+        // Sharded remote tier: a mid-run shard outage with failover and
+        // recovery re-replication, hedged reads racing replicas...
+        SimConfig {
+            shards: 4,
+            replicas: 2,
+            hedge: Some(fcache_device::SimTime::from_micros(150)),
+            fault_plan: plan("shard1:outage@40s-60s"),
+            ..SimConfig::baseline()
+        },
+        // ...and a whole-tier shard fault mixed with a flaky network.
+        SimConfig {
+            arch: Architecture::Unified,
+            shards: 2,
+            replicas: 2,
+            fault_plan: plan("shard*:slowx4@20s-40s;net:err0.2@50s-80s"),
+            ..SimConfig::baseline()
+        },
     ]
 }
 

@@ -15,6 +15,17 @@
 //! stochastic *episode* windows are expanded by [`FaultPlan::resolve`]
 //! from a caller-provided seed with a splitmix/mix64 stream, so two runs
 //! with the same seed see bit-identical fault timelines.
+//!
+//! # Overlap semantics
+//!
+//! Multiple clauses on the same target are legal and **merge** by a fixed
+//! precedence while their windows overlap: an open `outage` wins outright,
+//! otherwise each open `err<p>` window gets one independent draw, otherwise
+//! open `slowx<f>` factors multiply (see [`FaultSchedule::effect_at`]).
+//! Because merging makes clause order irrelevant, an *exact* duplicate
+//! clause (same target, kind, and window) can only be a spec typo — it
+//! would silently double a slowdown or waste an error draw — so
+//! [`FaultPlan::parse`] rejects it.
 
 use std::fmt;
 
@@ -24,12 +35,18 @@ use crate::json::Json;
 /// Which component a clause degrades.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FaultTarget {
-    /// The shared file server: read/write service.
+    /// The shared file server: read/write service. With a sharded remote
+    /// tier this means *every* shard at once (the whole backend fleet).
     Filer,
     /// One direction of the host's network segment.
     Net(FaultDirection),
     /// The host's local flash device.
     Device,
+    /// One backend shard of the remote tier (`shard<k>`), or every shard
+    /// (`shard*`, `Shard(None)`). Only meaningful when the run configures
+    /// a sharded remote tier; [`FaultPlan::resolve_sharded`] validates the
+    /// index against the topology.
+    Shard(Option<u16>),
 }
 
 /// Direction of network traffic a clause applies to.
@@ -159,12 +176,14 @@ fn parse_time_ns(s: &str) -> Result<u64, String> {
 }
 
 impl FaultTarget {
-    fn label(&self) -> &'static str {
+    fn label(&self) -> String {
         match self {
-            FaultTarget::Filer => "filer",
-            FaultTarget::Net(FaultDirection::ToServer) => "net-up",
-            FaultTarget::Net(FaultDirection::FromServer) => "net-down",
-            FaultTarget::Device => "device",
+            FaultTarget::Filer => "filer".to_string(),
+            FaultTarget::Net(FaultDirection::ToServer) => "net-up".to_string(),
+            FaultTarget::Net(FaultDirection::FromServer) => "net-down".to_string(),
+            FaultTarget::Device => "device".to_string(),
+            FaultTarget::Shard(None) => "shard*".to_string(),
+            FaultTarget::Shard(Some(k)) => format!("shard{k}"),
         }
     }
 }
@@ -217,6 +236,15 @@ impl FaultPlan {
         self.clauses.is_empty()
     }
 
+    /// Whether any clause names a remote-tier shard (`shard<k>`/`shard*`).
+    /// Such plans need [`FaultPlan::resolve_sharded`] and a run configured
+    /// with a sharded remote tier.
+    pub fn has_shard_clauses(&self) -> bool {
+        self.clauses
+            .iter()
+            .any(|c| matches!(c.target, FaultTarget::Shard(_)))
+    }
+
     /// Appends a clause (builder style).
     pub fn with(mut self, target: FaultTarget, kind: FaultKind, window: FaultWindow) -> Self {
         self.clauses.push(FaultClause {
@@ -242,11 +270,17 @@ impl FaultPlan {
     /// `target:kind@window`.
     ///
     /// - target — `filer`, `net` (both directions), `net-up`, `net-down`,
-    ///   `device`
+    ///   `device`, `shard<k>` (one remote shard), `shard*` (every shard)
     /// - kind — `outage`, `slowx<factor>`, `err<probability>`
     /// - window — `<start>-<end>` with units `ns`/`us`/`ms`/`s`
     ///   (e.g. `40s-60s`), or `~<count>x<mean_len>/<mean_gap>` for seeded
     ///   stochastic episodes (e.g. `~3x2s/10s`)
+    ///
+    /// Overlapping clauses on the same target are legal and merge by the
+    /// precedence documented on [`FaultSchedule::effect_at`]; an *exact*
+    /// duplicate clause (same target, kind, and window — including one
+    /// produced by expanding `net` next to an identical `net-up`/`net-down`
+    /// clause) is rejected as a spec error.
     ///
     /// # Examples
     ///
@@ -271,27 +305,45 @@ impl FaultPlan {
                 .ok_or_else(|| format!("clause \"{part}\" missing \"@\" (target:kind@window)"))?;
             let kind = Self::parse_kind(kind_s.trim())?;
             let window = Self::parse_window(window_s.trim())?;
-            let targets: &[FaultTarget] = match target_s.trim() {
-                "filer" => &[FaultTarget::Filer],
-                "net" => &[
+            let targets: Vec<FaultTarget> = match target_s.trim() {
+                "filer" => vec![FaultTarget::Filer],
+                "net" => vec![
                     FaultTarget::Net(FaultDirection::ToServer),
                     FaultTarget::Net(FaultDirection::FromServer),
                 ],
-                "net-up" => &[FaultTarget::Net(FaultDirection::ToServer)],
-                "net-down" => &[FaultTarget::Net(FaultDirection::FromServer)],
-                "device" => &[FaultTarget::Device],
+                "net-up" => vec![FaultTarget::Net(FaultDirection::ToServer)],
+                "net-down" => vec![FaultTarget::Net(FaultDirection::FromServer)],
+                "device" => vec![FaultTarget::Device],
+                "shard*" => vec![FaultTarget::Shard(None)],
                 other => {
-                    return Err(format!(
-                        "unknown fault target \"{other}\" (filer|net|net-up|net-down|device)"
-                    ))
+                    let shard = other
+                        .strip_prefix("shard")
+                        .and_then(|k| k.parse::<u16>().ok());
+                    match shard {
+                        Some(k) => vec![FaultTarget::Shard(Some(k))],
+                        None => {
+                            return Err(format!(
+                                "unknown fault target \"{other}\" \
+                                 (filer|net|net-up|net-down|device|shard<k>|shard*)"
+                            ))
+                        }
+                    }
                 }
             };
-            for &target in targets {
-                plan.clauses.push(FaultClause {
+            for target in targets {
+                let clause = FaultClause {
                     target,
                     kind,
                     window,
-                });
+                };
+                if plan.clauses.contains(&clause) {
+                    return Err(format!(
+                        "duplicate fault clause \"{}\" (overlapping clauses merge; \
+                         an exact repeat is a spec error)",
+                        clause.describe()
+                    ));
+                }
+                plan.clauses.push(clause);
             }
         }
         Ok(plan)
@@ -358,12 +410,14 @@ impl FaultPlan {
 // JSON
 
 impl FaultTarget {
-    fn json_label(&self) -> &'static str {
+    fn json_label(&self) -> String {
         match self {
-            FaultTarget::Filer => "filer",
-            FaultTarget::Net(FaultDirection::ToServer) => "net_to_server",
-            FaultTarget::Net(FaultDirection::FromServer) => "net_from_server",
-            FaultTarget::Device => "device",
+            FaultTarget::Filer => "filer".to_string(),
+            FaultTarget::Net(FaultDirection::ToServer) => "net_to_server".to_string(),
+            FaultTarget::Net(FaultDirection::FromServer) => "net_from_server".to_string(),
+            FaultTarget::Device => "device".to_string(),
+            FaultTarget::Shard(None) => "shard_any".to_string(),
+            FaultTarget::Shard(Some(k)) => format!("shard_{k}"),
         }
     }
 
@@ -373,7 +427,11 @@ impl FaultTarget {
             "net_to_server" => Ok(FaultTarget::Net(FaultDirection::ToServer)),
             "net_from_server" => Ok(FaultTarget::Net(FaultDirection::FromServer)),
             "device" => Ok(FaultTarget::Device),
-            other => Err(format!("unknown fault target {other:?}")),
+            "shard_any" => Ok(FaultTarget::Shard(None)),
+            other => match other.strip_prefix("shard_").map(str::parse::<u16>) {
+                Some(Ok(k)) => Ok(FaultTarget::Shard(Some(k))),
+                _ => Err(format!("unknown fault target {other:?}")),
+            },
         }
     }
 }
@@ -389,7 +447,7 @@ impl FaultPlan {
                     .iter()
                     .map(|c| {
                         Json::obj()
-                            .field("target", Json::Str(c.target.json_label().to_string()))
+                            .field("target", Json::Str(c.target.json_label()))
                             .field(
                                 "kind",
                                 match c.kind {
@@ -636,7 +694,10 @@ impl FaultSchedule {
 /// schedule per injectable target.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct ResolvedFaultSet {
-    /// Filer service faults.
+    /// Filer service faults. With a sharded remote tier these windows are
+    /// *also* copied into every entry of [`ResolvedFaultSet::shards`]
+    /// (a filer fault hits the whole fleet); this schedule is kept for
+    /// whole-backend accounting (availability windows, degraded time).
     pub filer: FaultSchedule,
     /// Client → filer network faults.
     pub net_to_server: FaultSchedule,
@@ -644,6 +705,9 @@ pub struct ResolvedFaultSet {
     pub net_from_server: FaultSchedule,
     /// Local device faults.
     pub device: FaultSchedule,
+    /// Per-shard faults of the remote tier, indexed by shard. Empty unless
+    /// the plan was resolved with [`FaultPlan::resolve_sharded`].
+    pub shards: Vec<FaultSchedule>,
 }
 
 impl ResolvedFaultSet {
@@ -653,6 +717,24 @@ impl ResolvedFaultSet {
             && self.net_to_server.is_empty()
             && self.net_from_server.is_empty()
             && self.device.is_empty()
+            && self.shards.iter().all(FaultSchedule::is_empty)
+    }
+
+    /// The union of all backend-side windows (filer and per-shard), for
+    /// per-window availability accounting: one entry per *distinct* window
+    /// a clause produced. Filer clauses are mirrored into every shard and
+    /// `shard*` clauses into each — the mirrors are exact duplicates, so
+    /// they collapse back to the single window the operator wrote.
+    pub fn backend_accounting(&self) -> FaultSchedule {
+        let mut windows: Vec<ResolvedWindow> = self.filer.windows.clone();
+        for sched in &self.shards {
+            windows.extend(sched.windows.iter().cloned());
+        }
+        windows.sort_by(|a, b| {
+            (a.start_ns, a.end_ns, &a.clause).cmp(&(b.start_ns, b.end_ns, &b.clause))
+        });
+        windows.dedup();
+        FaultSchedule { windows }
     }
 }
 
@@ -675,9 +757,49 @@ impl FaultPlan {
     /// clause does not perturb the others); `time_div` is the run's time
     /// scale — paper-scale windows divide down so a spec written for the
     /// full 60 GB workload lands proportionally in a scaled-down run.
+    ///
+    /// Shard clauses (`shard<k>`/`shard*`) are skipped here — they only
+    /// make sense against a concrete topology, so runs with shard clauses
+    /// go through [`FaultPlan::resolve_sharded`] instead (the engine
+    /// engages its remote tier whenever
+    /// [`FaultPlan::has_shard_clauses`] is true).
     pub fn resolve(&self, seed: u64, time_div: u64) -> ResolvedFaultSet {
+        self.resolve_inner(seed, time_div, 0)
+    }
+
+    /// [`FaultPlan::resolve`] against a sharded remote tier with
+    /// `shard_count` shards: shard clauses land on their shard's schedule
+    /// (`shard*` on every shard), filer clauses land on the whole-backend
+    /// `filer` schedule *and* every shard (the fleet shares the filer's
+    /// fate), and a clause naming a shard outside the topology is an
+    /// error.
+    pub fn resolve_sharded(
+        &self,
+        seed: u64,
+        time_div: u64,
+        shard_count: u16,
+    ) -> Result<ResolvedFaultSet, String> {
+        for c in &self.clauses {
+            if let FaultTarget::Shard(Some(k)) = c.target {
+                if k >= shard_count {
+                    return Err(format!(
+                        "fault clause \"{}\" names shard {k}, but the topology has {} shard(s) \
+                         (shard0..shard{})",
+                        c.describe(),
+                        shard_count,
+                        shard_count.saturating_sub(1),
+                    ));
+                }
+            }
+        }
+        Ok(self.resolve_inner(seed, time_div, shard_count))
+    }
+
+    fn resolve_inner(&self, seed: u64, time_div: u64, shard_count: u16) -> ResolvedFaultSet {
         let div = time_div.max(1);
         let mut set = ResolvedFaultSet::default();
+        set.shards
+            .resize_with(usize::from(shard_count), FaultSchedule::default);
         for (i, c) in self.clauses.iter().enumerate() {
             let clause = c.describe();
             let mut windows: Vec<ResolvedWindow> = Vec::new();
@@ -711,20 +833,48 @@ impl FaultPlan {
                     }
                 }
             }
-            let sched = match c.target {
-                FaultTarget::Filer => &mut set.filer,
-                FaultTarget::Net(FaultDirection::ToServer) => &mut set.net_to_server,
-                FaultTarget::Net(FaultDirection::FromServer) => &mut set.net_from_server,
-                FaultTarget::Device => &mut set.device,
-            };
-            sched.windows.extend(windows);
+            match c.target {
+                FaultTarget::Filer => {
+                    // A filer fault takes the whole backend down: it lands
+                    // on every shard too, so the sharded read/write paths
+                    // see it without consulting a second schedule.
+                    for sched in &mut set.shards {
+                        sched.windows.extend(windows.iter().cloned());
+                    }
+                    set.filer.windows.extend(windows);
+                }
+                FaultTarget::Net(FaultDirection::ToServer) => {
+                    set.net_to_server.windows.extend(windows)
+                }
+                FaultTarget::Net(FaultDirection::FromServer) => {
+                    set.net_from_server.windows.extend(windows)
+                }
+                FaultTarget::Device => set.device.windows.extend(windows),
+                FaultTarget::Shard(None) => {
+                    for sched in &mut set.shards {
+                        sched.windows.extend(windows.iter().cloned());
+                    }
+                }
+                FaultTarget::Shard(Some(k)) => {
+                    // Out-of-range indices were rejected by resolve_sharded;
+                    // plain resolve has no shards to land on.
+                    if let Some(sched) = set.shards.get_mut(usize::from(k)) {
+                        sched.windows.extend(windows);
+                    }
+                }
+            }
         }
-        for sched in [
-            &mut set.filer,
-            &mut set.net_to_server,
-            &mut set.net_from_server,
-            &mut set.device,
-        ] {
+        let ResolvedFaultSet {
+            filer,
+            net_to_server,
+            net_from_server,
+            device,
+            shards,
+        } = &mut set;
+        for sched in [filer, net_to_server, net_from_server, device]
+            .into_iter()
+            .chain(shards.iter_mut())
+        {
             sched.windows.sort_by_key(|w| (w.start_ns, w.end_ns));
         }
         set
@@ -887,6 +1037,105 @@ mod tests {
         assert_eq!(set.filer.outage_overlap(10_500_000_000), 3_500_000_000);
         assert_eq!(set.filer.outage_until(2_500_000_000), Some(4_000_000_000));
         assert_eq!(set.filer.outage_until(5_000_000_000), None);
+    }
+
+    #[test]
+    fn shard_targets_parse_and_describe_canonically() {
+        let plan = FaultPlan::parse("shard2:outage@40s-60s;shard*:slowx2@10s-20s").unwrap();
+        assert_eq!(plan.clauses.len(), 2);
+        assert_eq!(plan.clauses[0].target, FaultTarget::Shard(Some(2)));
+        assert_eq!(plan.clauses[1].target, FaultTarget::Shard(None));
+        assert!(plan.has_shard_clauses());
+        assert_eq!(
+            plan.describe(),
+            "shard2:outage@40s-60s;shard*:slowx2@10s-20s"
+        );
+        assert_eq!(FaultPlan::parse(&plan.describe()).unwrap(), plan);
+        assert!(!FaultPlan::parse("filer:outage@1s-2s")
+            .unwrap()
+            .has_shard_clauses());
+        for bad in [
+            "shard:outage@1s-2s",
+            "shard-1:outage@1s-2s",
+            "shardx:outage@1s-2s",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn shard_targets_round_trip_through_json() {
+        let plan = FaultPlan::parse("shard0:outage@1s-2s;shard*:err0.5@3s-4s").unwrap();
+        let j = plan.to_json();
+        let back = FaultPlan::from_json(&Json::parse(&j.to_string()).unwrap()).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn exact_duplicate_clauses_are_rejected_at_parse() {
+        // Same clause twice, directly.
+        let err = FaultPlan::parse("filer:outage@1s-2s;filer:outage@1s-2s").unwrap_err();
+        assert!(err.contains("duplicate fault clause"), "{err}");
+        // `net` sugar colliding with an identical explicit direction.
+        assert!(FaultPlan::parse("net:slowx2@1s-2s;net-up:slowx2@1s-2s").is_err());
+        // Overlapping-but-distinct clauses stay legal (they merge).
+        assert!(FaultPlan::parse("filer:outage@1s-2s;filer:outage@1s-3s").is_ok());
+        assert!(FaultPlan::parse("filer:outage@10s-20s;filer:slowx4@5s-30s").is_ok());
+        // from_json stays lenient: old rows decode even if a dup sneaks in.
+        let dup = FaultPlan {
+            clauses: vec![
+                FaultClause {
+                    target: FaultTarget::Filer,
+                    kind: FaultKind::Outage,
+                    window: FaultWindow::Interval {
+                        start_ns: 1,
+                        end_ns: 2,
+                    },
+                };
+                2
+            ],
+        };
+        assert_eq!(FaultPlan::from_json(&dup.to_json()).unwrap(), dup);
+    }
+
+    #[test]
+    fn resolve_sharded_lands_clauses_per_shard() {
+        let plan =
+            FaultPlan::parse("shard1:outage@10s-20s;shard*:slowx2@30s-40s;filer:outage@50s-60s")
+                .unwrap();
+        let set = plan.resolve_sharded(42, 1, 3).unwrap();
+        assert_eq!(set.shards.len(), 3);
+        // shard1 gets its own outage plus the shard* and filer windows.
+        assert_eq!(set.shards[1].windows().len(), 3);
+        // shard0/shard2 get the shard* slowdown and the filer outage.
+        assert_eq!(set.shards[0].windows().len(), 2);
+        assert_eq!(set.shards[2].windows().len(), 2);
+        // The whole-backend schedule keeps only the filer clause.
+        assert_eq!(set.filer.windows().len(), 1);
+        assert_eq!(
+            set.shards[0].outage_until(55_000_000_000),
+            Some(60_000_000_000)
+        );
+        assert_eq!(
+            set.shards[1].outage_until(15_000_000_000),
+            Some(20_000_000_000)
+        );
+        assert_eq!(set.shards[0].outage_until(15_000_000_000), None);
+        // Legacy resolve skips shard clauses entirely.
+        let legacy = plan.resolve(42, 1);
+        assert!(legacy.shards.is_empty());
+        assert_eq!(legacy.filer.windows().len(), 1);
+    }
+
+    #[test]
+    fn resolve_sharded_rejects_out_of_range_shards() {
+        let plan = FaultPlan::parse("shard4:outage@1s-2s").unwrap();
+        let err = plan.resolve_sharded(0, 1, 4).unwrap_err();
+        assert!(
+            err.contains("shard 4") && err.contains("4 shard(s)"),
+            "{err}"
+        );
+        assert!(plan.resolve_sharded(0, 1, 5).is_ok());
     }
 
     #[test]

@@ -13,6 +13,8 @@ fn target_strategy() -> impl Strategy<Value = FaultTarget> {
         Just(FaultTarget::Net(FaultDirection::ToServer)),
         Just(FaultTarget::Net(FaultDirection::FromServer)),
         Just(FaultTarget::Device),
+        Just(FaultTarget::Shard(None)),
+        (0u16..8).prop_map(|k| FaultTarget::Shard(Some(k))),
     ]
 }
 
@@ -59,6 +61,44 @@ fn plan_strategy() -> impl Strategy<Value = FaultPlan> {
     .prop_map(|clauses| FaultPlan { clauses })
 }
 
+/// Plans whose canonical spec string survives `parse` exactly: time
+/// values stay within f64-exact range (the spec grammar parses times as
+/// floats), and clauses are deduplicated (parse rejects exact repeats).
+fn spec_plan_strategy() -> impl Strategy<Value = FaultPlan> {
+    let window = prop_oneof![
+        (0u64..1u64 << 48, 1u64..1u64 << 48).prop_map(|(start, len)| FaultWindow::Interval {
+            start_ns: start,
+            end_ns: start + len,
+        }),
+        (1u64..1u64 << 40, 1u64..1u64 << 40, 1u32..64).prop_map(|(len, gap, count)| {
+            FaultWindow::Episodes {
+                mean_len_ns: len,
+                mean_gap_ns: gap,
+                count,
+            }
+        }),
+    ];
+    proptest::collection::vec(
+        (target_strategy(), kind_strategy(), window).prop_map(|(target, kind, window)| {
+            FaultClause {
+                target,
+                kind,
+                window,
+            }
+        }),
+        1..6,
+    )
+    .prop_map(|clauses| {
+        let mut deduped: Vec<FaultClause> = Vec::new();
+        for c in clauses {
+            if !deduped.contains(&c) {
+                deduped.push(c);
+            }
+        }
+        FaultPlan { clauses: deduped }
+    })
+}
+
 proptest! {
     #[test]
     fn fault_plan_json_roundtrip_is_exact(plan in plan_strategy()) {
@@ -76,6 +116,26 @@ proptest! {
         let parsed = Json::parse(&plan.to_json().to_string()).expect("reparse");
         let back = FaultPlan::from_json(&parsed).expect("decode");
         prop_assert_eq!(plan.resolve(seed, 64), back.resolve(seed, 64));
+    }
+
+    #[test]
+    fn distinct_clause_specs_round_trip_through_describe(plan in spec_plan_strategy()) {
+        // Duplicate-free plans are exactly the ones the spec grammar can
+        // express: describe → parse is the identity on them.
+        let canon = plan.describe();
+        let back = FaultPlan::parse(&canon);
+        prop_assert_eq!(back, Ok(plan));
+    }
+
+    #[test]
+    fn injected_duplicate_clause_is_rejected(plan in spec_plan_strategy(), pick in any::<u64>()) {
+        // Repeating any one clause of a valid plan makes the spec invalid,
+        // regardless of where the duplicate's original sits.
+        let dup = plan.clauses[(pick as usize) % plan.clauses.len()];
+        let spec = format!("{};{}", plan.describe(), dup.describe());
+        let err = FaultPlan::parse(&spec);
+        prop_assert!(err.is_err(), "accepted duplicated spec {:?}", spec);
+        prop_assert!(err.unwrap_err().contains("duplicate fault clause"));
     }
 }
 
