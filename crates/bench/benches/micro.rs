@@ -205,9 +205,9 @@ fn bench_ssd_service(res: &mut Results) {
             for i in 0..OPS / LANES {
                 let addr = BlockAddr::new(FileId(0), (lane * 1_000_003 + i * 17) as u32);
                 if i % 3 == 0 {
-                    dev.write(addr).await;
+                    dev.write(addr, None).await;
                 } else {
-                    dev.read(addr).await;
+                    dev.read(addr, None).await;
                 }
             }
         });
@@ -288,6 +288,46 @@ fn main() {
         faulted_wall / layered_wall.max(1e-9),
         "x",
     );
+
+    // The same run with telemetry engaged (10 s unified windows, spans
+    // recorded in-memory): the ratio to the plain run is the whole-engine
+    // cost of span bookkeeping — PERF.md invariant 12 demands this is pure
+    // addition, so the ratio should hover near 1.
+    let layered_telemetry = SimConfig {
+        telemetry_windows: Some(SimTime::from_micros(10_000_000)),
+        ..SimConfig::baseline()
+    };
+    let t0 = Instant::now();
+    let r = wb
+        .run_with_trace(&layered_telemetry, &trace)
+        .expect("telemetry run");
+    let telemetry_wall = t0.elapsed().as_secs_f64();
+    assert!(r.telemetry.engaged() && r.telemetry.spans > 0);
+    res.push(
+        "telemetry_overhead_vs_off",
+        telemetry_wall / layered_wall.max(1e-9),
+        "x",
+    );
+
+    // Span streaming: the same telemetry run also writing one JSON row per
+    // op to a file (`--trace-out`) — the sustained span encode+write rate.
+    let span_path = std::env::temp_dir().join("fcache_bench_spans.jsonl");
+    let layered_streamed = SimConfig {
+        trace_out: Some(span_path.clone()),
+        ..layered_telemetry
+    };
+    let t0 = Instant::now();
+    let r = wb
+        .run_with_trace(&layered_streamed, &trace)
+        .expect("span stream run");
+    let stream_wall = t0.elapsed().as_secs_f64();
+    assert!(r.telemetry.spans > 0);
+    res.push(
+        "span_stream_ops_per_sec",
+        r.telemetry.spans as f64 / stream_wall.max(1e-9),
+        "spans/s",
+    );
+    let _ = std::fs::remove_file(&span_path);
 
     // Packed-op footprint: the trajectory record of the 16-byte layout vs
     // the seed's 20-byte field-per-flag struct (host + thread + kind enum +

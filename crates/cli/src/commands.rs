@@ -5,12 +5,12 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
 use fcache::{
-    read_rows, Architecture, DecodedRow, DegradedPolicy, FlashTiming, JsonlSink, MemorySink,
-    ResultSink, Scenario, SimConfig, Sweep, Workbench, Workload, WorkloadSpec, WritebackPolicy,
-    REPORT_SCHEMA,
+    chrome_trace, read_rows, read_span_rows, Architecture, DecodedRow, DegradedPolicy, FlashTiming,
+    JsonlSink, LatencyHistogram, MemorySink, ResultSink, Scenario, SimConfig, SpanRow, Sweep,
+    Workbench, Workload, WorkloadSpec, WritebackPolicy, REPORT_SCHEMA,
 };
 use fcache_device::{SimTime, SsdConfig};
-use fcache_types::{stream_stats, ByteSize, FaultPlan, TraceReader, TraceSource};
+use fcache_types::{stream_stats, ByteSize, FaultPlan, Phase, TraceReader, TraceSource};
 
 use crate::args::{ArgError, Flags};
 
@@ -26,6 +26,11 @@ USAGE:
                              `sweep --out` (schema check + metrics table)
   fcsim table1               print the Table 1 timing parameters
   fcsim gen-trace [flags]    generate a trace file (--out required)
+  fcsim trace FILE           analyze a span stream written by --trace-out:
+                             per-phase totals/percentiles and the top N
+                             slowest ops (--top N, default 10); --export-chrome
+                             OUT writes Chrome trace-event JSON (load it in
+                             chrome://tracing or https://ui.perfetto.dev)
   fcsim trace-stats --in F   summarize a trace file (streamed, O(chunk) memory)
   fcsim trace-dump --in F    print trace records as text (--limit N, default 20)
   fcsim replay [flags]       run a configuration against a trace file (--in),
@@ -80,6 +85,14 @@ COMMON FLAGS (run / replay):
   --hedge MICROS                   hedge remote reads: race a second replica
                                    if the first is silent for MICROS
                                    (requires --replicas >= 2)   [off]
+  --windows DUR                    collect unified telemetry windows of DUR
+                                   (paper-scale, e.g. 10s): hit rate, dirty
+                                   ratio, queue depth, retries, degraded
+                                   time, per-shard availability     [off]
+  --trace-out FILE                 stream one JSON span per measured op to
+                                   FILE (per-phase latency attribution;
+                                   analyze with `fcsim trace`). In a sweep
+                                   each job writes FILE.<index>     [off]
 
   `--flash-timing ssd` services every flash op through a bounded NCQ-style
   queue in front of the behavioral SSD model (FTL map-cache locality, fill
@@ -109,6 +122,7 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
         Some("report") => cmd_report(&argv[1..]),
         Some("table1") => cmd_table1(),
         Some("gen-trace") => cmd_gen_trace(&argv[1..]),
+        Some("trace") => cmd_trace(&argv[1..]),
         Some("trace-stats") => cmd_trace_stats(&argv[1..]),
         Some("trace-dump") => cmd_trace_dump(&argv[1..]),
         Some("replay") => cmd_replay(&argv[1..]),
@@ -147,6 +161,8 @@ const CFG_FLAGS: &[&str] = &[
     "shards",
     "replicas",
     "hedge",
+    "windows",
+    "trace-out",
 ];
 const CFG_BOOLS: &[&str] = &[
     "persistent",
@@ -216,6 +232,17 @@ fn config_from(flags: &Flags) -> Result<SimConfig, ArgError> {
             return Err(ArgError("--hedge must be positive microseconds".into()));
         }
         cfg.hedge = Some(SimTime::from_nanos((us * 1000.0).round() as u64));
+    }
+    if let Some(raw) = flags.get("windows") {
+        let ns =
+            fcache_types::parse_time_ns(raw).map_err(|e| ArgError(format!("--windows: {e}")))?;
+        if ns == 0 {
+            return Err(ArgError("--windows must be a positive duration".into()));
+        }
+        cfg.telemetry_windows = Some(SimTime::from_nanos(ns));
+    }
+    if let Some(path) = flags.get("trace-out") {
+        cfg.trace_out = Some(path.into());
     }
     Ok(cfg)
 }
@@ -410,6 +437,13 @@ fn cmd_sweep(args: &[String]) -> CmdResult {
                 .scaled_down(scale),
             );
             labels.push((*arch, *fs));
+        }
+    }
+    // A shared --trace-out path would interleave every job's span rows in
+    // one file; give each job its own stream, suffixed by job index.
+    if let Some(base_path) = &base.trace_out {
+        for (i, cfg) in cfgs.iter_mut().enumerate() {
+            cfg.trace_out = Some(format!("{}.{i}", base_path.display()).into());
         }
     }
 
@@ -652,6 +686,21 @@ fn cmd_report(args: &[String]) -> CmdResult {
             sum(|r| r.buffered_writes),
         );
     }
+    let sharded = rows.iter().filter(|r| r.report.shard.engaged()).count();
+    if sharded > 0 {
+        let sum = |f: fn(&fcache::RemoteStats) -> u64| -> u64 {
+            rows.iter().map(|r| f(&r.report.shard.remote)).sum()
+        };
+        println!(
+            "# shards: {sharded} sharded rows; {} failovers, {} hedges launched / {} won / {} \
+             cancelled, {} blocks re-replicated",
+            sum(|r| r.failovers),
+            sum(|r| r.hedges_launched),
+            sum(|r| r.hedges_won),
+            sum(|r| r.hedges_cancelled),
+            sum(|r| r.re_replicated_blocks),
+        );
+    }
     Ok(())
 }
 
@@ -673,6 +722,113 @@ fn cmd_gen_trace(args: &[String]) -> CmdResult {
     trace.encode(&mut w)?;
     let s = trace.stats();
     eprintln!("wrote {} ops / {} blocks to {out}", s.ops, s.blocks);
+    Ok(())
+}
+
+/// Analyzes a span stream written by `--trace-out`: per-phase latency
+/// totals and per-op percentiles, the top N slowest ops with their phase
+/// breakdown, and an optional Chrome trace-event export for
+/// chrome://tracing / Perfetto.
+fn cmd_trace(args: &[String]) -> CmdResult {
+    // Accept `fcsim trace spans.jsonl` or `--in spans.jsonl`.
+    let (path, rest): (Option<&str>, &[String]) = match args.first() {
+        Some(first) if !first.starts_with("--") => (Some(first.as_str()), &args[1..]),
+        _ => (None, args),
+    };
+    let flags = Flags::parse(rest, &["in", "top", "export-chrome"], &[])?;
+    let path = path.or_else(|| flags.get("in")).ok_or_else(|| {
+        ArgError("usage: fcsim trace FILE [--top N] [--export-chrome OUT]".into())
+    })?;
+    let top: usize = flags.get_parsed("top", 10usize)?;
+    let rows = read_span_rows(std::path::Path::new(path))?;
+    if rows.is_empty() {
+        return Err(Box::new(ArgError(format!("{path}: no span rows"))));
+    }
+    let total_ns: u64 = rows.iter().map(SpanRow::latency_ns).sum();
+    let hosts = {
+        let mut hosts: Vec<u64> = rows.iter().map(|r| r.host).collect();
+        hosts.sort_unstable();
+        hosts.dedup();
+        hosts.len()
+    };
+    println!(
+        "# {path}: {} spans over {} host(s), {} total latency",
+        rows.len(),
+        hosts,
+        SimTime::from_nanos(total_ns),
+    );
+    // Attribution is exact by construction (unattributed awaits accrue to
+    // the last-entered phase): a violation means the file was edited or
+    // came from a foreign writer.
+    let violations = rows
+        .iter()
+        .filter(|r| r.phase_sum() != r.latency_ns())
+        .count();
+    if violations > 0 {
+        println!("# WARNING: {violations} spans whose phase sum != latency");
+    }
+    println!(
+        "{:<14} {:>12} {:>9} {:>7} {:>10} {:>10} {:>10}",
+        "phase", "total", "ops", "share", "p50_us", "p95_us", "p99_us"
+    );
+    for p in Phase::ALL {
+        let hist = LatencyHistogram::new();
+        let mut total = 0u64;
+        let mut ops = 0u64;
+        for r in &rows {
+            let ns = r.phases[p.index()];
+            if ns > 0 {
+                hist.record(SimTime::from_nanos(ns));
+                total += ns;
+                ops += 1;
+            }
+        }
+        if ops == 0 {
+            continue;
+        }
+        let (p50, p95, p99) = hist.snapshot().p50_p95_p99_us();
+        println!(
+            "{:<14} {:>12} {:>9} {:>6.1}% {:>10.1} {:>10.1} {:>10.1}",
+            p.label(),
+            SimTime::from_nanos(total).to_string(),
+            ops,
+            100.0 * total as f64 / total_ns.max(1) as f64,
+            p50,
+            p95,
+            p99,
+        );
+    }
+    let mut order: Vec<&SpanRow> = rows.iter().collect();
+    order.sort_by_key(|r| std::cmp::Reverse((r.latency_ns(), r.op)));
+    println!("# top {} slowest ops:", top.min(order.len()));
+    for r in order.iter().take(top) {
+        let mut breakdown = String::new();
+        for p in Phase::ALL {
+            let ns = r.phases[p.index()];
+            if ns > 0 {
+                if !breakdown.is_empty() {
+                    breakdown.push_str(", ");
+                }
+                breakdown.push_str(p.label());
+                breakdown.push(' ');
+                breakdown.push_str(&SimTime::from_nanos(ns).to_string());
+            }
+        }
+        println!(
+            "  op {:>6} host {} {:<5} {:>4} blocks  {:>10}  ({breakdown})",
+            r.op,
+            r.host,
+            r.kind_label(),
+            r.blocks,
+            SimTime::from_nanos(r.latency_ns()).to_string(),
+        );
+    }
+    if let Some(out) = flags.get("export-chrome") {
+        let mut text = String::new();
+        chrome_trace(&rows).encode(&mut text);
+        std::fs::write(out, text)?;
+        eprintln!("# wrote Chrome trace-event JSON to {out} (chrome://tracing or ui.perfetto.dev)");
+    }
     Ok(())
 }
 
@@ -1233,6 +1389,56 @@ mod tests {
         dispatch(&argv(&["trace-dump", "--in", path_s, "--limit", "5"])).unwrap();
         dispatch(&argv(&["replay", "--in", path_s, "--scale", "16384"])).unwrap();
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn span_stream_roundtrip_through_trace_analyzer() {
+        // run --trace-out writes a span stream; `fcsim trace` analyzes it
+        // and --export-chrome re-encodes it for chrome://tracing.
+        let dir = std::env::temp_dir();
+        let spans = dir.join("fcsim_test_spans.jsonl");
+        let chrome = dir.join("fcsim_test_spans_chrome.json");
+        let spans_s = spans.to_str().unwrap();
+        dispatch(&argv(&[
+            "run",
+            "--scale",
+            "16384",
+            "--ws",
+            "16G",
+            "--seed",
+            "7",
+            "--windows",
+            "10s",
+            "--trace-out",
+            spans_s,
+        ]))
+        .unwrap();
+        let rows = read_span_rows(&spans).unwrap();
+        assert!(!rows.is_empty(), "the run must have produced spans");
+        assert!(
+            rows.iter().all(|r| r.phase_sum() == r.latency_ns()),
+            "phase attribution must be exact"
+        );
+        dispatch(&argv(&["trace", spans_s, "--top", "3"])).unwrap();
+        dispatch(&argv(&[
+            "trace",
+            "--in",
+            spans_s,
+            "--export-chrome",
+            chrome.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&chrome).unwrap();
+        assert!(text.starts_with("{\"traceEvents\":["), "{text}");
+        // Bad inputs: no file, missing file, not a span stream.
+        assert!(dispatch(&argv(&["trace"])).is_err());
+        assert!(dispatch(&argv(&["trace", "/nonexistent/spans.jsonl"])).is_err());
+        let corrupt = dir.join("fcsim_test_spans_corrupt.jsonl");
+        std::fs::write(&corrupt, "not json\n").unwrap();
+        assert!(dispatch(&argv(&["trace", corrupt.to_str().unwrap()])).is_err());
+        for p in [&spans, &chrome, &corrupt] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 
     #[test]

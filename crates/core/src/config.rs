@@ -144,6 +144,17 @@ pub struct SimConfig {
     /// Client robustness parameters (timeouts, retries, degraded-mode
     /// policy). Consulted only when `fault_plan` is non-empty.
     pub robustness: RobustnessConfig,
+    /// Telemetry window length for the unified time series (paper-scale;
+    /// divides by `time_scale`). `None` (default) disables the series.
+    /// Engaging telemetry never changes simulation results (PERF.md
+    /// invariant 12) — only what gets observed.
+    pub telemetry_windows: Option<fcache_des::SimTime>,
+    /// Span-stream output path: one JSONL row per completed measured op,
+    /// in completion order (see `crate::telemetry`). `None` (default)
+    /// disables the stream. Each run needs its own path — the CLI's sweep
+    /// suffixes `.N` per job. Not part of the serialized result config
+    /// (observer identity, not simulation identity).
+    pub trace_out: Option<std::path::PathBuf>,
     /// Base RNG seed; filer draws and any stochastic components derive
     /// from it deterministically.
     pub seed: u64,
@@ -177,6 +188,8 @@ impl Default for SimConfig {
             hedge: None,
             fault_plan: FaultPlan::default(),
             robustness: RobustnessConfig::default(),
+            telemetry_windows: None,
+            trace_out: None,
             seed: 0xcafe_f00d,
         }
     }
@@ -238,6 +251,13 @@ impl SimConfig {
     /// filer path (PERF.md invariant 11).
     pub fn remote_engaged(&self) -> bool {
         self.shards > 1 || self.replicas > 1 || self.fault_plan.has_shard_clauses()
+    }
+
+    /// Whether this configuration collects telemetry (op spans, windows,
+    /// span stream). Off — the default — keeps every instrumentation hook
+    /// `None`, the literal pre-telemetry code path.
+    pub fn telemetry_engaged(&self) -> bool {
+        self.telemetry_windows.is_some() || self.trace_out.is_some()
     }
 
     /// RAM capacity in 4 KB blocks.

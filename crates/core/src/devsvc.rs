@@ -35,13 +35,14 @@ use std::rc::Rc;
 
 use fcache_des::{Resource, Sim, SimTime};
 use fcache_device::{IoDirection, IoLog, SsdModel, WindowStat};
-use fcache_types::{BlockAddr, FaultEffect, FaultSchedule, HostId};
+use fcache_types::{BlockAddr, FaultEffect, FaultSchedule, HostId, Phase};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::config::{FlashTiming, SimConfig};
 use crate::histogram::{HistogramSnapshot, LatencyHistogram};
 use crate::robust::RobustnessState;
+use crate::telemetry::{enter, OpSpan};
 
 /// Per-host flash device timing service. Owned by each
 /// [`crate::host`]`::HostCtx`; the engine performs no flash sleep outside
@@ -342,7 +343,7 @@ impl DeviceService {
     /// the dispatch until the window closes; transient errors pause and
     /// re-probe (a cache device retries internally — the op never fails up
     /// the stack, it just takes longer).
-    async fn fault_admit(&self) -> f64 {
+    async fn fault_admit(&self, sp: Option<&OpSpan>) -> f64 {
         let Some(f) = &self.faults else {
             return 1.0;
         };
@@ -362,10 +363,15 @@ impl DeviceService {
                 } => {
                     RobustnessState::bump(&f.state.queued_ops);
                     let wait = SimTime::from_nanos(end).saturating_sub(self.sim.now());
+                    enter(sp, &self.sim, Phase::DegradedPark);
                     self.sim.sleep(wait.max(SimTime::from_nanos(1))).await;
                 }
                 FaultEffect::Fail { until_ns: None, .. } => {
                     RobustnessState::bump(&f.state.retries);
+                    if let Some(s) = sp {
+                        s.note_retry();
+                    }
+                    enter(sp, &self.sim, Phase::RetryBackoff);
                     self.sim.sleep(f.retry).await;
                 }
             }
@@ -413,13 +419,19 @@ impl DeviceService {
 
     /// Services one block read (flash-tier hit in the unified cache, or a
     /// writeback's read off the device).
-    pub async fn read(&self, addr: BlockAddr) {
+    pub async fn read(&self, addr: BlockAddr, sp: Option<&OpSpan>) {
         let lba = self.lba(addr);
         self.iolog.log_read(lba);
-        let m = self.fault_admit().await;
+        let m = self.fault_admit(sp).await;
         match &self.ssd {
-            None => self.sim.sleep(Self::inflate(self.flat_read, m)).await,
-            Some(q) => q.service(&self.sim, IoDirection::Read, lba, false, m).await,
+            None => {
+                enter(sp, &self.sim, Phase::DeviceService);
+                self.sim.sleep(Self::inflate(self.flat_read, m)).await;
+            }
+            Some(q) => {
+                q.service(&self.sim, IoDirection::Read, lba, false, m, sp)
+                    .await;
+            }
         }
     }
 
@@ -427,18 +439,19 @@ impl DeviceService {
     /// layered read path's flash hits). Flat mode charges one combined
     /// sleep of `n × read latency` — exactly the pre-service engine
     /// behavior; SSD mode services the blocks through the queue in order.
-    pub async fn read_batch(&self, addrs: &[BlockAddr]) {
+    pub async fn read_batch(&self, addrs: &[BlockAddr], sp: Option<&OpSpan>) {
         if addrs.is_empty() {
             return;
         }
         // One batch is one request stream: admit it through the fault
         // schedule once, like one command at the device interface.
-        let m = self.fault_admit().await;
+        let m = self.fault_admit(sp).await;
         match &self.ssd {
             None => {
                 for &a in addrs {
                     self.iolog.log_read(self.lba(a));
                 }
+                enter(sp, &self.sim, Phase::DeviceService);
                 self.sim
                     .sleep(Self::inflate(self.flat_read.times(addrs.len() as u64), m))
                     .await;
@@ -447,7 +460,8 @@ impl DeviceService {
                 for &a in addrs {
                     let lba = self.lba(a);
                     self.iolog.log_read(lba);
-                    q.service(&self.sim, IoDirection::Read, lba, false, m).await;
+                    q.service(&self.sim, IoDirection::Read, lba, false, m, sp)
+                        .await;
                 }
             }
         }
@@ -457,20 +471,28 @@ impl DeviceService {
     /// the pre-service order (sleep, then log); SSD mode submits to the
     /// queue, servicing two device writes per block when the cache keeps
     /// persistent metadata (§7.8).
-    pub async fn write(&self, addr: BlockAddr) {
+    pub async fn write(&self, addr: BlockAddr, sp: Option<&OpSpan>) {
         let lba = self.lba(addr);
-        let m = self.fault_admit().await;
+        let m = self.fault_admit(sp).await;
         match &self.ssd {
             None => {
+                enter(sp, &self.sim, Phase::DeviceService);
                 self.sim.sleep(Self::inflate(self.flat_write, m)).await;
                 self.iolog.log_write(lba);
             }
             Some(q) => {
                 self.iolog.log_write(lba);
-                q.service(&self.sim, IoDirection::Write, lba, self.persistent, m)
+                q.service(&self.sim, IoDirection::Write, lba, self.persistent, m, sp)
                     .await;
             }
         }
+    }
+
+    /// Current device queue occupancy (in service + waiting); 0 in flat
+    /// mode, where there is no queue. The telemetry window's queue-depth
+    /// sample.
+    pub fn queue_depth(&self) -> u64 {
+        self.ssd.as_ref().map_or(0, SsdQueue::inflight)
     }
 
     /// Frozen counters (all zero in flat mode).
@@ -521,9 +543,11 @@ impl SsdQueue {
         lba: u64,
         persistent_write: bool,
         scale: f64,
+        sp: Option<&OpSpan>,
     ) {
         let waited = self.slots.available() == 0 || self.slots.queue_len() > 0;
         self.stats.note_submit(self.inflight(), waited);
+        enter(sp, sim, Phase::FlashQueue);
         let _slot = self.slots.acquire().await;
         let t = {
             let mut m = self.model.borrow_mut();
@@ -543,6 +567,7 @@ impl SsdQueue {
         let t = DeviceService::inflate(t, scale);
         self.stats.note_complete(dir, t);
         self.window_record(dir, t);
+        enter(sp, sim, Phase::DeviceService);
         sim.sleep(t).await;
     }
 

@@ -14,13 +14,14 @@ use fcache_cache::{InsertOutcome, Medium};
 use fcache_des::SimTime;
 use fcache_net::Direction;
 use fcache_remote::RemoteStore;
-use fcache_types::{BlockAddr, FaultError, FaultKind, OpKind, TraceOp, BLOCK_SIZE};
+use fcache_types::{BlockAddr, FaultError, FaultKind, OpKind, Phase, TraceOp, BLOCK_SIZE};
 
 use crate::arch::Architecture;
 use crate::flush::{self, FlushReq, FlushTarget};
 use crate::host::{HostCtx, RemoteCtx};
 use crate::policy::WritebackPolicy;
 use crate::robust::{DegradedPolicy, FaultCtx, RobustnessState};
+use crate::telemetry::{enter, OpSpan};
 
 /// Where the data being flushed currently lives, which decides what the
 /// flush costs before the network leg.
@@ -39,15 +40,27 @@ pub(crate) async fn execute_op(h: &Rc<HostCtx>, op: &TraceOp) -> SimTime {
         h.maybe_end_warmup();
     }
     let t0 = h.sim.now();
+    // A span exists only for measured ops on telemetry-enabled runs; the
+    // default threads `None` through every hook below, which is a no-op —
+    // the literal pre-telemetry path (PERF.md invariant 12).
+    let span = h
+        .telemetry
+        .as_ref()
+        .filter(|_| !op.warmup())
+        .map(|_| OpSpan::new(t0));
+    let sp = span.as_ref();
     match (op.kind(), h.cfg.arch) {
-        (OpKind::Read, Architecture::Unified) => read_unified(h, op).await,
-        (OpKind::Read, _) => read_layered(h, op).await,
-        (OpKind::Write, Architecture::Unified) => write_unified(h, op).await,
-        (OpKind::Write, _) => write_layered(h, op).await,
+        (OpKind::Read, Architecture::Unified) => read_unified(h, op, sp).await,
+        (OpKind::Read, _) => read_layered(h, op, sp).await,
+        (OpKind::Write, Architecture::Unified) => write_unified(h, op, sp).await,
+        (OpKind::Write, _) => write_layered(h, op, sp).await,
     }
     let latency = h.sim.now() - t0;
     if !op.warmup() {
         h.metrics.record_op(op.kind(), latency, op.nblocks());
+        if let (Some(t), Some(sp)) = (&h.telemetry, sp) {
+            t.complete_op(h, op, sp, h.sim.now());
+        }
     }
     latency
 }
@@ -58,7 +71,7 @@ pub(crate) async fn execute_op(h: &Rc<HostCtx>, op: &TraceOp) -> SimTime {
 
 /// Naive / lookaside read: RAM, then flash, then the filer; fetched blocks
 /// are "first placed in flash, then into RAM" (§3.2).
-async fn read_layered(h: &Rc<HostCtx>, op: &TraceOp) {
+async fn read_layered(h: &Rc<HostCtx>, op: &TraceOp, sp: Option<&OpSpan>) {
     // RAM stage: hits pay the RAM read latency; misses fall through. The
     // miss/hit lists live in pooled buffers so the per-op path performs no
     // heap allocation after pool warmup.
@@ -85,6 +98,9 @@ async fn read_layered(h: &Rc<HostCtx>, op: &TraceOp) {
         h.sim.sleep(wait).await;
     }
     if ram_misses.is_empty() {
+        if let Some(s) = sp {
+            s.note_blocks(u64::from(op.nblocks()), 0);
+        }
         h.put_buf(ram_misses);
         return;
     }
@@ -107,31 +123,35 @@ async fn read_layered(h: &Rc<HostCtx>, op: &TraceOp) {
     // Device time for the flash hits goes through the timing service:
     // flat mode charges one combined sleep (as the paper's model always
     // did), SSD mode services each block through the bounded device queue.
-    h.dev.read_batch(&flash_hits).await;
+    h.dev.read_batch(&flash_hits, sp).await;
 
     // Filer stage: "each I/O request uses one packet in each direction"
     // (§5) — one request covers every block this op still misses.
+    let miss_count = filer_misses.len() as u64;
     if !filer_misses.is_empty() {
         let fetched = if h.remote.is_some() {
-            remote_fetch(h, &filer_misses).await
+            remote_fetch(h, &filer_misses, sp).await
         } else {
             match &h.fault {
                 None => {
                     let n = filer_misses.len() as u32;
+                    enter(sp, &h.sim, Phase::Net);
                     h.segment.transfer(Direction::ToServer, 0).await;
+                    enter(sp, &h.sim, Phase::Filer);
                     h.filer.read_blocks(&filer_misses).await;
+                    enter(sp, &h.sim, Phase::Net);
                     h.segment
                         .transfer(Direction::FromServer, u64::from(n) * BLOCK_SIZE)
                         .await;
                     true
                 }
-                Some(f) => fetch_from_filer(h, &Rc::clone(f), &filer_misses).await,
+                Some(f) => fetch_from_filer(h, &Rc::clone(f), &filer_misses, sp).await,
             }
         };
         if fetched {
             if h.has_flash() && h.cfg.populate_flash_on_read {
                 for &b in filer_misses.iter() {
-                    flash_insert(h, b, false).await;
+                    flash_insert(h, b, false, sp).await;
                 }
             }
         } else {
@@ -139,11 +159,20 @@ async fn read_layered(h: &Rc<HostCtx>, op: &TraceOp) {
             filer_misses.clear();
         }
     }
+    if let Some(s) = sp {
+        // `filer_misses` was cleared on a failed fetch, so its length is
+        // the blocks that actually arrived from the backend; failed blocks
+        // count as neither hit nor fetch.
+        s.note_blocks(
+            u64::from(op.nblocks()) - miss_count,
+            filer_misses.len() as u64,
+        );
+    }
 
     // Fill RAM with everything that missed it.
     if h.has_ram() {
         for &b in flash_hits.iter().chain(filer_misses.iter()) {
-            ram_insert(h, b, false).await;
+            ram_insert(h, b, false, sp).await;
         }
     }
     h.put_buf(ram_misses);
@@ -153,7 +182,7 @@ async fn read_layered(h: &Rc<HostCtx>, op: &TraceOp) {
 
 /// Unified read: one lookup against the single LRU chain; hits pay the
 /// latency of whichever medium the frame lives in.
-async fn read_unified(h: &Rc<HostCtx>, op: &TraceOp) {
+async fn read_unified(h: &Rc<HostCtx>, op: &TraceOp, sp: Option<&OpSpan>) {
     let unified = h
         .unified
         .as_ref()
@@ -183,32 +212,45 @@ async fn read_unified(h: &Rc<HostCtx>, op: &TraceOp) {
         h.sim.sleep(wait).await;
     }
     for &b in flash_hits.iter() {
-        h.dev.read(b).await;
+        h.dev.read(b, sp).await;
     }
     h.put_buf(flash_hits);
     if misses.is_empty() {
+        if let Some(s) = sp {
+            s.note_blocks(u64::from(op.nblocks()), 0);
+        }
         h.put_buf(misses);
         return;
     }
+    let miss_count = misses.len() as u64;
     let fetched = if h.remote.is_some() {
-        remote_fetch(h, &misses).await
+        remote_fetch(h, &misses, sp).await
     } else {
         match &h.fault {
             None => {
                 let n = misses.len() as u32;
+                enter(sp, &h.sim, Phase::Net);
                 h.segment.transfer(Direction::ToServer, 0).await;
+                enter(sp, &h.sim, Phase::Filer);
                 h.filer.read_blocks(&misses).await;
+                enter(sp, &h.sim, Phase::Net);
                 h.segment
                     .transfer(Direction::FromServer, u64::from(n) * BLOCK_SIZE)
                     .await;
                 true
             }
-            Some(f) => fetch_from_filer(h, &Rc::clone(f), &misses).await,
+            Some(f) => fetch_from_filer(h, &Rc::clone(f), &misses, sp).await,
         }
     };
+    if let Some(s) = sp {
+        s.note_blocks(
+            u64::from(op.nblocks()) - miss_count,
+            if fetched { miss_count } else { 0 },
+        );
+    }
     if fetched {
         for &b in misses.iter() {
-            unified_insert(h, b, false).await;
+            unified_insert(h, b, false, sp).await;
         }
     }
     h.put_buf(misses);
@@ -219,14 +261,14 @@ async fn read_unified(h: &Rc<HostCtx>, op: &TraceOp) {
 // ---------------------------------------------------------------------------
 
 /// Naive / lookaside write: into RAM, then onward per the tier policies.
-async fn write_layered(h: &Rc<HostCtx>, op: &TraceOp) {
+async fn write_layered(h: &Rc<HostCtx>, op: &TraceOp, sp: Option<&OpSpan>) {
     for b in op.blocks() {
         let invalidated = h.invalidate_peers(b);
         if !op.warmup() {
             h.metrics.record_block_write(invalidated);
         }
         if h.has_ram() {
-            ram_insert(h, b, true).await;
+            ram_insert(h, b, true, sp).await;
             match h.cfg.ram_policy {
                 WritebackPolicy::WriteThrough => {
                     if filer_down(h) {
@@ -237,7 +279,7 @@ async fn write_layered(h: &Rc<HostCtx>, op: &TraceOp) {
                         buffered_write(h);
                         spawn_ram_flush(h, b);
                     } else {
-                        flush_ram_block(h, b).await;
+                        flush_ram_block(h, b, sp).await;
                     }
                 }
                 WritebackPolicy::AsyncWriteThrough => spawn_ram_flush(h, b),
@@ -246,13 +288,13 @@ async fn write_layered(h: &Rc<HostCtx>, op: &TraceOp) {
         } else if h.has_flash() && h.cfg.arch == Architecture::Naive {
             // No RAM tier: writes land directly in flash (§7.5's zero-RAM
             // configuration) and the flash policy governs.
-            flash_insert(h, b, true).await;
+            flash_insert(h, b, true, sp).await;
         } else {
             // No cache at all (or lookaside without RAM): synchronous
             // write to the filer; lookaside additionally updates flash.
-            flush_to_filer(h, b, FlushSource::InHand).await;
+            flush_to_filer(h, b, FlushSource::InHand, sp).await;
             if h.has_flash() && h.cfg.arch == Architecture::Lookaside {
-                flash_insert(h, b, false).await;
+                flash_insert(h, b, false, sp).await;
             }
         }
     }
@@ -261,13 +303,13 @@ async fn write_layered(h: &Rc<HostCtx>, op: &TraceOp) {
 /// Unified write: overwrite in place on a hit, else claim the LRU frame;
 /// either way the block's frame medium sets the cost and its tier policy
 /// governs the writeback.
-async fn write_unified(h: &Rc<HostCtx>, op: &TraceOp) {
+async fn write_unified(h: &Rc<HostCtx>, op: &TraceOp, sp: Option<&OpSpan>) {
     for b in op.blocks() {
         let invalidated = h.invalidate_peers(b);
         if !op.warmup() {
             h.metrics.record_block_write(invalidated);
         }
-        unified_insert(h, b, true).await;
+        unified_insert(h, b, true, sp).await;
     }
 }
 
@@ -279,28 +321,29 @@ async fn write_unified(h: &Rc<HostCtx>, op: &TraceOp) {
 /// victim is written back synchronously first — this stall is the source of
 /// the `none`-policy convoys ("synchronous evictions once the cache fills",
 /// §7.1).
-async fn ram_insert(h: &Rc<HostCtx>, addr: BlockAddr, dirty: bool) {
+async fn ram_insert(h: &Rc<HostCtx>, addr: BlockAddr, dirty: bool, sp: Option<&OpSpan>) {
+    enter(sp, &h.sim, Phase::CacheProbe);
     h.sim.sleep(h.cfg.ram_model.write).await;
     let outcome = h.ram.borrow_mut().insert(addr, dirty);
     if let InsertOutcome::InsertedEvicting(ev) = outcome {
         if ev.dirty {
-            evicted_ram_writeback(h, ev.addr).await;
+            evicted_ram_writeback(h, ev.addr, sp).await;
         }
     }
 }
 
 /// Writes an evicted dirty RAM block down a level: to flash in the naive
 /// architecture, directly to the filer in lookaside (updating flash after).
-async fn evicted_ram_writeback(h: &Rc<HostCtx>, addr: BlockAddr) {
+async fn evicted_ram_writeback(h: &Rc<HostCtx>, addr: BlockAddr, sp: Option<&OpSpan>) {
     match h.cfg.arch {
         Architecture::Naive if h.has_flash() => {
-            flash_insert(h, addr, true).await;
+            flash_insert(h, addr, true, sp).await;
         }
         _ => {
             // Lookaside, or naive with no flash tier: straight to the filer.
-            flush_to_filer(h, addr, FlushSource::InHand).await;
+            flush_to_filer(h, addr, FlushSource::InHand, sp).await;
             if h.has_flash() && h.cfg.arch == Architecture::Lookaside {
-                flash_insert(h, addr, false).await;
+                flash_insert(h, addr, false, sp).await;
             }
         }
     }
@@ -309,22 +352,22 @@ async fn evicted_ram_writeback(h: &Rc<HostCtx>, addr: BlockAddr) {
 /// Inserts a block into flash, paying the flash write latency. Evicting a
 /// dirty flash victim forces a synchronous writeback to the filer. If the
 /// inserted block is dirty, the flash writeback policy reacts.
-async fn flash_insert(h: &Rc<HostCtx>, addr: BlockAddr, dirty: bool) {
-    h.dev.write(addr).await;
+async fn flash_insert(h: &Rc<HostCtx>, addr: BlockAddr, dirty: bool, sp: Option<&OpSpan>) {
+    h.dev.write(addr, sp).await;
     let outcome = h.flash.borrow_mut().insert(addr, dirty);
     if let InsertOutcome::InsertedEvicting(ev) = outcome {
         if ev.dirty {
-            flush_to_filer(h, ev.addr, FlushSource::Flash).await;
+            flush_to_filer(h, ev.addr, FlushSource::Flash, sp).await;
         }
     }
     if dirty {
-        on_flash_dirtied(h, addr).await;
+        on_flash_dirtied(h, addr, sp).await;
     }
 }
 
 /// Applies the flash writeback policy to a block that just became dirty in
 /// flash.
-async fn on_flash_dirtied(h: &Rc<HostCtx>, addr: BlockAddr) {
+async fn on_flash_dirtied(h: &Rc<HostCtx>, addr: BlockAddr, sp: Option<&OpSpan>) {
     match h.cfg.flash_policy {
         WritebackPolicy::WriteThrough => {
             if filer_down(h) {
@@ -336,7 +379,7 @@ async fn on_flash_dirtied(h: &Rc<HostCtx>, addr: BlockAddr) {
             }
             // Blocking write-through; the payload is still in hand.
             h.flash.borrow_mut().mark_clean(addr);
-            flush_to_filer(h, addr, FlushSource::InHand).await;
+            flush_to_filer(h, addr, FlushSource::InHand, sp).await;
         }
         WritebackPolicy::AsyncWriteThrough => spawn_flash_flush(h, addr),
         WritebackPolicy::Periodic(_) | WritebackPolicy::None => {}
@@ -346,7 +389,7 @@ async fn on_flash_dirtied(h: &Rc<HostCtx>, addr: BlockAddr) {
 /// Inserts into the unified cache: pays the landing medium's write cost,
 /// flushes a dirty victim, and applies the landing tier's policy when the
 /// block is dirty.
-async fn unified_insert(h: &Rc<HostCtx>, addr: BlockAddr, dirty: bool) {
+async fn unified_insert(h: &Rc<HostCtx>, addr: BlockAddr, dirty: bool, sp: Option<&OpSpan>) {
     let ins = h
         .unified
         .as_ref()
@@ -354,8 +397,11 @@ async fn unified_insert(h: &Rc<HostCtx>, addr: BlockAddr, dirty: bool) {
         .borrow_mut()
         .insert(addr, dirty);
     match ins.medium {
-        Medium::Ram => h.sim.sleep(h.cfg.ram_model.write).await,
-        Medium::Flash => h.dev.write(addr).await,
+        Medium::Ram => {
+            enter(sp, &h.sim, Phase::CacheProbe);
+            h.sim.sleep(h.cfg.ram_model.write).await;
+        }
+        Medium::Flash => h.dev.write(addr, sp).await,
     }
     if let Some(ev) = ins.evicted {
         if ev.dirty {
@@ -363,7 +409,7 @@ async fn unified_insert(h: &Rc<HostCtx>, addr: BlockAddr, dirty: bool) {
                 Medium::Ram => FlushSource::InHand,
                 Medium::Flash => FlushSource::Flash,
             };
-            flush_to_filer(h, ev.addr, src).await;
+            flush_to_filer(h, ev.addr, src, sp).await;
         }
     }
     if dirty {
@@ -383,7 +429,7 @@ async fn unified_insert(h: &Rc<HostCtx>, addr: BlockAddr, dirty: bool) {
                     .expect("unified cache")
                     .borrow_mut()
                     .mark_clean(addr);
-                flush_to_filer(h, addr, FlushSource::InHand).await;
+                flush_to_filer(h, addr, FlushSource::InHand, sp).await;
             }
             WritebackPolicy::AsyncWriteThrough => spawn_unified_flush(h, addr, ins.medium),
             WritebackPolicy::Periodic(_) | WritebackPolicy::None => {}
@@ -398,17 +444,20 @@ async fn unified_insert(h: &Rc<HostCtx>, addr: BlockAddr, dirty: bool) {
 /// Sends one dirty block to the filer: data packet out, buffered filer
 /// write, acknowledgement back. Flushing from flash first pays a flash read
 /// (the data must come off the device) when configured.
-async fn flush_to_filer(h: &Rc<HostCtx>, addr: BlockAddr, src: FlushSource) {
+async fn flush_to_filer(h: &Rc<HostCtx>, addr: BlockAddr, src: FlushSource, sp: Option<&OpSpan>) {
     if src == FlushSource::Flash && h.cfg.charge_flash_read_on_writeback {
         // The data must come off the device before it can be sent.
-        h.dev.read(addr).await;
+        h.dev.read(addr, sp).await;
     }
     if h.remote.is_some() {
-        return remote_write_all(h, addr).await;
+        return remote_write_all(h, addr, sp).await;
     }
     let Some(f) = h.fault.as_ref().map(Rc::clone) else {
+        enter(sp, &h.sim, Phase::Net);
         h.segment.transfer(Direction::ToServer, BLOCK_SIZE).await;
+        enter(sp, &h.sim, Phase::Filer);
         h.filer.write(1).await;
+        enter(sp, &h.sim, Phase::Net);
         h.segment.transfer(Direction::FromServer, 0).await;
         return;
     };
@@ -417,14 +466,17 @@ async fn flush_to_filer(h: &Rc<HostCtx>, addr: BlockAddr, src: FlushSource) {
     // the degraded policy — durability over latency.
     let mut attempt: u32 = 0;
     loop {
-        if park_through_outage(h, &f).await {
+        if park_through_outage(h, &f, sp).await {
             continue;
         }
         let sent = async {
+            enter(sp, &h.sim, Phase::Net);
             h.segment
                 .try_transfer(Direction::ToServer, BLOCK_SIZE)
                 .await?;
+            enter(sp, &h.sim, Phase::Filer);
             h.filer.try_write(1).await?;
+            enter(sp, &h.sim, Phase::Net);
             h.segment.try_transfer(Direction::FromServer, 0).await
         }
         .await;
@@ -432,7 +484,7 @@ async fn flush_to_filer(h: &Rc<HostCtx>, addr: BlockAddr, src: FlushSource) {
             Ok(()) => return,
             Err(_) => {
                 attempt += 1;
-                failed_attempt(h, &f, attempt).await;
+                failed_attempt(h, &f, attempt, sp).await;
             }
         }
     }
@@ -460,22 +512,27 @@ fn buffered_write(h: &HostCtx) {
 
 /// If the filer is in outage, sleeps until it clears and returns true
 /// (counting the parked op); returns false when the filer is up.
-async fn park_through_outage(h: &Rc<HostCtx>, f: &Rc<FaultCtx>) -> bool {
+async fn park_through_outage(h: &Rc<HostCtx>, f: &Rc<FaultCtx>, sp: Option<&OpSpan>) -> bool {
     let Some(clear_ns) = f.set.filer.outage_until(h.sim.now().as_nanos()) else {
         return false;
     };
     RobustnessState::bump(&f.state.queued_ops);
     let wait = SimTime::from_nanos(clear_ns).saturating_sub(h.sim.now());
+    enter(sp, &h.sim, Phase::DegradedPark);
     h.sim.sleep(wait.max(SimTime::from_nanos(1))).await;
     true
 }
 
 /// Charges one failed exchange attempt: the per-op timeout, then the
 /// jittered exponential backoff before the retry.
-async fn failed_attempt(h: &Rc<HostCtx>, f: &Rc<FaultCtx>, attempt: u32) {
+async fn failed_attempt(h: &Rc<HostCtx>, f: &Rc<FaultCtx>, attempt: u32, sp: Option<&OpSpan>) {
     RobustnessState::bump(&f.state.timeouts);
+    enter(sp, &h.sim, Phase::RetryBackoff);
     h.sim.sleep(f.op_timeout).await;
     RobustnessState::bump(&f.state.retries);
+    if let Some(s) = sp {
+        s.note_retry();
+    }
     h.sim.sleep(f.backoff(attempt)).await;
 }
 
@@ -494,10 +551,17 @@ fn outage_clause(f: &FaultCtx, now_ns: u64) -> String {
 /// One full miss exchange against the filer through the fault seams:
 /// request packet out, filer read service, payload packet back. Any leg
 /// can fail transiently; a failed leg consumes no service time.
-async fn try_exchange(h: &Rc<HostCtx>, blocks: &[BlockAddr]) -> Result<(), FaultError> {
+async fn try_exchange(
+    h: &Rc<HostCtx>,
+    blocks: &[BlockAddr],
+    sp: Option<&OpSpan>,
+) -> Result<(), FaultError> {
     let n = blocks.len() as u32;
+    enter(sp, &h.sim, Phase::Net);
     h.segment.try_transfer(Direction::ToServer, 0).await?;
+    enter(sp, &h.sim, Phase::Filer);
     h.filer.try_read_blocks(blocks).await?;
+    enter(sp, &h.sim, Phase::Net);
     h.segment
         .try_transfer(Direction::FromServer, u64::from(n) * BLOCK_SIZE)
         .await
@@ -507,7 +571,12 @@ async fn try_exchange(h: &Rc<HostCtx>, blocks: &[BlockAddr]) -> Result<(), Fault
 /// degrade per [`DegradedPolicy`] (cache hits keep serving either way),
 /// transient failures retry with timeout + jittered exponential backoff
 /// up to `max_retries`. Returns whether the data ultimately arrived.
-async fn fetch_from_filer(h: &Rc<HostCtx>, f: &Rc<FaultCtx>, blocks: &[BlockAddr]) -> bool {
+async fn fetch_from_filer(
+    h: &Rc<HostCtx>,
+    f: &Rc<FaultCtx>,
+    blocks: &[BlockAddr],
+    sp: Option<&OpSpan>,
+) -> bool {
     let now = h.sim.now().as_nanos();
     let widx = f.acct.window_index_at(now);
     f.state.window_op(widx);
@@ -519,7 +588,7 @@ async fn fetch_from_filer(h: &Rc<HostCtx>, f: &Rc<FaultCtx>, blocks: &[BlockAddr
                 DegradedPolicy::Queue => {
                     // Availability first: park the miss until the filer
                     // returns, then fetch. Hits never reach this path.
-                    park_through_outage(h, f).await;
+                    park_through_outage(h, f, sp).await;
                     continue;
                 }
                 DegradedPolicy::FailFast | DegradedPolicy::Strict => {
@@ -528,7 +597,7 @@ async fn fetch_from_filer(h: &Rc<HostCtx>, f: &Rc<FaultCtx>, blocks: &[BlockAddr
                 }
             }
         }
-        match try_exchange(h, blocks).await {
+        match try_exchange(h, blocks, sp).await {
             Ok(()) => {
                 f.state.window_ok(widx);
                 return true;
@@ -536,12 +605,13 @@ async fn fetch_from_filer(h: &Rc<HostCtx>, f: &Rc<FaultCtx>, blocks: &[BlockAddr
             Err(e) => {
                 if attempt >= f.cfg.max_retries {
                     RobustnessState::bump(&f.state.timeouts);
+                    enter(sp, &h.sim, Phase::RetryBackoff);
                     h.sim.sleep(f.op_timeout).await;
                     f.state.op_failed(&e.clause);
                     return false;
                 }
                 attempt += 1;
-                failed_attempt(h, f, attempt).await;
+                failed_attempt(h, f, attempt, sp).await;
             }
         }
     }
@@ -555,7 +625,7 @@ async fn fetch_from_filer(h: &Rc<HostCtx>, f: &Rc<FaultCtx>, blocks: &[BlockAddr
 /// partitioned by primary shard and each group is served **read-any**
 /// across its replica ring (optionally hedged). Returns whether every
 /// group's data arrived.
-async fn remote_fetch(h: &Rc<HostCtx>, blocks: &[BlockAddr]) -> bool {
+async fn remote_fetch(h: &Rc<HostCtx>, blocks: &[BlockAddr], sp: Option<&OpSpan>) -> bool {
     let router = h.remote.as_ref().expect("remote engaged").store.router();
     // Window accounting mirrors `fetch_from_filer`, against the backend
     // accounting schedule: filer-wide clauses and shard-local clauses each
@@ -571,7 +641,7 @@ async fn remote_fetch(h: &Rc<HostCtx>, blocks: &[BlockAddr]) -> bool {
     for k in 0..router.shards() {
         group.clear();
         group.extend(blocks.iter().copied().filter(|b| router.primary(*b) == k));
-        if !group.is_empty() && !fetch_group(h, k, &group).await {
+        if !group.is_empty() && !fetch_group(h, k, &group, sp).await {
             ok = false;
         }
     }
@@ -590,7 +660,12 @@ async fn remote_fetch(h: &Rc<HostCtx>, blocks: &[BlockAddr]) -> bool {
 /// hedge against the next live one, and retry with timeout + jittered
 /// backoff on transient failures. A whole-ring outage degrades per
 /// [`DegradedPolicy`], exactly like the single-filer path.
-async fn fetch_group(h: &Rc<HostCtx>, primary: u16, blocks: &[BlockAddr]) -> bool {
+async fn fetch_group(
+    h: &Rc<HostCtx>,
+    primary: u16,
+    blocks: &[BlockAddr],
+    sp: Option<&OpSpan>,
+) -> bool {
     let r = h.remote.as_ref().expect("remote engaged");
     let router = r.store.router();
     let ring = |j: u16| (primary + j) % router.shards();
@@ -613,6 +688,7 @@ async fn fetch_group(h: &Rc<HostCtx>, primary: u16, blocks: &[BlockAddr]) -> boo
                         .min()
                         .unwrap_or(now);
                     let wait = SimTime::from_nanos(clear).saturating_sub(h.sim.now());
+                    enter(sp, &h.sim, Phase::DegradedPark);
                     h.sim.sleep(wait.max(SimTime::from_nanos(1))).await;
                     continue;
                 }
@@ -630,8 +706,10 @@ async fn fetch_group(h: &Rc<HostCtx>, primary: u16, blocks: &[BlockAddr]) -> boo
                 .map(|s| (s, d))
         });
         let served = match hedge {
-            Some((second, delay_ns)) => hedged_exchange(h, first, second, delay_ns, blocks).await,
-            None => shard_exchange(h, first, blocks).await.map(|()| first),
+            Some((second, delay_ns)) => {
+                hedged_exchange(h, first, second, delay_ns, blocks, sp).await
+            }
+            None => shard_exchange(h, first, blocks, sp).await.map(|()| first),
         };
         match served {
             Ok(winner) => {
@@ -644,13 +722,14 @@ async fn fetch_group(h: &Rc<HostCtx>, primary: u16, blocks: &[BlockAddr]) -> boo
                 let f = h.fault.as_ref().expect("fault-free exchanges cannot fail");
                 if attempt >= f.cfg.max_retries {
                     RobustnessState::bump(&f.state.timeouts);
+                    enter(sp, &h.sim, Phase::RetryBackoff);
                     h.sim.sleep(f.op_timeout).await;
                     f.state.op_failed(&e.clause);
                     return false;
                 }
                 attempt += 1;
                 let f = Rc::clone(f);
-                failed_attempt(h, &f, attempt).await;
+                failed_attempt(h, &f, attempt, sp).await;
             }
         }
     }
@@ -663,19 +742,26 @@ async fn shard_exchange(
     h: &Rc<HostCtx>,
     shard: u16,
     blocks: &[BlockAddr],
+    sp: Option<&OpSpan>,
 ) -> Result<(), FaultError> {
     let r = h.remote.as_ref().expect("remote engaged");
     let seg = &r.segments[usize::from(shard)];
     let filer = r.store.filer(shard);
     let n = blocks.len() as u32;
     if h.fault.is_some() {
+        enter(sp, &h.sim, Phase::Net);
         seg.try_transfer(Direction::ToServer, 0).await?;
+        enter(sp, &h.sim, Phase::Filer);
         filer.try_read_blocks(blocks).await?;
+        enter(sp, &h.sim, Phase::Net);
         seg.try_transfer(Direction::FromServer, u64::from(n) * BLOCK_SIZE)
             .await
     } else {
+        enter(sp, &h.sim, Phase::Net);
         seg.transfer(Direction::ToServer, 0).await;
+        enter(sp, &h.sim, Phase::Filer);
         filer.read_blocks(blocks).await;
+        enter(sp, &h.sim, Phase::Net);
         seg.transfer(Direction::FromServer, u64::from(n) * BLOCK_SIZE)
             .await;
         Ok(())
@@ -756,6 +842,7 @@ async fn hedged_exchange(
     second: u16,
     delay_ns: u64,
     blocks: &[BlockAddr],
+    sp: Option<&OpSpan>,
 ) -> Result<u16, FaultError> {
     let state = Rc::new(RaceState {
         winner: Cell::new(None),
@@ -771,7 +858,7 @@ async fn hedged_exchange(
         let mut buf = h.take_buf();
         buf.extend_from_slice(blocks);
         h.sim.spawn_daemon(async move {
-            let res = shard_exchange(&h2, first, &buf).await;
+            let res = shard_exchange(&h2, first, &buf, None).await;
             h2.put_buf(buf);
             st.arm_done(first, res);
         });
@@ -793,7 +880,7 @@ async fn hedged_exchange(
             }
             let store = Rc::clone(&h2.remote.as_ref().expect("remote engaged").store);
             store.note_hedge_launched();
-            let res = shard_exchange(&h2, second, &buf).await;
+            let res = shard_exchange(&h2, second, &buf, None).await;
             h2.put_buf(buf);
             let arrived = res.is_ok();
             if st.arm_done(second, res) {
@@ -805,6 +892,9 @@ async fn hedged_exchange(
         });
     }
 
+    // The op's own time here is the race wait itself — neither arm's legs
+    // run on the op task, so the whole interval is failover/hedge wait.
+    enter(sp, &h.sim, Phase::Failover);
     RaceDone(Rc::clone(&state)).await;
     match state.winner.get() {
         Some(w) => Ok(w),
@@ -833,7 +923,7 @@ fn shard_outage_clause(r: &RemoteCtx, shard: u16, now_ns: u64) -> String {
 /// pass. If the whole replica set is down the write parks until a replica
 /// returns — an acknowledged write is never dropped, matching the
 /// single-filer flush path's durability-over-latency stance.
-async fn remote_write_all(h: &Rc<HostCtx>, addr: BlockAddr) {
+async fn remote_write_all(h: &Rc<HostCtx>, addr: BlockAddr, sp: Option<&OpSpan>) {
     let router = h.remote.as_ref().expect("remote engaged").store.router();
     loop {
         let r = h.remote.as_ref().expect("remote engaged");
@@ -849,6 +939,7 @@ async fn remote_write_all(h: &Rc<HostCtx>, addr: BlockAddr) {
             .min()
             .unwrap_or(now);
         let wait = SimTime::from_nanos(clear).saturating_sub(h.sim.now());
+        enter(sp, &h.sim, Phase::DegradedPark);
         h.sim.sleep(wait.max(SimTime::from_nanos(1))).await;
     }
     let mut ring = router.replica_set(addr);
@@ -858,10 +949,13 @@ async fn remote_write_all(h: &Rc<HostCtx>, addr: BlockAddr) {
         let h2 = Rc::clone(h);
         handles.push(
             h.sim
-                .spawn(async move { write_one_replica(&h2, shard, addr).await }),
+                .spawn(async move { write_one_replica(&h2, shard, addr, None).await }),
         );
     }
-    write_one_replica(h, first, addr).await;
+    write_one_replica(h, first, addr, sp).await;
+    // Waiting out the slower replicas' spawned legs is ack fan-in: wire
+    // time from the op's perspective.
+    enter(sp, &h.sim, Phase::Net);
     for handle in handles {
         handle.await;
     }
@@ -871,7 +965,7 @@ async fn remote_write_all(h: &Rc<HostCtx>, addr: BlockAddr) {
 /// failures (capped backoff exponent, like the flush path), but a replica
 /// that is *down* — initially or mid-retry — is skipped and the copy is
 /// recorded as under-replicated.
-async fn write_one_replica(h: &Rc<HostCtx>, shard: u16, addr: BlockAddr) {
+async fn write_one_replica(h: &Rc<HostCtx>, shard: u16, addr: BlockAddr, sp: Option<&OpSpan>) {
     let r = h.remote.as_ref().expect("remote engaged");
     let mut attempt: u32 = 0;
     loop {
@@ -885,14 +979,20 @@ async fn write_one_replica(h: &Rc<HostCtx>, shard: u16, addr: BlockAddr) {
         let seg = &r.segments[usize::from(shard)];
         let filer = r.store.filer(shard);
         if h.fault.is_none() {
+            enter(sp, &h.sim, Phase::Net);
             seg.transfer(Direction::ToServer, BLOCK_SIZE).await;
+            enter(sp, &h.sim, Phase::Filer);
             filer.write(1).await;
+            enter(sp, &h.sim, Phase::Net);
             seg.transfer(Direction::FromServer, 0).await;
             return;
         }
         let sent = async {
+            enter(sp, &h.sim, Phase::Net);
             seg.try_transfer(Direction::ToServer, BLOCK_SIZE).await?;
+            enter(sp, &h.sim, Phase::Filer);
             filer.try_write(1).await?;
+            enter(sp, &h.sim, Phase::Net);
             seg.try_transfer(Direction::FromServer, 0).await
         }
         .await;
@@ -901,7 +1001,7 @@ async fn write_one_replica(h: &Rc<HostCtx>, shard: u16, addr: BlockAddr) {
             Err(_) => {
                 attempt += 1;
                 let f = Rc::clone(h.fault.as_ref().expect("checked above"));
-                failed_attempt(h, &f, attempt).await;
+                failed_attempt(h, &f, attempt, sp).await;
             }
         }
     }
@@ -910,35 +1010,35 @@ async fn write_one_replica(h: &Rc<HostCtx>, shard: u16, addr: BlockAddr) {
 /// Flushes one dirty RAM block down a level (the RAM tier's writeback
 /// unit): naive writes it to flash; lookaside writes it to the filer and
 /// then updates the (never-dirty) flash copy.
-pub(crate) async fn flush_ram_block(h: &Rc<HostCtx>, addr: BlockAddr) {
+pub(crate) async fn flush_ram_block(h: &Rc<HostCtx>, addr: BlockAddr, sp: Option<&OpSpan>) {
     if !h.ram.borrow_mut().mark_clean(addr) {
         return; // evicted or invalidated since queued
     }
     match h.cfg.arch {
         Architecture::Naive if h.has_flash() => {
-            flash_insert(h, addr, true).await;
+            flash_insert(h, addr, true, sp).await;
         }
         _ => {
-            flush_to_filer(h, addr, FlushSource::InHand).await;
+            flush_to_filer(h, addr, FlushSource::InHand, sp).await;
             if h.has_flash() && h.cfg.arch == Architecture::Lookaside {
                 // "The flash is updated after the file server and never
                 // contains dirty data." (§3.3)
-                flash_insert(h, addr, false).await;
+                flash_insert(h, addr, false, sp).await;
             }
         }
     }
 }
 
 /// Flushes one dirty flash block to the filer.
-pub(crate) async fn flush_flash_block(h: &Rc<HostCtx>, addr: BlockAddr) {
+pub(crate) async fn flush_flash_block(h: &Rc<HostCtx>, addr: BlockAddr, sp: Option<&OpSpan>) {
     if !h.flash.borrow_mut().mark_clean(addr) {
         return;
     }
-    flush_to_filer(h, addr, FlushSource::Flash).await;
+    flush_to_filer(h, addr, FlushSource::Flash, sp).await;
 }
 
 /// Flushes one dirty unified frame to the filer.
-pub(crate) async fn flush_unified_block(h: &Rc<HostCtx>, addr: BlockAddr) {
+pub(crate) async fn flush_unified_block(h: &Rc<HostCtx>, addr: BlockAddr, sp: Option<&OpSpan>) {
     let unified = h.unified.as_ref().expect("unified cache");
     let medium = {
         let mut u = unified.borrow_mut();
@@ -953,7 +1053,7 @@ pub(crate) async fn flush_unified_block(h: &Rc<HostCtx>, addr: BlockAddr) {
         Medium::Ram => FlushSource::InHand,
         Medium::Flash => FlushSource::Flash,
     };
-    flush_to_filer(h, addr, src).await;
+    flush_to_filer(h, addr, src, sp).await;
 }
 
 /// Queues a detached asynchronous write-through flush for a RAM block.
@@ -1032,9 +1132,9 @@ async fn flush_batch(h: &Rc<HostCtx>, blocks: &[BlockAddr], tier: FlushTier) {
             let b = *b;
             h.sim.spawn(async move {
                 match tier {
-                    FlushTier::Ram => flush_ram_block(&h2, b).await,
-                    FlushTier::Flash => flush_flash_block(&h2, b).await,
-                    FlushTier::Unified => flush_unified_block(&h2, b).await,
+                    FlushTier::Ram => flush_ram_block(&h2, b, None).await,
+                    FlushTier::Flash => flush_flash_block(&h2, b, None).await,
+                    FlushTier::Unified => flush_unified_block(&h2, b, None).await,
                 }
             })
         }));

@@ -119,13 +119,13 @@ async fn flush_worker(h: Rc<HostCtx>) {
         match req.target {
             FlushTarget::Ram => {
                 while h.ram.borrow().is_dirty(req.addr) {
-                    crate::engine::flush_ram_block(&h, req.addr).await;
+                    crate::engine::flush_ram_block(&h, req.addr, None).await;
                 }
                 h.ram_flush_pending.borrow_mut().remove(&req.addr.to_u64());
             }
             FlushTarget::Flash => {
                 while h.flash.borrow().is_dirty(req.addr) {
-                    crate::engine::flush_flash_block(&h, req.addr).await;
+                    crate::engine::flush_flash_block(&h, req.addr, None).await;
                 }
                 h.flash_flush_pending
                     .borrow_mut()
@@ -142,7 +142,7 @@ async fn flush_worker(h: Rc<HostCtx>) {
                     if !dirty {
                         break;
                     }
-                    crate::engine::flush_unified_block(&h, req.addr).await;
+                    crate::engine::flush_unified_block(&h, req.addr, None).await;
                 }
                 let pending = match medium {
                     Medium::Ram => &h.ram_flush_pending,

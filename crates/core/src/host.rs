@@ -17,6 +17,7 @@ use crate::devsvc::DeviceService;
 use crate::flush::FlushQueue;
 use crate::metrics::Metrics;
 use crate::robust::FaultCtx;
+use crate::telemetry::TelemetryCtx;
 
 /// This host's view of the sharded remote tier: the shared store plus one
 /// private segment per shard (the host's network link to that backend).
@@ -91,6 +92,10 @@ pub(crate) struct HostCtx {
     /// Sharded remote tier (router, replicas, per-shard segments). `None`
     /// — the default — keeps the single-filer read/write paths.
     pub remote: Option<RemoteCtx>,
+    /// Sim-time telemetry collector (op spans, unified windows, span
+    /// stream). `None` — the default — makes every instrumentation hook a
+    /// no-op, the literal pre-telemetry code path (PERF.md invariant 12).
+    pub telemetry: Option<Rc<TelemetryCtx>>,
 }
 
 impl HostCtx {
@@ -113,6 +118,23 @@ impl HostCtx {
     /// True if this host has a flash cache tier.
     pub fn has_flash(&self) -> bool {
         self.cfg.flash_blocks() > 0
+    }
+
+    /// Current cache occupancy as `(dirty blocks, cached blocks)` across
+    /// whichever tiers this host's architecture uses — the telemetry
+    /// window dirty-ratio sample.
+    pub fn cache_occupancy(&self) -> (u64, u64) {
+        if let Some(u) = &self.unified {
+            let u = u.borrow();
+            (u.dirty_len() as u64, u.len() as u64)
+        } else {
+            let ram = self.ram.borrow();
+            let flash = self.flash.borrow();
+            (
+                (ram.dirty_len() + flash.dirty_len()) as u64,
+                (ram.len() + flash.len()) as u64,
+            )
+        }
     }
 
     /// Invalidates copies of `addr` held by *other* hosts (instant, global

@@ -85,6 +85,7 @@ pub mod results;
 pub mod robust;
 pub mod scenario;
 pub mod sim;
+pub mod telemetry;
 
 pub use arch::Architecture;
 pub use config::{FlashTiming, SimConfig};
@@ -102,3 +103,6 @@ pub use results::{
 pub use robust::{DegradedPolicy, FaultWindowStat, RobustnessConfig, RobustnessStats};
 pub use scenario::{Scenario, Sweep, SweepError, SweepItem, SweepResults, Workload};
 pub use sim::{run_source, run_trace, SimError};
+pub use telemetry::{
+    chrome_trace, read_span_rows, OpSpan, SpanRow, TelemetryStats, TelemetryWindow,
+};

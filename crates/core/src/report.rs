@@ -12,6 +12,7 @@ use fcache_remote::RemoteStats;
 use crate::devsvc::DeviceStatsSnapshot;
 use crate::metrics::MetricsSnapshot;
 use crate::robust::RobustnessStats;
+use crate::telemetry::TelemetryStats;
 
 /// Everything measured by one simulation run (post-warmup unless noted).
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -57,6 +58,11 @@ pub struct SimReport {
     /// Disengaged (all zero, `shards == 0`) when the run used the plain
     /// single-filer backend.
     pub shard: ShardStats,
+    /// Sim-time telemetry: per-phase latency attribution and the unified
+    /// window time series, merged across hosts. Default (disengaged) when
+    /// the run collected no telemetry. Collecting it never changes any
+    /// other field (PERF.md invariant 12).
+    pub telemetry: TelemetryStats,
 }
 
 /// One shard's service tallies plus how long its fault schedule had it in
@@ -303,6 +309,39 @@ impl fmt::Display for SimReport {
                     r.under_peak,
                     r.under_now,
                     SimTime::from_nanos(r.under_time_ns)
+                )?;
+            }
+        }
+        if self.telemetry.engaged() {
+            let t = &self.telemetry;
+            writeln!(
+                f,
+                "telemetry          {} spans, {} attributed{}",
+                t.spans,
+                SimTime::from_nanos(t.total_ns()),
+                if t.window_ns > 0 {
+                    format!(
+                        ", {} window(s) x {}",
+                        t.windows.len(),
+                        SimTime::from_nanos(t.window_ns)
+                    )
+                } else {
+                    String::new()
+                }
+            )?;
+            for p in fcache_types::Phase::ALL {
+                let i = p.index();
+                if t.phase_ns[i] == 0 {
+                    continue;
+                }
+                let (p50, p95, p99) = t.phase_hists[i].p50_p95_p99_us();
+                writeln!(
+                    f,
+                    "phase {:<13}{} over {} ops ({:.1}%), p50/p95/p99 {p50:.0} / {p95:.0} / {p99:.0} us",
+                    p.label(),
+                    SimTime::from_nanos(t.phase_ns[i]),
+                    t.phase_ops[i],
+                    100.0 * t.share(p)
                 )?;
             }
         }

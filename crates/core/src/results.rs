@@ -43,7 +43,9 @@ use crate::histogram::{HistogramSnapshot, BUCKETS};
 use crate::metrics::MetricsSnapshot;
 use crate::report::{ShardServiceStats, ShardStats, SimReport};
 use crate::robust::{FaultWindowStat, RobustnessStats};
+use crate::telemetry::{TelemetryStats, TelemetryWindow};
 use fcache_remote::RemoteStats;
+use fcache_types::Phase;
 
 /// Version stamped into every serialized result row. Bump it whenever the
 /// row layout changes shape; readers reject rows from other schemas
@@ -437,11 +439,65 @@ pub fn report_to_json(r: &SimReport) -> Json {
         .field("robustness", robustness_to_json(&r.robustness));
     // The shard section appears only when the run engaged the remote tier,
     // so single-filer rows keep their exact pre-remote encoding.
+    let mut j = j;
     if r.shard.engaged() {
-        j.field("shard", shard_to_json(&r.shard))
-    } else {
-        j
+        j = j.field("shard", shard_to_json(&r.shard));
     }
+    // The telemetry section likewise appears only when telemetry ran, so
+    // telemetry-off rows keep their exact earlier encoding.
+    if r.telemetry.engaged() {
+        j = j.field("telemetry", telemetry_to_json(&r.telemetry));
+    }
+    j
+}
+
+/// Telemetry: per-phase totals as fixed-order arrays (index =
+/// [`Phase::index`]), per-phase histograms in the sparse histogram
+/// encoding, and the unified window series as compact rows.
+fn telemetry_to_json(t: &TelemetryStats) -> Json {
+    Json::obj()
+        .field("spans", Json::U64(t.spans))
+        .field(
+            "phase_ns",
+            Json::Arr(t.phase_ns.iter().map(|&n| Json::U64(n)).collect()),
+        )
+        .field(
+            "phase_ops",
+            Json::Arr(t.phase_ops.iter().map(|&n| Json::U64(n)).collect()),
+        )
+        .field(
+            "phase_hists",
+            Json::Arr(t.phase_hists.iter().map(hist_to_json).collect()),
+        )
+        .field("window_ns", Json::U64(t.window_ns))
+        .field(
+            "windows",
+            Json::Arr(t.windows.iter().map(telemetry_window_to_json).collect()),
+        )
+}
+
+/// One unified window as a compact row:
+/// `[start, end, ops, read_blocks, write_blocks, hit_blocks, filer_blocks,
+/// latency_ns, retries, degraded_ns, dirty_num, dirty_den, depth_sum,
+/// depth_samples, [shard_live_ns…]]`.
+fn telemetry_window_to_json(w: &TelemetryWindow) -> Json {
+    Json::Arr(vec![
+        Json::U64(w.start_ns),
+        Json::U64(w.end_ns),
+        Json::U64(w.ops),
+        Json::U64(w.read_blocks),
+        Json::U64(w.write_blocks),
+        Json::U64(w.hit_blocks),
+        Json::U64(w.filer_blocks),
+        Json::U64(w.latency_ns),
+        Json::U64(w.retries),
+        Json::U64(w.degraded_ns),
+        Json::U64(w.dirty_num),
+        Json::U64(w.dirty_den),
+        Json::U64(w.depth_sum),
+        Json::U64(w.depth_samples),
+        Json::Arr(w.shard_live_ns.iter().map(|&n| Json::U64(n)).collect()),
+    ])
 }
 
 /// Remote-tier counters: topology, per-shard tallies (compact
@@ -662,6 +718,80 @@ pub fn report_from_json(v: &Json) -> Result<SimReport, String> {
             None | Some(Json::Null) => ShardStats::default(),
             Some(s) => shard_from_json(s)?,
         },
+        // Telemetry-off rows (and rows from earlier builds) decode to the
+        // disengaged default.
+        telemetry: match v.get("telemetry") {
+            None | Some(Json::Null) => TelemetryStats::default(),
+            Some(t) => telemetry_from_json(t)?,
+        },
+    })
+}
+
+fn telemetry_from_json(v: &Json) -> Result<TelemetryStats, String> {
+    fn phase_array(v: &Json, key: &str) -> Result<[u64; Phase::COUNT], String> {
+        let items = v
+            .get(key)
+            .and_then(Json::as_arr)
+            .filter(|a| a.len() == Phase::COUNT)
+            .ok_or_else(|| format!("telemetry {key} must be an array of {}", Phase::COUNT))?;
+        let mut out = [0u64; Phase::COUNT];
+        for (slot, item) in out.iter_mut().zip(items) {
+            *slot = item
+                .as_u64()
+                .ok_or_else(|| format!("invalid telemetry {key} entry"))?;
+        }
+        Ok(out)
+    }
+    let hists = v
+        .get("phase_hists")
+        .and_then(Json::as_arr)
+        .filter(|a| a.len() == Phase::COUNT)
+        .ok_or_else(|| format!("telemetry phase_hists must be an array of {}", Phase::COUNT))?;
+    let mut phase_hists: [HistogramSnapshot; Phase::COUNT] = Default::default();
+    for (slot, item) in phase_hists.iter_mut().zip(hists) {
+        *slot = hist_from_json(item)?;
+    }
+    Ok(TelemetryStats {
+        spans: u(v, "spans")?,
+        phase_ns: phase_array(v, "phase_ns")?,
+        phase_ops: phase_array(v, "phase_ops")?,
+        phase_hists,
+        window_ns: u(v, "window_ns")?,
+        windows: v
+            .get("windows")
+            .and_then(Json::as_arr)
+            .ok_or("missing/invalid telemetry windows")?
+            .iter()
+            .map(telemetry_window_from_json)
+            .collect::<Result<Vec<_>, _>>()?,
+    })
+}
+
+fn telemetry_window_from_json(v: &Json) -> Result<TelemetryWindow, String> {
+    let q = v.as_arr().filter(|a| a.len() == 15);
+    let q = q.ok_or("telemetry window must be a 15-element array")?;
+    let n = |i: usize| q[i].as_u64().ok_or("invalid telemetry window entry");
+    Ok(TelemetryWindow {
+        start_ns: n(0)?,
+        end_ns: n(1)?,
+        ops: n(2)?,
+        read_blocks: n(3)?,
+        write_blocks: n(4)?,
+        hit_blocks: n(5)?,
+        filer_blocks: n(6)?,
+        latency_ns: n(7)?,
+        retries: n(8)?,
+        degraded_ns: n(9)?,
+        dirty_num: n(10)?,
+        dirty_den: n(11)?,
+        depth_sum: n(12)?,
+        depth_samples: n(13)?,
+        shard_live_ns: q[14]
+            .as_arr()
+            .ok_or("invalid telemetry window shard_live_ns")?
+            .iter()
+            .map(|x| x.as_u64().ok_or("invalid shard_live_ns entry".to_string()))
+            .collect::<Result<Vec<_>, _>>()?,
     })
 }
 

@@ -45,6 +45,7 @@ use crate::host::{HostCtx, RemoteCtx};
 use crate::metrics::Metrics;
 use crate::report::SimReport;
 use crate::robust::{DegradedPolicy, FaultCtx, RobustnessState};
+use crate::telemetry::{SpanStream, TelemetryCtx, TelemetryStats};
 
 /// Error from a simulation run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -196,6 +197,18 @@ fn build_parts(config: &SimConfig, n_hosts: u16) -> SimParts {
         Rc::new(ShardedStore::new(router, filers, scheds))
     });
 
+    // Telemetry: one span stream per run (shared by every host, so rows
+    // land in global completion order) and a per-host collector. Built
+    // only when engaged, so the default run wires exactly the
+    // pre-telemetry object graph (PERF.md invariant 12).
+    let span_stream: Option<Rc<SpanStream>> = cfg.trace_out.as_ref().map(|path| {
+        Rc::new(
+            SpanStream::create(path)
+                .unwrap_or_else(|e| panic!("--trace-out {}: {e}", path.display())),
+        )
+    });
+    let telemetry_window_ns = cfg.telemetry_windows.map(|w| cfg.scaled_time(w).as_nanos());
+
     let hosts: Vec<Rc<HostCtx>> = (0..n_hosts)
         .map(|i| {
             // This host's view of the remote tier: one private segment per
@@ -320,6 +333,9 @@ fn build_parts(config: &SimConfig, n_hosts: u16) -> SimParts {
                 flushq: FlushQueue::new(),
                 fault: host_fault,
                 remote,
+                telemetry: cfg
+                    .telemetry_engaged()
+                    .then(|| Rc::new(TelemetryCtx::new(telemetry_window_ns, span_stream.clone()))),
             })
         })
         .collect();
@@ -564,6 +580,44 @@ fn run_and_collect(parts: &SimParts) -> Result<SimReport, SimError> {
             per_shard,
             remote: store.stats(end_ns),
         };
+    }
+    if hosts.iter().any(|h| h.telemetry.is_some()) {
+        let mut telem = TelemetryStats::default();
+        for h in hosts {
+            if let Some(t) = &h.telemetry {
+                t.fold_into(&mut telem);
+            }
+        }
+        // Per-window shard availability is global (one fault schedule per
+        // shard), filled once at collection rather than summed per host.
+        if telem.window_ns > 0 {
+            if let Some(store) = &parts.remote {
+                let spans: Vec<Vec<(u64, u64)>> = (0..store.router().shards())
+                    .map(|k| store.faults(k).outage_spans())
+                    .collect();
+                for w in &mut telem.windows {
+                    let (lo, hi) = (w.start_ns, w.end_ns);
+                    w.shard_live_ns = spans
+                        .iter()
+                        .map(|outages| {
+                            let down: u64 = outages
+                                .iter()
+                                .map(|&(s, e)| e.min(hi).saturating_sub(s.max(lo)))
+                                .sum();
+                            (hi - lo).saturating_sub(down)
+                        })
+                        .collect();
+                }
+            }
+        }
+        report.telemetry = telem;
+        // Final flush: every host shares one stream, flush it once.
+        if let Some(stream) = hosts
+            .iter()
+            .find_map(|h| h.telemetry.as_ref().and_then(|t| t.stream()))
+        {
+            stream.finish();
+        }
     }
 
     sim.shutdown();

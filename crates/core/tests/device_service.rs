@@ -188,7 +188,7 @@ fn depth_one_queue_services_concurrent_submitters_in_fifo_order() {
         let dev = Rc::clone(&dev);
         let order = Rc::clone(&order);
         sim.spawn(async move {
-            dev.read(addr(i)).await;
+            dev.read(addr(i), None).await;
             order.borrow_mut().push(i);
         });
     }
@@ -222,7 +222,7 @@ fn bounded_depth_applies_backpressure_and_wider_queues_overlap_service() {
         for i in 0..24u32 {
             let dev = Rc::clone(&dev);
             sim.spawn(async move {
-                dev.write(addr(i)).await;
+                dev.write(addr(i), None).await;
             });
         }
         sim.run().expect("run");
@@ -259,7 +259,7 @@ fn read_batch_services_blocks_sequentially_in_ssd_mode() {
     {
         let dev = Rc::clone(&dev);
         sim.spawn(async move {
-            dev.read_batch(&addrs).await;
+            dev.read_batch(&addrs, None).await;
         });
     }
     sim.run().expect("run");
@@ -293,9 +293,9 @@ fn flat_service_charges_exact_model_latencies_and_no_stats() {
     {
         let dev = Rc::clone(&dev);
         sim.spawn(async move {
-            dev.read(addr(0)).await;
-            dev.write(addr(1)).await;
-            dev.read_batch(&[addr(2), addr(3), addr(4)]).await;
+            dev.read(addr(0), None).await;
+            dev.write(addr(1), None).await;
+            dev.read_batch(&[addr(2), addr(3), addr(4)], None).await;
         });
     }
     sim.run().expect("run");

@@ -17,7 +17,8 @@ use fcache::{
     read_rows, report_from_json, report_to_json, row_to_json, scan_jsonl, Architecture,
     DeviceStatsSnapshot, FaultWindowStat, HistogramSnapshot, JsonlSink, MemorySink,
     MetricsSnapshot, RemoteStats, ResultRow, RobustnessStats, ShardServiceStats, ShardStats,
-    SimConfig, SimReport, Sweep, Workbench, WorkloadSpec, REPORT_SCHEMA,
+    SimConfig, SimReport, Sweep, TelemetryStats, TelemetryWindow, Workbench, WorkloadSpec,
+    REPORT_SCHEMA,
 };
 use fcache_cache::CacheStats;
 use fcache_des::SimTime;
@@ -205,6 +206,38 @@ fn report_from_words(words: &[u64]) -> SimReport {
                 },
             }
         },
+        telemetry: if w.next().is_multiple_of(2) {
+            // Disengaged half the time: the section must be omitted and
+            // decode back to the default.
+            TelemetryStats::default()
+        } else {
+            TelemetryStats {
+                spans: w.next(),
+                phase_ns: std::array::from_fn(|_| w.next()),
+                phase_ops: std::array::from_fn(|_| w.next()),
+                phase_hists: std::array::from_fn(|_| w.hist()),
+                window_ns: w.next(),
+                windows: (0..(w.next() % 3))
+                    .map(|_| TelemetryWindow {
+                        start_ns: w.next(),
+                        end_ns: w.next(),
+                        ops: w.next(),
+                        read_blocks: w.next(),
+                        write_blocks: w.next(),
+                        hit_blocks: w.next(),
+                        filer_blocks: w.next(),
+                        latency_ns: w.next(),
+                        retries: w.next(),
+                        degraded_ns: w.next(),
+                        dirty_num: w.next(),
+                        dirty_den: w.next(),
+                        depth_sum: w.next(),
+                        depth_samples: w.next(),
+                        shard_live_ns: (0..(w.next() % 3)).map(|_| w.next()).collect(),
+                    })
+                    .collect(),
+            }
+        },
     }
 }
 
@@ -314,6 +347,30 @@ fn golden_row_pins_the_schema() {
         ]),
         robustness: RobustnessStats::default(),
         shard: ShardStats::default(),
+        telemetry: TelemetryStats {
+            spans: 2,
+            phase_ns: [1200, 0, 0, 800, 500, 0, 0, 0],
+            phase_ops: [2, 0, 0, 1, 1, 0, 0, 0],
+            phase_hists: Default::default(),
+            window_ns: 1_000_000,
+            windows: vec![TelemetryWindow {
+                start_ns: 0,
+                end_ns: 1_000_000,
+                ops: 2,
+                read_blocks: 9,
+                write_blocks: 2,
+                hit_blocks: 6,
+                filer_blocks: 3,
+                latency_ns: 2500,
+                retries: 0,
+                degraded_ns: 0,
+                dirty_num: 1,
+                dirty_den: 4,
+                depth_sum: 0,
+                depth_samples: 2,
+                shard_live_ns: Vec::new(),
+            }],
+        },
     };
     let row = ResultRow {
         index: 4,
@@ -342,7 +399,10 @@ fn golden_row_pins_the_schema() {
         r#""device_windows":[{"start_io":0,"read_avg_us":92.5,"write_avg_us":21.0,"reads":7,"writes":3}],"#,
         r#""end_time_ns":2000000,"events":77,"flash_iolog":[["w",8],["r",8]],"#,
         r#""robustness":{"retries":0,"timeouts":0,"failed_ops":0,"queued_ops":0,"buffered_writes":0,"#,
-        r#""degraded_time_ns":0,"drain_events":0,"drain_depth_max":0,"drain_time_ns":0,"windows":[]}}}"#,
+        r#""degraded_time_ns":0,"drain_events":0,"drain_depth_max":0,"drain_time_ns":0,"windows":[]},"#,
+        r#""telemetry":{"spans":2,"phase_ns":[1200,0,0,800,500,0,0,0],"phase_ops":[2,0,0,1,1,0,0,0],"#,
+        r#""phase_hists":[[],[],[],[],[],[],[],[]],"window_ns":1000000,"#,
+        r#""windows":[[0,1000000,2,9,2,6,3,2500,0,0,1,4,0,2,[]]]}}}"#,
     );
     assert_eq!(row_to_json(&row).to_string(), golden);
     // And the golden string decodes back to the same row content.

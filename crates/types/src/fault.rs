@@ -152,7 +152,11 @@ fn fmt_time_ns(ns: u64) -> String {
     }
 }
 
-fn parse_time_ns(s: &str) -> Result<u64, String> {
+/// Parses a human duration (`"200us"`, `"1.5s"`, `"40ms"`, `"80ns"`) into
+/// nanoseconds. The unit suffix is mandatory; values round to the nearest
+/// nanosecond. Shared by fault-clause windows and the CLI's duration flags
+/// (`--windows`).
+pub fn parse_time_ns(s: &str) -> Result<u64, String> {
     let s = s.trim();
     let (num, mult) = if let Some(n) = s.strip_suffix("ns") {
         (n, 1.0)

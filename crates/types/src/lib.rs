@@ -26,18 +26,20 @@ pub mod ids;
 pub mod json;
 pub mod op;
 pub mod size;
+pub mod telemetry;
 pub mod trace;
 
 pub use block::{BlockAddr, BLOCK_SHIFT, BLOCK_SIZE};
 pub use fault::{
-    FaultClause, FaultDirection, FaultEffect, FaultError, FaultKind, FaultPlan, FaultSchedule,
-    FaultTarget, FaultWindow, ResolvedFaultSet, ResolvedWindow,
+    parse_time_ns, FaultClause, FaultDirection, FaultEffect, FaultError, FaultKind, FaultPlan,
+    FaultSchedule, FaultTarget, FaultWindow, ResolvedFaultSet, ResolvedWindow,
 };
 pub use fxhash::{mix64, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{FileId, HostId, ThreadId};
 pub use json::{Json, JsonError};
 pub use op::{OpKind, TraceOp};
 pub use size::ByteSize;
+pub use telemetry::Phase;
 pub use trace::{
     stream_stats, SliceSource, Trace, TraceMeta, TraceReader, TraceSource, TraceStats,
     TRACE_CHUNK_OPS,

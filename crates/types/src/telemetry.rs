@@ -1,0 +1,129 @@
+//! Wire vocabulary for the sim-time telemetry subsystem.
+//!
+//! An application operation's latency decomposes into a small fixed set of
+//! **phases** — where the nanoseconds went while the op was in flight.
+//! [`Phase`] names them; the simulator core attributes every awaited
+//! interval of an op to exactly one phase, so the per-phase durations sum
+//! exactly to the op's reported latency (PERF.md invariant 12). The enum
+//! lives here (not in the core crate) because span-stream rows and report
+//! sections serialize the phase labels: they are wire format, shared by
+//! the writer (core) and the analyzer (`fcsim trace`).
+
+/// One attribution bucket of an op-lifecycle span.
+///
+/// Discriminants are stable indices into fixed `[_; Phase::COUNT]` arrays;
+/// [`Phase::label`] is the stable wire name used in span-stream JSONL rows
+/// and serialized reports. Do not reorder without bumping the span-stream
+/// golden row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Phase {
+    /// RAM/unified cache probe and fill time (RAM model sleeps, hit
+    /// promotion, insertion charges).
+    CacheProbe = 0,
+    /// Waiting for a flash device queue slot (SSD timing only; the flat
+    /// model has no queue).
+    FlashQueue = 1,
+    /// Flash device service time (the flat per-block latency, or the SSD
+    /// model's drawn service time).
+    DeviceService = 2,
+    /// Network segment transfer legs (request and response packets).
+    Net = 3,
+    /// Filer service time (fast/slow reads, writes).
+    Filer = 4,
+    /// Waiting on a replica race: hedged-read completion and shard
+    /// failover waits.
+    Failover = 5,
+    /// Retry machinery: operation timeouts and backoff sleeps.
+    RetryBackoff = 6,
+    /// Parked in degraded mode waiting for an outage to clear.
+    DegradedPark = 7,
+}
+
+impl Phase {
+    /// Number of phases (the length of per-phase arrays).
+    pub const COUNT: usize = 8;
+
+    /// Every phase, in index order.
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::CacheProbe,
+        Phase::FlashQueue,
+        Phase::DeviceService,
+        Phase::Net,
+        Phase::Filer,
+        Phase::Failover,
+        Phase::RetryBackoff,
+        Phase::DegradedPark,
+    ];
+
+    /// Stable index into per-phase arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable wire name (the JSON key in span rows and report sections).
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::CacheProbe => "cache_probe",
+            Phase::FlashQueue => "flash_queue",
+            Phase::DeviceService => "device_service",
+            Phase::Net => "net",
+            Phase::Filer => "filer",
+            Phase::Failover => "failover",
+            Phase::RetryBackoff => "retry_backoff",
+            Phase::DegradedPark => "degraded_park",
+        }
+    }
+
+    /// Inverse of [`Phase::label`] (the analyzer's decode path).
+    pub fn from_label(s: &str) -> Option<Phase> {
+        Phase::ALL.into_iter().find(|p| p.label() == s)
+    }
+
+    /// Phase at a stable index (inverse of [`Phase::index`]).
+    pub fn from_index(i: usize) -> Option<Phase> {
+        Phase::ALL.get(i).copied()
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_stable_and_dense() {
+        for (i, p) in Phase::ALL.into_iter().enumerate() {
+            assert_eq!(p.index(), i);
+            assert_eq!(Phase::from_index(i), Some(p));
+        }
+        assert_eq!(Phase::ALL.len(), Phase::COUNT);
+        assert_eq!(Phase::from_index(Phase::COUNT), None);
+    }
+
+    #[test]
+    fn labels_roundtrip_and_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for p in Phase::ALL {
+            assert!(seen.insert(p.label()), "duplicate label {}", p.label());
+            assert_eq!(Phase::from_label(p.label()), Some(p));
+        }
+        assert_eq!(Phase::from_label("bogus"), None);
+    }
+
+    #[test]
+    fn labels_are_snake_case_wire_names() {
+        for p in Phase::ALL {
+            assert!(p
+                .label()
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '_'));
+            assert_eq!(p.to_string(), p.label());
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Where does a read's latency actually go? Flat vs queue-aware SSD
+//! timing, dissected by the telemetry phase attribution.
+//!
+//! The same workload runs twice: once with the paper's flat Table 1
+//! flash latencies and once with the behavioral SSD model behind its
+//! bounded service queue (`--flash-timing ssd`, PR 3). The report's
+//! telemetry section splits every measured op's latency across the
+//! eight lifecycle phases — exactly (the phases of each span sum to its
+//! latency), so the two runs' phase tables explain the SSD mode's
+//! ~1.2–1.3× read-latency overhead rather than just asserting it: the
+//! added time is `device_service` (locality- and fill-dependent draws
+//! replacing the 88 µs constant) plus a new `flash_queue` wait whenever
+//! the device saturates.
+//!
+//! Telemetry is engaged in-memory (`telemetry_windows`), no span file
+//! needed — and engaging it changes nothing else (PERF.md invariant 12).
+//!
+//! Run with: `cargo run --release --example latency_anatomy [scale]`
+
+use fcache::{FlashTiming, SimConfig, TelemetryStats, Workbench, WorkloadSpec};
+use fcache_device::{SimTime, SsdConfig};
+use fcache_types::Phase;
+
+fn phase_table(t: &TelemetryStats) {
+    println!(
+        "  {:<15} {:>12} {:>9} {:>7} {:>9} {:>9} {:>9}",
+        "phase", "total", "ops", "share", "p50 us", "p95 us", "p99 us"
+    );
+    for p in Phase::ALL {
+        let (ns, ops) = (t.phase_ns[p.index()], t.phase_ops[p.index()]);
+        if ops == 0 {
+            continue;
+        }
+        let (p50, p95, p99) = t.phase_hists[p.index()].p50_p95_p99_us();
+        println!(
+            "  {:<15} {:>12} {:>9} {:>6.1}% {:>9.1} {:>9.1} {:>9.1}",
+            p.label(),
+            SimTime::from_nanos(ns).to_string(),
+            ops,
+            100.0 * t.share(p),
+            p50,
+            p95,
+            p99,
+        );
+    }
+}
+
+fn main() {
+    let scale: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("scale"))
+        .unwrap_or(512);
+    let wb = Workbench::new(scale, 42);
+    let spec = WorkloadSpec::baseline_60g();
+
+    println!("60 GB working set, scale 1/{scale}: flat vs ssd flash timing\n");
+
+    let mut walls = Vec::new();
+    for (name, timing) in [
+        ("flat", FlashTiming::Flat),
+        ("ssd", FlashTiming::Ssd(SsdConfig::auto())),
+    ] {
+        let cfg = SimConfig {
+            flash_timing: timing,
+            // 10 s (paper-scale) unified windows engage telemetry without
+            // writing a span file.
+            telemetry_windows: Some(SimTime::from_micros(10_000_000)),
+            ..SimConfig::baseline()
+        };
+        let report = wb
+            .scenario(&cfg, &spec)
+            .run()
+            .unwrap_or_else(|e| panic!("{name} run: {e}"));
+        let t = &report.telemetry;
+        assert!(t.spans > 0, "telemetry must have recorded spans");
+        println!(
+            "{name}: {:.1} us/block read, {} spans, {} attributed",
+            report.read_latency_us(),
+            t.spans,
+            SimTime::from_nanos(t.total_ns()),
+        );
+        phase_table(t);
+        println!();
+        walls.push(report.read_latency_us());
+    }
+
+    println!(
+        "ssd / flat read latency: {:.2}x — the extra time is the phases\n\
+         only the ssd run has: device_service draws above the flat 88 us\n\
+         constant, plus flash_queue waits when the device saturates.",
+        walls[1] / walls[0].max(1e-9),
+    );
+}
