@@ -27,7 +27,10 @@ use fcache_bench::{
 use fcache_cache::{BlockCache, LruList, UnifiedCache};
 use fcache_des::{Sim, SimTime};
 use fcache_device::{IoLog, SsdConfig};
-use fcache_types::{BlockAddr, ByteSize, FaultPlan, FileId, HostId, TraceOp, TraceReader};
+use fcache_fleet::{Fleet, FleetSpec};
+use fcache_types::{
+    BlockAddr, ByteSize, FaultPlan, FileId, FleetTopology, HostId, TraceOp, TraceReader,
+};
 
 /// The pre-refactor cache hot path, reconstructed for comparison: SipHash
 /// `HashMap` keyed map plus a *separate* SipHash `HashSet` for dirtiness —
@@ -417,6 +420,64 @@ fn main() {
             .map(|n| n.get())
             .unwrap_or(1) as f64,
         "threads",
+    );
+
+    // Fleet throughput: 1000 hosts in 100-host cells on shared wires
+    // (fan-in 4), one DES job per cell through the in-process fleet path.
+    // Deeper scaling than the single-host benches keeps this smoke-speed;
+    // the metric is simulated blocks across all cells per wall second.
+    let fleet_scale = scale.max(4096);
+    let fleet = Fleet::new(
+        SimConfig {
+            ram_size: ByteSize::gib(8),
+            flash_size: ByteSize::gib(32),
+            ..SimConfig::baseline()
+        },
+        FleetSpec {
+            hosts: 1000,
+            cell_hosts: 100,
+            hosts_per_segment: 4,
+            workload: WorkloadSpec {
+                working_set: ByteSize::gib(32),
+                seed: 7,
+                ..WorkloadSpec::default()
+            },
+            scale: fleet_scale,
+        },
+    );
+    let t0 = Instant::now();
+    let summary = fleet.run().expect("fleet run").summary();
+    let fleet_wall = t0.elapsed().as_secs_f64();
+    assert!(summary.hosts == 1000 && summary.queue_waits > 0);
+    res.push(
+        "fleet_1k_hosts_ops_per_sec",
+        (summary.metrics.read_blocks + summary.metrics.write_blocks) as f64 / fleet_wall.max(1e-9),
+        "blocks/s",
+    );
+
+    // Invariant 13's price tag: a one-host fleet cell is the pre-fleet
+    // engine plus per-host metric sinks and the fleet fold, so the wall
+    // ratio to the plain run on the same trace should hover near 1.
+    let layered_fleet = SimConfig {
+        fleet: Some(FleetTopology {
+            cell: 0,
+            cells: 1,
+            host_base: 0,
+            fleet_hosts: 1,
+            hosts_per_segment: 1,
+        }),
+        ..SimConfig::baseline()
+    };
+    let t0 = Instant::now();
+    let r = wb
+        .run_with_trace(&layered_fleet, &trace)
+        .expect("fleet-engaged run");
+    let fleet1_wall = t0.elapsed().as_secs_f64();
+    assert!(r.fleet.engaged());
+    res.push(
+        "fleet_overhead_vs_single_host",
+        fleet1_wall / layered_wall.max(1e-9),
+        "x",
     );
 
     let out = std::env::var("FCACHE_BENCH_OUT").unwrap_or_else(|_| "BENCH_micro.json".into());

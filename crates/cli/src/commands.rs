@@ -3,13 +3,15 @@
 use std::error::Error;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+use std::path::Path;
 
 use fcache::{
     chrome_trace, read_rows, read_span_rows, Architecture, DecodedRow, DegradedPolicy, FlashTiming,
-    JsonlSink, LatencyHistogram, MemorySink, ResultSink, Scenario, SimConfig, SpanRow, Sweep,
-    Workbench, Workload, WorkloadSpec, WritebackPolicy, REPORT_SCHEMA,
+    HistogramSnapshot, JsonlSink, LatencyHistogram, MemorySink, ResultSink, Scenario, SimConfig,
+    SpanRow, Sweep, Workbench, Workload, WorkloadSpec, WritebackPolicy, REPORT_SCHEMA,
 };
 use fcache_device::{SimTime, SsdConfig};
+use fcache_fleet::{worker_part_path, Fleet, FleetSpec, FleetSummary};
 use fcache_types::{stream_stats, ByteSize, FaultPlan, Phase, TraceReader, TraceSource};
 
 use crate::args::{ArgError, Flags};
@@ -22,6 +24,10 @@ fcsim — client-side flash-cache simulator (USENIX ATC '13 reproduction)
 USAGE:
   fcsim run [flags]          run one configuration against a generated workload
   fcsim sweep [flags]        run a config sweep in parallel (see SWEEP FLAGS)
+  fcsim fleet [flags]        run a fleet of hosts as cells on a shared backend
+                             and merge fleet-level percentiles (see FLEET
+                             FLAGS); --procs P fans the cells out across P
+                             worker OS processes
   fcsim report FILE          summarize a JSONL results file written by
                              `sweep --out` (schema check + metrics table)
   fcsim table1               print the Table 1 timing parameters
@@ -54,6 +60,27 @@ SWEEP FLAGS (in addition to the common/workload flags):
                                    line a killed run leaves) and append the
                                    rest — the final row set matches an
                                    uninterrupted run
+
+FLEET FLAGS (in addition to the common/workload flags):
+  --hosts N                        total fleet hosts          [1000]
+  --cell-hosts N                   hosts per cell — one cell is one
+                                   deterministic DES job and one result
+                                   row                        [100]
+  --fanin N                        hosts sharing each half-duplex uplink
+                                   (queuing on the shared wire) [4]
+  --procs P                        worker OS processes; cells are dealt
+                                   round-robin across workers [1]
+  --threads N                      worker threads per process (0 = auto) [0]
+  --out FILE                       merged per-cell rows; worker K streams to
+                                   FILE.K and the coordinator merges the
+                                   parts in cell order. The merged FILE is
+                                   byte-identical for any --procs P.
+  --resume                         with --out: finish only the cells missing
+                                   from surviving FILE.K parts, then remerge
+  --worker K                       internal: run as worker K of --procs
+                                   (the coordinator spawns these)
+  Fleet runs default to --scale 4096; per-cell seeds and workloads are
+  derived from --seed, so results do not depend on --procs or --threads.
 
 COMMON FLAGS (run / replay):
   --arch naive|lookaside|unified   cache architecture        [naive]
@@ -119,6 +146,7 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
         }
         Some("run") => cmd_run(&argv[1..]),
         Some("sweep") => cmd_sweep(&argv[1..]),
+        Some("fleet") => cmd_fleet(&argv[1..]),
         Some("report") => cmd_report(&argv[1..]),
         Some("table1") => cmd_table1(),
         Some("gen-trace") => cmd_gen_trace(&argv[1..]),
@@ -163,6 +191,10 @@ const CFG_FLAGS: &[&str] = &[
     "hedge",
     "windows",
     "trace-out",
+    "cell-hosts",
+    "fanin",
+    "procs",
+    "worker",
 ];
 const CFG_BOOLS: &[&str] = &[
     "persistent",
@@ -615,6 +647,160 @@ fn cmd_sweep(args: &[String]) -> CmdResult {
     Ok(())
 }
 
+/// Runs a fleet of hosts as deterministic cells against a shared backend,
+/// optionally fanned out across worker OS processes.
+///
+/// Three modes share one entry point:
+/// - no `--out`: run every cell in this process and print the summary;
+/// - `--out` (coordinator): run the cells (in-process at `--procs 1`,
+///   else by spawning `--worker K` children of this same binary), then
+///   merge the per-worker part files into the canonical cell-ordered
+///   FILE — byte-identical for any process count;
+/// - `--out --worker K` (internal): run worker K's cells into FILE.K.
+fn cmd_fleet(args: &[String]) -> CmdResult {
+    let flags = Flags::parse(args, CFG_FLAGS, CFG_BOOLS)?;
+    // Paper-scale fleets are huge; default deeper scaling than run/sweep.
+    let scale: u64 = flags.get_parsed("scale", 4096u64)?;
+    let base = config_from(&flags)?;
+    // In a fleet, --hosts is the fleet size; the per-cell host count in
+    // the workload template is derived by the plan, so reuse spec_from's
+    // parse and override the default.
+    let template = spec_from(&flags)?;
+    let hosts: u32 = match flags.get("hosts") {
+        Some(_) => u32::from(template.hosts),
+        None => 1000,
+    };
+    let cell_hosts: u16 = flags.get_parsed("cell-hosts", 100u16)?;
+    let fanin: u16 = flags.get_parsed("fanin", 4u16)?;
+    for (flag, v) in [
+        ("hosts", u64::from(hosts)),
+        ("cell-hosts", u64::from(cell_hosts)),
+        ("fanin", u64::from(fanin)),
+    ] {
+        if v == 0 {
+            return Err(Box::new(ArgError(format!("--{flag} must be at least 1"))));
+        }
+    }
+    let procs: u32 = flags.get_parsed("procs", 1u32)?;
+    if procs == 0 {
+        return Err(Box::new(ArgError("--procs must be at least 1".into())));
+    }
+    let threads: usize = match flags.get("threads") {
+        Some(_) => flags.get_parsed("threads", 0usize)?,
+        None => flags.get_parsed("jobs", 0usize)?,
+    };
+    let out = flags.get("out");
+    if flags.has("resume") && out.is_none() {
+        return Err(Box::new(ArgError("--resume requires --out FILE".into())));
+    }
+
+    let fleet = Fleet::new(
+        base,
+        FleetSpec {
+            hosts,
+            cell_hosts,
+            hosts_per_segment: fanin,
+            workload: template,
+            scale,
+        },
+    )
+    .threads(threads);
+    let plan = fleet.plan();
+
+    // Worker mode: run this worker's cells into the part file and exit.
+    if flags.get("worker").is_some() {
+        let worker: u32 = flags.get_parsed("worker", 0u32)?;
+        if worker >= procs {
+            return Err(Box::new(ArgError(format!(
+                "--worker {worker} must be below --procs {procs}"
+            ))));
+        }
+        let out = out.ok_or_else(|| ArgError("--worker requires --out FILE".into()))?;
+        let r = fleet.run_worker(Path::new(out), procs, worker, flags.has("resume"))?;
+        eprintln!(
+            "# worker {worker}/{procs}: {} cells ({} run, {} resumed) -> {}",
+            r.cells,
+            r.completed,
+            r.resumed,
+            worker_part_path(Path::new(out), worker).display()
+        );
+        return Ok(());
+    }
+
+    eprintln!(
+        "# fleet: {hosts} hosts in {} cells of <= {cell_hosts} (fan-in {fanin}), scale 1/{scale}",
+        plan.cells()
+    );
+    let t0 = std::time::Instant::now();
+    let Some(path) = out else {
+        if procs > 1 {
+            return Err(Box::new(ArgError(
+                "--procs > 1 requires --out FILE (workers stream rows to FILE.<k>)".into(),
+            )));
+        }
+        let summary = fleet.run()?.summary();
+        print!("{summary}");
+        eprintln!(
+            "# {} cells in {:.2}s (1 process)",
+            plan.cells(),
+            t0.elapsed().as_secs_f64()
+        );
+        return Ok(());
+    };
+
+    if procs == 1 {
+        // Same part-file + merge path as the multi-process form, so the
+        // durable FILE is identical however many workers produced it.
+        let r = fleet.run_worker(Path::new(path), 1, 0, flags.has("resume"))?;
+        if r.resumed > 0 {
+            eprintln!(
+                "# resuming: {} of {} cells already done",
+                r.resumed, r.cells
+            );
+        }
+    } else {
+        // Coordinator: re-invoke this binary once per worker with the
+        // original flags plus `--worker K`. A failed or killed worker
+        // fails the whole run *without* merging — its part file keeps
+        // every row it flushed, so `--resume` finishes the remainder.
+        let exe = std::env::current_exe()?;
+        let mut children = Vec::new();
+        for k in 0..procs {
+            let child = std::process::Command::new(&exe)
+                .arg("fleet")
+                .args(args)
+                .arg("--worker")
+                .arg(k.to_string())
+                .spawn()?;
+            children.push((k, child));
+        }
+        let mut failed = Vec::new();
+        for (k, mut child) in children {
+            if !child.wait()?.success() {
+                failed.push(k.to_string());
+            }
+        }
+        if !failed.is_empty() {
+            return Err(format!(
+                "fleet worker(s) {} failed; completed cells are preserved in the part \
+                 files — rerun with --resume to finish the rest",
+                failed.join(", ")
+            )
+            .into());
+        }
+    }
+    let rows = fleet.merge_parts(Path::new(path), procs)?;
+    let wall = t0.elapsed();
+    print!("{}", FleetSummary::from_rows(&rows));
+    eprintln!("# {} rows in {path} (schema {REPORT_SCHEMA})", rows.len());
+    eprintln!(
+        "# {} cells in {:.2}s ({procs} process(es))",
+        plan.cells(),
+        wall.as_secs_f64()
+    );
+    Ok(())
+}
+
 /// Renders decoded result rows as the standard metrics table.
 fn print_rows_table(rows: &[DecodedRow]) {
     let label_w = rows
@@ -699,6 +885,30 @@ fn cmd_report(args: &[String]) -> CmdResult {
             sum(|r| r.hedges_won),
             sum(|r| r.hedges_cancelled),
             sum(|r| r.re_replicated_blocks),
+        );
+    }
+    // Aggregate latency distribution across every row, merged bucket-wise
+    // so the percentiles are those of the pooled sample population (the
+    // same fold the fleet summary uses), not an average of per-row
+    // percentiles.
+    let merge = |f: fn(&fcache::MetricsSnapshot) -> &HistogramSnapshot| -> HistogramSnapshot {
+        rows.iter().fold(HistogramSnapshot::default(), |acc, r| {
+            acc.merged(f(&r.report.metrics))
+        })
+    };
+    let (reads, writes) = (merge(|m| &m.read_hist), merge(|m| &m.write_hist));
+    if reads.count() > 0 || writes.count() > 0 {
+        let fmt = |h: HistogramSnapshot| {
+            let (p50, p95, p99) = h.p50_p95_p99_us();
+            format!("p50/p95/p99 {p50:.0}/{p95:.0}/{p99:.0} us")
+        };
+        println!(
+            "# latency: read {} ({} ops), write {} ({} ops), pooled across {} rows",
+            fmt(reads),
+            reads.count(),
+            fmt(writes),
+            writes.count(),
+            rows.len(),
         );
     }
     Ok(())
@@ -1310,6 +1520,111 @@ mod tests {
     #[test]
     fn sweep_resume_requires_out() {
         assert!(dispatch(&argv(&["sweep", "--resume"])).is_err());
+    }
+
+    #[test]
+    fn fleet_out_merges_cells_and_worker_parts_reproduce_it() {
+        let dir = std::env::temp_dir();
+        let single = dir.join("fcsim_test_fleet_single.jsonl");
+        let multi = dir.join("fcsim_test_fleet_multi.jsonl");
+        let single_s = single.to_str().unwrap().to_string();
+        let multi_s = multi.to_str().unwrap().to_string();
+        let fleet_args = |extra: &[&str]| {
+            let mut a = argv(&[
+                "fleet",
+                "--scale",
+                "16384",
+                "--ws",
+                "16G",
+                "--seed",
+                "9",
+                "--hosts",
+                "12",
+                "--cell-hosts",
+                "4",
+                "--fanin",
+                "2",
+            ]);
+            a.extend(argv(extra));
+            a
+        };
+
+        // One process, durable output: one row per cell, merged in cell
+        // order through the same part-file path multi-process runs use.
+        dispatch(&fleet_args(&["--out", &single_s])).unwrap();
+        let text = std::fs::read_to_string(&single).unwrap();
+        assert_eq!(text.lines().count(), 3, "one row per cell:\n{text}");
+        assert!(text.lines().all(|l| l.contains("\"schema\":1")));
+        assert!(text.contains("\"label\":\"cell 0/3 hosts 0..4\""), "{text}");
+        assert!(text.contains("\"fleet_cells\":3"), "{text}");
+
+        // The report subcommand reads fleet rows like any results file
+        // (and now carries the pooled `# latency:` aggregate).
+        dispatch(&argv(&["report", &single_s])).unwrap();
+
+        // A complete fleet resumes to a no-op: the bytes are untouched.
+        dispatch(&fleet_args(&["--out", &single_s, "--resume"])).unwrap();
+        assert_eq!(std::fs::read_to_string(&single).unwrap(), text);
+
+        // Worker mode (run in-process here; the coordinator spawns these
+        // as child processes): two workers split the cells, and merging
+        // their parts yields the byte-identical single-process file.
+        dispatch(&fleet_args(&[
+            "--out", &multi_s, "--procs", "2", "--worker", "0",
+        ]))
+        .unwrap();
+        dispatch(&fleet_args(&[
+            "--out", &multi_s, "--procs", "2", "--worker", "1",
+        ]))
+        .unwrap();
+        let base = SimConfig {
+            seed: 9,
+            ..SimConfig::baseline()
+        };
+        let fleet = fcache_fleet::Fleet::new(
+            base,
+            fcache_fleet::FleetSpec {
+                hosts: 12,
+                cell_hosts: 4,
+                hosts_per_segment: 2,
+                workload: WorkloadSpec {
+                    working_set: ByteSize::gib(16),
+                    seed: 9,
+                    ..WorkloadSpec::default()
+                },
+                scale: 16384,
+            },
+        );
+        let rows = fleet.merge_parts(&multi, 2).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(
+            std::fs::read_to_string(&multi).unwrap(),
+            text,
+            "2-process merged file must be byte-identical to the 1-process file"
+        );
+        for p in [&single, &multi] {
+            let _ = std::fs::remove_file(p);
+        }
+        for k in 0..2 {
+            let _ = std::fs::remove_file(worker_part_path(&single, k));
+            let _ = std::fs::remove_file(worker_part_path(&multi, k));
+        }
+    }
+
+    #[test]
+    fn fleet_rejects_bad_flags() {
+        for bad in [
+            &["fleet", "--procs", "0"][..],
+            &["fleet", "--fanin", "0"][..],
+            &["fleet", "--cell-hosts", "0"][..],
+            &["fleet", "--hosts", "0"][..],
+            &["fleet", "--resume"][..],
+            &["fleet", "--procs", "2"][..], // multi-process needs --out
+            &["fleet", "--worker", "0"][..], // worker needs --out
+            &["fleet", "--worker", "2", "--procs", "2", "--out", "x"][..],
+        ] {
+            assert!(dispatch(&argv(bad)).is_err(), "{bad:?} should be rejected");
+        }
     }
 
     #[test]

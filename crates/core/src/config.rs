@@ -4,7 +4,7 @@ use fcache_cache::EvictionPolicy;
 use fcache_device::{FlashModel, RamModel, SsdConfig};
 use fcache_filer::FilerConfig;
 use fcache_net::NetConfig;
-use fcache_types::{ByteSize, FaultPlan};
+use fcache_types::{ByteSize, FaultPlan, FleetTopology};
 
 use crate::arch::Architecture;
 use crate::policy::WritebackPolicy;
@@ -149,6 +149,13 @@ pub struct SimConfig {
     /// Engaging telemetry never changes simulation results (PERF.md
     /// invariant 12) — only what gets observed.
     pub telemetry_windows: Option<fcache_des::SimTime>,
+    /// Fleet placement of this run: which cell of how many, the global
+    /// host ids it covers, and the network fan-in (hosts per shared
+    /// segment). `None` — the default — keeps the pre-fleet engine:
+    /// private per-host segments, one shared metrics sink (PERF.md
+    /// invariant 13). `Some` engages per-host metrics, fan-in-grouped
+    /// shared segments, and the report's `fleet` section.
+    pub fleet: Option<FleetTopology>,
     /// Span-stream output path: one JSONL row per completed measured op,
     /// in completion order (see `crate::telemetry`). `None` (default)
     /// disables the stream. Each run needs its own path — the CLI's sweep
@@ -189,6 +196,7 @@ impl Default for SimConfig {
             fault_plan: FaultPlan::default(),
             robustness: RobustnessConfig::default(),
             telemetry_windows: None,
+            fleet: None,
             trace_out: None,
             seed: 0xcafe_f00d,
         }
@@ -258,6 +266,19 @@ impl SimConfig {
     /// `None`, the literal pre-telemetry code path.
     pub fn telemetry_engaged(&self) -> bool {
         self.telemetry_windows.is_some() || self.trace_out.is_some()
+    }
+
+    /// Whether this run is a fleet cell: per-host metrics, fan-in-grouped
+    /// shared network segments, and a `fleet` report section. Off — the
+    /// default — is the literal pre-fleet engine (PERF.md invariant 13).
+    pub fn fleet_engaged(&self) -> bool {
+        self.fleet.is_some()
+    }
+
+    /// Hosts sharing one network segment: the fleet topology's fan-in, or
+    /// 1 (private per-host segments) outside a fleet.
+    pub fn net_fanin(&self) -> u16 {
+        self.fleet.as_ref().map_or(1, FleetTopology::fanin)
     }
 
     /// RAM capacity in 4 KB blocks.
@@ -334,6 +355,9 @@ impl SimConfig {
                 self.fault_plan.describe(),
                 self.robustness.degraded.label()
             ));
+        }
+        if let Some(fleet) = &self.fleet {
+            out.push_str(&format!("Fleet cell                {fleet}\n"));
         }
         out
     }
@@ -464,6 +488,28 @@ mod tests {
             "{t}"
         );
         assert!(t.contains("hedge after"), "{t}");
+    }
+
+    #[test]
+    fn fleet_engagement_and_table_line() {
+        let base = SimConfig::baseline();
+        assert!(!base.fleet_engaged());
+        assert_eq!(base.net_fanin(), 1);
+        assert!(!base.timing_table().contains("Fleet cell"));
+        let cell = SimConfig {
+            fleet: Some(FleetTopology {
+                cell: 1,
+                cells: 4,
+                host_base: 256,
+                fleet_hosts: 1024,
+                hosts_per_segment: 16,
+            }),
+            ..SimConfig::baseline()
+        };
+        assert!(cell.fleet_engaged());
+        assert_eq!(cell.net_fanin(), 16);
+        let t = cell.timing_table();
+        assert!(t.contains("Fleet cell") && t.contains("cell 1/4"), "{t}");
     }
 
     #[test]

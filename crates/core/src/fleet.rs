@@ -1,0 +1,202 @@
+//! Fleet planning: carving a host population into simulation cells.
+//!
+//! A fleet-scale run simulates thousands of client hosts against shared
+//! backends. One discrete-event simulation holding every host would
+//! serialize the whole fleet through a single event loop, so a fleet is
+//! partitioned into **cells**: contiguous slices of `cell_hosts` hosts,
+//! each cell one independent simulation job (its own filer or sharded
+//! store, its own shared network segments, its own trace). Cells are the
+//! unit of parallelism — across threads within one process, and across
+//! worker processes under the `fcsim fleet` coordinator.
+//!
+//! Everything here is pure planning arithmetic: given a [`FleetPlan`],
+//! any process can derive cell `c`'s configuration, workload, and label
+//! from the base config alone. That purity is what makes the
+//! multi-process mode exact — a fleet run across `P` processes produces
+//! bit-identical rows to the same fleet in one process, because every
+//! per-cell input is a function of `(base, c)` and never of which
+//! process computed it (pinned by `tests/fleet.rs` and the CI fleet
+//! smoke).
+//!
+//! The heavy lifting — running cells, merging worker row files, folding
+//! fleet-level percentiles — lives in the `fcache-fleet` crate; this
+//! module is the part the engine itself needs (and the part core tests
+//! exercise without a dependency cycle).
+
+use fcache_types::{mix64, FleetTopology};
+
+use crate::config::SimConfig;
+use crate::experiment::WorkloadSpec;
+
+/// Seed-derivation tags: cell seeds are `mix64(base ^ (cell << 32) ^ TAG)`,
+/// one tag per stream, mirroring the engine's per-host net/device/fault
+/// derivations. Distinct tags keep the config and trace streams
+/// uncorrelated even though both start from the user's one seed.
+const CELL_CFG_TAG: u64 = 0xf1ee_fa17_0000_0005;
+const CELL_TRACE_TAG: u64 = 0x7ace_fa17_0000_0005;
+
+/// A fleet's shape: how many hosts, how they group into cells, and how
+/// many hosts share each network segment within a cell.
+///
+/// The plan is pure data; [`FleetPlan::topology`],
+/// [`FleetPlan::cell_config`], and [`FleetPlan::cell_spec`] derive each
+/// cell's inputs deterministically from it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FleetPlan {
+    /// Total host population.
+    pub hosts: u32,
+    /// Hosts per cell (the last cell takes the remainder).
+    pub cell_hosts: u16,
+    /// Hosts sharing one network segment within a cell (fan-in); 1 keeps
+    /// the classic private-segment wiring.
+    pub hosts_per_segment: u16,
+}
+
+impl FleetPlan {
+    /// A plan with validated shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` or `cell_hosts` is zero.
+    pub fn new(hosts: u32, cell_hosts: u16, hosts_per_segment: u16) -> Self {
+        assert!(hosts > 0, "a fleet needs at least one host");
+        assert!(cell_hosts > 0, "cells need at least one host");
+        Self {
+            hosts,
+            cell_hosts,
+            hosts_per_segment,
+        }
+    }
+
+    /// Number of cells (the last may hold fewer than `cell_hosts`).
+    pub fn cells(&self) -> u32 {
+        self.hosts.div_ceil(u32::from(self.cell_hosts))
+    }
+
+    /// Global id of cell `cell`'s first host.
+    pub fn host_base(&self, cell: u32) -> u32 {
+        cell * u32::from(self.cell_hosts)
+    }
+
+    /// Host count of cell `cell` (the remainder for the last cell).
+    pub fn cell_hosts_of(&self, cell: u32) -> u16 {
+        let base = self.host_base(cell);
+        let span = self.hosts.saturating_sub(base);
+        span.min(u32::from(self.cell_hosts)) as u16
+    }
+
+    /// The topology record cell `cell` carries in its configuration.
+    pub fn topology(&self, cell: u32) -> FleetTopology {
+        FleetTopology {
+            cell,
+            cells: self.cells(),
+            host_base: self.host_base(cell),
+            fleet_hosts: self.hosts,
+            hosts_per_segment: self.hosts_per_segment,
+        }
+    }
+
+    /// Cell `cell`'s configuration: the base config with the fleet
+    /// topology attached and a per-cell seed derived from the base seed,
+    /// so cells see distinct (but reproducible) net/device/fault
+    /// randomness.
+    pub fn cell_config(&self, base: &SimConfig, cell: u32) -> SimConfig {
+        let mut cfg = base.clone();
+        cfg.fleet = Some(self.topology(cell));
+        cfg.seed = mix64(base.seed ^ (u64::from(cell) << 32) ^ CELL_CFG_TAG);
+        cfg
+    }
+
+    /// Cell `cell`'s workload: the template spec resized to the cell's
+    /// host count, with a per-cell trace seed so cells replay distinct
+    /// traces of the same statistical workload.
+    pub fn cell_spec(&self, template: &WorkloadSpec, cell: u32) -> WorkloadSpec {
+        let mut spec = template.clone();
+        spec.hosts = self.cell_hosts_of(cell);
+        spec.seed = mix64(template.seed ^ (u64::from(cell) << 32) ^ CELL_TRACE_TAG);
+        spec
+    }
+
+    /// Cell `cell`'s job label (unique within the fleet — the resume key
+    /// for fleet results files).
+    pub fn cell_label(&self, cell: u32) -> String {
+        let base = self.host_base(cell);
+        format!(
+            "cell {cell}/{} hosts {base}..{}",
+            self.cells(),
+            base + u32::from(self.cell_hosts_of(cell)),
+        )
+    }
+
+    /// The cells worker `worker` of `procs` owns: a strided partition
+    /// (`cell % procs == worker`), so every cell belongs to exactly one
+    /// worker and `procs = 1` owns them all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs` is zero or `worker` is out of range.
+    pub fn worker_cells(&self, procs: u32, worker: u32) -> Vec<u32> {
+        assert!(procs > 0, "at least one worker process");
+        assert!(worker < procs, "worker {worker} out of range for {procs}");
+        (0..self.cells()).filter(|c| c % procs == worker).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_cover_hosts_exactly_once() {
+        let plan = FleetPlan::new(1000, 96, 8);
+        assert_eq!(plan.cells(), 11); // 10 × 96 + 40
+        let mut total = 0u32;
+        for c in 0..plan.cells() {
+            assert_eq!(plan.host_base(c), total);
+            total += u32::from(plan.cell_hosts_of(c));
+        }
+        assert_eq!(total, 1000);
+        assert_eq!(plan.cell_hosts_of(10), 40); // the remainder cell
+        let t = plan.topology(10);
+        assert_eq!(t.host_base, 960);
+        assert_eq!(t.fleet_hosts, 1000);
+        assert_eq!(t.hosts_per_segment, 8);
+    }
+
+    #[test]
+    fn worker_partition_is_exact() {
+        let plan = FleetPlan::new(512, 64, 4);
+        let cells = plan.cells();
+        for procs in [1u32, 2, 3] {
+            let mut seen = vec![0u32; cells as usize];
+            for w in 0..procs {
+                for c in plan.worker_cells(procs, w) {
+                    seen[c as usize] += 1;
+                }
+            }
+            assert!(seen.iter().all(|&n| n == 1), "procs={procs}: {seen:?}");
+        }
+        assert_eq!(plan.worker_cells(1, 0).len() as u32, cells);
+    }
+
+    #[test]
+    fn cell_inputs_are_derived_and_distinct() {
+        let base = SimConfig::baseline();
+        let spec = WorkloadSpec::default();
+        let plan = FleetPlan::new(256, 128, 2);
+        let c0 = plan.cell_config(&base, 0);
+        let c1 = plan.cell_config(&base, 1);
+        assert_eq!(c0.fleet.unwrap().cell, 0);
+        assert_eq!(c1.fleet.unwrap().host_base, 128);
+        assert_ne!(c0.seed, c1.seed);
+        assert_ne!(c0.seed, base.seed);
+        let s0 = plan.cell_spec(&spec, 0);
+        let s1 = plan.cell_spec(&spec, 1);
+        assert_eq!(s0.hosts, 128);
+        assert_ne!(s0.seed, s1.seed);
+        // Derivation is a pure function of (base, cell) — recomputing
+        // anywhere (another worker process) gives the same inputs.
+        assert_eq!(plan.cell_config(&base, 1).seed, c1.seed);
+        assert_ne!(plan.cell_label(0), plan.cell_label(1));
+    }
+}

@@ -261,5 +261,49 @@ mod tests {
                 }
             }
         }
+
+        /// Arbitrary snapshots for the merge laws. Counts stay well under
+        /// `u64::MAX / 4` so three-way merges cannot overflow a bucket.
+        fn snapshot_strategy() -> impl Strategy<Value = HistogramSnapshot> {
+            proptest::collection::vec((0usize..BUCKETS, 0u64..1 << 40), 0..32).prop_map(|pairs| {
+                let mut buckets = [0u64; BUCKETS];
+                for (i, c) in pairs {
+                    buckets[i] += c;
+                }
+                HistogramSnapshot::from_buckets(buckets)
+            })
+        }
+
+        // `merged` must behave as summing sample populations: the fleet
+        // report folds per-host (and per-row) histograms pairwise in
+        // whatever order cells complete, so the fold has to be
+        // order-insensitive and lossless.
+        proptest! {
+            #[test]
+            fn merged_is_commutative_and_associative(
+                a in snapshot_strategy(),
+                b in snapshot_strategy(),
+                c in snapshot_strategy(),
+            ) {
+                prop_assert_eq!(a.merged(&b), b.merged(&a));
+                prop_assert_eq!(a.merged(&b).merged(&c), a.merged(&b.merged(&c)));
+            }
+
+            #[test]
+            fn merged_empty_is_identity(a in snapshot_strategy()) {
+                let empty = HistogramSnapshot::default();
+                prop_assert_eq!(a.merged(&empty), a);
+                prop_assert_eq!(empty.merged(&a), a);
+            }
+
+            #[test]
+            fn merged_conserves_counts(a in snapshot_strategy(), b in snapshot_strategy()) {
+                let m = a.merged(&b);
+                prop_assert_eq!(m.count(), a.count() + b.count());
+                for i in 0..BUCKETS {
+                    prop_assert_eq!(m.buckets()[i], a.buckets()[i] + b.buckets()[i]);
+                }
+            }
+        }
     }
 }

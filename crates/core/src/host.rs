@@ -177,7 +177,6 @@ impl HostCtx {
         if let Some(remote) = &self.remote {
             remote.store.reset_service_stats();
         }
-        self.metrics.reset();
     }
 
     fn reset_stats(&self) {
@@ -186,6 +185,10 @@ impl HostCtx {
         if let Some(u) = &self.unified {
             u.borrow_mut().reset_stats();
         }
+        // Outside a fleet every host shares one metrics sink, so the
+        // peers' resets just repeat harmlessly (the whole warmup-end
+        // sequence is synchronous); in a fleet each host resets its own.
+        self.metrics.reset();
         self.segment.reset_stats();
         if let Some(remote) = &self.remote {
             // Per-shard wires; segments[0] shares cells with `segment`

@@ -75,6 +75,7 @@ pub mod config;
 pub mod devsvc;
 pub mod engine;
 pub mod experiment;
+pub mod fleet;
 mod flush;
 pub mod histogram;
 pub mod host;
@@ -92,10 +93,12 @@ pub use config::{FlashTiming, SimConfig};
 pub use devsvc::{DeviceService, DeviceStatsSnapshot};
 pub use experiment::{run_sweep, SweepJob, Workbench, WorkloadSpec};
 pub use fcache_remote::{RemoteStats, RemoteStore, Router, ShardedStore};
+pub use fcache_types::FleetTopology;
+pub use fleet::FleetPlan;
 pub use histogram::{HistogramSnapshot, LatencyHistogram};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use policy::WritebackPolicy;
-pub use report::{ShardServiceStats, ShardStats, SimReport};
+pub use report::{FleetStats, HostLoadStats, ShardServiceStats, ShardStats, SimReport};
 pub use results::{
     read_rows, report_from_json, report_to_json, row_from_json, row_to_json, scan_jsonl, sink_fn,
     DecodedRow, JsonlSink, MemorySink, ResultRow, ResultSink, TeeSink, REPORT_SCHEMA,

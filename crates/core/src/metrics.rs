@@ -139,6 +139,26 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// Sum of two snapshots, as if both populations had been recorded
+    /// into one sink. Every field is a pure counter (or a bucket-wise
+    /// histogram), so the fold is exact: merging per-host snapshots
+    /// yields bit-for-bit what a single shared sink would have held.
+    pub fn merged(&self, other: &Self) -> Self {
+        Self {
+            read_ops: self.read_ops + other.read_ops,
+            write_ops: self.write_ops + other.write_ops,
+            read_blocks: self.read_blocks + other.read_blocks,
+            write_blocks: self.write_blocks + other.write_blocks,
+            read_latency: self.read_latency + other.read_latency,
+            write_latency: self.write_latency + other.write_latency,
+            tracked_writes: self.tracked_writes + other.tracked_writes,
+            writes_invalidating: self.writes_invalidating + other.writes_invalidating,
+            invalidated_blocks: self.invalidated_blocks + other.invalidated_blocks,
+            read_hist: self.read_hist.merged(&other.read_hist),
+            write_hist: self.write_hist.merged(&other.write_hist),
+        }
+    }
+
     /// Mean per-block read latency in microseconds.
     pub fn read_latency_us(&self) -> f64 {
         if self.read_blocks == 0 {
@@ -235,6 +255,25 @@ mod tests {
         let b = a.clone();
         b.record_op(OpKind::Read, SimTime::from_micros(1), 1);
         assert_eq!(a.snapshot().read_ops, 1);
+    }
+
+    #[test]
+    fn merged_equals_one_shared_sink() {
+        let shared = Metrics::new();
+        let a = Metrics::new();
+        let b = Metrics::new();
+        for (m, host) in [(&a, 0u64), (&b, 1)] {
+            m.record_op(OpKind::Read, SimTime::from_micros(40 + host), 2);
+            m.record_op(OpKind::Write, SimTime::from_micros(7), 1);
+            m.record_block_write(host);
+            shared.record_op(OpKind::Read, SimTime::from_micros(40 + host), 2);
+            shared.record_op(OpKind::Write, SimTime::from_micros(7), 1);
+            shared.record_block_write(host);
+        }
+        let folded = a.snapshot().merged(&b.snapshot());
+        assert_eq!(folded, shared.snapshot());
+        // The empty snapshot is the identity.
+        assert_eq!(folded.merged(&MetricsSnapshot::default()), folded);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use fcache_device::{IoLogEntry, WindowStat};
 use fcache_filer::FilerStats;
 use fcache_net::SegmentStats;
 use fcache_remote::RemoteStats;
+use fcache_types::FleetTopology;
 
 use crate::devsvc::DeviceStatsSnapshot;
 use crate::metrics::MetricsSnapshot;
@@ -63,6 +64,97 @@ pub struct SimReport {
     /// the run collected no telemetry. Collecting it never changes any
     /// other field (PERF.md invariant 12).
     pub telemetry: TelemetryStats,
+    /// Fleet section: this cell's placement in the fleet and per-host
+    /// load/latency rows for fleet-level percentiles. Disengaged (empty)
+    /// outside a fleet run; engaging it changes no other field
+    /// (PERF.md invariant 13).
+    pub fleet: FleetStats,
+}
+
+/// One host's post-warmup load and latency tallies within a fleet cell.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HostLoadStats {
+    /// Global host id (cell `host_base` + local index).
+    pub host: u32,
+    /// Completed read operations.
+    pub read_ops: u64,
+    /// Completed write operations.
+    pub write_ops: u64,
+    /// Sum of read operation latencies (ns).
+    pub read_latency_ns: u64,
+    /// Sum of write operation latencies (ns).
+    pub write_latency_ns: u64,
+}
+
+impl HostLoadStats {
+    /// Mean per-op read latency in microseconds.
+    pub fn mean_read_us(&self) -> f64 {
+        if self.read_ops == 0 {
+            0.0
+        } else {
+            self.read_latency_ns as f64 / self.read_ops as f64 / 1000.0
+        }
+    }
+
+    /// Mean per-op write latency in microseconds.
+    pub fn mean_write_us(&self) -> f64 {
+        if self.write_ops == 0 {
+            0.0
+        } else {
+            self.write_latency_ns as f64 / self.write_ops as f64 / 1000.0
+        }
+    }
+}
+
+/// Fleet section of a [`SimReport`]: where this cell sits in the fleet
+/// and what each of its hosts saw. Empty `per_host` (the default) means
+/// the run was not a fleet cell.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FleetStats {
+    /// This cell's placement and network fan-in. `None` when disengaged.
+    pub topology: Option<FleetTopology>,
+    /// Per-host load rows, in global host-id order.
+    pub per_host: Vec<HostLoadStats>,
+}
+
+impl FleetStats {
+    /// True when the run was a fleet cell.
+    pub fn engaged(&self) -> bool {
+        self.topology.is_some()
+    }
+
+    /// Hosts in this cell.
+    pub fn hosts(&self) -> usize {
+        self.per_host.len()
+    }
+
+    /// p50/p95/p99 of the *per-host mean* read latency (µs) across this
+    /// cell's hosts — the cross-host spread, exact by sorting (host
+    /// counts are thousands, not billions). Zero-read hosts are included
+    /// at 0 µs so a starved host drags the spread down visibly.
+    pub fn host_read_p50_p95_p99_us(&self) -> (f64, f64, f64) {
+        let mut means: Vec<f64> = self
+            .per_host
+            .iter()
+            .map(HostLoadStats::mean_read_us)
+            .collect();
+        means.sort_by(f64::total_cmp);
+        (
+            percentile_of_sorted(&means, 50.0),
+            percentile_of_sorted(&means, 95.0),
+            percentile_of_sorted(&means, 99.0),
+        )
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample (the same rule
+/// [`crate::histogram::HistogramSnapshot::percentile`] uses on buckets).
+fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank.min(sorted.len()) - 1]
 }
 
 /// One shard's service tallies plus how long its fault schedule had it in
@@ -207,6 +299,13 @@ impl fmt::Display for SimReport {
             "network            {} packets, {} payload bytes",
             self.net.packets, self.net.payload_bytes
         )?;
+        if self.net.queue_waits > 0 {
+            writeln!(
+                f,
+                "net queueing       {} packets waited, {} total queue time",
+                self.net.queue_waits, self.net.queue_wait
+            )?;
+        }
         if self.device.ops() > 0 {
             writeln!(
                 f,
@@ -312,6 +411,15 @@ impl fmt::Display for SimReport {
                 )?;
             }
         }
+        if let Some(topo) = &self.fleet.topology {
+            writeln!(f, "fleet              {topo}")?;
+            let (p50, p95, p99) = self.fleet.host_read_p50_p95_p99_us();
+            writeln!(
+                f,
+                "fleet hosts        {} in cell, per-host mean read p50/p95/p99 {p50:.0} / {p95:.0} / {p99:.0} us",
+                self.fleet.hosts()
+            )?;
+        }
         if self.telemetry.engaged() {
             let t = &self.telemetry;
             writeln!(
@@ -370,5 +478,49 @@ mod tests {
         for needle in ["reads", "writes", "ram", "flash", "filer", "network"] {
             assert!(s.contains(needle), "missing {needle}");
         }
+        assert!(!s.contains("fleet"), "disengaged fleet prints nothing");
+    }
+
+    #[test]
+    fn fleet_host_percentiles_are_nearest_rank() {
+        let mut fleet = FleetStats {
+            topology: Some(FleetTopology {
+                cell: 0,
+                cells: 1,
+                host_base: 0,
+                fleet_hosts: 100,
+                hosts_per_segment: 4,
+            }),
+            per_host: Vec::new(),
+        };
+        assert!(fleet.engaged());
+        // 100 hosts with mean read latencies 1..=100 µs: nearest-rank
+        // percentiles land exactly on 50 / 95 / 99.
+        for host in 0..100u32 {
+            fleet.per_host.push(HostLoadStats {
+                host,
+                read_ops: 1,
+                write_ops: 0,
+                read_latency_ns: u64::from(host + 1) * 1000,
+                write_latency_ns: 0,
+            });
+        }
+        assert_eq!(fleet.host_read_p50_p95_p99_us(), (50.0, 95.0, 99.0));
+        let report = SimReport {
+            fleet,
+            ..SimReport::default()
+        };
+        let s = report.to_string();
+        assert!(s.contains("fleet              cell 0/1"), "{s}");
+        assert!(s.contains("100 in cell"), "{s}");
+    }
+
+    #[test]
+    fn empty_fleet_percentiles_are_zero() {
+        let f = FleetStats::default();
+        assert!(!f.engaged());
+        assert_eq!(f.host_read_p50_p95_p99_us(), (0.0, 0.0, 0.0));
+        assert_eq!(HostLoadStats::default().mean_read_us(), 0.0);
+        assert_eq!(HostLoadStats::default().mean_write_us(), 0.0);
     }
 }

@@ -35,13 +35,13 @@ use fcache_des::SimTime;
 use fcache_device::{IoDirection, IoLogEntry, WindowStat};
 use fcache_filer::FilerStats;
 use fcache_net::SegmentStats;
-use fcache_types::Json;
+use fcache_types::{FleetTopology, Json};
 
 use crate::config::SimConfig;
 use crate::devsvc::DeviceStatsSnapshot;
 use crate::histogram::{HistogramSnapshot, BUCKETS};
 use crate::metrics::MetricsSnapshot;
-use crate::report::{ShardServiceStats, ShardStats, SimReport};
+use crate::report::{FleetStats, HostLoadStats, ShardServiceStats, ShardStats, SimReport};
 use crate::robust::{FaultWindowStat, RobustnessStats};
 use crate::telemetry::{TelemetryStats, TelemetryWindow};
 use fcache_remote::RemoteStats;
@@ -383,6 +383,17 @@ pub fn config_to_json(cfg: &SimConfig) -> Json {
                 },
             );
     }
+    // Fleet axes, only for rows that are one cell of a fleet run. The
+    // coordinator's resume path cross-checks these, so a fleet results
+    // file can't silently absorb rows from a different fleet shape.
+    if let Some(fleet) = &cfg.fleet {
+        j = j
+            .field("fleet_cell", Json::U64(u64::from(fleet.cell)))
+            .field("fleet_cells", Json::U64(u64::from(fleet.cells)))
+            .field("fleet_host_base", Json::U64(u64::from(fleet.host_base)))
+            .field("fleet_hosts", Json::U64(u64::from(fleet.fleet_hosts)))
+            .field("fleet_fanin", Json::U64(u64::from(fleet.fanin())));
+    }
     j
 }
 
@@ -401,13 +412,7 @@ pub fn report_to_json(r: &SimReport) -> Json {
                 .field("slow_reads", Json::U64(r.filer.slow_reads))
                 .field("writes", Json::U64(r.filer.writes)),
         )
-        .field(
-            "net",
-            Json::obj()
-                .field("packets", Json::U64(r.net.packets))
-                .field("payload_bytes", Json::U64(r.net.payload_bytes))
-                .field("busy_ns", Json::U64(r.net.busy.as_nanos())),
-        )
+        .field("net", net_to_json(&r.net))
         .field("device", device_to_json(&r.device))
         .field(
             "device_windows",
@@ -448,7 +453,59 @@ pub fn report_to_json(r: &SimReport) -> Json {
     if r.telemetry.engaged() {
         j = j.field("telemetry", telemetry_to_json(&r.telemetry));
     }
+    // The fleet section appears only for fleet-cell rows.
+    if r.fleet.engaged() {
+        j = j.field("fleet", fleet_to_json(&r.fleet));
+    }
     j
+}
+
+/// Network counters; the queueing pair appears only when some packet
+/// actually waited, so uncontended rows (every pre-fleet row) keep their
+/// exact three-field encoding.
+fn net_to_json(n: &SegmentStats) -> Json {
+    let mut j = Json::obj()
+        .field("packets", Json::U64(n.packets))
+        .field("payload_bytes", Json::U64(n.payload_bytes))
+        .field("busy_ns", Json::U64(n.busy.as_nanos()));
+    if n.queue_waits > 0 {
+        j = j
+            .field("queue_wait_ns", Json::U64(n.queue_wait.as_nanos()))
+            .field("queue_waits", Json::U64(n.queue_waits));
+    }
+    j
+}
+
+/// Fleet topology plus the per-host load vector as compact
+/// `[host, read_ops, write_ops, read_latency_ns, write_latency_ns]` rows.
+fn fleet_to_json(f: &FleetStats) -> Json {
+    let topo = f.topology.as_ref().expect("encoded only when engaged");
+    Json::obj()
+        .field("cell", Json::U64(u64::from(topo.cell)))
+        .field("cells", Json::U64(u64::from(topo.cells)))
+        .field("host_base", Json::U64(u64::from(topo.host_base)))
+        .field("fleet_hosts", Json::U64(u64::from(topo.fleet_hosts)))
+        .field(
+            "hosts_per_segment",
+            Json::U64(u64::from(topo.hosts_per_segment)),
+        )
+        .field(
+            "per_host",
+            Json::Arr(
+                f.per_host
+                    .iter()
+                    .map(|h| {
+                        Json::Arr(vec![
+                            Json::U64(u64::from(h.host)),
+                            Json::U64(h.read_ops),
+                            Json::U64(h.write_ops),
+                            Json::U64(h.read_latency_ns),
+                            Json::U64(h.write_latency_ns),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )
 }
 
 /// Telemetry: per-phase totals as fixed-order arrays (index =
@@ -672,6 +729,12 @@ pub fn report_from_json(v: &Json) -> Result<SimReport, String> {
             packets: u(net, "packets")?,
             payload_bytes: u(net, "payload_bytes")?,
             busy: t(net, "busy_ns")?,
+            // Lenient: rows written before shared wires existed (and rows
+            // where nothing queued) carry no queueing fields.
+            queue_wait: SimTime::from_nanos(
+                net.get("queue_wait_ns").and_then(Json::as_u64).unwrap_or(0),
+            ),
+            queue_waits: net.get("queue_waits").and_then(Json::as_u64).unwrap_or(0),
         },
         device: device_from_json(v.get("device").ok_or("missing field \"device\"")?)?,
         device_windows: match v.get("device_windows") {
@@ -724,6 +787,44 @@ pub fn report_from_json(v: &Json) -> Result<SimReport, String> {
             None | Some(Json::Null) => TelemetryStats::default(),
             Some(t) => telemetry_from_json(t)?,
         },
+        // Non-fleet rows decode to the disengaged default.
+        fleet: match v.get("fleet") {
+            None | Some(Json::Null) => FleetStats::default(),
+            Some(f) => fleet_from_json(f)?,
+        },
+    })
+}
+
+fn fleet_from_json(v: &Json) -> Result<FleetStats, String> {
+    Ok(FleetStats {
+        topology: Some(FleetTopology {
+            cell: u(v, "cell")? as u32,
+            cells: u(v, "cells")? as u32,
+            host_base: u(v, "host_base")? as u32,
+            fleet_hosts: u(v, "fleet_hosts")? as u32,
+            hosts_per_segment: u(v, "hosts_per_segment")? as u16,
+        }),
+        per_host: v
+            .get("per_host")
+            .and_then(Json::as_arr)
+            .ok_or("missing/invalid fleet per_host")?
+            .iter()
+            .map(|p| {
+                let q = p.as_arr().filter(|a| a.len() == 5);
+                let q = q.ok_or(
+                    "fleet per_host row must be [host, read_ops, write_ops, \
+                     read_latency_ns, write_latency_ns]",
+                )?;
+                let n = |i: usize| q[i].as_u64().ok_or("invalid fleet per_host entry");
+                Ok(HostLoadStats {
+                    host: n(0)? as u32,
+                    read_ops: n(1)?,
+                    write_ops: n(2)?,
+                    read_latency_ns: n(3)?,
+                    write_latency_ns: n(4)?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?,
     })
 }
 

@@ -27,7 +27,7 @@ use fcache_cache::{BlockCache, Medium, UnifiedCache};
 use fcache_des::{RunError, Sim, SimTime};
 use fcache_device::IoLog;
 use fcache_filer::{Filer, FilerConfig};
-use fcache_net::Segment;
+use fcache_net::{Segment, SegmentStats};
 use fcache_remote::{shard_filer_config, shard_net_config, RemoteStore, Router, ShardedStore};
 use fcache_types::{
     mix64, FaultSchedule, FxHashSet, HostId, ResolvedFaultSet, Trace, TraceOp, TraceSource,
@@ -209,62 +209,85 @@ fn build_parts(config: &SimConfig, n_hosts: u16) -> SimParts {
     });
     let telemetry_window_ns = cfg.telemetry_windows.map(|w| cfg.scaled_time(w).as_nanos());
 
-    let hosts: Vec<Rc<HostCtx>> = (0..n_hosts)
-        .map(|i| {
-            // This host's view of the remote tier: one private segment per
-            // shard, with a small deterministic latency skew per shard.
-            let remote = remote_store.as_ref().map(|store| {
-                let segments: Vec<Segment> = (0..cfg.shards)
-                    .map(|k| {
-                        let net = shard_net_config(cfg.net, k);
-                        let mut seg = if cfg.duplex_network {
-                            Segment::new_duplex(sim.clone(), net)
-                        } else {
-                            Segment::new(sim.clone(), net)
-                        };
-                        if let Some(fp) = &fault {
-                            seg = seg.with_faults(
-                                fp.set.net_to_server.clone(),
-                                fp.set.net_from_server.clone(),
-                                mix64(
-                                    cfg.seed
-                                        ^ (u64::from(i) << 32)
-                                        ^ (u64::from(k) << 16)
-                                        ^ 0x5e97_fa17_0000_0012,
-                                ),
-                            );
-                        }
-                        seg
-                    })
-                    .collect();
-                RemoteCtx {
+    // Network fan-in: hosts share wires in groups of `fanin`. Each group's
+    // first host (its *leader*, `i % fanin == 0`) creates the segments —
+    // fault seeds keyed by the leader's index — and the rest of the group
+    // clones the handles (clones share the channel and the counters). At
+    // fan-in 1 every host is its own leader, so this is literally the
+    // pre-fleet per-host wiring, seeds included (PERF.md invariant 13).
+    let fanin = cfg.net_fanin();
+    let mut group_segment: Option<Segment> = None;
+    let mut group_remote_segments: Option<Vec<Segment>> = None;
+    let mut hosts: Vec<Rc<HostCtx>> = Vec::with_capacity(usize::from(n_hosts));
+    for i in 0..n_hosts {
+        {
+            // This host's view of the remote tier: one segment per shard
+            // (shared across the fan-in group), with a small deterministic
+            // latency skew per shard.
+            let remote = if let Some(store) = &remote_store {
+                if i % fanin == 0 {
+                    let segments: Vec<Segment> = (0..cfg.shards)
+                        .map(|k| {
+                            let net = shard_net_config(cfg.net, k);
+                            let mut seg = if cfg.duplex_network {
+                                Segment::new_duplex(sim.clone(), net)
+                            } else {
+                                Segment::new(sim.clone(), net)
+                            };
+                            if let Some(fp) = &fault {
+                                seg = seg.with_faults(
+                                    fp.set.net_to_server.clone(),
+                                    fp.set.net_from_server.clone(),
+                                    mix64(
+                                        cfg.seed
+                                            ^ (u64::from(i) << 32)
+                                            ^ (u64::from(k) << 16)
+                                            ^ 0x5e97_fa17_0000_0012,
+                                    ),
+                                );
+                            }
+                            seg
+                        })
+                        .collect();
+                    group_remote_segments = Some(segments);
+                }
+                Some(RemoteCtx {
                     store: Rc::clone(store),
-                    segments,
+                    segments: group_remote_segments
+                        .clone()
+                        .expect("fan-in group leader builds the wires"),
                     // Hedging needs a second replica to race.
                     hedge_ns: (cfg.replicas > 1)
                         .then(|| cfg.hedge.map(|d| cfg.scaled_time(d).as_nanos()))
                         .flatten(),
-                }
-            });
+                })
+            } else {
+                None
+            };
             let segment = if let Some(r) = &remote {
                 // Alias shard 0's wire so legacy `segment` consumers (stat
                 // resets, debug) see a live handle; aggregation sums the
                 // per-shard segments instead.
                 r.segments[0].clone()
             } else {
-                let mut segment = if cfg.duplex_network {
-                    Segment::new_duplex(sim.clone(), cfg.net)
-                } else {
-                    Segment::new(sim.clone(), cfg.net)
-                };
-                if let Some(fp) = &fault {
-                    segment = segment.with_faults(
-                        fp.set.net_to_server.clone(),
-                        fp.set.net_from_server.clone(),
-                        mix64(cfg.seed ^ (u64::from(i) << 32) ^ 0x5e97_fa17_0000_0002),
-                    );
+                if i % fanin == 0 {
+                    let mut segment = if cfg.duplex_network {
+                        Segment::new_duplex(sim.clone(), cfg.net)
+                    } else {
+                        Segment::new(sim.clone(), cfg.net)
+                    };
+                    if let Some(fp) = &fault {
+                        segment = segment.with_faults(
+                            fp.set.net_to_server.clone(),
+                            fp.set.net_from_server.clone(),
+                            mix64(cfg.seed ^ (u64::from(i) << 32) ^ 0x5e97_fa17_0000_0002),
+                        );
+                    }
+                    group_segment = Some(segment);
                 }
-                segment
+                group_segment
+                    .clone()
+                    .expect("fan-in group leader builds the wire")
             };
             let host_filer = match &remote {
                 Some(r) => r.store.filer(0).clone(),
@@ -299,7 +322,15 @@ fn build_parts(config: &SimConfig, n_hosts: u16) -> SimParts {
                     state: Rc::clone(&fp.state),
                 })
             });
-            Rc::new(HostCtx {
+            // Fleet cells give every host a private metrics sink (folded
+            // exactly into one snapshot at collection); outside a fleet
+            // every host shares one sink — the pre-fleet object graph.
+            let host_metrics = if cfg.fleet_engaged() {
+                Metrics::new()
+            } else {
+                metrics.clone()
+            };
+            hosts.push(Rc::new(HostCtx {
                 id: HostId(i),
                 sim: sim.clone(),
                 cfg: Rc::clone(&cfg),
@@ -322,7 +353,7 @@ fn build_parts(config: &SimConfig, n_hosts: u16) -> SimParts {
                 unified,
                 segment,
                 filer: host_filer,
-                metrics: metrics.clone(),
+                metrics: host_metrics,
                 iolog,
                 dev,
                 ram_flush_pending: RefCell::new(FxHashSet::default()),
@@ -336,9 +367,9 @@ fn build_parts(config: &SimConfig, n_hosts: u16) -> SimParts {
                 telemetry: cfg
                     .telemetry_engaged()
                     .then(|| Rc::new(TelemetryCtx::new(telemetry_window_ns, span_stream.clone()))),
-            })
-        })
-        .collect();
+            }));
+        }
+    }
     for (i, h) in hosts.iter().enumerate() {
         *h.peers.borrow_mut() = hosts
             .iter()
@@ -492,6 +523,18 @@ fn run_and_collect(parts: &SimParts) -> Result<SimReport, SimError> {
     } = parts;
     let run = sim.run().map_err(SimError::from);
 
+    // Segment counters are shared across a fan-in group, so summing every
+    // host's handle would multiply-count shared wires: only group leaders
+    // contribute (at fan-in 1, everyone — the pre-fleet accounting).
+    let fanin = cfg.net_fanin();
+    fn add_seg(net: &mut SegmentStats, s: SegmentStats) {
+        net.packets += s.packets;
+        net.payload_bytes += s.payload_bytes;
+        net.busy += s.busy;
+        net.queue_wait += s.queue_wait;
+        net.queue_waits += s.queue_waits;
+    }
+
     // Aggregate before shutdown (shutdown drops the host tasks).
     let mut report = SimReport {
         metrics: metrics.snapshot(),
@@ -500,26 +543,22 @@ fn run_and_collect(parts: &SimParts) -> Result<SimReport, SimError> {
         events: sim.events_processed(),
         ..SimReport::default()
     };
-    for h in hosts {
+    for (i, h) in hosts.iter().enumerate() {
         report.ram += *h.ram.borrow().stats();
         report.flash += *h.flash.borrow().stats();
         if let Some(u) = &h.unified {
             report.unified += *u.borrow().stats();
         }
-        if let Some(r) = &h.remote {
-            // Per-shard wires; `h.segment` aliases `r.segments[0]`, so only
-            // the per-shard list is summed.
-            for seg in &r.segments {
-                let s = seg.stats();
-                report.net.packets += s.packets;
-                report.net.payload_bytes += s.payload_bytes;
-                report.net.busy += s.busy;
+        if i % usize::from(fanin) == 0 {
+            if let Some(r) = &h.remote {
+                // Per-shard wires; `h.segment` aliases `r.segments[0]`, so
+                // only the per-shard list is summed.
+                for seg in &r.segments {
+                    add_seg(&mut report.net, seg.stats());
+                }
+            } else {
+                add_seg(&mut report.net, h.segment.stats());
             }
-        } else {
-            let s = h.segment.stats();
-            report.net.packets += s.packets;
-            report.net.payload_bytes += s.payload_bytes;
-            report.net.busy += s.busy;
         }
         report.device += h.dev.stats();
         if let Some(w) = h.dev.take_windows() {
@@ -618,6 +657,30 @@ fn run_and_collect(parts: &SimParts) -> Result<SimReport, SimError> {
         {
             stream.finish();
         }
+    }
+    if let Some(topo) = cfg.fleet {
+        // Fleet mode: each host recorded into its own sink; the exact
+        // fold (counters + bucket-wise histograms) reproduces what one
+        // shared sink would have held, and the per-host rows feed the
+        // fleet percentiles.
+        let mut folded = crate::metrics::MetricsSnapshot::default();
+        let mut per_host = Vec::with_capacity(hosts.len());
+        for (i, h) in hosts.iter().enumerate() {
+            let s = h.metrics.snapshot();
+            folded = folded.merged(&s);
+            per_host.push(crate::report::HostLoadStats {
+                host: topo.host_base + i as u32,
+                read_ops: s.read_ops,
+                write_ops: s.write_ops,
+                read_latency_ns: s.read_latency.as_nanos(),
+                write_latency_ns: s.write_latency.as_nanos(),
+            });
+        }
+        report.metrics = folded;
+        report.fleet = crate::report::FleetStats {
+            topology: Some(topo),
+            per_host,
+        };
     }
 
     sim.shutdown();

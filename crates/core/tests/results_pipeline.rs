@@ -15,10 +15,10 @@
 
 use fcache::{
     read_rows, report_from_json, report_to_json, row_to_json, scan_jsonl, Architecture,
-    DeviceStatsSnapshot, FaultWindowStat, HistogramSnapshot, JsonlSink, MemorySink,
-    MetricsSnapshot, RemoteStats, ResultRow, RobustnessStats, ShardServiceStats, ShardStats,
-    SimConfig, SimReport, Sweep, TelemetryStats, TelemetryWindow, Workbench, WorkloadSpec,
-    REPORT_SCHEMA,
+    DeviceStatsSnapshot, FaultWindowStat, FleetStats, FleetTopology, HistogramSnapshot,
+    HostLoadStats, JsonlSink, MemorySink, MetricsSnapshot, RemoteStats, ResultRow, RobustnessStats,
+    ShardServiceStats, ShardStats, SimConfig, SimReport, Sweep, TelemetryStats, TelemetryWindow,
+    Workbench, WorkloadSpec, REPORT_SCHEMA,
 };
 use fcache_cache::CacheStats;
 use fcache_des::SimTime;
@@ -150,6 +150,8 @@ fn report_from_words(words: &[u64]) -> SimReport {
             packets: w.next(),
             payload_bytes: w.next(),
             busy: SimTime::from_nanos(w.next()),
+            queue_wait: SimTime::from_nanos(w.next()),
+            queue_waits: w.next().max(1),
         },
         device,
         device_windows,
@@ -234,6 +236,30 @@ fn report_from_words(words: &[u64]) -> SimReport {
                         depth_sum: w.next(),
                         depth_samples: w.next(),
                         shard_live_ns: (0..(w.next() % 3)).map(|_| w.next()).collect(),
+                    })
+                    .collect(),
+            }
+        },
+        fleet: if w.next().is_multiple_of(2) {
+            // Disengaged half the time: the section must be omitted and
+            // decode back to the default.
+            FleetStats::default()
+        } else {
+            FleetStats {
+                topology: Some(FleetTopology {
+                    cell: (w.next() % 64) as u32,
+                    cells: (w.next() % 64 + 1) as u32,
+                    host_base: (w.next() % 4096) as u32,
+                    fleet_hosts: (w.next() % 4096 + 1) as u32,
+                    hosts_per_segment: (w.next() % 16 + 1) as u16,
+                }),
+                per_host: (0..(w.next() % 4))
+                    .map(|_| HostLoadStats {
+                        host: (w.next() % 4096) as u32,
+                        read_ops: w.next(),
+                        write_ops: w.next(),
+                        read_latency_ns: w.next(),
+                        write_latency_ns: w.next(),
                     })
                     .collect(),
             }
@@ -324,6 +350,10 @@ fn golden_row_pins_the_schema() {
             packets: 12,
             payload_bytes: 49152,
             busy: SimTime::from_micros(393),
+            // Uncontended: the golden row keeps the pre-fleet three-field
+            // net encoding.
+            queue_wait: SimTime::ZERO,
+            queue_waits: 0,
         },
         device: DeviceStatsSnapshot::default(),
         device_windows: Some(vec![WindowStat {
@@ -371,6 +401,7 @@ fn golden_row_pins_the_schema() {
                 shard_live_ns: Vec::new(),
             }],
         },
+        fleet: FleetStats::default(),
     };
     let row = ResultRow {
         index: 4,

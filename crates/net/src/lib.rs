@@ -13,6 +13,14 @@
 //! contention — but full contention among the threads, syncers, and
 //! evictions of a single host, which is what produces the paper's eviction
 //! convoys.
+//!
+//! **Shared wires.** Cloning a `Segment` shares its channel *and* its
+//! traffic counters: handing the same segment to several hosts models a
+//! shared uplink where their packets queue FIFO against each other. The
+//! fleet subsystem uses exactly this to simulate cross-host network
+//! contention (`hosts_per_segment` hosts per wire); the time packets
+//! spend waiting behind other packets is tallied separately from wire
+//! time as [`SegmentStats::queue_wait`].
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
@@ -84,6 +92,11 @@ pub struct SegmentStats {
     pub payload_bytes: u64,
     /// Total wire-busy time.
     pub busy: SimTime,
+    /// Total time packets spent queued for the wire before transmitting
+    /// (zero on an uncontended segment).
+    pub queue_wait: SimTime,
+    /// Packets that had to wait for the wire at all.
+    pub queue_waits: u64,
 }
 
 /// Fault-injection state for a segment: one resolved schedule per
@@ -94,11 +107,13 @@ struct SegmentFaults {
     rng: RefCell<SmallRng>,
 }
 
-/// A private network segment between one host and the filer.
+/// A network segment between hosts and the filer.
 ///
 /// Half-duplex by default (one packet at a time in either direction, as the
 /// paper specifies); [`Segment::new_duplex`] provides a full-duplex variant
-/// used by the ablation benches.
+/// used by the ablation benches. A clone shares the wire and the counters
+/// with its original — private per-host wiring uses one `Segment` per
+/// host, shared (fleet) wiring clones one `Segment` across a host group.
 #[derive(Clone)]
 pub struct Segment {
     sim: Sim,
@@ -175,13 +190,19 @@ impl Segment {
             Direction::ToServer => &self.to_server,
             Direction::FromServer => &self.from_server,
         };
+        let queued_at = self.sim.now();
         let _guard = chan.acquire().await;
+        let waited = self.sim.now() - queued_at;
         let t = self.cfg.packet_time(payload_bytes);
         self.sim.sleep(t).await;
         let mut s = self.stats.get();
         s.packets += 1;
         s.payload_bytes += payload_bytes;
         s.busy += t;
+        if waited > SimTime::ZERO {
+            s.queue_wait += waited;
+            s.queue_waits += 1;
+        }
         self.stats.set(s);
     }
 
@@ -202,7 +223,9 @@ impl Segment {
             Direction::ToServer => &f.to_server,
             Direction::FromServer => &f.from_server,
         };
+        let queued_at = self.sim.now();
         let _guard = chan.acquire().await;
+        let waited = self.sim.now() - queued_at;
         let effect = {
             let mut rng = f.rng.borrow_mut();
             sched.effect_at(self.sim.now().as_nanos(), &mut || {
@@ -219,6 +242,10 @@ impl Segment {
         s.packets += 1;
         s.payload_bytes += payload_bytes;
         s.busy += t;
+        if waited > SimTime::ZERO {
+            s.queue_wait += waited;
+            s.queue_waits += 1;
+        }
         self.stats.set(s);
         Ok(())
     }
@@ -305,6 +332,42 @@ mod tests {
         assert_eq!(report.end_time, SimTime::from_nanos(40_968 * n));
         assert_eq!(seg.stats().packets, n);
         assert_eq!(seg.stats().busy, SimTime::from_nanos(40_968 * n));
+    }
+
+    #[test]
+    fn shared_clones_queue_and_tally_waits() {
+        // Two "hosts" holding clones of one segment contend for the same
+        // wire: transfers serialize FIFO, shared counters see both, and
+        // the loser's wait shows up as queue_wait (the winner's does not).
+        let sim = Sim::new();
+        let seg = Segment::new(sim.clone(), NetConfig::default());
+        for _host in 0..2 {
+            let seg = seg.clone();
+            sim.spawn(async move {
+                seg.transfer(Direction::ToServer, 4096).await;
+            });
+        }
+        let report = sim.run().unwrap();
+        assert_eq!(report.end_time, SimTime::from_nanos(2 * 40_968));
+        let s = seg.stats();
+        assert_eq!(s.packets, 2);
+        assert_eq!(s.queue_waits, 1, "only the second packet waited");
+        assert_eq!(s.queue_wait, SimTime::from_nanos(40_968));
+    }
+
+    #[test]
+    fn uncontended_transfer_records_no_wait() {
+        let sim = Sim::new();
+        let seg = Segment::new(sim.clone(), NetConfig::default());
+        let seg2 = seg.clone();
+        sim.spawn(async move {
+            seg2.transfer(Direction::ToServer, 4096).await;
+            seg2.transfer(Direction::FromServer, 0).await;
+        });
+        sim.run().unwrap();
+        let s = seg.stats();
+        assert_eq!(s.queue_waits, 0);
+        assert_eq!(s.queue_wait, SimTime::ZERO);
     }
 
     #[test]

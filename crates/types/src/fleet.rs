@@ -1,0 +1,93 @@
+//! Fleet topology: where one simulation cell sits inside a larger fleet.
+//!
+//! A *fleet* is a large population of client hosts partitioned into
+//! *cells*: independent simulation jobs that each run a contiguous slice
+//! of the host population against their own shared backend. The topology
+//! record travels inside each cell's configuration so that results rows
+//! carry full fleet identity (which cell, how many cells, which global
+//! host ids) — the multi-process coordinator merges per-worker row files
+//! purely on this identity, and a resumed run can check that a row file
+//! really belongs to the fleet being resumed.
+//!
+//! The one knob that changes *behavior* (rather than identity) is
+//! [`FleetTopology::hosts_per_segment`]: hosts within a cell share
+//! network segments in groups of that size, so cross-host contention for
+//! the wire is simulated instead of assumed away. `hosts_per_segment: 1`
+//! is the classic private-segment wiring.
+
+use core::fmt;
+
+/// Placement of one simulation cell within a fleet, plus the cell's
+/// network-sharing factor. Carried as `SimConfig::fleet`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FleetTopology {
+    /// This cell's index within the fleet (0-based).
+    pub cell: u32,
+    /// Total number of cells in the fleet.
+    pub cells: u32,
+    /// Global id of this cell's first host; the cell's hosts are
+    /// `host_base .. host_base + hosts` where `hosts` is the per-cell
+    /// host count of the job itself.
+    pub host_base: u32,
+    /// Total host population across the whole fleet.
+    pub fleet_hosts: u32,
+    /// Hosts sharing one network segment within the cell (the fan-in).
+    /// 1 = a private segment per host (the pre-fleet wiring).
+    pub hosts_per_segment: u16,
+}
+
+impl FleetTopology {
+    /// The network fan-in, floored at 1 so arithmetic never divides by
+    /// zero even for a zero-filled record.
+    pub fn fanin(&self) -> u16 {
+        self.hosts_per_segment.max(1)
+    }
+}
+
+impl fmt::Display for FleetTopology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cell {}/{} (hosts {}.. of {}, {} per segment)",
+            self.cell,
+            self.cells,
+            self.host_base,
+            self.fleet_hosts,
+            self.fanin()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fanin_floors_at_one() {
+        let mut t = FleetTopology {
+            cell: 0,
+            cells: 1,
+            host_base: 0,
+            fleet_hosts: 4,
+            hosts_per_segment: 0,
+        };
+        assert_eq!(t.fanin(), 1);
+        t.hosts_per_segment = 8;
+        assert_eq!(t.fanin(), 8);
+    }
+
+    #[test]
+    fn display_names_the_cell() {
+        let t = FleetTopology {
+            cell: 2,
+            cells: 4,
+            host_base: 512,
+            fleet_hosts: 1024,
+            hosts_per_segment: 16,
+        };
+        let s = t.to_string();
+        assert!(s.contains("cell 2/4"), "{s}");
+        assert!(s.contains("512"), "{s}");
+        assert!(s.contains("16 per segment"), "{s}");
+    }
+}

@@ -21,6 +21,7 @@
 
 pub mod block;
 pub mod fault;
+pub mod fleet;
 pub mod fxhash;
 pub mod ids;
 pub mod json;
@@ -34,6 +35,7 @@ pub use fault::{
     parse_time_ns, FaultClause, FaultDirection, FaultEffect, FaultError, FaultKind, FaultPlan,
     FaultSchedule, FaultTarget, FaultWindow, ResolvedFaultSet, ResolvedWindow,
 };
+pub use fleet::FleetTopology;
 pub use fxhash::{mix64, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{FileId, HostId, ThreadId};
 pub use json::{Json, JsonError};

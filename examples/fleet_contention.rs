@@ -1,0 +1,70 @@
+//! Shared-wire contention: how network fan-in moves the fleet's tail.
+//!
+//! The paper's client cache exists to keep traffic *off* the network and
+//! the filer (§1). This example measures the inverse: keep the workload
+//! fixed and squeeze more hosts onto each half-duplex uplink. Every
+//! packet a host sends now queues behind its neighbors' packets, so mean
+//! latency drifts up a little while the p99 — the operations stuck at the
+//! back of a busy wire — climbs much faster. Fleet percentiles come from
+//! the exact bucket-wise merge of every cell's latency histogram, which
+//! is what makes tail movement visible at all: a per-cell average would
+//! smear the queuing spikes away.
+//!
+//! Run with: `cargo run --release --example fleet_contention [scale]`
+
+use fcache::{SimConfig, WorkloadSpec};
+use fcache_fleet::{Fleet, FleetSpec};
+use fcache_types::ByteSize;
+
+fn main() {
+    let scale: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("scale"))
+        .unwrap_or(4096);
+
+    println!("240 hosts in cells of 48, shared working set, scale 1/{scale}");
+    println!("sweeping hosts per uplink: every host sends the same traffic;");
+    println!("only the wire sharing changes.\n");
+    println!(
+        "{:>7} | {:>9} {:>9} {:>9} {:>10} {:>14} {:>13}",
+        "fan-in", "p50 op", "p95 op", "p99 op", "host p99", "pkts queued", "queue ms"
+    );
+    for fanin in [1u16, 4, 8, 16] {
+        let spec = FleetSpec {
+            hosts: 240,
+            cell_hosts: 48,
+            hosts_per_segment: fanin,
+            workload: WorkloadSpec {
+                working_set: ByteSize::gib(40),
+                seed: 13,
+                ..WorkloadSpec::default()
+            },
+            scale,
+        };
+        // Small flash keeps real read misses flowing over the wire — an
+        // all-hits fleet would have nothing to queue.
+        let cfg = SimConfig {
+            flash_size: ByteSize::gib(8),
+            ..SimConfig::baseline()
+        };
+        let summary = Fleet::new(cfg, spec).run().expect("fleet run").summary();
+        let p = |pct: f64| summary.read_op_percentile_us(pct).unwrap_or(0.0);
+        println!(
+            "{:>7} | {:>9.0} {:>9.0} {:>9.0} {:>10.0} {:>14} {:>13.1}",
+            fanin,
+            p(50.0),
+            p(95.0),
+            p(99.0),
+            summary.host_read_us.2,
+            summary.queue_waits,
+            summary.queue_wait_ns as f64 / 1e6,
+        );
+    }
+    println!();
+    println!("fan-in 1 is the dedicated-wire baseline (a host only ever queues");
+    println!("behind itself). as more hosts share each uplink the total queue");
+    println!("time grows superlinearly and the whole latency distribution slides");
+    println!("right — the wire, not the cache, ends up setting the fleet's tail.");
+    println!("this is the fleet-level argument for client flash — every absorbed");
+    println!("read is a packet that never contends for the shared wire.");
+}
