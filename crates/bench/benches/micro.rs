@@ -29,7 +29,7 @@ use fcache_des::{Sim, SimTime};
 use fcache_device::{IoLog, SsdConfig};
 use fcache_fleet::{Fleet, FleetSpec};
 use fcache_types::{
-    BlockAddr, ByteSize, FaultPlan, FileId, FleetTopology, HostId, TraceOp, TraceReader,
+    BlockAddr, ByteReader, ByteSize, FaultPlan, FileId, FleetTopology, HostId, TraceOp, TraceReader,
 };
 
 /// The pre-refactor cache hot path, reconstructed for comparison: SipHash
@@ -225,6 +225,51 @@ fn bench_ssd_service(res: &mut Results) {
     );
 }
 
+/// Intra-batch NCQ overlap in *simulated* time: one submitter issuing
+/// 16-block `read_batch` calls back to back. With overlapped submission the
+/// batch finishes when its last member completes, not after the serial sum
+/// of per-command service times — so summed device busy time divided by
+/// elapsed simulated time is the concurrency the batch path extracts from
+/// the queue. Serial submission would pin this at 1.0; PERF.md invariant 14
+/// requires > 1.
+fn bench_ssd_batch_overlap(res: &mut Results) {
+    const BATCHES: u32 = 2_000;
+    const BATCH: u32 = 16;
+    let cfg = SimConfig {
+        flash_size: ByteSize::mib(256),
+        flash_timing: FlashTiming::Ssd(SsdConfig::auto()),
+        ..SimConfig::baseline()
+    };
+    let sim = Sim::new();
+    let dev = Rc::new(DeviceService::new(
+        sim.clone(),
+        &cfg,
+        HostId(0),
+        IoLog::disabled(),
+    ));
+    {
+        let dev = Rc::clone(&dev);
+        sim.spawn(async move {
+            for b in 0..BATCHES {
+                let addrs: Vec<BlockAddr> = (0..BATCH)
+                    .map(|i| BlockAddr::new(FileId(0), b * BATCH + i))
+                    .collect();
+                dev.read_batch(&addrs, None).await;
+            }
+        });
+    }
+    sim.run().expect("batch overlap run");
+    let stats = dev.stats();
+    let elapsed = sim.now();
+    sim.shutdown();
+    assert_eq!(stats.reads, u64::from(BATCHES * BATCH));
+    res.push(
+        "ssd_batch_overlap_speedup",
+        stats.read_time.as_nanos() as f64 / elapsed.as_nanos().max(1) as f64,
+        "x",
+    );
+}
+
 fn main() {
     let scale = scale_from_env(1024);
     println!("# micro benchmarks, workload scale 1/{scale}");
@@ -235,6 +280,7 @@ fn main() {
     bench_block_cache(&mut res);
     bench_des(&mut res);
     bench_ssd_service(&mut res);
+    bench_ssd_batch_overlap(&mut res);
 
     // End-to-end throughput: simulated trace blocks per wall-clock second.
     let wb = Workbench::new(scale, 42);
@@ -342,20 +388,67 @@ fn main() {
     );
     res.push("trace_bytes_per_op_seed", 20.0, "B");
 
-    // Streamed replay throughput: the full zero-copy pipeline — encode the
-    // workload as an FCTRACE1 image, then replay it through chunked decode
-    // and the per-thread feed (resident op memory stays O(chunk)).
+    // Streamed replay throughput — the zero-copy fast path: a `ByteReader`
+    // over the raw FCTRACE1 image forks one cursor per (host, thread) slot
+    // and each engine task decodes its records straight out of the archive
+    // bytes, with no chunk queues or op buffering in between. This is what
+    // `fcsim replay` runs over a mapped archive.
     let mut archive = Vec::new();
     trace.encode(&mut archive).expect("encode trace");
     let scaled_layered = layered.clone().scaled_down(wb.scale());
-    let t0 = Instant::now();
-    let mut reader = TraceReader::new(archive.as_slice()).expect("trace header");
-    let r = fcache_bench::run_source(&scaled_layered, &mut reader).expect("streamed replay");
-    let replay_wall = t0.elapsed().as_secs_f64();
-    assert!(r.metrics.read_ops > 0);
+    // Best-of-3 wall time: the replay engine is deterministic, so repeat
+    // variation is pure measurement noise (scheduler, cache state of a
+    // shared CI core) and the minimum is the least-contaminated sample.
+    let replay_reps = 3;
+    let mut replay_wall = f64::MAX;
+    for _ in 0..replay_reps {
+        let t0 = Instant::now();
+        let mut bytes = ByteReader::new(&archive).expect("trace header");
+        let r = fcache_bench::run_source(&scaled_layered, &mut bytes).expect("forked replay");
+        replay_wall = replay_wall.min(t0.elapsed().as_secs_f64());
+        assert!(r.metrics.read_ops > 0);
+    }
     res.push(
         "trace_replay_ops_per_sec",
         trace.len() as f64 / replay_wall,
+        "ops/s",
+    );
+
+    // The chunk-fed fallback for comparison: buffered `TraceReader` decode
+    // through the per-slot feed (spill-bounded queues, resident op memory
+    // O(chunk)) — the path non-mappable inputs take.
+    let mut chunked_wall = f64::MAX;
+    for _ in 0..replay_reps {
+        let t0 = Instant::now();
+        let mut reader = TraceReader::new(archive.as_slice()).expect("trace header");
+        let r = fcache_bench::run_source(&scaled_layered, &mut reader).expect("chunked replay");
+        chunked_wall = chunked_wall.min(t0.elapsed().as_secs_f64());
+        assert!(r.metrics.read_ops > 0);
+    }
+    res.push(
+        "trace_replay_chunked_ops_per_sec",
+        trace.len() as f64 / chunked_wall,
+        "ops/s",
+    );
+
+    // End-to-end file replay through a real memory mapping: archive on
+    // disk, `Workload::file` (open → mmap → `ByteReader` → forked cursors),
+    // including open/map/header cost.
+    let replay_path = std::env::temp_dir().join("fcache_bench_replay.fctrace");
+    std::fs::write(&replay_path, &archive).expect("write archive");
+    let mut mmap_wall = f64::MAX;
+    for _ in 0..replay_reps {
+        let t0 = Instant::now();
+        let r = fcache_bench::Scenario::new(scaled_layered.clone(), Workload::file(&replay_path))
+            .run()
+            .expect("mmap replay");
+        mmap_wall = mmap_wall.min(t0.elapsed().as_secs_f64());
+        assert!(r.metrics.read_ops > 0);
+    }
+    let _ = std::fs::remove_file(&replay_path);
+    res.push(
+        "replay_mmap_ops_per_sec",
+        trace.len() as f64 / mmap_wall,
         "ops/s",
     );
 

@@ -1,0 +1,303 @@
+//! Scratch profiling harness: replays the bench workload repeatedly under a
+//! SIGPROF flat sampler (raw instruction pointers, resolved offline with
+//! `addr2line`) so hot functions are visible without perf/gdb.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use fcache_bench::{run_source, run_trace, SimConfig, Workbench, WorkloadSpec};
+use fcache_types::TraceReader;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+static ALLOC_BYTES: AtomicUsize = AtomicUsize::new(0);
+
+const SIZE_CLASSES: usize = 64;
+static SIZE_HIST: [AtomicUsize; SIZE_CLASSES] = [const { AtomicUsize::new(0) }; SIZE_CLASSES];
+
+fn note_size(sz: usize) {
+    // Exact size buckets for small sizes, then power-of-two classes.
+    let idx = if sz < 48 {
+        sz
+    } else {
+        48 + (63 - (sz as u64).leading_zeros() as usize).min(15)
+    };
+    SIZE_HIST[idx.min(SIZE_CLASSES - 1)].fetch_add(1, Ordering::Relaxed);
+}
+
+// Caller capture: frame-pointer walk (build with
+// RUSTFLAGS="-Cforce-frame-pointers=yes") recording up to 4 caller IPs for
+// allocations in the size band [TRACK_LO, TRACK_HI).
+static TRACK_LO: AtomicUsize = AtomicUsize::new(0);
+static TRACK_HI: AtomicUsize = AtomicUsize::new(0);
+const MAX_SITES: usize = 1_000_000;
+static mut SITES: [[u64; 4]; MAX_SITES] = [[0; 4]; MAX_SITES];
+static NSITES: AtomicUsize = AtomicUsize::new(0);
+
+#[inline(never)]
+unsafe fn record_site() {
+    let mut fp: u64;
+    std::arch::asm!("mov {}, rbp", out(reg) fp);
+    let i = NSITES.fetch_add(1, Ordering::Relaxed);
+    if i >= MAX_SITES {
+        return;
+    }
+    let mut out = [0u64; 4];
+    for slot in out.iter_mut() {
+        if fp == 0 || !fp.is_multiple_of(8) {
+            break;
+        }
+        let ret = *((fp + 8) as *const u64);
+        if ret == 0 {
+            break;
+        }
+        *slot = ret;
+        fp = *(fp as *const u64);
+    }
+    SITES[i] = out;
+}
+
+unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size(), Ordering::Relaxed);
+        note_size(layout.size());
+        let lo = TRACK_LO.load(Ordering::Relaxed);
+        if lo != 0 && layout.size() >= lo && layout.size() < TRACK_HI.load(Ordering::Relaxed) {
+            record_site();
+        }
+        std::alloc::System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        std::alloc::System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new, Ordering::Relaxed);
+        std::alloc::System.realloc(ptr, layout, new)
+    }
+}
+
+#[global_allocator]
+static GA: CountingAlloc = CountingAlloc;
+
+const MAX_SAMPLES: usize = 4_000_000;
+static mut SAMPLES: [u64; MAX_SAMPLES] = [0; MAX_SAMPLES];
+static NSAMPLES: AtomicUsize = AtomicUsize::new(0);
+
+#[cfg(target_os = "linux")]
+mod prof {
+    use super::{MAX_SAMPLES, NSAMPLES, SAMPLES};
+    use std::sync::atomic::Ordering;
+
+    #[repr(C)]
+    struct Sigaction {
+        sa_sigaction: usize,
+        sa_mask: [u64; 16],
+        sa_flags: i32,
+        sa_restorer: usize,
+    }
+
+    #[repr(C)]
+    struct Timeval {
+        tv_sec: i64,
+        tv_usec: i64,
+    }
+
+    #[repr(C)]
+    struct Itimerval {
+        it_interval: Timeval,
+        it_value: Timeval,
+    }
+
+    extern "C" {
+        fn sigaction(signum: i32, act: *const Sigaction, old: *mut Sigaction) -> i32;
+        fn setitimer(which: i32, new: *const Itimerval, old: *mut Itimerval) -> i32;
+    }
+
+    const SIGPROF: i32 = 27;
+    const ITIMER_PROF: i32 = 2;
+    const SA_SIGINFO: i32 = 4;
+    const SA_RESTART: i32 = 0x10000000;
+
+    unsafe extern "C" fn handler(_sig: i32, _info: *mut u8, uctx: *mut u8) {
+        // x86_64 glibc ucontext_t: uc_mcontext.gregs starts at offset 40,
+        // REG_RIP = 16.
+        let rip = *(uctx.add(40 + 16 * 8) as *const u64);
+        let i = NSAMPLES.fetch_add(1, Ordering::Relaxed);
+        if i < MAX_SAMPLES {
+            SAMPLES[i] = rip;
+        }
+    }
+
+    pub fn start() {
+        unsafe {
+            let act = Sigaction {
+                sa_sigaction: handler as *const () as usize,
+                sa_mask: [0; 16],
+                sa_flags: SA_SIGINFO | SA_RESTART,
+                sa_restorer: 0,
+            };
+            assert_eq!(sigaction(SIGPROF, &act, std::ptr::null_mut()), 0);
+            // 1 kHz profiling timer.
+            let it = Itimerval {
+                it_interval: Timeval {
+                    tv_sec: 0,
+                    tv_usec: 1000,
+                },
+                it_value: Timeval {
+                    tv_sec: 0,
+                    tv_usec: 1000,
+                },
+            };
+            assert_eq!(setitimer(ITIMER_PROF, &it, std::ptr::null_mut()), 0);
+        }
+    }
+
+    pub fn handler_addr() -> usize {
+        handler as *const () as usize
+    }
+
+    pub fn stop() {
+        unsafe {
+            let it = Itimerval {
+                it_interval: Timeval {
+                    tv_sec: 0,
+                    tv_usec: 0,
+                },
+                it_value: Timeval {
+                    tv_sec: 0,
+                    tv_usec: 0,
+                },
+            };
+            setitimer(ITIMER_PROF, &it, std::ptr::null_mut());
+        }
+    }
+}
+
+fn main() {
+    let scale: u64 = std::env::var("PROF_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256);
+    let wb = Workbench::new(scale, 42);
+    let trace = wb.make_trace(&WorkloadSpec::baseline_60g());
+    let mut archive = Vec::new();
+    trace.encode(&mut archive).expect("encode");
+    let cfg = SimConfig::baseline().scaled_down(scale);
+
+    let reps = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5usize);
+    let profile = std::env::args().nth(2).as_deref() == Some("prof");
+    if let Ok(band) = std::env::var("PROF_ALLOC_BAND") {
+        let (lo, hi) = band.split_once(':').expect("LO:HI");
+        TRACK_LO.store(lo.parse().expect("lo"), Ordering::Relaxed);
+        TRACK_HI.store(hi.parse().expect("hi"), Ordering::Relaxed);
+    }
+
+    let mut events = 0u64;
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let b0 = ALLOC_BYTES.load(Ordering::Relaxed);
+    let mut cursor = f64::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let r = run_trace(&cfg, &trace).expect("run_trace");
+        cursor = cursor.min(t.elapsed().as_secs_f64());
+        assert!(r.metrics.read_ops > 0);
+        events = r.events;
+    }
+    let allocs = (ALLOCS.load(Ordering::Relaxed) - a0) as f64 / reps as f64;
+    let bytes = (ALLOC_BYTES.load(Ordering::Relaxed) - b0) as f64 / reps as f64;
+    println!(
+        "events/op = {:.1}  blocks/op = {:.1}  allocs/op = {:.1}  alloc B/op = {:.0}",
+        events as f64 / trace.len() as f64,
+        trace.stats().blocks as f64 / trace.len() as f64,
+        allocs / trace.len() as f64,
+        bytes / trace.len() as f64,
+    );
+    let mut hist: Vec<(usize, usize)> = SIZE_HIST
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (i, c.load(Ordering::Relaxed)))
+        .filter(|&(_, c)| c > 0)
+        .collect();
+    hist.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    for (i, c) in hist.iter().take(12) {
+        let label = if *i < 48 {
+            format!("{i} B")
+        } else {
+            format!("2^{}..", i - 48)
+        };
+        println!(
+            "  size {label:>8}: {c} allocs ({:.1}/op)",
+            *c as f64 / (reps * trace.len()) as f64
+        );
+    }
+    let nsites = NSITES.load(Ordering::Relaxed).min(MAX_SITES);
+    if nsites > 0 {
+        let mut out = String::new();
+        unsafe {
+            for site in SITES[..nsites].iter() {
+                use std::fmt::Write as _;
+                let _ = writeln!(
+                    out,
+                    "{:#x} {:#x} {:#x} {:#x}",
+                    site[0], site[1], site[2], site[3]
+                );
+            }
+        }
+        std::fs::write("/tmp/alloc_sites.txt", out).expect("write sites");
+        let maps = std::fs::read_to_string("/proc/self/maps").unwrap_or_default();
+        std::fs::write("/tmp/profile_maps.txt", maps).expect("write maps");
+        println!(
+            "wrote {nsites} alloc sites; handler at {:#x}",
+            prof::handler_addr()
+        );
+    }
+
+    if profile {
+        #[cfg(target_os = "linux")]
+        {
+            prof::start();
+            let t0 = Instant::now();
+            while t0.elapsed().as_secs_f64() < 10.0 {
+                run_trace(&cfg, &trace).expect("run_trace");
+            }
+            prof::stop();
+            let n = NSAMPLES.load(Ordering::Relaxed).min(MAX_SAMPLES);
+            let mut out = String::new();
+            unsafe {
+                for &s in &SAMPLES[..n] {
+                    out.push_str(&format!("{s:#x}\n"));
+                }
+            }
+            std::fs::write("/tmp/profile_ips.txt", out).expect("write samples");
+            let maps = std::fs::read_to_string("/proc/self/maps").unwrap_or_default();
+            std::fs::write("/tmp/profile_maps.txt", maps).expect("write maps");
+            println!("wrote {n} samples to /tmp/profile_ips.txt");
+            println!("handler at {:#x}", prof::handler_addr());
+        }
+        return;
+    }
+
+    let mut streamed = f64::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let mut reader = TraceReader::new(archive.as_slice()).expect("header");
+        let r = run_source(&cfg, &mut reader).expect("run_source");
+        streamed = streamed.min(t.elapsed().as_secs_f64());
+        assert!(r.metrics.read_ops > 0);
+    }
+
+    println!(
+        "ops={} cursor={:.1}ms ({:.0} ops/s)  streamed={:.1}ms ({:.0} ops/s)",
+        trace.len(),
+        cursor * 1e3,
+        trace.len() as f64 / cursor,
+        streamed * 1e3,
+        trace.len() as f64 / streamed,
+    );
+}

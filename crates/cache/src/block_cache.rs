@@ -314,7 +314,14 @@ impl BlockCache {
             return InsertOutcome::ZeroCapacity;
         }
 
-        let evicted = if self.lru.len() >= self.capacity {
+        let entry = Entry {
+            addr,
+            dirty: false,
+            referenced: false,
+            dirty_prev: None,
+            dirty_next: None,
+        };
+        let outcome = if self.lru.len() >= self.capacity {
             let victim_id = self.select_victim();
             let was_dirty = self.lru.get(victim_id).expect("victim lives").dirty;
             if was_dirty {
@@ -323,32 +330,28 @@ impl BlockCache {
             } else {
                 self.stats.clean_evictions += 1;
             }
-            let victim = self.lru.remove(victim_id).expect("victim lives");
+            // Recycle the victim's node in place: same slot `remove` +
+            // `push_front` would reuse, minus the free-list round trip.
+            let victim = self.lru.replace_to_front(victim_id, entry);
             self.map.remove(&victim.addr.to_u64());
-            Some(Eviction {
+            self.map.insert(key, victim_id);
+            if dirty {
+                self.link_dirty(victim_id);
+            }
+            InsertOutcome::InsertedEvicting(Eviction {
                 addr: victim.addr,
                 dirty: was_dirty,
             })
         } else {
-            None
+            let id = self.lru.push_front(entry);
+            self.map.insert(key, id);
+            if dirty {
+                self.link_dirty(id);
+            }
+            InsertOutcome::Inserted
         };
-
-        let id = self.lru.push_front(Entry {
-            addr,
-            dirty: false,
-            referenced: false,
-            dirty_prev: None,
-            dirty_next: None,
-        });
-        self.map.insert(key, id);
-        if dirty {
-            self.link_dirty(id);
-        }
         self.stats.insertions += 1;
-        match evicted {
-            Some(ev) => InsertOutcome::InsertedEvicting(ev),
-            None => InsertOutcome::Inserted,
-        }
+        outcome
     }
 
     /// Marks a cached block dirty (no promotion). Returns false if absent.

@@ -171,6 +171,29 @@ impl<T> LruList<T> {
         self.link_front(id.0);
     }
 
+    /// Replaces the value of `id` (the usual caller passes the LRU tail)
+    /// and moves the node to the MRU end, returning the old value.
+    ///
+    /// Equivalent to `remove(id)` + `push_front(value)` — which always
+    /// recycles the same slot — but skips the free-list round trip and the
+    /// `Option` churn; this is the steady-state path of a full cache, where
+    /// every insert evicts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a live node.
+    pub fn replace_to_front(&mut self, id: NodeId, value: T) -> T {
+        let old = self.nodes[id.index()]
+            .value
+            .replace(value)
+            .expect("replace_to_front of dead node");
+        if self.head != id.0 {
+            self.unlink(id.0);
+            self.link_front(id.0);
+        }
+        old
+    }
+
     /// Removes and returns the LRU value.
     pub fn pop_back(&mut self) -> Option<T> {
         if self.tail == NIL {
@@ -331,6 +354,29 @@ mod tests {
         l.touch(a);
         assert_eq!(l.front().unwrap(), a);
         assert_eq!(l.get(l.back().unwrap()), Some(&2));
+    }
+
+    #[test]
+    fn replace_to_front_recycles_in_place() {
+        let mut l = LruList::new();
+        let a = l.push_front(1);
+        let b = l.push_front(2);
+        // Replace the tail: node keeps its handle, moves to MRU.
+        assert_eq!(l.replace_to_front(a, 10), 1);
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.iter().copied().collect::<Vec<_>>(), vec![10, 2]);
+        assert_eq!(l.front(), Some(a));
+        assert_eq!(l.back(), Some(b));
+        // Replacing the head keeps order.
+        assert_eq!(l.replace_to_front(a, 11), 10);
+        assert_eq!(l.iter().copied().collect::<Vec<_>>(), vec![11, 2]);
+        // Matches remove + push_front slot reuse.
+        let mut m = LruList::new();
+        let x = m.push_front(1);
+        m.push_front(2);
+        m.remove(x);
+        let y = m.push_front(3);
+        assert_eq!(x, y);
     }
 
     #[test]

@@ -1056,7 +1056,9 @@ fn cmd_trace_stats(args: &[String]) -> CmdResult {
         .ok_or_else(|| ArgError("--in FILE is required".into()))?;
     // Stream the file in bounded chunks: stats over an arbitrarily large
     // archive without ever materializing its ops.
+    let t0 = std::time::Instant::now();
     let (_, s, peak) = stream_stats(BufReader::new(File::open(path)?))?;
+    let wall = t0.elapsed().as_secs_f64();
     println!("ops                {}", s.ops);
     println!("blocks             {}", s.blocks);
     println!("bytes              {}", s.bytes);
@@ -1068,6 +1070,13 @@ fn cmd_trace_stats(args: &[String]) -> CmdResult {
     println!("hosts              {}", s.max_host + 1);
     println!("threads/host       {}", s.max_thread + 1);
     println!("peak op buffer     {peak} bytes (streamed decode)");
+    if wall > 0.0 {
+        println!(
+            "decode throughput  {:.0} ops/s ({:.1} ms wall)",
+            s.ops as f64 / wall,
+            wall * 1e3
+        );
+    }
     Ok(())
 }
 
@@ -1103,13 +1112,17 @@ fn cmd_replay(args: &[String]) -> CmdResult {
     // Surface a missing/unreadable/corrupt archive directly — validating
     // the FCTRACE1 header here keeps the replay fallback below for what
     // it is meant for (archives whose header understates their op ids).
-    TraceReader::new(BufReader::new(
+    let total_ops = TraceReader::new(BufReader::new(
         File::open(path).map_err(|e| ArgError(format!("--in {path}: {e}")))?,
     ))
-    .map_err(|e| ArgError(format!("--in {path}: {e}")))?;
-    // A scenario over a file workload: chunked replay, so resident op
-    // memory is O(TRACE_CHUNK_OPS), not O(trace) — paper-scale archives
-    // replay on small machines.
+    .map_err(|e| ArgError(format!("--in {path}: {e}")))?
+    .remaining();
+    // A scenario over a file workload: the archive is memory-mapped and
+    // replayed through per-slot cursors when the platform allows (falling
+    // back to chunked buffered reads), so resident op memory is
+    // O(TRACE_CHUNK_OPS), not O(trace) — paper-scale archives replay on
+    // small machines.
+    let t0 = std::time::Instant::now();
     let report = match Scenario::new(cfg.clone(), Workload::file(path)).run() {
         Ok(report) => report,
         Err(fcache::SimError::Source(msg)) => {
@@ -1125,6 +1138,7 @@ fn cmd_replay(args: &[String]) -> CmdResult {
         }
         Err(e) => return Err(e.into()),
     };
+    let wall = t0.elapsed().as_secs_f64();
     print!("{report}");
     println!(
         "read latency       {:.1} us/block",
@@ -1134,6 +1148,14 @@ fn cmd_replay(args: &[String]) -> CmdResult {
         "write latency      {:.2} us/block",
         report.write_latency_us()
     );
+    if wall > 0.0 {
+        println!(
+            "replay throughput  {:.0} ops/s ({} ops in {:.1} ms wall)",
+            total_ops as f64 / wall,
+            total_ops,
+            wall * 1e3
+        );
+    }
     Ok(())
 }
 

@@ -33,7 +33,7 @@
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-use fcache_des::{Resource, Sim, SimTime};
+use fcache_des::{CompletionSet, Resource, Sim, SimTime};
 use fcache_device::{IoDirection, IoLog, SsdModel, WindowStat};
 use fcache_types::{BlockAddr, FaultEffect, FaultSchedule, HostId, Phase};
 use rand::rngs::SmallRng;
@@ -422,15 +422,18 @@ impl DeviceService {
     pub async fn read(&self, addr: BlockAddr, sp: Option<&OpSpan>) {
         let lba = self.lba(addr);
         self.iolog.log_read(lba);
-        let m = self.fault_admit(sp).await;
+        let m = if self.faults.is_none() {
+            1.0
+        } else {
+            self.fault_admit(sp).await
+        };
         match &self.ssd {
             None => {
                 enter(sp, &self.sim, Phase::DeviceService);
                 self.sim.sleep(Self::inflate(self.flat_read, m)).await;
             }
             Some(q) => {
-                q.service(&self.sim, IoDirection::Read, lba, false, m, sp)
-                    .await;
+                q.service(&self.sim, IoDirection::Read, lba, m, sp).await;
             }
         }
     }
@@ -438,14 +441,21 @@ impl DeviceService {
     /// Services a batch of block reads issued by one operation (the
     /// layered read path's flash hits). Flat mode charges one combined
     /// sleep of `n × read latency` — exactly the pre-service engine
-    /// behavior; SSD mode services the blocks through the queue in order.
+    /// behavior. SSD mode submits one command per *distinct* LBA into the
+    /// bounded NCQ at once and completes when the last command finishes:
+    /// the batch overlaps across the queue's service slots instead of
+    /// paying `n × serial service`.
     pub async fn read_batch(&self, addrs: &[BlockAddr], sp: Option<&OpSpan>) {
         if addrs.is_empty() {
             return;
         }
         // One batch is one request stream: admit it through the fault
         // schedule once, like one command at the device interface.
-        let m = self.fault_admit(sp).await;
+        let m = if self.faults.is_none() {
+            1.0
+        } else {
+            self.fault_admit(sp).await
+        };
         match &self.ssd {
             None => {
                 for &a in addrs {
@@ -457,23 +467,37 @@ impl DeviceService {
                     .await;
             }
             Some(q) => {
+                // One device command per distinct LBA, first-occurrence
+                // order (repeats inside one op would hit the device's
+                // internal cache, and the iolog records each LBA once).
+                let mut lbas: Vec<u64> = Vec::with_capacity(addrs.len());
                 for &a in addrs {
                     let lba = self.lba(a);
-                    self.iolog.log_read(lba);
-                    q.service(&self.sim, IoDirection::Read, lba, false, m, sp)
-                        .await;
+                    if !lbas.contains(&lba) {
+                        lbas.push(lba);
+                    }
                 }
+                for &lba in &lbas {
+                    self.iolog.log_read(lba);
+                }
+                q.service_batch(&self.sim, IoDirection::Read, &lbas, m, sp)
+                    .await;
             }
         }
     }
 
     /// Services one block write (any flash landing). Flat mode preserves
     /// the pre-service order (sleep, then log); SSD mode submits to the
-    /// queue, servicing two device writes per block when the cache keeps
-    /// persistent metadata (§7.8).
+    /// queue. When the cache keeps persistent metadata (§7.8), the block
+    /// is a two-command batch — "one of the data and one for the
+    /// meta-data" — overlapped across the NCQ like any other batch.
     pub async fn write(&self, addr: BlockAddr, sp: Option<&OpSpan>) {
         let lba = self.lba(addr);
-        let m = self.fault_admit(sp).await;
+        let m = if self.faults.is_none() {
+            1.0
+        } else {
+            self.fault_admit(sp).await
+        };
         match &self.ssd {
             None => {
                 enter(sp, &self.sim, Phase::DeviceService);
@@ -482,8 +506,12 @@ impl DeviceService {
             }
             Some(q) => {
                 self.iolog.log_write(lba);
-                q.service(&self.sim, IoDirection::Write, lba, self.persistent, m, sp)
-                    .await;
+                if self.persistent {
+                    q.service_batch(&self.sim, IoDirection::Write, &[lba, lba], m, sp)
+                        .await;
+                } else {
+                    q.service(&self.sim, IoDirection::Write, lba, m, sp).await;
+                }
             }
         }
     }
@@ -541,7 +569,6 @@ impl SsdQueue {
         sim: &Sim,
         dir: IoDirection,
         lba: u64,
-        persistent_write: bool,
         scale: f64,
         sp: Option<&OpSpan>,
     ) {
@@ -553,15 +580,7 @@ impl SsdQueue {
             let mut m = self.model.borrow_mut();
             match dir {
                 IoDirection::Read => m.read(lba),
-                IoDirection::Write => {
-                    let mut t = m.write(lba);
-                    if persistent_write {
-                        // "two flash writes per block, one of the data and
-                        // one for the meta-data" (§7.8).
-                        t += m.write(lba);
-                    }
-                    t
-                }
+                IoDirection::Write => m.write(lba),
             }
         };
         let t = DeviceService::inflate(t, scale);
@@ -569,6 +588,68 @@ impl SsdQueue {
         self.window_record(dir, t);
         enter(sp, sim, Phase::DeviceService);
         sim.sleep(t).await;
+    }
+
+    /// Submits every command of one op's batch into the NCQ at once and
+    /// completes when the *last* command finishes — intra-op NCQ
+    /// parallelism instead of `n × serial service`.
+    ///
+    /// A batch of one is serviced through [`Self::service`] verbatim, so
+    /// it stays bit-identical to a single [`DeviceService::read`]. Larger
+    /// batches submit through a [`CompletionSet`]: sub-commands are polled
+    /// in submission order, the NCQ [`Resource`] grants FIFO, so model
+    /// draws still happen in submission order and stay deterministic.
+    /// Per-command stats are exact — each command records its own
+    /// occupancy-at-submit, wait flag, service draw, histogram entry, and
+    /// window sample, exactly as many as serial submission would.
+    ///
+    /// Span attribution: the op is in `FlashQueue` from batch submission
+    /// until its last command is admitted and drawn, then `DeviceService`
+    /// until the last completion.
+    async fn service_batch(
+        &self,
+        sim: &Sim,
+        dir: IoDirection,
+        lbas: &[u64],
+        scale: f64,
+        sp: Option<&OpSpan>,
+    ) {
+        match lbas {
+            [] => {}
+            [lba] => self.service(sim, dir, *lba, scale, sp).await,
+            _ => {
+                let admitted = Cell::new(0usize);
+                let n = lbas.len();
+                enter(sp, sim, Phase::FlashQueue);
+                let mut batch = CompletionSet::new();
+                for &lba in lbas {
+                    let admitted = &admitted;
+                    batch.submit(async move {
+                        let waited = self.slots.available() == 0 || self.slots.queue_len() > 0;
+                        self.stats.note_submit(self.inflight(), waited);
+                        let _slot = self.slots.acquire().await;
+                        let t = {
+                            let mut m = self.model.borrow_mut();
+                            match dir {
+                                IoDirection::Read => m.read(lba),
+                                IoDirection::Write => m.write(lba),
+                            }
+                        };
+                        let t = DeviceService::inflate(t, scale);
+                        self.stats.note_complete(dir, t);
+                        self.window_record(dir, t);
+                        admitted.set(admitted.get() + 1);
+                        if admitted.get() == n {
+                            // The whole batch is in service; the op's
+                            // remaining wait is pure device time.
+                            enter(sp, sim, Phase::DeviceService);
+                        }
+                        sim.sleep(t).await;
+                    });
+                }
+                batch.wait_all().await;
+            }
+        }
     }
 
     fn window_record(&self, dir: IoDirection, t: SimTime) {

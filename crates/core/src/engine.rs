@@ -211,9 +211,9 @@ async fn read_unified(h: &Rc<HostCtx>, op: &TraceOp, sp: Option<&OpSpan>) {
     if wait > SimTime::ZERO {
         h.sim.sleep(wait).await;
     }
-    for &b in flash_hits.iter() {
-        h.dev.read(b, sp).await;
-    }
+    // Queue-aware flash hits overlap through the NCQ as one batch, the
+    // same as the layered read path.
+    h.dev.read_batch(&flash_hits, sp).await;
     h.put_buf(flash_hits);
     if misses.is_empty() {
         if let Some(s) = sp {

@@ -86,6 +86,7 @@ pub mod results;
 pub mod robust;
 pub mod scenario;
 pub mod sim;
+mod spill;
 pub mod telemetry;
 
 pub use arch::Architecture;

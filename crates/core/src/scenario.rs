@@ -80,7 +80,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use fcache_types::{FaultPlan, Trace, TraceReader, TraceSource};
+use fcache_types::{ByteReader, FaultPlan, Trace, TraceReader, TraceSource};
 
 use crate::config::SimConfig;
 use crate::report::SimReport;
@@ -178,6 +178,17 @@ impl<'a> Workload<'a> {
             WorkloadKind::File(path) => {
                 let open = |e| SimError::Source(format!("{}: {e}", path.display()));
                 let file = File::open(path).map_err(open)?;
+                // Zero-copy fast path: map the archive and replay through
+                // per-slot cursors decoding records straight out of the
+                // page cache. Any mapping failure (non-unix target, empty
+                // file, resource limits) falls back to chunked buffered
+                // reads — the map is strictly an optimization, and both
+                // paths produce bit-identical reports (pinned by
+                // `tests/trace_streaming.rs`).
+                if let Ok(map) = fcache_mmap::Mmap::map(&file) {
+                    let mut reader = ByteReader::new(&map).map_err(open)?;
+                    return run_source(cfg, &mut reader);
+                }
                 let mut reader = TraceReader::new(BufReader::new(file)).map_err(open)?;
                 run_source(cfg, &mut reader)
             }

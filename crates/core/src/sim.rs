@@ -19,7 +19,6 @@
 //! [`SimReport`]s (asserted by `tests/trace_streaming.rs`).
 
 use std::cell::{Cell, RefCell};
-use std::collections::VecDeque;
 use std::io;
 use std::rc::Rc;
 
@@ -30,8 +29,8 @@ use fcache_filer::{Filer, FilerConfig};
 use fcache_net::{Segment, SegmentStats};
 use fcache_remote::{shard_filer_config, shard_net_config, RemoteStore, Router, ShardedStore};
 use fcache_types::{
-    mix64, FaultSchedule, FxHashSet, HostId, ResolvedFaultSet, Trace, TraceOp, TraceSource,
-    BLOCK_SIZE, TRACE_CHUNK_OPS,
+    mix64, FaultSchedule, FxHashSet, HostId, ResolvedFaultSet, SlotCursor, Trace, TraceOp,
+    TraceSource, BLOCK_SIZE, TRACE_CHUNK_OPS,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -45,6 +44,7 @@ use crate::host::{HostCtx, RemoteCtx};
 use crate::metrics::Metrics;
 use crate::report::SimReport;
 use crate::robust::{DegradedPolicy, FaultCtx, RobustnessState};
+use crate::spill::SpillQueue;
 use crate::telemetry::{SpanStream, TelemetryCtx, TelemetryStats};
 
 /// Error from a simulation run.
@@ -852,9 +852,13 @@ impl RawSource {
 }
 
 /// Shared chunk feed: per-slot queues refilled from the source on demand.
+/// The queues are [`SpillQueue`]s, so inter-thread skew past a bounded
+/// resident window overflows to disk instead of growing replay memory —
+/// O(chunk) per slot unconditionally, even for a trace whose slots are
+/// laid out back to back.
 struct Feed {
     source: RawSource,
-    queues: Vec<VecDeque<TraceOp>>,
+    queues: Vec<SpillQueue>,
     chunk: Vec<TraceOp>,
     n_threads: usize,
     done: bool,
@@ -867,8 +871,16 @@ impl Feed {
     /// time, matching the materialized path where all ops exist up front.
     fn next_for(&mut self, slot: usize) -> Option<TraceOp> {
         loop {
-            if let Some(op) = self.queues[slot].pop_front() {
-                return Some(op);
+            match self.queues[slot].pop() {
+                Ok(Some(op)) => return Some(op),
+                Ok(None) => {}
+                Err(e) => {
+                    // Spilled backlog that cannot be read back is gone;
+                    // fail the run rather than silently dropping ops.
+                    self.error = Some(format!("spilled op backlog lost: {e}"));
+                    self.done = true;
+                    return None;
+                }
             }
             if self.done {
                 return None;
@@ -895,7 +907,7 @@ impl Feed {
                         self.done = true;
                         return;
                     }
-                    self.queues[slot].push_back(op);
+                    self.queues[slot].push(op);
                 }
             }
             Err(e) => {
@@ -926,10 +938,17 @@ pub fn run_source<S: TraceSource>(
     let n_threads = meta.threads_per_host.max(1);
     let n_slots = n_hosts as usize * n_threads as usize;
 
+    // Zero-copy fast path: a random-access source hands every slot its
+    // own cursor, so ops flow straight from the source to the engine with
+    // no shared chunk buffer or per-slot queues at all.
+    if source.fork_slot(0, 0).is_some() {
+        return run_forked(config, source, n_hosts, n_threads);
+    }
+
     let parts = build_parts(config, n_hosts);
     let feed = Rc::new(RefCell::new(Feed {
         source: RawSource::new(source),
-        queues: vec![VecDeque::new(); n_slots],
+        queues: (0..n_slots).map(|_| SpillQueue::new()).collect(),
         chunk: Vec::with_capacity(TRACE_CHUNK_OPS),
         n_threads: n_threads as usize,
         done: false,
@@ -954,6 +973,71 @@ pub fn run_source<S: TraceSource>(
     spawn_daemons(&parts);
     let report = run_and_collect(&parts);
     if let Some(msg) = feed.borrow_mut().error.take() {
+        return Err(SimError::Source(msg));
+    }
+    report
+}
+
+/// The forked replay path: one [`SlotCursor`] per `(host, thread)` slot,
+/// each task pulling its own ops straight out of the source.
+///
+/// The task loop has exactly the same shape as the chunk-fed one — a
+/// synchronous pull, then one `execute_op` await per op — so both paths
+/// poll their tasks identically and produce bit-identical reports
+/// (including executor event counts; pinned by `tests/trace_streaming.rs`).
+fn run_forked<S: TraceSource + ?Sized>(
+    config: &SimConfig,
+    source: &S,
+    n_hosts: u16,
+    n_threads: u16,
+) -> Result<SimReport, SimError> {
+    let n_slots = n_hosts as usize * n_threads as usize;
+    let parts = build_parts(config, n_hosts);
+    let error: Rc<RefCell<Option<String>>> = Rc::new(RefCell::new(None));
+
+    for slot in 0..n_slots {
+        let host = Rc::clone(&parts.hosts[slot / n_threads as usize]);
+        let cursor = source
+            .fork_slot(
+                (slot / n_threads as usize) as u16,
+                (slot % n_threads as usize) as u16,
+            )
+            .expect("forkable source must fork every slot");
+        // SAFETY: erases the borrow of `source` so the `'static` task can
+        // hold the cursor. Sound for the same reason as `OpsView` and
+        // `RawSource`: the cursor is only used while `Sim::run` executes
+        // inside this function's borrow of the source — every task is
+        // completed or dropped by `Sim::shutdown` before we return, and a
+        // task that is never polled never touches it.
+        let mut cursor: Box<dyn SlotCursor + 'static> =
+            unsafe { std::mem::transmute::<Box<dyn SlotCursor + '_>, _>(cursor) };
+        let error = Rc::clone(&error);
+        parts.sim.spawn(async move {
+            loop {
+                let next = cursor.next();
+                match next {
+                    Ok(Some(op)) => {
+                        execute_op(&host, &op).await;
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        // First failing slot wins (deterministic: tasks
+                        // run in a deterministic order and every slot
+                        // stops at the same offending record anyway).
+                        let mut err = error.borrow_mut();
+                        if err.is_none() {
+                            *err = Some(e.to_string());
+                        }
+                        break;
+                    }
+                }
+            }
+        });
+    }
+
+    spawn_daemons(&parts);
+    let report = run_and_collect(&parts);
+    if let Some(msg) = error.borrow_mut().take() {
         return Err(SimError::Source(msg));
     }
     report

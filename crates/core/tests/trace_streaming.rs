@@ -8,7 +8,9 @@ use fcache::{
     run_source, run_trace, Architecture, Scenario, SimConfig, SimError, Workbench, Workload,
     WorkloadSpec,
 };
-use fcache_types::{ByteSize, SliceSource, TraceMeta, TraceOp, TraceReader, TraceSource};
+use fcache_types::{
+    ByteReader, ByteSize, SliceSource, TraceMeta, TraceOp, TraceReader, TraceSource,
+};
 
 fn configs() -> Vec<SimConfig> {
     vec![
@@ -89,6 +91,85 @@ fn chunked_file_replay_matches_cursor_replay() {
         let got = format!("{:?}", run_source(&cfg, &mut reader).expect("file replay"));
         assert_eq!(got, want, "file replay diverged for {:?}", cfg.arch);
     }
+}
+
+#[test]
+fn mapped_byte_replay_matches_cursor_replay() {
+    // The zero-copy fast path: a `ByteReader` over the raw archive image
+    // (what `Workload::file` builds over an `Mmap`) forks per-slot
+    // cursors instead of feeding chunk queues. Same report, bit for bit.
+    let wb = Workbench::new(4096, 17);
+    let trace = wb.make_trace(&WorkloadSpec {
+        working_set: ByteSize::gib(20),
+        seed: 41,
+        ..WorkloadSpec::default()
+    });
+    let mut archive = Vec::new();
+    trace.encode(&mut archive).expect("encode");
+
+    for cfg in configs() {
+        let cfg = cfg.scaled_down(4096);
+        let want = format!("{:?}", run_trace(&cfg, &trace).expect("cursor replay"));
+        let mut reader = ByteReader::new(&archive).expect("header");
+        let got = format!(
+            "{:?}",
+            run_source(&cfg, &mut reader).expect("mapped replay")
+        );
+        assert_eq!(got, want, "byte replay diverged for {:?}", cfg.arch);
+    }
+}
+
+#[test]
+fn slot_skewed_archive_replays_identically_through_the_spill() {
+    // A pathologically skewed layout: every one of host 0's ops precedes
+    // every one of host 1's. The chunk-fed path must buffer host 0's whole
+    // backlog while host 1's early pulls drive refills — far past the
+    // resident cap, so the disk spill engages. The report must still be
+    // bit-identical to cursor replay (and to the forked byte replay).
+    let mut trace = fcache_types::Trace::new(TraceMeta {
+        hosts: 2,
+        threads_per_host: 1,
+        ..TraceMeta::default()
+    });
+    let mk = |host: u16, i: u32| {
+        TraceOp::new(
+            fcache_types::HostId(host),
+            fcache_types::ThreadId(0),
+            if i.is_multiple_of(4) {
+                fcache_types::OpKind::Write
+            } else {
+                fcache_types::OpKind::Read
+            },
+            fcache_types::FileId(i % 16),
+            i.wrapping_mul(31) % 5000,
+            1 + i % 3,
+            false,
+        )
+    };
+    for i in 0..20_000 {
+        trace.ops.push(mk(0, i));
+    }
+    for i in 0..400 {
+        trace.ops.push(mk(1, i));
+    }
+    let mut archive = Vec::new();
+    trace.encode(&mut archive).expect("encode");
+
+    let cfg = SimConfig {
+        ram_size: ByteSize::kib(256),
+        flash_size: ByteSize::mib(1),
+        ..SimConfig::baseline()
+    };
+    let want = format!("{:?}", run_trace(&cfg, &trace).expect("cursor replay"));
+    let mut reader = TraceReader::new(archive.as_slice()).expect("header");
+    let got = format!(
+        "{:?}",
+        run_source(&cfg, &mut reader).expect("chunk-fed replay")
+    );
+    assert_eq!(got, want, "spill-backed chunk replay diverged");
+    let mut bytes = ByteReader::new(&archive).expect("header");
+    let forked = format!("{:?}", run_source(&cfg, &mut bytes).expect("forked replay"));
+    assert_eq!(forked, want, "forked byte replay diverged");
 }
 
 #[test]

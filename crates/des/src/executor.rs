@@ -7,16 +7,19 @@
 //! daemon tasks (e.g. periodic writeback syncers, which loop forever) do not
 //! keep the simulation alive.
 
+use std::alloc::Layout;
 use std::cell::{Cell, RefCell, UnsafeCell};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 use std::future::Future;
+use std::mem::ManuallyDrop;
 use std::pin::Pin;
+use std::ptr::NonNull;
 use std::rc::Rc;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::task::{Context, Poll, Wake, Waker};
+use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
 
 use crate::sync::{oneshot, OneshotReceiver};
 use crate::time::SimTime;
@@ -40,21 +43,83 @@ impl TaskId {
     }
 }
 
-type BoxedFuture = Pin<Box<dyn Future<Output = ()>>>;
+/// A pooled, pinned, type-erased task future: `Pin<Box<dyn Future>>`
+/// semantics with the backing allocation recycled through the thread-local
+/// layout pool (`pool::palloc`/`pool::pfree`), so steady-state spawning
+/// never touches the global allocator. Spawning used to `Box::pin` every
+/// task future; in flush-heavy simulations that was the dominant allocator
+/// traffic (the engine spawns a ~1 KiB writeback state machine per dirty
+/// block).
+struct TaskFuture {
+    ptr: NonNull<u8>,
+    poll_fn: unsafe fn(NonNull<u8>, &mut Context<'_>) -> Poll<()>,
+    /// Drops the payload in place *and* returns the block to the pool.
+    drop_fn: unsafe fn(NonNull<u8>),
+}
 
-/// State of one task slot.
-enum Slot {
-    /// No task; holds the next generation to assign.
-    Free { next_generation: u32 },
+impl TaskFuture {
+    fn new<F>(future: F) -> Self
+    where
+        F: Future<Output = ()> + 'static,
+    {
+        unsafe fn poll_impl<F: Future<Output = ()>>(
+            p: NonNull<u8>,
+            cx: &mut Context<'_>,
+        ) -> Poll<()> {
+            // SAFETY: `p` holds a valid `F` that never moves (heap block,
+            // released only on drop), so pinning it is sound.
+            unsafe { Pin::new_unchecked(&mut *p.cast::<F>().as_ptr()).poll(cx) }
+        }
+        unsafe fn drop_impl<F>(p: NonNull<u8>) {
+            // SAFETY: `p` holds a valid, initialized `F` from `palloc`.
+            unsafe {
+                std::ptr::drop_in_place(p.cast::<F>().as_ptr());
+                crate::pool::pfree(p, Layout::new::<F>());
+            }
+        }
+        debug_assert!(std::mem::size_of::<F>() > 0, "spawned future is zero-sized");
+        let ptr = crate::pool::palloc(Layout::new::<F>());
+        // SAFETY: freshly allocated block of `F`'s layout.
+        unsafe { ptr.cast::<F>().as_ptr().write(future) };
+        Self {
+            ptr,
+            poll_fn: poll_impl::<F>,
+            drop_fn: drop_impl::<F>,
+        }
+    }
+}
+
+impl Drop for TaskFuture {
+    fn drop(&mut self) {
+        // SAFETY: payload is valid until this first and only drop.
+        unsafe { (self.drop_fn)(self.ptr) };
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SlotState {
+    /// No task; `generation` is the next to assign and `waker` (if any) is
+    /// the previous task's block, kept for rebinding.
+    Free,
     /// A parked task waiting to be polled.
-    Parked {
-        generation: u32,
-        future: BoxedFuture,
-        waker: Waker,
-        daemon: bool,
-    },
-    /// The task is currently being polled (future temporarily moved out).
-    Running { generation: u32, daemon: bool },
+    Parked,
+    /// The task is currently being polled. The future stays in the slot
+    /// (it is heap-pinned, so the slot vector may grow under it), but no
+    /// one else may touch it.
+    Running,
+}
+
+/// One task slot. A struct rather than an enum so `poll_task` can run the
+/// future *in place* — flipping `state` and copying out the two raw
+/// pointers — instead of shuffling a large enum payload out and back on
+/// every poll.
+struct Slot {
+    state: SlotState,
+    daemon: bool,
+    /// Current generation while Parked/Running; next to assign while Free.
+    generation: u32,
+    future: Option<TaskFuture>,
+    waker: Option<Waker>,
 }
 
 /// FIFO ready queue shared with wakers.
@@ -68,14 +133,30 @@ enum Slot {
 /// output's waker escapes, e.g. through a panic-unwind payload) falls back
 /// to a mutex-protected side queue, drained by the owner before each pop.
 ///
-/// Safety argument: `local` is touched only after verifying
-/// `thread::current().id() == owner`, so at most one thread ever holds a
-/// reference into it; cross-thread pushes go exclusively through `remote`.
+/// Safety argument: `local` is touched only after verifying the caller's
+/// [`thread_token`] matches `owner`, so at most one thread at a time ever
+/// holds a reference into it (token addresses are unique among live
+/// threads); cross-thread pushes go exclusively through `remote`. A token
+/// address can recur only after the owner thread exits — at which point the
+/// owner no longer touches `local`, and the TLS block's reuse through the
+/// allocator orders the old accesses before the new thread's.
 struct ReadyQueue {
-    owner: std::thread::ThreadId,
+    owner: usize,
     local: UnsafeCell<VecDeque<TaskId>>,
     remote: Mutex<Vec<TaskId>>,
     has_remote: AtomicBool,
+}
+
+thread_local! {
+    /// Identity anchor: the address of this thread-local is unique per live
+    /// thread, giving a thread-identity check that is one TLS address
+    /// computation instead of `thread::current()`'s `Arc<Thread>` clone —
+    /// `ReadyQueue::push` runs on every waker wake.
+    static THREAD_TOKEN: u8 = const { 0 };
+}
+
+fn thread_token() -> usize {
+    THREAD_TOKEN.with(|t| t as *const u8 as usize)
 }
 
 // SAFETY: `local` is only accessed from `owner` (checked at runtime);
@@ -86,7 +167,7 @@ unsafe impl Sync for ReadyQueue {}
 impl ReadyQueue {
     fn new() -> Self {
         Self {
-            owner: std::thread::current().id(),
+            owner: thread_token(),
             local: UnsafeCell::new(VecDeque::with_capacity(256)),
             remote: Mutex::new(Vec::new()),
             has_remote: AtomicBool::new(false),
@@ -94,7 +175,7 @@ impl ReadyQueue {
     }
 
     fn push(&self, id: TaskId) {
-        if std::thread::current().id() == self.owner {
+        if thread_token() == self.owner {
             // SAFETY: we are the owner thread; no other thread touches
             // `local` (see type-level comment).
             unsafe { (*self.local.get()).push_back(id) };
@@ -104,48 +185,190 @@ impl ReadyQueue {
         }
     }
 
+    /// Push from the executor itself (spawn, timer fire). `Sim` is `!Send`,
+    /// so these call sites are always on the owner thread and can skip the
+    /// thread-id check that `push` pays for waker-originated wakes.
+    fn push_owner(&self, id: TaskId) {
+        debug_assert_eq!(thread_token(), self.owner);
+        // SAFETY: owner thread only, as asserted above.
+        unsafe { (*self.local.get()).push_back(id) };
+    }
+
     /// Pops the next ready task. Must be called from the owner thread (the
     /// run loop); enforced with a debug assertion.
     fn pop(&self) -> Option<TaskId> {
         debug_assert_eq!(
-            std::thread::current().id(),
+            thread_token(),
             self.owner,
             "ReadyQueue::pop from non-owner thread"
         );
         // SAFETY: owner thread only, as asserted above.
         let local = unsafe { &mut *self.local.get() };
-        if self.has_remote.swap(false, Ordering::Acquire) {
+        // A plain load keeps the uncontended hot path free of atomic
+        // read-modify-writes; the swap runs only when a remote wake
+        // actually happened.
+        if self.has_remote.load(Ordering::Acquire) && self.has_remote.swap(false, Ordering::Acquire)
+        {
             local.extend(self.remote.lock().expect("ready queue poisoned").drain(..));
         }
         local.pop_front()
     }
 }
 
-struct TaskWaker {
-    id: TaskId,
-    ready: Arc<ReadyQueue>,
+/// Refcounted waker payload: "wake task `id` by pushing it on `ready`".
+///
+/// Hand-rolled instead of `Arc<W> → Waker` so a retired task's block can be
+/// reused in place: when a slot is recycled and the old block's refcount is
+/// 1 (no outstanding clones in timers, channels, or resource queues — the
+/// common case), the new task just rewrites `id` instead of allocating.
+/// Stale clones from an earlier generation keep their old `id` bits, so
+/// their wakes still fail the generation check exactly as before.
+#[repr(C)]
+struct WakerBlock {
+    refs: AtomicUsize,
+    /// `TaskId` bits; atomic because a clone on a foreign thread may read
+    /// it while the owner thread is long past this generation.
+    id: AtomicU64,
+    ready: ManuallyDrop<Arc<ReadyQueue>>,
 }
 
-impl Wake for TaskWaker {
-    fn wake(self: Arc<Self>) {
-        self.ready.push(self.id);
-    }
+static WAKER_VTABLE: RawWakerVTable =
+    RawWakerVTable::new(wb_clone, wb_wake, wb_wake_by_ref, wb_drop);
 
-    fn wake_by_ref(self: &Arc<Self>) {
-        self.ready.push(self.id);
+unsafe fn wb_clone(p: *const ()) -> RawWaker {
+    // SAFETY: `p` came from `new_task_waker`'s Box and is kept alive by the
+    // refcount this clone participates in.
+    unsafe { &*(p as *const WakerBlock) }
+        .refs
+        .fetch_add(1, Ordering::Relaxed);
+    RawWaker::new(p, &WAKER_VTABLE)
+}
+
+unsafe fn wb_wake_by_ref(p: *const ()) {
+    // SAFETY: as in `wb_clone`.
+    let b = unsafe { &*(p as *const WakerBlock) };
+    b.ready.push(TaskId(b.id.load(Ordering::Relaxed)));
+}
+
+unsafe fn wb_wake(p: *const ()) {
+    // SAFETY: consuming wake = wake by ref, then drop our reference.
+    unsafe {
+        wb_wake_by_ref(p);
+        wb_drop(p);
     }
 }
 
-/// A timer registration: wake `waker` once the clock reaches `deadline`.
+unsafe fn wb_drop(p: *const ()) {
+    // SAFETY: matches one reference created by `new_task_waker`/`wb_clone`.
+    let b = unsafe { &*(p as *const WakerBlock) };
+    if b.refs.fetch_sub(1, Ordering::Release) == 1 {
+        fence(Ordering::Acquire);
+        // SAFETY: last reference; reconstruct and drop the Box.
+        let mut boxed = unsafe { Box::from_raw(p as *mut WakerBlock) };
+        unsafe { ManuallyDrop::drop(&mut boxed.ready) };
+    }
+}
+
+fn new_task_waker(id: TaskId, ready: Arc<ReadyQueue>) -> Waker {
+    let block = Box::into_raw(Box::new(WakerBlock {
+        refs: AtomicUsize::new(1),
+        id: AtomicU64::new(id.0),
+        ready: ManuallyDrop::new(ready),
+    }));
+    // SAFETY: vtable functions uphold the RawWaker contract over `block`.
+    unsafe { Waker::from_raw(RawWaker::new(block as *const (), &WAKER_VTABLE)) }
+}
+
+/// Rebinds `waker` (a slot waker built by [`new_task_waker`]) to a new
+/// task id if no clones are outstanding. Returns false when clones exist,
+/// in which case the caller must allocate a fresh block (the stale block
+/// keeps its old id and dies when its clones do).
+fn try_rebind_waker(waker: &Waker, id: TaskId) -> bool {
+    // SAFETY: slot wakers always come from `new_task_waker`.
+    let b = unsafe { &*(waker.data() as *const WakerBlock) };
+    // Acquire pairs with the Release decrement in `wb_drop`, so everything
+    // a foreign clone did with the block happened-before this rebind.
+    if b.refs.load(Ordering::Acquire) == 1 {
+        b.id.store(id.0, Ordering::Relaxed);
+        true
+    } else {
+        false
+    }
+}
+
+/// A timer registration: wake the sleeper once the clock reaches `deadline`.
+///
+/// The common case — a task awaiting `Sim::sleep` directly or through
+/// combinators that pass the task waker through unchanged — is recognized
+/// at registration time (the context waker's data pointer matches the
+/// waker of the task currently being polled) and stored as bare [`TaskId`]
+/// bits. Firing it is a plain ready-queue push: no `Waker` clone at
+/// registration, no atomic refcount traffic, no dynamic dispatch. Foreign
+/// wakers (tests polling by hand, adapters that wrap the waker) keep the
+/// general clone-and-wake path through a boxed `Waker`.
+///
+/// The representation is packed to 24 bytes — heap sift-up/down moves
+/// entries around constantly, and this is the run loop's hottest data
+/// structure. `seq_kind` is `(registration_seq << 1) | is_foreign`, which
+/// is monotone in registration order, so ordering by `(deadline,
+/// seq_kind)` preserves the documented deadline-then-registration order.
 struct TimerEntry {
     deadline: SimTime,
-    seq: u64,
-    waker: Waker,
+    seq_kind: u64,
+    /// `TaskId` bits, or a `Box<Waker>` raw pointer when the foreign bit
+    /// of `seq_kind` is set (null once fired).
+    payload: u64,
+}
+
+impl TimerEntry {
+    fn task(deadline: SimTime, seq: u64, id: TaskId) -> Self {
+        Self {
+            deadline,
+            seq_kind: seq << 1,
+            payload: id.0,
+        }
+    }
+
+    fn foreign(deadline: SimTime, seq: u64, waker: Waker) -> Self {
+        Self {
+            deadline,
+            seq_kind: (seq << 1) | 1,
+            payload: Box::into_raw(Box::new(waker)) as u64,
+        }
+    }
+
+    fn is_task(&self) -> bool {
+        self.seq_kind & 1 == 0
+    }
+
+    /// For a task entry, the id to wake.
+    fn task_id(&self) -> TaskId {
+        debug_assert!(self.is_task());
+        TaskId(self.payload)
+    }
+
+    /// For a foreign entry, takes ownership of the boxed waker.
+    fn take_foreign(&mut self) -> Waker {
+        debug_assert!(!self.is_task() && self.payload != 0);
+        let b = self.payload as *mut Waker;
+        self.payload = 0;
+        // SAFETY: set from `Box::into_raw` in `foreign`, taken only once.
+        *unsafe { Box::from_raw(b) }
+    }
+}
+
+impl Drop for TimerEntry {
+    fn drop(&mut self) {
+        if !self.is_task() && self.payload != 0 {
+            // SAFETY: as in `take_foreign`; entry dropped without firing.
+            drop(unsafe { Box::from_raw(self.payload as *mut Waker) });
+        }
+    }
 }
 
 impl PartialEq for TimerEntry {
     fn eq(&self, other: &Self) -> bool {
-        self.deadline == other.deadline && self.seq == other.seq
+        self.deadline == other.deadline && self.seq_kind == other.seq_kind
     }
 }
 
@@ -159,7 +382,7 @@ impl PartialOrd for TimerEntry {
 
 impl Ord for TimerEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+        (self.deadline, self.seq_kind).cmp(&(other.deadline, other.seq_kind))
     }
 }
 
@@ -172,6 +395,11 @@ struct SimInner {
     live_tasks: Cell<usize>,
     timer_seq: Cell<u64>,
     events_processed: Cell<u64>,
+    /// Identity of the task currently inside `poll_task`, paired with its
+    /// waker's data pointer so `register_timer` can detect "the context
+    /// waker IS this task's waker" without comparing vtables. Cleared on
+    /// poll exit so a stale pointer can never match a later registration.
+    current_poll: Cell<Option<(TaskId, *const ())>>,
 }
 
 /// Handle to a simulation: clock, spawner, and run loop.
@@ -205,6 +433,7 @@ impl Sim {
                 live_tasks: Cell::new(0),
                 timer_seq: Cell::new(0),
                 events_processed: Cell::new(0),
+                current_poll: Cell::new(None),
             }),
         }
     }
@@ -253,43 +482,45 @@ impl Sim {
         F::Output: 'static,
     {
         let (tx, rx) = oneshot();
-        let wrapped: BoxedFuture = Box::pin(async move {
+        let wrapped = TaskFuture::new(async move {
             let out = future.await;
             // The receiver may have been dropped; that's fine.
             let _ = tx.send(out);
         });
 
         let mut slots = self.inner.slots.borrow_mut();
-        let (slot_idx, generation) = match self.inner.free_slots.borrow_mut().pop() {
+        let slot_idx = match self.inner.free_slots.borrow_mut().pop() {
             Some(idx) => {
-                let generation = match slots[idx as usize] {
-                    Slot::Free { next_generation } => next_generation,
-                    _ => unreachable!("free list points at a non-free slot"),
-                };
-                (idx, generation)
+                debug_assert_eq!(slots[idx as usize].state, SlotState::Free);
+                idx
             }
             None => {
-                slots.push(Slot::Free { next_generation: 0 });
-                ((slots.len() - 1) as u32, 0)
+                slots.push(Slot {
+                    state: SlotState::Free,
+                    daemon: false,
+                    generation: 0,
+                    future: None,
+                    waker: None,
+                });
+                (slots.len() - 1) as u32
             }
         };
+        let slot = &mut slots[slot_idx as usize];
+        let generation = slot.generation;
         let id = TaskId::new(slot_idx, generation);
-        let waker = Waker::from(Arc::new(TaskWaker {
-            id,
-            ready: Arc::clone(&self.inner.ready),
-        }));
-        slots[slot_idx as usize] = Slot::Parked {
-            generation,
-            future: wrapped,
-            waker,
-            daemon,
-        };
+        match &slot.waker {
+            Some(w) if try_rebind_waker(w, id) => {}
+            _ => slot.waker = Some(new_task_waker(id, Arc::clone(&self.inner.ready))),
+        }
+        slot.state = SlotState::Parked;
+        slot.daemon = daemon;
+        slot.future = Some(wrapped);
         drop(slots);
 
         if !daemon {
             self.inner.live_tasks.set(self.inner.live_tasks.get() + 1);
         }
-        self.inner.ready.push(id);
+        self.inner.ready.push_owner(id);
         JoinHandle { rx }
     }
 
@@ -313,70 +544,89 @@ impl Sim {
     }
 
     /// Registers `waker` to fire at `deadline`.
-    pub(crate) fn register_timer(&self, deadline: SimTime, waker: Waker) {
+    ///
+    /// When `waker` is the waker of the task currently being polled (the
+    /// overwhelmingly common case: a task awaiting a sleep, possibly through
+    /// pass-the-context-through combinators), only its [`TaskId`] is stored
+    /// — no clone, no refcount. Anything else is cloned and woken
+    /// dynamically, exactly as before.
+    pub(crate) fn register_timer(&self, deadline: SimTime, waker: &Waker) {
         let seq = self.inner.timer_seq.get();
         self.inner.timer_seq.set(seq + 1);
-        self.inner.timers.borrow_mut().push(Reverse(TimerEntry {
-            deadline,
-            seq,
-            waker,
-        }));
+        let entry = match self.inner.current_poll.get() {
+            Some((id, data)) if std::ptr::eq(data, waker.data()) => {
+                TimerEntry::task(deadline, seq, id)
+            }
+            _ => TimerEntry::foreign(deadline, seq, waker.clone()),
+        };
+        self.inner.timers.borrow_mut().push(Reverse(entry));
     }
 
     /// Polls one task by id; ignores stale or already-running ids.
     fn poll_task(&self, id: TaskId) {
-        let (mut future, waker, daemon) = {
+        // Copy out the raw future pointers and the waker's data pointer,
+        // then poll in place: the future payload is heap-pinned, so the
+        // slot vector is free to grow (nested spawns) during the poll.
+        let (fut_ptr, poll_fn, waker_data, daemon) = {
             let mut slots = self.inner.slots.borrow_mut();
             let slot = match slots.get_mut(id.slot()) {
                 Some(s) => s,
                 None => return,
             };
-            match std::mem::replace(slot, Slot::Free { next_generation: 0 }) {
-                Slot::Parked {
-                    generation,
-                    future,
-                    waker,
-                    daemon,
-                } if generation == id.generation() => {
-                    *slot = Slot::Running { generation, daemon };
-                    (future, waker, daemon)
-                }
-                other => {
-                    // Stale wake (recycled slot or duplicate wake while
-                    // running): restore and ignore.
-                    *slot = other;
-                    return;
-                }
+            if slot.state != SlotState::Parked || slot.generation != id.generation() {
+                // Stale wake (recycled slot or duplicate wake while
+                // running): ignore.
+                return;
             }
+            slot.state = SlotState::Running;
+            let f = slot.future.as_ref().expect("parked slot without future");
+            let w = slot.waker.as_ref().expect("parked slot without waker");
+            (f.ptr, f.poll_fn, w.data(), slot.daemon)
         };
 
         self.inner
             .events_processed
             .set(self.inner.events_processed.get() + 1);
+        // Cleared by the guard even if the poll panics, so a dangling data
+        // pointer can never match a later registration.
+        struct ClearPoll<'a>(&'a Cell<Option<(TaskId, *const ())>>);
+        impl Drop for ClearPoll<'_> {
+            fn drop(&mut self) {
+                self.0.set(None);
+            }
+        }
+        self.inner.current_poll.set(Some((id, waker_data)));
+        let _clear = ClearPoll(&self.inner.current_poll);
+        // A borrowed view of the slot's waker: same block, no refcount
+        // traffic, never dropped (the slot keeps the owning reference).
+        let waker =
+            ManuallyDrop::new(unsafe { Waker::from_raw(RawWaker::new(waker_data, &WAKER_VTABLE)) });
         let mut cx = Context::from_waker(&waker);
-        let done = future.as_mut().poll(&mut cx).is_ready();
+        // SAFETY: `fut_ptr` stays valid for the whole poll — only this
+        // function and `shutdown` release task futures, `shutdown` skips
+        // Running slots, and re-entrant polls of this task bail on the
+        // Running state above.
+        let done = unsafe { (poll_fn)(fut_ptr, &mut cx) }.is_ready();
+        drop(_clear);
 
         let mut slots = self.inner.slots.borrow_mut();
         let slot = &mut slots[id.slot()];
         debug_assert!(
-            matches!(*slot, Slot::Running { generation, daemon: d } if generation == id.generation() && d == daemon),
+            slot.state == SlotState::Running && slot.generation == id.generation(),
             "slot changed while task was running"
         );
         if done {
-            *slot = Slot::Free {
-                next_generation: id.generation().wrapping_add(1),
-            };
+            slot.state = SlotState::Free;
+            slot.generation = id.generation().wrapping_add(1);
+            // Drop the future (returning its block to the pool) but keep
+            // the waker: the next task spawned here can rebind it.
+            slot.future = None;
             self.inner.free_slots.borrow_mut().push(id.slot() as u32);
             if !daemon {
                 self.inner.live_tasks.set(self.inner.live_tasks.get() - 1);
             }
         } else {
-            *slot = Slot::Parked {
-                generation: id.generation(),
-                future,
-                waker,
-                daemon,
-            };
+            slot.state = SlotState::Parked;
         }
     }
 
@@ -419,13 +669,31 @@ impl Sim {
             self.inner.now.set(next_deadline);
 
             // Fire every timer at this deadline, in registration order.
+            // Task wakes are ready-queue pushes and cannot touch the timer
+            // heap, so they run under one borrow; only a foreign waker
+            // (arbitrary code, may re-register) forces the borrow open.
             loop {
                 let mut timers = self.inner.timers.borrow_mut();
                 match timers.peek() {
                     Some(Reverse(e)) if e.deadline == next_deadline => {
-                        let Reverse(e) = timers.pop().expect("peeked entry vanished");
-                        drop(timers);
-                        e.waker.wake();
+                        let Reverse(mut e) = timers.pop().expect("peeked entry vanished");
+                        if e.is_task() {
+                            // Registration (seq) order: this entry wakes
+                            // first, then the contiguous run of task
+                            // wakes behind it at the same deadline.
+                            self.inner.ready.push_owner(e.task_id());
+                            while let Some(Reverse(n)) = timers.peek() {
+                                if n.deadline != next_deadline || !n.is_task() {
+                                    break;
+                                }
+                                let Reverse(n) = timers.pop().expect("peeked entry vanished");
+                                self.inner.ready.push_owner(n.task_id());
+                            }
+                        } else {
+                            let w = e.take_foreign();
+                            drop(timers);
+                            w.wake();
+                        }
                     }
                     _ => break,
                 }
@@ -449,13 +717,21 @@ impl Sim {
     pub fn shutdown(&self) {
         self.inner.timers.borrow_mut().clear();
         let mut slots = self.inner.slots.borrow_mut();
+        let any_running = slots.iter().any(|s| s.state == SlotState::Running);
         for slot in slots.iter_mut() {
-            if let Slot::Parked { .. } = slot {
-                *slot = Slot::Free { next_generation: 0 };
+            if slot.state == SlotState::Parked {
+                slot.state = SlotState::Free;
+                slot.future = None;
+                slot.waker = None;
             }
         }
-        slots.clear();
-        self.inner.free_slots.borrow_mut().clear();
+        // A task calling `shutdown` from inside its own poll must not free
+        // the slot vector out from under the in-flight poll; everything
+        // else (futures, timers) is torn down either way.
+        if !any_running {
+            slots.clear();
+            self.inner.free_slots.borrow_mut().clear();
+        }
         self.inner.live_tasks.set(0);
     }
 }
@@ -525,7 +801,7 @@ impl Future for Sleep {
         if !self.registered {
             self.registered = true;
             let deadline = self.deadline;
-            self.sim.register_timer(deadline, cx.waker().clone());
+            self.sim.register_timer(deadline, cx.waker());
         }
         Poll::Pending
     }

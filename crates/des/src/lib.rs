@@ -33,11 +33,14 @@
 //! assert_eq!(h.try_result().unwrap(), SimTime::from_micros(5));
 //! ```
 
+pub mod completion;
 pub mod executor;
+mod pool;
 pub mod resource;
 pub mod sync;
 pub mod time;
 
+pub use completion::{CompletionSet, WaitAll};
 pub use executor::{JoinHandle, RunError, RunReport, Sim};
 pub use resource::{Resource, ResourceGuard};
 pub use sync::{oneshot, OneshotReceiver, OneshotSender, RecvError};

@@ -1,0 +1,102 @@
+//! Thread-local size-class recycling for the executor's hot allocations.
+//!
+//! Task futures and oneshot channel blocks are allocated on every spawn and
+//! freed on completion, always on the thread that owns the simulation (both
+//! types are `!Send`). Routing them through a per-thread free list keyed by
+//! layout turns steady-state spawning into pointer pops: the set of distinct
+//! layouts is the set of spawned future types, a small closed set per
+//! program, so a linear scan over the classes beats hashing.
+
+use std::alloc::Layout;
+use std::cell::RefCell;
+use std::ptr::NonNull;
+
+/// Retention cap per layout class; excess blocks return to the global
+/// allocator so one allocation burst cannot pin memory forever.
+const PER_CLASS: usize = 4096;
+
+/// Cap on distinct pooled layouts; later layouts fall through to the
+/// global allocator (never hit in practice).
+const MAX_CLASSES: usize = 64;
+
+thread_local! {
+    static POOL: RefCell<Vec<(Layout, Vec<NonNull<u8>>)>> =
+        RefCell::new(Vec::with_capacity(MAX_CLASSES));
+}
+
+/// Allocates a block of `layout`, reusing a previously freed block of the
+/// same layout when one is pooled.
+///
+/// # Panics
+///
+/// Panics (via `handle_alloc_error`) on allocation failure. `layout` must
+/// have non-zero size.
+pub(crate) fn palloc(layout: Layout) -> NonNull<u8> {
+    debug_assert!(layout.size() > 0);
+    let reused = POOL.with(|p| {
+        let mut classes = p.borrow_mut();
+        classes
+            .iter_mut()
+            .find(|(l, _)| *l == layout)
+            .and_then(|(_, list)| list.pop())
+    });
+    reused.unwrap_or_else(|| {
+        // SAFETY: non-zero size asserted above.
+        NonNull::new(unsafe { std::alloc::alloc(layout) })
+            .unwrap_or_else(|| std::alloc::handle_alloc_error(layout))
+    })
+}
+
+/// Returns a block previously obtained from [`palloc`] with the same
+/// `layout`. Must be called on the allocating thread (all users are
+/// `!Send`, so this holds by construction).
+pub(crate) fn pfree(ptr: NonNull<u8>, layout: Layout) {
+    let pooled = POOL.with(|p| {
+        let mut classes = p.borrow_mut();
+        if let Some((_, list)) = classes.iter_mut().find(|(l, _)| *l == layout) {
+            if list.len() < PER_CLASS {
+                list.push(ptr);
+                return true;
+            }
+        } else if classes.len() < MAX_CLASSES {
+            classes.push((layout, vec![ptr]));
+            return true;
+        }
+        false
+    });
+    if !pooled {
+        // SAFETY: `ptr` came from `palloc` with this exact layout.
+        unsafe { std::alloc::dealloc(ptr.as_ptr(), layout) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_are_recycled_by_layout() {
+        let a = Layout::from_size_align(128, 8).unwrap();
+        let b = Layout::from_size_align(256, 8).unwrap();
+        let p1 = palloc(a);
+        pfree(p1, a);
+        let p2 = palloc(a);
+        assert_eq!(p1, p2, "same-layout block must be reused");
+        let p3 = palloc(b);
+        assert_ne!(p2.as_ptr(), p3.as_ptr());
+        pfree(p2, a);
+        pfree(p3, b);
+    }
+
+    #[test]
+    fn distinct_layouts_do_not_mix() {
+        let a = Layout::from_size_align(64, 8).unwrap();
+        let b = Layout::from_size_align(64, 64).unwrap();
+        let p1 = palloc(a);
+        pfree(p1, a);
+        // Alignment differs: must not hand the 8-aligned block out.
+        let p2 = palloc(b);
+        assert_eq!(p2.as_ptr() as usize % 64, 0);
+        pfree(p2, b);
+    }
+}

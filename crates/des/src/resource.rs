@@ -22,11 +22,11 @@ enum WaitState {
     Cancelled,
 }
 
-struct Waiter {
-    state: Rc<RefCell<WaiterCell>>,
-}
-
-struct WaiterCell {
+/// One wait-list entry. Slots live in a slab inside [`ResourceState`] and
+/// are recycled through a free list, so steady-state waiting allocates
+/// nothing (the `Rc<RefCell<..>>`-per-wait representation this replaces was
+/// the dominant small-allocation source in contended simulations).
+struct WaiterSlot {
     state: WaitState,
     waker: Option<Waker>,
 }
@@ -34,22 +34,43 @@ struct WaiterCell {
 struct ResourceState {
     capacity: usize,
     available: usize,
-    queue: VecDeque<Waiter>,
+    /// FIFO of indices into `slots`.
+    queue: VecDeque<u32>,
+    slots: Vec<WaiterSlot>,
+    free: Vec<u32>,
     // Statistics.
     acquires: u64,
     waits: u64,
 }
 
 impl ResourceState {
+    fn alloc_slot(&mut self, waker: Waker) -> u32 {
+        if let Some(i) = self.free.pop() {
+            let s = &mut self.slots[i as usize];
+            s.state = WaitState::Waiting;
+            s.waker = Some(waker);
+            i
+        } else {
+            self.slots.push(WaiterSlot {
+                state: WaitState::Waiting,
+                waker: Some(waker),
+            });
+            (self.slots.len() - 1) as u32
+        }
+    }
+
     /// Returns one permit, handing it to the first live waiter if any.
     fn release(&mut self) {
-        while let Some(w) = self.queue.pop_front() {
-            let mut cell = w.state.borrow_mut();
-            match cell.state {
-                WaitState::Cancelled => continue,
+        while let Some(i) = self.queue.pop_front() {
+            let s = &mut self.slots[i as usize];
+            match s.state {
+                WaitState::Cancelled => {
+                    self.free.push(i);
+                    continue;
+                }
                 WaitState::Waiting => {
-                    cell.state = WaitState::Granted;
-                    if let Some(waker) = cell.waker.take() {
+                    s.state = WaitState::Granted;
+                    if let Some(waker) = s.waker.take() {
                         waker.wake();
                     }
                     return;
@@ -106,6 +127,8 @@ impl Resource {
                 capacity,
                 available: capacity,
                 queue: VecDeque::new(),
+                slots: Vec::new(),
+                free: Vec::new(),
                 acquires: 0,
                 waits: 0,
             })),
@@ -141,11 +164,10 @@ impl Resource {
 
     /// Requests currently queued.
     pub fn queue_len(&self) -> usize {
-        self.state
-            .borrow()
-            .queue
+        let st = self.state.borrow();
+        st.queue
             .iter()
-            .filter(|w| w.state.borrow().state == WaitState::Waiting)
+            .filter(|&&i| st.slots[i as usize].state == WaitState::Waiting)
             .count()
     }
 
@@ -191,33 +213,33 @@ impl fmt::Debug for ResourceGuard {
 /// Future returned by [`Resource::acquire`].
 pub struct Acquire {
     resource: Resource,
-    waiter: Option<Rc<RefCell<WaiterCell>>>,
+    /// Index of this future's waiter slot, once queued.
+    waiter: Option<u32>,
 }
 
 impl Future for Acquire {
     type Output = ResourceGuard;
 
     fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<ResourceGuard> {
-        if let Some(cell) = &self.waiter {
-            let mut c = cell.borrow_mut();
-            match c.state {
+        let mut st = self.resource.state.borrow_mut();
+        if let Some(i) = self.waiter {
+            match st.slots[i as usize].state {
                 WaitState::Granted => {
-                    c.state = WaitState::Cancelled; // consumed; drop must not re-release
-                    drop(c);
+                    st.free.push(i); // consumed; drop must not re-release
+                    st.acquires += 1;
+                    drop(st);
                     self.waiter = None;
-                    self.resource.state.borrow_mut().acquires += 1;
                     Poll::Ready(ResourceGuard {
                         state: Rc::clone(&self.resource.state),
                     })
                 }
                 WaitState::Waiting => {
-                    c.waker = Some(cx.waker().clone());
+                    st.slots[i as usize].waker = Some(cx.waker().clone());
                     Poll::Pending
                 }
                 WaitState::Cancelled => unreachable!("polling a cancelled acquire"),
             }
         } else {
-            let mut st = self.resource.state.borrow_mut();
             if st.queue.is_empty() && st.available > 0 {
                 st.available -= 1;
                 st.acquires += 1;
@@ -226,15 +248,10 @@ impl Future for Acquire {
                 });
             }
             st.waits += 1;
-            let cell = Rc::new(RefCell::new(WaiterCell {
-                state: WaitState::Waiting,
-                waker: Some(cx.waker().clone()),
-            }));
-            st.queue.push_back(Waiter {
-                state: Rc::clone(&cell),
-            });
+            let i = st.alloc_slot(cx.waker().clone());
+            st.queue.push_back(i);
             drop(st);
-            self.waiter = Some(cell);
+            self.waiter = Some(i);
             Poll::Pending
         }
     }
@@ -242,18 +259,18 @@ impl Future for Acquire {
 
 impl Drop for Acquire {
     fn drop(&mut self) {
-        if let Some(cell) = self.waiter.take() {
-            let mut c = cell.borrow_mut();
-            match c.state {
-                WaitState::Waiting => c.state = WaitState::Cancelled,
+        if let Some(i) = self.waiter.take() {
+            let mut st = self.resource.state.borrow_mut();
+            match st.slots[i as usize].state {
+                // Still queued: mark for `release` to skip and recycle.
+                WaitState::Waiting => st.slots[i as usize].state = WaitState::Cancelled,
                 WaitState::Granted => {
                     // We were handed a permit but never observed it: give
                     // it back so it is not leaked.
-                    c.state = WaitState::Cancelled;
-                    drop(c);
-                    self.resource.state.borrow_mut().release();
+                    st.free.push(i);
+                    st.release();
                 }
-                WaitState::Cancelled => {}
+                WaitState::Cancelled => unreachable!("dropping a consumed acquire twice"),
             }
         }
     }

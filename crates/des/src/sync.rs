@@ -1,16 +1,62 @@
 //! Single-shot completion signalling between simulation tasks.
 
-use std::cell::RefCell;
+use std::alloc::Layout;
+use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::future::Future;
+use std::marker::PhantomData;
 use std::pin::Pin;
+use std::ptr::NonNull;
 use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
 
-struct Shared<T> {
+struct Inner<T> {
     value: Option<T>,
     waker: Option<Waker>,
     sender_alive: bool,
+}
+
+/// The channel block: manually refcounted (at most 2 — sender and
+/// receiver) so its memory can come from the thread-local layout pool
+/// instead of the global allocator. The executor creates one per spawned
+/// task, which made `Rc::new` here the hottest remaining allocation site.
+struct Shared<T> {
+    refs: Cell<u32>,
+    inner: RefCell<Inner<T>>,
+}
+
+/// One reference to the channel block. `!Send` (like the `Rc` it
+/// replaces) because the pool and the refcount are single-threaded.
+struct SharedRef<T> {
+    ptr: NonNull<Shared<T>>,
+    _not_send: PhantomData<Rc<()>>,
+}
+
+impl<T> SharedRef<T> {
+    fn shared(&self) -> &Shared<T> {
+        // SAFETY: the block lives until the last `SharedRef` drops.
+        unsafe { self.ptr.as_ref() }
+    }
+
+    /// Number of live references (1 means "the other side is gone").
+    fn refs(&self) -> u32 {
+        self.shared().refs.get()
+    }
+}
+
+impl<T> Drop for SharedRef<T> {
+    fn drop(&mut self) {
+        let refs = self.shared().refs.get() - 1;
+        self.shared().refs.set(refs);
+        if refs == 0 {
+            // SAFETY: last reference; the block was `palloc`ed in
+            // `oneshot` and initialized with `write`.
+            unsafe {
+                std::ptr::drop_in_place(self.ptr.as_ptr());
+                crate::pool::pfree(self.ptr.cast(), Layout::new::<Shared<T>>());
+            }
+        }
+    }
 }
 
 /// Creates a oneshot channel.
@@ -35,22 +81,37 @@ struct Shared<T> {
 /// assert_eq!(h.try_result().unwrap(), 123);
 /// ```
 pub fn oneshot<T>() -> (OneshotSender<T>, OneshotReceiver<T>) {
-    let shared = Rc::new(RefCell::new(Shared {
-        value: None,
-        waker: None,
-        sender_alive: true,
-    }));
+    let ptr = crate::pool::palloc(Layout::new::<Shared<T>>()).cast::<Shared<T>>();
+    // SAFETY: fresh block of the right layout.
+    unsafe {
+        ptr.as_ptr().write(Shared {
+            refs: Cell::new(2),
+            inner: RefCell::new(Inner {
+                value: None,
+                waker: None,
+                sender_alive: true,
+            }),
+        });
+    }
     (
         OneshotSender {
-            shared: Rc::clone(&shared),
+            shared: SharedRef {
+                ptr,
+                _not_send: PhantomData,
+            },
         },
-        OneshotReceiver { shared },
+        OneshotReceiver {
+            shared: SharedRef {
+                ptr,
+                _not_send: PhantomData,
+            },
+        },
     )
 }
 
 /// Sending half of a oneshot channel.
 pub struct OneshotSender<T> {
-    shared: Rc<RefCell<Shared<T>>>,
+    shared: SharedRef<T>,
 }
 
 impl<T> OneshotSender<T> {
@@ -58,26 +119,23 @@ impl<T> OneshotSender<T> {
     ///
     /// Returns the value back if the receiver was dropped.
     pub fn send(self, value: T) -> Result<(), T> {
-        let mut sh = self.shared.borrow_mut();
-        // Receiver dropped iff we hold the only other Rc reference.
-        if Rc::strong_count(&self.shared) == 1 {
+        if self.shared.refs() == 1 {
             return Err(value);
         }
+        let mut sh = self.shared.shared().inner.borrow_mut();
         sh.value = Some(value);
         if let Some(w) = sh.waker.take() {
             w.wake();
         }
         // Mark delivered so Drop does not report a dead sender.
         sh.sender_alive = false;
-        drop(sh);
-        std::mem::forget(self);
         Ok(())
     }
 }
 
 impl<T> Drop for OneshotSender<T> {
     fn drop(&mut self) {
-        let mut sh = self.shared.borrow_mut();
+        let mut sh = self.shared.shared().inner.borrow_mut();
         sh.sender_alive = false;
         if let Some(w) = sh.waker.take() {
             w.wake();
@@ -105,18 +163,18 @@ impl std::error::Error for RecvError {}
 
 /// Receiving half of a oneshot channel; a future yielding `Result<T, RecvError>`.
 pub struct OneshotReceiver<T> {
-    shared: Rc<RefCell<Shared<T>>>,
+    shared: SharedRef<T>,
 }
 
 impl<T> OneshotReceiver<T> {
     /// Takes the value if it has already been delivered.
     pub fn try_recv(self) -> Option<T> {
-        self.shared.borrow_mut().value.take()
+        self.shared.shared().inner.borrow_mut().value.take()
     }
 
     /// True if a value is waiting.
     pub fn is_ready(&self) -> bool {
-        self.shared.borrow().value.is_some()
+        self.shared.shared().inner.borrow().value.is_some()
     }
 }
 
@@ -124,7 +182,7 @@ impl<T> Future for OneshotReceiver<T> {
     type Output = Result<T, RecvError>;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
-        let mut sh = self.shared.borrow_mut();
+        let mut sh = self.shared.shared().inner.borrow_mut();
         if let Some(v) = sh.value.take() {
             return Poll::Ready(Ok(v));
         }

@@ -43,6 +43,6 @@ pub use op::{OpKind, TraceOp};
 pub use size::ByteSize;
 pub use telemetry::Phase;
 pub use trace::{
-    stream_stats, SliceSource, Trace, TraceMeta, TraceReader, TraceSource, TraceStats,
-    TRACE_CHUNK_OPS,
+    stream_stats, ByteReader, SliceSource, SlotCursor, Trace, TraceMeta, TraceReader, TraceSource,
+    TraceStats, TRACE_CHUNK_OPS,
 };

@@ -60,6 +60,31 @@ pub trait TraceSource {
     /// appended. Returning `Ok(0)` signals end of stream; the source is
     /// never polled again after that.
     fn next_chunk(&mut self, out: &mut Vec<TraceOp>, max: usize) -> io::Result<usize>;
+
+    /// Forks an independent cursor over just the ops of one
+    /// `(host, thread)` slot, in program order — the zero-copy replay fast
+    /// path. Random-access sources (an in-memory trace, a mapped archive)
+    /// return one cursor per slot so every replay thread pulls its own ops
+    /// directly, with no shared chunk queues in between. Sequential
+    /// sources return `None` (the default) and are drained through
+    /// [`TraceSource::next_chunk`] instead.
+    ///
+    /// Contract: the union of all slots' cursors is exactly the stream
+    /// `next_chunk` would deliver, and a cursor must yield the ops *it*
+    /// owns that precede any invalid record, then fail — never an op past
+    /// the corruption point.
+    fn fork_slot(&self, host: u16, thread: u16) -> Option<Box<dyn SlotCursor + '_>> {
+        let _ = (host, thread);
+        None
+    }
+}
+
+/// A pull cursor over one `(host, thread)` slot's ops, in program order.
+/// See [`TraceSource::fork_slot`].
+pub trait SlotCursor {
+    /// Returns the slot's next op, `None` at end of stream, or the decode
+    /// error for a corrupt record.
+    fn next(&mut self) -> io::Result<Option<TraceOp>>;
 }
 
 impl<S: TraceSource + ?Sized> TraceSource for Box<S> {
@@ -70,6 +95,10 @@ impl<S: TraceSource + ?Sized> TraceSource for Box<S> {
     fn next_chunk(&mut self, out: &mut Vec<TraceOp>, max: usize) -> io::Result<usize> {
         (**self).next_chunk(out, max)
     }
+
+    fn fork_slot(&self, host: u16, thread: u16) -> Option<Box<dyn SlotCursor + '_>> {
+        (**self).fork_slot(host, thread)
+    }
 }
 
 impl<S: TraceSource + ?Sized> TraceSource for &mut S {
@@ -79,6 +108,10 @@ impl<S: TraceSource + ?Sized> TraceSource for &mut S {
 
     fn next_chunk(&mut self, out: &mut Vec<TraceOp>, max: usize) -> io::Result<usize> {
         (**self).next_chunk(out, max)
+    }
+
+    fn fork_slot(&self, host: u16, thread: u16) -> Option<Box<dyn SlotCursor + '_>> {
+        (**self).fork_slot(host, thread)
     }
 }
 
@@ -110,6 +143,214 @@ impl TraceSource for SliceSource<'_> {
         out.extend_from_slice(&self.trace.ops[self.pos..end]);
         self.pos = end;
         Ok(n)
+    }
+
+    fn fork_slot(&self, host: u16, thread: u16) -> Option<Box<dyn SlotCursor + '_>> {
+        Some(Box::new(SliceCursor {
+            ops: &self.trace.ops,
+            pos: 0,
+            slot: SlotFilter::new(&self.trace.meta, host, thread),
+        }))
+    }
+}
+
+/// The scan filter every [`SlotCursor`] shares: which slot it owns, plus
+/// the grid its source's metadata promised. Scanned ops outside the grid
+/// fail the cursor (matching the chunk-fed replay path, which fails the
+/// run on the same op).
+struct SlotFilter {
+    host: u16,
+    thread: u16,
+    grid_hosts: u16,
+    grid_threads: u16,
+}
+
+impl SlotFilter {
+    fn new(meta: &TraceMeta, host: u16, thread: u16) -> Self {
+        Self {
+            host,
+            thread,
+            // The replay grid widens zero meta fields to 1; mirror that so
+            // out-of-grid detection agrees with the chunk-fed path.
+            grid_hosts: meta.hosts.max(1),
+            grid_threads: meta.threads_per_host.max(1),
+        }
+    }
+
+    /// `Ok(true)` when the op belongs to this cursor's slot; an error when
+    /// the op falls outside the source's promised grid.
+    fn admit(&self, op: &TraceOp) -> io::Result<bool> {
+        if op.host().0 >= self.grid_hosts || op.thread().0 >= self.grid_threads {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "op for {} {} outside the {}-host/{}-thread grid its meta promised",
+                    op.host(),
+                    op.thread(),
+                    self.grid_hosts,
+                    self.grid_threads,
+                ),
+            ));
+        }
+        Ok(op.host().0 == self.host && op.thread().0 == self.thread)
+    }
+}
+
+/// [`SlotCursor`] over an in-memory trace: scans the op slice, yielding
+/// only the ops of one slot. Always starts from the head of the trace,
+/// independent of any `next_chunk` progress on the parent source.
+struct SliceCursor<'a> {
+    ops: &'a [TraceOp],
+    pos: usize,
+    slot: SlotFilter,
+}
+
+impl SlotCursor for SliceCursor<'_> {
+    fn next(&mut self) -> io::Result<Option<TraceOp>> {
+        while self.pos < self.ops.len() {
+            let op = self.ops[self.pos];
+            self.pos += 1;
+            if self.slot.admit(&op)? {
+                return Ok(Some(op));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Zero-copy [`TraceSource`] over a complete in-memory `FCTRACE1` image —
+/// typically a memory-mapped archive. The header is parsed up front;
+/// records decode straight out of the byte slice with no intermediate read
+/// buffer, and [`TraceSource::fork_slot`] hands every replay thread its
+/// own scanning cursor over the record region.
+///
+/// # Examples
+///
+/// ```
+/// use fcache_types::{ByteReader, Trace, TraceMeta, TraceSource};
+///
+/// let mut buf = Vec::new();
+/// Trace::new(TraceMeta::default()).encode(&mut buf).unwrap();
+/// let mut reader = ByteReader::new(&buf).unwrap();
+/// let mut chunk = Vec::new();
+/// assert_eq!(reader.next_chunk(&mut chunk, 1024).unwrap(), 0);
+/// ```
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    /// Record region of the archive (header already consumed).
+    records: &'a [u8],
+    meta: TraceMeta,
+    /// Byte offset of the next `next_chunk` record within `records`.
+    pos: usize,
+    /// Ops not yet yielded through `next_chunk`.
+    remaining: u64,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Validates the `FCTRACE1` header of a complete archive image.
+    pub fn new(bytes: &'a [u8]) -> io::Result<Self> {
+        // `&[u8]: Read` advances the slice, so after the header parse `r`
+        // is exactly the record region.
+        let mut r = bytes;
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad trace magic",
+            ));
+        }
+        let meta = TraceMeta {
+            hosts: read_u16(&mut r)?,
+            threads_per_host: read_u16(&mut r)?,
+            working_set_bytes: read_u64(&mut r)?,
+            working_set_pct: read_u8(&mut r)?,
+            write_pct: read_u8(&mut r)?,
+            seed: read_u64(&mut r)?,
+        };
+        let remaining = read_u64(&mut r)?;
+        Ok(Self {
+            records: r,
+            meta,
+            pos: 0,
+            remaining,
+        })
+    }
+
+    /// Ops not yet yielded through `next_chunk`.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+}
+
+/// Borrows the record at byte offset `pos`, or fails like a truncated
+/// read would.
+fn record_at(records: &[u8], pos: usize) -> io::Result<&[u8; RECORD_BYTES]> {
+    records
+        .get(pos..pos + RECORD_BYTES)
+        .map(|rec| rec.try_into().expect("slice is RECORD_BYTES long"))
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "trace record region truncated",
+            )
+        })
+}
+
+impl TraceSource for ByteReader<'_> {
+    fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    fn next_chunk(&mut self, out: &mut Vec<TraceOp>, max: usize) -> io::Result<usize> {
+        let n = (self.remaining.min(max as u64)) as usize;
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(decode_record(record_at(self.records, self.pos)?)?);
+            self.pos += RECORD_BYTES;
+        }
+        self.remaining -= n as u64;
+        Ok(n)
+    }
+
+    fn fork_slot(&self, host: u16, thread: u16) -> Option<Box<dyn SlotCursor + '_>> {
+        // Count from the header, not `remaining`: cursors always cover the
+        // whole stream regardless of `next_chunk` progress.
+        let total = self.remaining + (self.pos / RECORD_BYTES) as u64;
+        Some(Box::new(ByteCursor {
+            records: self.records,
+            pos: 0,
+            remaining: total,
+            slot: SlotFilter::new(&self.meta, host, thread),
+        }))
+    }
+}
+
+/// [`SlotCursor`] over a raw `FCTRACE1` record region.
+///
+/// Every record scanned past is fully decoded — not just the ones this
+/// slot owns — so a corrupt, truncated, or out-of-grid record stops the
+/// cursor exactly where the streamed [`TraceReader`] path would stop,
+/// preserving the "every op before the bad record, none after" delivery
+/// contract.
+struct ByteCursor<'a> {
+    records: &'a [u8],
+    pos: usize,
+    remaining: u64,
+    slot: SlotFilter,
+}
+
+impl SlotCursor for ByteCursor<'_> {
+    fn next(&mut self) -> io::Result<Option<TraceOp>> {
+        while self.remaining > 0 {
+            let op = decode_record(record_at(self.records, self.pos)?)?;
+            self.pos += RECORD_BYTES;
+            self.remaining -= 1;
+            if self.slot.admit(&op)? {
+                return Ok(Some(op));
+            }
+        }
+        Ok(None)
     }
 }
 
@@ -541,6 +782,147 @@ mod tests {
         let mut got = Vec::new();
         while src.next_chunk(&mut got, 13).unwrap() > 0 {}
         assert_eq!(got, t.ops);
+    }
+
+    // Byte offset of record `i` in an encoded archive: 8-byte magic,
+    // 2+2+8+1+1+8 meta, 8-byte count.
+    const HEADER_BYTES: usize = 38;
+
+    fn record_offset(i: usize) -> usize {
+        HEADER_BYTES + i * RECORD_BYTES
+    }
+
+    #[test]
+    fn byte_reader_matches_streamed_reader() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.encode(&mut buf).unwrap();
+
+        let mut reader = ByteReader::new(&buf).unwrap();
+        assert_eq!(reader.meta(), &t.meta);
+        assert_eq!(reader.remaining(), t.len() as u64);
+        let mut got = Vec::new();
+        let mut chunk = Vec::new();
+        loop {
+            chunk.clear();
+            if reader.next_chunk(&mut chunk, 7).unwrap() == 0 {
+                break;
+            }
+            got.extend_from_slice(&chunk);
+        }
+        assert_eq!(got, t.ops);
+    }
+
+    #[test]
+    fn byte_reader_rejects_bad_magic_and_truncation() {
+        let mut buf = Vec::new();
+        sample_trace().encode(&mut buf).unwrap();
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(ByteReader::new(&bad).is_err());
+
+        buf.truncate(buf.len() - 3);
+        let mut reader = ByteReader::new(&buf).unwrap();
+        let mut out = Vec::new();
+        let err = loop {
+            match reader.next_chunk(&mut out, 16) {
+                Ok(0) => panic!("truncated archive must error"),
+                Ok(_) => {}
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    // Every (host, thread) cursor of `src` must yield exactly the ops of
+    // that slot, in program order, and the union must cover the trace.
+    fn assert_cursors_partition(src: &dyn TraceSource, t: &Trace) {
+        let mut covered = 0usize;
+        for host in 0..t.meta.hosts {
+            for thread in 0..t.meta.threads_per_host {
+                let mut cursor = src.fork_slot(host, thread).expect("forkable");
+                let mut got = Vec::new();
+                while let Some(op) = cursor.next().unwrap() {
+                    got.push(op);
+                }
+                let want: Vec<TraceOp> = t
+                    .ops
+                    .iter()
+                    .copied()
+                    .filter(|op| op.host().0 == host && op.thread().0 == thread)
+                    .collect();
+                assert_eq!(got, want, "slot ({host}, {thread})");
+                covered += got.len();
+            }
+        }
+        assert_eq!(covered, t.len());
+    }
+
+    #[test]
+    fn slice_source_cursors_partition_the_trace() {
+        let t = sample_trace();
+        assert_cursors_partition(&SliceSource::new(&t), &t);
+    }
+
+    #[test]
+    fn byte_reader_cursors_partition_the_trace() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.encode(&mut buf).unwrap();
+        assert_cursors_partition(&ByteReader::new(&buf).unwrap(), &t);
+    }
+
+    #[test]
+    fn byte_cursor_stops_at_a_corrupt_record_even_for_other_slots() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.encode(&mut buf).unwrap();
+        // Zero out the nblocks field of record 40 — an op that belongs to
+        // host 0, thread 0 (40 % 2 == 0, 40 % 8 == 0).
+        let bad = 40;
+        buf[record_offset(bad) + 16..record_offset(bad) + 20].fill(0);
+
+        let reader = ByteReader::new(&buf).unwrap();
+        // A different slot (host 1, thread 1 owns ops 1, 9, 17, ...) must
+        // still stop at the foreign corrupt record: its ops before index
+        // 40 arrive, then the decode error — never an op past it.
+        let mut cursor = reader.fork_slot(1, 1).unwrap();
+        let mut got = Vec::new();
+        let err = loop {
+            match cursor.next() {
+                Ok(Some(op)) => got.push(op),
+                Ok(None) => panic!("cursor must surface the corrupt record"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let want: Vec<TraceOp> = t.ops[..bad]
+            .iter()
+            .copied()
+            .filter(|op| op.host().0 == 1 && op.thread().0 == 1)
+            .collect();
+        assert!(!want.is_empty());
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn cursors_reject_ops_outside_the_meta_grid() {
+        let mut t = sample_trace();
+        // The trace's ops carry host 1, but the meta now promises 1 host.
+        t.meta.hosts = 1;
+        let src = SliceSource::new(&t);
+        let mut cursor = src.fork_slot(0, 0).unwrap();
+        let err = loop {
+            match cursor.next() {
+                Ok(Some(_)) => {}
+                Ok(None) => panic!("cursor must surface the out-of-grid op"),
+                Err(e) => break e,
+            }
+        };
+        assert!(
+            err.to_string().contains("outside the 1-host/8-thread grid"),
+            "got: {err}"
+        );
     }
 
     #[test]
